@@ -1,0 +1,28 @@
+"""Ablation: active replication vs R+SM (§7).
+
+"Active replication strategies are ... impractical because they typically
+double resource requirements" — here both sides of the trade are
+measured: AR recovers in roughly the failure-detection time (no state
+transfer, no replay backlog), but bills roughly twice the worker
+VM-seconds for the whole run.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import ablation_active_replication
+
+
+def params():
+    if is_quick():
+        return dict(rate=300.0, duration=60.0, fail_at=30.0)
+    return dict(rate=500.0, duration=90.0, fail_at=45.0)
+
+
+def test_ablation_active_replication(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_active_replication(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    rsm, ar = result.rows
+    assert ar[1] < rsm[1]  # AR recovers faster...
+    assert ar[2] > rsm[2] * 1.1  # ...but bills measurably more VM-seconds

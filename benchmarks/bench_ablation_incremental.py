@@ -1,0 +1,30 @@
+"""Ablation: incremental checkpointing (§3.2, [17]).
+
+The paper notes that "to reduce the size of checkpoints, it is also
+possible to use incremental checkpointing techniques".  This bench
+quantifies the claim on the Fig. 14 setup: with 10^5 mostly-cold state
+entries, delta checkpoints should nearly erase the p95 latency overhead
+of full checkpoints.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import ablation_incremental_checkpoints
+
+
+def params():
+    if is_quick():
+        return dict(rates=(500.0,), duration=40.0)
+    return dict(rates=(500.0, 1000.0), duration=60.0)
+
+
+def test_ablation_incremental_checkpoints(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_incremental_checkpoints(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    full = result.rows[0]
+    incremental = result.rows[1]
+    # Incremental checkpointing removes most of the overhead at every rate.
+    for f, i in zip(full[1:], incremental[1:]):
+        assert i < f / 2

@@ -1,0 +1,29 @@
+"""Ablation: the VM pool (§5.2).
+
+Not a paper figure, but the design choice DESIGN.md calls out: without a
+pre-allocated pool, every scale out waits out the IaaS provisioning delay
+(minutes), prolonging the overload it was meant to relieve.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import ablation_vm_pool
+
+
+def params():
+    if is_quick():
+        return dict(pool_sizes=(0, 3), num_xways=12, duration=250.0, quantum=1.0,
+                    provisioning_delay=60.0)
+    return dict(pool_sizes=(0, 2, 4), num_xways=64, duration=800.0, quantum=2.0)
+
+
+def test_ablation_vm_pool(benchmark):
+    result = benchmark.pedantic(
+        lambda: ablation_vm_pool(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    no_pool = result.rows[0]
+    pooled = result.rows[-1]
+    if no_pool[2] is not None and pooled[2] is not None:
+        # Scale outs complete orders of magnitude faster with a pool.
+        assert no_pool[2] > pooled[2] * 3

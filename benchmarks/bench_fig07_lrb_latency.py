@@ -1,0 +1,30 @@
+"""Fig. 7: processing latency for the LRB workload.
+
+Paper: median 153 ms, p95 700 ms, p99 1459 ms — all within the LRB 5 s
+target — with latency peaks of up to ~4 s right after scale-out events.
+Shares the cached closed-loop run with the Fig. 6 bench when parameters
+match.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig07_lrb_latency
+
+
+def params():
+    if is_quick():
+        return dict(num_xways=32, duration=300.0, quantum=1.0)
+    return dict(num_xways=350, duration=2000.0, quantum=2.0)
+
+
+def test_fig07_lrb_latency(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig07_lrb_latency(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    metrics = {row[0]: row[1] for row in result.rows}
+    assert metrics["within LRB 5 s target"]
+    assert metrics["median latency (ms)"] < metrics["95th percentile (ms)"]
+    # Scale out produces visible latency spikes: the max is well above
+    # the median, yet bounded.
+    assert metrics["max latency (s)"] < 10.0

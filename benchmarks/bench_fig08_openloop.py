@@ -1,0 +1,31 @@
+"""Fig. 8: dynamic scale out for a map/reduce-style workload (open loop).
+
+Paper: 18 sources inject 550k tuples/s into an under-provisioned query;
+tuples are dropped during overload and the SPS scales out (stateless maps
+faster than stateful reducers) until it sustains the incoming rate.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig08_openloop
+
+
+def params():
+    if is_quick():
+        return dict(rate=60_000.0, duration=200.0, sources=4)
+    return dict(rate=550_000.0, duration=600.0, sources=18)
+
+
+def test_fig08_openloop(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig08_openloop(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    metrics = {row[0]: row[1] for row in result.rows}
+    assert metrics["tuples dropped during overload"] > 0
+    assert metrics["time to sustain input (s)"] is not None
+    assert metrics["final map parallelism"] >= 2
+    assert metrics["final reduce parallelism"] >= 2
+    assert metrics["peak consumed rate (tuples/s)"] >= 0.9 * metrics[
+        "target input rate (tuples/s)"
+    ]

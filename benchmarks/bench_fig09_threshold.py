@@ -1,0 +1,36 @@
+"""Fig. 9: impact of the scale-out threshold δ on latency and #VMs.
+
+Paper (LRB, L=64): higher δ allocates fewer VMs; the median-latency curve
+is concave — it rises at low δ (frequent scale outs disturb processing)
+and at high δ (VMs run close to overload) — making δ = 50-70 % the sweet
+spot.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig09_threshold
+
+
+def params():
+    if is_quick():
+        return dict(
+            thresholds=(0.30, 0.70, 0.90), num_xways=16, duration=300.0, quantum=1.0
+        )
+    return dict(
+        thresholds=(0.10, 0.30, 0.50, 0.70, 0.90),
+        num_xways=64,
+        duration=1000.0,
+        quantum=2.0,
+    )
+
+
+def test_fig09_threshold(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig09_threshold(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    vms = [row[1] for row in result.rows]
+    # Fewer VMs as δ grows (monotone non-increasing).
+    assert all(a >= b for a, b in zip(vms, vms[1:]))
+    # More scale-out churn at the lowest threshold than the highest.
+    assert result.rows[0][4] >= result.rows[-1][4]

@@ -1,0 +1,46 @@
+"""Fig. 10: dynamic vs manual (human expert) scale out.
+
+Paper (LRB, L=115): a human expert's best static allocation needs 20 VMs
+for low latency; the dynamic policy reaches comparable latency with ~25
+VMs — automatic allocation costs ~25 % more resources than the optimum.
+
+The steady-state comparison uses the last 30 % of the run: the dynamic
+policy follows the ramp, so its full-run percentiles include the
+under-provisioned climb that static allocations never experience.
+"""
+
+import math
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig10_manual_vs_dynamic
+
+
+def params():
+    if is_quick():
+        return dict(vm_budgets=(5, 8, 12), num_xways=16, duration=300.0, quantum=1.0)
+    return dict(
+        vm_budgets=(10, 15, 20, 25, 30), num_xways=115, duration=1000.0, quantum=2.0
+    )
+
+
+def test_fig10_manual_vs_dynamic(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig10_manual_vs_dynamic(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    manual = [row for row in result.rows if row[0] == "manual"]
+    dynamic = [row for row in result.rows if row[0] == "dynamic"][0]
+    # The smallest manual allocation is overloaded (worst p95); larger
+    # manual allocations improve latency monotonically.
+    p95s = [row[3] for row in manual]
+    assert p95s[0] == max(p for p in p95s if not math.isnan(p))
+    tails = [row[4] for row in manual]
+    assert all(a >= b for a, b in zip(tails, tails[1:]))
+    # The dynamic policy converges to fewer VMs than the largest manual
+    # budget while staying within the LRB 5 s latency target.  (The paper's
+    # dynamic run matched the manual optimum's latency with ~25 % more VMs;
+    # ours trades more latency headroom for fewer VMs — see EXPERIMENTS.md.)
+    biggest_budget = max(row[1] for row in manual)
+    assert dynamic[1] <= biggest_budget
+    assert dynamic[4] < 5_000.0

@@ -1,0 +1,35 @@
+"""Fig. 11: recovery time per fault-tolerance mechanism.
+
+Paper (windowed word count, c = 5 s, 30 s window): recovery with state
+management (R+SM) beats both source replay (SR) and upstream backup (UB)
+at every rate because it replays at most one checkpoint interval instead
+of the whole window; SR edges out UB at higher rates because it stops new
+tuple generation during recovery.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig11_recovery_strategies
+
+
+def params():
+    if is_quick():
+        return dict(rates=(100.0, 500.0), repeats=1)
+    return dict(rates=(100.0, 500.0, 1000.0), repeats=2)
+
+
+def test_fig11_recovery_strategies(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig11_recovery_strategies(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    for row in result.rows:
+        _rate, rsm, sr, ub = row
+        assert rsm < sr and rsm < ub  # R+SM always fastest
+    # Recovery time grows with the input rate for the replay-based
+    # baselines (more tuples to re-process).
+    first, last = result.rows[0], result.rows[-1]
+    assert last[2] > first[2]  # SR
+    assert last[3] > first[3]  # UB
+    # At the highest rate SR beats UB (new-tuple contention hits UB).
+    assert last[2] < last[3]

@@ -1,0 +1,35 @@
+"""Fig. 12: recovery time vs R+SM checkpointing interval.
+
+Paper: recovery time increases with the checkpointing interval (more
+tuples to replay) and with the input rate (each replayed second carries
+more tuples); frequent checkpointing keeps recovery fast even at high
+rates.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig12_checkpoint_interval
+
+
+def params():
+    if is_quick():
+        return dict(intervals=(1.0, 10.0, 30.0), rates=(100.0, 500.0))
+    return dict(
+        intervals=(1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0),
+        rates=(100.0, 500.0, 1000.0),
+    )
+
+
+def test_fig12_checkpoint_interval(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig12_checkpoint_interval(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    columns = list(zip(*result.rows))
+    intervals = columns[0]
+    for rate_column in columns[1:]:
+        # Monotone growth with the interval (within small tolerance).
+        assert rate_column[-1] > rate_column[0]
+    # Higher rates recover slower at the longest interval.
+    last_row = result.rows[-1]
+    assert last_row[-1] >= last_row[1]

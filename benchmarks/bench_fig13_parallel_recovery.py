@@ -1,0 +1,31 @@
+"""Fig. 13: serial vs parallel recovery using state management.
+
+Paper (500 tuples/s): at short checkpointing intervals parallel recovery
+(π = 2) is slower — standing up two operators costs more than it saves —
+but as the interval grows and replay dominates, splitting the replay
+across two partitions wins.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig13_parallel_recovery
+
+
+def params():
+    if is_quick():
+        return dict(intervals=(1.0, 15.0, 30.0), rate=500.0, repeats=1)
+    return dict(
+        intervals=(1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0), rate=500.0, repeats=1
+    )
+
+
+def test_fig13_parallel_recovery(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig13_parallel_recovery(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    first, last = result.rows[0], result.rows[-1]
+    # Short interval: parallel pays fixed overhead.
+    assert first[2] > first[1]
+    # Long interval: parallel recovers faster than serial.
+    assert last[2] < last[1]

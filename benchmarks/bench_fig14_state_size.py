@@ -1,0 +1,32 @@
+"""Fig. 14: checkpointing overhead vs state size and input rate.
+
+Paper: the 95th percentile of tuple processing latency grows with the
+operator's state size (serialising the dictionary under the state lock
+steals CPU from tuple processing) and with the input rate (less headroom
+for checkpointing); without checkpointing, latency is flat and low.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig14_state_size
+
+
+def params():
+    if is_quick():
+        return dict(rates=(100.0, 500.0), duration=40.0)
+    return dict(rates=(100.0, 500.0, 1000.0), duration=60.0)
+
+
+def test_fig14_state_size(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig14_state_size(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    by_label = {row[0]: row[1:] for row in result.rows}
+    small = by_label["small (10^2)"]
+    large = by_label["large (10^5)"]
+    baseline = by_label["no checkpointing"]
+    # Latency grows with state size at every rate.
+    assert all(l > s for s, l in zip(small, large))
+    # Checkpointing costs something relative to the baseline for large state.
+    assert all(l > b for b, l in zip(baseline, large))

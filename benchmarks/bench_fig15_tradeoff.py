@@ -1,0 +1,27 @@
+"""Fig. 15: the checkpoint-interval trade-off (word count at 1000 t/s).
+
+Paper: the 95th-percentile processing latency *decreases* with longer
+checkpointing intervals (fewer serialisation stalls) while the expected
+recovery time *increases* (more tuples to replay) — the interval should
+be chosen from the anticipated failure rate and latency requirements.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import fig15_tradeoff
+
+
+def params():
+    if is_quick():
+        return dict(intervals=(1.0, 10.0, 30.0), rate=500.0)
+    return dict(intervals=(1.0, 5.0, 10.0, 15.0, 20.0, 25.0, 30.0), rate=1000.0)
+
+
+def test_fig15_tradeoff(benchmark):
+    result = benchmark.pedantic(
+        lambda: fig15_tradeoff(**params()), rounds=1, iterations=1
+    )
+    register_result(result)
+    first, last = result.rows[0], result.rows[-1]
+    assert first[1] >= last[1]  # latency overhead falls with the interval
+    assert first[2] < last[2]  # recovery time grows with the interval

@@ -1,0 +1,28 @@
+"""§6.1 headline: the maximum sustainable Linear Road load factor.
+
+Paper: L=350 with 50 VMs, the second-highest L-rating reported at the
+time; beyond that the sources and sinks saturate (~600k tuples/s of
+serialisation capacity), not the scaled-out operators.
+"""
+
+from conftest import is_quick, register_result
+
+from repro.experiments import lrating_probe
+
+
+def params():
+    if is_quick():
+        return dict(l_values=(24, 64), duration=300.0, quantum=1.0)
+    return dict(l_values=(350, 450), duration=2000.0, quantum=2.0)
+
+
+def test_lrating(benchmark):
+    result = benchmark.pedantic(lambda: lrating_probe(**params()), rounds=1, iterations=1)
+    register_result(result)
+    rows = result.rows
+    # The lower L passes the LRB constraints...
+    assert rows[0][5] is True
+    if not is_quick():
+        # ...and beyond the source/sink ceiling (~650k tuples/s) the
+        # system can no longer satisfy them no matter how many workers.
+        assert rows[1][5] is False

@@ -1,0 +1,46 @@
+"""Benchmark harness support.
+
+Each benchmark regenerates one figure of the paper (see DESIGN.md §4) and
+registers its rendered result here; the terminal summary prints them all
+after the timing table, and a copy lands in ``benchmarks/results/``.
+
+Scale control: set ``REPRO_BENCH_SCALE=quick`` for reduced parameters
+(minutes → seconds); the default regenerates the figures at paper scale.
+"""
+
+from __future__ import annotations
+
+import os
+from pathlib import Path
+
+_RESULTS: list = []
+
+RESULTS_DIR = Path(__file__).parent / "results"
+
+
+def bench_scale() -> str:
+    return os.environ.get("REPRO_BENCH_SCALE", "paper")
+
+
+def is_quick() -> bool:
+    return bench_scale() == "quick"
+
+
+def register_result(result) -> None:
+    """Record a FigureResult for the terminal summary and results dir."""
+    _RESULTS.append(result)
+    RESULTS_DIR.mkdir(exist_ok=True)
+    name = result.figure_id.lower().replace(".", "").replace(" ", "_")
+    path = RESULTS_DIR / f"{name}.txt"
+    path.write_text(result.render() + "\n")
+
+
+def pytest_terminal_summary(terminalreporter, exitstatus, config):
+    if not _RESULTS:
+        return
+    terminalreporter.write_sep("=", "regenerated figures (paper §6)")
+    terminalreporter.write_line(f"scale: {bench_scale()}")
+    for result in _RESULTS:
+        terminalreporter.write_line("")
+        for line in result.render().splitlines():
+            terminalreporter.write_line(line)

@@ -1,0 +1,73 @@
+#!/usr/bin/env python3
+"""Static cost model vs dynamic scale out (§2's "cost models [32]").
+
+The paper argues that static scale-out decisions need cost models whose
+inputs (rates, selectivities) are hard to know up front, which is why it
+scales dynamically.  This example shows both sides on the LRB query:
+
+1. the static cost model predicts the bottleneck, per-operator partition
+   counts and the critical path for a *given* peak rate;
+2. a dynamic run discovers the same structure from measurements alone;
+3. the query graph is exported as GraphViz DOT with the final partition
+   counts annotated.
+
+Run:  python examples/cost_model_analysis.py
+"""
+
+from repro.core.analysis import CostModel, critical_path, to_dot
+from repro.experiments import run_lrb
+from repro.experiments.report import render_table
+from repro.workloads.lrb import build_lrb_query
+
+NUM_XWAYS = 24
+DURATION = 240.0
+PEAK_RATE = NUM_XWAYS * 1700.0  # tuples/s at the end of the LRB ramp
+
+
+def main() -> None:
+    query = build_lrb_query(NUM_XWAYS, DURATION).graph
+
+    model = CostModel(
+        query,
+        selectivity={
+            ("forwarder", "toll_calc"): 0.99,  # position reports
+            ("forwarder", "toll_assess"): 0.01,  # balance queries
+            ("toll_calc", "toll_assess"): 0.5,  # charges (tolls > 0 only)
+        },
+    )
+    print(f"static cost model at the peak rate ({PEAK_RATE:,.0f} tuples/s):")
+    estimates = model.estimate({"feeder": PEAK_RATE})
+    print(
+        render_table(
+            ["operator", "input rate (t/s)", "CPU demand", "partitions needed"],
+            [
+                [e.name, e.input_rate, e.cpu_demand, e.partitions_needed]
+                for e in estimates
+            ],
+        )
+    )
+    print(f"\npredicted bottleneck : {model.predicted_bottleneck({'feeder': PEAK_RATE})}")
+    print(f"critical path        : {' -> '.join(critical_path(query))}")
+
+    print("\nnow the dynamic run discovers the same structure by measurement:")
+    run = run_lrb(num_xways=NUM_XWAYS, duration=DURATION, quantum=1.0, seed=9)
+    qm = run.system.query_manager
+    final = {name: qm.parallelism_of(name) for name in query.operators}
+    print(
+        render_table(
+            ["operator", "partitions (dynamic)"],
+            [[name, count] for name, count in final.items()],
+        )
+    )
+    most_split = max(
+        (n for n in final if not query.is_source(n) and not query.is_sink(n)),
+        key=final.get,
+    )
+    print(f"dynamically most-partitioned: {most_split}")
+
+    print("\nexecution graph (GraphViz DOT):")
+    print(to_dot(query, parallelism=final))
+
+
+if __name__ == "__main__":
+    main()

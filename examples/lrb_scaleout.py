@@ -1,0 +1,60 @@
+#!/usr/bin/env python3
+"""Linear Road Benchmark with dynamic scale out (the paper's §6.1 demo).
+
+Deploys the 7-operator LRB query with one VM per operator and lets the
+bottleneck detector partition operators as the input rate ramps from
+15 to 1700 tuples/s per express-way.  Prints the scale-out timeline and
+the throughput/VM series, and checks the LRB 5-second latency target.
+
+Run:  python examples/lrb_scaleout.py [num_xways]
+"""
+
+import sys
+
+from repro.experiments import run_lrb
+from repro.experiments.report import render_table, sparkline
+from repro.workloads.lrb import LATENCY_TARGET_SECONDS
+
+
+def main() -> None:
+    num_xways = int(sys.argv[1]) if len(sys.argv) > 1 else 32
+    duration = 400.0
+    print(f"Linear Road, L={num_xways}, {duration:.0f} s ramp (simulated)")
+    run = run_lrb(num_xways=num_xways, duration=duration, quantum=1.0, seed=3)
+
+    print("\nscale-out timeline:")
+    for time, kind, detail in run.system.metrics.events:
+        if kind in ("scale_out_started", "scale_out_complete", "scale_out_aborted"):
+            print(f"  t={time:7.1f}  {kind}: {detail}")
+
+    qm = run.system.query_manager
+    rows = [
+        [name, qm.parallelism_of(name)]
+        for name in qm.query.operators  # type: ignore[union-attr]
+    ]
+    print()
+    print(render_table(["operator", "partitions"], rows, title="final execution graph"))
+
+    in_t, in_rates = run.input_rate_series()
+    out_t, out_rates = run.processed_series("sink")
+    vm_t, vm_counts = run.vm_series()
+    print(f"\ninput rate : {sparkline(in_rates)}  peak {run.peak_input_rate():,.0f} t/s")
+    print(f"throughput : {sparkline(out_rates)}  peak {run.peak_throughput():,.0f} t/s")
+    print(f"worker VMs : {sparkline(vm_counts)}  final {run.final_worker_vms()}")
+
+    median = run.latency_percentile(50) * 1e3
+    p99 = run.latency_percentile(99)
+    print(f"\nlatency: median {median:.0f} ms, p99 {p99 * 1e3:.0f} ms")
+    print(
+        f"LRB {LATENCY_TARGET_SECONDS:.0f} s target met: {p99 < LATENCY_TARGET_SECONDS}"
+    )
+    collector = run.query.collector
+    print(
+        f"results: {collector.toll_notifications:,.0f} toll notifications, "
+        f"{collector.accident_alerts:,.0f} accident alerts, "
+        f"{collector.balance_responses:,.0f} balance responses"
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,77 @@
+#!/usr/bin/env python3
+"""Compare the three fault-tolerance mechanisms on one failure (§6.2).
+
+Runs the windowed word-count query three times, killing the counter's VM
+at the same instant under each strategy:
+
+* R+SM  — restore the latest checkpoint, replay a few seconds of tuples;
+* SR    — stop the source, replay its buffer through the pipeline;
+* UB    — replay the upstream operator's buffered outputs into fresh state.
+
+Prints recovery time and what happened to the query results.
+
+Run:  python examples/recovery_comparison.py
+"""
+
+from repro import StreamProcessingSystem, SystemConfig
+from repro.experiments.report import render_table
+from repro.workloads import build_word_count_query
+
+FAIL_AT = 40.0
+RATE = 400.0
+
+
+def run(strategy: str, inject_failure: bool = True):
+    query = build_word_count_query(rate=RATE, window=30.0, vocabulary_size=600)
+    config = SystemConfig()
+    config.scaling.enabled = False
+    config.fault.strategy = strategy
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    if inject_failure:
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), FAIL_AT)
+    system.run(until=110.0)
+    return system, query
+
+
+def main() -> None:
+    print(f"word count at {RATE:.0f} sentences/s; counter VM killed at t={FAIL_AT}s\n")
+    _base_system, base = run("rsm", inject_failure=False)
+
+    rows = []
+    for label, strategy in (
+        ("R+SM (checkpoint c=5 s)", "rsm"),
+        ("source replay", "source_replay"),
+        ("upstream backup", "upstream_backup"),
+        ("active replication (2x VMs)", "active_replication"),
+    ):
+        system, query = run(strategy)
+        duration = system.recovery.last_recovery_duration
+        per_window = []
+        for window in sorted(base.collector.windows()):
+            equal = base.collector.counts_for_window(
+                window
+            ) == query.collector.counts_for_window(window)
+            per_window.append("=" if equal else "≠")
+        rows.append([label, f"{duration:.2f}" if duration else "-", " ".join(per_window)])
+
+    print(
+        render_table(
+            ["strategy", "recovery time (s)", "window results vs no-failure run"],
+            rows,
+        )
+    )
+    print(
+        "\nR+SM restores state and replays only the tuples since the last\n"
+        "checkpoint: fast, cheap and exact in every window.  The replay\n"
+        "baselines re-process a full window of tuples and lose whatever\n"
+        "their buffers no longer cover (UB) or whatever the stopped source\n"
+        "never produced (SR).  Active replication is faster still (the\n"
+        "replica is hot, so recovery is just the detection delay) and also\n"
+        "exact — but it pays for a second VM per stateful operator for the\n"
+        "whole run, which is why the paper rejects it at cloud scale."
+    )
+
+
+if __name__ == "__main__":
+    main()

@@ -1,0 +1,7 @@
+"""Setup shim for environments without the wheel package (legacy editable
+installs via `pip install -e . --no-build-isolation --config-settings ...`
+or `python setup.py develop`)."""
+
+from setuptools import setup
+
+setup()

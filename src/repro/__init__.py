@@ -1,0 +1,82 @@
+"""repro — a reproduction of "Integrating Scale Out and Fault Tolerance in
+Stream Processing using Operator State Management" (SIGMOD 2013).
+
+The public API in one import::
+
+    from repro import (
+        StreamProcessingSystem, SystemConfig, QueryGraph, Operator,
+        SourceOperator, SinkOperator, build_word_count_query,
+    )
+
+See README.md for a quickstart and DESIGN.md for the system inventory.
+"""
+
+from repro.config import (
+    CheckpointConfig,
+    CloudConfig,
+    FaultToleranceConfig,
+    NetworkConfig,
+    ScalingConfig,
+    STRATEGY_NONE,
+    STRATEGY_RSM,
+    STRATEGY_SOURCE_REPLAY,
+    STRATEGY_UPSTREAM_BACKUP,
+    SystemConfig,
+)
+from repro.core import (
+    Checkpoint,
+    CostModel,
+    KeyInterval,
+    Operator,
+    OperatorContext,
+    ProcessingState,
+    QueryGraph,
+    RoutingState,
+    SpillableState,
+    Tuple,
+    WindowedJoinOperator,
+)
+from repro.errors import ReproError
+from repro.runtime import (
+    OperatorInstance,
+    SinkOperator,
+    SourceOperator,
+    StreamProcessingSystem,
+)
+from repro.workloads import build_word_count_query, build_wikipedia_topk_query
+from repro.workloads.lrb import build_lrb_query
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "Checkpoint",
+    "CostModel",
+    "CheckpointConfig",
+    "CloudConfig",
+    "FaultToleranceConfig",
+    "KeyInterval",
+    "NetworkConfig",
+    "Operator",
+    "OperatorContext",
+    "OperatorInstance",
+    "ProcessingState",
+    "QueryGraph",
+    "ReproError",
+    "RoutingState",
+    "STRATEGY_NONE",
+    "STRATEGY_RSM",
+    "STRATEGY_SOURCE_REPLAY",
+    "STRATEGY_UPSTREAM_BACKUP",
+    "ScalingConfig",
+    "SinkOperator",
+    "SpillableState",
+    "SourceOperator",
+    "StreamProcessingSystem",
+    "SystemConfig",
+    "Tuple",
+    "WindowedJoinOperator",
+    "__version__",
+    "build_lrb_query",
+    "build_word_count_query",
+    "build_wikipedia_topk_query",
+]

@@ -1,0 +1,117 @@
+"""Command-line entry point: regenerate the paper's figures.
+
+Usage::
+
+    python -m repro list
+    python -m repro fig11                # paper-scale parameters
+    python -m repro fig06 --quick        # reduced parameters
+    python -m repro all --quick
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+import time
+
+from repro.experiments import figures
+
+#: Figure name → (driver, paper-scale kwargs, quick kwargs).
+FIGURES: dict[str, tuple] = {
+    "fig06": (
+        figures.fig06_lrb_scaleout,
+        {},
+        {"num_xways": 32, "duration": 300.0, "quantum": 1.0},
+    ),
+    "fig07": (
+        figures.fig07_lrb_latency,
+        {},
+        {"num_xways": 32, "duration": 300.0, "quantum": 1.0},
+    ),
+    "fig08": (
+        figures.fig08_openloop,
+        {},
+        {"rate": 60_000.0, "duration": 200.0, "sources": 4},
+    ),
+    "fig09": (
+        figures.fig09_threshold,
+        {},
+        {"thresholds": (0.3, 0.7, 0.9), "num_xways": 16, "duration": 300.0,
+         "quantum": 1.0},
+    ),
+    "fig10": (
+        figures.fig10_manual_vs_dynamic,
+        {},
+        {"vm_budgets": (5, 8, 12), "num_xways": 16, "duration": 300.0,
+         "quantum": 1.0},
+    ),
+    "fig11": (figures.fig11_recovery_strategies, {}, {"rates": (100.0, 500.0),
+                                                      "repeats": 1}),
+    "fig12": (
+        figures.fig12_checkpoint_interval,
+        {},
+        {"intervals": (1.0, 10.0, 30.0), "rates": (100.0, 500.0)},
+    ),
+    "fig13": (
+        figures.fig13_parallel_recovery,
+        {},
+        {"intervals": (1.0, 15.0, 30.0)},
+    ),
+    "fig14": (figures.fig14_state_size, {}, {"rates": (100.0, 500.0),
+                                             "duration": 40.0}),
+    "fig15": (figures.fig15_tradeoff, {}, {"intervals": (1.0, 10.0, 30.0),
+                                           "rate": 500.0}),
+    "lrating": (
+        figures.lrating_probe,
+        {},
+        {"l_values": (24, 64), "duration": 300.0, "quantum": 1.0},
+    ),
+    "vmpool": (
+        figures.ablation_vm_pool,
+        {},
+        {"pool_sizes": (0, 3), "num_xways": 12, "duration": 250.0,
+         "quantum": 1.0, "provisioning_delay": 60.0},
+    ),
+}
+
+
+def main(argv: list[str] | None = None) -> int:
+    """Parse arguments and regenerate the requested figure(s)."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro",
+        description="Regenerate figures from the SIGMOD'13 operator state "
+        "management paper.",
+    )
+    parser.add_argument(
+        "figure",
+        help="figure id (e.g. fig11), 'all', or 'list'",
+    )
+    parser.add_argument(
+        "--quick",
+        action="store_true",
+        help="use reduced parameters (seconds instead of minutes)",
+    )
+    args = parser.parse_args(argv)
+
+    if args.figure == "list":
+        for name in FIGURES:
+            print(name)
+        return 0
+
+    names = list(FIGURES) if args.figure == "all" else [args.figure]
+    unknown = [n for n in names if n not in FIGURES]
+    if unknown:
+        parser.error(f"unknown figure(s): {', '.join(unknown)}")
+
+    for name in names:
+        driver, paper_kwargs, quick_kwargs = FIGURES[name]
+        kwargs = quick_kwargs if args.quick else paper_kwargs
+        start = time.time()
+        result = driver(**kwargs)
+        print(result.render())
+        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

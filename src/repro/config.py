@@ -1,0 +1,204 @@
+"""Configuration dataclasses for the whole system.
+
+Defaults follow the paper: checkpoint interval c = 5 s, utilisation
+reports every r = 5 s, scale out after k = 2 consecutive reports above
+δ = 70 %, VM pool in front of a provisioning delay on the order of
+minutes, EC2-"small"-like worker VMs and larger source/sink VMs.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field, replace
+
+from repro.errors import ConfigurationError
+
+#: Fault-tolerance strategy names accepted by :class:`FaultToleranceConfig`.
+STRATEGY_RSM = "rsm"
+STRATEGY_UPSTREAM_BACKUP = "upstream_backup"
+STRATEGY_SOURCE_REPLAY = "source_replay"
+STRATEGY_ACTIVE_REPLICATION = "active_replication"
+STRATEGY_NONE = "none"
+_STRATEGIES = (
+    STRATEGY_RSM,
+    STRATEGY_UPSTREAM_BACKUP,
+    STRATEGY_SOURCE_REPLAY,
+    STRATEGY_ACTIVE_REPLICATION,
+    STRATEGY_NONE,
+)
+
+
+@dataclass
+class CheckpointConfig:
+    """Periodic checkpointing (§3.2)."""
+
+    #: Checkpointing interval c in seconds.
+    interval: float = 5.0
+    #: CPU-seconds to serialise one state entry while holding the state
+    #: lock (this is the overhead measured in Fig. 14).
+    serialize_seconds_per_entry: float = 4e-6
+    #: Fixed CPU-seconds per checkpoint regardless of state size.
+    serialize_base_seconds: float = 0.002
+    #: Serialised bytes per state entry / per buffered tuple (transfer cost).
+    bytes_per_entry: float = 64.0
+    bytes_per_tuple: float = 64.0
+    #: Stagger the first checkpoint of each partition to avoid lockstep.
+    stagger: bool = True
+    #: Incremental checkpointing (§3.2, [17]): ship only entries touched
+    #: since the previous checkpoint; the backup store materialises the
+    #: delta.  Cuts serialisation and transfer cost for large, sparsely
+    #: updated state.
+    incremental: bool = False
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.interval <= 0:
+            raise ConfigurationError(f"checkpoint interval must be > 0: {self.interval}")
+        if self.serialize_seconds_per_entry < 0 or self.serialize_base_seconds < 0:
+            raise ConfigurationError("checkpoint serialisation costs must be >= 0")
+
+
+@dataclass
+class ScalingConfig:
+    """Bottleneck detection and scale-out policy (§5.1)."""
+
+    enabled: bool = True
+    #: Utilisation report period r in seconds.
+    report_interval: float = 5.0
+    #: Scale-out threshold δ as a CPU utilisation fraction.
+    threshold: float = 0.70
+    #: Number of consecutive above-threshold reports k before scaling out.
+    consecutive_reports: int = 2
+    #: Ignore an operator for this long after triggering a scale out.
+    cooldown: float = 10.0
+    #: Hard cap on worker VMs (None = unlimited).
+    max_vms: int | None = None
+    #: Cap on concurrently in-flight scale-out operations; each one
+    #: briefly pauses upstreams and replays tuples, so mass-splitting
+    #: destabilises throughput.  Recoveries are exempt.
+    max_concurrent_operations: int | None = 4
+    #: Partitions added per scale out of one slot (slot splits in two).
+    split_factor: int = 2
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.report_interval <= 0:
+            raise ConfigurationError("report_interval must be > 0")
+        if not 0 < self.threshold <= 1:
+            raise ConfigurationError(f"threshold must be in (0, 1]: {self.threshold}")
+        if self.consecutive_reports < 1:
+            raise ConfigurationError("consecutive_reports must be >= 1")
+        if self.split_factor < 2:
+            raise ConfigurationError("split_factor must be >= 2")
+
+
+@dataclass
+class FaultToleranceConfig:
+    """Failure detection and recovery (§4.2, §6.2)."""
+
+    #: "rsm" (recovery using state management), "upstream_backup",
+    #: "source_replay", "active_replication" or "none".
+    strategy: str = STRATEGY_RSM
+    #: Delay between a crash and its detection (heartbeat timeout).
+    detection_delay: float = 1.0
+    #: Parallelisation level used when recovering a failed operator;
+    #: 1 = serial recovery, >1 = parallel recovery (§4.2).
+    recovery_parallelism: int = 1
+    #: For upstream_backup / source_replay: how long tuples are retained
+    #: in buffers, typically the operator window size.
+    buffer_horizon: float = 30.0
+    #: Seconds between consecutive replayed tuple messages from one
+    #: operator — the streaming capacity of the replay channel
+    #: (serialisation + network).  Pacing replays over time lets fresh
+    #: input contend with the replay at the recovering operator (UB),
+    #: while a stopped source avoids that contention (SR).
+    replay_message_gap: float = 5.0e-5
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.strategy not in _STRATEGIES:
+            raise ConfigurationError(
+                f"unknown fault tolerance strategy {self.strategy!r}; "
+                f"expected one of {_STRATEGIES}"
+            )
+        if self.detection_delay < 0:
+            raise ConfigurationError("detection_delay must be >= 0")
+        if self.recovery_parallelism < 1:
+            raise ConfigurationError("recovery_parallelism must be >= 1")
+
+
+@dataclass
+class NetworkConfig:
+    """Point-to-point network model."""
+
+    latency: float = 0.001
+    bandwidth_bytes_per_s: float = 100e6
+    #: Wire size of one (unit-weight) tuple message.
+    tuple_bytes: float = 64.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.latency < 0 or self.bandwidth_bytes_per_s <= 0:
+            raise ConfigurationError("invalid network parameters")
+
+
+@dataclass
+class CloudConfig:
+    """IaaS provider and VM pool (§5.2)."""
+
+    #: Time to provision a fresh VM (paper: "on the order of minutes").
+    provisioning_delay: float = 90.0
+    #: Pre-allocated VM pool size p.
+    pool_size: int = 3
+    #: Time to hand a pooled VM to the SPS and deploy an operator on it.
+    pool_handout_delay: float = 1.0
+    #: CPU capacity of worker VMs (1.0 = one EC2 "small").
+    worker_capacity: float = 1.0
+    #: CPU capacity of source/sink VMs (high-memory double extra large).
+    source_sink_capacity: float = 13.0
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.provisioning_delay < 0 or self.pool_handout_delay < 0:
+            raise ConfigurationError("cloud delays must be >= 0")
+        if self.pool_size < 0:
+            raise ConfigurationError("pool_size must be >= 0")
+        if self.worker_capacity <= 0 or self.source_sink_capacity <= 0:
+            raise ConfigurationError("VM capacities must be > 0")
+
+
+@dataclass
+class SystemConfig:
+    """Top-level configuration of one SPS deployment."""
+
+    checkpoint: CheckpointConfig = field(default_factory=CheckpointConfig)
+    scaling: ScalingConfig = field(default_factory=ScalingConfig)
+    fault: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
+    network: NetworkConfig = field(default_factory=NetworkConfig)
+    cloud: CloudConfig = field(default_factory=CloudConfig)
+    #: Master seed for all randomness in the run.
+    seed: int = 0
+    #: Per-instance input queue bound in tuples (weighted).  ``None``
+    #: means unbounded (closed-loop workloads); a bound makes the system
+    #: drop tuples under overload (open-loop workloads, §6.1).
+    queue_capacity: float | None = None
+    #: Width of throughput-rate bins in seconds.
+    rate_bin: float = 1.0
+    #: Record every Nth latency sample (weight-compensated).  High-rate
+    #: runs (LRB at L=350) use decimation to bound metric memory.
+    latency_sample_every: int = 1
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        self.checkpoint.validate()
+        self.scaling.validate()
+        self.fault.validate()
+        self.network.validate()
+        self.cloud.validate()
+        if self.queue_capacity is not None and self.queue_capacity <= 0:
+            raise ConfigurationError("queue_capacity must be positive or None")
+        if self.latency_sample_every < 1:
+            raise ConfigurationError("latency_sample_every must be >= 1")
+
+    def with_overrides(self, **kwargs) -> "SystemConfig":
+        """Return a copy with top-level fields replaced."""
+        return replace(self, **kwargs)

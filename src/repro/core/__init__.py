@@ -1,0 +1,90 @@
+"""Core data model and state management primitives of the paper."""
+
+from repro.core.analysis import CostModel, OperatorEstimate, critical_path, to_dot, to_networkx
+from repro.core.checkpoint import BackupStore, Checkpoint, materialize_increment
+from repro.core.execution import ExecutionGraph, Slot
+from repro.core.join import (
+    SIDE_LEFT,
+    SIDE_RIGHT,
+    SideTagger,
+    WindowedJoinOperator,
+    tag_left,
+    tag_right,
+)
+from repro.core.operator import LambdaOperator, Operator, OperatorContext
+from repro.core.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedCounter,
+    KeyedReducer,
+    MapOperator,
+    TopKOperator,
+    WindowedKeyedCounter,
+    merge_topk,
+)
+from repro.core.partition import (
+    merge_checkpoints,
+    partition_checkpoint,
+    partition_processing_state,
+    split_interval_groups,
+)
+from repro.core.query import QueryGraph, linear_query
+from repro.core.spill import ExternalStateStore, SpillableState
+from repro.core.state import KeyInterval, OutputBuffer, ProcessingState, RoutingState
+from repro.core.tuples import KEY_SPACE, Tuple, stable_hash, total_weight
+from repro.core.window import (
+    SlidingWindowAccumulator,
+    WindowAccumulator,
+    window_index,
+    window_start,
+)
+
+__all__ = [
+    "BackupStore",
+    "CostModel",
+    "Checkpoint",
+    "ExecutionGraph",
+    "ExternalStateStore",
+    "FilterOperator",
+    "FlatMapOperator",
+    "KEY_SPACE",
+    "KeyInterval",
+    "KeyedCounter",
+    "KeyedReducer",
+    "LambdaOperator",
+    "MapOperator",
+    "Operator",
+    "OperatorContext",
+    "OperatorEstimate",
+    "OutputBuffer",
+    "ProcessingState",
+    "QueryGraph",
+    "RoutingState",
+    "SIDE_LEFT",
+    "SIDE_RIGHT",
+    "SideTagger",
+    "SlidingWindowAccumulator",
+    "Slot",
+    "SpillableState",
+    "TopKOperator",
+    "Tuple",
+    "WindowAccumulator",
+    "WindowedJoinOperator",
+    "WindowedKeyedCounter",
+    "critical_path",
+    "linear_query",
+    "materialize_increment",
+    "merge_checkpoints",
+    "merge_topk",
+    "partition_checkpoint",
+    "partition_processing_state",
+    "split_interval_groups",
+    "stable_hash",
+    "tag_left",
+    "tag_right",
+    "total_weight",
+    "to_dot",
+    "to_networkx",
+    "window_index",
+    "window_start",
+]

@@ -1,0 +1,185 @@
+"""Query-graph analysis: cost estimation, bottleneck prediction, export.
+
+The paper's §2 observes that static scale-out decisions "require
+knowledge of resource requirements of operators ... typically estimated
+by cost models [32]" and argues for dynamic decisions instead.  This
+module provides that static cost model as the comparison point (and as
+the brain behind the Fig. 10 "human expert"): given per-operator
+selectivities and costs, it propagates an input rate through the query
+graph, predicts each operator's CPU demand, the partition counts a given
+threshold implies, and the end-to-end critical path.
+
+Graphs are bridged to :mod:`networkx` for the traversals, and can be
+exported as DOT for visual inspection.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import networkx as nx
+
+from repro.core.query import QueryGraph
+from repro.errors import QueryError
+
+
+def to_networkx(query: QueryGraph) -> "nx.DiGraph":
+    """Bridge a query graph to a :class:`networkx.DiGraph`.
+
+    Nodes carry the operator object and its statefulness; edges are the
+    streams.
+    """
+    graph = nx.DiGraph()
+    for name, operator in query.operators.items():
+        graph.add_node(
+            name,
+            operator=operator,
+            stateful=operator.stateful,
+            cost_per_tuple=operator.cost_per_tuple,
+            source=query.is_source(name),
+            sink=query.is_sink(name),
+        )
+    graph.add_edges_from(query.edges)
+    return graph
+
+
+@dataclass
+class OperatorEstimate:
+    """Predicted steady-state load of one operator at a given input rate."""
+
+    name: str
+    input_rate: float
+    cpu_demand: float
+    partitions_needed: int
+    stateful: bool
+
+
+@dataclass
+class CostModel:
+    """A static cost model over a query graph (the [32]-style estimator).
+
+    ``selectivity[(u, v)]`` is the expected number of tuples emitted on
+    stream ``(u, v)`` per tuple processed by ``u`` (1.0 when omitted).
+    CPU demand is ``input_rate × cost_per_tuple`` per operator, and the
+    partition count needed is demand over per-VM capacity at the target
+    utilisation threshold.
+    """
+
+    query: QueryGraph
+    selectivity: dict[tuple[str, str], float] = field(default_factory=dict)
+    vm_capacity: float = 1.0
+    threshold: float = 0.70
+
+    def input_rates(self, source_rates: dict[str, float]) -> dict[str, float]:
+        """Propagate source rates through the graph in topological order."""
+        for name in source_rates:
+            if not self.query.is_source(name):
+                raise QueryError(f"{name} is not a source operator")
+        rates = {name: 0.0 for name in self.query.operators}
+        rates.update(source_rates)
+        for name in self.query.topological_order():
+            out_rate = rates[name]
+            for down in self.query.downstream_of(name):
+                factor = self.selectivity.get((name, down), 1.0)
+                rates[down] += out_rate * factor
+        return rates
+
+    def estimate(self, source_rates: dict[str, float]) -> list[OperatorEstimate]:
+        """Per-operator load estimates at the given source rates."""
+        rates = self.input_rates(source_rates)
+        estimates = []
+        for name in self.query.topological_order():
+            operator = self.query.operator(name)
+            demand = rates[name] * operator.cost_per_tuple
+            if self.query.is_source(name) or self.query.is_sink(name):
+                partitions = 1
+            else:
+                per_partition = self.vm_capacity * self.threshold
+                partitions = max(1, -(-int(demand * 1e9) // int(per_partition * 1e9)))
+            estimates.append(
+                OperatorEstimate(name, rates[name], demand, partitions, operator.stateful)
+            )
+        return estimates
+
+    def predicted_bottleneck(self, source_rates: dict[str, float]) -> str:
+        """The worker operator with the highest predicted CPU demand."""
+        candidates = [
+            e
+            for e in self.estimate(source_rates)
+            if not self.query.is_source(e.name) and not self.query.is_sink(e.name)
+        ]
+        if not candidates:
+            raise QueryError("query has no worker operators")
+        return max(candidates, key=lambda e: e.cpu_demand).name
+
+    def static_allocation(
+        self, source_rates: dict[str, float], budget: int | None = None
+    ) -> dict[str, int]:
+        """A static deployment plan (the Fig. 10 human expert's method).
+
+        Returns per-operator partition counts; with a ``budget`` the plan
+        is scaled proportionally (every operator keeps at least one).
+        """
+        estimates = [
+            e
+            for e in self.estimate(source_rates)
+            if not self.query.is_source(e.name) and not self.query.is_sink(e.name)
+        ]
+        plan = {e.name: e.partitions_needed for e in estimates}
+        if budget is None:
+            return plan
+        if budget < len(plan):
+            raise QueryError(f"budget {budget} below operator count {len(plan)}")
+        total = sum(plan.values())
+        scaled = {name: 1 for name in plan}
+        remaining = budget - len(plan)
+        quotas = {
+            name: remaining * count / total for name, count in plan.items()
+        }
+        for name, quota in quotas.items():
+            scaled[name] += int(quota)
+        leftovers = budget - sum(scaled.values())
+        for name in sorted(quotas, key=lambda n: quotas[n] - int(quotas[n]), reverse=True)[
+            :leftovers
+        ]:
+            scaled[name] += 1
+        return scaled
+
+
+def critical_path(query: QueryGraph) -> list[str]:
+    """The source→sink path with the highest total per-tuple cost."""
+    graph = to_networkx(query)
+    best_path: list[str] = []
+    best_cost = -1.0
+    for source in query.sources:
+        for sink in query.sinks:
+            for path in nx.all_simple_paths(graph, source, sink):
+                cost = sum(query.operator(n).cost_per_tuple for n in path)
+                if cost > best_cost:
+                    best_cost = cost
+                    best_path = list(path)
+    if not best_path:
+        raise QueryError("no source→sink path in query graph")
+    return best_path
+
+
+def to_dot(query: QueryGraph, parallelism: dict[str, int] | None = None) -> str:
+    """Render the query graph as GraphViz DOT.
+
+    Stateful operators are drawn as double circles; optional partition
+    counts annotate the labels (the execution-graph view of Fig. 1).
+    """
+    parallelism = parallelism or {}
+    lines = ["digraph query {", "  rankdir=LR;"]
+    for name, operator in query.operators.items():
+        shape = "doublecircle" if operator.stateful else "ellipse"
+        if query.is_source(name) or query.is_sink(name):
+            shape = "box"
+        label = name
+        if name in parallelism and parallelism[name] > 1:
+            label = f"{name} x{parallelism[name]}"
+        lines.append(f'  "{name}" [shape={shape}, label="{label}"];')
+    for up, down in query.edges:
+        lines.append(f'  "{up}" -> "{down}";')
+    lines.append("}")
+    return "\n".join(lines)

@@ -1,0 +1,137 @@
+"""Checkpoints of operator state (§3.2, Algorithm 1).
+
+A :class:`Checkpoint` is the value produced by ``checkpoint-state(o)``:
+a consistent snapshot of the processing state θ, the timestamp vector τ
+of the most recent input tuples reflected in it, the buffer state β, and
+the operator's output clock.  Checkpoints are shipped to an upstream VM's
+backup store and later partitioned (scale out) or restored (recovery).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.state import OutputBuffer, ProcessingState
+from repro.errors import CheckpointError
+
+
+@dataclass
+class Checkpoint:
+    """A consistent snapshot of one operator slot's externalised state.
+
+    A checkpoint is normally *full*.  With incremental checkpointing
+    (§3.2, [17]) it may instead be a *delta*: ``state`` then carries only
+    the entries touched since the base checkpoint ``base_seq`` (plus the
+    full τ vector, clock and buffers, which are cheap), and
+    ``deleted_keys`` the entries removed.  Backup stores materialise
+    deltas on arrival, so everything downstream of the store — restore,
+    partitioning, recovery — only ever sees full checkpoints.
+    """
+
+    op_name: str
+    slot_uid: int
+    state: ProcessingState
+    buffers: dict[str, OutputBuffer] = field(default_factory=dict)
+    taken_at: float = 0.0
+    seq: int = 0
+    incremental: bool = False
+    base_seq: int = 0
+    deleted_keys: frozenset = frozenset()
+
+    @property
+    def positions(self) -> dict[int, int]:
+        """The τ vector: last reflected input timestamp per connection."""
+        return self.state.positions
+
+    @property
+    def out_clock(self) -> int:
+        return self.state.out_clock
+
+    def entry_count(self) -> int:
+        """Number of processing-state entries in the snapshot."""
+        return len(self.state)
+
+    def size_bytes(self, bytes_per_entry: float = 64.0, bytes_per_tuple: float = 64.0) -> float:
+        """Approximate serialised size for network transfer cost."""
+        buffered = sum(b.tuple_count() for b in self.buffers.values())
+        return self.state.estimated_bytes(bytes_per_entry) + buffered * bytes_per_tuple
+
+
+def materialize_increment(base: Checkpoint, delta: Checkpoint) -> Checkpoint:
+    """Apply a delta checkpoint to its base, yielding a full checkpoint.
+
+    Raises :class:`CheckpointError` when the delta does not chain onto the
+    base (the owner must then fall back to a full checkpoint).
+    """
+    if not delta.incremental:
+        raise CheckpointError("materialize_increment called with a full checkpoint")
+    if base.slot_uid != delta.slot_uid or base.op_name != delta.op_name:
+        raise CheckpointError(
+            f"delta for {delta.op_name}/{delta.slot_uid} does not match base "
+            f"{base.op_name}/{base.slot_uid}"
+        )
+    if base.incremental:
+        raise CheckpointError("base checkpoint is itself a delta")
+    if base.seq != delta.base_seq:
+        raise CheckpointError(
+            f"delta chains onto seq {delta.base_seq}, store holds {base.seq}"
+        )
+    entries = dict(base.state.entries)
+    entries.update(delta.state.entries)
+    for key in delta.deleted_keys:
+        entries.pop(key, None)
+    merged = ProcessingState(
+        entries, positions=delta.positions, out_clock=delta.out_clock
+    )
+    return Checkpoint(
+        op_name=delta.op_name,
+        slot_uid=delta.slot_uid,
+        state=merged,
+        buffers=delta.buffers,
+        taken_at=delta.taken_at,
+        seq=delta.seq,
+    )
+
+
+class BackupStore:
+    """Backed-up checkpoints held on one VM (the ``backup(o)`` role).
+
+    In the paper the backup of operator *o* lives with one of *o*'s
+    upstream operators, selected by ``hash(id(o)) mod |up(o)|``; this class
+    is the container on that upstream VM.  It dies with the VM.
+    """
+
+    def __init__(self) -> None:
+        self._checkpoints: dict[int, Checkpoint] = {}
+
+    def store(self, checkpoint: Checkpoint) -> None:
+        """store-backup: keep the most recent checkpoint per owner slot."""
+        existing = self._checkpoints.get(checkpoint.slot_uid)
+        if existing is not None and existing.seq > checkpoint.seq:
+            raise CheckpointError(
+                f"stale checkpoint seq {checkpoint.seq} for slot "
+                f"{checkpoint.slot_uid} (have {existing.seq})"
+            )
+        self._checkpoints[checkpoint.slot_uid] = checkpoint
+
+    def retrieve(self, slot_uid: int) -> Checkpoint:
+        """retrieve-backup: fetch the checkpoint for ``slot_uid``."""
+        checkpoint = self._checkpoints.get(slot_uid)
+        if checkpoint is None:
+            raise CheckpointError(f"no backup for slot {slot_uid}")
+        return checkpoint
+
+    def has(self, slot_uid: int) -> bool:
+        """Whether a backup exists for ``slot_uid``."""
+        return slot_uid in self._checkpoints
+
+    def delete(self, slot_uid: int) -> None:
+        """delete-backup: release a superseded backup (Algorithm 1 line 6)."""
+        self._checkpoints.pop(slot_uid, None)
+
+    def owners(self) -> list[int]:
+        """Slot uids with a backup in this store."""
+        return list(self._checkpoints)
+
+    def __len__(self) -> int:
+        return len(self._checkpoints)

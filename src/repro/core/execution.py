@@ -1,0 +1,137 @@
+"""Physical execution graphs (§2.2).
+
+The execution graph realises a logical query: every operator *o* runs as
+``π`` partitioned slots ``o¹ … o^π``.  A :class:`Slot` is the stable
+identity of one partition; its ``uid`` is unique for the lifetime of the
+system and never reused, which is what lets duplicate detection by
+``(origin slot, timestamp)`` survive instance replacement — a recovered
+operator re-occupies the *same* slot (and continues its timestamp
+sequence from the checkpoint), while scale out creates *new* slots.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import QueryGraph
+from repro.core.state import RoutingState
+from repro.errors import QueryError
+
+
+@dataclass(frozen=True)
+class Slot:
+    """Identity of one partition of one logical operator."""
+
+    op_name: str
+    index: int
+    uid: int
+
+    def __repr__(self) -> str:
+        return f"{self.op_name}[{self.index}]#{self.uid}"
+
+
+@dataclass
+class ExecutionGraph:
+    """The current physical realisation of a query.
+
+    Maintained by the query manager: the set of live slots per logical
+    operator and the routing state *into* each logical operator (shared
+    by all of its upstream dispatchers).
+    """
+
+    query: QueryGraph
+    slots: dict[str, list[Slot]] = field(default_factory=dict)
+    routing: dict[str, RoutingState] = field(default_factory=dict)
+    _next_uid: int = 0
+
+    def new_slot(self, op_name: str, index: int) -> Slot:
+        """Mint a new slot identity (uid is unique forever)."""
+        slot = Slot(op_name, index, self._next_uid)
+        self._next_uid += 1
+        return slot
+
+    def initialise(self, parallelism: dict[str, int] | None = None) -> None:
+        """Create the initial slots (one per operator unless overridden)."""
+        parallelism = parallelism or {}
+        for name in self.query.topological_order():
+            count = parallelism.get(name, 1)
+            if count < 1:
+                raise QueryError(f"parallelism for {name} must be >= 1: {count}")
+            self.slots[name] = [self.new_slot(name, i) for i in range(count)]
+        for name, op_slots in self.slots.items():
+            self.routing[name] = self._even_routing(op_slots)
+
+    @staticmethod
+    def _even_routing(op_slots: list[Slot]) -> RoutingState:
+        from repro.core.state import KeyInterval
+
+        intervals = KeyInterval.full().split(len(op_slots))
+        return RoutingState(
+            [(interval, slot.uid) for interval, slot in zip(intervals, op_slots)]
+        )
+
+    # ---------------------------------------------------------------- reads
+
+    def slots_of(self, op_name: str) -> list[Slot]:
+        """Live slots realising ``op_name``, in partition order."""
+        slots = self.slots.get(op_name)
+        if slots is None:
+            raise QueryError(f"operator {op_name} not deployed")
+        return list(slots)
+
+    def slot_by_uid(self, uid: int) -> Slot:
+        """Look up a live slot by uid; raises QueryError if absent."""
+        for op_slots in self.slots.values():
+            for slot in op_slots:
+                if slot.uid == uid:
+                    return slot
+        raise QueryError(f"no live slot with uid {uid}")
+
+    def parallelism_of(self, op_name: str) -> int:
+        """Current number of partitions of ``op_name``."""
+        return len(self.slots_of(op_name))
+
+    def total_slots(self) -> int:
+        """Total live slots across all operators."""
+        return sum(len(s) for s in self.slots.values())
+
+    def routing_to(self, op_name: str) -> RoutingState:
+        """The routing state into ``op_name``."""
+        routing = self.routing.get(op_name)
+        if routing is None:
+            raise QueryError(f"no routing state for operator {op_name}")
+        return routing
+
+    # -------------------------------------------------------------- updates
+
+    def replace_slots(
+        self, op_name: str, removed: list[Slot], added: list[Slot]
+    ) -> None:
+        """Swap partition slots after a scale out / scale in / recovery."""
+        current = self.slots.get(op_name)
+        if current is None:
+            raise QueryError(f"operator {op_name} not deployed")
+        removed_uids = {slot.uid for slot in removed}
+        kept = [slot for slot in current if slot.uid not in removed_uids]
+        if len(kept) + len(removed) != len(current):
+            raise QueryError(
+                f"attempt to remove slots not deployed for {op_name}: {removed}"
+            )
+        self.slots[op_name] = kept + list(added)
+        for index, slot in enumerate(self.slots[op_name]):
+            # Re-number partition indices for readability; uid is identity.
+            object.__setattr__(slot, "index", index)
+
+    def set_routing(self, op_name: str, routing: RoutingState) -> None:
+        """Install routing for ``op_name`` (targets must be live slots)."""
+        live = {slot.uid for slot in self.slots_of(op_name)}
+        for _interval, target in routing:
+            if target not in live:
+                raise QueryError(
+                    f"routing for {op_name} references unknown slot uid {target}"
+                )
+        self.routing[op_name] = routing
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        counts = {name: len(slots) for name, slots in self.slots.items()}
+        return f"ExecutionGraph({counts})"

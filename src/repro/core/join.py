@@ -1,0 +1,141 @@
+"""Windowed stream-stream join — the paper's canonical stateful operator.
+
+§2 singles joins out twice: as the archetypal stateful operator, and as
+the reason partitioning must respect operator semantics ("e.g. by join
+key and table tag when using an improved repartition join [9]").  This
+module implements that repartition join:
+
+* both input streams are keyed by the join key, so the routing layer
+  already co-locates matching tuples on the same partition;
+* the per-key state value holds two window buffers tagged by *side*
+  (the "table tag"), so partitioning state by key moves both sides of
+  every key together — exactly the property Algorithm 2 relies on;
+* tuples join against the opposite side's buffer within a time window,
+  and expired entries are pruned lazily on access plus periodically via
+  the operator timer.
+
+Because the state is ordinary keyed entries, everything else in the
+system — checkpointing, backup, partitioning, recovery, scale in — works
+on joins unchanged.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.operator import Operator, OperatorContext
+from repro.core.tuples import Tuple
+from repro.errors import ConfigurationError
+
+#: Side tags carried in join input payloads.
+SIDE_LEFT = "L"
+SIDE_RIGHT = "R"
+
+
+def tag_left(value: Any) -> tuple:
+    """Wrap a payload as a left-side join input."""
+    return (SIDE_LEFT, value)
+
+
+def tag_right(value: Any) -> tuple:
+    """Wrap a payload as a right-side join input."""
+    return (SIDE_RIGHT, value)
+
+
+class WindowedJoinOperator(Operator):
+    """Key-equi join of two sides over a sliding time window.
+
+    Input payloads must be ``(side, value)`` pairs (see :func:`tag_left` /
+    :func:`tag_right`); upstream operators that feed a join wrap their
+    payloads accordingly.  For every input tuple, all opposite-side
+    entries of the same key whose event time lies within ``window``
+    seconds are matched, and ``(key, combine(left, right))`` is emitted
+    per match.
+
+    State value per key: ``{"L": [(event_time, value), ...], "R": [...]}``
+    — the two tagged window buffers of the repartition join.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        window: float = 10.0,
+        combine: Callable[[Any, Any], Any] | None = None,
+        **kwargs,
+    ):
+        if window <= 0:
+            raise ConfigurationError(f"join window must be positive: {window}")
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("cost_per_tuple", 2.0e-5)
+        kwargs.setdefault("timer_interval", window)
+        super().__init__(name, **kwargs)
+        self.window = window
+        self._combine = combine or (lambda left, right: (left, right))
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        side, value = tup.payload
+        if side not in (SIDE_LEFT, SIDE_RIGHT):
+            raise ConfigurationError(
+                f"join input payload must be tagged L/R, got {side!r}"
+            )
+        entry = ctx.state.setdefault(tup.key, {SIDE_LEFT: [], SIDE_RIGHT: []})
+        event_time = tup.created_at
+        horizon = event_time - self.window
+        other_side = SIDE_RIGHT if side == SIDE_LEFT else SIDE_LEFT
+        # Prune the opposite buffer lazily while scanning for matches.
+        kept = []
+        for other_time, other_value in entry[other_side]:
+            if other_time < horizon:
+                continue
+            kept.append((other_time, other_value))
+            if side == SIDE_LEFT:
+                ctx.emit(tup.key, self._combine(value, other_value), weight=tup.weight)
+            else:
+                ctx.emit(tup.key, self._combine(other_value, value), weight=tup.weight)
+        entry[other_side] = kept
+        entry[side].append((event_time, value))
+
+    def on_timer(self, ctx: OperatorContext) -> None:
+        """Prune expired window entries and drop empty keys."""
+        assert ctx.state is not None
+        horizon = ctx.now - 2 * self.window
+        empty = []
+        for key, entry in ctx.state.items():
+            if not isinstance(entry, dict) or SIDE_LEFT not in entry:
+                continue
+            for side in (SIDE_LEFT, SIDE_RIGHT):
+                entry[side] = [
+                    (time, value) for time, value in entry[side] if time >= horizon
+                ]
+            if not entry[SIDE_LEFT] and not entry[SIDE_RIGHT]:
+                empty.append(key)
+        for key in empty:
+            ctx.state.pop(key)
+
+    def merge_values(self, left: dict, right: dict) -> dict:
+        """Scale-in merge: concatenate both sides' window buffers."""
+        merged = {
+            SIDE_LEFT: sorted(left[SIDE_LEFT] + right[SIDE_LEFT]),
+            SIDE_RIGHT: sorted(left[SIDE_RIGHT] + right[SIDE_RIGHT]),
+        }
+        return merged
+
+
+class SideTagger(Operator):
+    """Stateless helper that tags everything it forwards with one side.
+
+    Place one in front of each join input when the upstream operators do
+    not tag their own payloads.
+    """
+
+    def __init__(self, name: str, side: str, **kwargs):
+        if side not in (SIDE_LEFT, SIDE_RIGHT):
+            raise ConfigurationError(f"side must be L or R: {side!r}")
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", 2.0e-6)
+        super().__init__(name, **kwargs)
+        self.side = side
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        ctx.emit(tup.key, (self.side, tup.payload), weight=tup.weight)

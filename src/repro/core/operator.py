@@ -1,0 +1,155 @@
+"""Operator model (§2.2).
+
+An :class:`Operator` is the *logical* definition: a deterministic function
+over input tuples with access to keyed processing state.  The physical
+realisation — one or more partitioned instances on VMs — lives in
+:mod:`repro.runtime.instance`; the same :class:`Operator` object is shared
+by all of its partitions, so implementations must keep all mutable data in
+``ctx.state`` (that is the whole point of externalised state).
+
+Operator semantics contract (what makes state partitioning correct):
+
+* processing a tuple with key *k* may only read/write state entries whose
+  key hashes into the operator partition's key intervals — in practice,
+  only entry ``k`` itself or entries derived from it with the same hash
+  (the word-count operator keyed by word, for example, touches entry
+  ``word`` only);
+* operators are deterministic and have no externally visible side effects
+  beyond emitted tuples.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.state import ProcessingState
+from repro.errors import ConfigurationError
+
+
+class OperatorContext:
+    """Everything an operator implementation may touch while processing.
+
+    The runtime instance provides a concrete context; tests can build one
+    directly for driving operators in isolation.
+    """
+
+    def __init__(
+        self,
+        state: ProcessingState | None,
+        emit: Callable[..., None],
+        now: float = 0.0,
+    ) -> None:
+        self.state = state
+        self._emit = emit
+        self.now = now
+
+    def emit(
+        self,
+        key: Any,
+        payload: Any = None,
+        weight: int = 1,
+        created_at: float | None = None,
+        to: str | None = None,
+    ) -> None:
+        """Emit an output tuple.
+
+        ``created_at`` defaults to the creation time of the tuple being
+        processed (preserving end-to-end latency lineage); timer-triggered
+        emissions default to the current simulated time.  ``to`` restricts
+        the emission to one named downstream operator (type-based routing,
+        as used by the LRB forwarder); by default the tuple goes to every
+        downstream operator.
+        """
+        self._emit(key, payload, weight, created_at, to)
+
+
+class Operator:
+    """A logical stream operator.
+
+    Parameters
+    ----------
+    name:
+        Unique name within the query graph.
+    stateful:
+        Whether the operator keeps processing state.  Stateless operators
+        have ``θ = ∅`` and recover trivially.
+    cost_per_tuple:
+        CPU-seconds of work to process one (unit-weight) tuple; this is
+        what creates compute bottlenecks.
+    state_bytes_per_entry:
+        Approximate serialised size of one state entry, used for
+        checkpoint CPU/network costs.
+    timer_interval:
+        If set, ``on_timer`` fires this often on every partition (used by
+        windowed operators to flush).
+    measure_latency:
+        Record end-to-end tuple latency when this operator finishes
+        processing a tuple (sinks default to True).
+    """
+
+    def __init__(
+        self,
+        name: str,
+        stateful: bool = False,
+        cost_per_tuple: float = 10e-6,
+        state_bytes_per_entry: float = 64.0,
+        timer_interval: float | None = None,
+        measure_latency: bool = False,
+    ) -> None:
+        if not name:
+            raise ConfigurationError("operator name must be non-empty")
+        if cost_per_tuple < 0:
+            raise ConfigurationError(f"cost_per_tuple must be >= 0: {cost_per_tuple}")
+        if timer_interval is not None and timer_interval <= 0:
+            raise ConfigurationError(
+                f"timer_interval must be positive: {timer_interval}"
+            )
+        self.name = name
+        self.stateful = stateful
+        self.cost_per_tuple = cost_per_tuple
+        self.state_bytes_per_entry = state_bytes_per_entry
+        self.timer_interval = timer_interval
+        self.measure_latency = measure_latency
+
+    # ---------------------------------------------------------------- hooks
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        """Process one input tuple.  Must be overridden."""
+        raise NotImplementedError
+
+    def on_timer(self, ctx: OperatorContext) -> None:
+        """Periodic hook for windowed operators; default does nothing."""
+
+    def initial_state(self) -> ProcessingState:
+        """Fresh processing state for a new (unrestored) partition."""
+        return ProcessingState()
+
+    def merge_values(self, left: Any, right: Any) -> Any:
+        """Combine two state values for the same key during scale in.
+
+        Correct partitioning keeps keys disjoint, so this is only needed
+        when merging partitions that both initialised a default entry.
+        """
+        raise NotImplementedError(
+            f"operator {self.name} does not define merge_values"
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        kind = "stateful" if self.stateful else "stateless"
+        return f"{type(self).__name__}({self.name!r}, {kind})"
+
+
+class LambdaOperator(Operator):
+    """A stateless operator defined by a plain function.
+
+    ``fn(tup, ctx)`` is invoked per tuple; convenient for tests and small
+    examples.
+    """
+
+    def __init__(self, name: str, fn: Callable[[Any, OperatorContext], None], **kwargs):
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, **kwargs)
+        self._fn = fn
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        self._fn(tup, ctx)

@@ -1,0 +1,210 @@
+"""Built-in operator library.
+
+Stateless: :class:`MapOperator`, :class:`FilterOperator`,
+:class:`FlatMapOperator`.  Stateful: :class:`KeyedCounter`,
+:class:`KeyedReducer`, :class:`WindowedKeyedCounter`, :class:`TopKOperator`.
+These cover the paper's evaluation queries (word split/count, map/reduce
+top-k) and give library users ready-made pieces; the LRB operators live in
+:mod:`repro.workloads.lrb.operators`.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.operator import Operator, OperatorContext
+from repro.core.window import WindowAccumulator
+
+
+class MapOperator(Operator):
+    """Apply ``fn(key, payload) -> (key, payload)`` to every tuple."""
+
+    def __init__(self, name: str, fn: Callable[[Any, Any], tuple[Any, Any]], **kwargs):
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, **kwargs)
+        self._fn = fn
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        key, payload = self._fn(tup.key, tup.payload)
+        ctx.emit(key, payload, weight=tup.weight)
+
+
+class FilterOperator(Operator):
+    """Pass through tuples for which ``predicate(key, payload)`` holds."""
+
+    def __init__(self, name: str, predicate: Callable[[Any, Any], bool], **kwargs):
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, **kwargs)
+        self._predicate = predicate
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        if self._predicate(tup.key, tup.payload):
+            ctx.emit(tup.key, tup.payload, weight=tup.weight)
+
+
+class FlatMapOperator(Operator):
+    """Emit zero or more ``(key, payload)`` pairs per input tuple.
+
+    The word splitter of the paper's running example is a flat map from a
+    sentence to its words.
+    """
+
+    def __init__(
+        self,
+        name: str,
+        fn: Callable[[Any, Any], list[tuple[Any, Any]]],
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, **kwargs)
+        self._fn = fn
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        for key, payload in self._fn(tup.key, tup.payload):
+            ctx.emit(key, payload, weight=tup.weight)
+
+
+class KeyedCounter(Operator):
+    """Maintain a running count per key; emits nothing.
+
+    The simplest possible stateful operator — its entire value is the
+    state the SPS checkpoints, partitions and restores.
+    """
+
+    def __init__(self, name: str, **kwargs):
+        kwargs.setdefault("stateful", True)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        ctx.state[tup.key] = ctx.state.get(tup.key, 0) + tup.weight
+
+    def merge_values(self, left: int, right: int) -> int:
+        return left + right
+
+
+class KeyedReducer(Operator):
+    """Fold payloads per key with ``reduce_fn(acc, payload, weight)``."""
+
+    def __init__(
+        self,
+        name: str,
+        reduce_fn: Callable[[Any, Any, int], Any],
+        zero: Callable[[], Any],
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", True)
+        super().__init__(name, **kwargs)
+        self._reduce = reduce_fn
+        self._zero = zero
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        acc = ctx.state.get(tup.key)
+        if acc is None:
+            acc = self._zero()
+        ctx.state[tup.key] = self._reduce(acc, tup.payload, tup.weight)
+
+
+class WindowedKeyedCounter(Operator):
+    """Per-key frequency counts over tumbling windows (§6.2's word count).
+
+    Windows are assigned by *event time* (the tuple's creation time at the
+    source), so replayed tuples land in their original windows and window
+    contents are independent of processing delays — this is what makes
+    "recovery does not affect query results" hold exactly.  A window is
+    flushed downstream as ``(key, (window_index, count))`` once it has
+    been closed for at least ``grace`` seconds, leaving room for recovery
+    replays to complete.
+
+    State value for key *k*: ``{window_index: count}``.
+    """
+
+    def __init__(
+        self, name: str, window: float = 30.0, grace: float = 10.0, **kwargs
+    ):
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("timer_interval", window)
+        super().__init__(name, **kwargs)
+        self.window = window
+        self.grace = grace
+        self._acc = WindowAccumulator(
+            window, add=lambda acc, _value, weight: acc + weight, zero=lambda: 0
+        )
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        buckets = ctx.state.setdefault(tup.key, {})
+        self._acc.accumulate(buckets, tup.created_at, None, tup.weight)
+
+    def on_timer(self, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        empty_keys = []
+        for key, buckets in ctx.state.items():
+            if not isinstance(buckets, dict):
+                continue
+            for index, count in self._acc.flush_closed(buckets, ctx.now - self.grace):
+                ctx.emit(key, (index, count))
+            if not buckets:
+                empty_keys.append(key)
+        for key in empty_keys:
+            ctx.state.pop(key)
+
+    def merge_values(self, left: dict, right: dict) -> dict:
+        merged = dict(left)
+        for index, count in right.items():
+            merged[index] = merged.get(index, 0) + count
+        return merged
+
+
+class TopKOperator(Operator):
+    """Maintain per-key counts and periodically emit the global top-k.
+
+    This is the stateful reducer of the paper's map/reduce-style query
+    over Wikipedia data: it keeps a frequency dictionary of visited
+    language versions and every ``emit_interval`` emits the ranking.
+    When the operator is partitioned, each partition emits a partial
+    ranking and the sink merges them (§6.1: "we use the sink to aggregate
+    the partial results").
+    """
+
+    def __init__(
+        self,
+        name: str,
+        k: int = 10,
+        emit_interval: float = 30.0,
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("timer_interval", emit_interval)
+        super().__init__(name, **kwargs)
+        self.k = k
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        ctx.state[tup.key] = ctx.state.get(tup.key, 0) + tup.weight
+
+    def on_timer(self, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        ranked = sorted(ctx.state.items(), key=lambda kv: (-kv[1], str(kv[0])))
+        top = ranked[: self.k]
+        if top:
+            ctx.emit("topk", tuple(top))
+
+    def merge_values(self, left: int, right: int) -> int:
+        return left + right
+
+
+def merge_topk(partials: list[tuple], k: int) -> list[tuple[Any, int]]:
+    """Merge partial top-k rankings from partitioned :class:`TopKOperator`s.
+
+    Partial rankings are per-partition and key-disjoint, so summing is not
+    needed — just re-rank the union.  Used by sinks.
+    """
+    combined: dict[Any, int] = {}
+    for partial in partials:
+        for key, count in partial:
+            if combined.get(key, -1) < count:
+                combined[key] = count
+    ranked = sorted(combined.items(), key=lambda kv: (-kv[1], str(kv[0])))
+    return ranked[:k]

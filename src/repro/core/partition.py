@@ -1,0 +1,166 @@
+"""State partitioning (Algorithm 2) and merging (scale in, §3.3).
+
+These are the pure (no simulator, no network) pieces of the partitioning
+machinery: splitting the key intervals owned by an operator partition,
+splitting a checkpoint's processing state along those intervals, and the
+inverse merge used for scale in.  The runtime coordinator drives them and
+adds the CPU/network costs.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, Iterable
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.state import KeyInterval, OutputBuffer, ProcessingState
+from repro.core.tuples import stable_hash
+from repro.errors import PartitionError
+
+
+def split_interval_groups(
+    owned: list[KeyInterval],
+    parts: int,
+    guide_positions: Iterable[int] | None = None,
+) -> list[list[KeyInterval]]:
+    """Split the key range owned by a partition into ``parts`` groups.
+
+    A partition normally owns one contiguous interval, but scale in can
+    leave it owning several; the split therefore works on the concatenated
+    width of all owned intervals.  Returns one (non-empty) interval group
+    per part; groups are disjoint and jointly tile ``owned``.
+
+    ``guide_positions`` optionally carries observed key positions so the
+    split can balance load instead of width (single-interval case only,
+    matching the paper's "the key distribution can be used to guide the
+    split").
+    """
+    if parts < 1:
+        raise PartitionError(f"cannot split into {parts} parts")
+    if not owned:
+        raise PartitionError("no key intervals to split")
+    if len(owned) == 1:
+        if guide_positions is not None:
+            intervals = owned[0].split_by_positions(parts, guide_positions)
+        else:
+            intervals = owned[0].split(parts)
+        return [[interval] for interval in intervals]
+
+    ordered = sorted(owned, key=lambda i: i.lo)
+    total_width = sum(i.width for i in ordered)
+    if parts > total_width:
+        raise PartitionError(
+            f"owned width {total_width} cannot produce {parts} parts"
+        )
+    groups: list[list[KeyInterval]] = [[] for _ in range(parts)]
+    # Walk the concatenated space, cutting at multiples of total/parts.
+    part_index = 0
+    consumed = 0
+    for interval in ordered:
+        cursor = interval.lo
+        while cursor < interval.hi:
+            boundary = (total_width * (part_index + 1)) // parts
+            take = min(interval.hi - cursor, boundary - consumed)
+            if take > 0:
+                groups[part_index].append(KeyInterval(cursor, cursor + take))
+                cursor += take
+                consumed += take
+            if consumed >= boundary and part_index < parts - 1:
+                part_index += 1
+    if any(not group for group in groups):
+        raise PartitionError("split produced an empty part")
+    return groups
+
+
+def position_in_groups(position: int, groups: list[list[KeyInterval]]) -> int:
+    """Index of the group containing a key-space position."""
+    for index, group in enumerate(groups):
+        for interval in group:
+            if position in interval:
+                return index
+    raise PartitionError(f"position {position} not covered by any group")
+
+
+def partition_processing_state(
+    state: ProcessingState, groups: list[list[KeyInterval]]
+) -> list[ProcessingState]:
+    """Split processing state θ across interval groups (Algorithm 2 l.5-6).
+
+    Each part receives the entries whose key hashes into its group; the τ
+    vector and output clock are copied to every part.
+    """
+    parts = [
+        ProcessingState(positions=state.positions, out_clock=state.out_clock)
+        for _ in groups
+    ]
+    for key, value in state.items():
+        index = position_in_groups(stable_hash(key), groups)
+        parts[index].entries[key] = value
+    return parts
+
+
+def partition_checkpoint(
+    checkpoint: Checkpoint,
+    groups: list[list[KeyInterval]],
+    new_slot_uids: list[int],
+) -> list[Checkpoint]:
+    """Split a backed-up checkpoint into per-partition checkpoints.
+
+    Follows Algorithm 2: processing state is split by key, τ is copied to
+    each partition, and the buffer state is assigned to the first
+    partition only (line 7) — buffered output tuples are replayed to
+    downstream operators once, not once per new partition.
+    """
+    if len(groups) != len(new_slot_uids):
+        raise PartitionError(
+            f"{len(groups)} interval groups for {len(new_slot_uids)} slots"
+        )
+    states = partition_processing_state(checkpoint.state, groups)
+    parts: list[Checkpoint] = []
+    for index, (state, slot_uid) in enumerate(zip(states, new_slot_uids)):
+        buffers = (
+            {name: buf.snapshot() for name, buf in checkpoint.buffers.items()}
+            if index == 0
+            else {}
+        )
+        parts.append(
+            Checkpoint(
+                op_name=checkpoint.op_name,
+                slot_uid=slot_uid,
+                state=state,
+                buffers=buffers,
+                taken_at=checkpoint.taken_at,
+                seq=checkpoint.seq,
+            )
+        )
+    return parts
+
+
+def merge_checkpoints(
+    left: Checkpoint,
+    right: Checkpoint,
+    merge_value: Callable | None = None,
+) -> Checkpoint:
+    """Merge two partitions' checkpoints into one (scale in, §3.3)."""
+    if left.op_name != right.op_name:
+        raise PartitionError(
+            f"cannot merge checkpoints of {left.op_name} and {right.op_name}"
+        )
+    state = left.state.merge(right.state, merge_value)
+    buffers: dict[str, OutputBuffer] = {
+        name: buf.snapshot() for name, buf in left.buffers.items()
+    }
+    for name, buf in right.buffers.items():
+        if name in buffers:
+            for dest in buf.destinations():
+                for tup in buf.tuples_for(dest):
+                    buffers[name].append(dest, tup)
+        else:
+            buffers[name] = buf.snapshot()
+    return Checkpoint(
+        op_name=left.op_name,
+        slot_uid=left.slot_uid,
+        state=state,
+        buffers=buffers,
+        taken_at=max(left.taken_at, right.taken_at),
+        seq=max(left.seq, right.seq),
+    )

@@ -1,0 +1,159 @@
+"""Logical query graphs (§2.2).
+
+A query is a DAG of operators with dedicated source and sink operators.
+Sources and sinks are ordinary :class:`~repro.core.operator.Operator`
+objects flagged on the graph; the paper assumes they cannot fail, which
+the runtime honours by never injecting failures into their VMs.
+"""
+
+from __future__ import annotations
+
+from typing import Iterable
+
+from repro.core.operator import Operator
+from repro.errors import QueryError
+
+
+class QueryGraph:
+    """A directed acyclic graph of logical operators."""
+
+    def __init__(self) -> None:
+        self._operators: dict[str, Operator] = {}
+        self._edges: list[tuple[str, str]] = []
+        self._sources: set[str] = set()
+        self._sinks: set[str] = set()
+
+    # -------------------------------------------------------------- building
+
+    def add_operator(
+        self, operator: Operator, source: bool = False, sink: bool = False
+    ) -> Operator:
+        """Register an operator; returns it for chaining."""
+        if operator.name in self._operators:
+            raise QueryError(f"duplicate operator name: {operator.name}")
+        self._operators[operator.name] = operator
+        if source:
+            self._sources.add(operator.name)
+        if sink:
+            self._sinks.add(operator.name)
+        return operator
+
+    def connect(self, upstream: str, downstream: str) -> None:
+        """Add a stream ``(upstream, downstream)``."""
+        for name in (upstream, downstream):
+            if name not in self._operators:
+                raise QueryError(f"unknown operator: {name}")
+        if upstream == downstream:
+            raise QueryError(f"self-loop on operator {upstream}")
+        edge = (upstream, downstream)
+        if edge in self._edges:
+            raise QueryError(f"duplicate stream {edge}")
+        self._edges.append(edge)
+
+    def chain(self, *names: str) -> None:
+        """Connect a linear pipeline ``names[0] → names[1] → ...``."""
+        for up, down in zip(names, names[1:]):
+            self.connect(up, down)
+
+    # -------------------------------------------------------------- queries
+
+    @property
+    def operators(self) -> dict[str, Operator]:
+        return dict(self._operators)
+
+    def operator(self, name: str) -> Operator:
+        """Look up an operator by name; raises QueryError if unknown."""
+        op = self._operators.get(name)
+        if op is None:
+            raise QueryError(f"unknown operator: {name}")
+        return op
+
+    @property
+    def edges(self) -> list[tuple[str, str]]:
+        return list(self._edges)
+
+    def upstream_of(self, name: str) -> list[str]:
+        """up(o): operators with a stream into ``name``."""
+        return [u for u, d in self._edges if d == name]
+
+    def downstream_of(self, name: str) -> list[str]:
+        """down(o): operators fed by ``name``."""
+        return [d for u, d in self._edges if u == name]
+
+    @property
+    def sources(self) -> list[str]:
+        return sorted(self._sources)
+
+    @property
+    def sinks(self) -> list[str]:
+        return sorted(self._sinks)
+
+    def is_source(self, name: str) -> bool:
+        """Whether ``name`` is a source operator."""
+        return name in self._sources
+
+    def is_sink(self, name: str) -> bool:
+        """Whether ``name`` is a sink operator."""
+        return name in self._sinks
+
+    def topological_order(self) -> list[str]:
+        """Operator names in topological order; raises on cycles."""
+        indegree = {name: 0 for name in self._operators}
+        for _up, down in self._edges:
+            indegree[down] += 1
+        ready = sorted(name for name, deg in indegree.items() if deg == 0)
+        order: list[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            for down in self.downstream_of(name):
+                indegree[down] -= 1
+                if indegree[down] == 0:
+                    ready.append(down)
+            ready.sort()
+        if len(order) != len(self._operators):
+            raise QueryError("query graph contains a cycle")
+        return order
+
+    def validate(self) -> None:
+        """Check the structural assumptions of §2.2."""
+        if not self._operators:
+            raise QueryError("empty query graph")
+        self.topological_order()  # raises on cycles
+        if not self._sources:
+            raise QueryError("query graph has no source operator")
+        if not self._sinks:
+            raise QueryError("query graph has no sink operator")
+        for name in self._sources:
+            if self.upstream_of(name):
+                raise QueryError(f"source {name} must not have inputs")
+        for name in self._sinks:
+            if self.downstream_of(name):
+                raise QueryError(f"sink {name} must not have outputs")
+        for name in self._operators:
+            if name in self._sources or name in self._sinks:
+                continue
+            if not self.upstream_of(name):
+                raise QueryError(f"operator {name} has no inputs")
+            if not self.downstream_of(name):
+                raise QueryError(f"operator {name} has no outputs")
+
+    def stateful_operators(self) -> list[str]:
+        """Names of all stateful operators in the graph."""
+        return [name for name, op in self._operators.items() if op.stateful]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"QueryGraph({len(self._operators)} ops, {len(self._edges)} streams)"
+
+
+def linear_query(operators: Iterable[Operator]) -> QueryGraph:
+    """Build a linear pipeline; first operator is the source, last the sink."""
+    ops = list(operators)
+    if len(ops) < 2:
+        raise QueryError("a linear query needs at least a source and a sink")
+    graph = QueryGraph()
+    for index, op in enumerate(ops):
+        graph.add_operator(op, source=index == 0, sink=index == len(ops) - 1)
+    graph.chain(*[op.name for op in ops])
+    graph.validate()
+    return graph

@@ -1,0 +1,227 @@
+"""State spilling and external persistence (§3.3 extensions).
+
+Beyond the minimum primitive set, the paper sketches two further state
+operations:
+
+* **spill** — "for operators with large state sizes, a spill operation
+  can temporarily store state on disk, freeing memory resources" [19];
+* **persist** — "part of the operator state can be supported by external
+  storage through a persist operation" [3].
+
+:class:`SpillableState` is a drop-in :class:`ProcessingState` whose cold
+entries can be pushed to a (simulated) disk tier; reads transparently
+fault entries back in, and an ``io_cost`` callback lets the runtime
+charge the disk time to the hosting VM.  Checkpoints cover both tiers, so
+all scale-out/recovery machinery keeps working on spilled state.
+
+:class:`ExternalStateStore` models the persist operation: a write-through
+copy of selected entries in reliable external storage, usable as a
+recovery source of last resort when every backup died.
+"""
+
+from __future__ import annotations
+
+from collections import OrderedDict
+from typing import Any, Callable
+
+from repro.core.state import ProcessingState
+from repro.errors import StateError
+
+#: Default simulated disk cost per entry moved (seconds of I/O).
+DEFAULT_SPILL_IO_SECONDS = 5e-6
+
+
+class SpillableState(ProcessingState):
+    """Processing state with a hot (memory) and a cold (disk) tier.
+
+    ``max_hot_entries`` bounds the memory tier; accesses keep it LRU-ish
+    by re-inserting touched keys.  ``io_cost(seconds)`` is invoked for
+    every spill/fault so the runtime can charge the VM.
+    """
+
+    def __init__(
+        self,
+        entries: dict[Any, Any] | None = None,
+        positions: dict[int, int] | None = None,
+        out_clock: int = 0,
+        max_hot_entries: int = 100_000,
+        io_seconds_per_entry: float = DEFAULT_SPILL_IO_SECONDS,
+        io_cost: Callable[[float], None] | None = None,
+    ) -> None:
+        super().__init__(entries, positions, out_clock)
+        if max_hot_entries < 1:
+            raise StateError(f"max_hot_entries must be >= 1: {max_hot_entries}")
+        self.entries = OrderedDict(self.entries)
+        self.max_hot_entries = max_hot_entries
+        self.io_seconds_per_entry = io_seconds_per_entry
+        self._io_cost = io_cost
+        self._spilled: dict[Any, Any] = {}
+        self.spill_count = 0
+        self.fault_count = 0
+
+    # ------------------------------------------------------------- access
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.entries or key in self._spilled
+
+    def __getitem__(self, key: Any) -> Any:
+        if key in self.entries:
+            self.entries.move_to_end(key)
+            value = self.entries[key]
+        elif key in self._spilled:
+            value = self._fault_in(key)
+        else:
+            raise KeyError(key)
+        if self.dirty is not None and isinstance(value, (dict, list, set)):
+            self.dirty.add(key)
+        return value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """Read a key from either tier, with a default."""
+        if key in self:
+            return self[key]
+        return default
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        """Read-or-insert across both tiers."""
+        if key in self:
+            return self[key]
+        self[key] = default
+        return default
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """Remove a key from whichever tier holds it."""
+        if self.dirty is not None and key in self:
+            self.dirty.add(key)
+        if key in self._spilled:
+            return self._spilled.pop(key)
+        return self.entries.pop(key, default)
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if self.dirty is not None:
+            self.dirty.add(key)
+        self._spilled.pop(key, None)
+        self.entries[key] = value
+        self.entries.move_to_end(key)
+        if len(self.entries) > self.max_hot_entries:
+            self.spill(len(self.entries) - self.max_hot_entries)
+
+    def keys(self):
+        """All keys, hot tier first."""
+        return list(self.entries.keys()) + list(self._spilled.keys())
+
+    def items(self):
+        """Iterate (key, value) pairs across both tiers."""
+        yield from self.entries.items()
+        yield from self._spilled.items()
+
+    def __len__(self) -> int:
+        return len(self.entries) + len(self._spilled)
+
+    # -------------------------------------------------------------- tiers
+
+    @property
+    def hot_entries(self) -> int:
+        return len(self.entries)
+
+    @property
+    def spilled_entries(self) -> int:
+        return len(self._spilled)
+
+    def spill(self, count: int | None = None) -> int:
+        """Move the ``count`` least-recently-used entries to disk."""
+        if count is None:
+            count = max(0, len(self.entries) - self.max_hot_entries)
+        moved = 0
+        while moved < count and self.entries:
+            key, value = self.entries.popitem(last=False)
+            self._spilled[key] = value
+            moved += 1
+        if moved:
+            self.spill_count += moved
+            self._charge(moved)
+        return moved
+
+    def _fault_in(self, key: Any) -> Any:
+        value = self._spilled.pop(key)
+        self.entries[key] = value
+        self.fault_count += 1
+        self._charge(1)
+        if len(self.entries) > self.max_hot_entries:
+            self.spill(len(self.entries) - self.max_hot_entries)
+        return value
+
+    def _charge(self, entries: int) -> None:
+        if self._io_cost is not None:
+            self._io_cost(entries * self.io_seconds_per_entry)
+
+    # ----------------------------------------------- state-management ops
+
+    def raw_get(self, key, default=None):
+        """Read either tier without LRU movement, marking or I/O cost."""
+        if key in self.entries:
+            return self.entries[key]
+        return self._spilled.get(key, default)
+
+    def snapshot(self) -> ProcessingState:
+        """Checkpoints cover both tiers (flattened to a plain state)."""
+        flat = ProcessingState(positions=self.positions, out_clock=self.out_clock)
+        for key, value in self.items():
+            flat.entries[key] = _copy(value)
+        return flat
+
+    def estimated_bytes(self, bytes_per_entry: float = 64.0) -> float:
+        return len(self) * bytes_per_entry
+
+
+def _copy(value: Any) -> Any:
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, set):
+        return set(value)
+    return value
+
+
+class ExternalStateStore:
+    """Reliable external storage for the persist operation.
+
+    A write-through mirror of selected state entries, keyed by
+    ``(op_name, key)``.  Unlike backup stores it survives any VM failure;
+    the trade-off is a per-write cost, charged through ``write_cost``.
+    """
+
+    def __init__(
+        self,
+        write_seconds_per_entry: float = 2e-5,
+        write_cost: Callable[[float], None] | None = None,
+    ) -> None:
+        self._data: dict[tuple[str, Any], Any] = {}
+        self.write_seconds_per_entry = write_seconds_per_entry
+        self._write_cost = write_cost
+        self.writes = 0
+        self.reads = 0
+
+    def persist(self, op_name: str, key: Any, value: Any) -> None:
+        """Write-through one entry to external storage."""
+        self._data[(op_name, key)] = _copy(value)
+        self.writes += 1
+        if self._write_cost is not None:
+            self._write_cost(self.write_seconds_per_entry)
+
+    def lookup(self, op_name: str, key: Any, default: Any = None) -> Any:
+        """Read one persisted entry."""
+        self.reads += 1
+        return self._data.get((op_name, key), default)
+
+    def restore_all(self, op_name: str) -> dict[Any, Any]:
+        """Recovery of last resort: every persisted entry of an operator."""
+        return {
+            key: _copy(value)
+            for (name, key), value in self._data.items()
+            if name == op_name
+        }
+
+    def __len__(self) -> int:
+        return len(self._data)

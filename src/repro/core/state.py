@@ -1,0 +1,499 @@
+"""Query state: processing, buffer and routing state (§3.1 of the paper).
+
+The paper divides externalised operator state into three parts:
+
+* **processing state** ``θ`` — a set of key/value pairs summarising the
+  history of processed tuples, plus the timestamp vector ``τ`` of the most
+  recent input tuples reflected in it;
+* **buffer state** ``β`` — output tuples kept for downstream replay, per
+  partitioned downstream operator;
+* **routing state** ``ρ`` — the key-interval → partition mapping used to
+  dispatch tuples to a partitioned downstream operator.
+
+This module implements those three structures together with the key-space
+machinery (intervals over a 32-bit hash space) they are defined on.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable, Iterable, Iterator
+
+from repro.core.tuples import KEY_SPACE, Tuple, stable_hash
+from repro.errors import KeySpaceError, PartitionError, StateError
+
+
+class KeyInterval:
+    """A half-open interval ``[lo, hi)`` in the partitioning key space."""
+
+    __slots__ = ("lo", "hi")
+
+    def __init__(self, lo: int, hi: int) -> None:
+        if not 0 <= lo < hi <= KEY_SPACE:
+            raise KeySpaceError(f"invalid key interval [{lo}, {hi})")
+        self.lo = lo
+        self.hi = hi
+
+    @classmethod
+    def full(cls) -> "KeyInterval":
+        """The interval covering the whole key space."""
+        return cls(0, KEY_SPACE)
+
+    def __contains__(self, position: int) -> bool:
+        return self.lo <= position < self.hi
+
+    def contains_key(self, key: Any) -> bool:
+        """Whether a semantic key hashes into this interval."""
+        return stable_hash(key) in self
+
+    @property
+    def width(self) -> int:
+        return self.hi - self.lo
+
+    def split(self, parts: int) -> list["KeyInterval"]:
+        """Split evenly into ``parts`` sub-intervals (hash partitioning)."""
+        if parts < 1:
+            raise PartitionError(f"cannot split into {parts} parts")
+        if parts > self.width:
+            raise PartitionError(
+                f"interval of width {self.width} cannot produce {parts} parts"
+            )
+        bounds = [self.lo + (self.width * i) // parts for i in range(parts)]
+        bounds.append(self.hi)
+        return [KeyInterval(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+    def split_by_positions(
+        self, parts: int, positions: Iterable[int]
+    ) -> list["KeyInterval"]:
+        """Split into ``parts`` intervals balancing the observed key load.
+
+        ``positions`` are key-space positions of recently processed keys;
+        the paper notes "the key distribution can be used to guide the
+        split".  Falls back to an even split when there is no usable
+        distribution.
+        """
+        inside = sorted(p for p in positions if p in self)
+        if parts < 1:
+            raise PartitionError(f"cannot split into {parts} parts")
+        if len(inside) < parts:
+            return self.split(parts)
+        bounds = [self.lo]
+        for i in range(1, parts):
+            cut = inside[(len(inside) * i) // parts]
+            # Guard against duplicate cut points collapsing an interval.
+            cut = max(cut, bounds[-1] + 1)
+            if cut >= self.hi:
+                return self.split(parts)
+            bounds.append(cut)
+        bounds.append(self.hi)
+        return [KeyInterval(bounds[i], bounds[i + 1]) for i in range(parts)]
+
+    def adjacent_to(self, other: "KeyInterval") -> bool:
+        """Whether the two intervals share a boundary."""
+        return self.hi == other.lo or other.hi == self.lo
+
+    def merge(self, other: "KeyInterval") -> "KeyInterval":
+        """Merge with an adjacent interval (scale in, §3.3)."""
+        if not self.adjacent_to(other):
+            raise KeySpaceError(f"cannot merge non-adjacent {self} and {other}")
+        return KeyInterval(min(self.lo, other.lo), max(self.hi, other.hi))
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, KeyInterval):
+            return NotImplemented
+        return self.lo == other.lo and self.hi == other.hi
+
+    def __hash__(self) -> int:
+        return hash((self.lo, self.hi))
+
+    def __repr__(self) -> str:
+        return f"[{self.lo}, {self.hi})"
+
+
+class RoutingState:
+    """Key-interval routing for one partitioned downstream operator (ρ).
+
+    Maps disjoint intervals that jointly cover the key space to the slot
+    uids of the downstream partitions.  The structure is owned by the
+    query manager and mirrored into upstream dispatchers; it changes only
+    on scale out / scale in / recovery, never during normal processing.
+    """
+
+    def __init__(self, entries: Iterable[tuple[KeyInterval, int]]) -> None:
+        self._entries = sorted(entries, key=lambda e: e[0].lo)
+        self._validate()
+
+    @classmethod
+    def single(cls, target: int) -> "RoutingState":
+        """Routing for an unpartitioned operator: everything to one slot."""
+        return cls([(KeyInterval.full(), target)])
+
+    def _validate(self) -> None:
+        if not self._entries:
+            raise KeySpaceError("routing state must have at least one entry")
+        expected_lo = 0
+        for interval, _target in self._entries:
+            if interval.lo != expected_lo:
+                raise KeySpaceError(
+                    f"routing intervals must tile the key space; gap/overlap "
+                    f"at {expected_lo} (found {interval})"
+                )
+            expected_lo = interval.hi
+        if expected_lo != KEY_SPACE:
+            raise KeySpaceError(
+                f"routing intervals must cover the key space; end at {expected_lo}"
+            )
+
+    def __iter__(self) -> Iterator[tuple[KeyInterval, int]]:
+        return iter(self._entries)
+
+    def __len__(self) -> int:
+        return len(self._entries)
+
+    @property
+    def targets(self) -> list[int]:
+        """Slot uids in key-interval order (may contain repeats)."""
+        return [target for _interval, target in self._entries]
+
+    def route_position(self, position: int) -> int:
+        """Slot uid responsible for a key-space ``position``."""
+        lo, hi = 0, len(self._entries) - 1
+        while lo < hi:
+            mid = (lo + hi) // 2
+            if position < self._entries[mid][0].hi:
+                hi = mid
+            else:
+                lo = mid + 1
+        interval, target = self._entries[lo]
+        if position not in interval:
+            raise KeySpaceError(f"position {position} not covered by {interval}")
+        return target
+
+    def route_key(self, key: Any) -> int:
+        """Slot uid responsible for a semantic key."""
+        return self.route_position(stable_hash(key))
+
+    def intervals_of(self, target: int) -> list[KeyInterval]:
+        """All intervals currently owned by ``target``."""
+        return [interval for interval, t in self._entries if t == target]
+
+    def replace_target(
+        self, old_target: int, replacements: list[tuple[KeyInterval, int]]
+    ) -> "RoutingState":
+        """Return a new routing state with ``old_target``'s intervals
+        replaced by ``replacements`` (Algorithm 2, partition-routing-state).
+
+        The replacements must exactly tile the intervals previously owned
+        by ``old_target``.
+        """
+        owned = self.intervals_of(old_target)
+        if not owned:
+            raise KeySpaceError(f"target {old_target} not present in routing state")
+        owned_width = sum(i.width for i in owned)
+        repl_width = sum(i.width for i, _t in replacements)
+        if owned_width != repl_width:
+            raise KeySpaceError(
+                f"replacements cover width {repl_width}, expected {owned_width}"
+            )
+        kept = [(i, t) for i, t in self._entries if t != old_target]
+        return RoutingState(kept + list(replacements))
+
+    def reassign(self, old_target: int, new_target: int) -> "RoutingState":
+        """Point ``old_target``'s intervals at ``new_target`` (recovery)."""
+        return RoutingState(
+            [(i, new_target if t == old_target else t) for i, t in self._entries]
+        )
+
+    def merge_targets(self, survivor: int, removed: int) -> "RoutingState":
+        """Give ``removed``'s intervals to ``survivor`` (scale in, §3.3)."""
+        if not self.intervals_of(removed):
+            raise KeySpaceError(f"target {removed} not present in routing state")
+        merged = [(i, survivor if t == removed else t) for i, t in self._entries]
+        return RoutingState(_coalesce(merged))
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = ", ".join(f"{i}→{t}" for i, t in self._entries)
+        return f"RoutingState({inner})"
+
+
+def _coalesce(
+    entries: list[tuple[KeyInterval, int]]
+) -> list[tuple[KeyInterval, int]]:
+    entries = sorted(entries, key=lambda e: e[0].lo)
+    out: list[tuple[KeyInterval, int]] = []
+    for interval, target in entries:
+        if out and out[-1][1] == target and out[-1][0].hi == interval.lo:
+            out[-1] = (out[-1][0].merge(interval), target)
+        else:
+            out.append((interval, target))
+    return out
+
+
+class ProcessingState:
+    """An operator's processing state θ with its timestamp vector τ.
+
+    ``positions`` maps each input connection (origin slot uid) to the
+    timestamp of the most recent tuple from that connection reflected in
+    the state — the τ vector returned by ``get-processing-state`` in the
+    paper.  ``out_clock`` snapshots the operator's logical output clock so
+    a restored operator resumes emitting from the right timestamp (§3.2).
+    """
+
+    def __init__(
+        self,
+        entries: dict[Any, Any] | None = None,
+        positions: dict[int, int] | None = None,
+        out_clock: int = 0,
+    ) -> None:
+        self.entries: dict[Any, Any] = dict(entries) if entries else {}
+        self.positions: dict[int, int] = dict(positions) if positions else {}
+        self.out_clock = out_clock
+        #: Keys touched since the last consume — ``None`` when dirty
+        #: tracking is off.  Reads of mutable values count as touches
+        #: (operators mutate nested containers in place), which makes the
+        #: set a conservative superset of actual changes — exactly what
+        #: incremental checkpointing needs.
+        self.dirty: set[Any] | None = None
+
+    # Mapping-style access used by operator implementations -----------------
+
+    def __contains__(self, key: Any) -> bool:
+        return key in self.entries
+
+    def __getitem__(self, key: Any) -> Any:
+        value = self.entries[key]
+        if self.dirty is not None and isinstance(value, (dict, list, set)):
+            self.dirty.add(key)
+        return value
+
+    def __setitem__(self, key: Any, value: Any) -> None:
+        if self.dirty is not None:
+            self.dirty.add(key)
+        self.entries[key] = value
+
+    def get(self, key: Any, default: Any = None) -> Any:
+        """dict.get over the state entries (marks dirty on mutable reads)."""
+        if key in self.entries:
+            return self[key]
+        return default
+
+    def setdefault(self, key: Any, default: Any) -> Any:
+        """dict.setdefault over the state entries (marks dirty)."""
+        if key in self.entries:
+            return self[key]
+        self[key] = default
+        return default
+
+    def pop(self, key: Any, default: Any = None) -> Any:
+        """dict.pop over the state entries (marks dirty)."""
+        if self.dirty is not None and key in self.entries:
+            self.dirty.add(key)
+        return self.entries.pop(key, default)
+
+    def raw_get(self, key: Any, default: Any = None) -> Any:
+        """Read without dirty-marking or tier movement (checkpoint path)."""
+        return self.entries.get(key, default)
+
+    # Dirty tracking for incremental checkpoints ----------------------------
+
+    def enable_dirty_tracking(self) -> None:
+        """Start tracking touched keys (incremental checkpointing)."""
+        if self.dirty is None:
+            self.dirty = set()
+
+    def consume_dirty(self) -> set[Any]:
+        """Return and reset the set of keys touched since the last call."""
+        if self.dirty is None:
+            return set()
+        touched = self.dirty
+        self.dirty = set()
+        return touched
+
+    def keys(self):
+        """Keys of the processing-state entries."""
+        return self.entries.keys()
+
+    def items(self):
+        """(key, value) pairs of the processing-state entries."""
+        return self.entries.items()
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # State-management operations -------------------------------------------
+
+    def snapshot(self) -> "ProcessingState":
+        """A consistent copy, as taken under the operator's state lock."""
+        return ProcessingState(
+            entries={k: _copy_value(v) for k, v in self.entries.items()},
+            positions=self.positions,
+            out_clock=self.out_clock,
+        )
+
+    def advance(self, slot_uid: int, ts: int) -> None:
+        """Record that the tuple ``ts`` from ``slot_uid`` is now reflected."""
+        current = self.positions.get(slot_uid, -1)
+        if ts > current:
+            self.positions[slot_uid] = ts
+
+    def partition(self, intervals: list[KeyInterval]) -> list["ProcessingState"]:
+        """Split by key interval (Algorithm 2, partition-processing-state).
+
+        Every entry must fall into exactly one interval; τ and the output
+        clock are copied to every part, as in the paper (line 6).
+        """
+        parts = [
+            ProcessingState(positions=self.positions, out_clock=self.out_clock)
+            for _ in intervals
+        ]
+        for key, value in self.entries.items():
+            position = stable_hash(key)
+            for interval, part in zip(intervals, parts):
+                if position in interval:
+                    part.entries[key] = value
+                    break
+            else:
+                raise PartitionError(
+                    f"key {key!r} (pos {position}) not covered by split intervals"
+                )
+        return parts
+
+    def merge(
+        self,
+        other: "ProcessingState",
+        merge_value: Callable[[Any, Any], Any] | None = None,
+    ) -> "ProcessingState":
+        """Merge two partitions' state (scale in, §3.3).
+
+        Keys are disjoint after a correct partitioning; overlapping keys
+        require ``merge_value`` to combine the two values.
+        """
+        merged = ProcessingState(
+            entries=self.entries,
+            positions=self.positions,
+            out_clock=max(self.out_clock, other.out_clock),
+        )
+        for key, value in other.entries.items():
+            if key in merged.entries:
+                if merge_value is None:
+                    raise StateError(
+                        f"key {key!r} present in both partitions and no "
+                        "merge function given"
+                    )
+                merged.entries[key] = merge_value(merged.entries[key], value)
+            else:
+                merged.entries[key] = value
+        for slot_uid, ts in other.positions.items():
+            if merged.positions.get(slot_uid, -1) < ts:
+                merged.positions[slot_uid] = ts
+        return merged
+
+    def estimated_bytes(self, bytes_per_entry: float = 64.0) -> float:
+        """Approximate serialised size, used for checkpoint transfer cost."""
+        return len(self.entries) * bytes_per_entry
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"ProcessingState({len(self.entries)} entries, τ={self.positions}, "
+            f"clock={self.out_clock})"
+        )
+
+
+def _copy_value(value: Any) -> Any:
+    """Copy one state value. Containers are copied one level deep; operator
+    values are conventionally flat (counters, small dicts/lists)."""
+    if isinstance(value, dict):
+        return dict(value)
+    if isinstance(value, list):
+        return list(value)
+    if isinstance(value, set):
+        return set(value)
+    return value
+
+
+class OutputBuffer:
+    """Buffer state β toward one (possibly partitioned) downstream operator.
+
+    Tuples are appended in emission order, so timestamps are monotone per
+    destination slot and trimming removes a prefix.
+    """
+
+    def __init__(self) -> None:
+        self._by_dest: dict[int, list[Tuple]] = {}
+
+    def append(self, dest_slot: int, tup: Tuple) -> None:
+        """Buffer one emitted tuple for ``dest_slot``."""
+        self._by_dest.setdefault(dest_slot, []).append(tup)
+
+    def destinations(self) -> list[int]:
+        """Destination slot uids with buffered tuples."""
+        return list(self._by_dest)
+
+    def tuples_for(self, dest_slot: int) -> list[Tuple]:
+        """Buffered tuples for one destination, oldest first."""
+        return list(self._by_dest.get(dest_slot, ()))
+
+    def tuples_after(self, dest_slot: int, ts: int) -> list[Tuple]:
+        """Buffered tuples for ``dest_slot`` with timestamps beyond ``ts``."""
+        return [t for t in self._by_dest.get(dest_slot, ()) if t.ts > ts]
+
+    def trim(self, dest_slot: int, ts: int) -> int:
+        """Drop tuples with timestamps ≤ ``ts``; returns how many."""
+        tuples = self._by_dest.get(dest_slot)
+        if not tuples:
+            return 0
+        kept = [t for t in tuples if t.ts > ts]
+        dropped = len(tuples) - len(kept)
+        if kept:
+            self._by_dest[dest_slot] = kept
+        else:
+            del self._by_dest[dest_slot]
+        return dropped
+
+    def trim_by_age(self, cutoff: float) -> int:
+        """Drop tuples created before ``cutoff`` (upstream-backup retention).
+
+        Used by the baseline fault-tolerance strategies, which have no
+        checkpoints to trim against and instead retain a window's worth of
+        tuples by age.
+        """
+        dropped = 0
+        for dest in list(self._by_dest):
+            tuples = self._by_dest[dest]
+            kept = [t for t in tuples if t.created_at >= cutoff]
+            dropped += len(tuples) - len(kept)
+            if kept:
+                self._by_dest[dest] = kept
+            else:
+                del self._by_dest[dest]
+        return dropped
+
+    def drop_destination(self, dest_slot: int) -> None:
+        """Forget all buffered tuples for one destination."""
+        self._by_dest.pop(dest_slot, None)
+
+    def repartition(self, route: Callable[[Tuple], int]) -> None:
+        """Reassign every buffered tuple to the destination chosen by
+        ``route`` (Algorithm 2, partition-buffer-state)."""
+        tuples = [t for bucket in self._by_dest.values() for t in bucket]
+        tuples.sort(key=lambda t: (t.slot, t.ts))
+        self._by_dest = {}
+        for tup in tuples:
+            self.append(route(tup), tup)
+
+    def tuple_count(self) -> int:
+        """Total buffered tuple objects."""
+        return sum(len(bucket) for bucket in self._by_dest.values())
+
+    def weight_total(self) -> int:
+        """Total buffered logical tuples (sum of weights)."""
+        return sum(t.weight for bucket in self._by_dest.values() for t in bucket)
+
+    def snapshot(self) -> "OutputBuffer":
+        """A shallow-copied, isolated copy of the buffer."""
+        copy = OutputBuffer()
+        copy._by_dest = {dest: list(bucket) for dest, bucket in self._by_dest.items()}
+        return copy
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        sizes = {dest: len(bucket) for dest, bucket in self._by_dest.items()}
+        return f"OutputBuffer({sizes})"

@@ -1,0 +1,72 @@
+"""Exception hierarchy for the repro stream processing system.
+
+Every error raised by the library derives from :class:`ReproError`, so
+callers can catch one base class.  Sub-hierarchies mirror the subsystems:
+simulation kernel, state management, runtime, scaling and fault tolerance.
+"""
+
+from __future__ import annotations
+
+
+class ReproError(Exception):
+    """Base class for all errors raised by the repro library."""
+
+
+class ConfigurationError(ReproError):
+    """An invalid or inconsistent configuration value was supplied."""
+
+
+class SimulationError(ReproError):
+    """Base class for errors raised by the discrete-event kernel."""
+
+
+class EventError(SimulationError):
+    """An event was scheduled or cancelled incorrectly."""
+
+
+class ClockError(SimulationError):
+    """An operation would move simulated time backwards."""
+
+
+class StateError(ReproError):
+    """Base class for operator state management errors."""
+
+
+class KeySpaceError(StateError):
+    """A key interval operation violated key-space invariants."""
+
+
+class CheckpointError(StateError):
+    """Checkpointing, backup or restore of operator state failed."""
+
+
+class PartitionError(StateError):
+    """State partitioning (Algorithm 2) could not be performed."""
+
+
+class QueryError(ReproError):
+    """A query graph is malformed (cycle, missing source/sink, ...)."""
+
+
+class DeploymentError(ReproError):
+    """The deployment manager could not map the query onto VMs."""
+
+
+class RuntimeStateError(ReproError):
+    """An operator instance was driven through an illegal transition."""
+
+
+class ScaleOutError(ReproError):
+    """The fault-tolerant scale-out algorithm (Algorithm 3) failed."""
+
+
+class RecoveryError(ReproError):
+    """Failure recovery could not complete."""
+
+
+class VMPoolError(ReproError):
+    """The VM pool could not satisfy a request."""
+
+
+class WorkloadError(ReproError):
+    """A workload generator was configured or driven incorrectly."""

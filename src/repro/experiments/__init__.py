@@ -1,0 +1,69 @@
+"""Experiment harness: per-figure drivers and result rendering."""
+
+from repro.experiments.figures import (
+    ablation_active_replication,
+    ablation_incremental_checkpoints,
+    ablation_vm_pool,
+    fig06_lrb_scaleout,
+    fig07_lrb_latency,
+    fig08_openloop,
+    fig09_threshold,
+    fig10_manual_vs_dynamic,
+    fig11_recovery_strategies,
+    fig12_checkpoint_interval,
+    fig13_parallel_recovery,
+    fig14_state_size,
+    fig15_tradeoff,
+    lrating_probe,
+)
+from repro.experiments.harness import (
+    FigureResult,
+    WordCountRun,
+    measure_recovery_time,
+    pad_counter_state,
+    run_word_count,
+)
+from repro.experiments.report import render_series, render_table, sparkline
+from repro.experiments.stats import Comparison, Summary, compare, repeat, summarize
+from repro.experiments.runners import (
+    LRBRun,
+    ScaleOutRun,
+    WikipediaRun,
+    run_lrb,
+    run_wikipedia_openloop,
+)
+
+__all__ = [
+    "FigureResult",
+    "LRBRun",
+    "ScaleOutRun",
+    "WikipediaRun",
+    "WordCountRun",
+    "Comparison",
+    "Summary",
+    "ablation_active_replication",
+    "ablation_incremental_checkpoints",
+    "ablation_vm_pool",
+    "fig06_lrb_scaleout",
+    "fig07_lrb_latency",
+    "fig08_openloop",
+    "fig09_threshold",
+    "fig10_manual_vs_dynamic",
+    "fig11_recovery_strategies",
+    "fig12_checkpoint_interval",
+    "fig13_parallel_recovery",
+    "fig14_state_size",
+    "fig15_tradeoff",
+    "lrating_probe",
+    "measure_recovery_time",
+    "pad_counter_state",
+    "render_series",
+    "render_table",
+    "run_lrb",
+    "run_wikipedia_openloop",
+    "compare",
+    "repeat",
+    "run_word_count",
+    "summarize",
+    "sparkline",
+]

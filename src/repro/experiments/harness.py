@@ -1,0 +1,206 @@
+"""Shared experiment machinery.
+
+Builders that assemble an SPS around one of the evaluation workloads,
+run it under controlled conditions (failure injection, padded state,
+fixed seeds) and return the measurements the figure drivers need.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.config import STRATEGY_RSM, SystemConfig
+from repro.errors import ReproError
+from repro.runtime.system import StreamProcessingSystem
+from repro.workloads.wordcount import WordCountQuery, build_word_count_query
+
+
+@dataclass
+class FigureResult:
+    """A regenerated figure: tabular rows plus optional time series."""
+
+    figure_id: str
+    title: str
+    headers: list[str]
+    rows: list[list[Any]]
+    series: dict[str, tuple] = field(default_factory=dict)
+    notes: list[str] = field(default_factory=list)
+    params: dict[str, Any] = field(default_factory=dict)
+
+    def render(self) -> str:
+        """Render the figure as aligned text tables and sparklines."""
+        from repro.experiments.report import render_table, sparkline
+
+        parts = [render_table(self.headers, self.rows, title=f"{self.figure_id}: {self.title}")]
+        for name, (times, values) in self.series.items():
+            if len(values):
+                parts.append(f"{name}: {sparkline(values)}")
+        for note in self.notes:
+            parts.append(f"note: {note}")
+        return "\n".join(parts)
+
+    def to_csv(self, path: str) -> None:
+        """Write the tabular rows as CSV (series go to sibling files).
+
+        ``fig.to_csv("out/fig11.csv")`` writes the rows; each time series
+        lands next to it as ``fig11.<series>.csv`` with time,value
+        columns — ready for pandas or a plotting tool.
+        """
+        import csv
+        import os
+        import re
+
+        with open(path, "w", newline="") as handle:
+            writer = csv.writer(handle)
+            writer.writerow(self.headers)
+            writer.writerows(self.rows)
+        base, _ext = os.path.splitext(path)
+        for name, (times, values) in self.series.items():
+            slug = re.sub(r"[^a-z0-9]+", "_", name.lower()).strip("_")
+            with open(f"{base}.{slug}.csv", "w", newline="") as handle:
+                writer = csv.writer(handle)
+                writer.writerow(["time", name])
+                writer.writerows(zip(times, values))
+
+
+def default_config(seed: int = 0) -> SystemConfig:
+    """A fresh config with paper defaults."""
+    config = SystemConfig()
+    config.seed = seed
+    return config
+
+
+def pad_counter_state(
+    system: StreamProcessingSystem, op_name: str, entries: int
+) -> None:
+    """Pre-populate a windowed counter's state with ``entries`` entries.
+
+    The paper "synthetically varies the dictionary size" to control
+    checkpoint cost (§6.3); padding entries live in a window far in the
+    future so they are never flushed and never expire during the run.
+    """
+    if entries <= 0:
+        return
+    far_future_window = 10**9
+    for index, instance in enumerate(system.instances_of(op_name)):
+        share = entries // max(1, len(system.instances_of(op_name)))
+        for i in range(share):
+            instance.state[f"__pad_{index}_{i}"] = {far_future_window: 1}
+
+
+@dataclass
+class WordCountRun:
+    """Everything measured from one word-count run."""
+
+    system: StreamProcessingSystem
+    query: WordCountQuery
+    recovery_time: float | None = None
+
+    def latency_p(self, q: float, op: str = "counter", t_min: float | None = None) -> float:
+        """Weighted latency percentile for one operator (seconds)."""
+        reservoir = self.system.metrics.latencies.get(f"latency:{op}")
+        if reservoir is None or len(reservoir) == 0:
+            return math.nan
+        return reservoir.percentile(q, t_min=t_min)
+
+
+def checkpoint_aligned_failure_time(
+    interval: float, earliest: float, fraction: float = 0.75
+) -> float:
+    """A failure instant ``fraction`` of the way through a checkpoint
+    period, at least ``earliest`` seconds into the run.
+
+    Keeps the amount of replayed work comparable across checkpoint
+    intervals (the paper averages over several runs instead).  Assumes
+    checkpoint staggering is disabled, so checkpoints land at multiples
+    of ``interval``.
+    """
+    periods = max(1, math.ceil(earliest / interval))
+    return (periods + fraction) * interval
+
+
+def run_word_count(
+    rate: float = 500.0,
+    duration: float = 60.0,
+    checkpoint_interval: float = 5.0,
+    strategy: str = STRATEGY_RSM,
+    recovery_parallelism: int = 1,
+    fail_at: float | None = None,
+    fail_op: str = "counter",
+    window: float = 30.0,
+    vocabulary_size: int = 2000,
+    words_per_sentence: int = 6,
+    pad_entries: int = 0,
+    scaling_enabled: bool = False,
+    seed: int = 0,
+    stagger_checkpoints: bool = False,
+) -> WordCountRun:
+    """Run the §6.2 word-count workload under controlled conditions."""
+    query = build_word_count_query(
+        rate=rate,
+        window=window,
+        vocabulary_size=vocabulary_size,
+        words_per_sentence=words_per_sentence,
+        quantum=0.1,
+    )
+    config = default_config(seed)
+    config.scaling.enabled = scaling_enabled
+    config.checkpoint.interval = checkpoint_interval
+    config.checkpoint.stagger = stagger_checkpoints
+    config.fault.strategy = strategy
+    config.fault.recovery_parallelism = recovery_parallelism
+    config.fault.buffer_horizon = window
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    if pad_entries:
+        pad_counter_state(system, query.counter_name, pad_entries)
+    if fail_at is not None:
+        system.injector.fail_target_at(lambda: system.vm_of(fail_op), fail_at)
+    system.run(until=duration)
+    run = WordCountRun(system, query)
+    if fail_at is not None:
+        if system.recovery is not None and system.recovery.recovery_durations:
+            run.recovery_time = system.recovery.recovery_durations[-1][1]
+    return run
+
+
+def measure_recovery_time(
+    rate: float,
+    checkpoint_interval: float,
+    strategy: str = STRATEGY_RSM,
+    recovery_parallelism: int = 1,
+    window: float = 30.0,
+    repeats: int = 1,
+    seed: int = 0,
+    settle: float = 20.0,
+) -> float:
+    """Mean recovery time over ``repeats`` runs (the Fig. 11-13 metric).
+
+    The VM hosting the word counter is killed a fixed fraction into a
+    checkpoint period; recovery time runs from the crash until the
+    restored operator has re-processed all replayed tuples.
+    """
+    durations = []
+    for r in range(repeats):
+        fail_at = checkpoint_aligned_failure_time(
+            checkpoint_interval, earliest=max(window + 5.0, 35.0)
+        )
+        run = run_word_count(
+            rate=rate,
+            duration=fail_at + checkpoint_interval + settle,
+            checkpoint_interval=checkpoint_interval,
+            strategy=strategy,
+            recovery_parallelism=recovery_parallelism,
+            fail_at=fail_at,
+            window=window,
+            seed=seed + r,
+        )
+        if run.recovery_time is None:
+            raise ReproError(
+                f"no recovery recorded (rate={rate}, c={checkpoint_interval}, "
+                f"strategy={strategy})"
+            )
+        durations.append(run.recovery_time)
+    return sum(durations) / len(durations)

@@ -1,0 +1,86 @@
+"""Plain-text rendering of experiment results.
+
+The benchmark harness prints the same rows/series the paper's figures
+report, as aligned text tables — the repo's equivalent of regenerating
+each figure.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Any, Iterable, Sequence
+
+import numpy as np
+
+
+def format_value(value: Any) -> str:
+    """Human-friendly formatting for one table cell."""
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        if math.isnan(value):
+            return "nan"
+        if value == 0:
+            return "0"
+        if abs(value) >= 1000:
+            return f"{value:,.0f}"
+        if abs(value) >= 10:
+            return f"{value:.1f}"
+        return f"{value:.3f}"
+    return str(value)
+
+
+def render_table(
+    headers: Sequence[str], rows: Iterable[Sequence[Any]], title: str | None = None
+) -> str:
+    """Render an aligned text table."""
+    text_rows = [[format_value(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in text_rows:
+        for i, cell in enumerate(row):
+            widths[i] = max(widths[i], len(cell))
+    lines = []
+    if title:
+        lines.append(title)
+    header = "  ".join(h.ljust(w) for h, w in zip(headers, widths))
+    lines.append(header)
+    lines.append("  ".join("-" * w for w in widths))
+    for row in text_rows:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def render_series(
+    name: str,
+    times: Sequence[float],
+    values: Sequence[float],
+    max_points: int = 40,
+    unit: str = "",
+) -> str:
+    """Render a downsampled (time, value) series as rows."""
+    times = np.asarray(times, dtype=float)
+    values = np.asarray(values, dtype=float)
+    if times.size == 0:
+        return f"{name}: (no data)"
+    if times.size > max_points:
+        idx = np.linspace(0, times.size - 1, max_points).astype(int)
+        times = times[idx]
+        values = values[idx]
+    rows = [(f"{t:.0f}", format_value(v)) for t, v in zip(times, values)]
+    return render_table(["t(s)", f"{name}{f' ({unit})' if unit else ''}"], rows)
+
+
+def sparkline(values: Sequence[float], width: int = 60) -> str:
+    """A one-line unicode sparkline — quick visual shape check."""
+    values = np.asarray(values, dtype=float)
+    if values.size == 0:
+        return ""
+    if values.size > width:
+        idx = np.linspace(0, values.size - 1, width).astype(int)
+        values = values[idx]
+    blocks = "▁▂▃▄▅▆▇█"
+    lo, hi = float(values.min()), float(values.max())
+    if hi - lo < 1e-12:
+        return blocks[0] * values.size
+    scaled = ((values - lo) / (hi - lo) * (len(blocks) - 1)).astype(int)
+    return "".join(blocks[i] for i in scaled)

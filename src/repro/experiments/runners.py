@@ -1,0 +1,180 @@
+"""Runners for the scale-out experiments (LRB and map/reduce workloads)."""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.experiments.harness import default_config
+from repro.runtime.system import StreamProcessingSystem
+from repro.workloads.lrb import LRBQuery, build_lrb_query
+from repro.workloads.wikipedia import WikipediaTopKQuery, build_wikipedia_topk_query
+
+
+@dataclass
+class ScaleOutRun:
+    """Measurements from one closed/open-loop scale-out run."""
+
+    system: StreamProcessingSystem
+    duration: float
+
+    def input_rate_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, rates) of tuples entering the sources."""
+        return self.system.metrics.rate_series_for("input").series()
+
+    def processed_series(self, op_name: str) -> tuple[np.ndarray, np.ndarray]:
+        """(times, rates) of tuples processed by one operator."""
+        return self.system.metrics.rate_series_for(f"processed:{op_name}").series()
+
+    def vm_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """(times, counts) of live worker VMs."""
+        return self.system.metrics.time_series_for("vms:workers").as_arrays()
+
+    def latency_percentile(
+        self, q: float, op: str = "sink", t_min: float | None = None, t_max: float | None = None
+    ) -> float:
+        """Weighted latency percentile at one operator (seconds)."""
+        reservoir = self.system.metrics.latencies.get(f"latency:{op}")
+        if reservoir is None or len(reservoir) == 0:
+            return math.nan
+        return reservoir.percentile(q, t_min=t_min, t_max=t_max)
+
+    def latency_over_time(
+        self, bin_width: float = 20.0, q: float = 95.0, op: str = "sink"
+    ) -> tuple[np.ndarray, np.ndarray]:
+        """Binned latency percentile series (the Fig. 7 curve)."""
+        reservoir = self.system.metrics.latencies.get(f"latency:{op}")
+        if reservoir is None:
+            return np.array([]), np.array([])
+        return reservoir.over_time(bin_width, q)
+
+    def final_worker_vms(self) -> int:
+        """Worker VM count at the end of the run."""
+        return self.system.worker_vm_count()
+
+    def scale_out_times(self) -> list[float]:
+        """Commit times of completed scale-out operations."""
+        return [t for t, _k, _d in self.system.metrics.events_of_kind("scale_out")]
+
+    def peak_input_rate(self) -> float:
+        """Highest observed input rate (tuples/s)."""
+        return self.system.metrics.rate_series_for("input").max_rate()
+
+    def peak_throughput(self, op_name: str = "sink") -> float:
+        """Highest observed processing rate at one operator."""
+        return self.system.metrics.rate_series_for(f"processed:{op_name}").max_rate()
+
+    def dropped_weight(self) -> float:
+        """Total tuples dropped to queue overflow (open loop)."""
+        return sum(
+            v for k, v in self.system.metrics.counters.items() if k.startswith("overflow:")
+        )
+
+
+@dataclass
+class LRBRun(ScaleOutRun):
+    query: LRBQuery = None  # type: ignore[assignment]
+
+    def sustained(self, tail_fraction: float = 0.1, tolerance: float = 0.15) -> bool:
+        """Did sink throughput track the input rate at the end of the run?
+
+        Compares total weight over the tail window — with multiple result
+        tuples per input this is a throughput-tracking check, not a strict
+        conservation law.
+        """
+        t0 = self.duration * (1.0 - tail_fraction)
+        in_times, in_rates = self.input_rate_series()
+        out_times, out_rates = self.processed_series("sink")
+        tail_in = in_rates[in_times >= t0]
+        tail_out = out_rates[out_times >= t0]
+        if tail_in.size == 0 or tail_out.size == 0:
+            return False
+        return float(tail_out.mean()) >= float(tail_in.mean()) * (1.0 - tolerance)
+
+
+def run_lrb(
+    num_xways: int,
+    duration: float,
+    quantum: float = 2.0,
+    threshold: float = 0.70,
+    scaling_enabled: bool = True,
+    parallelism: dict[str, int] | None = None,
+    max_vms: int | None = None,
+    pool_size: int = 6,
+    seed: int = 0,
+    latency_sample_every: int = 20,
+    bands: int = 2,
+) -> LRBRun:
+    """Run the LRB query on a fresh SPS deployment (closed loop)."""
+    query = build_lrb_query(num_xways, duration, bands=bands, quantum=quantum)
+    config = default_config(seed)
+    config.scaling.enabled = scaling_enabled
+    config.scaling.threshold = threshold
+    config.scaling.max_vms = max_vms
+    config.cloud.pool_size = pool_size
+    config.latency_sample_every = latency_sample_every
+    # Rate bins must span at least one generator quantum, or per-tick
+    # injection bursts masquerade as rate spikes.
+    config.rate_bin = max(1.0, 2.0 * quantum)
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, parallelism=parallelism, generators=query.generators)
+    system.run(until=duration)
+    run = LRBRun(system, duration)
+    run.query = query
+    return run
+
+
+@dataclass
+class WikipediaRun(ScaleOutRun):
+    query: WikipediaTopKQuery = None  # type: ignore[assignment]
+
+    def consumed_series(self) -> tuple[np.ndarray, np.ndarray]:
+        """Tuples consumed per second by the query (the Fig. 8 y-axis)."""
+        return self.processed_series(self.query.map_name)
+
+    def time_to_sustain(self, tolerance: float = 0.05) -> float | None:
+        """First time the consumed rate reaches the input rate and stays."""
+        in_times, in_rates = self.input_rate_series()
+        out_times, out_rates = self.consumed_series()
+        if in_times.size == 0 or out_times.size == 0:
+            return None
+        target = float(np.median(in_rates)) * (1.0 - tolerance)
+        for t, rate in zip(out_times, out_rates):
+            if rate >= target:
+                return float(t)
+        return None
+
+
+def run_wikipedia_openloop(
+    rate: float = 550_000.0,
+    duration: float = 600.0,
+    sources: int = 18,
+    queue_capacity: float | None = None,
+    pool_size: int = 4,
+    seed: int = 0,
+    quantum: float = 1.0,
+) -> WikipediaRun:
+    """Run the §6.1 open-loop map/reduce query, initially under-provisioned.
+
+    ``queue_capacity`` defaults to half a second of input per instance:
+    enough to absorb scheduling jitter, small enough that overload drops
+    tuples (the open-loop behaviour of §6.1).
+    """
+    query, parallelism = build_wikipedia_topk_query(
+        rate=rate, sources=sources, quantum=quantum
+    )
+    config = default_config(seed)
+    config.scaling.enabled = True
+    config.queue_capacity = (
+        queue_capacity if queue_capacity is not None else max(1000.0, rate * 0.5)
+    )
+    config.cloud.pool_size = pool_size
+    config.latency_sample_every = 20
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, parallelism=parallelism, generators=query.generators)
+    system.run(until=duration)
+    run = WikipediaRun(system, duration)
+    run.query = query
+    return run

@@ -1,0 +1,12 @@
+"""Fault tolerance: detection, recovery coordination, baseline strategies."""
+
+from repro.fault.detector import HeartbeatMonitor
+from repro.fault.recovery import RecoveryCoordinator
+from repro.fault.strategies import SourceReplayRecovery, UpstreamBackupRecovery
+
+__all__ = [
+    "HeartbeatMonitor",
+    "RecoveryCoordinator",
+    "SourceReplayRecovery",
+    "UpstreamBackupRecovery",
+]

@@ -1,0 +1,67 @@
+"""Failure detection.
+
+The default path models detection latency directly: when a VM crashes,
+recovery is notified ``detection_delay`` seconds later (a heartbeat
+timeout).  :class:`HeartbeatMonitor` is the explicit alternative — it
+polls liveness every heartbeat period and declares failure after a number
+of missed beats, matching how the paper's system treats an unresponsive
+operator ("scales out an operator when it has become unresponsive",
+§4.2).  Recovery dispatch is idempotent, so both may run together.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.simulator import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class HeartbeatMonitor:
+    """Polls instance liveness and reports missing heartbeats."""
+
+    def __init__(
+        self,
+        system: "StreamProcessingSystem",
+        period: float = 0.5,
+        missed_beats: int = 2,
+    ) -> None:
+        self.system = system
+        self.period = period
+        self.missed_beats = missed_beats
+        self._missed: dict[int, int] = {}
+        self._reported: set[int] = set()
+        self._task: PeriodicTask | None = None
+        self.detections = 0
+
+    def start(self) -> None:
+        """Begin periodic liveness polling."""
+        if self._task is None:
+            self._task = self.system.sim.every(self.period, self._tick)
+
+    def stop(self) -> None:
+        """Stop polling."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        system = self.system
+        for uid, instance in list(system.instances.items()):
+            if instance.is_source or instance.is_sink:
+                continue
+            if instance.vm.alive:
+                self._missed[uid] = 0
+                self._reported.discard(uid)
+                continue
+            if uid in self._reported:
+                continue
+            missed = self._missed.get(uid, 0) + 1
+            self._missed[uid] = missed
+            if missed >= self.missed_beats:
+                self._reported.add(uid)
+                self.detections += 1
+                if system.recovery is not None:
+                    system.recovery.on_failure_detected(instance)

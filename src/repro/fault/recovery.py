@@ -1,0 +1,123 @@
+"""Recovery coordinator (§4.2, Fig. 4).
+
+Dispatches detected failures to the configured strategy:
+
+* ``rsm`` — recovery using state management: restore the most recent
+  checkpoint and replay unprocessed tuples.  With
+  ``recovery_parallelism == 1`` this is serial recovery via
+  :meth:`~repro.scaling.coordinator.ScaleOutCoordinator.recover_slot`;
+  with a higher value the failed operator is *scaled out during
+  recovery* (parallel recovery), splitting the replay across partitions.
+* ``upstream_backup`` / ``source_replay`` — the rebuild-based baselines.
+
+Overload and failure are handled by the same machinery (Algorithm 3), so
+"operator recovery becomes a special case of scale out".
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import (
+    STRATEGY_ACTIVE_REPLICATION,
+    STRATEGY_NONE,
+    STRATEGY_RSM,
+    STRATEGY_SOURCE_REPLAY,
+    STRATEGY_UPSTREAM_BACKUP,
+)
+from repro.fault.strategies import SourceReplayRecovery, UpstreamBackupRecovery
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import OperatorInstance
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class RecoveryCoordinator:
+    """Routes failure notifications to the active recovery strategy."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        self._upstream_backup = UpstreamBackupRecovery(system)
+        self._source_replay = SourceReplayRecovery(system)
+        #: Completed recoveries as (completion_time, duration) pairs.
+        self.recovery_durations: list[tuple[float, float]] = []
+        self._handled: set[int] = set()
+
+    def on_failure_detected(self, instance: "OperatorInstance") -> None:
+        """Handle one detected failure (idempotent per instance)."""
+        system = self.system
+        current = system.instances.get(instance.uid)
+        if current is not instance:
+            return  # already replaced by some earlier recovery
+        if id(instance) in self._handled:
+            return
+        self._handled.add(id(instance))
+        strategy = system.config.fault.strategy
+        if strategy == STRATEGY_NONE:
+            return
+        if instance.is_source or instance.is_sink:
+            system.metrics.mark_event(
+                system.sim.now,
+                "unrecoverable",
+                f"{instance.slot!r}: sources/sinks are assumed reliable",
+            )
+            return
+        failure_time = (
+            instance.vm.failed_at
+            if instance.vm.failed_at is not None
+            else system.sim.now
+        )
+        if strategy == STRATEGY_RSM:
+            self._recover_rsm(instance, failure_time)
+        elif strategy == STRATEGY_UPSTREAM_BACKUP:
+            self._upstream_backup.recover(instance, failure_time, self._record)
+        elif strategy == STRATEGY_SOURCE_REPLAY:
+            self._source_replay.recover(instance, failure_time, self._record)
+        elif strategy == STRATEGY_ACTIVE_REPLICATION:
+            assert self.system.replication is not None
+            self.system.replication.promote(instance, failure_time, self._record)
+
+    def _recover_rsm(
+        self, instance: "OperatorInstance", failure_time: float
+    ) -> None:
+        system = self.system
+        parallelism = system.config.fault.recovery_parallelism
+        assert system.scale_out is not None
+        if parallelism == 1:
+            started = system.scale_out.recover_slot(
+                instance.uid, failure_time, on_complete=self._record
+            )
+        else:
+            started = system.scale_out.scale_out_slot(
+                instance.uid,
+                parallelism=parallelism,
+                reason="parallel recovery",
+                failure_time=failure_time,
+                on_complete=self._record,
+            )
+        if not started:
+            # Backup unavailable right now (e.g. backup VM also failed and
+            # a re-checkpoint is in flight): retry shortly.
+            system.sim.schedule(1.0, self._retry, instance, failure_time)
+
+    def _retry(self, instance: "OperatorInstance", failure_time: float) -> None:
+        current = self.system.instances.get(instance.uid)
+        if current is not instance:
+            return
+        self._recover_rsm(instance, failure_time)
+
+    def retry_recovery(
+        self, instance: "OperatorInstance", failure_time: float
+    ) -> None:
+        """Re-attempt recovery of a still-dead instance (e.g. after an
+        aborted scale-out/recovery operation lost its backup VM)."""
+        self._retry(instance, failure_time)
+
+    def _record(self, duration: float) -> None:
+        self.recovery_durations.append((self.system.sim.now, duration))
+
+    @property
+    def last_recovery_duration(self) -> float | None:
+        if not self.recovery_durations:
+            return None
+        return self.recovery_durations[-1][1]

@@ -1,0 +1,28 @@
+"""Runtime: operator instances, deployment, sources/sinks, SPS facade."""
+
+from repro.runtime.deployment import DeploymentManager
+from repro.runtime.instance import InstanceStatus, OperatorInstance
+from repro.runtime.query_manager import QueryManager
+from repro.runtime.sink import (
+    RecordingCollector,
+    SinkOperator,
+    TopKResultCollector,
+    WindowedResultCollector,
+)
+from repro.runtime.source import SourceController, SourceOperator, WorkloadGenerator
+from repro.runtime.system import StreamProcessingSystem
+
+__all__ = [
+    "DeploymentManager",
+    "InstanceStatus",
+    "OperatorInstance",
+    "QueryManager",
+    "RecordingCollector",
+    "SinkOperator",
+    "SourceController",
+    "SourceOperator",
+    "StreamProcessingSystem",
+    "TopKResultCollector",
+    "WindowedResultCollector",
+    "WorkloadGenerator",
+]

@@ -1,0 +1,158 @@
+"""Deployment manager (§5, Fig. 4).
+
+Maps the execution graph onto VMs, builds operator instances, wires
+routing-state mirrors into upstream dispatchers, configures per-strategy
+services (checkpoint daemons, buffer retention, timers) and attaches
+workload generators to sources.  Initial deployment provisions VMs with
+no delay (the paper deploys before the run starts); every *runtime* VM
+request goes through the VM pool instead.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.config import (
+    STRATEGY_ACTIVE_REPLICATION,
+    STRATEGY_NONE,
+    STRATEGY_RSM,
+    STRATEGY_SOURCE_REPLAY,
+    STRATEGY_UPSTREAM_BACKUP,
+)
+from repro.core.execution import Slot
+from repro.core.query import QueryGraph
+from repro.errors import DeploymentError
+from repro.runtime.instance import OperatorInstance
+from repro.runtime.source import SourceController, WorkloadGenerator
+from repro.sim.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class DeploymentManager:
+    """Creates and wires operator instances for a system."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+
+    # ------------------------------------------------------------- initial
+
+    def deploy_query(
+        self,
+        query: QueryGraph,
+        parallelism: dict[str, int] | None = None,
+        generators: dict[str, WorkloadGenerator] | None = None,
+    ) -> None:
+        """Deploy ``query`` and start all services."""
+        system = self.system
+        system.query_manager.register_query(query, parallelism)
+        generators = generators or {}
+        for name in query.sources:
+            if name not in generators:
+                raise DeploymentError(f"source {name} has no workload generator")
+            system.source_controllers[name] = SourceController()
+
+        # One VM per slot: workers are "small" instances, sources and
+        # sinks run on the larger instance type (§6).
+        for op_name in query.topological_order():
+            for slot in system.query_manager.slots_of(op_name):
+                vm = self._provision_initial_vm(op_name)
+                self.build_instance(slot, vm)
+
+        for instance in list(system.instances.values()):
+            self.wire_routing(instance)
+            self.configure_services(instance)
+
+        for name, generator in generators.items():
+            instances = system.instances_of(name)
+            generator.attach(system, instances)
+
+        system.record_vm_count()
+
+    def _provision_initial_vm(self, op_name: str) -> VirtualMachine:
+        system = self.system
+        cloud = system.config.cloud
+        if system.query_manager.is_source(op_name) or system.query_manager.is_sink(
+            op_name
+        ):
+            capacity = cloud.source_sink_capacity
+        else:
+            capacity = cloud.worker_capacity
+        return system.provider.provision_immediately(capacity)
+
+    # ---------------------------------------------------------- components
+
+    def build_instance(self, slot: Slot, vm: VirtualMachine) -> OperatorInstance:
+        """Create, register and minimally wire one operator instance.
+
+        Routing mirrors and services are attached separately so that the
+        scale-out coordinator can restore state in between.
+        """
+        system = self.system
+        query = system.query_manager.query
+        assert query is not None
+        op = query.operator(slot.op_name)
+        downstream = query.downstream_of(slot.op_name)
+        instance = OperatorInstance(
+            system,
+            op,
+            slot,
+            vm,
+            downstream_names=downstream,
+            is_source=query.is_source(slot.op_name),
+            is_sink=query.is_sink(slot.op_name),
+            buffered_downstreams=self._buffered_downstreams(slot.op_name, downstream),
+        )
+        system.instances[slot.uid] = instance
+        return instance
+
+    def _buffered_downstreams(self, op_name: str, downstream: list[str]) -> set[str]:
+        system = self.system
+        strategy = system.config.fault.strategy
+        non_sink = {d for d in downstream if not system.query_manager.is_sink(d)}
+        if strategy in (
+            STRATEGY_RSM,
+            STRATEGY_UPSTREAM_BACKUP,
+            STRATEGY_ACTIVE_REPLICATION,
+        ):
+            return non_sink
+        if strategy == STRATEGY_SOURCE_REPLAY:
+            return non_sink if system.query_manager.is_source(op_name) else set()
+        if strategy == STRATEGY_NONE:
+            return set()
+        return non_sink
+
+    def wire_routing(self, instance: OperatorInstance) -> None:
+        """Mirror the authoritative routing state into the dispatcher."""
+        for down_name in self.system.query_manager.downstream_of(instance.op_name):
+            instance.set_routing(
+                down_name, self.system.query_manager.routing_to(down_name)
+            )
+
+    def configure_services(self, instance: OperatorInstance) -> None:
+        """Start checkpointing / retention / timers as the strategy needs."""
+        system = self.system
+        fault = system.config.fault
+        instance.start_timers()
+        if instance.is_source or instance.is_sink:
+            if fault.strategy == STRATEGY_SOURCE_REPLAY and instance.is_source:
+                instance.start_age_trimming(fault.buffer_horizon)
+            return
+        if fault.strategy == STRATEGY_RSM:
+            instance.start_checkpointing()
+        elif fault.strategy in (
+            STRATEGY_UPSTREAM_BACKUP,
+            STRATEGY_ACTIVE_REPLICATION,
+        ):
+            instance.start_age_trimming(fault.buffer_horizon)
+
+    # ------------------------------------------------------------- runtime
+
+    def deploy_replacement(
+        self, slot: Slot, vm: VirtualMachine
+    ) -> OperatorInstance:
+        """Build a replacement/partition instance on a runtime-acquired VM."""
+        instance = self.build_instance(slot, vm)
+        self.wire_routing(instance)
+        return instance

@@ -1,0 +1,688 @@
+"""Operator instances: the physical realisation of one execution-graph slot.
+
+An :class:`OperatorInstance` runs one partition of one logical operator on
+one VM.  It owns the three kinds of externalised state from §3.1:
+
+* processing state θ (with the τ vector and the logical output clock),
+* buffer state β (output buffers per downstream logical operator),
+* a local mirror of the routing state ρ toward each downstream operator.
+
+It implements the data plane (receive → queue on the VM CPU → process →
+emit/dispatch) and the per-instance halves of the state management
+primitives: taking checkpoints, trimming buffers, replaying buffers, and
+being restored from a checkpoint.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.operator import Operator, OperatorContext
+from repro.core.state import (
+    OutputBuffer,
+    ProcessingState,
+    RoutingState,
+    _copy_value as _copy_state_value,
+)
+from repro.core.tuples import Tuple
+from repro.errors import RuntimeStateError
+from repro.sim.simulator import PeriodicTask
+from repro.sim.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.execution import Slot
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class InstanceStatus(enum.Enum):
+    RUNNING = "running"
+    PAUSED = "paused"
+    STOPPED = "stopped"
+    FAILED = "failed"
+
+
+#: Replay-flagged tuples are foreign re-derivations: drop them (default).
+REPLAY_DROP = "drop"
+#: Deduplicate replays against the duplicate-filter watermarks — the mode
+#: of an R+SM-restored instance, whose watermarks come from the restored
+#: τ vector.
+REPLAY_DEDUP = "dedup"
+#: Re-process replays unconditionally — the rebuild mode of the baseline
+#: strategies (fresh state) and of intermediate operators re-deriving a
+#: failed operator's input during source replay.
+REPLAY_ACCEPT = "accept"
+
+
+class OperatorInstance:
+    """One partition of a logical operator deployed on a VM."""
+
+    def __init__(
+        self,
+        system: "StreamProcessingSystem",
+        operator: Operator,
+        slot: "Slot",
+        vm: VirtualMachine,
+        downstream_names: list[str],
+        is_source: bool = False,
+        is_sink: bool = False,
+        buffered_downstreams: set[str] | None = None,
+    ) -> None:
+        self.system = system
+        self.operator = operator
+        self.slot = slot
+        self.vm = vm
+        self.is_source = is_source
+        self.is_sink = is_sink
+        #: Active-replication replicas process and keep state but emit
+        #: nothing until promoted.
+        self.is_replica = False
+        self.status = InstanceStatus.RUNNING
+        self.state: ProcessingState = operator.initial_state()
+        self.buffers: dict[str, OutputBuffer] = {
+            name: OutputBuffer() for name in downstream_names
+        }
+        #: Downstream operators for which output tuples are retained.
+        #: Sinks cannot fail, so buffering toward them is pointless; the
+        #: source-replay baseline only buffers at sources.
+        self._buffered_downs: set[str] = (
+            set(downstream_names)
+            if buffered_downstreams is None
+            else set(buffered_downstreams)
+        )
+        self.routing: dict[str, RoutingState] = {}
+        #: Highest timestamp accepted per origin slot uid (duplicate filter).
+        self._arrival_wm: dict[int, int] = {}
+        #: Emission suppression bound per input slot uid — outputs whose
+        #: triggering input is at or below this were already emitted by the
+        #: pre-scale-out instance and must not be emitted again.
+        self._suppress_until: dict[int, int] = {}
+        #: How replay-flagged tuples are handled (see module constants):
+        #: dropped as foreign re-derivations (default), deduplicated
+        #: against the restored τ vector (R+SM recovery target), or
+        #: re-processed unconditionally (UB/SR rebuild path).
+        self.replay_mode = REPLAY_DROP
+        #: τ vector frozen at restore time; the duplicate floor for
+        #: replay-flagged tuples in dedup mode.
+        self._replay_dedup_floor: dict[int, int] = {}
+        self._backlog_weight = 0.0
+        self._ckpt_seq = 0
+        #: Whether the next checkpoint may be a delta (a full one has been
+        #: stored and dirty tracking has run since).
+        self._can_increment = False
+        self._ckpt_task: PeriodicTask | None = None
+        self._timer_task: PeriodicTask | None = None
+        self._age_trim_task: PeriodicTask | None = None
+        self._current_input: Tuple | None = None
+        self._replay_expected = 0
+        self._replay_done: Callable[[], None] | None = None
+        self._replay_flagged_only = False
+        self._latency_counter = 0
+        # Counters (weighted tuples).
+        self.processed_weight = 0.0
+        self.emitted_weight = 0.0
+        self.dropped_duplicates = 0.0
+        self.dropped_overflow = 0.0
+        self.suppressed_weight = 0.0
+        vm.occupant = self
+        vm.on_failure(self._on_vm_failed)
+
+    # ------------------------------------------------------------ identity
+
+    @property
+    def uid(self) -> int:
+        return self.slot.uid
+
+    @property
+    def op_name(self) -> str:
+        return self.operator.name
+
+    @property
+    def alive(self) -> bool:
+        return self.status in (InstanceStatus.RUNNING, InstanceStatus.PAUSED)
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"Instance({self.slot!r} on VM {self.vm.vm_id}, {self.status.value})"
+
+    # ----------------------------------------------------------- data plane
+
+    def receive(self, tup: Tuple) -> None:
+        """Entry point for tuples delivered by the network."""
+        if not self.alive or not self.vm.alive:
+            return
+        if tup.replay:
+            if self.replay_mode == REPLAY_DROP or (
+                self.replay_mode == REPLAY_DEDUP
+                # Compare against the τ vector frozen at restore time, not
+                # the live watermark: paced replays interleave with fresh
+                # traffic whose higher timestamps must not mask them.
+                and tup.ts <= self._replay_dedup_floor.get(tup.slot, -1)
+            ):
+                # Either a re-derivation from a recovery elsewhere in the
+                # graph (drop mode) or a replayed tuple already reflected
+                # in this instance's restored state (dedup mode).
+                self.dropped_duplicates += tup.weight
+                self.system.metrics.increment(
+                    f"duplicates:{self.op_name}", tup.weight
+                )
+                self._note_replay_progress(tup)
+                return
+        elif tup.ts <= self._arrival_wm.get(tup.slot, -1):
+            # Duplicate of an already-accepted tuple (replayed after a
+            # checkpoint covered it, or re-emitted by a recovered upstream).
+            self.dropped_duplicates += tup.weight
+            self.system.metrics.increment(f"duplicates:{self.op_name}", tup.weight)
+            self._note_replay_progress(tup)
+            return
+        capacity = self.system.config.queue_capacity
+        if capacity is not None and self._backlog_weight >= capacity:
+            self.dropped_overflow += tup.weight
+            self.system.metrics.increment(f"overflow:{self.op_name}", tup.weight)
+            self._note_replay_progress(tup)
+            return
+        if tup.ts > self._arrival_wm.get(tup.slot, -1):
+            self._arrival_wm[tup.slot] = tup.ts
+        self._backlog_weight += tup.weight
+        work = tup.weight * self.operator.cost_per_tuple
+        self.vm.submit(work, self._process, tup)
+        self._note_replay_progress(tup)
+
+    def _process(self, tup: Tuple) -> None:
+        self._backlog_weight -= tup.weight
+        if not self.alive:
+            return
+        sim = self.system.sim
+        self._current_input = tup
+        ctx = OperatorContext(self.state, self._emit_from_ctx, now=sim.now)
+        try:
+            self.operator.on_tuple(tup, ctx)
+        finally:
+            self._current_input = None
+        self.state.advance(tup.slot, tup.ts)
+        self.processed_weight += tup.weight
+        metrics = self.system.metrics
+        metrics.rate_series_for(
+            f"processed:{self.op_name}", self.system.config.rate_bin
+        ).record(sim.now, tup.weight)
+        if self.operator.measure_latency:
+            every = self.system.config.latency_sample_every
+            self._latency_counter += 1
+            if self._latency_counter % every == 0:
+                metrics.latency_for(f"latency:{self.op_name}").record(
+                    sim.now, sim.now - tup.created_at, tup.weight * every
+                )
+
+    # --------------------------------------------------------------- source
+
+    def inject(self, key: Any, payload: Any, weight: int = 1) -> None:
+        """Feed externally generated data into a source instance.
+
+        The injection time is the tuple's creation time, so queueing at a
+        saturated source shows up in end-to-end latency — this is the
+        serialisation bottleneck that caps the paper's L-rating.
+        """
+        if not self.is_source:
+            raise RuntimeStateError(f"inject called on non-source {self.slot!r}")
+        sim = self.system.sim
+        self.system.metrics.rate_series_for(
+            "input", self.system.config.rate_bin
+        ).record(sim.now, weight)
+        if not self.alive or not self.vm.alive:
+            self.system.metrics.increment("lost:source_down", weight)
+            return
+        capacity = self.system.config.queue_capacity
+        if capacity is not None and self._backlog_weight >= capacity:
+            self.dropped_overflow += weight
+            self.system.metrics.increment(f"overflow:{self.op_name}", weight)
+            return
+        self._backlog_weight += weight
+        work = weight * self.operator.cost_per_tuple
+        self.vm.submit(work, self._process_injection, key, payload, weight, sim.now)
+
+    def _process_injection(
+        self, key: Any, payload: Any, weight: int, created_at: float
+    ) -> None:
+        self._backlog_weight -= weight
+        if not self.alive:
+            return
+        self.processed_weight += weight
+        self.system.metrics.rate_series_for(
+            f"processed:{self.op_name}", self.system.config.rate_bin
+        ).record(self.system.sim.now, weight)
+        self._emit(key, payload, weight, created_at, to=None)
+
+    # ------------------------------------------------------------- emission
+
+    def _emit_from_ctx(
+        self,
+        key: Any,
+        payload: Any,
+        weight: int,
+        created_at: float | None,
+        to: str | None,
+    ) -> None:
+        trigger = self._current_input
+        if created_at is None:
+            created_at = (
+                trigger.created_at if trigger is not None else self.system.sim.now
+            )
+        # The replay flag only propagates along the source-replay rebuild
+        # path (accept mode), where downstream re-derivations stand in for
+        # outputs the rest of the graph already consumed.
+        replay = (
+            trigger is not None
+            and trigger.replay
+            and self.replay_mode == REPLAY_ACCEPT
+        )
+        if (
+            trigger is not None
+            and self._suppress_until
+            and trigger.ts <= self._suppress_until.get(trigger.slot, -1)
+        ):
+            # The pre-scale-out instance already emitted the outputs for
+            # this input; re-processing only rebuilds state (§4.3).
+            self.suppressed_weight += weight
+            return
+        self._emit(key, payload, weight, created_at, to, replay)
+
+    def _emit(
+        self,
+        key: Any,
+        payload: Any,
+        weight: int,
+        created_at: float,
+        to: str | None,
+        replay: bool = False,
+    ) -> None:
+        if self.is_sink or self.is_replica or not self.buffers:
+            return
+        if to is not None:
+            if to not in self.buffers:
+                raise RuntimeStateError(
+                    f"{self.op_name} emitted to unknown downstream {to!r}"
+                )
+            targets = [to]
+        else:
+            targets = list(self.buffers)
+        self.state.out_clock += 1
+        ts = self.state.out_clock
+        self.emitted_weight += weight
+        for down_name in targets:
+            tup = Tuple(ts, key, payload, weight, created_at, self.slot.uid, replay)
+            self._dispatch(down_name, tup)
+
+    def _dispatch(self, down_name: str, tup: Tuple) -> None:
+        routing = self.routing.get(down_name)
+        if routing is None:
+            raise RuntimeStateError(
+                f"{self.slot!r} has no routing state toward {down_name}"
+            )
+        dest_uid = routing.route_key(tup.key)
+        if down_name in self._buffered_downs:
+            self.buffers[down_name].append(dest_uid, tup)
+        self._send(dest_uid, tup)
+
+    def _send(self, dest_uid: int, tup: Tuple) -> None:
+        system = self.system
+        if system.replication is not None:
+            # Active replication: tee every tuple to the destination's
+            # replica as well.
+            replica = system.replication.replica_of(dest_uid)
+            if replica is not None:
+                system.network.send(
+                    self.vm,
+                    replica.vm,
+                    system.config.network.tuple_bytes,
+                    replica.receive,
+                    tup,
+                )
+        dest = system.live_instance(dest_uid)
+        if dest is None:
+            # Destination currently dead; the tuple stays buffered and is
+            # replayed once the destination is recovered.
+            return
+        system.network.send(
+            self.vm,
+            dest.vm,
+            system.config.network.tuple_bytes,
+            dest.receive,
+            tup,
+        )
+
+    # ------------------------------------------------------------- timers
+
+    def start_timers(self) -> None:
+        """Start the operator's periodic timer, aligned to absolute
+        multiples of the interval so that a restored instance flushes its
+        windows at the same instants the failed one would have."""
+        interval = self.operator.timer_interval
+        if interval is not None and self._timer_task is None:
+            now = self.system.sim.now
+            periods_elapsed = int(now / interval)
+            next_boundary = (periods_elapsed + 1) * interval
+            self._timer_task = self.system.sim.every(
+                interval, self._queue_timer, start_after=next_boundary - now
+            )
+
+    def _queue_timer(self) -> None:
+        if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
+            return
+        self.vm.submit(self.operator.cost_per_tuple, self._run_timer)
+
+    def _run_timer(self) -> None:
+        if not self.alive:
+            return
+        ctx = OperatorContext(self.state, self._emit_from_ctx, now=self.system.sim.now)
+        self.operator.on_timer(ctx)
+
+    # -------------------------------------------------------- checkpointing
+
+    def start_checkpointing(self) -> None:
+        """Begin periodic ``checkpoint-state`` / ``backup-state`` cycles."""
+        if self.is_source or self.is_sink:
+            return  # sources and sinks are assumed reliable (§2.2)
+        cfg = self.system.config.checkpoint
+        if self._ckpt_task is not None:
+            return
+        start_after = cfg.interval
+        if cfg.stagger:
+            start_after *= 0.5 + ((self.uid * 7919) % 1000) / 2000.0
+        self._ckpt_task = self.system.sim.every(
+            cfg.interval, self.take_checkpoint, start_after=start_after
+        )
+
+    def stop_checkpointing(self) -> None:
+        """Stop the periodic checkpoint daemon (pre-retirement)."""
+        if self._ckpt_task is not None and not self._ckpt_task.stopped:
+            self._ckpt_task.stop()
+        self._ckpt_task = None
+
+    def take_checkpoint(self) -> None:
+        """checkpoint-state(o): serialise θ and β under the state lock.
+
+        The serialisation occupies the CPU (front of queue — it locks the
+        operator's data structures ahead of queued tuples), which is the
+        latency overhead measured in §6.3.  With incremental
+        checkpointing only the entries touched since the last checkpoint
+        are serialised.
+        """
+        if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
+            return
+        cfg = self.system.config.checkpoint
+        incremental = cfg.incremental and self._can_increment
+        if incremental and self.state.dirty is not None:
+            entry_count = len(self.state.dirty)
+        else:
+            entry_count = len(self.state)
+        work = cfg.serialize_base_seconds + entry_count * (
+            cfg.serialize_seconds_per_entry
+        )
+        self.vm.submit(work, self._finish_checkpoint, incremental, front=True)
+
+    def _finish_checkpoint(self, incremental: bool = False) -> None:
+        if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
+            return
+        self._ckpt_seq += 1
+        buffers = {name: buf.snapshot() for name, buf in self.buffers.items()}
+        if incremental and self._can_increment:
+            touched = self.state.consume_dirty()
+            delta_entries = {}
+            deleted = set()
+            missing = object()
+            for key in touched:
+                value = self.state.raw_get(key, missing)
+                if value is missing:
+                    deleted.add(key)
+                else:
+                    delta_entries[key] = _copy_state_value(value)
+            checkpoint = Checkpoint(
+                op_name=self.op_name,
+                slot_uid=self.uid,
+                state=ProcessingState(
+                    delta_entries,
+                    positions=self.state.positions,
+                    out_clock=self.state.out_clock,
+                ),
+                buffers=buffers,
+                taken_at=self.system.sim.now,
+                seq=self._ckpt_seq,
+                incremental=True,
+                base_seq=self._ckpt_seq - 1,
+                deleted_keys=frozenset(deleted),
+            )
+        else:
+            checkpoint = Checkpoint(
+                op_name=self.op_name,
+                slot_uid=self.uid,
+                state=self.state.snapshot(),
+                buffers=buffers,
+                taken_at=self.system.sim.now,
+                seq=self._ckpt_seq,
+            )
+            if self.system.config.checkpoint.incremental:
+                self.state.enable_dirty_tracking()
+                self.state.consume_dirty()
+                self._can_increment = True
+        self.system.backup_checkpoint(self, checkpoint)
+
+    def force_full_checkpoint(self) -> None:
+        """The next checkpoint must be full (delta base unavailable)."""
+        self._can_increment = False
+
+    def start_age_trimming(self, horizon: float, period: float = 5.0) -> None:
+        """Retain only ``horizon`` seconds of buffered tuples.
+
+        Used by the upstream-backup and source-replay baselines, which
+        have no checkpoints to trim against (§6.2).
+        """
+        if self._age_trim_task is not None:
+            return
+        self._age_trim_task = self.system.sim.every(
+            period, self._trim_by_age, horizon
+        )
+
+    def _trim_by_age(self, horizon: float) -> None:
+        if not self.alive:
+            return
+        cutoff = self.system.sim.now - horizon
+        for buf in self.buffers.values():
+            buf.trim_by_age(cutoff)
+
+    def trim_buffer_to(self, dest_uid: int, ts: int) -> int:
+        """trim(o, τ): drop buffered tuples for ``dest_uid`` up to ``ts``."""
+        dropped = 0
+        for buf in self.buffers.values():
+            dropped += buf.trim(dest_uid, ts)
+        return dropped
+
+    # ------------------------------------------------------------- replays
+
+    def replay_buffer_to(
+        self,
+        dest_uid: int,
+        flag_replay: bool = False,
+        after_positions: dict[int, int] | None = None,
+    ) -> int:
+        """replay-buffer-state(u, o): resend buffered tuples to ``dest_uid``.
+
+        Returns the number of tuple messages sent.  Tuples keep their
+        original (slot, ts) stamps, so receivers drop the ones already
+        reflected in their restored state.  Flagged replays are *paced*:
+        consecutive messages are ``replay_message_gap`` seconds apart (the
+        replay channel's streaming capacity), so replays stretch over time
+        and contend with live traffic at the receiver — the effect behind
+        the §6.2 recovery-time comparisons.
+        """
+        sent = 0
+        gap = self.system.config.fault.replay_message_gap
+        # One replay channel per destination: replays toward different
+        # partitions stream in parallel, which is where parallel recovery
+        # gets its speedup (§4.2).
+        delay = 0.0
+        for buf in self.buffers.values():
+            for tup in buf.tuples_for(dest_uid):
+                if (
+                    after_positions is not None
+                    and tup.ts <= after_positions.get(tup.slot, -1)
+                ):
+                    # The receiver negotiated a replay offset: it already
+                    # reflects this tuple (active-replication promotion).
+                    continue
+                if flag_replay:
+                    if not tup.replay:
+                        tup = tup.copy()
+                        tup.replay = True
+                    self.system.sim.schedule(delay, self._send, dest_uid, tup)
+                    delay += gap
+                else:
+                    self._send(dest_uid, tup)
+                sent += 1
+        return sent
+
+    def replay_all_buffers(self, flag_replay: bool = False) -> int:
+        """Resend every buffered tuple (restored operator → downstreams)."""
+        sent = 0
+        for buf in self.buffers.values():
+            for dest_uid in buf.destinations():
+                sent += self.replay_buffer_to(dest_uid, flag_replay)
+        return sent
+
+    def expect_replays(
+        self,
+        count: int,
+        on_complete: Callable[[], None],
+        flagged_only: bool = False,
+    ) -> None:
+        """Arrange ``on_complete`` to fire once ``count`` replayed tuples
+        have been received *and processed* (the recovery-time endpoint).
+
+        With ``flagged_only`` only tuples carrying the replay flag count —
+        used by strategies that replay while new tuples keep flowing.
+        """
+        if self._replay_done is not None:
+            raise RuntimeStateError(f"{self.slot!r} already awaiting replays")
+        if count <= 0:
+            on_complete()
+            return
+        self._replay_expected = count
+        self._replay_done = on_complete
+        self._replay_flagged_only = flagged_only
+
+    def _note_replay_progress(self, tup: Tuple | None = None) -> None:
+        if self._replay_done is None:
+            return
+        if (
+            self._replay_flagged_only
+            and (tup is None or not tup.replay)
+        ):
+            return
+        self._replay_expected -= 1
+        if self._replay_expected > 0:
+            return
+        done = self._replay_done
+        self._replay_done = None
+        # All replays are at least queued; a zero-cost marker item fires
+        # after the last queued replay has been processed.
+        if self.vm.alive:
+            self.vm.submit(0.0, done)
+        else:
+            done()
+
+    # ------------------------------------------------------ control plane
+
+    def pause(self) -> None:
+        """stop-operator: stop processing; inputs keep queueing."""
+        if self.status is InstanceStatus.RUNNING:
+            self.status = InstanceStatus.PAUSED
+            self.vm.pause()
+
+    def resume(self) -> None:
+        """start-operator: resume processing."""
+        if self.status is InstanceStatus.PAUSED:
+            self.status = InstanceStatus.RUNNING
+            self.vm.resume()
+
+    def freeze_positions(self) -> dict[int, int]:
+        """Pause and report current processed positions (τ_stop).
+
+        Called on a bottleneck operator when scale out begins: the new
+        partitions suppress re-emission of outputs for inputs at or below
+        these positions, because this instance already emitted them.
+        """
+        self.pause()
+        return dict(self.state.positions)
+
+    def stop(self, release_vm: bool = True) -> None:
+        """Graceful removal after scale out replaced this instance."""
+        if self.status in (InstanceStatus.STOPPED, InstanceStatus.FAILED):
+            return
+        self.status = InstanceStatus.STOPPED
+        self._stop_tasks()
+        if release_vm and self.vm.alive:
+            self.vm.release()
+
+    def _on_vm_failed(self, _vm: VirtualMachine) -> None:
+        if self.status in (InstanceStatus.STOPPED, InstanceStatus.FAILED):
+            return
+        self.status = InstanceStatus.FAILED
+        self._stop_tasks()
+        self.system.notify_instance_failed(self)
+
+    def _stop_tasks(self) -> None:
+        for task in (self._ckpt_task, self._timer_task, self._age_trim_task):
+            if task is not None and not task.stopped:
+                task.stop()
+        self._ckpt_task = None
+        self._timer_task = None
+        self._age_trim_task = None
+
+    # -------------------------------------------------------------- restore
+
+    def restore_from(
+        self,
+        checkpoint: Checkpoint,
+        suppress_until: dict[int, int] | None = None,
+        fresh_dedup: bool = False,
+    ) -> None:
+        """restore-state(o, θ, τ, β, ρ): initialise from a checkpoint.
+
+        ``suppress_until`` carries τ_stop from a frozen predecessor (see
+        :meth:`freeze_positions`).  ``fresh_dedup`` clears the duplicate
+        filter for baseline strategies that rebuild state by re-processing
+        (upstream backup / source replay).
+        """
+        self.state = checkpoint.state.snapshot()
+        self._replay_dedup_floor = dict(checkpoint.positions)
+        self._ckpt_seq = checkpoint.seq
+        for name, buf in checkpoint.buffers.items():
+            if name in self.buffers:
+                self.buffers[name] = buf.snapshot()
+        self._arrival_wm = {} if fresh_dedup else dict(checkpoint.positions)
+        self._suppress_until = dict(suppress_until) if suppress_until else {}
+
+    def set_suppression(self, suppress_until: dict[int, int] | None) -> None:
+        """Install the τ_stop bound from a predecessor frozen at commit
+        time (see the scale-out coordinator)."""
+        self._suppress_until = dict(suppress_until) if suppress_until else {}
+
+    # -------------------------------------------------------------- routing
+
+    def set_routing(self, down_name: str, routing: RoutingState) -> None:
+        """Install the routing mirror toward one downstream operator."""
+        self.routing[down_name] = routing
+
+    def repartition_buffer(self, down_name: str) -> None:
+        """partition-buffer-state(u): re-bucket buffered tuples for
+        ``down_name`` according to the current routing state."""
+        routing = self.routing.get(down_name)
+        buf = self.buffers.get(down_name)
+        if routing is None or buf is None:
+            return
+        buf.repartition(lambda tup: routing.route_key(tup.key))
+
+    # -------------------------------------------------------------- metrics
+
+    def backlog(self) -> float:
+        """Weighted tuples received but not yet processed."""
+        return self._backlog_weight

@@ -1,0 +1,106 @@
+"""The logically centralised query manager (§2.2, §5).
+
+Owns the execution graph (which slots realise which logical operator)
+and the authoritative copy of all routing state.  Routing state is not
+part of operator checkpoints — it only changes on scale out/in and
+recovery — so the query manager is where coordinators store it and where
+recovering operators retrieve it (Algorithm 2, store-routing-state).
+"""
+
+from __future__ import annotations
+
+from repro.core.execution import ExecutionGraph, Slot
+from repro.core.query import QueryGraph
+from repro.core.state import RoutingState
+from repro.errors import QueryError
+
+
+class QueryManager:
+    """Maps logical queries to physical execution graphs."""
+
+    def __init__(self) -> None:
+        self.query: QueryGraph | None = None
+        self.execution: ExecutionGraph | None = None
+
+    # ------------------------------------------------------------ lifecycle
+
+    def register_query(
+        self, query: QueryGraph, parallelism: dict[str, int] | None = None
+    ) -> ExecutionGraph:
+        """Validate ``query`` and build its initial execution graph."""
+        query.validate()
+        if self.query is not None:
+            raise QueryError("query manager already has a deployed query")
+        self.query = query
+        self.execution = ExecutionGraph(query)
+        self.execution.initialise(parallelism)
+        return self.execution
+
+    def _graph(self) -> ExecutionGraph:
+        if self.execution is None:
+            raise QueryError("no query deployed")
+        return self.execution
+
+    # --------------------------------------------------------------- slots
+
+    def slots_of(self, op_name: str) -> list[Slot]:
+        """Live slots realising ``op_name``."""
+        return self._graph().slots_of(op_name)
+
+    def slot_by_uid(self, uid: int) -> Slot:
+        """Look up a live slot by uid."""
+        return self._graph().slot_by_uid(uid)
+
+    def new_slot(self, op_name: str, index: int) -> Slot:
+        """Mint a new slot identity for ``op_name``."""
+        return self._graph().new_slot(op_name, index)
+
+    def replace_slots(
+        self, op_name: str, removed: list[Slot], added: list[Slot]
+    ) -> None:
+        """Swap partition slots after scale out/in or recovery."""
+        self._graph().replace_slots(op_name, removed, added)
+
+    def parallelism_of(self, op_name: str) -> int:
+        """Current number of partitions of ``op_name``."""
+        return self._graph().parallelism_of(op_name)
+
+    def total_slots(self) -> int:
+        """Total live slots across all operators."""
+        return self._graph().total_slots()
+
+    # ------------------------------------------------------------- routing
+
+    def routing_to(self, op_name: str) -> RoutingState:
+        """retrieve-routing-state(o)."""
+        return self._graph().routing_to(op_name)
+
+    def store_routing(self, op_name: str, routing: RoutingState) -> None:
+        """store-routing-state(u, ρ) — the authoritative copy."""
+        self._graph().set_routing(op_name, routing)
+
+    # ------------------------------------------------------------ topology
+
+    def upstream_of(self, op_name: str) -> list[str]:
+        """up(o): names of operators feeding ``op_name``."""
+        if self.query is None:
+            raise QueryError("no query deployed")
+        return self.query.upstream_of(op_name)
+
+    def downstream_of(self, op_name: str) -> list[str]:
+        """down(o): names of operators fed by ``op_name``."""
+        if self.query is None:
+            raise QueryError("no query deployed")
+        return self.query.downstream_of(op_name)
+
+    def is_source(self, op_name: str) -> bool:
+        """Whether ``op_name`` is a source."""
+        if self.query is None:
+            raise QueryError("no query deployed")
+        return self.query.is_source(op_name)
+
+    def is_sink(self, op_name: str) -> bool:
+        """Whether ``op_name`` is a sink."""
+        if self.query is None:
+            raise QueryError("no query deployed")
+        return self.query.is_sink(op_name)

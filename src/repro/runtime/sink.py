@@ -1,0 +1,106 @@
+"""Sinks: operators that collect query results.
+
+Sinks record end-to-end tuple latency (the paper's headline performance
+metric) and hand results to pluggable collectors.  The collectors are
+deliberately idempotent where the query semantics allow it: a recovered
+operator may re-emit results it already produced, and idempotent
+collection is what makes "recovery does not affect query results"
+testable at the sink.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.core.operator import Operator, OperatorContext
+from repro.core.operators import merge_topk
+from repro.core.tuples import Tuple
+
+
+class SinkOperator(Operator):
+    """A query sink; forwards every received tuple to a collector."""
+
+    def __init__(
+        self,
+        name: str,
+        collector: Callable[[Tuple, float], None] | None = None,
+        cost_per_tuple: float = 1.6e-6,
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("measure_latency", True)
+        super().__init__(name, cost_per_tuple=cost_per_tuple, **kwargs)
+        self._collector = collector
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        if self._collector is not None:
+            self._collector(tup, ctx.now)
+
+
+class WindowedResultCollector:
+    """Collects ``(key, (window_index, value))`` results idempotently.
+
+    Duplicate emissions of the same window (after recovery) carry
+    identical deterministic values, so last-write-wins storage makes
+    collection exactly-once at the result level.
+    """
+
+    def __init__(self) -> None:
+        self.results: dict[tuple[Any, int], Any] = {}
+        self.received = 0
+
+    def __call__(self, tup: Tuple, _now: float) -> None:
+        window_index, value = tup.payload
+        self.results[(tup.key, window_index)] = value
+        self.received += 1
+
+    def value(self, key: Any, window_index: int) -> Any:
+        """The collected value for one (key, window) cell."""
+        return self.results.get((key, window_index))
+
+    def windows(self) -> set[int]:
+        """All window indices with collected results."""
+        return {window for _key, window in self.results}
+
+    def counts_for_window(self, window_index: int) -> dict[Any, Any]:
+        """key → value mapping for one window."""
+        return {
+            key: value
+            for (key, window), value in self.results.items()
+            if window == window_index
+        }
+
+
+class TopKResultCollector:
+    """Aggregates partial top-k rankings from partitioned reducers (§6.1).
+
+    Each reducer partition periodically emits its partial ranking; the
+    sink keeps the most recent partial per origin slot and merges them
+    into the final answer on demand.
+    """
+
+    def __init__(self, k: int = 10) -> None:
+        self.k = k
+        self._partials: dict[int, tuple] = {}
+        self.emissions = 0
+
+    def __call__(self, tup: Tuple, _now: float) -> None:
+        self._partials[tup.slot] = tup.payload
+        self.emissions += 1
+
+    def ranking(self) -> list[tuple[Any, int]]:
+        """The merged top-k ranking across partition partials."""
+        return merge_topk(list(self._partials.values()), self.k)
+
+
+class RecordingCollector:
+    """Keeps every received tuple — small tests and examples only."""
+
+    def __init__(self) -> None:
+        self.tuples: list[Tuple] = []
+
+    def __call__(self, tup: Tuple, _now: float) -> None:
+        self.tuples.append(tup)
+
+    def __len__(self) -> int:
+        return len(self.tuples)

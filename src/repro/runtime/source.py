@@ -1,0 +1,63 @@
+"""Sources: operators that feed external data into a query.
+
+A :class:`SourceOperator` marks a query-graph source (§2.2: ``src``
+operators cannot fail).  Actual data comes from a
+:class:`WorkloadGenerator`, which the deployment manager attaches to the
+source's instances; generators drive
+:meth:`repro.runtime.instance.OperatorInstance.inject`, so source-side
+serialisation cost and saturation are modelled like any other CPU work.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Protocol
+
+from repro.core.operator import Operator
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import OperatorInstance
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class SourceOperator(Operator):
+    """A query source; emits whatever its workload generator injects."""
+
+    def __init__(self, name: str, cost_per_tuple: float = 1.6e-6, **kwargs):
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, cost_per_tuple=cost_per_tuple, **kwargs)
+
+    def on_tuple(self, tup, ctx) -> None:  # pragma: no cover - defensive
+        raise RuntimeError(f"source {self.name} cannot receive tuples")
+
+
+class WorkloadGenerator(Protocol):
+    """Anything that can drive a source operator's instances."""
+
+    def attach(
+        self,
+        system: "StreamProcessingSystem",
+        instances: list["OperatorInstance"],
+    ) -> None:
+        """Schedule emissions into the given source instances."""
+        ...  # pragma: no cover - protocol
+
+
+class SourceController:
+    """Pause/resume handle over a source's instances.
+
+    The source-replay recovery strategy "stops the generation of new
+    tuples during the recovery phase" (§6.2); generators must check
+    :attr:`emitting` before injecting.
+    """
+
+    def __init__(self) -> None:
+        self.emitting = True
+        self.paused_weight = 0.0
+
+    def pause(self) -> None:
+        """Stop generation of new tuples (source-replay recovery)."""
+        self.emitting = False
+
+    def resume(self) -> None:
+        """Resume generation."""
+        self.emitting = True

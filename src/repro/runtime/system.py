@@ -1,0 +1,328 @@
+"""The stream processing system facade (Fig. 4 of the paper).
+
+:class:`StreamProcessingSystem` assembles every component: the simulated
+cloud (provider, pool, network, failure injection), the query and
+deployment managers, the per-VM backup stores, the bottleneck detector +
+scale-out coordinator and the failure detector + recovery coordinator.
+It is the single object experiments interact with::
+
+    sps = StreamProcessingSystem(SystemConfig())
+    sps.deploy(query, generators={"src": generator})
+    sps.run(until=120.0)
+"""
+
+from __future__ import annotations
+
+from typing import Any
+
+from repro.config import (
+    STRATEGY_ACTIVE_REPLICATION,
+    STRATEGY_NONE,
+    SystemConfig,
+)
+from repro.core.checkpoint import BackupStore, Checkpoint
+from repro.core.query import QueryGraph
+from repro.errors import DeploymentError, RuntimeStateError
+from repro.runtime.deployment import DeploymentManager
+from repro.runtime.instance import OperatorInstance
+from repro.runtime.query_manager import QueryManager
+from repro.runtime.source import SourceController, WorkloadGenerator
+from repro.sim.cloud import CloudProvider, VMPool
+from repro.sim.failure import FailureInjector
+from repro.sim.metrics import MetricsHub
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import PRIORITY_CONTROL, Simulator
+from repro.sim.vm import VirtualMachine
+
+
+class StreamProcessingSystem:
+    """A complete, simulated deployment of the paper's SPS."""
+
+    def __init__(self, config: SystemConfig | None = None) -> None:
+        self.config = config or SystemConfig()
+        self.config.validate()
+        self.sim = Simulator()
+        self.rng = RngRegistry(self.config.seed)
+        self.metrics = MetricsHub()
+        self.network = Network(
+            self.sim,
+            latency=self.config.network.latency,
+            bandwidth_bytes_per_s=self.config.network.bandwidth_bytes_per_s,
+        )
+        self.provider = CloudProvider(
+            self.sim,
+            provisioning_delay=self.config.cloud.provisioning_delay,
+            cpu_capacity=self.config.cloud.worker_capacity,
+        )
+        self.pool = VMPool(
+            self.sim,
+            self.provider,
+            size=self.config.cloud.pool_size,
+            handout_delay=self.config.cloud.pool_handout_delay,
+        )
+        self.injector = FailureInjector(self.sim)
+        self.query_manager = QueryManager()
+        self.deployment = DeploymentManager(self)
+        self.instances: dict[int, OperatorInstance] = {}
+        self.source_controllers: dict[str, SourceController] = {}
+        #: Backup stores by VM id (a store dies with its VM).
+        self.backup_stores: dict[int, BackupStore] = {}
+        #: Where each slot's most recent backup lives (backup(o)).
+        self.backup_locations: dict[int, VirtualMachine] = {}
+        #: Slots whose upstream buffers must not be trimmed right now
+        #: (a scale-out/recovery is pinned to one of their checkpoints).
+        self.trim_locks: set[int] = set()
+        # Control-plane components, created at deploy time.
+        self.detector = None
+        self.scale_out = None
+        self.scale_in = None
+        self.recovery = None
+        #: Active-replication manager (set when the strategy is active).
+        self.replication = None
+        self._deployed = False
+
+    # ------------------------------------------------------------ lifecycle
+
+    def deploy(
+        self,
+        query: QueryGraph,
+        parallelism: dict[str, int] | None = None,
+        generators: dict[str, WorkloadGenerator] | None = None,
+    ) -> None:
+        """Deploy a query and start all control-plane services."""
+        if self._deployed:
+            raise DeploymentError("system already has a deployed query")
+        self.deployment.deploy_query(query, parallelism, generators)
+        self._deployed = True
+
+        from repro.fault.recovery import RecoveryCoordinator
+        from repro.scaling.coordinator import ScaleOutCoordinator
+        from repro.scaling.detector import BottleneckDetector
+        from repro.scaling.scale_in import ScaleInCoordinator
+
+        self.scale_out = ScaleOutCoordinator(self)
+        self.scale_in = ScaleInCoordinator(self)
+        self.recovery = RecoveryCoordinator(self)
+        if self.config.fault.strategy == STRATEGY_ACTIVE_REPLICATION:
+            from repro.fault.active import ActiveReplicationManager
+
+            self.replication = ActiveReplicationManager(self)
+            self.replication.replicate_all()
+        if self.config.scaling.enabled:
+            self.detector = BottleneckDetector(self)
+            self.detector.start()
+
+    def run(self, until: float) -> None:
+        """Advance simulated time to ``until``."""
+        self.sim.run(until=until)
+
+    # -------------------------------------------------------------- lookups
+
+    def instance(self, uid: int) -> OperatorInstance | None:
+        """The instance registered for a slot uid (any status)."""
+        return self.instances.get(uid)
+
+    def live_instance(self, uid: int) -> OperatorInstance | None:
+        """The instance for a slot uid if alive on a live VM."""
+        instance = self.instances.get(uid)
+        if instance is not None and instance.alive and instance.vm.alive:
+            return instance
+        return None
+
+    def instances_of(self, op_name: str) -> list[OperatorInstance]:
+        """Live instances realising ``op_name``, in partition order."""
+        result = []
+        for slot in self.query_manager.slots_of(op_name):
+            instance = self.instances.get(slot.uid)
+            if instance is not None:
+                result.append(instance)
+        return result
+
+    def vm_of(self, op_name: str, partition: int = 0) -> VirtualMachine:
+        """The VM hosting one partition (failure-injection helper)."""
+        slots = self.query_manager.slots_of(op_name)
+        if partition >= len(slots):
+            raise RuntimeStateError(
+                f"{op_name} has {len(slots)} partitions, no index {partition}"
+            )
+        instance = self.instances[slots[partition].uid]
+        return instance.vm
+
+    def worker_instances(self) -> list[OperatorInstance]:
+        """All live non-source/sink instances."""
+        return [
+            inst
+            for inst in self.instances.values()
+            if inst.alive and not inst.is_source and not inst.is_sink
+        ]
+
+    def worker_vm_count(self) -> int:
+        """Number of live worker VMs."""
+        return len(self.worker_instances())
+
+    def record_vm_count(self) -> None:
+        """Sample the VM-count time series."""
+        now = self.sim.now
+        self.metrics.time_series_for("vms:workers").record(now, self.worker_vm_count())
+        self.metrics.time_series_for("vms:billed").record(
+            now, self.provider.vm_count_allocated()
+        )
+
+    # ------------------------------------------------------------- backups
+
+    def backup_checkpoint(self, instance: OperatorInstance, ckpt: Checkpoint) -> None:
+        """backup-state(o): ship a checkpoint to the chosen upstream VM."""
+        target = self.choose_backup_vm(instance)
+        if target is None:
+            return
+        cfg = self.config.checkpoint
+        size = ckpt.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+        self.network.send(
+            instance.vm, target, size, self._store_backup, ckpt, target
+        )
+
+    def choose_backup_vm(self, instance: OperatorInstance) -> VirtualMachine | None:
+        """Pick backup(o) among upstream VMs: hash(id(o)) mod |up(o)|."""
+        upstream_ops = self.query_manager.upstream_of(instance.op_name)
+        candidates: list[OperatorInstance] = []
+        for op_name in upstream_ops:
+            for slot in self.query_manager.slots_of(op_name):
+                up = self.live_instance(slot.uid)
+                if up is not None:
+                    candidates.append(up)
+        if not candidates:
+            return None
+        candidates.sort(key=lambda inst: inst.uid)
+        return candidates[instance.uid % len(candidates)].vm
+
+    def _store_backup(self, ckpt: Checkpoint, target: VirtualMachine) -> None:
+        store = self.backup_stores.setdefault(target.vm_id, BackupStore())
+        if ckpt.incremental:
+            ckpt = self._materialize_delta(ckpt, store)
+            if ckpt is None:
+                return
+        store.store(ckpt)
+        previous = self.backup_locations.get(ckpt.slot_uid)
+        if previous is not None and previous.vm_id != target.vm_id:
+            old_store = self.backup_stores.get(previous.vm_id)
+            if old_store is not None:
+                old_store.delete(ckpt.slot_uid)
+        self.backup_locations[ckpt.slot_uid] = target
+        self.metrics.increment("checkpoints_stored")
+        # Output buffers upstream of the checkpointed operator can now be
+        # trimmed up to the τ vector (Algorithm 1, line 4) — unless a
+        # scale-out/recovery holds a trim lock because it is pinned to an
+        # earlier checkpoint of this slot.
+        if ckpt.slot_uid in self.trim_locks:
+            return
+        for up_uid, ts in ckpt.positions.items():
+            upstream = self.live_instance(up_uid)
+            if upstream is not None:
+                upstream.trim_buffer_to(ckpt.slot_uid, ts)
+
+    def _materialize_delta(
+        self, delta: Checkpoint, store: BackupStore
+    ) -> Checkpoint | None:
+        """Apply an incremental checkpoint onto its stored base.
+
+        When the base is missing (first delta after the backup moved to a
+        different VM, or the base VM died) the owner is told to take a
+        full checkpoint next time and the delta is discarded.
+        """
+        from repro.core.checkpoint import materialize_increment
+
+        base = store.retrieve(delta.slot_uid) if store.has(delta.slot_uid) else None
+        if base is not None and not base.incremental and base.seq == delta.base_seq:
+            return materialize_increment(base, delta)
+        self.metrics.increment("incremental_base_missing")
+        owner = self.live_instance(delta.slot_uid)
+        if owner is not None:
+            owner.force_full_checkpoint()
+        return None
+
+    def backup_of(self, slot_uid: int) -> Checkpoint | None:
+        """The most recent surviving backup for a slot, if any."""
+        vm = self.backup_locations.get(slot_uid)
+        if vm is None or not vm.alive:
+            return None
+        store = self.backup_stores.get(vm.vm_id)
+        if store is None or not store.has(slot_uid):
+            return None
+        return store.retrieve(slot_uid)
+
+    def drop_backup(self, slot_uid: int) -> None:
+        """delete-backup for a slot that no longer exists."""
+        vm = self.backup_locations.pop(slot_uid, None)
+        if vm is None:
+            return
+        store = self.backup_stores.get(vm.vm_id)
+        if store is not None:
+            store.delete(slot_uid)
+
+    # -------------------------------------------------------------- failure
+
+    def notify_instance_failed(self, instance: OperatorInstance) -> None:
+        """Called by an instance when its VM crashes."""
+        now = self.sim.now
+        self.metrics.mark_event(now, "failure", repr(instance.slot))
+        self.record_vm_count()
+        self._handle_lost_backups(instance.vm)
+        if self.recovery is None or self.config.fault.strategy == STRATEGY_NONE:
+            return
+        self.sim.schedule(
+            self.config.fault.detection_delay,
+            self.recovery.on_failure_detected,
+            instance,
+            priority=PRIORITY_CONTROL,
+        )
+
+    def _handle_lost_backups(self, vm: VirtualMachine) -> None:
+        """Backups stored on a crashed VM are gone; owners re-checkpoint."""
+        store = self.backup_stores.pop(vm.vm_id, None)
+        if store is None:
+            return
+        for owner_uid in store.owners():
+            located = self.backup_locations.get(owner_uid)
+            if located is not None and located.vm_id == vm.vm_id:
+                del self.backup_locations[owner_uid]
+            owner = self.live_instance(owner_uid)
+            if owner is not None:
+                # Re-establish a backup as soon as possible.
+                self.sim.schedule(
+                    0.05, owner.take_checkpoint, priority=PRIORITY_CONTROL
+                )
+
+    def retire_backup_store(self, vm: VirtualMachine) -> None:
+        """A VM is leaving service gracefully (its operator was replaced).
+
+        Backups it held must move: owners re-checkpoint immediately, and
+        in-flight scale-outs that were partitioning state on this VM abort
+        (and retry through the normal policy/recovery paths).
+        """
+        if self.scale_out is not None:
+            self.scale_out.abort_operations_on_backup_vm(vm)
+        self._handle_lost_backups(vm)
+
+    # -------------------------------------------------------------- results
+
+    def counter(self, name: str) -> float:
+        """Read one metrics counter."""
+        return self.metrics.counter(name)
+
+    def summary(self) -> dict[str, Any]:
+        """A quick run summary used by examples and smoke tests."""
+        parallelism = {
+            name: self.query_manager.parallelism_of(name)
+            for name in (self.query_manager.query.operators if self.query_manager.query else {})
+        }
+        return {
+            "time": self.sim.now,
+            "worker_vms": self.worker_vm_count(),
+            "billed_vms": self.provider.vm_count_allocated(),
+            "parallelism": parallelism,
+            "checkpoints_stored": self.counter("checkpoints_stored"),
+            "scale_outs": len(self.metrics.events_of_kind("scale_out")),
+            "failures": len(self.metrics.events_of_kind("failure")),
+            "recoveries": len(self.metrics.events_of_kind("recovery_complete")),
+        }

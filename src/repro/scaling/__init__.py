@@ -1,0 +1,16 @@
+"""Dynamic scale out: utilisation reports, bottleneck detection, policy,
+and the fault-tolerant scale-out coordinator (Algorithm 3)."""
+
+from repro.scaling.coordinator import ScaleOutCoordinator
+from repro.scaling.detector import BottleneckDetector
+from repro.scaling.policy import ScaleOutDecision, ThresholdScalingPolicy
+from repro.scaling.reports import UtilizationReport, UtilizationTracker
+
+__all__ = [
+    "BottleneckDetector",
+    "ScaleOutCoordinator",
+    "ScaleOutDecision",
+    "ThresholdScalingPolicy",
+    "UtilizationReport",
+    "UtilizationTracker",
+]

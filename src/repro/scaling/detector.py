@@ -1,0 +1,89 @@
+"""Bottleneck detector (§5.1, Fig. 4).
+
+Collects per-VM CPU utilisation reports every ``r`` seconds, runs the
+scaling policy over them and forwards decisions to the scale-out
+coordinator.  Sources and sinks are excluded — the paper treats them as
+fixed infrastructure whose saturation bounds the achievable L-rating.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.scaling.policy import ScaleOutDecision, ThresholdScalingPolicy
+from repro.scaling.reports import UtilizationReport, UtilizationTracker
+from repro.sim.simulator import PeriodicTask
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class BottleneckDetector:
+    """Periodic utilisation collection + policy evaluation."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        self.policy = ThresholdScalingPolicy(system.config.scaling)
+        self.tracker = UtilizationTracker()
+        self._task: PeriodicTask | None = None
+        self.reports_collected = 0
+        self.decisions_made = 0
+
+    def start(self) -> None:
+        """Begin periodic report collection."""
+        if self._task is None:
+            self._task = self.system.sim.every(
+                self.system.config.scaling.report_interval, self._tick
+            )
+
+    def stop(self) -> None:
+        """Stop collecting."""
+        if self._task is not None:
+            self._task.stop()
+            self._task = None
+
+    def _tick(self) -> None:
+        reports = self.collect_reports()
+        self.reports_collected += len(reports)
+        decisions = self.policy.observe(
+            reports, self.system.sim.now, self._vm_budget_left()
+        )
+        for decision in decisions:
+            self._apply(decision)
+
+    def collect_reports(self) -> list[UtilizationReport]:
+        """One round of utilisation reports from all worker VMs."""
+        now = self.system.sim.now
+        reports = []
+        for instance in self.system.worker_instances():
+            report = self.tracker.sample(
+                now,
+                instance.op_name,
+                instance.uid,
+                instance.vm.vm_id,
+                instance.vm.busy_seconds_total(),
+            )
+            if report is not None:
+                self.system.metrics.time_series_for(
+                    f"util:{instance.op_name}[{instance.slot.index}]"
+                ).record(now, report.utilization)
+                reports.append(report)
+        return reports
+
+    def _vm_budget_left(self) -> int | None:
+        max_vms = self.system.config.scaling.max_vms
+        if max_vms is None:
+            return None
+        return max(0, max_vms - self.system.worker_vm_count())
+
+    def _apply(self, decision: ScaleOutDecision) -> None:
+        coordinator = self.system.scale_out
+        if coordinator is None:
+            return
+        started = coordinator.scale_out_slot(
+            decision.slot_uid,
+            parallelism=self.system.config.scaling.split_factor,
+            reason=decision.reason,
+        )
+        if started:
+            self.decisions_made += 1

@@ -1,0 +1,84 @@
+"""Scale-out policy (§5.1).
+
+The paper's policy: when ``k`` consecutive utilisation reports from an
+operator are above threshold ``δ``, ask the scale-out coordinator to
+parallelise it.  Empirically the paper uses r = 5 s, k = 2, δ = 70 %.
+
+Decisions are per *partition*: every partition whose own reports crossed
+the threshold splits, which is what lets capacity track exponential load
+growth (splitting only the hottest partition per round adds one VM per
+round — linear growth — and falls behind; see the Fig. 6/7 benches).
+Each partition gets its own cooldown, and freshly created partitions
+implicitly cool down while they accumulate ``k`` reports.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+from repro.config import ScalingConfig
+from repro.scaling.reports import UtilizationReport
+
+
+@dataclass(frozen=True)
+class ScaleOutDecision:
+    """A request to split one slot of one operator."""
+
+    op_name: str
+    slot_uid: int
+    utilization: float
+    reason: str = "bottleneck"
+
+
+class ThresholdScalingPolicy:
+    """k-consecutive-reports-above-δ policy with per-slot cooldown."""
+
+    def __init__(self, config: ScalingConfig) -> None:
+        self.config = config
+        self._consecutive: dict[int, int] = {}
+        self._cooldown_until: dict[int, float] = {}
+
+    def observe(
+        self, reports: list[UtilizationReport], now: float, vm_budget_left: int | None
+    ) -> list[ScaleOutDecision]:
+        """Feed one round of reports; returns scale-out decisions.
+
+        ``vm_budget_left`` caps how many *additional* VMs decisions may
+        consume this round (None = unlimited).
+        """
+        hot: list[UtilizationReport] = []
+        for report in reports:
+            if report.above(self.config.threshold):
+                count = self._consecutive.get(report.slot_uid, 0) + 1
+                self._consecutive[report.slot_uid] = count
+                if count < self.config.consecutive_reports:
+                    continue
+                if self._cooldown_until.get(report.slot_uid, 0.0) > now:
+                    continue
+                hot.append(report)
+            else:
+                self._consecutive[report.slot_uid] = 0
+
+        decisions: list[ScaleOutDecision] = []
+        extra_vms_each = self.config.split_factor - 1
+        for report in sorted(hot, key=lambda r: (-r.utilization, r.slot_uid)):
+            if vm_budget_left is not None and vm_budget_left < extra_vms_each:
+                break
+            if vm_budget_left is not None:
+                vm_budget_left -= extra_vms_each
+            decisions.append(
+                ScaleOutDecision(report.op_name, report.slot_uid, report.utilization)
+            )
+            self._cooldown_until[report.slot_uid] = now + self.config.cooldown
+            self._consecutive[report.slot_uid] = 0
+        return decisions
+
+    def forget_slot(self, slot_uid: int) -> None:
+        """Drop all tracking state for a retired slot."""
+        self._consecutive.pop(slot_uid, None)
+        self._cooldown_until.pop(slot_uid, None)
+
+    def note_scale_out(self, slot_uid: int, now: float) -> None:
+        """Record an externally triggered split of a slot."""
+        self._cooldown_until[slot_uid] = now + self.config.cooldown
+        self._consecutive[slot_uid] = 0

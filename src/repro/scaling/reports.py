@@ -1,0 +1,60 @@
+"""CPU utilisation reports (§5.1).
+
+Every ``r`` seconds each VM hosting an operator reports the fraction of
+the report window its CPU spent executing the operator (user + system
+time).  Reports feed the bottleneck detector.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+@dataclass(frozen=True)
+class UtilizationReport:
+    """One VM's utilisation over one report window."""
+
+    time: float
+    op_name: str
+    slot_uid: int
+    vm_id: int
+    window: float
+    utilization: float
+
+    def above(self, threshold: float) -> bool:
+        """Whether this report exceeds the given threshold."""
+        return self.utilization >= threshold
+
+
+class UtilizationTracker:
+    """Computes per-window utilisation deltas from VM busy-time totals."""
+
+    def __init__(self) -> None:
+        self._last_busy: dict[int, float] = {}
+        self._last_time: dict[int, float] = {}
+
+    def sample(
+        self,
+        time: float,
+        op_name: str,
+        slot_uid: int,
+        vm_id: int,
+        busy_total: float,
+    ) -> UtilizationReport | None:
+        """Produce a report for one slot; ``None`` on the first sample."""
+        previous_busy = self._last_busy.get(slot_uid)
+        previous_time = self._last_time.get(slot_uid)
+        self._last_busy[slot_uid] = busy_total
+        self._last_time[slot_uid] = time
+        if previous_busy is None or previous_time is None:
+            return None
+        window = time - previous_time
+        if window <= 0:
+            return None
+        utilization = max(0.0, min(1.0, (busy_total - previous_busy) / window))
+        return UtilizationReport(time, op_name, slot_uid, vm_id, window, utilization)
+
+    def forget(self, slot_uid: int) -> None:
+        """Drop tracking for a retired slot."""
+        self._last_busy.pop(slot_uid, None)
+        self._last_time.pop(slot_uid, None)

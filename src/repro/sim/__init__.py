@@ -1,0 +1,41 @@
+"""Discrete-event simulation substrate: clock, VMs, network, cloud, failures.
+
+This package replaces the paper's Amazon EC2 testbed with a deterministic
+simulator, as documented in DESIGN.md §2.
+"""
+
+from repro.sim.cloud import CloudProvider, VMPool
+from repro.sim.events import Event, EventQueue
+from repro.sim.failure import FailureInjector
+from repro.sim.metrics import LatencyReservoir, MetricsHub, RateSeries, TimeSeries
+from repro.sim.network import Network
+from repro.sim.rng import RngRegistry
+from repro.sim.simulator import (
+    PRIORITY_CONTROL,
+    PRIORITY_DATA,
+    PRIORITY_FAILURE,
+    PeriodicTask,
+    Simulator,
+)
+from repro.sim.vm import VirtualMachine, VMState
+
+__all__ = [
+    "CloudProvider",
+    "Event",
+    "EventQueue",
+    "FailureInjector",
+    "LatencyReservoir",
+    "MetricsHub",
+    "Network",
+    "PeriodicTask",
+    "PRIORITY_CONTROL",
+    "PRIORITY_DATA",
+    "PRIORITY_FAILURE",
+    "RateSeries",
+    "RngRegistry",
+    "Simulator",
+    "TimeSeries",
+    "VirtualMachine",
+    "VMPool",
+    "VMState",
+]

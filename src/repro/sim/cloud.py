@@ -1,0 +1,204 @@
+"""Cloud provider and VM pool (§5.2 of the paper).
+
+The provider models an IaaS platform: a fresh VM becomes usable only after
+a provisioning delay on the order of minutes.  The :class:`VMPool`
+decouples *requesting* a VM from *provisioning* one by holding ``p``
+pre-allocated instances: requests served from the pool complete in
+seconds, and the pool refills asynchronously.  This is the mechanism that
+makes second-scale scale-out and recovery possible in the experiments.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Callable
+
+from repro.errors import VMPoolError
+from repro.sim.simulator import PRIORITY_CONTROL, Simulator
+from repro.sim.vm import VirtualMachine, VMState
+
+
+class CloudProvider:
+    """Allocates VMs after a provisioning delay and tracks billing."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        provisioning_delay: float = 90.0,
+        cpu_capacity: float = 1.0,
+        max_vms: int | None = None,
+    ) -> None:
+        self.sim = sim
+        self.provisioning_delay = provisioning_delay
+        self.cpu_capacity = cpu_capacity
+        self.max_vms = max_vms
+        self._next_id = 0
+        self.vms: list[VirtualMachine] = []
+        self.provisions_requested = 0
+
+    def provision(
+        self,
+        callback: Callable[[VirtualMachine], None],
+        cpu_capacity: float | None = None,
+    ) -> None:
+        """Request a fresh VM; ``callback`` fires when it is usable."""
+        if self.max_vms is not None and self.vm_count_allocated() >= self.max_vms:
+            raise VMPoolError(
+                f"provider VM limit reached ({self.max_vms} allocated)"
+            )
+        self.provisions_requested += 1
+        capacity = cpu_capacity if cpu_capacity is not None else self.cpu_capacity
+        self.sim.schedule(
+            self.provisioning_delay,
+            self._deliver,
+            callback,
+            capacity,
+            priority=PRIORITY_CONTROL,
+        )
+
+    def provision_immediately(
+        self, cpu_capacity: float | None = None
+    ) -> VirtualMachine:
+        """Create a VM with no delay — initial deployment only.
+
+        The paper deploys the initial execution graph before the run
+        starts; the provisioning delay only matters for runtime requests.
+        """
+        capacity = cpu_capacity if cpu_capacity is not None else self.cpu_capacity
+        return self._create(capacity)
+
+    def _deliver(
+        self, callback: Callable[[VirtualMachine], None], capacity: float
+    ) -> None:
+        callback(self._create(capacity))
+
+    def _create(self, capacity: float) -> VirtualMachine:
+        vm = VirtualMachine(self.sim, self._next_id, capacity)
+        self._next_id += 1
+        self.vms.append(vm)
+        return vm
+
+    # ------------------------------------------------------------ accounting
+
+    def vm_count_allocated(self) -> int:
+        """VMs currently billed (running or still provisioning)."""
+        return sum(1 for vm in self.vms if vm.state is VMState.RUNNING)
+
+    def vm_seconds_billed(self, until: float | None = None) -> float:
+        """Total VM-seconds billed up to ``until`` (defaults to now)."""
+        end_default = until if until is not None else self.sim.now
+        total = 0.0
+        for vm in self.vms:
+            end = end_default
+            if vm.released_at is not None:
+                end = min(end, vm.released_at)
+            if vm.failed_at is not None:
+                end = min(end, vm.failed_at)
+            total += max(0.0, end - vm.started_at)
+        return total
+
+
+class VMPool:
+    """A pool of ``size`` pre-allocated VMs with asynchronous refill.
+
+    ``acquire`` hands out a pooled VM after ``handout_delay`` seconds
+    (container start, operator deployment).  When the pool is empty the
+    request queues until a refill provisioning completes — the degraded
+    path whose cost the pool exists to avoid.
+    """
+
+    def __init__(
+        self,
+        sim: Simulator,
+        provider: CloudProvider,
+        size: int = 2,
+        handout_delay: float = 1.0,
+        prefill: bool = True,
+    ) -> None:
+        if size < 0:
+            raise VMPoolError(f"pool size must be non-negative: {size}")
+        self.sim = sim
+        self.provider = provider
+        self.size = size
+        self.handout_delay = handout_delay
+        self._available: deque[VirtualMachine] = deque()
+        self._waiters: deque[Callable[[VirtualMachine], None]] = deque()
+        self._refills_in_flight = 0
+        #: Hand-outs are serial: the deployment manager configures one VM
+        #: at a time, so concurrent requests queue behind each other.
+        self._handout_free_at = 0.0
+        self.served_from_pool = 0
+        self.served_after_wait = 0
+        if prefill:
+            for _ in range(size):
+                self._available.append(provider.provision_immediately())
+
+    def acquire(self, callback: Callable[[VirtualMachine], None]) -> None:
+        """Request a VM; ``callback`` fires once it is ready for deployment."""
+        self._drop_dead_pool_vms()
+        if self._available:
+            vm = self._available.popleft()
+            self.served_from_pool += 1
+            self._hand_out(callback, vm)
+        else:
+            self._waiters.append(callback)
+        self._refill()
+
+    def _hand_out(self, callback: Callable[[VirtualMachine], None], vm: VirtualMachine) -> None:
+        start = max(self.sim.now, self._handout_free_at)
+        ready_at = start + self.handout_delay
+        self._handout_free_at = ready_at
+        self.sim.schedule_at(ready_at, callback, vm, priority=PRIORITY_CONTROL)
+
+    def available_count(self) -> int:
+        """Live VMs currently waiting in the pool."""
+        self._drop_dead_pool_vms()
+        return len(self._available)
+
+    def give_back(self, vm: VirtualMachine) -> None:
+        """Return an unused, still-healthy VM to the pool.
+
+        Aborted scale-outs hand their acquired-but-never-deployed VMs back
+        instead of releasing them, so the pool stays warm for the retry.
+        """
+        if not vm.alive:
+            return
+        if self._waiters:
+            callback = self._waiters.popleft()
+            self.served_after_wait += 1
+            self._hand_out(callback, vm)
+        elif len(self._available) < self.size:
+            self._available.append(vm)
+        else:
+            vm.release()
+
+    def resize(self, size: int) -> None:
+        """Adjust the target pool size (shrinking releases surplus VMs)."""
+        if size < 0:
+            raise VMPoolError(f"pool size must be non-negative: {size}")
+        self.size = size
+        while len(self._available) > size:
+            self._available.pop().release()
+        self._refill()
+
+    def _refill(self) -> None:
+        deficit = (
+            self.size + len(self._waiters) - len(self._available) - self._refills_in_flight
+        )
+        for _ in range(max(0, deficit)):
+            self._refills_in_flight += 1
+            self.provider.provision(self._on_refill)
+
+    def _on_refill(self, vm: VirtualMachine) -> None:
+        self._refills_in_flight -= 1
+        if self._waiters:
+            callback = self._waiters.popleft()
+            self.served_after_wait += 1
+            self._hand_out(callback, vm)
+        elif len(self._available) < self.size:
+            self._available.append(vm)
+        else:
+            vm.release()
+
+    def _drop_dead_pool_vms(self) -> None:
+        self._available = deque(vm for vm in self._available if vm.alive)

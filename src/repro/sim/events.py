@@ -1,0 +1,111 @@
+"""Event primitives for the discrete-event simulation kernel.
+
+An :class:`Event` couples a firing time with a callback.  Events are
+ordered by ``(time, priority, sequence)`` so that simultaneous events fire
+in a deterministic order: first by explicit priority, then by scheduling
+order.  Determinism matters here because the whole evaluation relies on
+reproducible runs from a single seed.
+"""
+
+from __future__ import annotations
+
+import heapq
+from typing import Any, Callable
+
+from repro.errors import EventError
+
+
+class Event:
+    """A single scheduled callback in the simulation.
+
+    Events are created through :meth:`repro.sim.simulator.Simulator.schedule`
+    rather than directly.  They may be cancelled before they fire; a
+    cancelled event stays in the heap but is skipped by the kernel.
+    """
+
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+
+    def __init__(
+        self,
+        time: float,
+        priority: int,
+        seq: int,
+        callback: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        self.time = time
+        self.priority = priority
+        self.seq = seq
+        self.callback = callback
+        self.args = args
+        self.cancelled = False
+
+    def cancel(self) -> None:
+        """Prevent the event from firing.
+
+        Cancelling an event that already fired raises :class:`EventError`,
+        because that almost always indicates a control-plane logic bug
+        (e.g. cancelling a checkpoint timer twice).
+        """
+        if self.callback is None:
+            raise EventError("event has already fired and cannot be cancelled")
+        self.cancelled = True
+
+    @property
+    def pending(self) -> bool:
+        """Whether the event is still going to fire."""
+        return not self.cancelled and self.callback is not None
+
+    def _mark_fired(self) -> None:
+        self.callback = None  # type: ignore[assignment]
+        self.args = ()
+
+    def __lt__(self, other: "Event") -> bool:
+        return (self.time, self.priority, self.seq) < (
+            other.time,
+            other.priority,
+            other.seq,
+        )
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        state = "cancelled" if self.cancelled else "pending"
+        name = getattr(self.callback, "__name__", repr(self.callback))
+        return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"
+
+
+class EventQueue:
+    """A binary heap of :class:`Event` objects with lazy deletion."""
+
+    def __init__(self) -> None:
+        self._heap: list[Event] = []
+        self._live = 0
+
+    def __len__(self) -> int:
+        return self._live
+
+    def push(self, event: Event) -> None:
+        """Add an event to the heap."""
+        heapq.heappush(self._heap, event)
+        self._live += 1
+
+    def peek_time(self) -> float | None:
+        """Return the firing time of the next live event, or ``None``."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        return self._heap[0].time
+
+    def pop(self) -> Event | None:
+        """Remove and return the next live event, or ``None`` if empty."""
+        self._drop_cancelled()
+        if not self._heap:
+            return None
+        event = heapq.heappop(self._heap)
+        self._live -= 1
+        return event
+
+    def _drop_cancelled(self) -> None:
+        heap = self._heap
+        while heap and heap[0].cancelled:
+            heapq.heappop(heap)
+            self._live -= 1

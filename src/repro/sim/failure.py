@@ -1,0 +1,81 @@
+"""Failure injection.
+
+Models the paper's failure assumption: independent, random crash-stop
+failures of machines.  Failures can be scheduled deterministically (kill
+this VM at t=60, as in the recovery experiments) or drawn from an
+exponential inter-failure distribution (as in long-running scale tests).
+"""
+
+from __future__ import annotations
+
+from typing import Callable
+
+import numpy as np
+
+from repro.sim.simulator import PRIORITY_FAILURE, Simulator
+from repro.sim.vm import VirtualMachine
+
+
+class FailureInjector:
+    """Schedules crash-stop failures against VMs."""
+
+    def __init__(self, sim: Simulator) -> None:
+        self.sim = sim
+        self.failures_injected: list[tuple[float, int]] = []
+
+    def fail_vm_at(self, vm: VirtualMachine, time: float) -> None:
+        """Crash ``vm`` at absolute simulated ``time``."""
+        self.sim.schedule_at(time, self._fail, vm, priority=PRIORITY_FAILURE)
+
+    def fail_target_at(
+        self, resolve: Callable[[], VirtualMachine | None], time: float
+    ) -> None:
+        """Crash whatever VM ``resolve`` returns at ``time``.
+
+        Late binding matters: a scale-out between scheduling and firing may
+        have moved the targeted operator to a different VM.
+        """
+        self.sim.schedule_at(
+            time, self._fail_resolved, resolve, priority=PRIORITY_FAILURE
+        )
+
+    def poisson_failures(
+        self,
+        candidates: Callable[[], list[VirtualMachine]],
+        mtbf: float,
+        rng: np.random.Generator,
+        until: float,
+    ) -> None:
+        """Inject failures with exponential inter-arrival times.
+
+        ``mtbf`` is the mean time between failures across the whole
+        deployment; victims are chosen uniformly among the alive VMs
+        returned by ``candidates`` at failure time.
+        """
+        t = self.sim.now + float(rng.exponential(mtbf))
+        while t < until:
+            self.sim.schedule_at(
+                t, self._fail_random, candidates, rng, priority=PRIORITY_FAILURE
+            )
+            t += float(rng.exponential(mtbf))
+
+    def _fail(self, vm: VirtualMachine) -> None:
+        if vm.alive:
+            self.failures_injected.append((self.sim.now, vm.vm_id))
+            vm.fail()
+
+    def _fail_resolved(self, resolve: Callable[[], VirtualMachine | None]) -> None:
+        vm = resolve()
+        if vm is not None:
+            self._fail(vm)
+
+    def _fail_random(
+        self,
+        candidates: Callable[[], list[VirtualMachine]],
+        rng: np.random.Generator,
+    ) -> None:
+        alive = [vm for vm in candidates() if vm.alive]
+        if not alive:
+            return
+        victim = alive[int(rng.integers(len(alive)))]
+        self._fail(victim)

@@ -1,0 +1,88 @@
+"""Network model.
+
+Transfers between VMs experience a fixed per-message latency plus a
+bandwidth-proportional delay.  Messages addressed to a VM that has failed
+by delivery time are dropped — exactly the behaviour that forces the SPS
+to buffer output tuples upstream until they are covered by a downstream
+checkpoint.
+
+The model deliberately gives every transfer its own pipe (no cross-traffic
+interference): the paper's bottlenecks are CPU bottlenecks, and modelling
+link contention would add noise without changing any of the evaluated
+shapes.  Per-VM egress serialisation cost is instead charged as CPU work
+by the runtime, matching the paper's observation that sources/sinks
+saturate on serialisation overhead.
+"""
+
+from __future__ import annotations
+
+from typing import Any, Callable
+
+from repro.errors import SimulationError
+from repro.sim.simulator import PRIORITY_DATA, Simulator
+from repro.sim.vm import VirtualMachine
+
+
+class Network:
+    """Point-to-point message delivery between VMs."""
+
+    def __init__(
+        self,
+        sim: Simulator,
+        latency: float = 0.001,
+        bandwidth_bytes_per_s: float = 100e6,
+    ) -> None:
+        if latency < 0:
+            raise SimulationError(f"latency must be non-negative: {latency}")
+        if bandwidth_bytes_per_s <= 0:
+            raise SimulationError(
+                f"bandwidth must be positive: {bandwidth_bytes_per_s}"
+            )
+        self.sim = sim
+        self.latency = latency
+        self.bandwidth = bandwidth_bytes_per_s
+        self.messages_sent = 0
+        self.messages_delivered = 0
+        self.messages_dropped = 0
+        self.bytes_sent = 0.0
+
+    def transfer_time(self, size_bytes: float) -> float:
+        """Delay experienced by a message of ``size_bytes``."""
+        return self.latency + size_bytes / self.bandwidth
+
+    def send(
+        self,
+        src: VirtualMachine | None,
+        dst: VirtualMachine,
+        size_bytes: float,
+        on_delivered: Callable[..., Any],
+        *args: Any,
+    ) -> None:
+        """Deliver a message to ``dst`` after the modelled delay.
+
+        ``src`` may be ``None`` for messages originating outside the
+        cluster (e.g. external data feeds).  If the destination is dead at
+        delivery time the message is silently dropped (crash-stop model).
+        Messages from a VM that is already dead are not sent at all.
+        """
+        if src is not None and not src.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_sent += 1
+        self.bytes_sent += size_bytes
+        delay = self.transfer_time(size_bytes)
+        self.sim.schedule(
+            delay, self._deliver, dst, on_delivered, args, priority=PRIORITY_DATA
+        )
+
+    def _deliver(
+        self,
+        dst: VirtualMachine,
+        on_delivered: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        if not dst.alive:
+            self.messages_dropped += 1
+            return
+        self.messages_delivered += 1
+        on_delivered(*args)

@@ -1,0 +1,208 @@
+"""Virtual machine model.
+
+A VM is a serial CPU with a capacity expressed in CPU-seconds of work per
+wall-clock second (1.0 ≈ one EC2 "small" instance, the unit used in the
+paper).  Operator instances submit work items (tuple batches, checkpoint
+serialisation) to the VM's executor; queueing on this executor is what
+produces processing latency, bottlenecks and the utilisation numbers the
+scaling policy feeds on.
+"""
+
+from __future__ import annotations
+
+import enum
+from collections import deque
+from typing import Any, Callable
+
+from repro.errors import RuntimeStateError, SimulationError
+from repro.sim.events import Event
+from repro.sim.simulator import PRIORITY_DATA, Simulator
+
+
+class VMState(enum.Enum):
+    """Lifecycle of a VM."""
+
+    PROVISIONING = "provisioning"
+    RUNNING = "running"
+    FAILED = "failed"
+    RELEASED = "released"
+
+
+class _WorkItem:
+    __slots__ = ("work_seconds", "callback", "args")
+
+    def __init__(self, work_seconds: float, callback: Callable[..., Any], args: tuple):
+        self.work_seconds = work_seconds
+        self.callback = callback
+        self.args = args
+
+
+class VirtualMachine:
+    """A simulated VM hosting (at most) one operator instance.
+
+    Parameters
+    ----------
+    sim:
+        The owning simulator.
+    vm_id:
+        Unique identifier, assigned by the cloud provider.
+    cpu_capacity:
+        CPU-seconds of work the VM completes per second of simulated time.
+    """
+
+    def __init__(self, sim: Simulator, vm_id: int, cpu_capacity: float = 1.0) -> None:
+        if cpu_capacity <= 0:
+            raise SimulationError(f"cpu_capacity must be positive: {cpu_capacity}")
+        self.sim = sim
+        self.vm_id = vm_id
+        self.cpu_capacity = cpu_capacity
+        self.state = VMState.RUNNING
+        self.started_at = sim.now
+        self.failed_at: float | None = None
+        self.released_at: float | None = None
+        self._queue: deque[_WorkItem] = deque()
+        self._paused = False
+        self._current: _WorkItem | None = None
+        self._current_event: Event | None = None
+        self._current_started = 0.0
+        self._busy_accum = 0.0
+        self._failure_listeners: list[Callable[["VirtualMachine"], None]] = []
+        #: Opaque reference to whatever is deployed here (set by the runtime).
+        self.occupant: Any = None
+
+    # ------------------------------------------------------------------ CPU
+
+    def submit(
+        self,
+        work_seconds: float,
+        callback: Callable[..., Any],
+        *args: Any,
+        front: bool = False,
+    ) -> None:
+        """Queue ``work_seconds`` of CPU work; run ``callback`` when done.
+
+        ``front=True`` puts the item at the head of the queue (used for
+        checkpoint serialisation, which locks the operator's structures and
+        therefore pre-empts queued tuple batches but not the in-flight one).
+        """
+        if self.state is not VMState.RUNNING:
+            raise RuntimeStateError(
+                f"cannot submit work to VM {self.vm_id} in state {self.state}"
+            )
+        if work_seconds < 0:
+            raise SimulationError(f"negative work: {work_seconds}")
+        item = _WorkItem(work_seconds, callback, args)
+        if front:
+            self._queue.appendleft(item)
+        else:
+            self._queue.append(item)
+        if self._current is None:
+            self._start_next()
+
+    def pause(self) -> None:
+        """Stop starting queued work; the in-flight item completes.
+
+        Used by the scale-out coordinator's ``stop-operator`` step: the
+        operator stops processing while its routing and buffers are
+        repartitioned, but already-queued tuples are not lost.
+        """
+        self._paused = True
+
+    def resume(self) -> None:
+        """Resume starting queued work after a pause."""
+        self._paused = False
+        if self._current is None:
+            self._start_next()
+
+    @property
+    def paused(self) -> bool:
+        return self._paused
+
+    def _start_next(self) -> None:
+        if not self._queue or self._paused or self.state is not VMState.RUNNING:
+            return
+        item = self._queue.popleft()
+        self._current = item
+        self._current_started = self.sim.now
+        duration = item.work_seconds / self.cpu_capacity
+        self._current_event = self.sim.schedule(
+            duration, self._complete_current, priority=PRIORITY_DATA
+        )
+
+    def _complete_current(self) -> None:
+        item = self._current
+        assert item is not None
+        self._busy_accum += self.sim.now - self._current_started
+        self._current = None
+        self._current_event = None
+        item.callback(*item.args)
+        if self._current is None:
+            # The callback may itself have submitted (and started) new work.
+            self._start_next()
+
+    @property
+    def busy(self) -> bool:
+        return self._current is not None
+
+    @property
+    def queue_length(self) -> int:
+        return len(self._queue)
+
+    def queued_work_seconds(self) -> float:
+        """Outstanding CPU work including the remainder of the current item."""
+        total = sum(item.work_seconds for item in self._queue)
+        if self._current is not None and self._current_event is not None:
+            remaining = self._current_event.time - self.sim.now
+            total += remaining * self.cpu_capacity
+        return total
+
+    # -------------------------------------------------------- utilisation
+
+    def busy_seconds_total(self) -> float:
+        """Total CPU-busy seconds since boot, including the in-flight item."""
+        total = self._busy_accum
+        if self._current is not None:
+            total += self.sim.now - self._current_started
+        return total
+
+    # ------------------------------------------------------------ lifecycle
+
+    def on_failure(self, listener: Callable[["VirtualMachine"], None]) -> None:
+        """Register a callback invoked when this VM crashes."""
+        self._failure_listeners.append(listener)
+
+    def fail(self) -> None:
+        """Crash-stop the VM: all queued and in-flight work is lost."""
+        if self.state is not VMState.RUNNING:
+            return
+        self.state = VMState.FAILED
+        self.failed_at = self.sim.now
+        self._abandon_work()
+        listeners = list(self._failure_listeners)
+        self._failure_listeners.clear()
+        for listener in listeners:
+            listener(self)
+
+    def release(self) -> None:
+        """Return the VM to the provider (graceful shutdown)."""
+        if self.state is VMState.RELEASED:
+            return
+        if self.state is VMState.FAILED:
+            raise RuntimeStateError(f"cannot release failed VM {self.vm_id}")
+        self.state = VMState.RELEASED
+        self.released_at = self.sim.now
+        self._abandon_work()
+
+    def _abandon_work(self) -> None:
+        if self._current_event is not None and self._current_event.pending:
+            self._current_event.cancel()
+        self._current = None
+        self._current_event = None
+        self._queue.clear()
+
+    @property
+    def alive(self) -> bool:
+        return self.state is VMState.RUNNING
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return f"VM({self.vm_id}, {self.state.value}, cap={self.cpu_capacity})"

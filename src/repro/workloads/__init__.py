@@ -1,0 +1,45 @@
+"""Workloads: the paper's evaluation queries and their generators."""
+
+from repro.workloads.synthetic import (
+    CallbackGenerator,
+    RateDrivenGenerator,
+    constant_rate,
+    exponential_ramp,
+    linear_ramp,
+    step_profile,
+    zipf_weights,
+)
+from repro.workloads.text import (
+    STATE_SIZE_LARGE,
+    STATE_SIZE_MEDIUM,
+    STATE_SIZE_SMALL,
+    SentenceGenerator,
+    make_vocabulary,
+)
+from repro.workloads.wikipedia import (
+    VisitTraceGenerator,
+    WikipediaTopKQuery,
+    build_wikipedia_topk_query,
+)
+from repro.workloads.wordcount import WordCountQuery, WordSplitter, build_word_count_query
+
+__all__ = [
+    "CallbackGenerator",
+    "RateDrivenGenerator",
+    "STATE_SIZE_LARGE",
+    "STATE_SIZE_MEDIUM",
+    "STATE_SIZE_SMALL",
+    "SentenceGenerator",
+    "VisitTraceGenerator",
+    "WikipediaTopKQuery",
+    "WordCountQuery",
+    "WordSplitter",
+    "build_word_count_query",
+    "build_wikipedia_topk_query",
+    "constant_rate",
+    "exponential_ramp",
+    "linear_ramp",
+    "make_vocabulary",
+    "step_profile",
+    "zipf_weights",
+]

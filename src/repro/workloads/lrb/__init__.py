@@ -1,0 +1,41 @@
+"""Linear Road Benchmark workload (query, generator, validation)."""
+
+from repro.workloads.lrb.generator import LRBGenerator
+from repro.workloads.lrb.model import (
+    LATENCY_TARGET_SECONDS,
+    RATE_PER_XWAY_END,
+    RATE_PER_XWAY_START,
+    band_of,
+    toll_for,
+)
+from repro.workloads.lrb.operators import (
+    BalanceAccountOperator,
+    ForwarderOperator,
+    TollAssessmentOperator,
+    TollCalculatorOperator,
+    TollCollectorOperator,
+)
+from repro.workloads.lrb.query import (
+    LRBQuery,
+    LRBResultCollector,
+    build_lrb_query,
+    manual_parallelism,
+)
+
+__all__ = [
+    "BalanceAccountOperator",
+    "ForwarderOperator",
+    "LATENCY_TARGET_SECONDS",
+    "LRBGenerator",
+    "LRBQuery",
+    "LRBResultCollector",
+    "RATE_PER_XWAY_END",
+    "RATE_PER_XWAY_START",
+    "TollAssessmentOperator",
+    "TollCalculatorOperator",
+    "TollCollectorOperator",
+    "band_of",
+    "build_lrb_query",
+    "manual_parallelism",
+    "toll_for",
+]

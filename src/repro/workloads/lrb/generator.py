@@ -1,0 +1,120 @@
+"""Linear Road input generation.
+
+The paper pre-computes the input stream for one express-way and
+replicates it for ``L`` express-ways; the rate per express-way ramps from
+15 to 1700 tuples/s over the course of the benchmark.  This generator
+synthesises the same demand directly: per quantum and per express-way it
+emits weighted position reports (one per segment band) plus a weighted
+account-balance query tuple, with occasional accidents that flag a band's
+reports as stopped vehicles for a while.
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.lrb.model import (
+    BalanceQuery,
+    PositionReport,
+    RATE_PER_XWAY_END,
+    RATE_PER_XWAY_START,
+    SEGMENTS_PER_XWAY,
+)
+from repro.workloads.synthetic import RateDrivenGenerator, exponential_ramp
+
+
+class LRBGenerator(RateDrivenGenerator):
+    """Synthetic Linear Road input for ``L`` express-ways.
+
+    Keys are ``(xway, band)``; the key space therefore has ``L × bands``
+    semantic keys, which is what the toll calculator's state partitions
+    over.
+    """
+
+    def __init__(
+        self,
+        num_xways: int,
+        duration: float,
+        bands: int = 2,
+        balance_query_fraction: float = 0.01,
+        accident_probability_per_s: float = 0.0005,
+        accident_duration: float = 60.0,
+        quantum: float = 1.0,
+        rate_start: float = RATE_PER_XWAY_START,
+        rate_end: float = RATE_PER_XWAY_END,
+        **kwargs,
+    ) -> None:
+        if num_xways < 1:
+            raise WorkloadError(f"need at least one express-way: {num_xways}")
+        if not 0 <= balance_query_fraction < 1:
+            raise WorkloadError(
+                f"balance fraction must be in [0, 1): {balance_query_fraction}"
+            )
+        profile = exponential_ramp(
+            rate_start * num_xways, rate_end * num_xways, duration
+        )
+        kwargs.setdefault("rng_stream", "lrb-workload")
+        kwargs.setdefault("spread", False)
+        super().__init__(profile, quantum=quantum, **kwargs)
+        self.num_xways = num_xways
+        self.bands = bands
+        self.balance_query_fraction = balance_query_fraction
+        self.accident_probability_per_s = accident_probability_per_s
+        self.accident_duration = accident_duration
+        #: Active accidents: xway -> (band, clear_time).
+        self._accidents: dict[int, tuple[int, float]] = {}
+        self.accidents_started = 0
+
+    def make_tuples(
+        self, rng: np.random.Generator, now: float, count: int, instance_index: int
+    ) -> list:
+        self._update_accidents(rng, now)
+        triples: list = []
+        shares = self._split(count, self.num_xways)
+        for xway, share in enumerate(shares):
+            if share <= 0:
+                continue
+            balance_weight = int(round(share * self.balance_query_fraction))
+            position_weight = share - balance_weight
+            accident = self._accidents.get(xway)
+            band_shares = self._split(position_weight, self.bands)
+            for band, weight in enumerate(band_shares):
+                if weight <= 0:
+                    continue
+                stopped = accident is not None and accident[0] == band
+                segment = int(
+                    (band + rng.random()) * SEGMENTS_PER_XWAY / self.bands
+                )
+                # Congested traffic is slow; free flow is fast.  Speed is
+                # drawn around a congestion level tied to the input rate.
+                speed = float(rng.normal(30.0 if weight > 50 else 55.0, 5.0))
+                report = PositionReport(
+                    vehicle=int(rng.integers(10**6)),
+                    speed=max(0.0, speed),
+                    segment=min(SEGMENTS_PER_XWAY - 1, segment),
+                    stopped=stopped,
+                )
+                triples.append(((xway, band), report.as_payload(), weight))
+            if balance_weight > 0:
+                band = int(rng.integers(self.bands))
+                query = BalanceQuery(account=int(rng.integers(10**4)))
+                triples.append(((xway, band), query.as_payload(), balance_weight))
+        return triples
+
+    def _update_accidents(self, rng: np.random.Generator, now: float) -> None:
+        for xway in list(self._accidents):
+            if self._accidents[xway][1] <= now:
+                del self._accidents[xway]
+        start_probability = self.accident_probability_per_s * self.quantum
+        for xway in range(self.num_xways):
+            if xway in self._accidents:
+                continue
+            if rng.random() < start_probability:
+                band = int(rng.integers(self.bands))
+                self._accidents[xway] = (band, now + self.accident_duration)
+                self.accidents_started += 1
+
+    def active_accidents(self) -> dict[int, tuple[int, float]]:
+        """Currently active accidents: xway → (band, clear time)."""
+        return dict(self._accidents)

@@ -1,0 +1,86 @@
+"""Linear Road Benchmark data model (simplified; see DESIGN.md §2).
+
+LRB models a toll road network of ``L`` express-ways.  Vehicles emit
+position reports; a small fraction of input tuples are account-balance
+queries.  Tolls depend on congestion (vehicle count, average speed) and
+accidents (stopped vehicles).  The benchmark's service-level constraint
+is a 5-second notification latency.
+
+Simplifications relative to the full LRB specification, chosen to keep
+the *evaluated* properties (keyed stateful operators, rate ramp, compute
+bottlenecks, the 5 s latency target) intact:
+
+* segments are grouped into ``bands`` per express-way; tolls and
+  congestion are tracked per (xway, band) — the partitioning key;
+* account state is aggregated per (xway, band) account group;
+* daily-expenditure and travel-time queries (query types 3 and 4 in the
+  full benchmark, optional there too) are not modelled.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+#: Tuple kinds carried in payloads.
+KIND_POSITION = "pos"
+KIND_BALANCE_QUERY = "bal"
+KIND_TOLL = "toll"
+KIND_ACCIDENT = "accident"
+KIND_CHARGE = "charge"
+KIND_BALANCE_RESPONSE = "balance"
+
+#: LRB congestion model constants.
+SEGMENTS_PER_XWAY = 100
+CONGESTION_SPEED_MPH = 40.0
+CONGESTION_VEHICLES = 150
+TOLL_BASE_RATE = 2.0
+#: LRB response-time requirement in seconds.
+LATENCY_TARGET_SECONDS = 5.0
+#: Input rate per express-way over the benchmark (tuples/s).
+RATE_PER_XWAY_START = 15.0
+RATE_PER_XWAY_END = 1700.0
+
+
+def toll_for(vehicle_count: float, average_speed: float, accident: bool) -> float:
+    """LRB toll formula: ``2·(n − 150)²`` under congestion, else zero.
+
+    No toll is charged in a segment with an accident (drivers are being
+    diverted) or when traffic flows freely.
+    """
+    if accident:
+        return 0.0
+    if average_speed >= CONGESTION_SPEED_MPH:
+        return 0.0
+    if vehicle_count <= CONGESTION_VEHICLES:
+        return 0.0
+    return TOLL_BASE_RATE * (vehicle_count - CONGESTION_VEHICLES) ** 2
+
+
+def band_of(segment: int, bands: int) -> int:
+    """Which band a segment index falls into."""
+    return min(bands - 1, segment * bands // SEGMENTS_PER_XWAY)
+
+
+@dataclass(frozen=True)
+class PositionReport:
+    """A (possibly weighted) group of vehicle position reports."""
+
+    vehicle: int
+    speed: float
+    segment: int
+    stopped: bool = False
+
+    def as_payload(self) -> tuple:
+        """The wire representation carried in tuple payloads."""
+        return (KIND_POSITION, self.vehicle, self.speed, self.segment, self.stopped)
+
+
+@dataclass(frozen=True)
+class BalanceQuery:
+    """An account-balance query for an account group."""
+
+    account: int
+
+    def as_payload(self) -> tuple:
+        """The wire representation carried in tuple payloads."""
+        return (KIND_BALANCE_QUERY, self.account)

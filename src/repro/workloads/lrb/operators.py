@@ -1,0 +1,203 @@
+"""The seven LRB query operators (Fig. 5 of the paper).
+
+data feeder (source) → forwarder → { toll calculator, toll assessment }
+toll calculator → toll collector → sink
+toll calculator → toll assessment (charges)
+toll assessment → balance account → sink
+
+The *forwarder* routes tuples by type; the *toll calculator* (stateful,
+the main compute bottleneck) maintains congestion state and detects
+accidents; the *toll assessment* (stateful) accumulates account balances
+and answers balance queries; the *balance account* (stateful) aggregates
+responses; the *toll collector* (stateless) gathers notifications.
+"""
+
+from __future__ import annotations
+
+from repro.core.operator import Operator, OperatorContext
+from repro.core.tuples import Tuple
+from repro.errors import WorkloadError
+from repro.workloads.lrb.model import (
+    KIND_ACCIDENT,
+    KIND_BALANCE_QUERY,
+    KIND_BALANCE_RESPONSE,
+    KIND_CHARGE,
+    KIND_POSITION,
+    KIND_TOLL,
+    toll_for,
+)
+
+#: Per-tuple CPU costs calibrated so that at the paper's peak input rate
+#: (~600k tuples/s for L=350) the operators saturate at roughly the
+#: partition counts reported in Fig. 5 — toll calculator the most
+#: partitioned, then the forwarder (see DESIGN.md §5).
+COST_FORWARDER = 1.4e-5
+COST_TOLL_CALCULATOR = 2.8e-5
+COST_TOLL_ASSESSMENT = 5.0e-6
+COST_BALANCE_ACCOUNT = 5.0e-6
+COST_COLLECTOR = 2.0e-6
+COST_SOURCE_SINK = 2.0e-5
+
+
+class ForwarderOperator(Operator):
+    """Routes tuples downstream according to their type (stateless)."""
+
+    def __init__(
+        self,
+        name: str = "forwarder",
+        calculator: str = "toll_calc",
+        assessment: str = "toll_assess",
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", COST_FORWARDER)
+        super().__init__(name, **kwargs)
+        self._calculator = calculator
+        self._assessment = assessment
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        kind = tup.payload[0]
+        if kind == KIND_POSITION:
+            ctx.emit(tup.key, tup.payload, weight=tup.weight, to=self._calculator)
+        elif kind == KIND_BALANCE_QUERY:
+            ctx.emit(tup.key, tup.payload, weight=tup.weight, to=self._assessment)
+        else:
+            raise WorkloadError(f"forwarder got unexpected tuple kind {kind!r}")
+
+
+class TollCalculatorOperator(Operator):
+    """Maintains congestion state per (xway, band); computes tolls and
+    detects accidents (stateful — the LRB compute bottleneck).
+
+    State value per key: ``{"minute", "count", "speed", "accident_until"}``
+    — the vehicle count in the current minute, an EWMA of reported speed,
+    and the time until which an accident blocks tolls.
+    """
+
+    SPEED_ALPHA = 0.1
+    ACCIDENT_CLEAR_SECONDS = 60.0
+
+    def __init__(
+        self,
+        name: str = "toll_calc",
+        collector: str = "collector",
+        assessment: str = "toll_assess",
+        **kwargs,
+    ):
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("cost_per_tuple", COST_TOLL_CALCULATOR)
+        super().__init__(name, **kwargs)
+        self._collector = collector
+        self._assessment = assessment
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        kind, _vehicle, speed, _segment, stopped = tup.payload
+        if kind != KIND_POSITION:
+            raise WorkloadError(f"toll calculator got tuple kind {kind!r}")
+        entry = ctx.state.get(tup.key)
+        minute = int(ctx.now // 60)
+        if entry is None or entry["minute"] != minute:
+            previous_speed = entry["speed"] if entry else speed
+            entry = {
+                "minute": minute,
+                "count": 0.0,
+                "speed": previous_speed,
+                "accident_until": entry["accident_until"] if entry else 0.0,
+            }
+        entry["count"] += tup.weight
+        alpha = min(1.0, self.SPEED_ALPHA * tup.weight)
+        entry["speed"] += alpha * (speed - entry["speed"])
+        if stopped:
+            entry["accident_until"] = ctx.now + self.ACCIDENT_CLEAR_SECONDS
+        ctx.state[tup.key] = entry
+
+        accident = entry["accident_until"] > ctx.now
+        toll = toll_for(entry["count"], entry["speed"], accident)
+        if accident:
+            ctx.emit(
+                tup.key, (KIND_ACCIDENT, ctx.now), weight=tup.weight, to=self._collector
+            )
+        ctx.emit(
+            tup.key, (KIND_TOLL, toll), weight=tup.weight, to=self._collector
+        )
+        if toll > 0:
+            ctx.emit(
+                tup.key, (KIND_CHARGE, toll), weight=tup.weight, to=self._assessment
+            )
+
+    def merge_values(self, left: dict, right: dict) -> dict:
+        merged = dict(left if left["minute"] >= right["minute"] else right)
+        if left["minute"] == right["minute"]:
+            merged["count"] = left["count"] + right["count"]
+            merged["speed"] = (left["speed"] + right["speed"]) / 2
+        merged["accident_until"] = max(left["accident_until"], right["accident_until"])
+        return merged
+
+
+class TollAssessmentOperator(Operator):
+    """Accumulates toll charges per account group and answers balance
+    queries (stateful).
+
+    State value per key: ``{"balance", "charges"}``.
+    """
+
+    def __init__(self, name: str = "toll_assess", balance: str = "balance", **kwargs):
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("cost_per_tuple", COST_TOLL_ASSESSMENT)
+        super().__init__(name, **kwargs)
+        self._balance = balance
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        kind = tup.payload[0]
+        entry = ctx.state.setdefault(tup.key, {"balance": 0.0, "charges": 0.0})
+        if kind == KIND_CHARGE:
+            _kind, toll = tup.payload
+            entry["balance"] += toll * tup.weight
+            entry["charges"] += tup.weight
+        elif kind == KIND_BALANCE_QUERY:
+            ctx.emit(
+                tup.key,
+                (KIND_BALANCE_RESPONSE, entry["balance"]),
+                weight=tup.weight,
+                to=self._balance,
+            )
+        else:
+            raise WorkloadError(f"toll assessment got tuple kind {kind!r}")
+
+    def merge_values(self, left: dict, right: dict) -> dict:
+        return {
+            "balance": left["balance"] + right["balance"],
+            "charges": left["charges"] + right["charges"],
+        }
+
+
+class BalanceAccountOperator(Operator):
+    """Aggregates balance responses and forwards them to the sink."""
+
+    def __init__(self, name: str = "balance", **kwargs):
+        kwargs.setdefault("stateful", True)
+        kwargs.setdefault("cost_per_tuple", COST_BALANCE_ACCOUNT)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        _kind, balance = tup.payload
+        ctx.state[tup.key] = balance
+        ctx.emit(tup.key, tup.payload, weight=tup.weight)
+
+    def merge_values(self, left: float, right: float) -> float:
+        return max(left, right)
+
+
+class TollCollectorOperator(Operator):
+    """Gathers toll/accident notifications (stateless pass-through)."""
+
+    def __init__(self, name: str = "collector", **kwargs):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", COST_COLLECTOR)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        ctx.emit(tup.key, tup.payload, weight=tup.weight)

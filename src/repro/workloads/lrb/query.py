@@ -1,0 +1,157 @@
+"""Assembling the LRB query (Fig. 5) and its deployment plans."""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.query import QueryGraph
+from repro.core.tuples import Tuple
+from repro.errors import WorkloadError
+from repro.runtime.sink import SinkOperator
+from repro.runtime.source import SourceOperator
+from repro.workloads.lrb.generator import LRBGenerator
+from repro.workloads.lrb.model import (
+    KIND_ACCIDENT,
+    KIND_BALANCE_RESPONSE,
+    KIND_TOLL,
+    LATENCY_TARGET_SECONDS,
+)
+from repro.workloads.lrb.operators import (
+    COST_SOURCE_SINK,
+    BalanceAccountOperator,
+    ForwarderOperator,
+    TollAssessmentOperator,
+    TollCalculatorOperator,
+    TollCollectorOperator,
+)
+
+#: Relative CPU demand of each LRB worker operator at peak input — used
+#: by the manual (human expert) allocation of Fig. 10.
+RELATIVE_COST_WEIGHTS = {
+    "toll_calc": 24.0,
+    "forwarder": 12.0,
+    "toll_assess": 4.0,
+    "collector": 2.0,
+    "balance": 1.0,
+}
+
+
+class LRBResultCollector:
+    """Counts result notifications by kind at the sink."""
+
+    def __init__(self) -> None:
+        self.toll_notifications = 0.0
+        self.accident_alerts = 0.0
+        self.balance_responses = 0.0
+
+    def __call__(self, tup: Tuple, _now: float) -> None:
+        kind = tup.payload[0]
+        if kind == KIND_TOLL:
+            self.toll_notifications += tup.weight
+        elif kind == KIND_ACCIDENT:
+            self.accident_alerts += tup.weight
+        elif kind == KIND_BALANCE_RESPONSE:
+            self.balance_responses += tup.weight
+
+    def total(self) -> float:
+        """Total weighted results collected."""
+        return (
+            self.toll_notifications + self.accident_alerts + self.balance_responses
+        )
+
+
+@dataclass
+class LRBQuery:
+    """The LRB query bundle: graph, generator, collector, metadata."""
+
+    graph: QueryGraph
+    generators: dict[str, LRBGenerator]
+    collector: LRBResultCollector
+    num_xways: int
+    duration: float
+    latency_target: float = LATENCY_TARGET_SECONDS
+    operator_names: list[str] = field(
+        default_factory=lambda: [
+            "feeder",
+            "forwarder",
+            "toll_calc",
+            "toll_assess",
+            "collector",
+            "balance",
+            "sink",
+        ]
+    )
+
+
+def build_lrb_query(
+    num_xways: int,
+    duration: float,
+    bands: int = 2,
+    quantum: float = 1.0,
+    rate_start: float | None = None,
+    rate_end: float | None = None,
+) -> LRBQuery:
+    """Build the 7-operator LRB query for ``num_xways`` express-ways."""
+    graph = QueryGraph()
+    graph.add_operator(
+        SourceOperator("feeder", cost_per_tuple=COST_SOURCE_SINK), source=True
+    )
+    graph.add_operator(ForwarderOperator("forwarder"))
+    graph.add_operator(TollCalculatorOperator("toll_calc"))
+    graph.add_operator(TollAssessmentOperator("toll_assess"))
+    graph.add_operator(TollCollectorOperator("collector"))
+    graph.add_operator(BalanceAccountOperator("balance"))
+    collector = LRBResultCollector()
+    graph.add_operator(
+        SinkOperator("sink", collector, cost_per_tuple=COST_SOURCE_SINK), sink=True
+    )
+    graph.connect("feeder", "forwarder")
+    graph.connect("forwarder", "toll_calc")
+    graph.connect("forwarder", "toll_assess")
+    graph.connect("toll_calc", "collector")
+    graph.connect("toll_calc", "toll_assess")
+    graph.connect("toll_assess", "balance")
+    graph.connect("collector", "sink")
+    graph.connect("balance", "sink")
+    graph.validate()
+    extra = {}
+    if rate_start is not None:
+        extra["rate_start"] = rate_start
+    if rate_end is not None:
+        extra["rate_end"] = rate_end
+    generator = LRBGenerator(
+        num_xways, duration, bands=bands, quantum=quantum, **extra
+    )
+    return LRBQuery(graph, {"feeder": generator}, collector, num_xways, duration)
+
+
+def manual_parallelism(total_worker_vms: int) -> dict[str, int]:
+    """The "human expert" allocation of Fig. 10.
+
+    Distributes a worker-VM budget over the LRB operators proportionally
+    to their known relative costs, giving every operator at least one VM
+    — the expert "tracks the bottleneck across multiple scaled out
+    versions of the LRB query".
+    """
+    names = list(RELATIVE_COST_WEIGHTS)
+    if total_worker_vms < len(names):
+        raise WorkloadError(
+            f"need at least {len(names)} worker VMs, got {total_worker_vms}"
+        )
+    allocation = {name: 1 for name in names}
+    remaining = total_worker_vms - len(names)
+    total_weight = sum(RELATIVE_COST_WEIGHTS.values())
+    # Largest-remainder apportionment of what is left.
+    quotas = {
+        name: remaining * weight / total_weight
+        for name, weight in RELATIVE_COST_WEIGHTS.items()
+    }
+    for name, quota in quotas.items():
+        allocation[name] += int(quota)
+    leftovers = total_worker_vms - sum(allocation.values())
+    by_remainder = sorted(
+        names, key=lambda n: quotas[n] - int(quotas[n]), reverse=True
+    )
+    for name in by_remainder[:leftovers]:
+        allocation[name] += 1
+    return allocation

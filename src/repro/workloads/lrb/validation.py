@@ -1,0 +1,81 @@
+"""Semantic validation helpers for the LRB operators.
+
+Used by integration tests to check, on hand-crafted traces, that the
+toll calculator charges tolls exactly under congestion and raises
+accident alerts exactly while a stopped vehicle blocks a band.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+from repro.core.operator import OperatorContext
+from repro.core.state import ProcessingState
+from repro.core.tuples import Tuple
+from repro.workloads.lrb.model import (
+    KIND_ACCIDENT,
+    KIND_CHARGE,
+    KIND_TOLL,
+    PositionReport,
+)
+from repro.workloads.lrb.operators import TollCalculatorOperator
+
+
+@dataclass
+class DrivenOutputs:
+    """Outputs captured while driving an operator directly."""
+
+    tolls: list[tuple[float, float]] = field(default_factory=list)
+    accidents: list[float] = field(default_factory=list)
+    charges: list[tuple[float, float]] = field(default_factory=list)
+
+
+class TollCalculatorHarness:
+    """Drives a :class:`TollCalculatorOperator` without a runtime."""
+
+    def __init__(self) -> None:
+        self.operator = TollCalculatorOperator()
+        self.state = ProcessingState()
+        self.outputs = DrivenOutputs()
+        self._ts = 0
+
+    def feed(
+        self,
+        now: float,
+        key: tuple[int, int],
+        speed: float,
+        weight: int = 1,
+        stopped: bool = False,
+        segment: int = 10,
+    ) -> None:
+        """Drive one position report through the operator."""
+        self._ts += 1
+        report = PositionReport(
+            vehicle=self._ts, speed=speed, segment=segment, stopped=stopped
+        )
+        tup = Tuple(self._ts, key, report.as_payload(), weight=weight, slot=0)
+
+        def emit(key, payload, weight, _created_at, to):
+            kind = payload[0]
+            if kind == KIND_TOLL:
+                self.outputs.tolls.append((now, payload[1]))
+            elif kind == KIND_ACCIDENT:
+                self.outputs.accidents.append(now)
+            elif kind == KIND_CHARGE:
+                self.outputs.charges.append((now, payload[1]))
+
+        ctx = OperatorContext(self.state, emit, now=now)
+        self.operator.on_tuple(tup, ctx)
+
+    def last_toll(self) -> float | None:
+        """The most recently emitted toll amount, if any."""
+        if not self.outputs.tolls:
+            return None
+        return self.outputs.tolls[-1][1]
+
+    def accident_active(self, key: tuple[int, int], now: float) -> bool:
+        """Whether the operator considers an accident active."""
+        entry = self.state.get(key)
+        if entry is None:
+            return False
+        return entry["accident_until"] > now

@@ -1,0 +1,214 @@
+"""Workload generation building blocks: rate profiles and a rate-driven
+source generator.
+
+Generators drive source instances through
+:meth:`~repro.runtime.instance.OperatorInstance.inject`, spreading each
+quantum's tuples uniformly over the quantum so that measurement artefacts
+from bursty injection stay below the latencies being measured.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import TYPE_CHECKING, Any, Callable, Sequence
+
+import numpy as np
+
+from repro.errors import WorkloadError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import OperatorInstance
+    from repro.runtime.system import StreamProcessingSystem
+
+RateProfile = Callable[[float], float]
+
+
+def constant_rate(rate: float) -> RateProfile:
+    """A fixed input rate in tuples/s."""
+    if rate < 0:
+        raise WorkloadError(f"rate must be >= 0: {rate}")
+    return lambda _t: rate
+
+
+def linear_ramp(start: float, end: float, duration: float) -> RateProfile:
+    """Linear ramp from ``start`` to ``end`` tuples/s over ``duration``."""
+    if duration <= 0:
+        raise WorkloadError(f"ramp duration must be > 0: {duration}")
+
+    def profile(t: float) -> float:
+        if t >= duration:
+            return end
+        return start + (end - start) * (t / duration)
+
+    return profile
+
+
+def exponential_ramp(start: float, end: float, duration: float) -> RateProfile:
+    """Exponential ramp: the rate multiplies by a constant factor per unit
+    time, reaching ``end`` at ``duration`` (the LRB input shape)."""
+    if start <= 0 or end <= 0 or duration <= 0:
+        raise WorkloadError("exponential ramp needs positive start/end/duration")
+    log_ratio = math.log(end / start)
+
+    def profile(t: float) -> float:
+        if t >= duration:
+            return end
+        return start * math.exp(log_ratio * t / duration)
+
+    return profile
+
+
+def step_profile(steps: Sequence[tuple[float, float]]) -> RateProfile:
+    """Piecewise-constant profile from ``[(from_time, rate), ...]``."""
+    if not steps:
+        raise WorkloadError("step profile needs at least one step")
+    ordered = sorted(steps)
+
+    def profile(t: float) -> float:
+        rate = 0.0
+        for start, step_rate in ordered:
+            if t >= start:
+                rate = step_rate
+            else:
+                break
+        return rate
+
+    return profile
+
+
+class RateDrivenGenerator:
+    """Base class: inject tuples at a target rate into source instances.
+
+    Subclasses implement :meth:`make_tuples`, producing the
+    ``(key, payload, weight)`` triples for one quantum of one source
+    instance.  The expected tuple *count* for the quantum is passed in;
+    implementations may represent it with fewer weighted tuples.
+    """
+
+    def __init__(
+        self,
+        profile: RateProfile,
+        quantum: float = 0.05,
+        stop_at: float | None = None,
+        rng_stream: str = "workload",
+        spread: bool = True,
+    ) -> None:
+        if quantum <= 0:
+            raise WorkloadError(f"quantum must be > 0: {quantum}")
+        self.profile = profile
+        self.quantum = quantum
+        self.stop_at = stop_at
+        self.rng_stream = rng_stream
+        self.spread = spread
+        self.system: "StreamProcessingSystem | None" = None
+        self.instances: list["OperatorInstance"] = []
+        self._rng: np.random.Generator | None = None
+        self._carry = 0.0
+        self.injected_weight = 0.0
+        self.skipped_weight = 0.0
+
+    # ------------------------------------------------------------------ API
+
+    def attach(
+        self,
+        system: "StreamProcessingSystem",
+        instances: list["OperatorInstance"],
+    ) -> None:
+        """Bind to source instances and start the emission schedule."""
+        if not instances:
+            raise WorkloadError("generator attached to a source with no instances")
+        self.system = system
+        self.instances = instances
+        self._rng = system.rng.stream(self.rng_stream)
+        system.sim.every(self.quantum, self._tick, start_after=self.quantum)
+
+    def make_tuples(
+        self,
+        rng: np.random.Generator,
+        now: float,
+        count: int,
+        instance_index: int,
+    ) -> list[tuple[Any, Any, int]]:
+        """Produce the quantum's tuples for one source instance."""
+        raise NotImplementedError
+
+    # ------------------------------------------------------------ internals
+
+    def _tick(self) -> None:
+        system = self.system
+        assert system is not None and self._rng is not None
+        now = system.sim.now
+        if self.stop_at is not None and now > self.stop_at:
+            return
+        rate = self.profile(now)
+        expected = rate * self.quantum + self._carry
+        count = int(expected)
+        self._carry = expected - count
+        if count <= 0:
+            return
+        controller = system.source_controllers.get(self.instances[0].op_name)
+        if controller is not None and not controller.emitting:
+            # Source-replay recovery stops generation of new tuples.
+            self.skipped_weight += count
+            return
+        shares = self._split(count, len(self.instances))
+        for index, (instance, share) in enumerate(zip(self.instances, shares)):
+            if share <= 0:
+                continue
+            triples = self.make_tuples(self._rng, now, share, index)
+            self._inject(instance, triples)
+
+    @staticmethod
+    def _split(count: int, parts: int) -> list[int]:
+        base = count // parts
+        shares = [base] * parts
+        for i in range(count - base * parts):
+            shares[i] += 1
+        return shares
+
+    def _inject(
+        self,
+        instance: "OperatorInstance",
+        triples: list[tuple[Any, Any, int]],
+    ) -> None:
+        system = self.system
+        assert system is not None
+        if not triples:
+            return
+        if not self.spread or len(triples) == 1:
+            for key, payload, weight in triples:
+                self.injected_weight += weight
+                instance.inject(key, payload, weight)
+            return
+        gap = self.quantum / len(triples)
+        for i, (key, payload, weight) in enumerate(triples):
+            self.injected_weight += weight
+            if i == 0:
+                instance.inject(key, payload, weight)
+            else:
+                system.sim.schedule(i * gap, instance.inject, key, payload, weight)
+
+
+class CallbackGenerator(RateDrivenGenerator):
+    """Rate-driven generator from a plain ``make(rng, now, count, idx)``."""
+
+    def __init__(
+        self,
+        profile: RateProfile,
+        make: Callable[[np.random.Generator, float, int, int], list],
+        **kwargs,
+    ) -> None:
+        super().__init__(profile, **kwargs)
+        self._make = make
+
+    def make_tuples(self, rng, now, count, instance_index):
+        return self._make(rng, now, count, instance_index)
+
+
+def zipf_weights(n: int, s: float = 1.1) -> np.ndarray:
+    """Normalised Zipf probabilities for ranks ``1..n``."""
+    if n < 1:
+        raise WorkloadError(f"need at least one rank: {n}")
+    ranks = np.arange(1, n + 1, dtype=float)
+    weights = ranks ** (-s)
+    return weights / weights.sum()

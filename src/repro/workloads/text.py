@@ -1,0 +1,71 @@
+"""Synthetic text streams for the windowed word-frequency query (§6.2).
+
+Sentence fragments (~140 bytes, ~a dozen words) are drawn from a
+Zipf-distributed vocabulary whose size controls the word counter's state
+size — the knob behind the paper's small/medium/large experiments in
+§6.3 (10², 10⁴ and 10⁵ dictionary entries).
+"""
+
+from __future__ import annotations
+
+import numpy as np
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import RateDrivenGenerator, RateProfile, zipf_weights
+
+#: State-size presets from §6.3 (dictionary entries).
+STATE_SIZE_SMALL = 10**2
+STATE_SIZE_MEDIUM = 10**4
+STATE_SIZE_LARGE = 10**5
+
+
+def make_vocabulary(size: int) -> list[str]:
+    """Deterministic vocabulary of ``size`` distinct words."""
+    if size < 1:
+        raise WorkloadError(f"vocabulary size must be >= 1: {size}")
+    return [f"w{i:06d}" for i in range(size)]
+
+
+class SentenceGenerator(RateDrivenGenerator):
+    """Injects sentence tuples at a target rate.
+
+    Each tuple is one sentence fragment: key = a round-robin fragment id
+    (sentences are partitioned arbitrarily; the *words* carry the
+    semantic keys downstream), payload = tuple of words.
+    """
+
+    def __init__(
+        self,
+        profile: RateProfile,
+        vocabulary_size: int = STATE_SIZE_MEDIUM,
+        words_per_sentence: int = 8,
+        zipf_exponent: float = 1.05,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("rng_stream", "text-workload")
+        super().__init__(profile, **kwargs)
+        if words_per_sentence < 1:
+            raise WorkloadError(
+                f"words_per_sentence must be >= 1: {words_per_sentence}"
+            )
+        self.vocabulary = make_vocabulary(vocabulary_size)
+        self.words_per_sentence = words_per_sentence
+        self._probabilities = zipf_weights(vocabulary_size, zipf_exponent)
+        self._sentence_id = 0
+
+    def make_tuples(
+        self, rng: np.random.Generator, now: float, count: int, instance_index: int
+    ) -> list:
+        triples = []
+        vocab_size = len(self.vocabulary)
+        # One multinomial-ish draw per sentence keeps the hot words hot.
+        draws = rng.choice(
+            vocab_size,
+            size=(count, self.words_per_sentence),
+            p=self._probabilities,
+        )
+        for row in draws:
+            words = tuple(self.vocabulary[i] for i in row)
+            self._sentence_id += 1
+            triples.append((self._sentence_id, words, 1))
+        return triples

@@ -1,0 +1,157 @@
+"""Map/reduce-style top-k query over a synthetic Wikipedia trace (§6.1).
+
+The paper's open-loop experiment: 18 data sources inject page-visit
+records, a stateless *map* operator strips unneeded fields, a stateful
+*reduce* operator maintains a top-k dictionary of visits per Wikipedia
+language version and emits the ranking every 30 s; the sink merges
+partial rankings from reduce partitions.
+
+The real Wikipedia traces are replaced by a Zipf-distributed synthetic
+trace over language editions (see DESIGN.md §2) — the experiment measures
+scale-out dynamics under overload, not trace content.  High aggregate
+rates use weighted tuples: each source emits, per quantum, one weighted
+tuple per (language, stripe) cell.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+import numpy as np
+
+from repro.core.operators import TopKOperator
+from repro.core.query import QueryGraph
+from repro.core.tuples import Tuple
+from repro.core.operator import Operator, OperatorContext
+from repro.runtime.sink import SinkOperator, TopKResultCollector
+from repro.runtime.source import SourceOperator
+from repro.workloads.synthetic import (
+    RateDrivenGenerator,
+    RateProfile,
+    constant_rate,
+    zipf_weights,
+)
+
+#: Number of Wikipedia language editions modelled.
+DEFAULT_LANGUAGES = 60
+#: Stripes per language so that one language's load can split across
+#: several reduce partitions (keys are (language, stripe)).
+DEFAULT_STRIPES = 4
+
+
+def language_editions(count: int = DEFAULT_LANGUAGES) -> list[str]:
+    """Deterministic names for the modelled language editions."""
+    return [f"lang{i:03d}" for i in range(count)]
+
+
+class VisitTraceGenerator(RateDrivenGenerator):
+    """Weighted page-visit tuples, Zipf-distributed over languages."""
+
+    def __init__(
+        self,
+        profile: RateProfile,
+        languages: int = DEFAULT_LANGUAGES,
+        stripes: int = DEFAULT_STRIPES,
+        zipf_exponent: float = 1.0,
+        **kwargs,
+    ) -> None:
+        kwargs.setdefault("rng_stream", "wikipedia-workload")
+        kwargs.setdefault("quantum", 1.0)
+        super().__init__(profile, **kwargs)
+        self.languages = language_editions(languages)
+        self.stripes = stripes
+        self._probabilities = zipf_weights(languages, zipf_exponent)
+
+    def make_tuples(
+        self, rng: np.random.Generator, now: float, count: int, instance_index: int
+    ) -> list:
+        triples = []
+        expected = count * self._probabilities
+        for lang, mean in zip(self.languages, expected):
+            weight = int(rng.poisson(mean)) if mean < 50 else int(round(mean))
+            if weight <= 0:
+                continue
+            stripe = int(rng.integers(self.stripes))
+            key = (lang, stripe)
+            payload = {"lang": lang, "page": int(rng.integers(10**6)), "bytes": 1200}
+            triples.append((key, payload, weight))
+        return triples
+
+
+class VisitMapOperator(Operator):
+    """The map stage: strip unneeded fields, re-key by language stripe."""
+
+    def __init__(self, name: str = "map", **kwargs):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", 2.0e-5)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        ctx.emit(tup.key, tup.payload["lang"], weight=tup.weight)
+
+
+class LanguageTopKOperator(TopKOperator):
+    """The reduce stage: per-(language, stripe) visit counts, top-k emit."""
+
+    def __init__(self, name: str = "reduce", k: int = 10, **kwargs):
+        kwargs.setdefault("cost_per_tuple", 1.5e-5)
+        super().__init__(name, k=k, **kwargs)
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        # Key by (language, stripe); payload carries the language name.
+        assert ctx.state is not None
+        ctx.state[tup.key] = ctx.state.get(tup.key, 0) + tup.weight
+
+    def on_timer(self, ctx: OperatorContext) -> None:
+        assert ctx.state is not None
+        merged: dict[str, int] = {}
+        for (lang, _stripe), count in ctx.state.items():
+            merged[lang] = merged.get(lang, 0) + count
+        ranked = sorted(merged.items(), key=lambda kv: (-kv[1], kv[0]))[: self.k]
+        if ranked:
+            ctx.emit("topk", tuple(ranked))
+
+
+@dataclass
+class WikipediaTopKQuery:
+    graph: QueryGraph
+    generators: dict[str, VisitTraceGenerator]
+    collector: TopKResultCollector
+    source_name: str = "sources"
+    map_name: str = "map"
+    reduce_name: str = "reduce"
+    sink_name: str = "sink"
+
+
+def build_wikipedia_topk_query(
+    rate: float | RateProfile = 550_000.0,
+    sources: int = 18,
+    languages: int = DEFAULT_LANGUAGES,
+    stripes: int = DEFAULT_STRIPES,
+    k: int = 10,
+    emit_interval: float = 30.0,
+    quantum: float = 1.0,
+) -> tuple[WikipediaTopKQuery, dict[str, int]]:
+    """Assemble the §6.1 open-loop query.
+
+    Returns the query bundle and the initial parallelism map (the paper
+    deploys 18 source instances and one instance of everything else).
+    """
+    profile = constant_rate(rate) if isinstance(rate, (int, float)) else rate
+    graph = QueryGraph()
+    graph.add_operator(SourceOperator("sources"), source=True)
+    graph.add_operator(VisitMapOperator("map"))
+    graph.add_operator(
+        LanguageTopKOperator(
+            "reduce", k=k, emit_interval=emit_interval, measure_latency=True
+        )
+    )
+    collector = TopKResultCollector(k)
+    graph.add_operator(SinkOperator("sink", collector), sink=True)
+    graph.chain("sources", "map", "reduce", "sink")
+    graph.validate()
+    generator = VisitTraceGenerator(
+        profile, languages=languages, stripes=stripes, quantum=quantum
+    )
+    bundle = WikipediaTopKQuery(graph, {"sources": generator}, collector)
+    return bundle, {"sources": sources}

@@ -1,0 +1,92 @@
+"""The windowed word-frequency query (§3.1 running example, §6.2-6.3).
+
+Two operators: a stateless *word splitter* tokenising sentences into
+words, and a stateful *word counter* keeping per-word frequency counts
+over a tumbling window.  This is the query used by the paper's recovery
+and state-management-overhead experiments.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from dataclasses import dataclass
+
+from repro.core.operator import Operator, OperatorContext
+from repro.core.operators import WindowedKeyedCounter
+from repro.core.query import QueryGraph
+from repro.core.tuples import Tuple
+from repro.runtime.sink import SinkOperator, WindowedResultCollector
+from repro.runtime.source import SourceOperator
+from repro.workloads.synthetic import RateProfile, constant_rate
+from repro.workloads.text import STATE_SIZE_MEDIUM, SentenceGenerator
+
+
+class WordSplitter(Operator):
+    """Tokenise sentence payloads into word tuples.
+
+    Repeats of a word within one sentence are merged into a single
+    weighted tuple — identical counting semantics, fewer messages.
+    """
+
+    def __init__(self, name: str = "splitter", **kwargs):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", 1.2e-4)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup: Tuple, ctx: OperatorContext) -> None:
+        for word, occurrences in Counter(tup.payload).items():
+            ctx.emit(word, None, weight=occurrences * tup.weight)
+
+
+@dataclass
+class WordCountQuery:
+    """Everything an experiment needs to run the word-count workload."""
+
+    graph: QueryGraph
+    generators: dict[str, SentenceGenerator]
+    collector: WindowedResultCollector
+    source_name: str = "source"
+    splitter_name: str = "splitter"
+    counter_name: str = "counter"
+    sink_name: str = "sink"
+
+
+def build_word_count_query(
+    rate: float | RateProfile = 500.0,
+    window: float = 30.0,
+    vocabulary_size: int = STATE_SIZE_MEDIUM,
+    words_per_sentence: int = 8,
+    splitter_cost: float = 1.2e-4,
+    counter_cost: float = 4.0e-5,
+    quantum: float = 0.05,
+    measure_counter_latency: bool = True,
+) -> WordCountQuery:
+    """Assemble the §6.2 word-frequency query.
+
+    ``measure_counter_latency`` additionally records tuple latency when
+    the *counter* finishes processing each word — the paper's
+    "tuple processing latency" for this query, which reflects checkpoint
+    stalls even between window flushes.
+    """
+    profile = constant_rate(rate) if isinstance(rate, (int, float)) else rate
+    graph = QueryGraph()
+    graph.add_operator(SourceOperator("source"), source=True)
+    graph.add_operator(WordSplitter("splitter", cost_per_tuple=splitter_cost))
+    counter = WindowedKeyedCounter(
+        "counter",
+        window=window,
+        cost_per_tuple=counter_cost,
+        measure_latency=measure_counter_latency,
+    )
+    graph.add_operator(counter)
+    collector = WindowedResultCollector()
+    graph.add_operator(SinkOperator("sink", collector), sink=True)
+    graph.chain("source", "splitter", "counter", "sink")
+    graph.validate()
+    generator = SentenceGenerator(
+        profile,
+        vocabulary_size=vocabulary_size,
+        words_per_sentence=words_per_sentence,
+        quantum=quantum,
+    )
+    return WordCountQuery(graph, {"source": generator}, collector)

@@ -1,0 +1,100 @@
+"""Shared fixtures and helpers for the test suite."""
+
+from __future__ import annotations
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.operator import Operator
+from repro.core.operators import KeyedCounter
+from repro.core.query import QueryGraph
+from repro.runtime.sink import RecordingCollector, SinkOperator
+from repro.runtime.source import SourceOperator
+from repro.runtime.system import StreamProcessingSystem
+from repro.sim.simulator import Simulator
+
+
+@pytest.fixture
+def sim() -> Simulator:
+    return Simulator()
+
+
+class ManualGenerator:
+    """A workload generator driven explicitly by tests.
+
+    ``feed(key, payload, weight)`` injects into the first source instance;
+    ``feed_at`` schedules an injection at an absolute simulated time.
+    """
+
+    def __init__(self) -> None:
+        self.system: StreamProcessingSystem | None = None
+        self.instances = []
+
+    def attach(self, system, instances) -> None:
+        self.system = system
+        self.instances = instances
+
+    def feed(self, key, payload=None, weight: int = 1, instance: int = 0) -> None:
+        self.instances[instance].inject(key, payload, weight)
+
+    def feed_at(self, time: float, key, payload=None, weight: int = 1) -> None:
+        assert self.system is not None
+        self.system.sim.schedule_at(
+            time, self.instances[0].inject, key, payload, weight
+        )
+
+
+class PassThrough(Operator):
+    """Stateless operator forwarding tuples unchanged."""
+
+    def __init__(self, name: str = "mid", **kwargs):
+        kwargs.setdefault("stateful", False)
+        kwargs.setdefault("cost_per_tuple", 1e-4)
+        super().__init__(name, **kwargs)
+
+    def on_tuple(self, tup, ctx) -> None:
+        ctx.emit(tup.key, tup.payload, weight=tup.weight)
+
+
+def tiny_query(with_middle: bool = True) -> tuple[QueryGraph, RecordingCollector]:
+    """source → (mid) → counter → sink, with a recording sink."""
+    graph = QueryGraph()
+    graph.add_operator(SourceOperator("source", cost_per_tuple=1e-5), source=True)
+    if with_middle:
+        graph.add_operator(PassThrough("mid"))
+    graph.add_operator(KeyedCounter("counter", cost_per_tuple=1e-4))
+    collector = RecordingCollector()
+    graph.add_operator(SinkOperator("sink", collector), sink=True)
+    if with_middle:
+        graph.chain("source", "mid", "counter", "sink")
+    else:
+        graph.chain("source", "counter", "sink")
+    graph.validate()
+    return graph, collector
+
+
+def small_system(
+    strategy: str = "rsm",
+    scaling: bool = False,
+    checkpoint_interval: float = 2.0,
+    with_middle: bool = True,
+    **config_overrides,
+) -> tuple[StreamProcessingSystem, ManualGenerator, RecordingCollector]:
+    """A deployed tiny pipeline with a manually driven source."""
+    config = SystemConfig()
+    config.scaling.enabled = scaling
+    config.fault.strategy = strategy
+    config.checkpoint.interval = checkpoint_interval
+    config.checkpoint.stagger = False
+    for key, value in config_overrides.items():
+        setattr(config, key, value)
+    graph, collector = tiny_query(with_middle)
+    system = StreamProcessingSystem(config)
+    generator = ManualGenerator()
+    system.deploy(graph, generators={"source": generator})
+    return system, generator, collector
+
+
+@pytest.fixture
+def pipeline():
+    return small_system()

@@ -1,0 +1,121 @@
+"""Tests for the static cost model and query-graph analysis."""
+
+import pytest
+
+from repro.core.analysis import (
+    CostModel,
+    critical_path,
+    to_dot,
+    to_networkx,
+)
+from repro.errors import QueryError
+from repro.workloads.lrb import build_lrb_query
+from repro.workloads.wordcount import build_word_count_query
+
+
+@pytest.fixture(scope="module")
+def lrb_graph():
+    return build_lrb_query(num_xways=4, duration=60.0).graph
+
+
+@pytest.fixture(scope="module")
+def wc_graph():
+    return build_word_count_query(rate=100).graph
+
+
+class TestNetworkxBridge:
+    def test_nodes_and_edges_match(self, lrb_graph):
+        graph = to_networkx(lrb_graph)
+        assert set(graph.nodes) == set(lrb_graph.operators)
+        assert set(graph.edges) == set(lrb_graph.edges)
+
+    def test_node_attributes(self, lrb_graph):
+        graph = to_networkx(lrb_graph)
+        assert graph.nodes["toll_calc"]["stateful"]
+        assert graph.nodes["feeder"]["source"]
+        assert graph.nodes["sink"]["sink"]
+
+
+class TestCostModel:
+    def model(self, graph, **kwargs):
+        return CostModel(graph, **kwargs)
+
+    def test_rates_propagate_with_selectivity(self, wc_graph):
+        model = self.model(
+            wc_graph, selectivity={("splitter", "counter"): 6.0}
+        )
+        rates = model.input_rates({"source": 100.0})
+        assert rates["splitter"] == 100.0
+        assert rates["counter"] == 600.0
+
+    def test_fanout_rates_sum(self, lrb_graph):
+        model = self.model(
+            lrb_graph,
+            selectivity={
+                ("forwarder", "toll_calc"): 0.99,
+                ("forwarder", "toll_assess"): 0.01,
+            },
+        )
+        rates = model.input_rates({"feeder": 1000.0})
+        assert rates["toll_calc"] == pytest.approx(990.0)
+        # toll_assess gets forwarder queries plus toll_calc charges.
+        assert rates["toll_assess"] > 10.0
+
+    def test_unknown_source_rejected(self, wc_graph):
+        with pytest.raises(QueryError):
+            self.model(wc_graph).input_rates({"counter": 1.0})
+
+    def test_predicted_bottleneck_is_toll_calculator(self, lrb_graph):
+        model = self.model(
+            lrb_graph,
+            selectivity={
+                ("forwarder", "toll_calc"): 0.99,
+                ("forwarder", "toll_assess"): 0.01,
+            },
+        )
+        assert model.predicted_bottleneck({"feeder": 100_000.0}) == "toll_calc"
+
+    def test_partitions_needed_scale_with_rate(self, wc_graph):
+        model = self.model(wc_graph, selectivity={("splitter", "counter"): 6.0})
+        low = {e.name: e for e in model.estimate({"source": 100.0})}
+        high = {e.name: e for e in model.estimate({"source": 20_000.0})}
+        assert high["counter"].partitions_needed > low["counter"].partitions_needed
+        assert low["counter"].partitions_needed >= 1
+
+    def test_static_allocation_budgeted(self, lrb_graph):
+        model = self.model(lrb_graph)
+        plan = model.static_allocation({"feeder": 200_000.0}, budget=20)
+        assert sum(plan.values()) == 20
+        assert all(v >= 1 for v in plan.values())
+        assert plan["toll_calc"] == max(plan.values())
+
+    def test_budget_below_operator_count_rejected(self, lrb_graph):
+        with pytest.raises(QueryError):
+            self.model(lrb_graph).static_allocation({"feeder": 1.0}, budget=2)
+
+
+class TestCriticalPath:
+    def test_wordcount_path(self, wc_graph):
+        assert critical_path(wc_graph) == ["source", "splitter", "counter", "sink"]
+
+    def test_lrb_path_goes_through_toll_calculator(self, lrb_graph):
+        path = critical_path(lrb_graph)
+        assert path[0] == "feeder" and path[-1] == "sink"
+        assert "toll_calc" in path
+
+
+class TestDotExport:
+    def test_contains_all_operators_and_edges(self, lrb_graph):
+        dot = to_dot(lrb_graph)
+        for name in lrb_graph.operators:
+            assert f'"{name}"' in dot
+        assert '"forwarder" -> "toll_calc"' in dot
+        assert dot.startswith("digraph query {")
+
+    def test_stateful_drawn_distinctly(self, wc_graph):
+        dot = to_dot(wc_graph)
+        assert 'doublecircle, label="counter"' in dot
+
+    def test_parallelism_annotation(self, wc_graph):
+        dot = to_dot(wc_graph, parallelism={"counter": 4})
+        assert 'label="counter x4"' in dot

@@ -1,0 +1,80 @@
+"""Tests for checkpoints and the backup store (Algorithm 1 structures)."""
+
+import pytest
+
+from repro.core.checkpoint import BackupStore, Checkpoint
+from repro.core.state import OutputBuffer, ProcessingState
+from repro.core.tuples import Tuple
+from repro.errors import CheckpointError
+
+
+def make_checkpoint(slot_uid=1, seq=1, entries=None, buffered=0):
+    state = ProcessingState(entries or {"a": 1}, positions={0: 10}, out_clock=5)
+    buffers = {}
+    if buffered:
+        buf = OutputBuffer()
+        for ts in range(buffered):
+            buf.append(9, Tuple(ts + 1, "k", slot=slot_uid))
+        buffers["down"] = buf
+    return Checkpoint("op", slot_uid, state, buffers, taken_at=3.0, seq=seq)
+
+
+class TestCheckpoint:
+    def test_positions_exposed(self):
+        ckpt = make_checkpoint()
+        assert ckpt.positions == {0: 10}
+        assert ckpt.out_clock == 5
+
+    def test_size_includes_buffers(self):
+        plain = make_checkpoint(buffered=0)
+        buffered = make_checkpoint(buffered=10)
+        assert buffered.size_bytes(64, 64) == plain.size_bytes(64, 64) + 640
+
+    def test_entry_count(self):
+        assert make_checkpoint(entries={"a": 1, "b": 2}).entry_count() == 2
+
+
+class TestBackupStore:
+    def test_store_and_retrieve(self):
+        store = BackupStore()
+        ckpt = make_checkpoint()
+        store.store(ckpt)
+        assert store.retrieve(1) is ckpt
+        assert store.has(1)
+        assert len(store) == 1
+
+    def test_newer_seq_replaces(self):
+        store = BackupStore()
+        store.store(make_checkpoint(seq=1))
+        newer = make_checkpoint(seq=2)
+        store.store(newer)
+        assert store.retrieve(1) is newer
+
+    def test_stale_seq_rejected(self):
+        store = BackupStore()
+        store.store(make_checkpoint(seq=5))
+        with pytest.raises(CheckpointError):
+            store.store(make_checkpoint(seq=3))
+
+    def test_missing_slot_raises(self):
+        with pytest.raises(CheckpointError):
+            BackupStore().retrieve(42)
+
+    def test_delete_is_idempotent(self):
+        store = BackupStore()
+        store.store(make_checkpoint())
+        store.delete(1)
+        store.delete(1)
+        assert not store.has(1)
+
+    def test_owners(self):
+        store = BackupStore()
+        store.store(make_checkpoint(slot_uid=1))
+        store.store(make_checkpoint(slot_uid=2))
+        assert sorted(store.owners()) == [1, 2]
+
+    def test_separate_slots_independent(self):
+        store = BackupStore()
+        store.store(make_checkpoint(slot_uid=1, seq=5))
+        store.store(make_checkpoint(slot_uid=2, seq=1))
+        assert store.retrieve(2).seq == 1

@@ -1,0 +1,164 @@
+"""Tests for incremental checkpointing (§3.2, [17])."""
+
+import pytest
+
+from repro.core.checkpoint import Checkpoint, materialize_increment
+from repro.core.state import ProcessingState
+from repro.errors import CheckpointError
+from tests.conftest import small_system
+
+
+class TestDirtyTracking:
+    def test_off_by_default(self):
+        state = ProcessingState()
+        state["a"] = 1
+        assert state.dirty is None
+        assert state.consume_dirty() == set()
+
+    def test_writes_tracked(self):
+        state = ProcessingState()
+        state.enable_dirty_tracking()
+        state["a"] = 1
+        state["b"] = 2
+        assert state.consume_dirty() == {"a", "b"}
+        assert state.consume_dirty() == set()
+
+    def test_mutable_reads_tracked_conservatively(self):
+        state = ProcessingState({"buckets": {0: 1}, "count": 5})
+        state.enable_dirty_tracking()
+        state.consume_dirty()
+        _ = state["buckets"]  # caller may mutate the dict in place
+        _ = state["count"]  # immutable value: a pure read
+        assert state.consume_dirty() == {"buckets"}
+
+    def test_setdefault_tracked(self):
+        state = ProcessingState()
+        state.enable_dirty_tracking()
+        state.setdefault("a", {})
+        assert "a" in state.consume_dirty()
+
+    def test_pop_tracked(self):
+        state = ProcessingState({"a": 1})
+        state.enable_dirty_tracking()
+        state.consume_dirty()
+        state.pop("a")
+        assert state.consume_dirty() == {"a"}
+
+    def test_get_on_mutable_tracked(self):
+        state = ProcessingState({"a": [1]})
+        state.enable_dirty_tracking()
+        state.consume_dirty()
+        state.get("a")
+        assert state.consume_dirty() == {"a"}
+
+
+class TestMaterializeIncrement:
+    def base(self, entries, seq=1):
+        return Checkpoint("op", 7, ProcessingState(entries, {0: 3}, 2), seq=seq)
+
+    def delta(self, entries, deleted=(), base_seq=1, seq=2):
+        return Checkpoint(
+            "op",
+            7,
+            ProcessingState(entries, {0: 9}, 5),
+            seq=seq,
+            incremental=True,
+            base_seq=base_seq,
+            deleted_keys=frozenset(deleted),
+        )
+
+    def test_applies_updates_and_deletes(self):
+        merged = materialize_increment(
+            self.base({"a": 1, "b": 2, "c": 3}),
+            self.delta({"b": 20, "d": 4}, deleted=["c"]),
+        )
+        assert merged.state.entries == {"a": 1, "b": 20, "d": 4}
+        assert merged.positions == {0: 9}
+        assert merged.out_clock == 5
+        assert merged.seq == 2
+        assert not merged.incremental
+
+    def test_wrong_base_seq_rejected(self):
+        with pytest.raises(CheckpointError):
+            materialize_increment(self.base({}, seq=5), self.delta({}, base_seq=1))
+
+    def test_full_checkpoint_rejected(self):
+        with pytest.raises(CheckpointError):
+            materialize_increment(self.base({}), self.base({}, seq=2))
+
+    def test_mismatched_slot_rejected(self):
+        other = Checkpoint("op", 9, ProcessingState(), seq=1)
+        with pytest.raises(CheckpointError):
+            materialize_increment(other, self.delta({}))
+
+    def test_base_not_mutated(self):
+        base = self.base({"a": 1})
+        materialize_increment(base, self.delta({"a": 99}))
+        assert base.state.entries == {"a": 1}
+
+
+class TestIncrementalEndToEnd:
+    def incremental_system(self):
+        system, gen, col = small_system(checkpoint_interval=1.0)
+        system.config.checkpoint.incremental = True
+        return system, gen
+
+    def test_backup_materialized_correctly(self):
+        system, gen = self.incremental_system()
+        gen.feed("a")
+        system.run(until=2.5)  # full checkpoint stored
+        gen.feed("b")
+        gen.feed("a")
+        system.run(until=5.5)  # deltas stored and materialised
+        counter = system.instances_of("counter")[0]
+        ckpt = system.backup_of(counter.uid)
+        assert ckpt is not None
+        assert not ckpt.incremental
+        assert ckpt.state.entries == {"a": 2, "b": 1}
+
+    def test_recovery_from_incremental_backups_exact(self):
+        system, gen = self.incremental_system()
+        for i in range(10):
+            gen.feed(f"k{i}")
+        system.run(until=3.0)
+        for i in range(10, 20):
+            gen.feed(f"k{i}")
+        system.run(until=6.0)
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 7.0)
+        system.run(until=30.0)
+        counter = system.instances_of("counter")[0]
+        assert all(counter.state[f"k{i}"] == 1 for i in range(20))
+
+    def test_delta_cheaper_than_full(self):
+        """With large mostly-cold state, incremental checkpoints consume
+        far less CPU than full ones."""
+
+        def busy_after_checkpoints(incremental):
+            system, gen, _col = small_system(checkpoint_interval=1.0)
+            system.config.checkpoint.incremental = incremental
+            counter = system.instances_of("counter")[0]
+            for i in range(50_000):
+                counter.state[f"cold{i}"] = 1
+            gen.feed("hot")
+            system.run(until=6.5)
+            return counter.vm.busy_seconds_total()
+
+        full = busy_after_checkpoints(False)
+        incremental = busy_after_checkpoints(True)
+        assert incremental < full / 2
+
+    def test_base_missing_falls_back_to_full(self):
+        system, gen = self.incremental_system()
+        gen.feed("a")
+        system.run(until=2.5)
+        counter = system.instances_of("counter")[0]
+        # Drop the stored base: the next delta cannot materialise.
+        system.drop_backup(counter.uid)
+        vm = system.backup_locations.get(counter.uid)
+        gen.feed("b")
+        system.run(until=6.5)
+        # A later full checkpoint re-established the backup.
+        ckpt = system.backup_of(counter.uid)
+        assert ckpt is not None
+        assert ckpt.state.entries == {"a": 1, "b": 1}
+        assert system.counter("incremental_base_missing") >= 1

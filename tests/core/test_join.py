@@ -1,0 +1,195 @@
+"""Tests for the windowed stream-stream join."""
+
+import pytest
+
+from repro.core.join import (
+    SIDE_LEFT,
+    SIDE_RIGHT,
+    SideTagger,
+    WindowedJoinOperator,
+    tag_left,
+    tag_right,
+)
+from repro.core.operator import OperatorContext
+from repro.core.state import KeyInterval, ProcessingState
+from repro.core.tuples import Tuple, stable_hash
+from repro.errors import ConfigurationError
+
+
+class JoinHarness:
+    def __init__(self, window=10.0, combine=None):
+        self.operator = WindowedJoinOperator("join", window=window, combine=combine)
+        self.state = self.operator.initial_state()
+        self.emitted = []
+        self._ts = 0
+
+    def feed(self, key, payload, at=0.0, weight=1):
+        self._ts += 1
+        tup = Tuple(self._ts, key, payload, weight=weight, created_at=at, slot=0)
+        ctx = OperatorContext(self.state, self._collect, now=at)
+        self.operator.on_tuple(tup, ctx)
+
+    def timer(self, now):
+        ctx = OperatorContext(self.state, self._collect, now=now)
+        self.operator.on_timer(ctx)
+
+    def _collect(self, key, payload, weight, created_at, to):
+        self.emitted.append((key, payload, weight))
+
+
+class TestWindowedJoin:
+    def test_matching_key_within_window_joins(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_left("l1"), at=0.0)
+        harness.feed("k", tag_right("r1"), at=5.0)
+        assert harness.emitted == [("k", ("l1", "r1"), 1)]
+
+    def test_order_of_sides_preserved(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_right("r1"), at=0.0)
+        harness.feed("k", tag_left("l1"), at=5.0)
+        assert harness.emitted == [("k", ("l1", "r1"), 1)]
+
+    def test_different_keys_do_not_join(self):
+        harness = JoinHarness()
+        harness.feed("a", tag_left("l1"), at=0.0)
+        harness.feed("b", tag_right("r1"), at=1.0)
+        assert harness.emitted == []
+
+    def test_outside_window_does_not_join(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_left("old"), at=0.0)
+        harness.feed("k", tag_right("new"), at=15.0)
+        assert harness.emitted == []
+
+    def test_multiple_matches_fan_out(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_left("l1"), at=0.0)
+        harness.feed("k", tag_left("l2"), at=1.0)
+        harness.feed("k", tag_right("r1"), at=2.0)
+        assert sorted(p for _k, p, _w in harness.emitted) == [
+            ("l1", "r1"),
+            ("l2", "r1"),
+        ]
+
+    def test_custom_combine(self):
+        harness = JoinHarness(combine=lambda l, r: l + r)
+        harness.feed("k", tag_left(2), at=0.0)
+        harness.feed("k", tag_right(3), at=1.0)
+        assert harness.emitted == [("k", 5, 1)]
+
+    def test_weight_of_probe_side_carries(self):
+        harness = JoinHarness()
+        harness.feed("k", tag_left("l"), at=0.0)
+        harness.feed("k", tag_right("r"), at=1.0, weight=4)
+        assert harness.emitted[0][2] == 4
+
+    def test_lazy_pruning_on_probe(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_left("old"), at=0.0)
+        harness.feed("k", tag_right("probe"), at=20.0)
+        assert harness.state["k"][SIDE_LEFT] == []
+
+    def test_timer_prunes_and_cleans(self):
+        harness = JoinHarness(window=10.0)
+        harness.feed("k", tag_left("old"), at=0.0)
+        harness.timer(now=100.0)
+        assert "k" not in harness.state
+
+    def test_bad_side_rejected(self):
+        harness = JoinHarness()
+        with pytest.raises(ConfigurationError):
+            harness.feed("k", ("X", "oops"))
+
+    def test_bad_window_rejected(self):
+        with pytest.raises(ConfigurationError):
+            WindowedJoinOperator("j", window=0.0)
+
+    def test_merge_values_for_scale_in(self):
+        op = WindowedJoinOperator("j")
+        left = {SIDE_LEFT: [(1.0, "a")], SIDE_RIGHT: []}
+        right = {SIDE_LEFT: [(0.5, "b")], SIDE_RIGHT: [(2.0, "c")]}
+        merged = op.merge_values(left, right)
+        assert merged[SIDE_LEFT] == [(0.5, "b"), (1.0, "a")]
+        assert merged[SIDE_RIGHT] == [(2.0, "c")]
+
+    def test_state_partitionable_by_key(self):
+        harness = JoinHarness()
+        for i in range(20):
+            harness.feed(f"k{i}", tag_left(i), at=0.0)
+        parts = harness.state.partition(KeyInterval.full().split(3))
+        assert sum(len(p) for p in parts) == 20
+
+
+class TestSideTagger:
+    def test_tags_payloads(self):
+        tagger = SideTagger("t", SIDE_RIGHT)
+        emitted = []
+        ctx = OperatorContext(
+            ProcessingState(), lambda k, p, w, c, to: emitted.append((k, p, w))
+        )
+        tagger.on_tuple(Tuple(1, "k", "v", weight=2, slot=0), ctx)
+        assert emitted == [("k", (SIDE_RIGHT, "v"), 2)]
+
+    def test_invalid_side_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SideTagger("t", "middle")
+
+
+class TestJoinEndToEnd:
+    def test_join_through_runtime_with_recovery(self):
+        """A two-source join query survives a failure of the join operator
+        with exact results."""
+        from repro.config import SystemConfig
+        from repro.core.query import QueryGraph
+        from repro.runtime.sink import RecordingCollector, SinkOperator
+        from repro.runtime.source import SourceOperator
+        from repro.runtime.system import StreamProcessingSystem
+        from tests.conftest import ManualGenerator
+
+        def build():
+            graph = QueryGraph()
+            graph.add_operator(SourceOperator("left_src"), source=True)
+            graph.add_operator(SourceOperator("right_src"), source=True)
+            graph.add_operator(SideTagger("tag_l", SIDE_LEFT))
+            graph.add_operator(SideTagger("tag_r", SIDE_RIGHT))
+            graph.add_operator(WindowedJoinOperator("join", window=30.0))
+            collector = RecordingCollector()
+            graph.add_operator(SinkOperator("sink", collector), sink=True)
+            graph.connect("left_src", "tag_l")
+            graph.connect("right_src", "tag_r")
+            graph.connect("tag_l", "join")
+            graph.connect("tag_r", "join")
+            graph.connect("join", "sink")
+            graph.validate()
+            config = SystemConfig()
+            config.scaling.enabled = False
+            config.checkpoint.interval = 1.0
+            config.checkpoint.stagger = False
+            system = StreamProcessingSystem(config)
+            left, right = ManualGenerator(), ManualGenerator()
+            system.deploy(
+                graph, generators={"left_src": left, "right_src": right}
+            )
+            return system, left, right, collector
+
+        def drive(system, left, right, fail=False):
+            for i in range(5):
+                left.feed_at(1.0 + i, f"k{i}", f"l{i}")
+            if fail:
+                system.injector.fail_target_at(lambda: system.vm_of("join"), 7.0)
+            for i in range(5):
+                right.feed_at(12.0 + i, f"k{i}", f"r{i}")
+            system.run(until=40.0)
+
+        base_system, bl, br, base_collector = build()
+        drive(base_system, bl, br)
+        fail_system, fl, fr, fail_collector = build()
+        drive(fail_system, fl, fr, fail=True)
+        assert len(fail_system.metrics.events_of_kind("recovery_complete")) == 1
+
+        def results(collector):
+            return sorted((t.key, t.payload) for t in collector.tuples)
+
+        assert results(base_collector) == results(fail_collector)
+        assert len(base_collector.tuples) == 5  # every key joined once

@@ -1,0 +1,191 @@
+"""Tests for the operator model and the built-in operator library."""
+
+import pytest
+
+from repro.core.operator import LambdaOperator, Operator, OperatorContext
+from repro.core.operators import (
+    FilterOperator,
+    FlatMapOperator,
+    KeyedCounter,
+    KeyedReducer,
+    MapOperator,
+    TopKOperator,
+    WindowedKeyedCounter,
+    merge_topk,
+)
+from repro.core.state import ProcessingState
+from repro.core.tuples import Tuple
+from repro.errors import ConfigurationError
+
+
+class Harness:
+    """Drives an operator outside the runtime."""
+
+    def __init__(self, operator):
+        self.operator = operator
+        self.state = operator.initial_state() if operator.stateful else ProcessingState()
+        self.emitted = []
+
+    def feed(self, key, payload=None, weight=1, ts=None, now=0.0, created_at=0.0):
+        ts = ts if ts is not None else len(self.emitted) + 1
+        tup = Tuple(ts, key, payload, weight=weight, created_at=created_at, slot=0)
+        ctx = OperatorContext(self.state, self._collect, now=now)
+        self.operator.on_tuple(tup, ctx)
+
+    def timer(self, now):
+        ctx = OperatorContext(self.state, self._collect, now=now)
+        self.operator.on_timer(ctx)
+
+    def _collect(self, key, payload, weight, created_at, to):
+        self.emitted.append((key, payload, weight, to))
+
+
+class TestOperatorBase:
+    def test_name_required(self):
+        with pytest.raises(ConfigurationError):
+            Operator("")
+
+    def test_negative_cost_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Operator("x", cost_per_tuple=-1.0)
+
+    def test_bad_timer_rejected(self):
+        with pytest.raises(ConfigurationError):
+            Operator("x", timer_interval=0.0)
+
+    def test_on_tuple_abstract(self):
+        with pytest.raises(NotImplementedError):
+            Operator("x").on_tuple(Tuple(1, "k"), None)
+
+    def test_merge_values_default_raises(self):
+        with pytest.raises(NotImplementedError):
+            Operator("x").merge_values(1, 2)
+
+    def test_lambda_operator(self):
+        harness = Harness(
+            LambdaOperator("f", lambda tup, ctx: ctx.emit(tup.key, "out"))
+        )
+        harness.feed("k")
+        assert harness.emitted == [("k", "out", 1, None)]
+
+
+class TestStatelessOperators:
+    def test_map(self):
+        harness = Harness(MapOperator("m", lambda k, p: (k.upper(), p * 2)))
+        harness.feed("a", 3, weight=5)
+        assert harness.emitted == [("A", 6, 5, None)]
+
+    def test_filter(self):
+        harness = Harness(FilterOperator("f", lambda k, p: p > 2))
+        harness.feed("a", 1)
+        harness.feed("b", 5)
+        assert harness.emitted == [("b", 5, 1, None)]
+
+    def test_flat_map(self):
+        harness = Harness(
+            FlatMapOperator("fm", lambda k, p: [(c, None) for c in p])
+        )
+        harness.feed("s", "abc", weight=2)
+        assert harness.emitted == [
+            ("a", None, 2, None),
+            ("b", None, 2, None),
+            ("c", None, 2, None),
+        ]
+
+
+class TestKeyedCounter:
+    def test_counts_weights(self):
+        harness = Harness(KeyedCounter("c"))
+        harness.feed("a", weight=2)
+        harness.feed("a", weight=3)
+        harness.feed("b")
+        assert harness.state["a"] == 5
+        assert harness.state["b"] == 1
+        assert harness.emitted == []
+
+    def test_merge_values(self):
+        assert KeyedCounter("c").merge_values(2, 3) == 5
+
+
+class TestKeyedReducer:
+    def test_reduces_with_zero(self):
+        harness = Harness(
+            KeyedReducer(
+                "r",
+                reduce_fn=lambda acc, payload, weight: acc + payload * weight,
+                zero=lambda: 0,
+            )
+        )
+        harness.feed("a", 2, weight=3)
+        harness.feed("a", 1)
+        assert harness.state["a"] == 7
+
+
+class TestWindowedKeyedCounter:
+    def test_counts_by_event_time(self):
+        op = WindowedKeyedCounter("w", window=10.0, grace=0.0)
+        harness = Harness(op)
+        harness.feed("a", created_at=1.0, weight=2)
+        harness.feed("a", created_at=9.0)
+        harness.feed("a", created_at=11.0)
+        assert harness.state["a"] == {0: 3, 1: 1}
+
+    def test_timer_flushes_closed_windows(self):
+        op = WindowedKeyedCounter("w", window=10.0, grace=0.0)
+        harness = Harness(op)
+        harness.feed("a", created_at=1.0)
+        harness.feed("b", created_at=12.0)
+        harness.timer(now=20.0)
+        assert ("a", (0, 1), 1, None) in harness.emitted
+        assert ("b", (1, 1), 1, None) in harness.emitted
+        assert "a" not in harness.state  # empty key cleaned up
+
+    def test_grace_delays_flush(self):
+        op = WindowedKeyedCounter("w", window=10.0, grace=5.0)
+        harness = Harness(op)
+        harness.feed("a", created_at=1.0)
+        harness.timer(now=12.0)  # window 0 closed at 10, grace until 15
+        assert harness.emitted == []
+        harness.timer(now=16.0)
+        assert harness.emitted == [("a", (0, 1), 1, None)]
+
+    def test_merge_values_sums_windows(self):
+        op = WindowedKeyedCounter("w")
+        assert op.merge_values({0: 1, 1: 2}, {1: 3}) == {0: 1, 1: 5}
+
+    def test_timer_interval_defaults_to_window(self):
+        assert WindowedKeyedCounter("w", window=7.0).timer_interval == 7.0
+
+
+class TestTopK:
+    def test_counts_and_ranks(self):
+        op = TopKOperator("t", k=2, emit_interval=30.0)
+        harness = Harness(op)
+        harness.feed("en", weight=10)
+        harness.feed("de", weight=5)
+        harness.feed("fr", weight=1)
+        harness.timer(now=30.0)
+        key, ranking, _weight, _to = harness.emitted[0]
+        assert key == "topk"
+        assert ranking == (("en", 10), ("de", 5))
+
+    def test_merge_topk_takes_union(self):
+        merged = merge_topk([(("en", 10), ("de", 5)), (("fr", 7),)], k=2)
+        assert merged == [("en", 10), ("fr", 7)]
+
+    def test_empty_state_emits_nothing(self):
+        harness = Harness(TopKOperator("t"))
+        harness.timer(now=30.0)
+        assert harness.emitted == []
+
+
+class TestOperatorContextEmitDefaults:
+    def test_created_at_passthrough(self):
+        captured = []
+
+        def sink(key, payload, weight, created_at, to):
+            captured.append(created_at)
+
+        ctx = OperatorContext(None, sink, now=5.0)
+        ctx.emit("k", created_at=2.5)
+        assert captured == [2.5]

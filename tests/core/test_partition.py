@@ -1,0 +1,159 @@
+"""Tests for state partitioning and merging (Algorithm 2, scale in)."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.checkpoint import Checkpoint
+from repro.core.partition import (
+    merge_checkpoints,
+    partition_checkpoint,
+    partition_processing_state,
+    position_in_groups,
+    split_interval_groups,
+)
+from repro.core.state import KeyInterval, OutputBuffer, ProcessingState
+from repro.core.tuples import KEY_SPACE, Tuple, stable_hash
+from repro.errors import PartitionError
+
+
+class TestSplitIntervalGroups:
+    def test_single_interval_even_split(self):
+        groups = split_interval_groups([KeyInterval.full()], 4)
+        assert len(groups) == 4
+        assert all(len(g) == 1 for g in groups)
+        total = sum(interval.width for g in groups for interval in g)
+        assert total == KEY_SPACE
+
+    def test_guided_split_used_for_single_interval(self):
+        positions = list(range(0, 1000))
+        groups = split_interval_groups([KeyInterval(0, 10_000)], 2, positions)
+        assert groups[0][0].hi <= 1000
+
+    def test_multiple_intervals_split_proportionally(self):
+        owned = [KeyInterval(0, 100), KeyInterval(200, 300)]
+        groups = split_interval_groups(owned, 2)
+        widths = [sum(i.width for i in g) for g in groups]
+        assert widths == [100, 100]
+        # groups tile the original intervals exactly
+        tiles = sorted((i.lo, i.hi) for g in groups for i in g)
+        assert tiles[0][0] == 0 and tiles[-1][1] == 300
+
+    def test_empty_owned_rejected(self):
+        with pytest.raises(PartitionError):
+            split_interval_groups([], 2)
+
+    def test_zero_parts_rejected(self):
+        with pytest.raises(PartitionError):
+            split_interval_groups([KeyInterval.full()], 0)
+
+    @given(
+        st.lists(st.integers(min_value=0, max_value=99), min_size=1, max_size=6, unique=True),
+        st.integers(min_value=1, max_value=5),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_groups_tile_owned_width(self, starts, parts):
+        owned = [KeyInterval(s * 1000, s * 1000 + 500) for s in sorted(starts)]
+        groups = split_interval_groups(owned, parts)
+        assert len(groups) == parts
+        assert all(group for group in groups)
+        total = sum(i.width for g in groups for i in g)
+        assert total == sum(i.width for i in owned)
+        # no overlaps
+        spans = sorted((i.lo, i.hi) for g in groups for i in g)
+        for (l0, h0), (l1, _h1) in zip(spans, spans[1:]):
+            assert h0 <= l1
+
+    def test_position_in_groups(self):
+        groups = split_interval_groups([KeyInterval(0, 100)], 2)
+        assert position_in_groups(10, groups) == 0
+        assert position_in_groups(60, groups) == 1
+        with pytest.raises(PartitionError):
+            position_in_groups(500, groups)
+
+
+class TestPartitionCheckpoint:
+    def make(self, n_entries=30, buffered=5):
+        state = ProcessingState(
+            {f"key{i}": i for i in range(n_entries)}, positions={0: 7}, out_clock=9
+        )
+        buf = OutputBuffer()
+        for ts in range(buffered):
+            buf.append(99, Tuple(ts + 1, "k", slot=1))
+        return Checkpoint("op", 1, state, {"down": buf}, taken_at=2.0, seq=4)
+
+    def test_state_split_and_tau_copied(self):
+        ckpt = self.make()
+        groups = split_interval_groups([KeyInterval.full()], 3)
+        parts = partition_checkpoint(ckpt, groups, [10, 11, 12])
+        assert [p.slot_uid for p in parts] == [10, 11, 12]
+        assert sum(len(p.state) for p in parts) == 30
+        for part in parts:
+            assert part.positions == {0: 7}
+            assert part.out_clock == 9
+            assert part.seq == 4
+
+    def test_buffers_go_to_first_partition_only(self):
+        ckpt = self.make(buffered=5)
+        groups = split_interval_groups([KeyInterval.full()], 2)
+        first, second = partition_checkpoint(ckpt, groups, [10, 11])
+        assert first.buffers["down"].tuple_count() == 5
+        assert not second.buffers
+
+    def test_slot_count_mismatch_rejected(self):
+        ckpt = self.make()
+        groups = split_interval_groups([KeyInterval.full()], 2)
+        with pytest.raises(PartitionError):
+            partition_checkpoint(ckpt, groups, [10])
+
+    def test_partition_respects_group_membership(self):
+        ckpt = self.make(n_entries=100)
+        groups = split_interval_groups([KeyInterval.full()], 4)
+        parts = partition_checkpoint(ckpt, groups, [1, 2, 3, 4])
+        for part, group in zip(parts, groups):
+            for key in part.state.keys():
+                assert any(stable_hash(key) in interval for interval in group)
+
+
+class TestMergeCheckpoints:
+    def test_merge_reverses_partition(self):
+        state = ProcessingState({f"k{i}": i for i in range(20)}, positions={0: 3})
+        ckpt = Checkpoint("op", 1, state, {}, seq=2)
+        groups = split_interval_groups([KeyInterval.full()], 2)
+        left, right = partition_checkpoint(ckpt, groups, [10, 11])
+        merged = merge_checkpoints(left, right)
+        assert merged.state.entries == state.entries
+        assert merged.positions == {0: 3}
+
+    def test_merge_different_ops_rejected(self):
+        a = Checkpoint("op_a", 1, ProcessingState())
+        b = Checkpoint("op_b", 2, ProcessingState())
+        with pytest.raises(PartitionError):
+            merge_checkpoints(a, b)
+
+    def test_merge_combines_buffers(self):
+        buf_a = OutputBuffer()
+        buf_a.append(9, Tuple(1, "x", slot=1))
+        buf_b = OutputBuffer()
+        buf_b.append(9, Tuple(2, "y", slot=2))
+        a = Checkpoint("op", 1, ProcessingState({"a": 1}), {"d": buf_a}, seq=1)
+        b = Checkpoint("op", 2, ProcessingState({"b": 2}), {"d": buf_b}, seq=3)
+        merged = merge_checkpoints(a, b)
+        assert merged.buffers["d"].tuple_count() == 2
+        assert merged.seq == 3
+
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=6), st.integers(), max_size=30),
+        st.integers(min_value=2, max_value=5),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_partition_then_merge_roundtrip(self, entries, parts):
+        """partition followed by pairwise merge restores the original θ."""
+        state = ProcessingState(entries, positions={1: 4}, out_clock=2)
+        groups = split_interval_groups([KeyInterval.full()], parts)
+        pieces = partition_processing_state(state, groups)
+        merged = pieces[0]
+        for piece in pieces[1:]:
+            merged = merged.merge(piece)
+        assert merged.entries == entries
+        assert merged.positions == {1: 4}

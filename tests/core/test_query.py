@@ -1,0 +1,180 @@
+"""Tests for query graphs and execution graphs."""
+
+import pytest
+
+from repro.core.execution import ExecutionGraph
+from repro.core.operator import LambdaOperator
+from repro.core.operators import KeyedCounter
+from repro.core.query import QueryGraph, linear_query
+from repro.core.state import KeyInterval
+from repro.core.tuples import KEY_SPACE
+from repro.errors import QueryError
+
+
+def op(name, stateful=False):
+    if stateful:
+        return KeyedCounter(name)
+    return LambdaOperator(name, lambda tup, ctx: None)
+
+
+def diamond() -> QueryGraph:
+    graph = QueryGraph()
+    graph.add_operator(op("src"), source=True)
+    graph.add_operator(op("a"))
+    graph.add_operator(op("b", stateful=True))
+    graph.add_operator(op("snk"), sink=True)
+    graph.connect("src", "a")
+    graph.connect("src", "b")
+    graph.connect("a", "snk")
+    graph.connect("b", "snk")
+    return graph
+
+
+class TestQueryGraph:
+    def test_duplicate_names_rejected(self):
+        graph = QueryGraph()
+        graph.add_operator(op("x"))
+        with pytest.raises(QueryError):
+            graph.add_operator(op("x"))
+
+    def test_unknown_operator_in_connect(self):
+        graph = QueryGraph()
+        graph.add_operator(op("x"))
+        with pytest.raises(QueryError):
+            graph.connect("x", "missing")
+
+    def test_self_loop_rejected(self):
+        graph = QueryGraph()
+        graph.add_operator(op("x"))
+        with pytest.raises(QueryError):
+            graph.connect("x", "x")
+
+    def test_duplicate_edge_rejected(self):
+        graph = diamond()
+        with pytest.raises(QueryError):
+            graph.connect("src", "a")
+
+    def test_up_down(self):
+        graph = diamond()
+        assert sorted(graph.downstream_of("src")) == ["a", "b"]
+        assert sorted(graph.upstream_of("snk")) == ["a", "b"]
+
+    def test_topological_order(self):
+        order = diamond().topological_order()
+        assert order.index("src") < order.index("a") < order.index("snk")
+        assert order.index("src") < order.index("b") < order.index("snk")
+
+    def test_cycle_detected(self):
+        graph = QueryGraph()
+        for name in "abc":
+            graph.add_operator(op(name))
+        graph.connect("a", "b")
+        graph.connect("b", "c")
+        graph.connect("c", "a")
+        with pytest.raises(QueryError):
+            graph.topological_order()
+
+    def test_validate_requires_source_and_sink(self):
+        graph = QueryGraph()
+        graph.add_operator(op("only"))
+        with pytest.raises(QueryError):
+            graph.validate()
+
+    def test_validate_source_with_inputs_rejected(self):
+        graph = QueryGraph()
+        graph.add_operator(op("s"), source=True)
+        graph.add_operator(op("x"))
+        graph.add_operator(op("k"), sink=True)
+        graph.connect("x", "s")
+        graph.connect("s", "k")
+        with pytest.raises(QueryError):
+            graph.validate()
+
+    def test_validate_disconnected_operator_rejected(self):
+        graph = QueryGraph()
+        graph.add_operator(op("s"), source=True)
+        graph.add_operator(op("orphan"))
+        graph.add_operator(op("k"), sink=True)
+        graph.connect("s", "k")
+        with pytest.raises(QueryError):
+            graph.validate()
+
+    def test_valid_diamond(self):
+        diamond().validate()
+
+    def test_stateful_operators_listed(self):
+        assert diamond().stateful_operators() == ["b"]
+
+    def test_linear_query_builder(self):
+        graph = linear_query([op("a"), op("b"), op("c")])
+        assert graph.sources == ["a"]
+        assert graph.sinks == ["c"]
+
+    def test_linear_query_too_short(self):
+        with pytest.raises(QueryError):
+            linear_query([op("only")])
+
+
+class TestExecutionGraph:
+    def make(self, parallelism=None):
+        graph = diamond()
+        graph.validate()
+        execution = ExecutionGraph(graph)
+        execution.initialise(parallelism)
+        return execution
+
+    def test_initialise_one_slot_each(self):
+        execution = self.make()
+        assert execution.total_slots() == 4
+        assert execution.parallelism_of("b") == 1
+
+    def test_initialise_with_parallelism(self):
+        execution = self.make({"b": 3})
+        assert execution.parallelism_of("b") == 3
+        routing = execution.routing_to("b")
+        assert len(routing) == 3
+
+    def test_slot_uids_unique(self):
+        execution = self.make({"a": 2, "b": 2})
+        uids = [s.uid for slots in execution.slots.values() for s in slots]
+        assert len(uids) == len(set(uids))
+
+    def test_routing_covers_key_space(self):
+        execution = self.make({"b": 4})
+        routing = execution.routing_to("b")
+        widths = sum(interval.width for interval, _t in routing)
+        assert widths == KEY_SPACE
+
+    def test_replace_slots(self):
+        execution = self.make()
+        old = execution.slots_of("b")[0]
+        new = [execution.new_slot("b", i) for i in range(2)]
+        execution.replace_slots("b", [old], new)
+        assert execution.parallelism_of("b") == 2
+        assert old.uid not in [s.uid for s in execution.slots_of("b")]
+
+    def test_replace_unknown_slot_rejected(self):
+        execution = self.make()
+        bogus = execution.new_slot("b", 9)
+        with pytest.raises(QueryError):
+            execution.replace_slots("b", [bogus, bogus], [])
+
+    def test_set_routing_validates_targets(self):
+        execution = self.make()
+        from repro.core.state import RoutingState
+
+        with pytest.raises(QueryError):
+            execution.set_routing("b", RoutingState.single(9999))
+
+    def test_slot_by_uid(self):
+        execution = self.make()
+        slot = execution.slots_of("a")[0]
+        assert execution.slot_by_uid(slot.uid) is slot
+        with pytest.raises(QueryError):
+            execution.slot_by_uid(424242)
+
+    def test_zero_parallelism_rejected(self):
+        graph = diamond()
+        execution = ExecutionGraph(graph)
+        with pytest.raises(QueryError):
+            execution.initialise({"b": 0})

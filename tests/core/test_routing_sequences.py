@@ -1,0 +1,81 @@
+"""Property test: arbitrary sequences of routing mutations preserve the
+key-space invariant (disjoint intervals, full coverage).
+
+Scale out, scale in and recovery all rewrite routing state; no sequence
+of those rewrites may ever leave a key unroutable or doubly routed —
+this is the invariant the dispatcher's correctness rests on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import KeyInterval, RoutingState
+from repro.core.tuples import KEY_SPACE
+
+
+def apply_random_operations(draw_ops: list[tuple[str, int]]) -> RoutingState:
+    routing = RoutingState.single(0)
+    next_uid = 1
+    for kind, selector in draw_ops:
+        targets = sorted(set(routing.targets))
+        target = targets[selector % len(targets)]
+        if kind == "split":
+            owned = routing.intervals_of(target)
+            widest = max(owned, key=lambda i: i.width)
+            if widest.width < 2:
+                continue
+            left, right = widest.split(2)
+            replacements = [(i, target) for i in owned if i != widest]
+            replacements += [(left, next_uid), (right, next_uid + 1)]
+            routing = routing.replace_target(target, replacements)
+            next_uid += 2
+        elif kind == "reassign":
+            routing = routing.reassign(target, next_uid)
+            next_uid += 1
+        elif kind == "merge" and len(targets) >= 2:
+            survivor = targets[(selector + 1) % len(targets)]
+            if survivor != target:
+                routing = routing.merge_targets(survivor, target)
+    return routing
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["split", "reassign", "merge"]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=25,
+    )
+)
+@settings(max_examples=80, deadline=None)
+def test_mutation_sequences_preserve_coverage(ops):
+    routing = apply_random_operations(ops)
+    # The RoutingState constructor validates tiling on every rebuild, so
+    # reaching here already proves the invariant; spot-check routing too.
+    total = sum(interval.width for interval, _t in routing)
+    assert total == KEY_SPACE
+    for position in (0, 1, KEY_SPACE // 2, KEY_SPACE - 1):
+        assert routing.route_position(position) in routing.targets
+
+
+@given(
+    st.lists(
+        st.tuples(
+            st.sampled_from(["split", "reassign", "merge"]),
+            st.integers(min_value=0, max_value=10_000),
+        ),
+        max_size=25,
+    ),
+    st.text(max_size=12),
+)
+@settings(max_examples=80, deadline=None)
+def test_every_key_routes_to_exactly_one_target(ops, key):
+    routing = apply_random_operations(ops)
+    target = routing.route_key(key)
+    owners = [
+        t
+        for interval, t in routing
+        if interval.contains_key(key)
+    ]
+    assert owners == [target]

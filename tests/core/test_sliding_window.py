@@ -1,0 +1,75 @@
+"""Tests for the sliding-window accumulator and CSV export helper."""
+
+import pytest
+
+from repro.core.window import SlidingWindowAccumulator
+from repro.errors import ConfigurationError
+
+
+class TestSlidingWindowAccumulator:
+    def make(self, width=10.0):
+        return SlidingWindowAccumulator(width)
+
+    def test_add_and_aggregate(self):
+        acc = self.make()
+        entries: list = []
+        acc.add(entries, 1.0, 5)
+        acc.add(entries, 3.0, 7)
+        total = acc.aggregate(entries, now=5.0, fold=lambda a, b: a + b, zero=0)
+        assert total == 12
+
+    def test_window_slides(self):
+        acc = self.make(width=10.0)
+        entries: list = []
+        acc.add(entries, 0.0, 100)
+        acc.add(entries, 9.0, 1)
+        # At t=15 the first sample is outside the window.
+        total = acc.aggregate(entries, now=15.0, fold=lambda a, b: a + b, zero=0)
+        assert total == 1
+
+    def test_add_prunes_eagerly(self):
+        acc = self.make(width=5.0)
+        entries: list = []
+        acc.add(entries, 0.0, "old")
+        acc.add(entries, 10.0, "new")
+        assert entries == [(10.0, "new")]
+
+    def test_prune_returns_dropped_count(self):
+        acc = self.make(width=5.0)
+        entries = [(0.0, 1), (1.0, 2), (8.0, 3)]
+        assert acc.prune(entries, now=10.0) == 2
+        assert entries == [(8.0, 3)]
+
+    def test_aggregate_with_custom_fold(self):
+        acc = self.make()
+        entries = [(1.0, 4), (2.0, 9)]
+        biggest = acc.aggregate(entries, 5.0, fold=max, zero=float("-inf"))
+        assert biggest == 9
+
+    def test_bad_width_rejected(self):
+        with pytest.raises(ConfigurationError):
+            SlidingWindowAccumulator(0.0)
+
+
+class TestFigureCsvExport:
+    def test_rows_and_series_written(self, tmp_path):
+        import numpy as np
+
+        from repro.experiments.harness import FigureResult
+
+        result = FigureResult(
+            "Fig. T",
+            "test",
+            ["a", "b"],
+            [[1, 2.5], [3, None]],
+            series={"input rate": (np.array([0.5, 1.5]), np.array([10.0, 20.0]))},
+        )
+        path = tmp_path / "fig.csv"
+        result.to_csv(str(path))
+        rows = path.read_text().strip().splitlines()
+        assert rows[0] == "a,b"
+        assert rows[1] == "1,2.5"
+        series_path = tmp_path / "fig.input_rate.csv"
+        series = series_path.read_text().strip().splitlines()
+        assert series[0] == "time,input rate"
+        assert series[1] == "0.5,10.0"

@@ -1,0 +1,168 @@
+"""Tests for state spilling and external persistence (§3.3 extensions)."""
+
+import pytest
+
+from repro.core.spill import ExternalStateStore, SpillableState
+from repro.core.state import KeyInterval
+from repro.errors import StateError
+
+
+class TestSpillableState:
+    def test_spills_over_hot_limit(self):
+        state = SpillableState(max_hot_entries=3)
+        for i in range(5):
+            state[f"k{i}"] = i
+        assert state.hot_entries == 3
+        assert state.spilled_entries == 2
+        assert len(state) == 5
+
+    def test_lru_entries_spill_first(self):
+        state = SpillableState(max_hot_entries=2)
+        state["a"] = 1
+        state["b"] = 2
+        _ = state["a"]  # touch a; b becomes the LRU entry
+        state["c"] = 3
+        assert "b" in state._spilled
+
+    def test_read_faults_entry_back(self):
+        state = SpillableState(max_hot_entries=2)
+        for key in "abc":
+            state[key] = key
+        spilled_key = next(iter(state._spilled))
+        assert state[spilled_key] == spilled_key
+        assert state.fault_count == 1
+
+    def test_contains_and_get_cover_both_tiers(self):
+        state = SpillableState(max_hot_entries=1)
+        state["a"] = 1
+        state["b"] = 2
+        assert "a" in state and "b" in state
+        assert state.get("a") == 1
+        assert state.get("missing", 9) == 9
+
+    def test_setdefault_and_pop(self):
+        state = SpillableState(max_hot_entries=1)
+        state["a"] = 1
+        state["b"] = 2  # spills a
+        assert state.setdefault("a", 99) == 1
+        assert state.pop("b") == 2
+        assert len(state) == 1
+
+    def test_io_cost_charged(self):
+        charged = []
+        state = SpillableState(
+            max_hot_entries=2, io_seconds_per_entry=1e-3, io_cost=charged.append
+        )
+        for i in range(4):
+            state[f"k{i}"] = i
+        assert sum(charged) == pytest.approx(2e-3)
+
+    def test_manual_spill(self):
+        state = SpillableState(max_hot_entries=100)
+        for i in range(10):
+            state[f"k{i}"] = i
+        moved = state.spill(4)
+        assert moved == 4
+        assert state.spilled_entries == 4
+
+    def test_snapshot_flattens_tiers(self):
+        state = SpillableState(max_hot_entries=2, positions={1: 5}, out_clock=3)
+        for i in range(5):
+            state[f"k{i}"] = i
+        snap = state.snapshot()
+        assert len(snap) == 5
+        assert snap.positions == {1: 5}
+        assert snap.out_clock == 3
+        # Snapshot is isolated and a plain ProcessingState (partitionable).
+        parts = snap.partition(KeyInterval.full().split(2))
+        assert sum(len(p) for p in parts) == 5
+
+    def test_estimated_bytes_covers_both_tiers(self):
+        state = SpillableState(max_hot_entries=1)
+        state["a"] = 1
+        state["b"] = 2
+        assert state.estimated_bytes(10.0) == 20.0
+
+    def test_bad_limit_rejected(self):
+        with pytest.raises(StateError):
+            SpillableState(max_hot_entries=0)
+
+    def test_missing_key_raises(self):
+        with pytest.raises(KeyError):
+            SpillableState()["missing"]
+
+
+class TestSpillableStateInOperator:
+    def test_counter_with_spillable_state_end_to_end(self):
+        """A stateful operator backed by SpillableState works through the
+        full runtime, including checkpoint-based recovery."""
+        from repro.core.operators import KeyedCounter
+        from tests.conftest import small_system
+
+        class SpillingCounter(KeyedCounter):
+            def initial_state(self):
+                return SpillableState(max_hot_entries=5)
+
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        # Swap the counter operator for the spilling variant post-hoc is
+        # invasive; instead drive a fresh deployment.
+        from repro.config import SystemConfig
+        from repro.core.query import QueryGraph
+        from repro.runtime.sink import SinkOperator
+        from repro.runtime.source import SourceOperator
+        from repro.runtime.system import StreamProcessingSystem
+        from tests.conftest import ManualGenerator
+
+        graph = QueryGraph()
+        graph.add_operator(SourceOperator("source"), source=True)
+        graph.add_operator(SpillingCounter("counter", cost_per_tuple=1e-4))
+        graph.add_operator(SinkOperator("sink"), sink=True)
+        graph.chain("source", "counter", "sink")
+        config = SystemConfig()
+        config.scaling.enabled = False
+        config.checkpoint.stagger = False
+        config.checkpoint.interval = 1.0
+        sps = StreamProcessingSystem(config)
+        generator = ManualGenerator()
+        sps.deploy(graph, generators={"source": generator})
+        for i in range(20):
+            generator.feed(f"k{i}")
+        sps.run(until=3.0)
+        counter = sps.instances_of("counter")[0]
+        assert counter.state.spilled_entries > 0
+        # Kill and recover: the checkpoint covered both tiers.
+        sps.injector.fail_target_at(lambda: sps.vm_of("counter"), 4.0)
+        sps.run(until=20.0)
+        restored = sps.instances_of("counter")[0]
+        assert all(restored.state[f"k{i}"] == 1 for i in range(20))
+
+
+class TestExternalStateStore:
+    def test_write_through_and_lookup(self):
+        store = ExternalStateStore()
+        store.persist("op", "k", {"v": 1})
+        assert store.lookup("op", "k") == {"v": 1}
+        assert store.lookup("op", "missing") is None
+        assert len(store) == 1
+
+    def test_values_copied_on_persist(self):
+        store = ExternalStateStore()
+        value = {"v": 1}
+        store.persist("op", "k", value)
+        value["v"] = 2
+        assert store.lookup("op", "k") == {"v": 1}
+
+    def test_restore_all_filters_by_operator(self):
+        store = ExternalStateStore()
+        store.persist("a", "k1", 1)
+        store.persist("a", "k2", 2)
+        store.persist("b", "k1", 3)
+        assert store.restore_all("a") == {"k1": 1, "k2": 2}
+
+    def test_write_cost_charged(self):
+        charged = []
+        store = ExternalStateStore(
+            write_seconds_per_entry=1e-4, write_cost=charged.append
+        )
+        store.persist("op", "k", 1)
+        assert charged == [1e-4]

@@ -1,0 +1,309 @@
+"""Tests for key intervals, routing state, processing state and buffers."""
+
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import KeyInterval, OutputBuffer, ProcessingState, RoutingState
+from repro.core.tuples import KEY_SPACE, Tuple, stable_hash
+from repro.errors import KeySpaceError, PartitionError, StateError
+
+
+class TestKeyInterval:
+    def test_contains(self):
+        interval = KeyInterval(10, 20)
+        assert 10 in interval
+        assert 19 in interval
+        assert 20 not in interval
+        assert 9 not in interval
+
+    def test_invalid_bounds_rejected(self):
+        with pytest.raises(KeySpaceError):
+            KeyInterval(10, 10)
+        with pytest.raises(KeySpaceError):
+            KeyInterval(-1, 5)
+        with pytest.raises(KeySpaceError):
+            KeyInterval(0, KEY_SPACE + 1)
+
+    def test_full_covers_space(self):
+        full = KeyInterval.full()
+        assert full.lo == 0 and full.hi == KEY_SPACE
+
+    @given(st.integers(min_value=1, max_value=16))
+    @settings(max_examples=30, deadline=None)
+    def test_split_tiles_interval(self, parts):
+        interval = KeyInterval(100, 10_000)
+        pieces = interval.split(parts)
+        assert len(pieces) == parts
+        assert pieces[0].lo == interval.lo
+        assert pieces[-1].hi == interval.hi
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.hi == right.lo
+
+    def test_split_too_many_parts_rejected(self):
+        with pytest.raises(PartitionError):
+            KeyInterval(0, 2).split(3)
+
+    def test_split_by_positions_balances_load(self):
+        interval = KeyInterval(0, 1000)
+        # All observed keys in [0, 100): the cut should land inside there.
+        positions = list(range(0, 100))
+        left, right = interval.split_by_positions(2, positions)
+        assert left.hi <= 100
+        assert left.hi > 0
+
+    def test_split_by_positions_falls_back_when_sparse(self):
+        interval = KeyInterval(0, 1000)
+        pieces = interval.split_by_positions(4, [5])
+        assert [p.width for p in pieces] == [250, 250, 250, 250]
+
+    def test_merge_adjacent(self):
+        merged = KeyInterval(0, 10).merge(KeyInterval(10, 30))
+        assert merged == KeyInterval(0, 30)
+        merged = KeyInterval(10, 30).merge(KeyInterval(0, 10))
+        assert merged == KeyInterval(0, 30)
+
+    def test_merge_non_adjacent_rejected(self):
+        with pytest.raises(KeySpaceError):
+            KeyInterval(0, 10).merge(KeyInterval(20, 30))
+
+    def test_contains_key(self):
+        interval = KeyInterval.full()
+        assert interval.contains_key("anything")
+
+
+class TestRoutingState:
+    def test_single_routes_everything(self):
+        routing = RoutingState.single(7)
+        assert routing.route_key("a") == 7
+        assert routing.route_position(0) == 7
+        assert routing.route_position(KEY_SPACE - 1) == 7
+
+    def test_gap_rejected(self):
+        with pytest.raises(KeySpaceError):
+            RoutingState([(KeyInterval(0, 10), 1), (KeyInterval(20, KEY_SPACE), 2)])
+
+    def test_overlap_rejected(self):
+        with pytest.raises(KeySpaceError):
+            RoutingState([(KeyInterval(0, 20), 1), (KeyInterval(10, KEY_SPACE), 2)])
+
+    def test_incomplete_coverage_rejected(self):
+        with pytest.raises(KeySpaceError):
+            RoutingState([(KeyInterval(0, 10), 1)])
+
+    def test_route_position_binary_search(self):
+        half = KEY_SPACE // 2
+        routing = RoutingState(
+            [(KeyInterval(0, half), 1), (KeyInterval(half, KEY_SPACE), 2)]
+        )
+        assert routing.route_position(0) == 1
+        assert routing.route_position(half - 1) == 1
+        assert routing.route_position(half) == 2
+        assert routing.route_position(KEY_SPACE - 1) == 2
+
+    def test_replace_target_splits(self):
+        routing = RoutingState.single(1)
+        pieces = KeyInterval.full().split(2)
+        updated = routing.replace_target(1, [(pieces[0], 2), (pieces[1], 3)])
+        assert updated.route_position(0) == 2
+        assert updated.route_position(KEY_SPACE - 1) == 3
+        assert 1 not in updated.targets
+
+    def test_replace_target_width_mismatch_rejected(self):
+        routing = RoutingState.single(1)
+        with pytest.raises(KeySpaceError):
+            routing.replace_target(1, [(KeyInterval(0, 5), 2)])
+
+    def test_replace_unknown_target_rejected(self):
+        with pytest.raises(KeySpaceError):
+            RoutingState.single(1).replace_target(9, [])
+
+    def test_reassign(self):
+        routing = RoutingState.single(1).reassign(1, 5)
+        assert routing.route_key("x") == 5
+
+    def test_merge_targets_coalesces(self):
+        pieces = KeyInterval.full().split(2)
+        routing = RoutingState([(pieces[0], 1), (pieces[1], 2)])
+        merged = routing.merge_targets(survivor=1, removed=2)
+        assert merged.targets == [1]
+        assert len(merged) == 1
+
+    def test_intervals_of(self):
+        pieces = KeyInterval.full().split(3)
+        routing = RoutingState(
+            [(pieces[0], 1), (pieces[1], 2), (pieces[2], 1)]
+        )
+        assert len(routing.intervals_of(1)) == 2
+        assert len(routing.intervals_of(2)) == 1
+
+    @given(st.integers(min_value=1, max_value=12), st.data())
+    @settings(max_examples=50, deadline=None)
+    def test_every_key_routes_somewhere(self, parts, data):
+        pieces = KeyInterval.full().split(parts)
+        routing = RoutingState([(piece, i) for i, piece in enumerate(pieces)])
+        key = data.draw(st.text(max_size=10))
+        target = routing.route_key(key)
+        assert 0 <= target < parts
+        position = stable_hash(key)
+        assert position in pieces[target]
+
+
+class TestProcessingState:
+    def test_mapping_interface(self):
+        state = ProcessingState()
+        state["a"] = 1
+        assert "a" in state
+        assert state["a"] == 1
+        assert state.get("b", 5) == 5
+        assert state.setdefault("c", 3) == 3
+        assert state.pop("c") == 3
+        assert len(state) == 1
+
+    def test_advance_tracks_max(self):
+        state = ProcessingState()
+        state.advance(7, 5)
+        state.advance(7, 3)
+        state.advance(8, 1)
+        assert state.positions == {7: 5, 8: 1}
+
+    def test_snapshot_is_isolated(self):
+        state = ProcessingState({"a": {"x": 1}}, positions={1: 5}, out_clock=9)
+        snap = state.snapshot()
+        state["a"]["x"] = 2
+        state["b"] = 1
+        state.advance(1, 10)
+        assert snap["a"] == {"x": 1}
+        assert "b" not in snap
+        assert snap.positions == {1: 5}
+        assert snap.out_clock == 9
+
+    def test_partition_by_interval(self):
+        state = ProcessingState({f"k{i}": i for i in range(50)}, positions={1: 3})
+        intervals = KeyInterval.full().split(3)
+        parts = state.partition(intervals)
+        assert sum(len(p) for p in parts) == 50
+        for part in parts:
+            assert part.positions == {1: 3}
+
+    def test_merge_disjoint(self):
+        left = ProcessingState({"a": 1}, positions={1: 5}, out_clock=2)
+        right = ProcessingState({"b": 2}, positions={1: 9, 2: 1}, out_clock=7)
+        merged = left.merge(right)
+        assert merged.entries == {"a": 1, "b": 2}
+        assert merged.positions == {1: 9, 2: 1}
+        assert merged.out_clock == 7
+
+    def test_merge_overlap_needs_function(self):
+        left = ProcessingState({"a": 1})
+        right = ProcessingState({"a": 2})
+        with pytest.raises(StateError):
+            left.merge(right)
+        merged = left.merge(right, merge_value=lambda x, y: x + y)
+        assert merged["a"] == 3
+
+    def test_estimated_bytes(self):
+        state = ProcessingState({"a": 1, "b": 2})
+        assert state.estimated_bytes(100.0) == 200.0
+
+    @given(
+        st.dictionaries(st.text(min_size=1, max_size=8), st.integers(), max_size=40),
+        st.integers(min_value=1, max_value=8),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_partition_is_a_partition(self, entries, parts):
+        """Partitioning: disjoint, exhaustive, and re-mergeable (Alg. 2)."""
+        state = ProcessingState(entries, positions={0: 1})
+        intervals = KeyInterval.full().split(parts)
+        pieces = state.partition(intervals)
+        seen = {}
+        for piece, interval in zip(pieces, intervals):
+            for key, value in piece.items():
+                assert key not in seen  # disjoint
+                assert stable_hash(key) in interval  # respects intervals
+                seen[key] = value
+        assert seen == entries  # exhaustive
+
+
+class TestOutputBuffer:
+    def make_tuple(self, ts, key="k", created=0.0):
+        return Tuple(ts, key, None, created_at=created, slot=1)
+
+    def test_append_and_read(self):
+        buf = OutputBuffer()
+        buf.append(5, self.make_tuple(1))
+        buf.append(5, self.make_tuple(2))
+        buf.append(6, self.make_tuple(3))
+        assert len(buf.tuples_for(5)) == 2
+        assert buf.destinations() == [5, 6]
+        assert buf.tuple_count() == 3
+
+    def test_trim_drops_prefix(self):
+        buf = OutputBuffer()
+        for ts in range(1, 6):
+            buf.append(5, self.make_tuple(ts))
+        dropped = buf.trim(5, 3)
+        assert dropped == 3
+        assert [t.ts for t in buf.tuples_for(5)] == [4, 5]
+
+    def test_trim_empty_destination(self):
+        assert OutputBuffer().trim(9, 100) == 0
+
+    def test_tuples_after(self):
+        buf = OutputBuffer()
+        for ts in range(1, 6):
+            buf.append(5, self.make_tuple(ts))
+        assert [t.ts for t in buf.tuples_after(5, 3)] == [4, 5]
+
+    def test_trim_by_age(self):
+        buf = OutputBuffer()
+        buf.append(1, self.make_tuple(1, created=0.0))
+        buf.append(1, self.make_tuple(2, created=10.0))
+        dropped = buf.trim_by_age(5.0)
+        assert dropped == 1
+        assert [t.ts for t in buf.tuples_for(1)] == [2]
+
+    def test_repartition_moves_tuples_by_key(self):
+        buf = OutputBuffer()
+        buf.append(1, self.make_tuple(1, key="a"))
+        buf.append(1, self.make_tuple(2, key="b"))
+        buf.repartition(lambda tup: 10 if tup.key == "a" else 20)
+        assert [t.key for t in buf.tuples_for(10)] == ["a"]
+        assert [t.key for t in buf.tuples_for(20)] == ["b"]
+
+    def test_snapshot_isolated(self):
+        buf = OutputBuffer()
+        buf.append(1, self.make_tuple(1))
+        snap = buf.snapshot()
+        buf.append(1, self.make_tuple(2))
+        assert snap.tuple_count() == 1
+
+    def test_weight_total(self):
+        buf = OutputBuffer()
+        buf.append(1, Tuple(1, "k", weight=4))
+        assert buf.weight_total() == 4
+
+    @given(
+        st.lists(
+            st.tuples(st.integers(min_value=0, max_value=3), st.text(max_size=4)),
+            max_size=40,
+        ),
+        st.integers(min_value=1, max_value=4),
+    )
+    @settings(max_examples=50, deadline=None)
+    def test_repartition_preserves_multiset(self, items, parts):
+        """Re-bucketing never loses or duplicates tuples (Alg. 2)."""
+        buf = OutputBuffer()
+        for ts, (dest, key) in enumerate(items):
+            buf.append(dest, Tuple(ts + 1, key, slot=0))
+        before = sorted(
+            (t.ts, t.key) for d in buf.destinations() for t in buf.tuples_for(d)
+        )
+        buf.repartition(lambda tup: stable_hash(tup.key) % parts)
+        after = sorted(
+            (t.ts, t.key) for d in buf.destinations() for t in buf.tuples_for(d)
+        )
+        assert before == after
+        for dest in buf.destinations():
+            for tup in buf.tuples_for(dest):
+                assert stable_hash(tup.key) % parts == dest

@@ -1,0 +1,62 @@
+"""Tests for the windowing helpers."""
+
+import pytest
+
+from repro.core.window import WindowAccumulator, window_index, window_start
+from repro.errors import ConfigurationError
+
+
+class TestWindowIndex:
+    def test_basic(self):
+        assert window_index(0.0, 10.0) == 0
+        assert window_index(9.999, 10.0) == 0
+        assert window_index(10.0, 10.0) == 1
+        assert window_index(25.0, 10.0) == 2
+
+    def test_negative_time(self):
+        assert window_index(-0.5, 10.0) == -1
+
+    def test_bad_width(self):
+        with pytest.raises(ConfigurationError):
+            window_index(1.0, 0.0)
+
+    def test_window_start(self):
+        assert window_start(3, 10.0) == 30.0
+
+
+class TestWindowAccumulator:
+    def make(self):
+        return WindowAccumulator(
+            10.0, add=lambda acc, value, weight: acc + value * weight, zero=lambda: 0
+        )
+
+    def test_accumulates_into_correct_window(self):
+        acc = self.make()
+        buckets = {}
+        acc.accumulate(buckets, 5.0, 2, weight=3)
+        acc.accumulate(buckets, 15.0, 1)
+        assert buckets == {0: 6, 1: 1}
+
+    def test_flush_closed_removes_and_returns_sorted(self):
+        acc = self.make()
+        buckets = {2: 5, 0: 1, 1: 3}
+        flushed = acc.flush_closed(buckets, now=25.0)
+        assert flushed == [(0, 1), (1, 3)]
+        assert buckets == {2: 5}
+
+    def test_flush_nothing_when_all_open(self):
+        acc = self.make()
+        buckets = {0: 1}
+        assert acc.flush_closed(buckets, now=5.0) == []
+        assert buckets == {0: 1}
+
+
+class TestErrorHierarchy:
+    def test_all_errors_derive_from_repro_error(self):
+        import inspect
+
+        import repro.errors as errors
+
+        for _name, cls in inspect.getmembers(errors, inspect.isclass):
+            if cls.__module__ == "repro.errors" and cls is not errors.ReproError:
+                assert issubclass(cls, errors.ReproError), cls

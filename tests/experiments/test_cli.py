@@ -1,0 +1,43 @@
+"""Tests for the ``python -m repro`` figure CLI."""
+
+import pytest
+
+import repro.__main__ as cli
+from repro.experiments.harness import FigureResult
+
+
+@pytest.fixture
+def fake_driver(monkeypatch):
+    calls = []
+
+    def driver(**kwargs):
+        calls.append(kwargs)
+        return FigureResult("Fig. X", "fake", ["a"], [[1]])
+
+    monkeypatch.setitem(cli.FIGURES, "fig06", (driver, {"big": True}, {"big": False}))
+    return calls
+
+
+class TestCli:
+    def test_list(self, capsys):
+        assert cli.main(["list"]) == 0
+        out = capsys.readouterr().out
+        assert "fig06" in out and "fig15" in out and "lrating" in out
+
+    def test_unknown_figure_errors(self):
+        with pytest.raises(SystemExit):
+            cli.main(["fig99"])
+
+    def test_runs_paper_scale_by_default(self, fake_driver, capsys):
+        assert cli.main(["fig06"]) == 0
+        assert fake_driver == [{"big": True}]
+        assert "Fig. X" in capsys.readouterr().out
+
+    def test_quick_flag_switches_params(self, fake_driver):
+        cli.main(["fig06", "--quick"])
+        assert fake_driver == [{"big": False}]
+
+    def test_every_registered_figure_has_quick_params(self):
+        for name, (driver, _paper, quick) in cli.FIGURES.items():
+            assert callable(driver), name
+            assert isinstance(quick, dict), name

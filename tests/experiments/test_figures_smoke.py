@@ -1,0 +1,163 @@
+"""Smoke tests for every figure driver at miniature scale.
+
+Each driver must run end to end, return a well-formed FigureResult and
+show the *direction* of the paper's effect where one run suffices.  The
+full-scale regeneration lives in benchmarks/.
+"""
+
+import math
+
+import pytest
+
+from repro.experiments import figures
+from repro.experiments.harness import FigureResult
+from repro.experiments.report import render_table, render_series, sparkline
+
+
+def assert_result_sane(result: FigureResult, rows_at_least=1):
+    assert result.figure_id
+    assert result.headers
+    assert len(result.rows) >= rows_at_least
+    for row in result.rows:
+        assert len(row) == len(result.headers)
+    text = result.render()
+    assert result.figure_id in text
+
+
+class TestLRBFigures:
+    @pytest.fixture(scope="class")
+    def fig6(self):
+        figures._lrb_closed_loop.cache_clear()
+        return figures.fig06_lrb_scaleout(num_xways=16, duration=200.0, quantum=1.0)
+
+    def test_fig06(self, fig6):
+        assert_result_sane(fig6, rows_at_least=4)
+        assert "input rate" in fig6.series
+        metrics = dict((r[0], r[1]) for r in fig6.rows)
+        assert metrics["final worker VMs"] >= 5
+
+    def test_fig07_shares_run(self, fig6):
+        result = figures.fig07_lrb_latency(num_xways=16, duration=200.0, quantum=1.0)
+        assert_result_sane(result)
+        metrics = dict((r[0], r[1]) for r in result.rows)
+        assert metrics["median latency (ms)"] > 0
+        assert metrics["95th percentile (ms)"] >= metrics["median latency (ms)"]
+
+
+class TestOpenLoopFigure:
+    def test_fig08(self):
+        result = figures.fig08_openloop(rate=40_000.0, duration=150.0, sources=3)
+        assert_result_sane(result)
+        metrics = dict((r[0], r[1]) for r in result.rows)
+        assert metrics["tuples dropped during overload"] > 0
+        assert metrics["final worker VMs"] >= 2
+
+
+class TestPolicyFigures:
+    def test_fig09_vm_count_decreases_with_threshold(self):
+        result = figures.fig09_threshold(
+            thresholds=(0.30, 0.90), num_xways=12, duration=150.0, quantum=1.0
+        )
+        assert_result_sane(result, rows_at_least=2)
+        vms = [row[1] for row in result.rows]
+        assert vms[0] >= vms[-1]
+
+    def test_fig10_manual_vs_dynamic(self):
+        result = figures.fig10_manual_vs_dynamic(
+            vm_budgets=(5, 10), num_xways=12, duration=150.0, quantum=1.0
+        )
+        assert_result_sane(result, rows_at_least=3)
+        modes = [row[0] for row in result.rows]
+        assert modes.count("manual") == 2
+        assert modes.count("dynamic") == 1
+        manual = {row[1]: row[3] for row in result.rows if row[0] == "manual"}
+        assert manual[5] > manual[10]  # fewer VMs → worse p95
+
+
+class TestRecoveryFigures:
+    def test_fig11_rsm_fastest(self):
+        result = figures.fig11_recovery_strategies(
+            rates=(200.0,), checkpoint_interval=5.0, repeats=1
+        )
+        assert_result_sane(result)
+        _rate, rsm, sr, ub = result.rows[0]
+        assert rsm < sr and rsm < ub
+
+    def test_fig12_monotone_in_interval(self):
+        result = figures.fig12_checkpoint_interval(
+            intervals=(2.0, 20.0), rates=(300.0,), repeats=1
+        )
+        assert_result_sane(result, rows_at_least=2)
+        assert result.rows[0][1] < result.rows[1][1]
+
+    def test_fig13_parallel_crossover_direction(self):
+        result = figures.fig13_parallel_recovery(
+            intervals=(2.0, 30.0), rate=300.0, repeats=1
+        )
+        assert_result_sane(result, rows_at_least=2)
+        short_serial, short_parallel = result.rows[0][1], result.rows[0][2]
+        long_serial, long_parallel = result.rows[1][1], result.rows[1][2]
+        # Parallel overhead dominates at short intervals...
+        assert short_parallel > short_serial
+        # ...and shrinks (relatively) as replay grows.
+        assert (long_parallel - long_serial) < (short_parallel - short_serial)
+
+
+class TestOverheadFigures:
+    def test_fig14_latency_grows_with_state(self):
+        result = figures.fig14_state_size(rates=(500.0,), duration=40.0)
+        assert_result_sane(result, rows_at_least=4)
+        by_label = {row[0]: row[1] for row in result.rows}
+        assert by_label["large (10^5)"] > by_label["small (10^2)"]
+        assert by_label["no checkpointing"] <= by_label["small (10^2)"]
+
+    def test_fig15_tradeoff_directions(self):
+        result = figures.fig15_tradeoff(intervals=(2.0, 25.0), rate=500.0)
+        assert_result_sane(result, rows_at_least=2)
+        short, long = result.rows[0], result.rows[1]
+        assert short[2] < long[2]  # recovery time grows with interval
+        assert short[1] >= long[1]  # latency overhead shrinks with interval
+
+
+class TestHeadlineAndAblation:
+    def test_lrating_probe(self):
+        result = figures.lrating_probe(l_values=(12,), duration=150.0, quantum=1.0)
+        assert_result_sane(result)
+        row = result.rows[0]
+        assert row[0] == 12
+        assert row[3] is True  # sustained
+
+    def test_vm_pool_ablation(self):
+        result = figures.ablation_vm_pool(
+            pool_sizes=(0, 3), num_xways=12, duration=200.0, quantum=1.0,
+            provisioning_delay=60.0,
+        )
+        assert_result_sane(result, rows_at_least=2)
+        no_pool = result.rows[0]
+        with_pool = result.rows[1]
+        if no_pool[2] is not None and with_pool[2] is not None:
+            assert no_pool[2] > with_pool[2]
+
+
+class TestReportRendering:
+    def test_render_table_alignment(self):
+        text = render_table(["a", "bb"], [[1, 2.5], [10, None]], title="T")
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "a" in lines[1] and "bb" in lines[1]
+        assert "-" in lines[2]
+
+    def test_render_series_downsamples(self):
+        text = render_series("x", list(range(100)), list(range(100)), max_points=10)
+        assert text.count("\n") <= 13
+
+    def test_sparkline(self):
+        line = sparkline([0, 1, 2, 3])
+        assert len(line) == 4
+        assert line[0] != line[-1]
+
+    def test_sparkline_flat(self):
+        assert sparkline([5, 5, 5]) == "▁▁▁"
+
+    def test_sparkline_empty(self):
+        assert sparkline([]) == ""

@@ -1,0 +1,101 @@
+"""Tests for the run-analysis helpers, on hand-built metrics (no sim)."""
+
+import math
+
+import numpy as np
+
+from repro.config import SystemConfig
+from repro.experiments.runners import LRBRun, ScaleOutRun, WikipediaRun
+from repro.runtime.system import StreamProcessingSystem
+
+
+def bare_system() -> StreamProcessingSystem:
+    config = SystemConfig()
+    config.scaling.enabled = False
+    return StreamProcessingSystem(config)
+
+
+def fill_rates(system, name, pairs):
+    series = system.metrics.rate_series_for(name, 1.0)
+    for t, count in pairs:
+        series.record(t, count)
+
+
+class TestScaleOutRunHelpers:
+    def test_latency_percentile_empty_is_nan(self):
+        run = ScaleOutRun(bare_system(), duration=10.0)
+        assert math.isnan(run.latency_percentile(95))
+
+    def test_peaks_and_series(self):
+        system = bare_system()
+        fill_rates(system, "input", [(0.5, 10), (1.5, 30)])
+        fill_rates(system, "processed:sink", [(0.5, 8), (1.5, 28)])
+        run = ScaleOutRun(system, duration=2.0)
+        assert run.peak_input_rate() == 30.0
+        assert run.peak_throughput() == 28.0
+        times, rates = run.input_rate_series()
+        assert times.tolist() == [0.5, 1.5]
+
+    def test_dropped_weight_sums_overflow_counters(self):
+        system = bare_system()
+        system.metrics.increment("overflow:map", 5)
+        system.metrics.increment("overflow:reduce", 2)
+        system.metrics.increment("duplicates:map", 99)
+        run = ScaleOutRun(system, duration=1.0)
+        assert run.dropped_weight() == 7
+
+    def test_scale_out_times(self):
+        system = bare_system()
+        system.metrics.mark_event(3.0, "scale_out", "x")
+        system.metrics.mark_event(7.0, "scale_out", "y")
+        system.metrics.mark_event(9.0, "failure", "z")
+        run = ScaleOutRun(system, duration=10.0)
+        assert run.scale_out_times() == [3.0, 7.0]
+
+
+class TestLRBRunSustained:
+    def make(self, in_tail, out_tail, duration=100.0):
+        system = bare_system()
+        for t in range(90, 100):
+            fill_rates(system, "input", [(t + 0.5, in_tail)])
+            fill_rates(system, "processed:sink", [(t + 0.5, out_tail)])
+        run = LRBRun(system, duration)
+        return run
+
+    def test_sustained_when_tracking(self):
+        assert self.make(100, 95).sustained(tolerance=0.15)
+
+    def test_not_sustained_when_collapsed(self):
+        assert not self.make(100, 40).sustained(tolerance=0.15)
+
+    def test_no_data_is_not_sustained(self):
+        run = LRBRun(bare_system(), 100.0)
+        assert not run.sustained()
+
+
+class TestWikipediaTimeToSustain:
+    def test_first_time_reaching_input(self):
+        system = bare_system()
+        for t in range(10):
+            fill_rates(system, "input", [(t + 0.5, 100)])
+        for t, rate in enumerate([10, 30, 60, 95, 99, 100, 100, 100, 100, 100]):
+            fill_rates(system, "processed:map", [(t + 0.5, rate)])
+        run = WikipediaRun(system, 10.0)
+
+        class Query:
+            map_name = "map"
+
+        run.query = Query()
+        assert run.time_to_sustain(tolerance=0.05) == 3.5
+
+    def test_never_sustained(self):
+        system = bare_system()
+        fill_rates(system, "input", [(0.5, 100)])
+        fill_rates(system, "processed:map", [(0.5, 10)])
+        run = WikipediaRun(system, 1.0)
+
+        class Query:
+            map_name = "map"
+
+        run.query = Query()
+        assert run.time_to_sustain() is None

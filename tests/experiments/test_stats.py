@@ -1,0 +1,92 @@
+"""Tests for the statistical helpers."""
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.stats import Comparison, Summary, compare, repeat, summarize
+
+
+class TestSummarize:
+    def test_mean_and_interval(self):
+        summary = summarize([1.0, 2.0, 3.0, 4.0, 5.0])
+        assert summary.mean == 3.0
+        assert summary.n == 5
+        assert summary.ci_low < 3.0 < summary.ci_high
+
+    def test_interval_shrinks_with_samples(self):
+        narrow = summarize([3.0] * 2 + [3.1] * 2 + [2.9] * 2)
+        wide = summarize([3.0, 3.1])
+        assert (narrow.ci_high - narrow.ci_low) < (wide.ci_high - wide.ci_low)
+
+    def test_single_sample_degenerates(self):
+        summary = summarize([7.5])
+        assert summary.mean == summary.ci_low == summary.ci_high == 7.5
+        assert summary.std == 0.0
+
+    def test_interval_contains_true_mean_mostly(self):
+        import numpy as np
+
+        rng = np.random.default_rng(0)
+        hits = 0
+        for _ in range(100):
+            sample = rng.normal(10.0, 2.0, size=20)
+            summary = summarize(list(sample), confidence=0.95)
+            if summary.ci_low <= 10.0 <= summary.ci_high:
+                hits += 1
+        assert hits >= 85  # ~95 expected
+
+    def test_str_format(self):
+        assert "95% CI" in str(summarize([1.0, 2.0]))
+
+    def test_empty_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([])
+
+    def test_bad_confidence_rejected(self):
+        with pytest.raises(ReproError):
+            summarize([1.0], confidence=1.5)
+
+
+class TestRepeat:
+    def test_distinct_seeds_passed(self):
+        seeds = []
+        repeat(lambda s: seeds.append(s) or float(s), 3, seed=10)
+        assert seeds == [10, 11, 12]
+
+    def test_zero_repeats_rejected(self):
+        with pytest.raises(ReproError):
+            repeat(lambda s: 0.0, 0)
+
+
+class TestCompare:
+    def test_clearly_different_samples(self):
+        result = compare([1.0, 1.1, 0.9, 1.05], [5.0, 5.1, 4.9, 5.05])
+        assert result.significant()
+        assert result.mean_a < result.mean_b
+
+    def test_identical_distributions_not_significant(self):
+        import numpy as np
+
+        rng = np.random.default_rng(1)
+        a = list(rng.normal(3.0, 0.5, 10))
+        b = list(rng.normal(3.0, 0.5, 10))
+        result = compare(a, b)
+        assert not result.significant(alpha=0.01)
+
+    def test_too_few_samples_rejected(self):
+        with pytest.raises(ReproError):
+            compare([1.0], [2.0, 3.0])
+
+    def test_on_real_recovery_measurements(self):
+        """R+SM beats UB significantly across seeds (tiny-scale check)."""
+        from repro.experiments.harness import measure_recovery_time
+
+        rsm = repeat(
+            lambda s: measure_recovery_time(150.0, 2.0, "rsm", seed=s), 3
+        )
+        ub = repeat(
+            lambda s: measure_recovery_time(150.0, 2.0, "upstream_backup", seed=s),
+            3,
+        )
+        result = compare(rsm, ub)
+        assert result.mean_a < result.mean_b

@@ -1,0 +1,121 @@
+"""Tests for the active-replication strategy (§7 comparison point)."""
+
+import pytest
+
+from tests.conftest import small_system
+
+
+def feed_many(gen, keys):
+    for key in keys:
+        gen.feed(key)
+
+
+def ar_system(**overrides):
+    return small_system(strategy="active_replication", **overrides)
+
+
+class TestReplication:
+    def test_stateful_operators_replicated(self):
+        system, _gen, _col = ar_system()
+        counter = system.instances_of("counter")[0]
+        mid = system.instances_of("mid")[0]
+        assert system.replication.replica_of(counter.uid) is not None
+        assert system.replication.replica_of(mid.uid) is None  # stateless
+
+    def test_replica_doubles_vm_footprint(self):
+        system, _gen, _col = ar_system()
+        # 2 workers + src + sink + 1 replica + pool of 3
+        assert system.replication.replica_vm_count() == 1
+        plain, _g, _c = small_system(strategy="rsm")
+        assert (
+            system.provider.vm_count_allocated()
+            == plain.provider.vm_count_allocated() + 1
+        )
+
+    def test_replica_mirrors_state(self):
+        system, gen, _col = ar_system()
+        feed_many(gen, ["a", "b", "a"])
+        system.run(until=2.0)
+        counter = system.instances_of("counter")[0]
+        replica = system.replication.replica_of(counter.uid)
+        assert replica.state.entries == counter.state.entries
+
+    def test_replica_emits_nothing(self):
+        system, gen, _col = ar_system()
+        feed_many(gen, ["a"])
+        system.run(until=2.0)
+        counter = system.instances_of("counter")[0]
+        replica = system.replication.replica_of(counter.uid)
+        assert replica.emitted_weight == 0
+        assert replica.processed_weight == 1
+
+    def test_no_checkpoints_under_ar(self):
+        system, gen, _col = ar_system()
+        feed_many(gen, ["a"])
+        system.run(until=5.0)
+        assert system.counter("checkpoints_stored") == 0
+
+
+class TestPromotion:
+    def run_failover(self, fail_at=5.0, until=30.0):
+        system, gen, col = ar_system()
+        feed_many(gen, [f"k{i}" for i in range(15)])
+        gen.feed_at(fail_at + 2.0, "after")
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), fail_at)
+        system.run(until=until)
+        return system, gen
+
+    def test_promotion_recovers_state_exactly(self):
+        system, _gen = self.run_failover()
+        counter = system.instances_of("counter")[0]
+        assert all(counter.state[f"k{i}"] == 1 for i in range(15))
+        assert counter.state["after"] == 1
+        assert system.replication.promotions == 1
+
+    def test_recovery_is_near_instant(self):
+        system, _gen = self.run_failover()
+        duration = system.recovery.recovery_durations[-1][1]
+        detection = system.config.fault.detection_delay
+        assert duration < detection + 1.0  # no state transfer, no VM wait
+
+    def test_ar_faster_than_rsm(self):
+        system, _gen = self.run_failover()
+        ar_time = system.recovery.recovery_durations[-1][1]
+        rsm, gen, _col = small_system(strategy="rsm", checkpoint_interval=1.0)
+        feed_many(gen, [f"k{i}" for i in range(15)])
+        rsm.injector.fail_target_at(lambda: rsm.vm_of("counter"), 5.0)
+        rsm.run(until=30.0)
+        rsm_time = rsm.recovery.recovery_durations[-1][1]
+        assert ar_time < rsm_time
+
+    def test_promoted_replica_emits(self):
+        system, gen = self.run_failover(until=40.0)
+        counter = system.instances_of("counter")[0]
+        assert not counter.is_replica
+
+    def test_new_replica_rearmed_after_promotion(self):
+        system, gen = self.run_failover(until=40.0)
+        counter = system.instances_of("counter")[0]
+        new_replica = system.replication.replica_of(counter.uid)
+        assert new_replica is not None
+        # The re-armed replica received a state snapshot.
+        assert all(new_replica.state[f"k{i}"] == 1 for i in range(15))
+
+    def test_second_failure_also_survived(self):
+        system, gen = self.run_failover(until=40.0)
+        gen.feed_at(41.0, "second_round")
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 45.0)
+        system.run(until=70.0)
+        counter = system.instances_of("counter")[0]
+        assert counter.state["second_round"] == 1
+        assert system.replication.promotions == 2
+
+    def test_replica_lost_means_unrecoverable(self):
+        system, gen, _col = ar_system()
+        feed_many(gen, ["a"])
+        counter = system.instances_of("counter")[0]
+        replica = system.replication.replica_of(counter.uid)
+        replica.vm.fail()
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=20.0)
+        assert system.metrics.events_of_kind("unrecoverable")

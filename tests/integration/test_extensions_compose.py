@@ -1,0 +1,107 @@
+"""Extension features composed: spill + incremental checkpoints + scale
+out/in on one system, and the join operator under scale out."""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.core.join import SIDE_LEFT, SideTagger, WindowedJoinOperator, tag_left, tag_right
+from repro.core.operators import KeyedCounter
+from repro.core.query import QueryGraph
+from repro.core.spill import SpillableState
+from repro.runtime.sink import RecordingCollector, SinkOperator
+from repro.runtime.source import SourceOperator
+from repro.runtime.system import StreamProcessingSystem
+from tests.conftest import ManualGenerator
+
+
+class SpillingCounter(KeyedCounter):
+    """A counter whose state spills past 8 hot entries."""
+
+    def initial_state(self):
+        return SpillableState(max_hot_entries=8)
+
+
+def deploy(counter_cls=KeyedCounter, incremental=False, parallelism=None):
+    graph = QueryGraph()
+    graph.add_operator(SourceOperator("source"), source=True)
+    graph.add_operator(counter_cls("counter", cost_per_tuple=1e-4))
+    graph.add_operator(SinkOperator("sink"), sink=True)
+    graph.chain("source", "counter", "sink")
+    config = SystemConfig()
+    config.scaling.enabled = False
+    config.checkpoint.interval = 1.0
+    config.checkpoint.stagger = False
+    config.checkpoint.incremental = incremental
+    system = StreamProcessingSystem(config)
+    generator = ManualGenerator()
+    system.deploy(graph, parallelism=parallelism, generators={"source": generator})
+    return system, generator
+
+
+class TestSpillPlusIncremental:
+    def test_spilled_state_with_incremental_checkpoints_recovers(self):
+        system, gen = deploy(SpillingCounter, incremental=True)
+        for i in range(30):
+            gen.feed(f"k{i}")
+        system.run(until=3.0)
+        for i in range(30, 40):
+            gen.feed(f"k{i}")
+        system.run(until=6.0)
+        counter = system.instances_of("counter")[0]
+        assert counter.state.spilled_entries > 0
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 7.0)
+        system.run(until=25.0)
+        restored = system.instances_of("counter")[0]
+        assert all(restored.state[f"k{i}"] == 1 for i in range(40))
+
+    def test_spilled_state_scales_out(self):
+        system, gen = deploy(SpillingCounter)
+        for i in range(40):
+            gen.feed(f"k{i}")
+        system.run(until=3.0)
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        parts = system.instances_of("counter")
+        merged = {}
+        for part in parts:
+            merged.update(dict(part.state.items()))
+        assert len(merged) == 40
+
+
+class TestJoinScalesOut:
+    def test_partitioned_join_still_matches(self):
+        graph = QueryGraph()
+        graph.add_operator(SourceOperator("ls"), source=True)
+        graph.add_operator(SourceOperator("rs"), source=True)
+        graph.add_operator(SideTagger("tl", "L"))
+        graph.add_operator(SideTagger("tr", "R"))
+        graph.add_operator(WindowedJoinOperator("join", window=60.0))
+        collector = RecordingCollector()
+        graph.add_operator(SinkOperator("sink", collector), sink=True)
+        graph.connect("ls", "tl")
+        graph.connect("rs", "tr")
+        graph.connect("tl", "join")
+        graph.connect("tr", "join")
+        graph.connect("join", "sink")
+        config = SystemConfig()
+        config.scaling.enabled = False
+        config.checkpoint.interval = 1.0
+        config.checkpoint.stagger = False
+        system = StreamProcessingSystem(config)
+        left, right = ManualGenerator(), ManualGenerator()
+        system.deploy(graph, generators={"ls": left, "rs": right})
+        for i in range(10):
+            left.feed_at(1.0 + 0.1 * i, f"k{i}", f"l{i}")
+        # Split the join mid-stream, then send the matching right side.
+        def split():
+            uid = system.query_manager.slots_of("join")[0].uid
+            assert system.scale_out.scale_out_slot(uid, 2)
+
+        system.sim.schedule_at(5.0, split)
+        for i in range(10):
+            right.feed_at(20.0 + 0.1 * i, f"k{i}", f"r{i}")
+        system.run(until=40.0)
+        assert system.query_manager.parallelism_of("join") == 2
+        matched = sorted(t.payload for t in collector.tuples)
+        assert matched == [(f"l{i}", f"r{i}") for i in range(10)]

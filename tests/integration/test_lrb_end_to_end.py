@@ -1,0 +1,98 @@
+"""End-to-end LRB runs at small scale: dynamic scale out, results, latency."""
+
+import pytest
+
+from repro.experiments.runners import run_lrb
+from repro.workloads.lrb import manual_parallelism
+
+
+@pytest.fixture(scope="module")
+def lrb_run():
+    """One shared small-scale closed-loop run with dynamic scale out."""
+    return run_lrb(num_xways=24, duration=240.0, quantum=1.0, seed=1)
+
+
+class TestDynamicScaleOut:
+    def test_scales_out_under_ramp(self, lrb_run):
+        assert len(lrb_run.scale_out_times()) >= 1
+        assert lrb_run.final_worker_vms() > 5
+
+    def test_toll_calculator_most_partitioned(self, lrb_run):
+        qm = lrb_run.system.query_manager
+        toll_calc = qm.parallelism_of("toll_calc")
+        assert toll_calc == max(
+            qm.parallelism_of(name)
+            for name in ("toll_calc", "toll_assess", "collector", "balance")
+        )
+
+    def test_throughput_tracks_input(self, lrb_run):
+        assert lrb_run.sustained(tail_fraction=0.1, tolerance=0.25)
+
+    def test_results_produced(self, lrb_run):
+        collector = lrb_run.query.collector
+        assert collector.toll_notifications > 0
+        assert collector.balance_responses > 0
+
+    def test_latency_within_lrb_target(self, lrb_run):
+        p99 = lrb_run.latency_percentile(99)
+        assert p99 < 5.0  # the LRB 5-second constraint
+
+    def test_vm_count_monotone_growth(self, lrb_run):
+        _times, values = lrb_run.vm_series()
+        assert values[-1] >= values[0]
+
+    def test_no_tuples_dropped_closed_loop(self, lrb_run):
+        assert lrb_run.dropped_weight() == 0
+
+
+class TestManualDeployment:
+    def test_manual_allocation_runs_without_scaling(self):
+        run = run_lrb(
+            num_xways=8,
+            duration=120.0,
+            quantum=1.0,
+            scaling_enabled=False,
+            parallelism=manual_parallelism(8),
+            seed=2,
+        )
+        assert run.scale_out_times() == []
+        assert run.final_worker_vms() == 8
+        assert run.query.collector.toll_notifications > 0
+
+    def test_underprovisioned_manual_has_higher_latency(self):
+        tight = run_lrb(
+            num_xways=16,
+            duration=150.0,
+            quantum=1.0,
+            scaling_enabled=False,
+            parallelism=manual_parallelism(5),
+            seed=2,
+        )
+        roomy = run_lrb(
+            num_xways=16,
+            duration=150.0,
+            quantum=1.0,
+            scaling_enabled=False,
+            parallelism=manual_parallelism(10),
+            seed=2,
+        )
+        assert tight.latency_percentile(95) > roomy.latency_percentile(95)
+
+
+class TestFailureDuringLRB:
+    def test_toll_calculator_recovers(self):
+        from repro.workloads.lrb import build_lrb_query
+        from repro.experiments.harness import default_config
+        from repro.runtime.system import StreamProcessingSystem
+
+        query = build_lrb_query(8, 150.0, quantum=1.0)
+        config = default_config(3)
+        config.scaling.enabled = False
+        system = StreamProcessingSystem(config)
+        system.deploy(query.graph, generators=query.generators)
+        system.injector.fail_target_at(lambda: system.vm_of("toll_calc"), 60.0)
+        system.run(until=150.0)
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+        # Tolls keep flowing after recovery.
+        rate = system.metrics.rate_series_for("processed:toll_calc")
+        assert rate.rate_at(140.0) > 0

@@ -1,0 +1,151 @@
+"""End-to-end correctness: failures and recovery must not change results.
+
+This is the paper's central correctness claim ("recover from failures
+without affecting processing results").  A deterministic word-count run
+with a failure + R+SM recovery must produce byte-identical window results
+to a failure-free run; the rebuild-based baselines come with documented
+weaker guarantees, asserted as such.
+"""
+
+import pytest
+
+from repro.config import SystemConfig
+from repro.runtime.system import StreamProcessingSystem
+from repro.workloads.wordcount import build_word_count_query
+
+
+def run_wordcount(
+    fail_at=None,
+    strategy="rsm",
+    recovery_parallelism=1,
+    until=100.0,
+    rate=250.0,
+    seed=0,
+    fail_op="counter",
+):
+    query = build_word_count_query(
+        rate=rate, window=30.0, vocabulary_size=400, quantum=0.1
+    )
+    config = SystemConfig()
+    config.seed = seed
+    config.scaling.enabled = False
+    config.fault.strategy = strategy
+    config.fault.recovery_parallelism = recovery_parallelism
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    if fail_at is not None:
+        system.injector.fail_target_at(lambda: system.vm_of(fail_op), fail_at)
+    system.run(until=until)
+    return system, query
+
+
+@pytest.fixture(scope="module")
+def baseline():
+    return run_wordcount()
+
+
+def windows_equal(base_query, other_query, windows=None):
+    base_windows = sorted(base_query.collector.windows())
+    if windows is None:
+        windows = base_windows
+    return {
+        w: base_query.collector.counts_for_window(w)
+        == other_query.collector.counts_for_window(w)
+        for w in windows
+    }
+
+
+class TestRsmRecoveryExactness:
+    def test_serial_recovery_identical_results(self, baseline):
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0)
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+        equal = windows_equal(base, query)
+        assert all(equal.values()), equal
+
+    def test_parallel_recovery_identical_results(self, baseline):
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0, recovery_parallelism=2)
+        assert system.query_manager.parallelism_of("counter") == 2
+        equal = windows_equal(base, query)
+        assert all(equal.values()), equal
+
+    def test_recovery_of_stateless_splitter_identical(self, baseline):
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0, fail_op="splitter")
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+        equal = windows_equal(base, query)
+        assert all(equal.values()), equal
+
+    def test_failure_near_window_boundary(self, baseline):
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=59.5)
+        equal = windows_equal(base, query)
+        assert all(equal.values()), equal
+
+    def test_two_successive_failures(self, baseline):
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=35.0, until=110.0)
+        system2, query2 = None, None  # second failure injected below
+        # Run a fresh system with two failures instead.
+        query3 = build_word_count_query(
+            rate=250.0, window=30.0, vocabulary_size=400, quantum=0.1
+        )
+        config = SystemConfig()
+        config.scaling.enabled = False
+        system3 = StreamProcessingSystem(config)
+        system3.deploy(query3.graph, generators=query3.generators)
+        system3.injector.fail_target_at(lambda: system3.vm_of("counter"), 35.0)
+        system3.injector.fail_target_at(lambda: system3.vm_of("counter"), 60.0)
+        system3.run(until=100.0)
+        assert len(system3.metrics.events_of_kind("recovery_complete")) == 2
+        equal = windows_equal(base, query3)
+        assert all(equal.values()), equal
+
+
+class TestActiveReplicationExactness:
+    def test_failover_identical_results(self, baseline):
+        """Active replication failover is invisible in windowed results."""
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0, strategy="active_replication")
+        assert system.replication.promotions == 1
+        equal = windows_equal(base, query)
+        assert all(equal.values()), equal
+
+    def test_failover_recovery_faster_than_rsm(self, baseline):
+        system, _query = run_wordcount(
+            fail_at=40.0, strategy="active_replication", until=70.0
+        )
+        ar = system.recovery.recovery_durations[-1][1]
+        rsm_system, _q = run_wordcount(fail_at=40.0, until=70.0)
+        rsm = rsm_system.recovery.recovery_durations[-1][1]
+        assert ar < rsm
+
+
+class TestBaselineStrategiesDocumentedSemantics:
+    def test_upstream_backup_window_spanning_failure_exact(self, baseline):
+        """UB rebuilds the open window exactly (its buffer covers it) but
+        loses state older than the buffer horizon."""
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0, strategy="upstream_backup")
+        equal = windows_equal(base, query)
+        assert equal[1]  # window 30-60 spans the failure: exact
+        assert not equal[0]  # window 0-30 predates the buffer: lost counts
+
+    def test_source_replay_loses_paused_tuples(self, baseline):
+        """SR stops generation during recovery; those tuples are gone, so
+        the window spanning the failure under-counts."""
+        _bs, base = baseline
+        system, query = run_wordcount(fail_at=40.0, strategy="source_replay")
+        base_w1 = base.collector.counts_for_window(1)
+        sr_w1 = query.collector.counts_for_window(1)
+        assert sum(sr_w1.values()) < sum(base_w1.values())
+
+    def test_rsm_beats_baselines_on_recovery_time(self):
+        _sys_rsm, _q = run_wordcount(fail_at=40.0, until=70.0)
+        rsm = _sys_rsm.recovery.recovery_durations[-1][1]
+        sys_ub, _q = run_wordcount(
+            fail_at=40.0, until=70.0, strategy="upstream_backup"
+        )
+        ub = sys_ub.recovery.recovery_durations[-1][1]
+        assert rsm < ub

@@ -1,0 +1,74 @@
+"""Tests for the query manager's bookkeeping."""
+
+import pytest
+
+from repro.core.state import RoutingState
+from repro.errors import QueryError
+from repro.runtime.query_manager import QueryManager
+from tests.conftest import tiny_query
+
+
+def deployed_manager(parallelism=None):
+    graph, _collector = tiny_query()
+    manager = QueryManager()
+    manager.register_query(graph, parallelism)
+    return manager
+
+
+class TestQueryManager:
+    def test_register_validates(self):
+        from repro.core.query import QueryGraph
+
+        manager = QueryManager()
+        with pytest.raises(QueryError):
+            manager.register_query(QueryGraph())
+
+    def test_double_register_rejected(self):
+        manager = deployed_manager()
+        graph, _ = tiny_query()
+        with pytest.raises(QueryError):
+            manager.register_query(graph)
+
+    def test_unregistered_access_rejected(self):
+        manager = QueryManager()
+        with pytest.raises(QueryError):
+            manager.slots_of("x")
+        with pytest.raises(QueryError):
+            manager.upstream_of("x")
+
+    def test_slots_and_parallelism(self):
+        manager = deployed_manager({"counter": 2})
+        assert manager.parallelism_of("counter") == 2
+        assert manager.total_slots() == 5
+
+    def test_topology_passthrough(self):
+        manager = deployed_manager()
+        assert manager.upstream_of("counter") == ["mid"]
+        assert manager.downstream_of("counter") == ["sink"]
+        assert manager.is_source("source")
+        assert manager.is_sink("sink")
+
+    def test_routing_roundtrip(self):
+        manager = deployed_manager()
+        uid = manager.slots_of("counter")[0].uid
+        assert manager.routing_to("counter").route_key("k") == uid
+
+    def test_store_routing_validates_against_live_slots(self):
+        manager = deployed_manager()
+        orphan_uid = manager.new_slot("counter", 0).uid  # minted, not deployed
+        with pytest.raises(QueryError):
+            manager.store_routing("counter", RoutingState.single(orphan_uid))
+
+    def test_replace_slots_updates_lookup(self):
+        manager = deployed_manager()
+        old = manager.slots_of("counter")[0]
+        new = manager.new_slot("counter", 0)
+        manager.replace_slots("counter", [old], [new])
+        assert manager.slots_of("counter") == [new]
+        with pytest.raises(QueryError):
+            manager.slot_by_uid(old.uid)
+
+    def test_slot_by_uid(self):
+        manager = deployed_manager()
+        slot = manager.slots_of("mid")[0]
+        assert manager.slot_by_uid(slot.uid) is slot

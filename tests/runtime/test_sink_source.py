@@ -1,0 +1,85 @@
+"""Tests for sources, sinks and collectors."""
+
+import pytest
+
+from repro.core.tuples import Tuple
+from repro.runtime.sink import (
+    RecordingCollector,
+    TopKResultCollector,
+    WindowedResultCollector,
+)
+from repro.runtime.source import SourceController, SourceOperator
+from tests.conftest import small_system
+
+
+class TestSourceOperator:
+    def test_source_cannot_receive(self):
+        with pytest.raises(RuntimeError):
+            SourceOperator("s").on_tuple(Tuple(1, "k"), None)
+
+    def test_inject_flows_downstream(self):
+        system, gen, _col = small_system()
+        gen.feed("x", weight=4)
+        system.run(until=1.0)
+        assert system.instances_of("counter")[0].state["x"] == 4
+
+    def test_inject_charges_source_cpu(self):
+        system, gen, _col = small_system()
+        source = system.instances_of("source")[0]
+        gen.feed("x", weight=1000)
+        system.run(until=1.0)
+        assert source.vm.busy_seconds_total() > 0
+
+    def test_injection_recorded_as_input_rate(self):
+        system, gen, _col = small_system()
+        gen.feed("x", weight=10)
+        system.run(until=1.0)
+        assert system.metrics.rate_series_for("input").total() == 10
+
+
+class TestSourceController:
+    def test_pause_resume(self):
+        controller = SourceController()
+        assert controller.emitting
+        controller.pause()
+        assert not controller.emitting
+        controller.resume()
+        assert controller.emitting
+
+    def test_deploy_creates_controller_per_source(self):
+        system, _gen, _col = small_system()
+        assert "source" in system.source_controllers
+
+
+class TestCollectors:
+    def test_windowed_collector_idempotent(self):
+        collector = WindowedResultCollector()
+        collector(Tuple(1, "a", (0, 5), slot=1), 0.0)
+        collector(Tuple(2, "a", (0, 5), slot=1), 0.0)  # duplicate emission
+        assert collector.value("a", 0) == 5
+        assert collector.received == 2
+        assert collector.windows() == {0}
+        assert collector.counts_for_window(0) == {"a": 5}
+
+    def test_windowed_collector_last_write_wins(self):
+        collector = WindowedResultCollector()
+        collector(Tuple(1, "a", (0, 5), slot=1), 0.0)
+        collector(Tuple(2, "a", (0, 7), slot=1), 0.0)
+        assert collector.value("a", 0) == 7
+
+    def test_topk_collector_merges_partials(self):
+        collector = TopKResultCollector(k=2)
+        collector(Tuple(1, "topk", (("en", 10), ("de", 4)), slot=1), 0.0)
+        collector(Tuple(1, "topk", (("fr", 7),), slot=2), 0.0)
+        assert collector.ranking() == [("en", 10), ("fr", 7)]
+
+    def test_topk_collector_latest_partial_per_slot(self):
+        collector = TopKResultCollector(k=3)
+        collector(Tuple(1, "topk", (("en", 10),), slot=1), 0.0)
+        collector(Tuple(2, "topk", (("en", 25),), slot=1), 0.0)
+        assert collector.ranking() == [("en", 25)]
+
+    def test_recording_collector(self):
+        collector = RecordingCollector()
+        collector(Tuple(1, "a", None, slot=1), 0.0)
+        assert len(collector) == 1

@@ -1,0 +1,53 @@
+"""Tests for the bottleneck detector end to end."""
+
+from tests.conftest import small_system
+
+
+class TestBottleneckDetector:
+    def overload_counter(self, max_vms=None, threshold=0.7):
+        system, gen, col = small_system(
+            scaling=True, checkpoint_interval=1.0
+        )
+        system.config.scaling.threshold = threshold
+        system.config.scaling.max_vms = max_vms
+        # Saturate the counter (cost 1e-4 per unit weight, capacity 1.0)
+        # with a steady stream of heavy tuples.
+        def flood():
+            gen.feed(f"k{int(system.sim.now * 10) % 97}", weight=1200)
+
+        system.sim.every(0.1, flood)
+        return system
+
+    def test_detects_and_scales_bottleneck(self):
+        # Both mid and counter saturate; their scale-outs contend for the
+        # pool and for each other's backup VMs, so give the system time to
+        # ride through an aborted attempt plus a pool refill.
+        system = self.overload_counter()
+        system.run(until=200.0)
+        assert system.query_manager.parallelism_of("counter") >= 2
+        assert system.detector.decisions_made >= 1
+        assert len(system.metrics.events_of_kind("scale_out_complete")) >= 1
+
+    def test_max_vms_caps_growth(self):
+        system = self.overload_counter(max_vms=2)
+        system.run(until=60.0)
+        assert system.worker_vm_count() <= 2
+
+    def test_reports_collected(self):
+        system, gen, _col = small_system(scaling=True)
+        system.run(until=12.0)
+        assert system.detector.reports_collected > 0
+
+    def test_idle_system_never_scales(self):
+        system, gen, _col = small_system(scaling=True)
+        gen.feed("a")
+        system.run(until=60.0)
+        assert system.query_manager.parallelism_of("counter") == 1
+        assert system.detector.decisions_made == 0
+
+    def test_utilization_series_recorded(self):
+        system = self.overload_counter()
+        system.run(until=15.0)
+        assert any(
+            name.startswith("util:counter") for name in system.metrics.time_series
+        )

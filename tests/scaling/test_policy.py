@@ -1,0 +1,83 @@
+"""Tests for the threshold scaling policy (§5.1)."""
+
+from repro.config import ScalingConfig
+from repro.scaling.policy import ThresholdScalingPolicy
+from repro.scaling.reports import UtilizationReport
+
+
+def report(slot_uid, utilization, op_name="op", time=0.0):
+    return UtilizationReport(time, op_name, slot_uid, slot_uid, 5.0, utilization)
+
+
+def make_policy(k=2, threshold=0.7, cooldown=15.0):
+    return ThresholdScalingPolicy(
+        ScalingConfig(consecutive_reports=k, threshold=threshold, cooldown=cooldown)
+    )
+
+
+class TestThresholdPolicy:
+    def test_requires_k_consecutive_reports(self):
+        policy = make_policy(k=2)
+        assert policy.observe([report(1, 0.9)], now=0.0, vm_budget_left=None) == []
+        decisions = policy.observe([report(1, 0.9)], now=5.0, vm_budget_left=None)
+        assert len(decisions) == 1
+        assert decisions[0].slot_uid == 1
+
+    def test_below_threshold_resets_count(self):
+        policy = make_policy(k=2)
+        policy.observe([report(1, 0.9)], 0.0, None)
+        policy.observe([report(1, 0.5)], 5.0, None)
+        assert policy.observe([report(1, 0.9)], 10.0, None) == []
+
+    def test_cooldown_blocks_retrigger(self):
+        policy = make_policy(k=1, cooldown=20.0)
+        assert policy.observe([report(1, 0.9)], 0.0, None)
+        assert policy.observe([report(1, 0.9)], 5.0, None) == []
+        assert policy.observe([report(1, 0.9)], 25.0, None)
+
+    def test_every_hot_partition_splits(self):
+        # Splitting only the hottest partition grows capacity linearly and
+        # loses an exponential load race; all hot slots split per round.
+        policy = make_policy(k=1)
+        decisions = policy.observe(
+            [report(1, 0.8, "op"), report(2, 0.95, "op")], 0.0, None
+        )
+        assert len(decisions) == 2
+        assert decisions[0].slot_uid == 2  # hottest first
+
+    def test_different_operators_scale_together(self):
+        policy = make_policy(k=1)
+        decisions = policy.observe(
+            [report(1, 0.8, "a"), report(2, 0.9, "b")], 0.0, None
+        )
+        assert {d.op_name for d in decisions} == {"a", "b"}
+
+    def test_vm_budget_limits_decisions(self):
+        policy = make_policy(k=1)
+        decisions = policy.observe(
+            [report(1, 0.8, "a"), report(2, 0.9, "b")], 0.0, vm_budget_left=1
+        )
+        assert len(decisions) == 1
+        assert decisions[0].op_name == "b"  # hottest first
+
+    def test_zero_budget_blocks_all(self):
+        policy = make_policy(k=1)
+        assert policy.observe([report(1, 0.99)], 0.0, vm_budget_left=0) == []
+
+    def test_forget_slot(self):
+        policy = make_policy(k=2)
+        policy.observe([report(1, 0.9)], 0.0, None)
+        policy.forget_slot(1)
+        assert policy.observe([report(1, 0.9)], 5.0, None) == []
+
+    def test_note_scale_out_extends_cooldown(self):
+        policy = make_policy(k=1, cooldown=10.0)
+        policy.note_scale_out(1, now=0.0)
+        assert policy.observe([report(1, 0.9)], 5.0, None) == []
+        assert policy.observe([report(1, 0.9)], 11.0, None)
+
+
+class TestUtilizationReport:
+    def test_above(self):
+        assert report(1, 0.71).above(0.70)
+        assert not report(1, 0.69).above(0.70)

@@ -1,0 +1,43 @@
+"""Tests for utilisation report tracking."""
+
+from repro.scaling.reports import UtilizationTracker
+
+
+class TestUtilizationTracker:
+    def test_first_sample_returns_none(self):
+        tracker = UtilizationTracker()
+        assert tracker.sample(5.0, "op", 1, 1, busy_total=2.0) is None
+
+    def test_delta_utilization(self):
+        tracker = UtilizationTracker()
+        tracker.sample(0.0, "op", 1, 1, busy_total=0.0)
+        report = tracker.sample(5.0, "op", 1, 1, busy_total=2.5)
+        assert report is not None
+        assert report.utilization == 0.5
+        assert report.window == 5.0
+
+    def test_clamped_to_unit_range(self):
+        tracker = UtilizationTracker()
+        tracker.sample(0.0, "op", 1, 1, busy_total=0.0)
+        report = tracker.sample(5.0, "op", 1, 1, busy_total=10.0)
+        assert report.utilization == 1.0
+
+    def test_zero_window_skipped(self):
+        tracker = UtilizationTracker()
+        tracker.sample(5.0, "op", 1, 1, 0.0)
+        assert tracker.sample(5.0, "op", 1, 1, 1.0) is None
+
+    def test_forget_resets(self):
+        tracker = UtilizationTracker()
+        tracker.sample(0.0, "op", 1, 1, 0.0)
+        tracker.forget(1)
+        assert tracker.sample(5.0, "op", 1, 1, 1.0) is None
+
+    def test_slots_tracked_independently(self):
+        tracker = UtilizationTracker()
+        tracker.sample(0.0, "op", 1, 1, 0.0)
+        tracker.sample(0.0, "op", 2, 2, 0.0)
+        a = tracker.sample(5.0, "op", 1, 1, 1.0)
+        b = tracker.sample(5.0, "op", 2, 2, 4.0)
+        assert a.utilization == 0.2
+        assert b.utilization == 0.8

@@ -1,0 +1,154 @@
+"""Tests for the cloud provider and the VM pool (§5.2)."""
+
+import pytest
+
+from repro.errors import VMPoolError
+from repro.sim.cloud import CloudProvider, VMPool
+
+
+@pytest.fixture
+def provider(sim):
+    return CloudProvider(sim, provisioning_delay=90.0)
+
+
+class TestCloudProvider:
+    def test_provision_takes_delay(self, sim, provider):
+        got = []
+        provider.provision(lambda vm: got.append(sim.now))
+        sim.run()
+        assert got == [90.0]
+
+    def test_provision_immediately(self, provider):
+        vm = provider.provision_immediately()
+        assert vm.alive
+
+    def test_vm_ids_unique(self, provider):
+        a = provider.provision_immediately()
+        b = provider.provision_immediately()
+        assert a.vm_id != b.vm_id
+
+    def test_capacity_override(self, provider):
+        vm = provider.provision_immediately(cpu_capacity=13.0)
+        assert vm.cpu_capacity == 13.0
+
+    def test_max_vms_enforced(self, sim):
+        provider = CloudProvider(sim, max_vms=1)
+        provider.provision_immediately()
+        with pytest.raises(VMPoolError):
+            provider.provision(lambda vm: None)
+
+    def test_billing_counts_vm_seconds(self, sim, provider):
+        vm = provider.provision_immediately()
+        sim.schedule(10.0, vm.release)
+        other = provider.provision_immediately()
+        sim.run(until=25.0)
+        # vm billed 10 s, other billed 25 s
+        assert provider.vm_seconds_billed() == pytest.approx(35.0)
+
+    def test_failed_vm_stops_billing(self, sim, provider):
+        vm = provider.provision_immediately()
+        sim.schedule(5.0, vm.fail)
+        sim.run(until=20.0)
+        assert provider.vm_seconds_billed() == pytest.approx(5.0)
+
+
+class TestVMPool:
+    def test_prefill_creates_pool(self, sim, provider):
+        pool = VMPool(sim, provider, size=3, handout_delay=1.0)
+        assert pool.available_count() == 3
+
+    def test_acquire_from_pool_is_fast(self, sim, provider):
+        pool = VMPool(sim, provider, size=2, handout_delay=1.0)
+        got = []
+        pool.acquire(lambda vm: got.append(sim.now))
+        sim.run(until=5.0)
+        assert got == [1.0]
+
+    def test_handouts_are_serial(self, sim, provider):
+        pool = VMPool(sim, provider, size=3, handout_delay=1.0)
+        got = []
+        pool.acquire(lambda vm: got.append(sim.now))
+        pool.acquire(lambda vm: got.append(sim.now))
+        sim.run(until=10.0)
+        assert got == [1.0, 2.0]
+
+    def test_empty_pool_waits_for_provisioning(self, sim, provider):
+        pool = VMPool(sim, provider, size=0, handout_delay=1.0)
+        got = []
+        pool.acquire(lambda vm: got.append(sim.now))
+        sim.run(until=200.0)
+        assert got == [pytest.approx(91.0)]
+        assert pool.served_after_wait == 1
+
+    def test_pool_refills_after_acquire(self, sim, provider):
+        pool = VMPool(sim, provider, size=2, handout_delay=1.0)
+        pool.acquire(lambda vm: None)
+        sim.run(until=200.0)
+        assert pool.available_count() == 2
+
+    def test_resize_shrink_releases_vms(self, sim, provider):
+        pool = VMPool(sim, provider, size=3)
+        pool.resize(1)
+        assert pool.available_count() == 1
+
+    def test_resize_grow_provisions(self, sim, provider):
+        pool = VMPool(sim, provider, size=1)
+        pool.resize(3)
+        sim.run(until=200.0)
+        assert pool.available_count() == 3
+
+    def test_dead_pool_vm_not_handed_out(self, sim, provider):
+        pool = VMPool(sim, provider, size=1, handout_delay=0.5)
+        for vm in list(pool._available):
+            vm.fail()
+        got = []
+        pool.acquire(lambda vm: got.append(vm))
+        sim.run(until=200.0)
+        assert len(got) == 1
+        assert got[0].alive
+
+    def test_negative_size_rejected(self, sim, provider):
+        with pytest.raises(VMPoolError):
+            VMPool(sim, provider, size=-1)
+
+    def test_give_back_refills_pool(self, sim, provider):
+        pool = VMPool(sim, provider, size=2, handout_delay=0.5)
+        got = []
+        pool.acquire(got.append)
+        sim.run(until=5.0)
+        assert pool.available_count() == 1
+        pool.give_back(got[0])
+        assert pool.available_count() == 2
+
+    def test_give_back_serves_waiter_first(self, sim, provider):
+        pool = VMPool(sim, provider, size=0, handout_delay=0.5)
+        got = []
+        pool.acquire(got.append)  # no pooled VMs: waits for provisioning
+        sim.run(until=1.0)
+        assert got == []
+        spare = provider.provision_immediately()
+        pool.give_back(spare)
+        sim.run(until=5.0)
+        assert got == [spare]
+
+    def test_give_back_dead_vm_ignored(self, sim, provider):
+        pool = VMPool(sim, provider, size=1)
+        dead = provider.provision_immediately()
+        dead.fail()
+        pool.give_back(dead)
+        assert pool.available_count() == 1  # unchanged
+
+    def test_give_back_overflow_released(self, sim, provider):
+        pool = VMPool(sim, provider, size=1)
+        spare = provider.provision_immediately()
+        pool.give_back(spare)
+        assert not spare.alive  # pool full: released back to the provider
+
+    def test_burst_of_acquires_all_served(self, sim, provider):
+        pool = VMPool(sim, provider, size=2, handout_delay=0.5)
+        got = []
+        for _ in range(5):
+            pool.acquire(got.append)
+        sim.run(until=300.0)
+        assert len(got) == 5
+        assert all(vm.alive for vm in got)

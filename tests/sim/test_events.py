@@ -1,0 +1,77 @@
+"""Tests for the event queue primitives."""
+
+import pytest
+
+from repro.errors import EventError
+from repro.sim.events import Event, EventQueue
+
+
+def make_event(time, priority=10, seq=0, out=None):
+    out = out if out is not None else []
+    return Event(time, priority, seq, out.append, ("x",))
+
+
+class TestEventOrdering:
+    def test_orders_by_time(self):
+        a = Event(2.0, 10, 1, lambda: None, ())
+        b = Event(1.0, 10, 2, lambda: None, ())
+        assert b < a
+
+    def test_ties_broken_by_priority(self):
+        a = Event(1.0, 10, 1, lambda: None, ())
+        b = Event(1.0, 5, 2, lambda: None, ())
+        assert b < a
+
+    def test_ties_broken_by_sequence(self):
+        a = Event(1.0, 10, 1, lambda: None, ())
+        b = Event(1.0, 10, 2, lambda: None, ())
+        assert a < b
+
+
+class TestEventCancellation:
+    def test_cancel_marks_event(self):
+        event = make_event(1.0)
+        assert event.pending
+        event.cancel()
+        assert not event.pending
+        assert event.cancelled
+
+    def test_cancel_after_fire_raises(self):
+        event = make_event(1.0)
+        event._mark_fired()
+        with pytest.raises(EventError):
+            event.cancel()
+
+
+class TestEventQueue:
+    def test_pop_returns_events_in_order(self):
+        queue = EventQueue()
+        for t, seq in [(3.0, 1), (1.0, 2), (2.0, 3)]:
+            queue.push(Event(t, 10, seq, lambda: None, ()))
+        times = [queue.pop().time for _ in range(3)]
+        assert times == [1.0, 2.0, 3.0]
+
+    def test_pop_skips_cancelled(self):
+        queue = EventQueue()
+        first = Event(1.0, 10, 1, lambda: None, ())
+        second = Event(2.0, 10, 2, lambda: None, ())
+        queue.push(first)
+        queue.push(second)
+        first.cancel()
+        assert queue.pop() is second
+
+    def test_len_counts_live_events(self):
+        queue = EventQueue()
+        first = Event(1.0, 10, 1, lambda: None, ())
+        queue.push(first)
+        queue.push(Event(2.0, 10, 2, lambda: None, ()))
+        assert len(queue) == 2
+        first.cancel()
+        queue.peek_time()  # triggers lazy deletion
+        assert len(queue) == 1
+
+    def test_peek_time_empty(self):
+        assert EventQueue().peek_time() is None
+
+    def test_pop_empty_returns_none(self):
+        assert EventQueue().pop() is None

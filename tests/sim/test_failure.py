@@ -1,0 +1,86 @@
+"""Tests for the failure injector."""
+
+import numpy as np
+import pytest
+
+from repro.sim.failure import FailureInjector
+from repro.sim.vm import VirtualMachine
+
+
+@pytest.fixture
+def injector(sim):
+    return FailureInjector(sim)
+
+
+class TestScheduledFailures:
+    def test_vm_fails_at_time(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        injector.fail_vm_at(vm, 5.0)
+        sim.run(until=4.0)
+        assert vm.alive
+        sim.run(until=6.0)
+        assert not vm.alive
+        assert injector.failures_injected == [(5.0, 1)]
+
+    def test_already_dead_vm_not_recorded_twice(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        injector.fail_vm_at(vm, 2.0)
+        injector.fail_vm_at(vm, 3.0)
+        sim.run()
+        assert len(injector.failures_injected) == 1
+
+    def test_failure_preempts_same_time_data_events(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        seen = []
+        sim.schedule_at(5.0, lambda: seen.append(vm.alive))
+        injector.fail_vm_at(vm, 5.0)
+        sim.run()
+        assert seen == [False]
+
+    def test_late_binding_target(self, sim, injector):
+        slot = {"vm": VirtualMachine(sim, 1)}
+        replacement = VirtualMachine(sim, 2)
+
+        def swap():
+            slot["vm"] = replacement
+
+        sim.schedule(1.0, swap)
+        injector.fail_target_at(lambda: slot["vm"], 2.0)
+        sim.run()
+        assert not replacement.alive
+
+    def test_none_target_ignored(self, sim, injector):
+        injector.fail_target_at(lambda: None, 1.0)
+        sim.run()
+        assert injector.failures_injected == []
+
+
+class TestPoissonFailures:
+    def test_failures_occur_and_are_seeded(self, sim, injector):
+        vms = [VirtualMachine(sim, i) for i in range(20)]
+        rng = np.random.default_rng(42)
+        injector.poisson_failures(lambda: vms, mtbf=10.0, rng=rng, until=100.0)
+        sim.run(until=100.0)
+        failed = [vm for vm in vms if not vm.alive]
+        assert len(failed) > 0
+        assert len(injector.failures_injected) == len(failed)
+
+    def test_no_candidates_is_safe(self, sim, injector):
+        rng = np.random.default_rng(0)
+        injector.poisson_failures(lambda: [], mtbf=1.0, rng=rng, until=10.0)
+        sim.run()
+        assert injector.failures_injected == []
+
+    def test_deterministic_for_same_seed(self):
+        def run_once():
+            from repro.sim.simulator import Simulator
+
+            sim = Simulator()
+            injector = FailureInjector(sim)
+            vms = [VirtualMachine(sim, i) for i in range(10)]
+            rng = np.random.default_rng(7)
+            injector.poisson_failures(lambda: vms, 20.0, rng, until=200.0)
+            sim.run(until=200.0)
+            return injector.failures_injected
+
+        assert run_once() == run_once()

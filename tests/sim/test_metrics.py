@@ -1,0 +1,183 @@
+"""Tests for the metrics infrastructure, including property-based checks
+on the weighted percentile implementation."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.sim.metrics import LatencyReservoir, MetricsHub, RateSeries, TimeSeries
+
+
+class TestTimeSeries:
+    def test_record_and_read(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        series.record(2.0, 20.0)
+        assert series.last() == 20.0
+        assert len(series) == 2
+
+    def test_value_at(self):
+        series = TimeSeries("x")
+        series.record(1.0, 10.0)
+        series.record(5.0, 50.0)
+        assert series.value_at(0.5) == 0.0
+        assert series.value_at(1.0) == 10.0
+        assert series.value_at(3.0) == 10.0
+        assert series.value_at(9.0) == 50.0
+
+    def test_out_of_order_samples_inserted(self):
+        series = TimeSeries("x")
+        series.record(5.0, 50.0)
+        series.record(1.0, 10.0)
+        assert series.times == [1.0, 5.0]
+        assert series.value_at(2.0) == 10.0
+
+    def test_as_arrays(self):
+        series = TimeSeries("x")
+        series.record(1.0, 2.0)
+        times, values = series.as_arrays()
+        assert times.tolist() == [1.0]
+        assert values.tolist() == [2.0]
+
+
+class TestRateSeries:
+    def test_rate_binning(self):
+        series = RateSeries("r", bin_width=1.0)
+        series.record(0.2, 5)
+        series.record(0.9, 5)
+        series.record(1.5, 3)
+        assert series.rate_at(0.5) == 10.0
+        assert series.rate_at(1.5) == 3.0
+        assert series.total() == 13.0
+
+    def test_max_rate(self):
+        series = RateSeries("r", bin_width=2.0)
+        series.record(0.0, 10)
+        series.record(3.0, 30)
+        assert series.max_rate() == 15.0
+
+    def test_series_sorted(self):
+        series = RateSeries("r")
+        series.record(5.2, 1)
+        series.record(1.1, 1)
+        times, rates = series.series()
+        assert times.tolist() == [1.5, 5.5]
+        assert rates.tolist() == [1.0, 1.0]
+
+    def test_empty(self):
+        times, rates = RateSeries("r").series()
+        assert times.size == 0 and rates.size == 0
+        assert RateSeries("r").max_rate() == 0.0
+
+
+class TestLatencyReservoir:
+    def test_simple_percentiles(self):
+        res = LatencyReservoir()
+        for i in range(1, 101):
+            res.record(0.0, float(i))
+        assert res.percentile(50) == pytest.approx(50.0, abs=1.0)
+        assert res.percentile(95) == pytest.approx(95.0, abs=1.0)
+        assert res.median() == res.percentile(50)
+
+    def test_weights_shift_percentiles(self):
+        res = LatencyReservoir()
+        res.record(0.0, 1.0, weight=99)
+        res.record(0.0, 100.0, weight=1)
+        assert res.percentile(50) == 1.0
+        assert res.percentile(99.9) == 100.0
+
+    def test_window_filtering(self):
+        res = LatencyReservoir()
+        res.record(1.0, 10.0)
+        res.record(5.0, 20.0)
+        assert res.percentile(50, t_min=2.0) == 20.0
+        assert res.percentile(50, t_max=2.0) == 10.0
+
+    def test_empty_returns_nan(self):
+        assert math.isnan(LatencyReservoir().percentile(50))
+        assert math.isnan(LatencyReservoir().mean())
+
+    def test_negative_latency_rejected(self):
+        with pytest.raises(ValueError):
+            LatencyReservoir().record(0.0, -1.0)
+
+    def test_bad_percentile_rejected(self):
+        res = LatencyReservoir()
+        res.record(0.0, 1.0)
+        with pytest.raises(ValueError):
+            res.percentile(101)
+
+    def test_over_time_bins(self):
+        res = LatencyReservoir()
+        for t in range(10):
+            res.record(float(t), float(t))
+        centres, values = res.over_time(bin_width=5.0, q=50.0)
+        assert centres.tolist() == [2.5, 7.5]
+        assert values[0] < values[1]
+
+    def test_mean_weighted(self):
+        res = LatencyReservoir()
+        res.record(0.0, 0.0, weight=3)
+        res.record(0.0, 4.0, weight=1)
+        assert res.mean() == pytest.approx(1.0)
+
+    @given(
+        st.lists(
+            st.tuples(
+                st.floats(min_value=0.0, max_value=100.0),
+                st.integers(min_value=1, max_value=10),
+            ),
+            min_size=1,
+            max_size=50,
+        ),
+        st.floats(min_value=0.0, max_value=100.0),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_matches_expanded_samples(self, samples, q):
+        """Weighted percentile == percentile of the weight-expanded list."""
+        res = LatencyReservoir()
+        expanded = []
+        for latency, weight in samples:
+            res.record(0.0, latency, weight)
+            expanded.extend([latency] * weight)
+        expanded.sort()
+        got = res.percentile(q)
+        # Expected: smallest value whose cumulative weight reaches q%.
+        cutoff = q / 100.0 * len(expanded)
+        index = min(int(np.searchsorted(np.arange(1, len(expanded) + 1), cutoff)),
+                    len(expanded) - 1)
+        assert got == pytest.approx(expanded[index])
+
+    @given(st.lists(st.floats(min_value=0.0, max_value=1e6), min_size=1, max_size=100))
+    @settings(max_examples=60, deadline=None)
+    def test_percentile_monotone_in_q(self, latencies):
+        res = LatencyReservoir()
+        for latency in latencies:
+            res.record(0.0, latency)
+        values = [res.percentile(q) for q in (0, 25, 50, 75, 100)]
+        assert values == sorted(values)
+        assert values[-1] == max(latencies)
+
+
+class TestMetricsHub:
+    def test_lazily_creates_metrics(self):
+        hub = MetricsHub()
+        assert hub.time_series_for("a") is hub.time_series_for("a")
+        assert hub.rate_series_for("b") is hub.rate_series_for("b")
+        assert hub.latency_for("c") is hub.latency_for("c")
+
+    def test_counters(self):
+        hub = MetricsHub()
+        hub.increment("n")
+        hub.increment("n", 2.5)
+        assert hub.counter("n") == 3.5
+        assert hub.counter("missing") == 0.0
+
+    def test_events(self):
+        hub = MetricsHub()
+        hub.mark_event(1.0, "failure", "vm 3")
+        hub.mark_event(2.0, "recovery_complete", "")
+        assert hub.events_of_kind("failure") == [(1.0, "failure", "vm 3")]

@@ -1,0 +1,104 @@
+"""Tests for the network model."""
+
+import pytest
+
+from repro.errors import SimulationError
+from repro.sim.network import Network
+from repro.sim.vm import VirtualMachine
+
+
+@pytest.fixture
+def net(sim):
+    return Network(sim, latency=0.01, bandwidth_bytes_per_s=1000.0)
+
+
+@pytest.fixture
+def vms(sim):
+    return VirtualMachine(sim, 1), VirtualMachine(sim, 2)
+
+
+class TestDelivery:
+    def test_latency_plus_bandwidth_delay(self, sim, net, vms):
+        src, dst = vms
+        arrived = []
+        net.send(src, dst, 100.0, lambda: arrived.append(sim.now))
+        sim.run()
+        assert arrived == [pytest.approx(0.01 + 0.1)]
+
+    def test_transfer_time(self, net):
+        assert net.transfer_time(500.0) == pytest.approx(0.01 + 0.5)
+
+    def test_payload_args_passed(self, sim, net, vms):
+        src, dst = vms
+        got = []
+        net.send(src, dst, 1.0, got.append, "payload")
+        sim.run()
+        assert got == ["payload"]
+
+    def test_counters(self, sim, net, vms):
+        src, dst = vms
+        net.send(src, dst, 10.0, lambda: None)
+        net.send(src, dst, 20.0, lambda: None)
+        sim.run()
+        assert net.messages_sent == 2
+        assert net.messages_delivered == 2
+        assert net.bytes_sent == 30.0
+
+
+class TestCrashStopSemantics:
+    def test_drop_when_destination_dead_at_delivery(self, sim, net, vms):
+        src, dst = vms
+        arrived = []
+        net.send(src, dst, 100.0, arrived.append, "x")
+        dst.fail()
+        sim.run()
+        assert arrived == []
+        assert net.messages_dropped == 1
+
+    def test_dead_source_does_not_send(self, sim, net, vms):
+        src, dst = vms
+        src.fail()
+        arrived = []
+        net.send(src, dst, 1.0, arrived.append, "x")
+        sim.run()
+        assert arrived == []
+        assert net.messages_sent == 0
+
+    def test_external_source_allowed(self, sim, net, vms):
+        _src, dst = vms
+        arrived = []
+        net.send(None, dst, 1.0, arrived.append, "ext")
+        sim.run()
+        assert arrived == ["ext"]
+
+
+class TestOrdering:
+    def test_same_size_messages_arrive_in_send_order(self, sim, net, vms):
+        """Constant-size messages make every link FIFO — the property the
+        per-connection duplicate filter relies on."""
+        src, dst = vms
+        arrived = []
+        for i in range(10):
+            net.send(src, dst, 64.0, arrived.append, i)
+        sim.run()
+        assert arrived == list(range(10))
+
+    def test_ties_broken_by_send_order_across_sources(self, sim, net):
+        a = VirtualMachine(sim, 1)
+        b = VirtualMachine(sim, 2)
+        dst = VirtualMachine(sim, 3)
+        arrived = []
+        net.send(a, dst, 64.0, arrived.append, "a")
+        net.send(b, dst, 64.0, arrived.append, "b")
+        sim.run()
+        assert arrived == ["a", "b"]
+
+
+class TestValidation:
+    def test_negative_latency_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Network(sim, latency=-1.0)
+
+    def test_zero_bandwidth_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            Network(sim, bandwidth_bytes_per_s=0.0)

@@ -1,0 +1,47 @@
+"""Tests for seeded RNG streams."""
+
+from repro.sim.rng import RngRegistry
+
+
+class TestRngRegistry:
+    def test_same_seed_same_stream(self):
+        a = RngRegistry(7).stream("workload")
+        b = RngRegistry(7).stream("workload")
+        assert [float(a.random()) for _ in range(5)] == [
+            float(b.random()) for _ in range(5)
+        ]
+
+    def test_different_names_independent(self):
+        registry = RngRegistry(7)
+        a = registry.stream("a").random()
+        b = registry.stream("b").random()
+        assert a != b
+
+    def test_different_seeds_differ(self):
+        a = RngRegistry(1).stream("x").random()
+        b = RngRegistry(2).stream("x").random()
+        assert a != b
+
+    def test_stream_cached(self):
+        registry = RngRegistry(0)
+        assert registry.stream("x") is registry.stream("x")
+
+    def test_creation_order_irrelevant(self):
+        first = RngRegistry(3)
+        first.stream("a")
+        value_after_a = float(first.stream("b").random())
+        second = RngRegistry(3)
+        value_direct = float(second.stream("b").random())
+        assert value_after_a == value_direct
+
+    def test_fork_independent(self):
+        registry = RngRegistry(5)
+        fork = registry.fork("child")
+        assert float(registry.stream("x").random()) != float(
+            fork.stream("x").random()
+        )
+
+    def test_fork_deterministic(self):
+        a = RngRegistry(5).fork("child").stream("x").random()
+        b = RngRegistry(5).fork("child").stream("x").random()
+        assert float(a) == float(b)

@@ -1,0 +1,155 @@
+"""Tests for the discrete-event kernel."""
+
+import pytest
+
+from repro.errors import ClockError, SimulationError
+from repro.sim.simulator import Simulator, iter_times
+
+
+class TestScheduling:
+    def test_callbacks_fire_in_time_order(self, sim):
+        fired = []
+        sim.schedule(2.0, fired.append, "b")
+        sim.schedule(1.0, fired.append, "a")
+        sim.schedule(3.0, fired.append, "c")
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_now_advances_to_event_time(self, sim):
+        seen = []
+        sim.schedule(5.0, lambda: seen.append(sim.now))
+        sim.run()
+        assert seen == [5.0]
+
+    def test_run_until_stops_before_later_events(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "early")
+        sim.schedule(10.0, fired.append, "late")
+        sim.run(until=5.0)
+        assert fired == ["early"]
+        assert sim.now == 5.0
+        sim.run(until=20.0)
+        assert fired == ["early", "late"]
+
+    def test_negative_delay_rejected(self, sim):
+        with pytest.raises(ClockError):
+            sim.schedule(-1.0, lambda: None)
+
+    def test_schedule_at_past_rejected(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run()
+        with pytest.raises(ClockError):
+            sim.schedule_at(0.5, lambda: None)
+
+    def test_cancelled_event_does_not_fire(self, sim):
+        fired = []
+        event = sim.schedule(1.0, fired.append, "x")
+        event.cancel()
+        sim.run()
+        assert fired == []
+
+    def test_event_scheduled_during_run_fires(self, sim):
+        fired = []
+
+        def chain():
+            fired.append("first")
+            sim.schedule(1.0, fired.append, "second")
+
+        sim.schedule(1.0, chain)
+        sim.run()
+        assert fired == ["first", "second"]
+
+    def test_same_time_events_fire_in_schedule_order(self, sim):
+        fired = []
+        for name in "abc":
+            sim.schedule(1.0, fired.append, name)
+        sim.run()
+        assert fired == ["a", "b", "c"]
+
+    def test_priority_beats_schedule_order(self, sim):
+        fired = []
+        sim.schedule(1.0, fired.append, "data", priority=10)
+        sim.schedule(1.0, fired.append, "failure", priority=0)
+        sim.run()
+        assert fired == ["failure", "data"]
+
+    def test_max_events_bounds_run(self, sim):
+        count = [0]
+
+        def loop():
+            count[0] += 1
+            sim.schedule(1.0, loop)
+
+        sim.schedule(1.0, loop)
+        processed = sim.run(max_events=10)
+        assert processed == 10
+
+    def test_halt_stops_run(self, sim):
+        fired = []
+
+        def first():
+            fired.append(1)
+            sim.halt()
+
+        sim.schedule(1.0, first)
+        sim.schedule(2.0, fired.append, 2)
+        sim.run()
+        assert fired == [1]
+
+    def test_not_reentrant(self, sim):
+        def reenter():
+            sim.run()
+
+        sim.schedule(1.0, reenter)
+        with pytest.raises(SimulationError):
+            sim.run()
+
+
+class TestPeriodicTask:
+    def test_fires_every_interval(self, sim):
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now))
+        sim.run(until=7.0)
+        assert ticks == [2.0, 4.0, 6.0]
+
+    def test_start_after_offsets_first_fire(self, sim):
+        ticks = []
+        sim.every(2.0, lambda: ticks.append(sim.now), start_after=0.5)
+        sim.run(until=5.0)
+        assert ticks == [0.5, 2.5, 4.5]
+
+    def test_stop_prevents_future_fires(self, sim):
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        sim.schedule(2.5, task.stop)
+        sim.run(until=10.0)
+        assert ticks == [1.0, 2.0]
+        assert task.stopped
+
+    def test_stop_from_within_callback(self, sim):
+        ticks = []
+        task = sim.every(1.0, lambda: (ticks.append(sim.now), task.stop()))
+        sim.run(until=10.0)
+        assert len(ticks) == 1
+
+    def test_zero_interval_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            sim.every(0.0, lambda: None)
+
+    def test_fire_count(self, sim):
+        task = sim.every(1.0, lambda: None)
+        sim.run(until=3.5)
+        assert task.fire_count == 3
+
+
+class TestIterTimes:
+    def test_basic_range(self):
+        assert list(iter_times(0.0, 1.0, 0.25)) == [0.0, 0.25, 0.5, 0.75]
+
+    def test_float_accumulation_safe(self):
+        times = list(iter_times(0.0, 1.0, 0.1))
+        assert len(times) == 10
+
+    def test_bad_step_rejected(self):
+        with pytest.raises(SimulationError):
+            list(iter_times(0.0, 1.0, 0.0))

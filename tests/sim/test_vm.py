@@ -1,0 +1,151 @@
+"""Tests for the VM CPU model."""
+
+import pytest
+
+from repro.errors import RuntimeStateError, SimulationError
+from repro.sim.vm import VirtualMachine, VMState
+
+
+@pytest.fixture
+def vm(sim):
+    return VirtualMachine(sim, vm_id=1, cpu_capacity=1.0)
+
+
+class TestCpuExecution:
+    def test_work_completes_after_duration(self, sim, vm):
+        done = []
+        vm.submit(2.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [2.0]
+
+    def test_fifo_order(self, sim, vm):
+        done = []
+        vm.submit(1.0, done.append, "a")
+        vm.submit(1.0, done.append, "b")
+        vm.submit(1.0, done.append, "c")
+        sim.run()
+        assert done == ["a", "b", "c"]
+
+    def test_capacity_scales_duration(self, sim):
+        fast = VirtualMachine(sim, 1, cpu_capacity=2.0)
+        done = []
+        fast.submit(2.0, lambda: done.append(sim.now))
+        sim.run()
+        assert done == [1.0]
+
+    def test_front_submission_preempts_queue(self, sim, vm):
+        done = []
+        vm.submit(1.0, done.append, "running")
+        vm.submit(1.0, done.append, "queued")
+        vm.submit(1.0, done.append, "urgent", front=True)
+        sim.run()
+        assert done == ["running", "urgent", "queued"]
+
+    def test_zero_work_allowed(self, sim, vm):
+        done = []
+        vm.submit(0.0, done.append, "x")
+        sim.run()
+        assert done == ["x"]
+
+    def test_negative_work_rejected(self, vm):
+        with pytest.raises(SimulationError):
+            vm.submit(-1.0, lambda: None)
+
+    def test_callback_submitting_more_work(self, sim, vm):
+        done = []
+
+        def resubmit():
+            done.append("first")
+            vm.submit(1.0, done.append, "second")
+
+        vm.submit(1.0, resubmit)
+        sim.run()
+        assert done == ["first", "second"]
+        assert sim.now == 2.0
+
+    def test_queued_work_seconds(self, sim, vm):
+        vm.submit(2.0, lambda: None)
+        vm.submit(3.0, lambda: None)
+        assert vm.queued_work_seconds() == pytest.approx(5.0)
+        sim.run(until=1.0)
+        assert vm.queued_work_seconds() == pytest.approx(4.0)
+
+
+class TestUtilizationAccounting:
+    def test_busy_seconds_accumulate(self, sim, vm):
+        vm.submit(2.0, lambda: None)
+        sim.run(until=10.0)
+        assert vm.busy_seconds_total() == pytest.approx(2.0)
+
+    def test_in_flight_work_counts(self, sim, vm):
+        vm.submit(4.0, lambda: None)
+        sim.run(until=1.0)
+        assert vm.busy_seconds_total() == pytest.approx(1.0)
+
+    def test_idle_vm_not_busy(self, sim, vm):
+        sim.run(until=5.0)
+        assert vm.busy_seconds_total() == 0.0
+        assert not vm.busy
+
+
+class TestPauseResume:
+    def test_pause_stops_new_work(self, sim, vm):
+        done = []
+        vm.submit(1.0, done.append, "a")
+        vm.submit(1.0, done.append, "b")
+        sim.schedule(0.5, vm.pause)
+        sim.run(until=5.0)
+        assert done == ["a"]  # in-flight item completes, queued one waits
+        vm.resume()
+        sim.run(until=10.0)
+        assert done == ["a", "b"]
+
+    def test_submit_while_paused_queues(self, sim, vm):
+        done = []
+        vm.pause()
+        vm.submit(1.0, done.append, "x")
+        sim.run(until=5.0)
+        assert done == []
+        vm.resume()
+        sim.run(until=10.0)
+        assert done == ["x"]
+
+
+class TestLifecycle:
+    def test_fail_discards_work_and_notifies(self, sim, vm):
+        done = []
+        failures = []
+        vm.on_failure(failures.append)
+        vm.submit(2.0, done.append, "never")
+        sim.schedule(1.0, vm.fail)
+        sim.run(until=10.0)
+        assert done == []
+        assert failures == [vm]
+        assert vm.state is VMState.FAILED
+        assert vm.failed_at == 1.0
+
+    def test_fail_idempotent(self, sim, vm):
+        failures = []
+        vm.on_failure(failures.append)
+        vm.fail()
+        vm.fail()
+        assert len(failures) == 1
+
+    def test_release(self, sim, vm):
+        vm.release()
+        assert vm.state is VMState.RELEASED
+        assert not vm.alive
+
+    def test_release_failed_vm_rejected(self, vm):
+        vm.fail()
+        with pytest.raises(RuntimeStateError):
+            vm.release()
+
+    def test_submit_to_dead_vm_rejected(self, vm):
+        vm.fail()
+        with pytest.raises(RuntimeStateError):
+            vm.submit(1.0, lambda: None)
+
+    def test_invalid_capacity_rejected(self, sim):
+        with pytest.raises(SimulationError):
+            VirtualMachine(sim, 1, cpu_capacity=0.0)

@@ -1,0 +1,74 @@
+"""Tests for configuration validation."""
+
+import pytest
+
+from repro.config import (
+    CheckpointConfig,
+    CloudConfig,
+    FaultToleranceConfig,
+    NetworkConfig,
+    ScalingConfig,
+    SystemConfig,
+)
+from repro.errors import ConfigurationError
+
+
+class TestValidation:
+    def test_defaults_valid(self):
+        SystemConfig().validate()
+
+    def test_paper_defaults(self):
+        config = SystemConfig()
+        assert config.checkpoint.interval == 5.0
+        assert config.scaling.report_interval == 5.0
+        assert config.scaling.threshold == 0.70
+        assert config.scaling.consecutive_reports == 2
+
+    def test_bad_checkpoint_interval(self):
+        with pytest.raises(ConfigurationError):
+            CheckpointConfig(interval=0.0).validate()
+
+    def test_bad_threshold(self):
+        with pytest.raises(ConfigurationError):
+            ScalingConfig(threshold=1.5).validate()
+        with pytest.raises(ConfigurationError):
+            ScalingConfig(threshold=0.0).validate()
+
+    def test_bad_split_factor(self):
+        with pytest.raises(ConfigurationError):
+            ScalingConfig(split_factor=1).validate()
+
+    def test_unknown_strategy(self):
+        with pytest.raises(ConfigurationError):
+            FaultToleranceConfig(strategy="magic").validate()
+
+    def test_bad_recovery_parallelism(self):
+        with pytest.raises(ConfigurationError):
+            FaultToleranceConfig(recovery_parallelism=0).validate()
+
+    def test_bad_network(self):
+        with pytest.raises(ConfigurationError):
+            NetworkConfig(bandwidth_bytes_per_s=0).validate()
+
+    def test_bad_cloud(self):
+        with pytest.raises(ConfigurationError):
+            CloudConfig(pool_size=-1).validate()
+        with pytest.raises(ConfigurationError):
+            CloudConfig(worker_capacity=0).validate()
+
+    def test_bad_queue_capacity(self):
+        config = SystemConfig(queue_capacity=0)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_bad_latency_sampling(self):
+        config = SystemConfig(latency_sample_every=0)
+        with pytest.raises(ConfigurationError):
+            config.validate()
+
+    def test_with_overrides(self):
+        config = SystemConfig().with_overrides(seed=42, queue_capacity=10.0)
+        assert config.seed == 42
+        assert config.queue_capacity == 10.0
+        # original untouched
+        assert SystemConfig().seed == 0

@@ -1,0 +1,172 @@
+"""Tests for the Linear Road Benchmark workload: model, generator,
+operators (semantic validation) and query assembly."""
+
+import numpy as np
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.lrb.generator import LRBGenerator
+from repro.workloads.lrb.model import (
+    CONGESTION_SPEED_MPH,
+    CONGESTION_VEHICLES,
+    KIND_BALANCE_QUERY,
+    KIND_POSITION,
+    band_of,
+    toll_for,
+)
+from repro.workloads.lrb.query import build_lrb_query, manual_parallelism
+from repro.workloads.lrb.validation import TollCalculatorHarness
+
+
+class TestTollModel:
+    def test_no_toll_free_flow(self):
+        assert toll_for(200, 60.0, accident=False) == 0.0
+
+    def test_no_toll_light_traffic(self):
+        assert toll_for(100, 20.0, accident=False) == 0.0
+
+    def test_no_toll_during_accident(self):
+        assert toll_for(500, 10.0, accident=True) == 0.0
+
+    def test_congestion_toll_quadratic(self):
+        toll = toll_for(CONGESTION_VEHICLES + 10, CONGESTION_SPEED_MPH - 1, False)
+        assert toll == 2.0 * 10**2
+
+    def test_band_of(self):
+        assert band_of(0, 4) == 0
+        assert band_of(99, 4) == 3
+        assert band_of(50, 2) == 1
+
+
+class TestGenerator:
+    def make(self, xways=4, **kwargs):
+        return LRBGenerator(xways, duration=100.0, **kwargs)
+
+    def test_rate_ramps_exponentially(self):
+        generator = self.make()
+        assert generator.profile(0.0) == pytest.approx(15.0 * 4)
+        assert generator.profile(100.0) == pytest.approx(1700.0 * 4)
+
+    def test_tuples_cover_all_xways(self):
+        generator = self.make(xways=3)
+        rng = np.random.default_rng(0)
+        triples = generator.make_tuples(rng, 0.0, 300, 0)
+        xways = {key[0] for key, _p, _w in triples}
+        assert xways == {0, 1, 2}
+
+    def test_weights_conserved(self):
+        generator = self.make(xways=5, bands=2)
+        rng = np.random.default_rng(0)
+        triples = generator.make_tuples(rng, 0.0, 500, 0)
+        assert sum(w for _k, _p, w in triples) == 500
+
+    def test_balance_query_fraction(self):
+        generator = self.make(xways=2, balance_query_fraction=0.1)
+        rng = np.random.default_rng(0)
+        triples = generator.make_tuples(rng, 0.0, 1000, 0)
+        balance = sum(
+            w for _k, p, w in triples if p[0] == KIND_BALANCE_QUERY
+        )
+        assert balance == pytest.approx(100, abs=2)
+
+    def test_accidents_flag_stopped_reports(self):
+        generator = self.make(xways=1, accident_probability_per_s=1.0)
+        rng = np.random.default_rng(0)
+        generator.make_tuples(rng, 0.0, 100, 0)
+        assert generator.active_accidents()
+        triples = generator.make_tuples(rng, 1.0, 100, 0)
+        stopped = [
+            p for _k, p, _w in triples if p[0] == KIND_POSITION and p[4]
+        ]
+        assert stopped
+
+    def test_accidents_clear(self):
+        generator = self.make(
+            xways=1, accident_probability_per_s=1.0, accident_duration=5.0
+        )
+        rng = np.random.default_rng(0)
+        generator.make_tuples(rng, 0.0, 10, 0)
+        generator.accident_probability_per_s = 0.0
+        generator.make_tuples(rng, 10.0, 10, 0)
+        assert not generator.active_accidents()
+
+    def test_invalid_params(self):
+        with pytest.raises(WorkloadError):
+            LRBGenerator(0, duration=10.0)
+        with pytest.raises(WorkloadError):
+            LRBGenerator(1, duration=10.0, balance_query_fraction=1.5)
+
+
+class TestTollCalculatorSemantics:
+    def test_toll_charged_only_under_congestion(self):
+        harness = TollCalculatorHarness()
+        key = (0, 0)
+        # Light, fast traffic: no toll.
+        harness.feed(0.0, key, speed=60.0, weight=10)
+        assert harness.last_toll() == 0.0
+        # Heavy, slow traffic in the same minute: toll appears.
+        harness.feed(1.0, key, speed=10.0, weight=500)
+        assert harness.last_toll() > 0.0
+        assert harness.outputs.charges
+
+    def test_accident_detection_and_clearing(self):
+        harness = TollCalculatorHarness()
+        key = (1, 0)
+        harness.feed(0.0, key, speed=30.0, weight=200, stopped=True)
+        assert harness.accident_active(key, now=1.0)
+        assert harness.outputs.accidents
+        # No toll while the accident is active.
+        harness.feed(2.0, key, speed=10.0, weight=500)
+        assert harness.last_toll() == 0.0
+        # After the accident clears, congestion tolls resume.
+        assert not harness.accident_active(key, now=100.0)
+        harness.feed(100.0, key, speed=10.0, weight=500)
+        assert harness.last_toll() > 0.0
+
+    def test_vehicle_count_resets_each_minute(self):
+        harness = TollCalculatorHarness()
+        key = (2, 1)
+        harness.feed(0.0, key, speed=10.0, weight=500)
+        toll_minute_0 = harness.last_toll()
+        harness.feed(61.0, key, speed=10.0, weight=10)
+        toll_minute_1 = harness.last_toll()
+        assert toll_minute_0 > 0
+        assert toll_minute_1 == 0.0  # only 10 vehicles so far this minute
+
+    def test_keys_isolated(self):
+        harness = TollCalculatorHarness()
+        harness.feed(0.0, (0, 0), speed=10.0, weight=500)
+        harness.feed(0.0, (0, 1), speed=10.0, weight=5)
+        assert harness.state.get((0, 1))["count"] == 5
+
+
+class TestQueryAssembly:
+    def test_seven_operators(self):
+        lrb = build_lrb_query(num_xways=2, duration=50.0)
+        assert len(lrb.graph.operators) == 7
+        lrb.graph.validate()
+        assert lrb.graph.sources == ["feeder"]
+        assert lrb.graph.sinks == ["sink"]
+
+    def test_stateful_operators(self):
+        lrb = build_lrb_query(num_xways=2, duration=50.0)
+        assert set(lrb.graph.stateful_operators()) == {
+            "toll_calc",
+            "toll_assess",
+            "balance",
+        }
+
+    def test_manual_parallelism_sums_to_budget(self):
+        for budget in (5, 10, 20, 30):
+            allocation = manual_parallelism(budget)
+            assert sum(allocation.values()) == budget
+            assert all(v >= 1 for v in allocation.values())
+
+    def test_manual_parallelism_favours_toll_calculator(self):
+        allocation = manual_parallelism(25)
+        assert allocation["toll_calc"] == max(allocation.values())
+        assert allocation["toll_calc"] > allocation["forwarder"]
+
+    def test_manual_parallelism_too_small_rejected(self):
+        with pytest.raises(WorkloadError):
+            manual_parallelism(3)

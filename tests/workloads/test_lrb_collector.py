@@ -1,0 +1,43 @@
+"""Tests for the LRB result collector and query bundle metadata."""
+
+from repro.core.tuples import Tuple
+from repro.workloads.lrb.model import (
+    KIND_ACCIDENT,
+    KIND_BALANCE_RESPONSE,
+    KIND_TOLL,
+)
+from repro.workloads.lrb.query import LRBResultCollector, build_lrb_query
+
+
+class TestLRBResultCollector:
+    def test_counts_by_kind(self):
+        collector = LRBResultCollector()
+        collector(Tuple(1, (0, 0), (KIND_TOLL, 4.0), weight=10, slot=0), 0.0)
+        collector(Tuple(2, (0, 0), (KIND_ACCIDENT, 1.0), weight=2, slot=0), 0.0)
+        collector(Tuple(3, (0, 0), (KIND_BALANCE_RESPONSE, 9.0), weight=3, slot=0), 0.0)
+        assert collector.toll_notifications == 10
+        assert collector.accident_alerts == 2
+        assert collector.balance_responses == 3
+        assert collector.total() == 15
+
+    def test_unknown_kind_ignored(self):
+        collector = LRBResultCollector()
+        collector(Tuple(1, (0, 0), ("other", 1), slot=0), 0.0)
+        assert collector.total() == 0
+
+
+class TestQueryBundle:
+    def test_metadata(self):
+        lrb = build_lrb_query(num_xways=3, duration=60.0)
+        assert lrb.num_xways == 3
+        assert lrb.duration == 60.0
+        assert lrb.latency_target == 5.0
+        assert len(lrb.operator_names) == 7
+
+    def test_generator_rate_override(self):
+        lrb = build_lrb_query(
+            num_xways=2, duration=100.0, rate_start=10.0, rate_end=100.0
+        )
+        generator = lrb.generators["feeder"]
+        assert generator.profile(0.0) == 20.0  # 10 t/s × 2 xways
+        assert generator.profile(100.0) == 200.0

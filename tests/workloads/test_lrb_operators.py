@@ -1,0 +1,117 @@
+"""Direct semantic tests for the remaining LRB operators."""
+
+import pytest
+
+from repro.core.operator import OperatorContext
+from repro.core.state import ProcessingState
+from repro.core.tuples import Tuple
+from repro.errors import WorkloadError
+from repro.workloads.lrb.model import (
+    KIND_BALANCE_QUERY,
+    KIND_BALANCE_RESPONSE,
+    KIND_CHARGE,
+    KIND_POSITION,
+)
+from repro.workloads.lrb.operators import (
+    BalanceAccountOperator,
+    ForwarderOperator,
+    TollAssessmentOperator,
+    TollCollectorOperator,
+)
+
+
+class Driver:
+    def __init__(self, operator):
+        self.operator = operator
+        self.state = (
+            operator.initial_state() if operator.stateful else ProcessingState()
+        )
+        self.emitted = []
+        self._ts = 0
+
+    def feed(self, key, payload, weight=1, now=0.0):
+        self._ts += 1
+        tup = Tuple(self._ts, key, payload, weight=weight, slot=0)
+        ctx = OperatorContext(self.state, self._collect, now=now)
+        self.operator.on_tuple(tup, ctx)
+
+    def _collect(self, key, payload, weight, created_at, to):
+        self.emitted.append((key, payload, weight, to))
+
+
+class TestForwarder:
+    def test_positions_to_calculator(self):
+        driver = Driver(ForwarderOperator())
+        payload = (KIND_POSITION, 1, 50.0, 10, False)
+        driver.feed((0, 0), payload, weight=5)
+        assert driver.emitted == [((0, 0), payload, 5, "toll_calc")]
+
+    def test_balance_queries_to_assessment(self):
+        driver = Driver(ForwarderOperator())
+        payload = (KIND_BALANCE_QUERY, 77)
+        driver.feed((0, 1), payload)
+        assert driver.emitted == [((0, 1), payload, 1, "toll_assess")]
+
+    def test_unknown_kind_rejected(self):
+        driver = Driver(ForwarderOperator())
+        with pytest.raises(WorkloadError):
+            driver.feed((0, 0), ("bogus",))
+
+    def test_stateless(self):
+        assert not ForwarderOperator().stateful
+
+
+class TestTollAssessment:
+    def test_charges_accumulate_per_group(self):
+        driver = Driver(TollAssessmentOperator())
+        driver.feed((1, 0), (KIND_CHARGE, 2.5), weight=4)
+        driver.feed((1, 0), (KIND_CHARGE, 1.0), weight=2)
+        driver.feed((2, 0), (KIND_CHARGE, 3.0))
+        assert driver.state[(1, 0)]["balance"] == pytest.approx(12.0)
+        assert driver.state[(1, 0)]["charges"] == 6
+        assert driver.state[(2, 0)]["balance"] == pytest.approx(3.0)
+        assert driver.emitted == []  # charges produce no output
+
+    def test_balance_query_answered(self):
+        driver = Driver(TollAssessmentOperator())
+        driver.feed((1, 0), (KIND_CHARGE, 5.0), weight=2)
+        driver.feed((1, 0), (KIND_BALANCE_QUERY, 9))
+        key, payload, weight, to = driver.emitted[0]
+        assert payload == (KIND_BALANCE_RESPONSE, 10.0)
+        assert to == "balance"
+
+    def test_query_before_any_charge(self):
+        driver = Driver(TollAssessmentOperator())
+        driver.feed((5, 1), (KIND_BALANCE_QUERY, 9))
+        assert driver.emitted[0][1] == (KIND_BALANCE_RESPONSE, 0.0)
+
+    def test_merge_values_sums(self):
+        op = TollAssessmentOperator()
+        merged = op.merge_values(
+            {"balance": 2.0, "charges": 1}, {"balance": 3.0, "charges": 4}
+        )
+        assert merged == {"balance": 5.0, "charges": 5}
+
+
+class TestBalanceAccount:
+    def test_keeps_latest_and_forwards(self):
+        driver = Driver(BalanceAccountOperator())
+        driver.feed((1, 0), (KIND_BALANCE_RESPONSE, 10.0))
+        driver.feed((1, 0), (KIND_BALANCE_RESPONSE, 25.0))
+        assert driver.state[(1, 0)] == 25.0
+        assert len(driver.emitted) == 2
+
+    def test_merge_takes_max(self):
+        assert BalanceAccountOperator().merge_values(3.0, 7.0) == 7.0
+
+
+class TestTollCollector:
+    def test_passes_through(self):
+        driver = Driver(TollCollectorOperator())
+        driver.feed((0, 0), ("toll", 8.0), weight=3)
+        assert driver.emitted == [((0, 0), ("toll", 8.0), 3, None)]
+
+    def test_stateless_and_cheap(self):
+        op = TollCollectorOperator()
+        assert not op.stateful
+        assert op.cost_per_tuple < ForwarderOperator().cost_per_tuple

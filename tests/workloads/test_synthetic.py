@@ -1,0 +1,121 @@
+"""Tests for rate profiles and the rate-driven generator."""
+
+import pytest
+
+from repro.errors import WorkloadError
+from repro.workloads.synthetic import (
+    RateDrivenGenerator,
+    constant_rate,
+    exponential_ramp,
+    linear_ramp,
+    step_profile,
+    zipf_weights,
+)
+from tests.conftest import small_system
+
+
+class TestProfiles:
+    def test_constant(self):
+        profile = constant_rate(42.0)
+        assert profile(0) == 42.0
+        assert profile(100) == 42.0
+
+    def test_negative_constant_rejected(self):
+        with pytest.raises(WorkloadError):
+            constant_rate(-1.0)
+
+    def test_linear_ramp(self):
+        profile = linear_ramp(0.0, 100.0, 10.0)
+        assert profile(0.0) == 0.0
+        assert profile(5.0) == 50.0
+        assert profile(10.0) == 100.0
+        assert profile(20.0) == 100.0
+
+    def test_exponential_ramp_endpoints(self):
+        profile = exponential_ramp(15.0, 1700.0, 2000.0)
+        assert profile(0.0) == pytest.approx(15.0)
+        assert profile(2000.0) == pytest.approx(1700.0)
+        assert profile(1000.0) == pytest.approx((15.0 * 1700.0) ** 0.5)
+
+    def test_exponential_ramp_monotone(self):
+        profile = exponential_ramp(10.0, 1000.0, 100.0)
+        values = [profile(t) for t in range(0, 100, 10)]
+        assert values == sorted(values)
+
+    def test_step_profile(self):
+        profile = step_profile([(0.0, 10.0), (5.0, 50.0)])
+        assert profile(1.0) == 10.0
+        assert profile(5.0) == 50.0
+        assert profile(-1.0) == 0.0
+
+    def test_empty_steps_rejected(self):
+        with pytest.raises(WorkloadError):
+            step_profile([])
+
+
+class CountingGenerator(RateDrivenGenerator):
+    def make_tuples(self, rng, now, count, instance_index):
+        return [(f"k{i}", None, 1) for i in range(count)]
+
+
+class TestRateDrivenGenerator:
+    def test_injects_at_configured_rate(self):
+        system, _gen, _col = small_system()
+        # Attach a second generator manually to the already-deployed source.
+        generator = CountingGenerator(constant_rate(100.0), quantum=0.1)
+        generator.attach(system, system.instances_of("source"))
+        system.run(until=2.0)
+        assert generator.injected_weight == pytest.approx(200, abs=15)
+
+    def test_fractional_rates_carried(self):
+        system, _gen, _col = small_system()
+        generator = CountingGenerator(constant_rate(2.5), quantum=0.1)
+        generator.attach(system, system.instances_of("source"))
+        system.run(until=4.0)
+        assert generator.injected_weight == pytest.approx(10, abs=2)
+
+    def test_stop_at_halts_injection(self):
+        system, _gen, _col = small_system()
+        generator = CountingGenerator(constant_rate(100.0), quantum=0.1, stop_at=1.0)
+        generator.attach(system, system.instances_of("source"))
+        system.run(until=5.0)
+        assert generator.injected_weight <= 110
+
+    def test_paused_controller_skips(self):
+        system, _gen, _col = small_system()
+        generator = CountingGenerator(constant_rate(100.0), quantum=0.1)
+        generator.attach(system, system.instances_of("source"))
+        system.source_controllers["source"].pause()
+        system.run(until=1.0)
+        assert generator.injected_weight == 0
+        assert generator.skipped_weight > 0
+
+    def test_split_shares(self):
+        assert RateDrivenGenerator._split(10, 3) == [4, 3, 3]
+        assert RateDrivenGenerator._split(2, 3) == [1, 1, 0]
+
+    def test_attach_without_instances_rejected(self):
+        generator = CountingGenerator(constant_rate(1.0))
+        with pytest.raises(WorkloadError):
+            generator.attach(None, [])
+
+    def test_bad_quantum_rejected(self):
+        with pytest.raises(WorkloadError):
+            CountingGenerator(constant_rate(1.0), quantum=0.0)
+
+
+class TestZipf:
+    def test_normalised(self):
+        weights = zipf_weights(100)
+        assert weights.sum() == pytest.approx(1.0)
+
+    def test_decreasing(self):
+        weights = zipf_weights(10, s=1.2)
+        assert all(a >= b for a, b in zip(weights, weights[1:]))
+
+    def test_single_rank(self):
+        assert zipf_weights(1)[0] == pytest.approx(1.0)
+
+    def test_invalid_rejected(self):
+        with pytest.raises(WorkloadError):
+            zipf_weights(0)

@@ -1,0 +1,114 @@
+"""Tests for the map/reduce top-k Wikipedia workload."""
+
+import numpy as np
+
+from repro.core.operator import OperatorContext
+from repro.core.state import ProcessingState
+from repro.core.tuples import Tuple
+from repro.workloads.synthetic import constant_rate
+from repro.workloads.wikipedia import (
+    LanguageTopKOperator,
+    VisitMapOperator,
+    VisitTraceGenerator,
+    build_wikipedia_topk_query,
+    language_editions,
+)
+
+
+class TestTraceGenerator:
+    def test_weights_approximate_count(self):
+        generator = VisitTraceGenerator(constant_rate(1000), languages=20)
+        rng = np.random.default_rng(0)
+        triples = generator.make_tuples(rng, 0.0, 10_000, 0)
+        total = sum(w for _k, _p, w in triples)
+        assert abs(total - 10_000) < 500
+
+    def test_zipf_head_heavier(self):
+        generator = VisitTraceGenerator(constant_rate(1000), languages=20)
+        rng = np.random.default_rng(0)
+        by_lang: dict[str, int] = {}
+        for key, _p, w in generator.make_tuples(rng, 0.0, 10_000, 0):
+            lang = key[0]
+            by_lang[lang] = by_lang.get(lang, 0) + w
+        assert by_lang["lang000"] > by_lang.get("lang019", 0)
+
+    def test_keys_are_language_stripe(self):
+        generator = VisitTraceGenerator(constant_rate(100), languages=5, stripes=3)
+        rng = np.random.default_rng(0)
+        for key, payload, _w in generator.make_tuples(rng, 0.0, 1000, 0):
+            lang, stripe = key
+            assert lang in language_editions(5)
+            assert 0 <= stripe < 3
+            assert payload["lang"] == lang
+
+
+class TestOperators:
+    def drive(self, operator, tuples, now=0.0):
+        state = operator.initial_state()
+        emitted = []
+        ctx = OperatorContext(
+            state, lambda k, p, w, c, to: emitted.append((k, p, w)), now=now
+        )
+        for tup in tuples:
+            operator.on_tuple(tup, ctx)
+        return state, emitted, ctx
+
+    def test_map_strips_payload(self):
+        op = VisitMapOperator()
+        _state, emitted, _ctx = self.drive(
+            op, [Tuple(1, ("en", 0), {"lang": "en", "page": 5}, weight=7, slot=0)]
+        )
+        assert emitted == [(("en", 0), "en", 7)]
+
+    def test_reduce_counts_per_stripe(self):
+        op = LanguageTopKOperator(k=3)
+        state, _emitted, _ctx = self.drive(
+            op,
+            [
+                Tuple(1, ("en", 0), "en", weight=5, slot=0),
+                Tuple(2, ("en", 1), "en", weight=3, slot=0),
+                Tuple(3, ("de", 0), "de", weight=4, slot=0),
+            ],
+        )
+        assert state[("en", 0)] == 5
+        assert state[("en", 1)] == 3
+
+    def test_reduce_timer_merges_stripes(self):
+        op = LanguageTopKOperator(k=2)
+        state, emitted, ctx = self.drive(
+            op,
+            [
+                Tuple(1, ("en", 0), "en", weight=5, slot=0),
+                Tuple(2, ("en", 1), "en", weight=3, slot=0),
+                Tuple(3, ("de", 0), "de", weight=4, slot=0),
+            ],
+        )
+        op.on_timer(ctx)
+        key, ranking, _w = emitted[-1]
+        assert key == "topk"
+        assert ranking == (("en", 8), ("de", 4))
+
+
+class TestQueryAssembly:
+    def test_structure_and_parallelism(self):
+        query, parallelism = build_wikipedia_topk_query(rate=1000, sources=18)
+        query.graph.validate()
+        assert parallelism == {"sources": 18}
+        assert query.graph.stateful_operators() == ["reduce"]
+
+    def test_end_to_end_small(self):
+        from repro.config import SystemConfig
+        from repro.runtime.system import StreamProcessingSystem
+
+        query, parallelism = build_wikipedia_topk_query(
+            rate=2000.0, sources=2, quantum=0.5, emit_interval=5.0
+        )
+        config = SystemConfig()
+        config.scaling.enabled = False
+        system = StreamProcessingSystem(config)
+        system.deploy(query.graph, parallelism=parallelism, generators=query.generators)
+        system.run(until=12.0)
+        ranking = query.collector.ranking()
+        assert ranking
+        # Zipf head should rank first.
+        assert ranking[0][0] == "lang000"

@@ -1,0 +1,90 @@
+"""Tests for the word-count workload and its generator."""
+
+import numpy as np
+import pytest
+
+from repro.core.operator import OperatorContext
+from repro.core.state import ProcessingState
+from repro.core.tuples import Tuple
+from repro.errors import WorkloadError
+from repro.workloads.text import SentenceGenerator, make_vocabulary
+from repro.workloads.synthetic import constant_rate
+from repro.workloads.wordcount import WordSplitter, build_word_count_query
+
+
+class TestVocabulary:
+    def test_size_and_uniqueness(self):
+        vocab = make_vocabulary(1000)
+        assert len(vocab) == 1000
+        assert len(set(vocab)) == 1000
+
+    def test_invalid_size(self):
+        with pytest.raises(WorkloadError):
+            make_vocabulary(0)
+
+
+class TestSentenceGenerator:
+    def test_sentences_have_configured_length(self):
+        generator = SentenceGenerator(
+            constant_rate(10), vocabulary_size=50, words_per_sentence=5
+        )
+        rng = np.random.default_rng(0)
+        triples = generator.make_tuples(rng, 0.0, 4, 0)
+        assert len(triples) == 4
+        for _key, words, weight in triples:
+            assert len(words) == 5
+            assert weight == 1
+            assert all(w.startswith("w") for w in words)
+
+    def test_sentence_ids_unique(self):
+        generator = SentenceGenerator(constant_rate(10), vocabulary_size=50)
+        rng = np.random.default_rng(0)
+        keys = [k for k, _p, _w in generator.make_tuples(rng, 0.0, 10, 0)]
+        assert len(set(keys)) == 10
+
+    def test_zipf_skew_visible(self):
+        generator = SentenceGenerator(
+            constant_rate(10), vocabulary_size=100, words_per_sentence=10,
+            zipf_exponent=1.3,
+        )
+        rng = np.random.default_rng(0)
+        counts: dict[str, int] = {}
+        for _k, words, _w in generator.make_tuples(rng, 0.0, 200, 0):
+            for word in words:
+                counts[word] = counts.get(word, 0) + 1
+        top = max(counts.values())
+        assert top > 2 * (sum(counts.values()) / len(counts))
+
+    def test_bad_words_per_sentence(self):
+        with pytest.raises(WorkloadError):
+            SentenceGenerator(constant_rate(1), words_per_sentence=0)
+
+
+class TestWordSplitter:
+    def test_splits_and_aggregates_repeats(self):
+        splitter = WordSplitter()
+        emitted = []
+        ctx = OperatorContext(
+            ProcessingState(),
+            lambda k, p, w, c, to: emitted.append((k, w)),
+        )
+        splitter.on_tuple(Tuple(1, 0, ("a", "b", "a"), weight=2, slot=0), ctx)
+        assert sorted(emitted) == [("a", 4), ("b", 2)]
+
+
+class TestQueryBuilder:
+    def test_structure(self):
+        wc = build_word_count_query(rate=100)
+        wc.graph.validate()
+        assert wc.graph.sources == ["source"]
+        assert wc.graph.sinks == ["sink"]
+        assert wc.graph.stateful_operators() == ["counter"]
+        assert "source" in wc.generators
+
+    def test_rate_profile_accepted(self):
+        wc = build_word_count_query(rate=lambda t: 5.0)
+        assert wc.generators["source"].profile(0) == 5.0
+
+    def test_window_configures_counter(self):
+        wc = build_word_count_query(window=12.0)
+        assert wc.graph.operator("counter").timer_interval == 12.0
