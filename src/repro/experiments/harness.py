@@ -105,6 +105,23 @@ class WordCountRun:
             return math.nan
         return reservoir.percentile(q, t_min=t_min)
 
+    def recovery_phase_breakdown(self, op: str = "counter") -> dict[str, float]:
+        """Per-phase durations (seconds) of the run's last recovery.
+
+        Attributes the Fig. 11-13 recovery time to the reconfiguration
+        engine's phases (VM acquisition, state partitioning, transfer,
+        restore, replay drain).  Empty when no recovery ran.
+        """
+        timelines = self.system.metrics.timelines(kind="recovery", op_name=op)
+        if not timelines:
+            return {}
+        breakdown: dict[str, float] = {}
+        for span in timelines[-1].spans:
+            breakdown[span.phase] = breakdown.get(span.phase, 0.0) + (
+                span.duration or 0.0
+            )
+        return breakdown
+
 
 def checkpoint_aligned_failure_time(
     interval: float, earliest: float, fraction: float = 0.75

@@ -104,7 +104,16 @@ class RecoveryCoordinator:
         current = self.system.instances.get(instance.uid)
         if current is not instance:
             return
-        self._recover_rsm(instance, failure_time)
+        # Re-dispatch through the *configured* strategy: an aborted
+        # upstream-backup or source-replay recovery must not silently
+        # fall back to checkpoint restore (there are no checkpoints).
+        strategy = self.system.config.fault.strategy
+        if strategy == STRATEGY_UPSTREAM_BACKUP:
+            self._upstream_backup.recover(instance, failure_time, self._record)
+        elif strategy == STRATEGY_SOURCE_REPLAY:
+            self._source_replay.recover(instance, failure_time, self._record)
+        elif strategy == STRATEGY_RSM:
+            self._recover_rsm(instance, failure_time)
 
     def retry_recovery(
         self, instance: "OperatorInstance", failure_time: float

@@ -12,62 +12,28 @@
 Both rebuild state rather than restoring it, so recovery time scales with
 the full window of tuples instead of the checkpoint interval — the
 comparison in Fig. 11.
+
+Each strategy is a thin policy adapter: it constructs a
+:class:`~repro.scaling.reconfig.ReconfigPlan` whose *state source*
+(``fresh`` for UB, ``source_replay`` for SR) tells the shared
+:class:`~repro.scaling.reconfig.ReconfigurationEngine` how to rebuild
+the replacement and how to detect that the replay has drained.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.execution import Slot
-from repro.errors import RecoveryError
-from repro.runtime.instance import REPLAY_ACCEPT, REPLAY_DROP
-from repro.sim.vm import VirtualMachine
+from repro.scaling.reconfig import (
+    KIND_RECOVERY,
+    SOURCE_FRESH,
+    SOURCE_SOURCE_REPLAY,
+    ReconfigPlan,
+)
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.instance import OperatorInstance
     from repro.runtime.system import StreamProcessingSystem
-
-
-def _replace_with_fresh_slot(
-    system: "StreamProcessingSystem", failed: "OperatorInstance", vm: VirtualMachine
-) -> "OperatorInstance":
-    """Create a fresh-state replacement under a *new* slot uid.
-
-    Rebuild-based strategies re-emit results from a zeroed output clock;
-    a new slot identity keeps downstream duplicate filters from wrongly
-    discarding those emissions.
-    """
-    qm = system.query_manager
-    op_name = failed.op_name
-    new_slot = qm.new_slot(op_name, failed.slot.index)
-    qm.replace_slots(op_name, [failed.slot], [new_slot])
-    new_routing = qm.routing_to(op_name).reassign(failed.uid, new_slot.uid)
-    qm.store_routing(op_name, new_routing)
-    system.instances.pop(failed.uid, None)
-    instance = system.deployment.deploy_replacement(new_slot, vm)
-    system.deployment.configure_services(instance)
-    for up_name in qm.upstream_of(op_name):
-        for slot in qm.slots_of(up_name):
-            upstream = system.live_instance(slot.uid)
-            if upstream is not None:
-                upstream.set_routing(op_name, new_routing)
-                upstream.repartition_buffer(op_name)
-    if system.detector is not None:
-        system.detector.tracker.forget(failed.uid)
-        system.detector.policy.forget_slot(failed.uid)
-    return instance
-
-
-def _upstream_instances(
-    system: "StreamProcessingSystem", op_name: str
-) -> list["OperatorInstance"]:
-    result = []
-    for up_name in system.query_manager.upstream_of(op_name):
-        for slot in system.query_manager.slots_of(up_name):
-            upstream = system.live_instance(slot.uid)
-            if upstream is not None:
-                result.append(upstream)
-    return result
 
 
 class UpstreamBackupRecovery:
@@ -81,57 +47,22 @@ class UpstreamBackupRecovery:
         failed: "OperatorInstance",
         failure_time: float,
         on_complete: Callable[[float], None] | None = None,
-    ) -> None:
+    ) -> bool:
         """Rebuild the failed operator on a fresh VM from replayed tuples."""
-        self.system.metrics.mark_event(
-            self.system.sim.now, "recovery_started", f"UB {failed.slot!r}"
+        assert self.system.reconfig is not None
+        return self.system.reconfig.submit(
+            ReconfigPlan(
+                kind=KIND_RECOVERY,
+                op_name=failed.op_name,
+                old_slots=[failed.slot],
+                parallelism=1,
+                state_source=SOURCE_FRESH,
+                reason="failure",
+                failure_time=failure_time,
+                on_complete=on_complete,
+                label="UB",
+            )
         )
-        self.system.pool.acquire(
-            lambda vm: self._vm_ready(failed, failure_time, on_complete, vm)
-        )
-
-    def _vm_ready(
-        self,
-        failed: "OperatorInstance",
-        failure_time: float,
-        on_complete: Callable[[float], None] | None,
-        vm: VirtualMachine,
-    ) -> None:
-        system = self.system
-        instance = _replace_with_fresh_slot(system, failed, vm)
-        # Unlike R+SM's coordinated scale-out path, plain upstream backup
-        # does not stop upstream operators: replayed tuples compete with
-        # fresh input at the rebuilt operator, which is what makes UB
-        # slower than SR at high rates (§6.2).
-        instance.replay_mode = REPLAY_ACCEPT
-        upstreams = _upstream_instances(system, instance.op_name)
-        sent = 0
-        for upstream in upstreams:
-            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
-        instance.expect_replays(
-            sent,
-            lambda: self._finish(instance, failure_time, on_complete),
-            flagged_only=True,
-        )
-        system.record_vm_count()
-
-    def _finish(
-        self,
-        instance: "OperatorInstance",
-        failure_time: float,
-        on_complete: Callable[[float], None] | None,
-    ) -> None:
-        system = self.system
-        instance.replay_mode = REPLAY_DROP
-        duration = system.sim.now - failure_time
-        system.metrics.mark_event(
-            system.sim.now, "recovery_complete", f"UB {instance.slot!r} {duration:.3f}s"
-        )
-        system.metrics.time_series_for("recovery_time").record(
-            system.sim.now, duration
-        )
-        if on_complete is not None:
-            on_complete(duration)
 
 
 class SourceReplayRecovery:
@@ -143,11 +74,6 @@ class SourceReplayRecovery:
     queued anywhere and no message deliveries between consecutive polls.
     """
 
-    #: Poll period for quiescence detection.
-    POLL = 0.25
-    #: Consecutive quiet polls required before declaring recovery done.
-    QUIET_POLLS = 2
-
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
 
@@ -156,122 +82,19 @@ class SourceReplayRecovery:
         failed: "OperatorInstance",
         failure_time: float,
         on_complete: Callable[[float], None] | None = None,
-    ) -> None:
+    ) -> bool:
         """Rebuild the failed operator on a fresh VM from replayed tuples."""
-        self.system.metrics.mark_event(
-            self.system.sim.now, "recovery_started", f"SR {failed.slot!r}"
+        assert self.system.reconfig is not None
+        return self.system.reconfig.submit(
+            ReconfigPlan(
+                kind=KIND_RECOVERY,
+                op_name=failed.op_name,
+                old_slots=[failed.slot],
+                parallelism=1,
+                state_source=SOURCE_SOURCE_REPLAY,
+                reason="failure",
+                failure_time=failure_time,
+                on_complete=on_complete,
+                label="SR",
+            )
         )
-        self.system.pool.acquire(
-            lambda vm: self._vm_ready(failed, failure_time, on_complete, vm)
-        )
-
-    def _vm_ready(
-        self,
-        failed: "OperatorInstance",
-        failure_time: float,
-        on_complete: Callable[[float], None] | None,
-        vm: VirtualMachine,
-    ) -> None:
-        system = self.system
-        instance = _replace_with_fresh_slot(system, failed, vm)
-        marked = self._mark_replay_path(instance)
-        for controller in system.source_controllers.values():
-            controller.pause()
-        query = system.query_manager.query
-        assert query is not None
-        replayed = 0
-        for src_name in query.sources:
-            for source in system.instances_of(src_name):
-                if source.alive:
-                    replayed += source.replay_all_buffers(flag_replay=True)
-        if replayed == 0:
-            self._finish(instance, marked, failure_time, on_complete)
-            system.record_vm_count()
-            return
-        state = {"delivered": system.network.messages_delivered, "quiet": 0}
-        system.sim.schedule(
-            self.POLL,
-            self._poll,
-            instance,
-            marked,
-            failure_time,
-            on_complete,
-            state,
-        )
-        system.record_vm_count()
-
-    def _mark_replay_path(
-        self, instance: "OperatorInstance"
-    ) -> list["OperatorInstance"]:
-        """Put the rebuilt operator and its ancestors into replay-accept
-        mode; healthy partitions elsewhere keep dropping flagged tuples."""
-        system = self.system
-        query = system.query_manager.query
-        assert query is not None
-        ancestors: set[str] = set()
-        frontier = [instance.op_name]
-        while frontier:
-            name = frontier.pop()
-            for up in query.upstream_of(name):
-                if up not in ancestors:
-                    ancestors.add(up)
-                    frontier.append(up)
-        marked = [instance]
-        instance.replay_mode = REPLAY_ACCEPT
-        for name in ancestors:
-            if query.is_source(name):
-                continue
-            for inst in system.instances_of(name):
-                if inst.alive:
-                    inst.replay_mode = REPLAY_ACCEPT
-                    marked.append(inst)
-        return marked
-
-    def _poll(
-        self,
-        instance: "OperatorInstance",
-        marked: list["OperatorInstance"],
-        failure_time: float,
-        on_complete: Callable[[float], None] | None,
-        state: dict,
-    ) -> None:
-        system = self.system
-        delivered = system.network.messages_delivered
-        busy = any(
-            inst.vm.alive and (inst.vm.busy or inst.vm.queue_length > 0)
-            for inst in system.instances.values()
-            if inst.alive
-        )
-        if not busy and delivered == state["delivered"]:
-            state["quiet"] += 1
-        else:
-            state["quiet"] = 0
-        state["delivered"] = delivered
-        if state["quiet"] >= self.QUIET_POLLS:
-            self._finish(instance, marked, failure_time, on_complete)
-            return
-        system.sim.schedule(
-            self.POLL, self._poll, instance, marked, failure_time, on_complete, state
-        )
-
-    def _finish(
-        self,
-        instance: "OperatorInstance",
-        marked: list["OperatorInstance"],
-        failure_time: float,
-        on_complete: Callable[[float], None] | None,
-    ) -> None:
-        system = self.system
-        for inst in marked:
-            inst.replay_mode = REPLAY_DROP
-        for controller in system.source_controllers.values():
-            controller.resume()
-        duration = system.sim.now - failure_time
-        system.metrics.mark_event(
-            system.sim.now, "recovery_complete", f"SR {instance.slot!r} {duration:.3f}s"
-        )
-        system.metrics.time_series_for("recovery_time").record(
-            system.sim.now, duration
-        )
-        if on_complete is not None:
-            on_complete(duration)

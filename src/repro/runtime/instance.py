@@ -142,6 +142,15 @@ class OperatorInstance:
     def alive(self) -> bool:
         return self.status in (InstanceStatus.RUNNING, InstanceStatus.PAUSED)
 
+    def is_quiescent(self) -> bool:
+        """Whether this instance's VM has nothing queued or executing.
+
+        Quiescence of every involved instance between consecutive polls
+        is how the reconfiguration engine detects that a drain (merge
+        quiesce, source-replay re-processing) has completed.
+        """
+        return not self.vm.busy and self.vm.queue_length == 0
+
     def __repr__(self) -> str:  # pragma: no cover - debugging aid
         return f"Instance({self.slot!r} on VM {self.vm.vm_id}, {self.status.value})"
 

@@ -75,6 +75,8 @@ class StreamProcessingSystem:
         self.trim_locks: set[int] = set()
         # Control-plane components, created at deploy time.
         self.detector = None
+        #: The phase-driven engine every topology change runs through.
+        self.reconfig = None
         self.scale_out = None
         self.scale_in = None
         self.recovery = None
@@ -99,8 +101,10 @@ class StreamProcessingSystem:
         from repro.fault.recovery import RecoveryCoordinator
         from repro.scaling.coordinator import ScaleOutCoordinator
         from repro.scaling.detector import BottleneckDetector
+        from repro.scaling.reconfig import ReconfigurationEngine
         from repro.scaling.scale_in import ScaleInCoordinator
 
+        self.reconfig = ReconfigurationEngine(self)
         self.scale_out = ScaleOutCoordinator(self)
         self.scale_in = ScaleInCoordinator(self)
         self.recovery = RecoveryCoordinator(self)
@@ -300,8 +304,8 @@ class StreamProcessingSystem:
         in-flight scale-outs that were partitioning state on this VM abort
         (and retry through the normal policy/recovery paths).
         """
-        if self.scale_out is not None:
-            self.scale_out.abort_operations_on_backup_vm(vm)
+        if self.reconfig is not None:
+            self.reconfig.abort_operations_on_backup_vm(vm)
         self._handle_lost_backups(vm)
 
     # -------------------------------------------------------------- results

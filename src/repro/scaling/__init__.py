@@ -1,13 +1,33 @@
 """Dynamic scale out: utilisation reports, bottleneck detection, policy,
-and the fault-tolerant scale-out coordinator (Algorithm 3)."""
+and the phase-driven reconfiguration engine every topology change —
+scale out, scale in, and recovery — runs through (Algorithm 3)."""
 
 from repro.scaling.coordinator import ScaleOutCoordinator
 from repro.scaling.detector import BottleneckDetector
 from repro.scaling.policy import ScaleOutDecision, ThresholdScalingPolicy
+from repro.scaling.reconfig import (
+    KIND_RECOVERY,
+    KIND_SCALE_IN,
+    KIND_SCALE_OUT,
+    PHASE_ORDER,
+    ReconfigPlan,
+    Reconfiguration,
+    ReconfigurationEngine,
+)
 from repro.scaling.reports import UtilizationReport, UtilizationTracker
+from repro.scaling.scale_in import ScaleInCoordinator, ScaleInPolicy
 
 __all__ = [
     "BottleneckDetector",
+    "KIND_RECOVERY",
+    "KIND_SCALE_IN",
+    "KIND_SCALE_OUT",
+    "PHASE_ORDER",
+    "ReconfigPlan",
+    "Reconfiguration",
+    "ReconfigurationEngine",
+    "ScaleInCoordinator",
+    "ScaleInPolicy",
     "ScaleOutCoordinator",
     "ScaleOutDecision",
     "ThresholdScalingPolicy",

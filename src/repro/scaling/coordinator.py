@@ -1,4 +1,4 @@
-"""The fault-tolerant scale-out coordinator (§4.3, Algorithm 3).
+"""Scale-out policy adapter (§4.3, Algorithm 3).
 
 ``scale-out-operator(o, π)`` replaces one operator partition with π new
 partitions built from the partition's *backed-up checkpoint* — never from
@@ -11,89 +11,64 @@ serves three purposes:
 * **parallel recovery** (π ≥ 2 with the old instance dead), which splits
   the replay work across several new partitions (§4.2).
 
-Every step is asynchronous and costed: partitioning occupies the backup
-VM's CPU, state moves over the network, new VMs come from the pool, and
-upstream operators pause while their routing and buffers repartition —
-which is exactly what produces the paper's post-scale-out latency spikes.
+All three are literally the same mechanism: this coordinator only
+validates the request and constructs a
+:class:`~repro.scaling.reconfig.ReconfigPlan` with a *backup-checkpoint*
+state source; the shared phase machine in
+:class:`~repro.scaling.reconfig.ReconfigurationEngine` does the rest
+(VM acquisition, partitioning on the backup VM's CPU, network transfer,
+restore, routing swap, replay drain, aborts).
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.checkpoint import BackupStore, Checkpoint
-from repro.core.execution import Slot
-from repro.core.partition import partition_checkpoint, split_interval_groups
-from repro.core.tuples import stable_hash
 from repro.errors import ScaleOutError
-from repro.runtime.instance import REPLAY_DEDUP, REPLAY_DROP
+from repro.scaling.reconfig import (
+    KIND_RECOVERY,
+    KIND_SCALE_OUT,
+    SOURCE_BACKUP,
+    ReconfigPlan,
+)
 from repro.sim.vm import VirtualMachine
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.runtime.instance import OperatorInstance
+    from repro.scaling.reconfig import ReconfigurationEngine
     from repro.runtime.system import StreamProcessingSystem
-
-#: Abort an in-flight scale out that has not committed after this long.
-_WATCHDOG_SECONDS = 600.0
-
-
-class _Operation:
-    """Mutable context for one in-flight scale-out/recovery operation."""
-
-    def __init__(
-        self,
-        op_name: str,
-        old_slot: Slot,
-        parallelism: int,
-        ckpt: Checkpoint,
-        reason: str,
-        is_recovery: bool,
-        failure_time: float | None,
-        on_complete: Callable[[float], None] | None,
-        started_at: float,
-    ) -> None:
-        self.op_name = op_name
-        self.old_slot = old_slot
-        self.parallelism = parallelism
-        self.ckpt = ckpt
-        self.reason = reason
-        self.is_recovery = is_recovery
-        self.failure_time = failure_time
-        self.on_complete = on_complete
-        self.started_at = started_at
-        self.suppress: dict[int, int] | None = None
-        self.groups: list | None = None
-        self.new_slots: list[Slot] = []
-        self.parts: list[Checkpoint] = []
-        self.partition_done = False
-        self.vms: list[VirtualMachine] = []
-        self.instances: list["OperatorInstance"] = []
-        self.pending_drains = 0
-        self.backup_vm: VirtualMachine | None = None
-        self.committed = False
-        self.aborted = False
-        self.finished = False
 
 
 class ScaleOutCoordinator:
-    """Implements Algorithm 3 on top of the state management primitives."""
+    """Builds backup-sourced :class:`ReconfigPlan`\\ s for the engine."""
 
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
-        #: In-flight operations keyed by the slot being replaced.
-        self._busy_slots: dict[int, str] = {}
-        self._active_ops: list[_Operation] = []
-        self.operations_started = 0
-        self.operations_completed = 0
-        self.operations_aborted = 0
+
+    @property
+    def _engine(self) -> "ReconfigurationEngine":
+        assert self.system.reconfig is not None
+        return self.system.reconfig
+
+    # Counters live in the engine; keep the historical names readable.
+    @property
+    def operations_started(self) -> int:
+        return self._engine.operations_started
+
+    @property
+    def operations_completed(self) -> int:
+        return self._engine.operations_completed
+
+    @property
+    def operations_aborted(self) -> int:
+        return self._engine.operations_aborted
 
     def is_busy(self, op_name: str) -> bool:
         """Whether any partition of ``op_name`` is being replaced."""
-        return op_name in self._busy_slots.values()
+        return self._engine.is_replacing(op_name)
 
     def is_busy_slot(self, slot_uid: int) -> bool:
         """Whether this specific slot is being replaced."""
-        return slot_uid in self._busy_slots
+        return self._engine.is_busy_slot(slot_uid)
 
     # ------------------------------------------------------------ scale out
 
@@ -117,260 +92,18 @@ class ScaleOutCoordinator:
         old = system.instance(slot_uid)
         if old is None:
             return False
-        if slot_uid in self._busy_slots:
-            return False
-        if system.scale_in is not None and system.scale_in.is_busy(old.op_name):
-            return False  # the operator is being merged right now
-        ckpt = system.backup_of(slot_uid)
-        if ckpt is None:
-            system.metrics.mark_event(
-                system.sim.now, "scale_out_aborted", f"{old.slot!r}: no backup"
-            )
-            return False
         is_recovery = failure_time is not None or not (old.alive and old.vm.alive)
-        if not is_recovery:
-            # Plain scale outs respect a global concurrency cap: freezing
-            # and replaying many partitions at once collapses throughput.
-            cap = system.config.scaling.max_concurrent_operations
-            if cap is not None and len(self._busy_slots) >= cap:
-                return False
-        op = _Operation(
-            old.op_name,
-            old.slot,
-            parallelism,
-            ckpt,
-            reason,
-            is_recovery,
-            failure_time,
-            on_complete,
-            system.sim.now,
+        plan = ReconfigPlan(
+            kind=KIND_RECOVERY if is_recovery else KIND_SCALE_OUT,
+            op_name=old.op_name,
+            old_slots=[old.slot],
+            parallelism=parallelism,
+            state_source=SOURCE_BACKUP,
+            reason=reason,
+            failure_time=failure_time,
+            on_complete=on_complete,
         )
-        # The bottleneck operator keeps processing while the new VMs and
-        # state partitions are prepared (§4.3: "it avoids adding further
-        # load to operator o"); it is only frozen at commit time.
-        self._busy_slots[slot_uid] = op.op_name
-        # Freeze upstream-buffer trimming for this slot: the checkpoint we
-        # will partition must stay covered by the buffered tuples even if
-        # the (still running) old instance keeps checkpointing meanwhile.
-        system.trim_locks.add(slot_uid)
-        self.operations_started += 1
-        system.metrics.mark_event(
-            system.sim.now,
-            "scale_out_started",
-            f"{old.slot!r} -> pi={parallelism} ({reason})",
-        )
-        self._active_ops.append(op)
-        for _ in range(parallelism):
-            system.pool.acquire(lambda vm, op=op: self._vm_ready(op, vm))
-        system.sim.schedule(_WATCHDOG_SECONDS, self._watchdog, op)
-        return True
-
-    def _prepare(self, op: _Operation) -> None:
-        """All VMs are ready: partition the *most recent* checkpoint.
-
-        Deferred until now so that the old instance kept checkpointing
-        (and upstream buffers kept being trimmed) while the operation
-        waited on VM provisioning — the replay window stays at most one
-        checkpoint interval regardless of how long acquisition took.
-        """
-        system = self.system
-        if op.aborted:
-            return
-        old = system.instances.get(op.old_slot.uid)
-        if old is not None and old.alive:
-            old.stop_checkpointing()
-        fresh = system.backup_of(op.old_slot.uid)
-        if fresh is not None:
-            op.ckpt = fresh
-        backup_vm = system.backup_locations.get(op.old_slot.uid)
-        if backup_vm is None or not backup_vm.alive:
-            self._abort(op, "backup VM unavailable")
-            return
-        op.backup_vm = backup_vm
-        backup_vm.on_failure(lambda _vm: self._abort(op, "backup VM failed"))
-        # Partitioning the checkpoint costs CPU *on the backup VM*, not on
-        # the overloaded operator (§4.3 benefit ii).
-        cfg = system.config.checkpoint
-        cost = cfg.serialize_base_seconds + len(op.ckpt.state) * (
-            cfg.serialize_seconds_per_entry
-        )
-        backup_vm.submit(cost, self._partitioned, op, backup_vm)
-
-    def _partitioned(self, op: _Operation, backup_vm: VirtualMachine) -> None:
-        if op.aborted:
-            return
-        system = self.system
-        routing = system.query_manager.routing_to(op.op_name)
-        owned = routing.intervals_of(op.old_slot.uid)
-        guide = None
-        if len(op.ckpt.state) >= 4 * op.parallelism:
-            guide = [stable_hash(key) for key in op.ckpt.state.keys()]
-        op.groups = split_interval_groups(owned, op.parallelism, guide)
-        op.new_slots = [
-            system.query_manager.new_slot(op.op_name, i)
-            for i in range(op.parallelism)
-        ]
-        op.parts = partition_checkpoint(
-            op.ckpt, op.groups, [slot.uid for slot in op.new_slots]
-        )
-        # Store each partition as the new partition's initial backup
-        # (Algorithm 2, line 8): the scale out itself is fault tolerant.
-        store = system.backup_stores.setdefault(backup_vm.vm_id, BackupStore())
-        for part in op.parts:
-            store.store(part)
-            system.backup_locations[part.slot_uid] = backup_vm
-        op.partition_done = True
-        self._maybe_transfer(op, backup_vm)
-
-    def _vm_ready(self, op: _Operation, vm: VirtualMachine) -> None:
-        if op.aborted:
-            self.system.pool.give_back(vm)
-            return
-        op.vms.append(vm)
-        if len(op.vms) == op.parallelism:
-            self._prepare(op)
-
-    def _maybe_transfer(self, op: _Operation, backup_vm: VirtualMachine) -> None:
-        if not op.partition_done or len(op.vms) < op.parallelism:
-            return
-        if getattr(op, "_transfers_started", False):
-            return
-        op._transfers_started = True
-        cfg = self.system.config.checkpoint
-        for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
-            size = part.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
-            self.system.network.send(
-                backup_vm, vm, size, self._restore_one, op, part, slot, vm
-            )
-
-    def _restore_one(
-        self, op: _Operation, part: Checkpoint, slot: Slot, vm: VirtualMachine
-    ) -> None:
-        if op.aborted:
-            self.system.pool.give_back(vm)
-            return
-        system = self.system
-        instance = system.deployment.deploy_replacement(slot, vm)
-        instance.restore_from(part)
-        system.deployment.configure_services(instance)
-        op.instances.append(instance)
-        if len(op.instances) == op.parallelism:
-            self._commit(op)
-
-    # --------------------------------------------------------------- commit
-
-    def _commit(self, op: _Operation) -> None:
-        system = self.system
-        qm = system.query_manager
-        op.committed = True
-        assert op.groups is not None
-
-        # Freeze the old instance now: everything it processed up to this
-        # instant was already emitted downstream, so the new partitions
-        # suppress re-emission for inputs at or below these positions
-        # (exactly-once hand-over) while still rebuilding state from them.
-        system.trim_locks.discard(op.old_slot.uid)
-        frozen = system.instances.get(op.old_slot.uid)
-        if frozen is not None and frozen.alive and frozen.vm.alive:
-            op.suppress = frozen.freeze_positions()
-        for instance in op.instances:
-            instance.set_suppression(op.suppress)
-
-        # Execution graph and authoritative routing state.
-        qm.replace_slots(op.op_name, [op.old_slot], op.new_slots)
-        replacements = [
-            (interval, slot.uid)
-            for group, slot in zip(op.groups, op.new_slots)
-            for interval in group
-        ]
-        old_routing = qm.routing_to(op.op_name)
-        new_routing = old_routing.replace_target(op.old_slot.uid, replacements)
-        qm.store_routing(op.op_name, new_routing)
-
-        # Retire the old instance and its backup (Algorithm 3, line 8;
-        # the VM is only released now that restore-state has completed).
-        old = system.instances.pop(op.old_slot.uid, None)
-        if old is not None and old.alive:
-            system.retire_backup_store(old.vm)
-            old.stop(release_vm=True)
-        system.drop_backup(op.old_slot.uid)
-        if system.detector is not None:
-            system.detector.tracker.forget(op.old_slot.uid)
-            system.detector.policy.forget_slot(op.old_slot.uid)
-
-        # Replay the restored output buffers to downstream operators
-        # (Algorithm 3, line 7); receivers drop what they already saw.
-        for instance in op.instances:
-            instance.replay_all_buffers()
-
-        # Update every upstream operator: stop, repartition routing and
-        # buffers, replay unprocessed tuples, restart (lines 9-14).
-        upstreams: list["OperatorInstance"] = []
-        for up_name in qm.upstream_of(op.op_name):
-            for slot in qm.slots_of(up_name):
-                upstream = system.live_instance(slot.uid)
-                if upstream is not None:
-                    upstreams.append(upstream)
-        sent: dict[int, int] = {slot.uid: 0 for slot in op.new_slots}
-        for upstream in upstreams:
-            upstream.pause()
-            upstream.set_routing(op.op_name, new_routing)
-            upstream.repartition_buffer(op.op_name)
-        for upstream in upstreams:
-            for slot in op.new_slots:
-                sent[slot.uid] += upstream.replay_buffer_to(
-                    slot.uid, flag_replay=True
-                )
-        op.pending_drains = len(op.instances)
-        for instance in op.instances:
-            instance.replay_mode = REPLAY_DEDUP
-            instance.expect_replays(
-                sent[instance.uid],
-                lambda op=op: self._one_drained(op),
-                flagged_only=True,
-            )
-        for upstream in upstreams:
-            upstream.resume()
-
-        system.record_vm_count()
-        kind = "recovery_restored" if op.is_recovery else "scale_out"
-        system.metrics.mark_event(
-            system.sim.now, kind, f"{op.op_name} pi={op.parallelism}"
-        )
-
-    def _one_drained(self, op: _Operation) -> None:
-        op.pending_drains -= 1
-        if op.pending_drains > 0 or op.finished:
-            return
-        self._finish(op)
-
-    def _finish(self, op: _Operation) -> None:
-        system = self.system
-        op.finished = True
-        if op in self._active_ops:
-            self._active_ops.remove(op)
-        for instance in op.instances:
-            instance.replay_mode = REPLAY_DROP
-        self._busy_slots.pop(op.old_slot.uid, None)
-        self.operations_completed += 1
-        origin = op.failure_time if op.failure_time is not None else op.started_at
-        duration = system.sim.now - origin
-        if op.is_recovery:
-            system.metrics.mark_event(
-                system.sim.now, "recovery_complete", f"{op.op_name} {duration:.3f}s"
-            )
-            system.metrics.time_series_for("recovery_time").record(
-                system.sim.now, duration
-            )
-        else:
-            system.metrics.mark_event(
-                system.sim.now, "scale_out_complete", f"{op.op_name} {duration:.3f}s"
-            )
-            system.metrics.time_series_for("scale_out_duration").record(
-                system.sim.now, duration
-            )
-        if op.on_complete is not None:
-            op.on_complete(duration)
+        return self._engine.submit(plan)
 
     # ------------------------------------------------------------- recovery
 
@@ -390,143 +123,21 @@ class ScaleOutCoordinator:
         failed = system.instance(slot_uid)
         if failed is None:
             return False
-        if slot_uid in self._busy_slots:
-            return False
-        ckpt = system.backup_of(slot_uid)
-        if ckpt is None:
-            system.metrics.mark_event(
-                system.sim.now, "unrecoverable", f"{failed.slot!r}: no backup"
-            )
-            return False
-        op = _Operation(
-            failed.op_name,
-            failed.slot,
-            1,
-            ckpt,
-            "failure",
-            True,
-            failure_time,
-            on_complete,
-            system.sim.now,
+        plan = ReconfigPlan(
+            kind=KIND_RECOVERY,
+            op_name=failed.op_name,
+            old_slots=[failed.slot],
+            parallelism=1,
+            state_source=SOURCE_BACKUP,
+            preserve_slots=True,
+            reason="failure",
+            failure_time=failure_time,
+            on_complete=on_complete,
         )
-        self._busy_slots[slot_uid] = op.op_name
-        system.trim_locks.add(slot_uid)
-        self.operations_started += 1
-        op.backup_vm = system.backup_locations.get(slot_uid)
-        self._active_ops.append(op)
-        if op.backup_vm is not None:
-            op.backup_vm.on_failure(
-                lambda _vm: self._abort(op, "backup VM failed")
-            )
-        system.metrics.mark_event(
-            system.sim.now, "recovery_started", repr(failed.slot)
-        )
-        system.pool.acquire(lambda vm: self._recovery_vm_ready(op, vm))
-        system.sim.schedule(_WATCHDOG_SECONDS, self._watchdog, op)
-        return True
-
-    def _recovery_vm_ready(self, op: _Operation, vm: VirtualMachine) -> None:
-        if op.aborted:
-            self.system.pool.give_back(vm)
-            return
-        system = self.system
-        backup_vm = op.backup_vm
-        if backup_vm is None or not backup_vm.alive:
-            self.system.pool.give_back(vm)
-            self._abort(op, "backup VM lost before restore")
-            return
-        cfg = system.config.checkpoint
-        size = op.ckpt.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
-        system.network.send(
-            backup_vm, vm, size, self._recovery_restore, op, vm
-        )
-
-    def _recovery_restore(self, op: _Operation, vm: VirtualMachine) -> None:
-        if op.aborted:
-            vm.release()
-            return
-        system = self.system
-        qm = system.query_manager
-        # A checkpoint that was in flight at crash time may have landed
-        # after recovery started; restore the freshest one available.
-        fresh = system.backup_of(op.old_slot.uid)
-        if fresh is not None:
-            op.ckpt = fresh
-        system.trim_locks.discard(op.old_slot.uid)
-        instance = system.deployment.deploy_replacement(op.old_slot, vm)
-        instance.restore_from(op.ckpt)
-        system.deployment.configure_services(instance)
-        op.committed = True
-        instance.replay_all_buffers()
-        upstreams: list["OperatorInstance"] = []
-        for up_name in qm.upstream_of(op.op_name):
-            for slot in qm.slots_of(up_name):
-                upstream = system.live_instance(slot.uid)
-                if upstream is not None and upstream.uid != instance.uid:
-                    upstreams.append(upstream)
-        for upstream in upstreams:
-            upstream.pause()
-        sent = 0
-        for upstream in upstreams:
-            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
-        op.pending_drains = 1
-        op.instances = [instance]
-        instance.replay_mode = REPLAY_DEDUP
-        instance.expect_replays(
-            sent, lambda: self._one_drained(op), flagged_only=True
-        )
-        for upstream in upstreams:
-            upstream.resume()
-        system.record_vm_count()
-        system.metrics.mark_event(
-            system.sim.now, "recovery_restored", repr(op.old_slot)
-        )
+        return self._engine.submit(plan)
 
     # ---------------------------------------------------------------- abort
 
     def abort_operations_on_backup_vm(self, vm: VirtualMachine) -> None:
         """Abort in-flight operations whose state lives on a retiring VM."""
-        for op in list(self._active_ops):
-            if (
-                op.backup_vm is not None
-                and op.backup_vm.vm_id == vm.vm_id
-                and not op.committed
-            ):
-                self._abort(op, "backup VM retired")
-
-    def _abort(self, op: _Operation, why: str) -> None:
-        if op.committed or op.aborted or op.finished:
-            return
-        system = self.system
-        op.aborted = True
-        self.operations_aborted += 1
-        self._busy_slots.pop(op.old_slot.uid, None)
-        system.trim_locks.discard(op.old_slot.uid)
-        # Re-arm checkpointing if the (still live) old instance had its
-        # daemon stopped during preparation.
-        survivor = system.instances.get(op.old_slot.uid)
-        if survivor is not None and survivor.alive:
-            survivor.start_checkpointing()
-        if op in self._active_ops:
-            self._active_ops.remove(op)
-        # The frozen bottleneck continues unaffected (§4.3 benefit iii).
-        old = system.instance(op.old_slot.uid)
-        if old is not None and old.alive:
-            old.resume()
-        for vm in op.vms:
-            self.system.pool.give_back(vm)
-        system.metrics.mark_event(
-            system.sim.now, "scale_out_aborted", f"{op.op_name}: {why}"
-        )
-        if op.is_recovery and system.recovery is not None:
-            # The operator is still dead; retry once a fresh backup exists.
-            failed = system.instances.get(op.old_slot.uid)
-            if failed is not None and not failed.alive:
-                assert op.failure_time is not None
-                system.sim.schedule(
-                    1.0, system.recovery.retry_recovery, failed, op.failure_time
-                )
-
-    def _watchdog(self, op: _Operation) -> None:
-        if not op.committed and not op.finished:
-            self._abort(op, "watchdog timeout")
+        self._engine.abort_operations_on_backup_vm(vm)

@@ -1,0 +1,1068 @@
+"""The phase-driven reconfiguration engine.
+
+The paper's central claim is that scale out and failure recovery are *the
+same mechanism* built on the shared state-management primitives
+(Algorithms 1-3): recovery is "scale out of a failed operator".  This
+module is that mechanism.  Every topology change — scale out of a
+bottleneck, scale in of an under-utilised pair, serial and parallel
+checkpoint recovery, the rebuild-based baseline recoveries, and aborts
+triggered by backup-VM failures — executes as one
+:class:`Reconfiguration` driven by the :class:`ReconfigurationEngine`
+through an explicit phase state machine::
+
+    PLAN -> ACQUIRE_VMS -> CHECKPOINT_PARTITION -> TRANSFER -> RESTORE
+         -> COMMIT -> REPLAY_DRAIN -> DONE (or ABORTED from any phase
+                                            before COMMIT)
+
+What each phase means depends on the plan's *state source*:
+
+* ``backup`` (R+SM, Algorithm 3) — the replacement state comes from the
+  partition's backed-up checkpoint: CHECKPOINT_PARTITION splits it on
+  the backup VM's CPU (or passes it through whole for slot-preserving
+  serial recovery), TRANSFER ships the parts over the network, RESTORE
+  deploys the new partitions, COMMIT swaps routing and replays buffers,
+  REPLAY_DRAIN waits until the new partitions have re-processed every
+  replayed tuple.
+* ``merge`` (scale in, §3.3) — PLAN quiesces the two partitions behind
+  paused upstreams, CHECKPOINT_PARTITION merges their live snapshots,
+  RESTORE deploys the union onto one pooled VM.
+* ``fresh`` (upstream backup, §6.2) — no state moves: RESTORE deploys a
+  zero-state replacement under a fresh slot uid and REPLAY_DRAIN counts
+  the upstream buffer replays that rebuild it.
+* ``source_replay`` (§6.2) — like ``fresh`` but the sources replay their
+  buffers through the whole pipeline; REPLAY_DRAIN polls for pipeline
+  quiescence instead of counting.
+
+Policy objects (:class:`~repro.scaling.coordinator.ScaleOutCoordinator`,
+:class:`~repro.scaling.scale_in.ScaleInCoordinator`, the recovery
+strategies in :mod:`repro.fault.strategies`) are thin adapters that
+construct a :class:`ReconfigPlan` and submit it here.  Every
+reconfiguration records a :class:`~repro.sim.metrics.PhaseTimeline`
+in the metrics hub, and each phase can carry a deadline after which the
+operation aborts (per-plan ``phase_timeouts`` or the engine-wide
+``default_phase_timeouts``).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import TYPE_CHECKING, Callable
+
+from repro.core.checkpoint import BackupStore, Checkpoint
+from repro.core.execution import Slot
+from repro.core.partition import partition_checkpoint, split_interval_groups
+from repro.core.tuples import stable_hash
+from repro.runtime.instance import REPLAY_ACCEPT, REPLAY_DEDUP, REPLAY_DROP
+from repro.sim.metrics import PhaseTimeline
+from repro.sim.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.instance import OperatorInstance
+    from repro.runtime.system import StreamProcessingSystem
+
+# --------------------------------------------------------------- phases
+
+PHASE_PLAN = "PLAN"
+PHASE_ACQUIRE_VMS = "ACQUIRE_VMS"
+PHASE_CHECKPOINT_PARTITION = "CHECKPOINT_PARTITION"
+PHASE_TRANSFER = "TRANSFER"
+PHASE_RESTORE = "RESTORE"
+PHASE_COMMIT = "COMMIT"
+PHASE_REPLAY_DRAIN = "REPLAY_DRAIN"
+PHASE_DONE = "DONE"
+PHASE_ABORTED = "ABORTED"
+
+#: Non-terminal phases, in execution order.
+PHASE_ORDER = (
+    PHASE_PLAN,
+    PHASE_ACQUIRE_VMS,
+    PHASE_CHECKPOINT_PARTITION,
+    PHASE_TRANSFER,
+    PHASE_RESTORE,
+    PHASE_COMMIT,
+    PHASE_REPLAY_DRAIN,
+)
+
+# --------------------------------------------------------- state sources
+
+#: Restore from the partition's backed-up checkpoint (R+SM).
+SOURCE_BACKUP = "backup"
+#: Merge the live snapshots of two quiesced partitions (scale in).
+SOURCE_MERGE = "merge"
+#: Fresh state, rebuilt from upstream buffer replays (upstream backup).
+SOURCE_FRESH = "fresh"
+#: Fresh state, rebuilt by replaying the sources through the pipeline.
+SOURCE_SOURCE_REPLAY = "source_replay"
+
+# ----------------------------------------------------------------- kinds
+
+KIND_SCALE_OUT = "scale_out"
+KIND_SCALE_IN = "scale_in"
+KIND_RECOVERY = "recovery"
+
+#: Abort an in-flight reconfiguration that has not committed after this
+#: long (overall watchdog; per-phase deadlines can be tighter).
+_WATCHDOG_SECONDS = 600.0
+
+#: Quiescence poll period while draining two partitions for a merge.
+_MERGE_DRAIN_POLL = 0.1
+#: Consecutive idle polls required before merging.
+_MERGE_DRAIN_QUIET = 2
+
+#: Poll period for source-replay pipeline-quiescence detection.
+_SR_POLL = 0.25
+#: Consecutive quiet polls before declaring source-replay recovery done.
+_SR_QUIET_POLLS = 2
+
+
+@dataclass
+class ReconfigPlan:
+    """What a policy adapter asks the engine to do.
+
+    A plan names the slots being replaced, the target parallelism, and
+    where the replacement state comes from; the engine supplies the
+    *how* (the shared phase machinery).
+    """
+
+    kind: str
+    op_name: str
+    #: Slots being replaced: one for scale out / recovery, two (an
+    #: adjacent pair) for scale in.
+    old_slots: list[Slot]
+    #: Number of replacement partitions.
+    parallelism: int = 1
+    state_source: str = SOURCE_BACKUP
+    #: Keep the replaced slot's uid (serial recovery: downstream
+    #: duplicate filters keep working exactly, §3.2).
+    preserve_slots: bool = False
+    reason: str = ""
+    #: When recovering: the failure instant, so the recorded duration
+    #: spans crash -> fully drained.
+    failure_time: float | None = None
+    on_complete: Callable[[float], None] | None = None
+    #: Event-detail prefix for the baseline strategies ("UB" / "SR").
+    label: str = ""
+    #: Per-phase deadlines in seconds; overrides the engine defaults.
+    phase_timeouts: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.kind == KIND_RECOVERY
+
+
+class Reconfiguration:
+    """Mutable context for one in-flight reconfiguration."""
+
+    def __init__(
+        self, plan: ReconfigPlan, timeline: PhaseTimeline, started_at: float
+    ) -> None:
+        self.plan = plan
+        self.timeline = timeline
+        self.started_at = started_at
+        self.phase = PHASE_PLAN
+        # Backup-sourced state.
+        self.ckpt: Checkpoint | None = None
+        self.backup_vm: VirtualMachine | None = None
+        self.groups: list | None = None
+        self.parts: list[Checkpoint] = []
+        self.suppress: dict[int, int] | None = None
+        # Merge-sourced state.
+        self.old_instances: list["OperatorInstance"] = []
+        self.upstreams: list["OperatorInstance"] = []
+        self.quiet_polls = 0
+        self.merged_ckpt: Checkpoint | None = None
+        # Source-replay state.
+        self.marked: list["OperatorInstance"] = []
+        # Shared.
+        self.vms: list[VirtualMachine] = []
+        self.new_slots: list[Slot] = []
+        self.instances: list["OperatorInstance"] = []
+        self.pending_drains = 0
+        self.committed = False
+        self.aborted = False
+        self.finished = False
+
+    @property
+    def old_slot(self) -> Slot:
+        return self.plan.old_slots[0]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        return (
+            f"Reconfiguration({self.plan.kind} {self.plan.op_name} "
+            f"@ {self.phase})"
+        )
+
+
+class ReconfigurationEngine:
+    """Drives every topology change through the shared phase machine."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        #: Slot-replacing operations in flight, keyed by the replaced
+        #: slot's uid (scale out and every recovery flavour).
+        self._busy_slots: dict[int, str] = {}
+        #: Operators with a merge (scale in) in flight.
+        self._busy_merges: set[str] = set()
+        self._active: list[Reconfiguration] = []
+        # Slot-replacement counters (scale out + recoveries).
+        self.operations_started = 0
+        self.operations_completed = 0
+        self.operations_aborted = 0
+        # Merge counters.
+        self.merges_completed = 0
+        self.merges_aborted = 0
+        self.watchdog_seconds = _WATCHDOG_SECONDS
+        #: Engine-wide per-phase deadlines, overridable per plan.
+        self.default_phase_timeouts: dict[str, float] = {}
+
+    # ------------------------------------------------------------- queries
+
+    def is_replacing(self, op_name: str) -> bool:
+        """Whether any slot of ``op_name`` is being replaced."""
+        return op_name in self._busy_slots.values()
+
+    def is_merging(self, op_name: str) -> bool:
+        """Whether a merge of ``op_name`` is in flight."""
+        return op_name in self._busy_merges
+
+    def is_busy_slot(self, slot_uid: int) -> bool:
+        """Whether this specific slot is being replaced."""
+        return slot_uid in self._busy_slots
+
+    def active_operations(self) -> list[Reconfiguration]:
+        """In-flight reconfigurations (testing/inspection hook)."""
+        return list(self._active)
+
+    # -------------------------------------------------------------- submit
+
+    def submit(self, plan: ReconfigPlan) -> bool:
+        """Validate a plan and start driving it; returns whether it began.
+
+        This is the PLAN phase: admission checks, busy-marking, trim
+        locks and the start-of-operation event all happen here,
+        synchronously.
+        """
+        if plan.state_source == SOURCE_MERGE:
+            return self._submit_merge(plan)
+        return self._submit_slot_replacement(plan)
+
+    def _submit_slot_replacement(self, plan: ReconfigPlan) -> bool:
+        system = self.system
+        slot_uid = plan.old_slots[0].uid
+        old = system.instance(slot_uid)
+        if old is None:
+            return False
+        if slot_uid in self._busy_slots:
+            return False
+        if (
+            plan.state_source == SOURCE_BACKUP
+            and not plan.preserve_slots
+            and self.is_merging(plan.op_name)
+        ):
+            return False  # the operator is being merged right now
+        ckpt: Checkpoint | None = None
+        if plan.state_source == SOURCE_BACKUP:
+            ckpt = system.backup_of(slot_uid)
+            if ckpt is None:
+                kind = "unrecoverable" if plan.preserve_slots else "scale_out_aborted"
+                system.metrics.mark_event(
+                    system.sim.now, kind, f"{old.slot!r}: no backup"
+                )
+                return False
+            if not plan.is_recovery:
+                # Plain scale outs respect a global concurrency cap:
+                # freezing and replaying many partitions at once
+                # collapses throughput.
+                cap = system.config.scaling.max_concurrent_operations
+                if cap is not None and len(self._busy_slots) >= cap:
+                    return False
+        op = Reconfiguration(
+            plan,
+            system.metrics.start_phase_timeline(
+                plan.kind, plan.op_name, [slot_uid], system.sim.now
+            ),
+            system.sim.now,
+        )
+        op.ckpt = ckpt
+        op.timeline.enter(PHASE_PLAN, system.sim.now)
+        self._busy_slots[slot_uid] = plan.op_name
+        if plan.state_source == SOURCE_BACKUP:
+            # Freeze upstream-buffer trimming for this slot: the
+            # checkpoint we will partition must stay covered by the
+            # buffered tuples even if the (still running) old instance
+            # keeps checkpointing meanwhile.
+            system.trim_locks.add(slot_uid)
+            if plan.preserve_slots:
+                op.backup_vm = system.backup_locations.get(slot_uid)
+                if op.backup_vm is not None:
+                    op.backup_vm.on_failure(
+                        lambda _vm: self._abort(op, "backup VM failed")
+                    )
+        self.operations_started += 1
+        self._mark_started(op, old)
+        self._active.append(op)
+        self._arm_deadline(op, PHASE_PLAN)
+        system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        self._enter_acquire_vms(op)
+        return True
+
+    def _mark_started(self, op: Reconfiguration, old: "OperatorInstance") -> None:
+        system = self.system
+        plan = op.plan
+        if plan.state_source != SOURCE_BACKUP:
+            system.metrics.mark_event(
+                system.sim.now,
+                "recovery_started",
+                f"{plan.label} {old.slot!r}".strip(),
+            )
+        elif plan.preserve_slots:
+            system.metrics.mark_event(
+                system.sim.now, "recovery_started", repr(old.slot)
+            )
+        else:
+            system.metrics.mark_event(
+                system.sim.now,
+                "scale_out_started",
+                f"{old.slot!r} -> pi={plan.parallelism} ({plan.reason})",
+            )
+
+    def _submit_merge(self, plan: ReconfigPlan) -> bool:
+        system = self.system
+        if plan.op_name in self._busy_merges:
+            return False
+        if self.is_replacing(plan.op_name):
+            return False
+        instances = [system.live_instance(slot.uid) for slot in plan.old_slots]
+        if any(inst is None for inst in instances):
+            return False
+        op = Reconfiguration(
+            plan,
+            system.metrics.start_phase_timeline(
+                plan.kind,
+                plan.op_name,
+                [slot.uid for slot in plan.old_slots],
+                system.sim.now,
+            ),
+            system.sim.now,
+        )
+        op.old_instances = instances  # type: ignore[assignment]
+        op.timeline.enter(PHASE_PLAN, system.sim.now)
+        for up_name in system.query_manager.upstream_of(plan.op_name):
+            for slot in system.query_manager.slots_of(up_name):
+                upstream = system.live_instance(slot.uid)
+                if upstream is not None:
+                    op.upstreams.append(upstream)
+        self._busy_merges.add(plan.op_name)
+        left, right = op.old_instances
+        system.metrics.mark_event(
+            system.sim.now, "scale_in_started", f"{left.slot!r} + {right.slot!r}"
+        )
+        # Stop the upstreams: new tuples buffer there while the two
+        # partitions drain what is already queued or in flight (the
+        # quiesce half of quiesce-and-merge, Alg. 3 style).
+        for upstream in op.upstreams:
+            upstream.pause()
+        self._active.append(op)
+        self._arm_deadline(op, PHASE_PLAN)
+        system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        system.sim.schedule(_MERGE_DRAIN_POLL, self._poll_merge_drain, op)
+        return True
+
+    # -------------------------------------------------- phase transitions
+
+    def _enter(self, op: Reconfiguration, phase: str) -> None:
+        op.phase = phase
+        op.timeline.enter(phase, self.system.sim.now)
+        self._arm_deadline(op, phase)
+
+    def _arm_deadline(self, op: Reconfiguration, phase: str) -> None:
+        timeout = op.plan.phase_timeouts.get(
+            phase, self.default_phase_timeouts.get(phase)
+        )
+        if timeout is not None:
+            self.system.sim.schedule(timeout, self._phase_deadline, op, phase)
+
+    def _phase_deadline(self, op: Reconfiguration, phase: str) -> None:
+        """A phase outlived its deadline: abort unless already past it."""
+        if op.phase != phase or op.committed or op.aborted or op.finished:
+            return
+        self._abort(op, f"{phase} deadline exceeded")
+
+    def _watchdog(self, op: Reconfiguration) -> None:
+        if not op.committed and not op.finished:
+            self._abort(op, "watchdog timeout")
+
+    # --------------------------------------------------------- ACQUIRE_VMS
+
+    def _enter_acquire_vms(self, op: Reconfiguration) -> None:
+        self._enter(op, PHASE_ACQUIRE_VMS)
+        for _ in range(op.plan.parallelism):
+            self.system.pool.acquire(lambda vm, op=op: self._vm_ready(op, vm))
+
+    def _vm_ready(self, op: Reconfiguration, vm: VirtualMachine) -> None:
+        if op.aborted:
+            self.system.pool.give_back(vm)
+            return
+        op.vms.append(vm)
+        if len(op.vms) == op.plan.parallelism:
+            self._enter_checkpoint_partition(op)
+
+    # ------------------------------------------------ CHECKPOINT_PARTITION
+
+    def _enter_checkpoint_partition(self, op: Reconfiguration) -> None:
+        self._enter(op, PHASE_CHECKPOINT_PARTITION)
+        source = op.plan.state_source
+        if source == SOURCE_BACKUP:
+            if op.plan.preserve_slots:
+                self._prepare_whole_checkpoint(op)
+            else:
+                self._prepare_partitioning(op)
+        elif source == SOURCE_MERGE:
+            self._merge_snapshots(op)
+        else:
+            # Fresh-state rebuilds have no checkpoint to prepare.
+            self._enter_transfer(op)
+
+    def _prepare_whole_checkpoint(self, op: Reconfiguration) -> None:
+        """Serial recovery: the backed-up checkpoint passes through whole,
+        and the replacement keeps the failed slot's uid."""
+        if op.backup_vm is None or not op.backup_vm.alive:
+            self._abort(op, "backup VM lost before restore")
+            return
+        assert op.ckpt is not None
+        op.new_slots = [op.old_slot]
+        op.parts = [op.ckpt]
+        self._enter_transfer(op)
+
+    def _prepare_partitioning(self, op: Reconfiguration) -> None:
+        """All VMs are ready: partition the *most recent* checkpoint.
+
+        Deferred until now so that the old instance kept checkpointing
+        (and upstream buffers kept being trimmed) while the operation
+        waited on VM provisioning — the replay window stays at most one
+        checkpoint interval regardless of how long acquisition took.
+        """
+        system = self.system
+        if op.aborted:
+            return
+        old = system.instances.get(op.old_slot.uid)
+        if old is not None and old.alive:
+            old.stop_checkpointing()
+        fresh = system.backup_of(op.old_slot.uid)
+        if fresh is not None:
+            op.ckpt = fresh
+        backup_vm = system.backup_locations.get(op.old_slot.uid)
+        if backup_vm is None or not backup_vm.alive:
+            self._abort(op, "backup VM unavailable")
+            return
+        op.backup_vm = backup_vm
+        backup_vm.on_failure(lambda _vm: self._abort(op, "backup VM failed"))
+        # Partitioning the checkpoint costs CPU *on the backup VM*, not on
+        # the overloaded operator (§4.3 benefit ii).
+        cfg = system.config.checkpoint
+        assert op.ckpt is not None
+        cost = cfg.serialize_base_seconds + len(op.ckpt.state) * (
+            cfg.serialize_seconds_per_entry
+        )
+        backup_vm.submit(cost, self._partitioned, op, backup_vm)
+
+    def _partitioned(self, op: Reconfiguration, backup_vm: VirtualMachine) -> None:
+        if op.aborted:
+            return
+        system = self.system
+        plan = op.plan
+        assert op.ckpt is not None
+        routing = system.query_manager.routing_to(plan.op_name)
+        owned = routing.intervals_of(op.old_slot.uid)
+        guide = None
+        if len(op.ckpt.state) >= 4 * plan.parallelism:
+            guide = [stable_hash(key) for key in op.ckpt.state.keys()]
+        op.groups = split_interval_groups(owned, plan.parallelism, guide)
+        op.new_slots = [
+            system.query_manager.new_slot(plan.op_name, i)
+            for i in range(plan.parallelism)
+        ]
+        op.timeline.add_slots([slot.uid for slot in op.new_slots])
+        op.parts = partition_checkpoint(
+            op.ckpt, op.groups, [slot.uid for slot in op.new_slots]
+        )
+        # Store each partition as the new partition's initial backup
+        # (Algorithm 2, line 8): the scale out itself is fault tolerant.
+        store = system.backup_stores.setdefault(backup_vm.vm_id, BackupStore())
+        for part in op.parts:
+            store.store(part)
+            system.backup_locations[part.slot_uid] = backup_vm
+        self._enter_transfer(op)
+
+    def _merge_snapshots(self, op: Reconfiguration) -> None:
+        """Merge the quiesced pair's live state (scale in, §3.3)."""
+        system = self.system
+        left, right = op.old_instances
+        if not (left.vm.alive and right.vm.alive):
+            self._abort(op, "partition failed before restore")
+            return
+        operator = system.query_manager.query.operator(op.plan.op_name)  # type: ignore[union-attr]
+        merge_value = (
+            operator.merge_values if operator.stateful else (lambda a, b: a)
+        )
+        merged_state = left.state.snapshot().merge(
+            right.state.snapshot(), merge_value
+        )
+        buffers = {name: buf.snapshot() for name, buf in left.buffers.items()}
+        for name, buf in right.buffers.items():
+            if name in buffers:
+                for dest in buf.destinations():
+                    for tup in buf.tuples_for(dest):
+                        buffers[name].append(dest, tup)
+            else:
+                buffers[name] = buf.snapshot()
+        new_slot = system.query_manager.new_slot(
+            op.plan.op_name, left.slot.index
+        )
+        op.new_slots = [new_slot]
+        op.timeline.add_slots([new_slot.uid])
+        op.merged_ckpt = Checkpoint(
+            op_name=op.plan.op_name,
+            slot_uid=new_slot.uid,
+            state=merged_state,
+            buffers=buffers,
+            taken_at=system.sim.now,
+            seq=max(left._ckpt_seq, right._ckpt_seq) + 1,
+        )
+        self._enter_transfer(op)
+
+    def _poll_merge_drain(self, op: Reconfiguration) -> None:
+        system = self.system
+        if op.aborted:
+            return
+        left, right = op.old_instances
+        if not (left.alive and left.vm.alive and right.alive and right.vm.alive):
+            self._abort(op, "partition failed while draining")
+            return
+        idle = left.is_quiescent() and right.is_quiescent()
+        op.quiet_polls = op.quiet_polls + 1 if idle else 0
+        if op.quiet_polls < _MERGE_DRAIN_QUIET:
+            system.sim.schedule(_MERGE_DRAIN_POLL, self._poll_merge_drain, op)
+            return
+        self._enter_acquire_vms(op)
+
+    # ------------------------------------------------------------ TRANSFER
+
+    def _enter_transfer(self, op: Reconfiguration) -> None:
+        self._enter(op, PHASE_TRANSFER)
+        if op.plan.state_source != SOURCE_BACKUP:
+            # Merged state restores on the coordinator (no modelled copy);
+            # fresh rebuilds have nothing to move.  Pass through.
+            self._enter_restore(op)
+            return
+        cfg = self.system.config.checkpoint
+        assert op.backup_vm is not None
+        for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
+            size = part.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+            self.system.network.send(
+                op.backup_vm, vm, size, self._restore_one, op, part, slot, vm
+            )
+
+    # ------------------------------------------------------------- RESTORE
+
+    def _enter_restore(self, op: Reconfiguration) -> None:
+        self._enter(op, PHASE_RESTORE)
+        source = op.plan.state_source
+        if source == SOURCE_MERGE:
+            self._restore_merged(op)
+        elif source in (SOURCE_FRESH, SOURCE_SOURCE_REPLAY):
+            self._restore_fresh(op)
+        # SOURCE_BACKUP restores arrive per-part via _restore_one.
+
+    def _restore_one(
+        self, op: Reconfiguration, part: Checkpoint, slot: Slot, vm: VirtualMachine
+    ) -> None:
+        """One state partition arrived at its VM: deploy and restore."""
+        if op.aborted:
+            # The abort already returned every VM it knew about; only
+            # give this one back if it somehow escaped that sweep.
+            if vm in op.vms:
+                op.vms.remove(vm)
+                self.system.pool.give_back(vm)
+            return
+        system = self.system
+        if op.phase == PHASE_TRANSFER:
+            self._enter(op, PHASE_RESTORE)
+        if op.plan.preserve_slots:
+            # A checkpoint that was in flight at crash time may have
+            # landed after recovery started; restore the freshest one.
+            fresh = system.backup_of(op.old_slot.uid)
+            if fresh is not None:
+                part = fresh
+            system.trim_locks.discard(op.old_slot.uid)
+        instance = system.deployment.deploy_replacement(slot, vm)
+        instance.restore_from(part)
+        system.deployment.configure_services(instance)
+        op.instances.append(instance)
+        if len(op.instances) == op.plan.parallelism:
+            self._enter_commit(op)
+
+    def _restore_merged(self, op: Reconfiguration) -> None:
+        system = self.system
+        left, right = op.old_instances
+        if not (left.vm.alive and right.vm.alive):
+            self._abort(op, "partition failed before restore")
+            return
+        assert op.merged_ckpt is not None
+        vm = op.vms[0]
+        instance = system.deployment.build_instance(op.new_slots[0], vm)
+        system.deployment.wire_routing(instance)
+        instance.restore_from(op.merged_ckpt)
+        system.deployment.configure_services(instance)
+        op.instances = [instance]
+        self._enter_commit(op)
+
+    def _restore_fresh(self, op: Reconfiguration) -> None:
+        """Create a fresh-state replacement under a *new* slot uid.
+
+        Rebuild-based strategies re-emit results from a zeroed output
+        clock; a new slot identity keeps downstream duplicate filters
+        from wrongly discarding those emissions.
+        """
+        system = self.system
+        qm = system.query_manager
+        plan = op.plan
+        failed = system.instances.get(op.old_slot.uid)
+        if failed is None:
+            self._abort(op, "failed instance vanished before restore")
+            return
+        vm = op.vms[0]
+        new_slot = qm.new_slot(plan.op_name, failed.slot.index)
+        op.new_slots = [new_slot]
+        op.timeline.add_slots([new_slot.uid])
+        qm.replace_slots(plan.op_name, [failed.slot], [new_slot])
+        new_routing = qm.routing_to(plan.op_name).reassign(
+            failed.uid, new_slot.uid
+        )
+        qm.store_routing(plan.op_name, new_routing)
+        system.instances.pop(failed.uid, None)
+        instance = system.deployment.deploy_replacement(new_slot, vm)
+        system.deployment.configure_services(instance)
+        for up_name in qm.upstream_of(plan.op_name):
+            for slot in qm.slots_of(up_name):
+                upstream = system.live_instance(slot.uid)
+                if upstream is not None:
+                    upstream.set_routing(plan.op_name, new_routing)
+                    upstream.repartition_buffer(plan.op_name)
+        if system.detector is not None:
+            system.detector.tracker.forget(failed.uid)
+            system.detector.policy.forget_slot(failed.uid)
+        op.instances = [instance]
+        if plan.state_source == SOURCE_SOURCE_REPLAY:
+            self._mark_replay_path(op, instance)
+        self._enter_commit(op)
+
+    def _mark_replay_path(
+        self, op: Reconfiguration, instance: "OperatorInstance"
+    ) -> None:
+        """Put the rebuilt operator and its ancestors into replay-accept
+        mode; healthy partitions elsewhere keep dropping flagged tuples."""
+        system = self.system
+        query = system.query_manager.query
+        assert query is not None
+        ancestors: set[str] = set()
+        frontier = [instance.op_name]
+        while frontier:
+            name = frontier.pop()
+            for up in query.upstream_of(name):
+                if up not in ancestors:
+                    ancestors.add(up)
+                    frontier.append(up)
+        op.marked = [instance]
+        instance.replay_mode = REPLAY_ACCEPT
+        for name in ancestors:
+            if query.is_source(name):
+                continue
+            for inst in system.instances_of(name):
+                if inst.alive:
+                    inst.replay_mode = REPLAY_ACCEPT
+                    op.marked.append(inst)
+
+    # -------------------------------------------------------------- COMMIT
+
+    def _enter_commit(self, op: Reconfiguration) -> None:
+        self._enter(op, PHASE_COMMIT)
+        source = op.plan.state_source
+        if source == SOURCE_BACKUP:
+            if op.plan.preserve_slots:
+                self._commit_preserved(op)
+            else:
+                self._commit_partitioned(op)
+        elif source == SOURCE_MERGE:
+            self._commit_merged(op)
+        elif source == SOURCE_FRESH:
+            self._commit_fresh(op)
+        else:
+            self._commit_source_replay(op)
+
+    def _commit_partitioned(self, op: Reconfiguration) -> None:
+        """Swap routing to the new partitions and replay (Alg. 3 l. 7-14)."""
+        system = self.system
+        qm = system.query_manager
+        plan = op.plan
+        op.committed = True
+        assert op.groups is not None
+
+        # Freeze the old instance now: everything it processed up to this
+        # instant was already emitted downstream, so the new partitions
+        # suppress re-emission for inputs at or below these positions
+        # (exactly-once hand-over) while still rebuilding state from them.
+        system.trim_locks.discard(op.old_slot.uid)
+        frozen = system.instances.get(op.old_slot.uid)
+        if frozen is not None and frozen.alive and frozen.vm.alive:
+            op.suppress = frozen.freeze_positions()
+        for instance in op.instances:
+            instance.set_suppression(op.suppress)
+
+        # Execution graph and authoritative routing state.
+        qm.replace_slots(plan.op_name, [op.old_slot], op.new_slots)
+        replacements = [
+            (interval, slot.uid)
+            for group, slot in zip(op.groups, op.new_slots)
+            for interval in group
+        ]
+        old_routing = qm.routing_to(plan.op_name)
+        new_routing = old_routing.replace_target(op.old_slot.uid, replacements)
+        qm.store_routing(plan.op_name, new_routing)
+
+        # Retire the old instance and its backup (Algorithm 3, line 8;
+        # the VM is only released now that restore-state has completed).
+        old = system.instances.pop(op.old_slot.uid, None)
+        if old is not None and old.alive:
+            system.retire_backup_store(old.vm)
+            old.stop(release_vm=True)
+        system.drop_backup(op.old_slot.uid)
+        if system.detector is not None:
+            system.detector.tracker.forget(op.old_slot.uid)
+            system.detector.policy.forget_slot(op.old_slot.uid)
+
+        # Replay the restored output buffers to downstream operators
+        # (Algorithm 3, line 7); receivers drop what they already saw.
+        for instance in op.instances:
+            instance.replay_all_buffers()
+
+        # Update every upstream operator: stop, repartition routing and
+        # buffers, replay unprocessed tuples, restart (lines 9-14).
+        upstreams: list["OperatorInstance"] = []
+        for up_name in qm.upstream_of(plan.op_name):
+            for slot in qm.slots_of(up_name):
+                upstream = system.live_instance(slot.uid)
+                if upstream is not None:
+                    upstreams.append(upstream)
+        sent: dict[int, int] = {slot.uid: 0 for slot in op.new_slots}
+        for upstream in upstreams:
+            upstream.pause()
+            upstream.set_routing(plan.op_name, new_routing)
+            upstream.repartition_buffer(plan.op_name)
+        for upstream in upstreams:
+            for slot in op.new_slots:
+                sent[slot.uid] += upstream.replay_buffer_to(
+                    slot.uid, flag_replay=True
+                )
+        self._enter(op, PHASE_REPLAY_DRAIN)
+        op.pending_drains = len(op.instances)
+        for instance in op.instances:
+            instance.replay_mode = REPLAY_DEDUP
+            instance.expect_replays(
+                sent[instance.uid],
+                lambda op=op: self._one_drained(op),
+                flagged_only=True,
+            )
+        for upstream in upstreams:
+            upstream.resume()
+
+        system.record_vm_count()
+        kind = "recovery_restored" if plan.is_recovery else "scale_out"
+        system.metrics.mark_event(
+            system.sim.now, kind, f"{plan.op_name} pi={plan.parallelism}"
+        )
+
+    def _commit_preserved(self, op: Reconfiguration) -> None:
+        """Serial recovery hand-over: same slot, restored τ, replays."""
+        system = self.system
+        qm = system.query_manager
+        op.committed = True
+        instance = op.instances[0]
+        instance.replay_all_buffers()
+        upstreams: list["OperatorInstance"] = []
+        for up_name in qm.upstream_of(op.plan.op_name):
+            for slot in qm.slots_of(up_name):
+                upstream = system.live_instance(slot.uid)
+                if upstream is not None and upstream.uid != instance.uid:
+                    upstreams.append(upstream)
+        for upstream in upstreams:
+            upstream.pause()
+        sent = 0
+        for upstream in upstreams:
+            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
+        self._enter(op, PHASE_REPLAY_DRAIN)
+        op.pending_drains = 1
+        instance.replay_mode = REPLAY_DEDUP
+        instance.expect_replays(
+            sent, lambda: self._one_drained(op), flagged_only=True
+        )
+        for upstream in upstreams:
+            upstream.resume()
+        system.record_vm_count()
+        system.metrics.mark_event(
+            system.sim.now, "recovery_restored", repr(op.old_slot)
+        )
+
+    def _commit_merged(self, op: Reconfiguration) -> None:
+        system = self.system
+        qm = system.query_manager
+        plan = op.plan
+        op.committed = True
+        left, right = op.old_instances
+        instance = op.instances[0]
+        new_uid = instance.uid
+
+        qm.replace_slots(
+            plan.op_name, [left.slot, right.slot], [op.new_slots[0]]
+        )
+        routing = qm.routing_to(plan.op_name)
+        routing = routing.reassign(left.uid, new_uid)
+        routing = routing.merge_targets(new_uid, right.uid)
+        qm.store_routing(plan.op_name, routing)
+
+        # Initial backup for the merged partition (merge is fault tolerant
+        # from the instant it commits).
+        backup_vm = system.choose_backup_vm(instance)
+        if backup_vm is not None:
+            store = system.backup_stores.setdefault(
+                backup_vm.vm_id, BackupStore()
+            )
+            store.store(op.merged_ckpt)
+            system.backup_locations[new_uid] = backup_vm
+
+        for old in (left, right):
+            system.instances.pop(old.uid, None)
+            system.retire_backup_store(old.vm)
+            old.stop(release_vm=True)
+            system.drop_backup(old.uid)
+            if system.detector is not None:
+                system.detector.tracker.forget(old.uid)
+                system.detector.policy.forget_slot(old.uid)
+
+        for upstream in op.upstreams:
+            if not upstream.alive:
+                continue
+            upstream.set_routing(plan.op_name, routing)
+            upstream.repartition_buffer(plan.op_name)
+            upstream.resume()
+        system.record_vm_count()
+        # Merges quiesced before committing: nothing left to drain.
+        self._enter(op, PHASE_REPLAY_DRAIN)
+        self._finish(op)
+
+    def _commit_fresh(self, op: Reconfiguration) -> None:
+        """Upstream backup: replay upstream buffers into the fresh state.
+
+        Unlike R+SM's coordinated scale-out path, plain upstream backup
+        does not stop upstream operators: replayed tuples compete with
+        fresh input at the rebuilt operator, which is what makes UB
+        slower than SR at high rates (§6.2).
+        """
+        system = self.system
+        qm = system.query_manager
+        op.committed = True
+        instance = op.instances[0]
+        instance.replay_mode = REPLAY_ACCEPT
+        upstreams: list["OperatorInstance"] = []
+        for up_name in qm.upstream_of(op.plan.op_name):
+            for slot in qm.slots_of(up_name):
+                upstream = system.live_instance(slot.uid)
+                if upstream is not None:
+                    upstreams.append(upstream)
+        sent = 0
+        for upstream in upstreams:
+            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
+        self._enter(op, PHASE_REPLAY_DRAIN)
+        op.pending_drains = 1
+        instance.expect_replays(
+            sent, lambda: self._one_drained(op), flagged_only=True
+        )
+        system.record_vm_count()
+
+    def _commit_source_replay(self, op: Reconfiguration) -> None:
+        """Source replay: stop the sources and push their buffers through
+        the whole pipeline; completion is pipeline quiescence."""
+        system = self.system
+        op.committed = True
+        for controller in system.source_controllers.values():
+            controller.pause()
+        query = system.query_manager.query
+        assert query is not None
+        replayed = 0
+        for src_name in query.sources:
+            for source in system.instances_of(src_name):
+                if source.alive:
+                    replayed += source.replay_all_buffers(flag_replay=True)
+        self._enter(op, PHASE_REPLAY_DRAIN)
+        if replayed == 0:
+            self._finish(op)
+            system.record_vm_count()
+            return
+        state = {"delivered": system.network.messages_delivered, "quiet": 0}
+        system.sim.schedule(_SR_POLL, self._poll_sr_quiescence, op, state)
+        system.record_vm_count()
+
+    # -------------------------------------------------------- REPLAY_DRAIN
+
+    def _one_drained(self, op: Reconfiguration) -> None:
+        op.pending_drains -= 1
+        if op.pending_drains > 0 or op.finished:
+            return
+        self._finish(op)
+
+    def _poll_sr_quiescence(self, op: Reconfiguration, state: dict) -> None:
+        system = self.system
+        delivered = system.network.messages_delivered
+        busy = any(
+            inst.vm.alive and not inst.is_quiescent()
+            for inst in system.instances.values()
+            if inst.alive
+        )
+        if not busy and delivered == state["delivered"]:
+            state["quiet"] += 1
+        else:
+            state["quiet"] = 0
+        state["delivered"] = delivered
+        if state["quiet"] >= _SR_QUIET_POLLS:
+            self._finish(op)
+            return
+        system.sim.schedule(_SR_POLL, self._poll_sr_quiescence, op, state)
+
+    # ----------------------------------------------------------------- DONE
+
+    def _finish(self, op: Reconfiguration) -> None:
+        system = self.system
+        plan = op.plan
+        op.finished = True
+        if op in self._active:
+            self._active.remove(op)
+        origin = (
+            plan.failure_time if plan.failure_time is not None else op.started_at
+        )
+        duration = system.sim.now - origin
+        if plan.state_source == SOURCE_MERGE:
+            self.merges_completed += 1
+            self._busy_merges.discard(plan.op_name)
+            system.metrics.mark_event(
+                system.sim.now,
+                "scale_in_complete",
+                f"{plan.op_name} -> {op.instances[0].slot!r} {duration:.3f}s",
+            )
+        else:
+            if plan.state_source == SOURCE_SOURCE_REPLAY:
+                for inst in op.marked:
+                    inst.replay_mode = REPLAY_DROP
+                for controller in system.source_controllers.values():
+                    controller.resume()
+            else:
+                for instance in op.instances:
+                    instance.replay_mode = REPLAY_DROP
+            self._busy_slots.pop(op.old_slot.uid, None)
+            self.operations_completed += 1
+            if plan.is_recovery:
+                detail = (
+                    f"{plan.label} {op.instances[0].slot!r}".strip()
+                    if plan.label
+                    else plan.op_name
+                )
+                system.metrics.mark_event(
+                    system.sim.now,
+                    "recovery_complete",
+                    f"{detail} {duration:.3f}s",
+                )
+                system.metrics.time_series_for("recovery_time").record(
+                    system.sim.now, duration
+                )
+            else:
+                system.metrics.mark_event(
+                    system.sim.now,
+                    "scale_out_complete",
+                    f"{plan.op_name} {duration:.3f}s",
+                )
+                system.metrics.time_series_for("scale_out_duration").record(
+                    system.sim.now, duration
+                )
+        op.timeline.enter(PHASE_DONE, system.sim.now)
+        op.timeline.close(system.sim.now, "done")
+        if plan.on_complete is not None:
+            plan.on_complete(duration)
+
+    # ---------------------------------------------------------------- abort
+
+    def abort_operations_on_backup_vm(self, vm: VirtualMachine) -> None:
+        """Abort in-flight operations whose state lives on a retiring VM."""
+        for op in list(self._active):
+            if (
+                op.backup_vm is not None
+                and op.backup_vm.vm_id == vm.vm_id
+                and not op.committed
+            ):
+                self._abort(op, "backup VM retired")
+
+    def _abort(self, op: Reconfiguration, why: str) -> None:
+        if op.committed or op.aborted or op.finished:
+            return
+        system = self.system
+        plan = op.plan
+        op.aborted = True
+        if op in self._active:
+            self._active.remove(op)
+        if plan.state_source == SOURCE_MERGE:
+            self.merges_aborted += 1
+            self._busy_merges.discard(plan.op_name)
+            for upstream in op.upstreams:
+                if upstream.alive:
+                    upstream.resume()
+            for vm in op.vms:
+                system.pool.give_back(vm)
+            op.vms.clear()
+            system.metrics.mark_event(
+                system.sim.now, "scale_in_aborted", f"{plan.op_name}: {why}"
+            )
+        else:
+            self.operations_aborted += 1
+            self._busy_slots.pop(op.old_slot.uid, None)
+            system.trim_locks.discard(op.old_slot.uid)
+            # Re-arm checkpointing if the (still live) old instance had
+            # its daemon stopped during preparation.
+            survivor = system.instances.get(op.old_slot.uid)
+            if survivor is not None and survivor.alive:
+                survivor.start_checkpointing()
+            # The frozen bottleneck continues unaffected (§4.3 benefit iii).
+            old = system.instance(op.old_slot.uid)
+            if old is not None and old.alive:
+                old.resume()
+            for vm in op.vms:
+                system.pool.give_back(vm)
+            op.vms.clear()
+            kind = (
+                "scale_out_aborted"
+                if plan.state_source == SOURCE_BACKUP
+                else "recovery_aborted"
+            )
+            system.metrics.mark_event(
+                system.sim.now, kind, f"{plan.op_name}: {why}"
+            )
+            if plan.is_recovery and system.recovery is not None:
+                # The operator is still dead; retry once conditions allow.
+                failed = system.instances.get(op.old_slot.uid)
+                if failed is not None and not failed.alive:
+                    assert plan.failure_time is not None
+                    system.sim.schedule(
+                        1.0,
+                        system.recovery.retry_recovery,
+                        failed,
+                        plan.failure_time,
+                    )
+        op.timeline.enter(PHASE_ABORTED, system.sim.now)
+        op.timeline.close(system.sim.now, "aborted")

@@ -17,50 +17,25 @@ The implementation uses *quiesce-and-merge*, which is exact:
    restore onto a pooled VM, swap routing, re-bucket upstream buffers,
    restart the upstreams, and release both old VMs.
 
-Scale in is triggered manually or by :class:`ScaleInPolicy`, which
-watches for sustained low utilisation — the inverse of the §5.1 policy.
+This module only selects the pair and validates the request; the
+quiesce, merge, restore and commit steps run as a *merge-sourced*
+:class:`~repro.scaling.reconfig.ReconfigPlan` in the shared
+:class:`~repro.scaling.reconfig.ReconfigurationEngine`.  Scale in is
+triggered manually or by :class:`ScaleInPolicy`, which watches for
+sustained low utilisation — the inverse of the §5.1 policy.
 """
 
 from __future__ import annotations
 
 from typing import TYPE_CHECKING, Callable
 
-from repro.core.checkpoint import BackupStore, Checkpoint
-from repro.core.execution import Slot
 from repro.errors import ScaleOutError
-from repro.sim.vm import VirtualMachine
+from repro.scaling.reconfig import KIND_SCALE_IN, SOURCE_MERGE, ReconfigPlan
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.runtime.instance import OperatorInstance
+    from repro.scaling.reconfig import ReconfigurationEngine
     from repro.runtime.system import StreamProcessingSystem
-
-#: Quiescence poll period while draining the two partitions.
-_DRAIN_POLL = 0.1
-#: Consecutive idle polls required.
-_DRAIN_QUIET = 2
-
-
-class _MergeOperation:
-    def __init__(
-        self,
-        op_name: str,
-        left: "OperatorInstance",
-        right: "OperatorInstance",
-        upstreams: list["OperatorInstance"],
-        on_complete: Callable[[float], None] | None,
-        started_at: float,
-    ) -> None:
-        self.op_name = op_name
-        self.left = left
-        self.right = right
-        self.upstreams = upstreams
-        self.on_complete = on_complete
-        self.started_at = started_at
-        self.quiet_polls = 0
-        self.merged_ckpt: Checkpoint | None = None
-        self.new_slot: Slot | None = None
-        self.committed = False
-        self.aborted = False
 
 
 class ScaleInCoordinator:
@@ -68,13 +43,23 @@ class ScaleInCoordinator:
 
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
-        self._busy_ops: set[str] = set()
-        self.merges_completed = 0
-        self.merges_aborted = 0
+
+    @property
+    def _engine(self) -> "ReconfigurationEngine":
+        assert self.system.reconfig is not None
+        return self.system.reconfig
+
+    @property
+    def merges_completed(self) -> int:
+        return self._engine.merges_completed
+
+    @property
+    def merges_aborted(self) -> int:
+        return self._engine.merges_aborted
 
     def is_busy(self, op_name: str) -> bool:
         """Whether a merge of ``op_name`` is in flight."""
-        return op_name in self._busy_ops
+        return self._engine.is_merging(op_name)
 
     # ------------------------------------------------------------ selection
 
@@ -106,9 +91,9 @@ class ScaleInCoordinator:
         Returns whether a merge was started.
         """
         system = self.system
-        if op_name in self._busy_ops:
+        if self._engine.is_merging(op_name):
             return False
-        if system.scale_out is not None and system.scale_out.is_busy(op_name):
+        if self._engine.is_replacing(op_name):
             return False
         if system.query_manager.parallelism_of(op_name) < 2:
             return False
@@ -124,157 +109,16 @@ class ScaleInCoordinator:
         if pair is None:
             return False
         left, right = pair
-        upstreams = []
-        for up_name in system.query_manager.upstream_of(op_name):
-            for slot in system.query_manager.slots_of(up_name):
-                upstream = system.live_instance(slot.uid)
-                if upstream is not None:
-                    upstreams.append(upstream)
-        operation = _MergeOperation(
-            op_name, left, right, upstreams, on_complete, system.sim.now
+        plan = ReconfigPlan(
+            kind=KIND_SCALE_IN,
+            op_name=op_name,
+            old_slots=[left.slot, right.slot],
+            parallelism=1,
+            state_source=SOURCE_MERGE,
+            reason="under-utilised",
+            on_complete=on_complete,
         )
-        self._busy_ops.add(op_name)
-        system.metrics.mark_event(
-            system.sim.now, "scale_in_started", f"{left.slot!r} + {right.slot!r}"
-        )
-        # Stop the upstreams: new tuples buffer there while the two
-        # partitions drain what is already queued or in flight.
-        for upstream in upstreams:
-            upstream.pause()
-        system.sim.schedule(_DRAIN_POLL, self._poll_drain, operation)
-        return True
-
-    def _poll_drain(self, operation: _MergeOperation) -> None:
-        system = self.system
-        if operation.aborted:
-            return
-        left, right = operation.left, operation.right
-        if not (left.alive and left.vm.alive and right.alive and right.vm.alive):
-            self._abort(operation, "partition failed while draining")
-            return
-        idle = (
-            not left.vm.busy
-            and left.vm.queue_length == 0
-            and not right.vm.busy
-            and right.vm.queue_length == 0
-        )
-        operation.quiet_polls = operation.quiet_polls + 1 if idle else 0
-        if operation.quiet_polls < _DRAIN_QUIET:
-            system.sim.schedule(_DRAIN_POLL, self._poll_drain, operation)
-            return
-        self._merge_snapshots(operation)
-
-    def _merge_snapshots(self, operation: _MergeOperation) -> None:
-        system = self.system
-        left, right = operation.left, operation.right
-        operator = system.query_manager.query.operator(operation.op_name)  # type: ignore[union-attr]
-        merge_value = (
-            operator.merge_values if operator.stateful else (lambda a, b: a)
-        )
-        merged_state = left.state.snapshot().merge(
-            right.state.snapshot(), merge_value
-        )
-        buffers = {name: buf.snapshot() for name, buf in left.buffers.items()}
-        for name, buf in right.buffers.items():
-            if name in buffers:
-                for dest in buf.destinations():
-                    for tup in buf.tuples_for(dest):
-                        buffers[name].append(dest, tup)
-            else:
-                buffers[name] = buf.snapshot()
-        operation.merged_ckpt = Checkpoint(
-            op_name=operation.op_name,
-            slot_uid=-1,  # assigned once the new slot exists
-            state=merged_state,
-            buffers=buffers,
-            taken_at=system.sim.now,
-            seq=max(left._ckpt_seq, right._ckpt_seq) + 1,
-        )
-        system.pool.acquire(lambda vm: self._restore(operation, vm))
-
-    def _restore(self, operation: _MergeOperation, vm: VirtualMachine) -> None:
-        system = self.system
-        if operation.aborted:
-            system.pool.give_back(vm)
-            return
-        if not (operation.left.vm.alive and operation.right.vm.alive):
-            system.pool.give_back(vm)
-            self._abort(operation, "partition failed before restore")
-            return
-        qm = system.query_manager
-        operation.new_slot = qm.new_slot(
-            operation.op_name, operation.left.slot.index
-        )
-        assert operation.merged_ckpt is not None
-        operation.merged_ckpt.slot_uid = operation.new_slot.uid
-        instance = system.deployment.build_instance(operation.new_slot, vm)
-        system.deployment.wire_routing(instance)
-        instance.restore_from(operation.merged_ckpt)
-        system.deployment.configure_services(instance)
-        self._commit(operation, instance)
-
-    def _commit(self, operation: _MergeOperation, instance) -> None:
-        system = self.system
-        qm = system.query_manager
-        operation.committed = True
-        left, right = operation.left, operation.right
-        new_uid = instance.uid
-
-        qm.replace_slots(
-            operation.op_name, [left.slot, right.slot], [operation.new_slot]
-        )
-        routing = qm.routing_to(operation.op_name)
-        routing = routing.reassign(left.uid, new_uid)
-        routing = routing.merge_targets(new_uid, right.uid)
-        qm.store_routing(operation.op_name, routing)
-
-        # Initial backup for the merged partition (merge is fault tolerant
-        # from the instant it commits).
-        backup_vm = system.choose_backup_vm(instance)
-        if backup_vm is not None:
-            store = system.backup_stores.setdefault(backup_vm.vm_id, BackupStore())
-            store.store(operation.merged_ckpt)
-            system.backup_locations[new_uid] = backup_vm
-
-        for old in (left, right):
-            system.instances.pop(old.uid, None)
-            system.retire_backup_store(old.vm)
-            old.stop(release_vm=True)
-            system.drop_backup(old.uid)
-            if system.detector is not None:
-                system.detector.tracker.forget(old.uid)
-                system.detector.policy.forget_slot(old.uid)
-
-        for upstream in operation.upstreams:
-            if not upstream.alive:
-                continue
-            upstream.set_routing(operation.op_name, routing)
-            upstream.repartition_buffer(operation.op_name)
-            upstream.resume()
-        system.record_vm_count()
-        self.merges_completed += 1
-        self._busy_ops.discard(operation.op_name)
-        duration = system.sim.now - operation.started_at
-        system.metrics.mark_event(
-            system.sim.now,
-            "scale_in_complete",
-            f"{operation.op_name} -> {instance.slot!r} {duration:.3f}s",
-        )
-        if operation.on_complete is not None:
-            operation.on_complete(duration)
-
-    def _abort(self, operation: _MergeOperation, why: str) -> None:
-        if operation.committed or operation.aborted:
-            return
-        operation.aborted = True
-        self.merges_aborted += 1
-        self._busy_ops.discard(operation.op_name)
-        for upstream in operation.upstreams:
-            if upstream.alive:
-                upstream.resume()
-        self.system.metrics.mark_event(
-            self.system.sim.now, "scale_in_aborted", f"{operation.op_name}: {why}"
-        )
+        return self._engine.submit(plan)
 
 
 class ScaleInPolicy:

@@ -8,6 +8,9 @@ Three building blocks:
 * :class:`LatencyReservoir` — weighted latency samples with percentile
   queries, optionally windowed over time so we can plot latency-over-time
   curves like the paper's Figure 7.
+* :class:`PhaseTimeline` — the phase-transition record of one
+  reconfiguration (scale out / scale in / recovery), so experiments can
+  attribute recovery latency to individual phases (Figures 11-13).
 
 All latencies are stored in seconds and reported by the experiment layer
 in milliseconds to match the paper's axes.
@@ -71,9 +74,8 @@ class RateSeries:
 
     def record(self, time: float, count: float = 1.0) -> None:
         """Append one sample."""
-        self._bins[int(time // self.bin_width)] = (
-            self._bins.get(int(time // self.bin_width), 0.0) + count
-        )
+        index = int(time // self.bin_width)
+        self._bins[index] = self._bins.get(index, 0.0) + count
 
     def total(self) -> float:
         """Sum of all recorded counts."""
@@ -199,6 +201,98 @@ class LatencyReservoir:
         return latencies[mask], weights[mask]
 
 
+@dataclass
+class PhaseSpan:
+    """One phase of a reconfiguration: ``[start, end)`` in simulated time."""
+
+    phase: str
+    start: float
+    end: float | None = None
+
+    @property
+    def duration(self) -> float | None:
+        """Elapsed simulated seconds, or ``None`` while the phase is open."""
+        return None if self.end is None else self.end - self.start
+
+
+class PhaseTimeline:
+    """Phase-transition record of one reconfiguration.
+
+    Every topology change driven by the reconfiguration engine (scale
+    out, scale in, recovery) appends one of these to the metrics hub and
+    enters each phase in turn.  Experiments query the spans to attribute
+    end-to-end recovery latency to VM acquisition, state partitioning,
+    transfer, restore and replay (the breakdown behind Figures 11-13).
+    """
+
+    def __init__(
+        self, kind: str, op_name: str, slot_uids: list[int], started_at: float
+    ) -> None:
+        self.kind = kind
+        self.op_name = op_name
+        #: Slot uids involved: the replaced slot(s) plus, once known, the
+        #: uids of the new partitions.
+        self.slot_uids: list[int] = list(slot_uids)
+        self.started_at = started_at
+        self.spans: list[PhaseSpan] = []
+        #: ``"done"`` or ``"aborted"`` once the reconfiguration finished.
+        self.outcome: str | None = None
+
+    def enter(self, phase: str, time: float) -> None:
+        """Close the open span (if any) and start ``phase`` at ``time``."""
+        if self.spans and self.spans[-1].end is None:
+            self.spans[-1].end = time
+        self.spans.append(PhaseSpan(phase, time))
+
+    def close(self, time: float, outcome: str) -> None:
+        """Close the open span and record the terminal outcome."""
+        if self.spans and self.spans[-1].end is None:
+            self.spans[-1].end = time
+        self.outcome = outcome
+
+    def add_slots(self, slot_uids: list[int]) -> None:
+        """Record additional involved slots (new partitions, once created)."""
+        for uid in slot_uids:
+            if uid not in self.slot_uids:
+                self.slot_uids.append(uid)
+
+    @property
+    def phases(self) -> list[str]:
+        """Phase names in transition order."""
+        return [span.phase for span in self.spans]
+
+    def span(self, phase: str) -> PhaseSpan | None:
+        """The first span of ``phase``, if the timeline entered it."""
+        for candidate in self.spans:
+            if candidate.phase == phase:
+                return candidate
+        return None
+
+    def phase_duration(self, phase: str, default: float = 0.0) -> float:
+        """Total time spent in ``phase`` across all its spans."""
+        total = 0.0
+        seen = False
+        for candidate in self.spans:
+            if candidate.phase == phase and candidate.end is not None:
+                total += candidate.end - candidate.start
+                seen = True
+        return total if seen else default
+
+    def total_duration(self) -> float | None:
+        """Start of the first span to end of the last closed span."""
+        if not self.spans or self.spans[-1].end is None:
+            return None
+        return self.spans[-1].end - self.spans[0].start
+
+    def as_rows(self) -> list[tuple[str, float, float | None]]:
+        """``(phase, start, end)`` rows for tabular export."""
+        return [(span.phase, span.start, span.end) for span in self.spans]
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        inner = " -> ".join(self.phases)
+        return f"PhaseTimeline({self.kind} {self.op_name}: {inner})"
+
+
 class MetricsHub:
     """Registry of all metric objects produced during one simulation run."""
 
@@ -208,6 +302,7 @@ class MetricsHub:
         self.latencies: dict[str, LatencyReservoir] = {}
         self.counters: dict[str, float] = {}
         self.events: list[tuple[float, str, str]] = []
+        self.phase_timelines: list[PhaseTimeline] = []
 
     def time_series_for(self, name: str) -> TimeSeries:
         """Get-or-create a time series by name."""
@@ -248,3 +343,27 @@ class MetricsHub:
     def events_of_kind(self, kind: str) -> list[tuple[float, str, str]]:
         """All recorded control-plane events of one kind."""
         return [e for e in self.events if e[1] == kind]
+
+    def start_phase_timeline(
+        self, kind: str, op_name: str, slot_uids: list[int], time: float
+    ) -> PhaseTimeline:
+        """Open and register the timeline for one reconfiguration."""
+        timeline = PhaseTimeline(kind, op_name, slot_uids, time)
+        self.phase_timelines.append(timeline)
+        return timeline
+
+    def timelines(
+        self,
+        kind: str | None = None,
+        op_name: str | None = None,
+        slot_uid: int | None = None,
+    ) -> list[PhaseTimeline]:
+        """Query recorded reconfiguration timelines by kind/operator/slot."""
+        result = self.phase_timelines
+        if kind is not None:
+            result = [t for t in result if t.kind == kind]
+        if op_name is not None:
+            result = [t for t in result if t.op_name == op_name]
+        if slot_uid is not None:
+            result = [t for t in result if slot_uid in t.slot_uids]
+        return list(result)

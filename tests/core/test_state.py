@@ -57,6 +57,40 @@ class TestKeyInterval:
         pieces = interval.split_by_positions(4, [5])
         assert [p.width for p in pieces] == [250, 250, 250, 250]
 
+    def test_split_by_positions_duplicate_cuts_do_not_collapse(self):
+        # A hot key observed many times yields identical cut candidates;
+        # every resulting interval must still be non-empty and tile.
+        interval = KeyInterval(0, 1000)
+        pieces = interval.split_by_positions(4, [50] * 100)
+        assert len(pieces) == 4
+        assert pieces[0].lo == 0 and pieces[-1].hi == 1000
+        for left, right in zip(pieces, pieces[1:]):
+            assert left.hi == right.lo
+        assert all(p.width >= 1 for p in pieces)
+        assert pieces[0].hi == 50  # the cut still lands at the hot key
+
+    def test_split_by_positions_all_positions_outside(self):
+        # Guide positions from other partitions' keys are ignored; with
+        # nothing usable the split falls back to even widths.
+        interval = KeyInterval(100, 200)
+        pieces = interval.split_by_positions(2, [0, 5, 99, 200, 1000])
+        assert [p.width for p in pieces] == [50, 50]
+
+    def test_split_by_positions_parts_equal_width(self):
+        # Splitting an interval into exactly width-many unit intervals.
+        interval = KeyInterval(0, 4)
+        pieces = interval.split_by_positions(4, [0, 1, 2, 3])
+        assert [p.width for p in pieces] == [1, 1, 1, 1]
+        assert pieces[0].lo == 0 and pieces[-1].hi == 4
+
+    def test_split_by_positions_hot_key_at_upper_bound_falls_back(self):
+        # Duplicate-cut bumping would push a bound past hi; the split
+        # must fall back to even widths instead of failing.
+        interval = KeyInterval(0, 1000)
+        pieces = interval.split_by_positions(3, [999] * 10)
+        assert len(pieces) == 3
+        assert sum(p.width for p in pieces) == 1000
+
     def test_merge_adjacent(self):
         merged = KeyInterval(0, 10).merge(KeyInterval(10, 30))
         assert merged == KeyInterval(0, 30)
@@ -108,6 +142,35 @@ class TestRoutingState:
         assert updated.route_position(0) == 2
         assert updated.route_position(KEY_SPACE - 1) == 3
         assert 1 not in updated.targets
+
+    def test_replace_target_repeated_splits(self):
+        # Scale out the busiest partition four times in a row, as the
+        # detector does; the routing table must stay a valid tiling and
+        # keep routing every position to a live target.
+        routing = RoutingState.single(0)
+        next_uid = 1
+        for _round in range(4):
+            target = routing.targets[0]
+            owned = routing.intervals_of(target)
+            replacements = []
+            for interval in owned:
+                if interval.width >= 2:
+                    left, right = interval.split(2)
+                    replacements.append((left, next_uid))
+                    replacements.append((right, next_uid + 1))
+                else:
+                    replacements.append((interval, next_uid))
+            routing = routing.replace_target(target, replacements)
+            next_uid += 2
+            assert target not in routing.targets
+        # Full coverage survives every round.
+        entries = list(routing)
+        assert entries[0][0].lo == 0
+        assert entries[-1][0].hi == KEY_SPACE
+        for (left_iv, _), (right_iv, _) in zip(entries, entries[1:]):
+            assert left_iv.hi == right_iv.lo
+        for position in [0, 1, KEY_SPACE // 3, KEY_SPACE // 2, KEY_SPACE - 1]:
+            assert routing.route_position(position) in routing.targets
 
     def test_replace_target_width_mismatch_rejected(self):
         routing = RoutingState.single(1)

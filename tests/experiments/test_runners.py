@@ -53,6 +53,27 @@ class TestScaleOutRunHelpers:
         assert run.scale_out_times() == [3.0, 7.0]
 
 
+class TestWordCountPhaseBreakdown:
+    def test_breakdown_from_recovery_timeline(self):
+        from repro.experiments.harness import WordCountRun
+
+        system = bare_system()
+        timeline = system.metrics.start_phase_timeline(
+            "recovery", "counter", [7], 0.0
+        )
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("TRANSFER", 1.0)
+        timeline.enter("DONE", 3.0)
+        timeline.close(3.0, "done")
+        run = WordCountRun(system, query=None)
+        assert run.recovery_phase_breakdown() == {
+            "PLAN": 1.0,
+            "TRANSFER": 2.0,
+            "DONE": 0.0,
+        }
+        assert run.recovery_phase_breakdown(op="mid") == {}
+
+
 class TestLRBRunSustained:
     def make(self, in_tail, out_tail, duration=100.0):
         system = bare_system()

@@ -1,0 +1,226 @@
+"""Tests for the phase-driven reconfiguration engine.
+
+The paper's claim — recovery is "scale out of a failed operator" — is
+checked literally here: both operations on the same slot must walk the
+identical phase sequence through the single engine, and every kind of
+topology change must leave a queryable phase timeline behind.
+"""
+
+from repro.scaling.reconfig import (
+    PHASE_ABORTED,
+    PHASE_DONE,
+    PHASE_ORDER,
+    PHASE_PLAN,
+    PHASE_REPLAY_DRAIN,
+    PHASE_TRANSFER,
+)
+from tests.conftest import small_system
+
+
+FULL_SEQUENCE = list(PHASE_ORDER) + [PHASE_DONE]
+
+
+def feed_many(gen, keys, weight=1):
+    for key in keys:
+        gen.feed(key, weight=weight)
+
+
+def warmed_system(**kwargs):
+    system, gen, col = small_system(checkpoint_interval=1.0, **kwargs)
+    feed_many(gen, [f"k{i}" for i in range(30)])
+    system.run(until=3.0)  # at least one checkpoint stored
+    return system, gen, col
+
+
+class TestPhaseSequences:
+    def test_scale_out_walks_every_phase(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="scale_out")
+        assert timeline.phases == FULL_SEQUENCE
+        assert timeline.outcome == "done"
+
+    def test_recovery_and_scale_out_share_the_phase_sequence(self):
+        """Recovery of a slot IS scale out of that slot: same phases."""
+        system_a, _gen_a, _col_a = warmed_system()
+        uid_a = system_a.query_manager.slots_of("counter")[0].uid
+        assert system_a.scale_out.scale_out_slot(uid_a, 2)
+        system_a.run(until=20.0)
+
+        system_b, _gen_b, _col_b = warmed_system()
+        system_b.vm_of("counter").fail()
+        system_b.run(until=20.0)
+
+        [scale_out] = system_a.metrics.timelines(kind="scale_out")
+        [recovery] = system_b.metrics.timelines(kind="recovery")
+        assert recovery.phases == scale_out.phases == FULL_SEQUENCE
+
+    def test_parallel_recovery_same_sequence(self):
+        system, _gen, _col = warmed_system()
+        system.config.fault.recovery_parallelism = 2
+        system.vm_of("counter").fail()
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="recovery")
+        assert timeline.phases == FULL_SEQUENCE
+        assert system.query_manager.parallelism_of("counter") == 2
+
+    def test_scale_in_walks_every_phase(self):
+        system, gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        assert system.scale_in.scale_in("counter")
+        system.run(until=40.0)
+        [timeline] = system.metrics.timelines(kind="scale_in")
+        assert timeline.phases == FULL_SEQUENCE
+        assert timeline.outcome == "done"
+
+    def test_upstream_backup_recovery_same_sequence(self):
+        system, gen, _col = small_system(
+            strategy="upstream_backup", with_middle=True
+        )
+        feed_many(gen, [f"k{i}" for i in range(20)])
+        system.run(until=3.0)
+        system.vm_of("counter").fail()
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="recovery")
+        assert timeline.phases == FULL_SEQUENCE
+
+    def test_source_replay_recovery_same_sequence(self):
+        system, gen, _col = small_system(
+            strategy="source_replay", with_middle=True
+        )
+        feed_many(gen, [f"k{i}" for i in range(20)])
+        system.run(until=3.0)
+        system.vm_of("counter").fail()
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="recovery")
+        assert timeline.phases == FULL_SEQUENCE
+
+
+class TestTimelineContents:
+    def test_spans_are_contiguous_and_monotonic(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="scale_out")
+        rows = timeline.as_rows()
+        assert len(rows) == len(FULL_SEQUENCE)
+        for (_, start, end), (_, next_start, _) in zip(rows, rows[1:]):
+            assert end == next_start  # each phase ends where the next begins
+            assert end >= start
+
+    def test_slot_uids_cover_old_and_new_partitions(self):
+        system, _gen, _col = warmed_system()
+        old_uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(old_uid, 2)
+        system.run(until=20.0)
+        new_uids = {s.uid for s in system.query_manager.slots_of("counter")}
+        [timeline] = system.metrics.timelines(kind="scale_out")
+        assert old_uid in timeline.slot_uids
+        assert new_uids <= set(timeline.slot_uids)
+        # Queryable by any involved slot.
+        assert system.metrics.timelines(slot_uid=old_uid) == [timeline]
+
+    def test_recovery_attributes_time_to_phases(self):
+        """The phase breakdown must account for the whole operation."""
+        system, _gen, _col = warmed_system()
+        system.vm_of("counter").fail()
+        system.run(until=20.0)
+        [timeline] = system.metrics.timelines(kind="recovery")
+        total = timeline.total_duration()
+        assert total is not None and total > 0
+        parts = sum(
+            timeline.phase_duration(phase) for phase in FULL_SEQUENCE
+        )
+        assert abs(parts - total) < 1e-9
+        # State transfer over the network dominates serial recovery; the
+        # replay drain may be instantaneous when buffers were just trimmed.
+        assert timeline.phase_duration(PHASE_TRANSFER) > 0
+        assert timeline.phase_duration(PHASE_REPLAY_DRAIN) >= 0
+
+    def test_scale_in_timeline_records_both_old_slots(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        olds = {s.uid for s in system.query_manager.slots_of("counter")}
+        assert system.scale_in.scale_in("counter")
+        system.run(until=40.0)
+        [timeline] = system.metrics.timelines(kind="scale_in")
+        assert olds <= set(timeline.slot_uids)
+
+
+class TestPhaseDeadlines:
+    def test_transfer_deadline_aborts_the_operation(self):
+        system, _gen, _col = warmed_system()
+        system.reconfig.default_phase_timeouts[PHASE_TRANSFER] = 1e-6
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        assert system.reconfig.operations_aborted == 1
+        assert system.metrics.events_of_kind("scale_out_aborted")
+        [timeline] = system.metrics.timelines(kind="scale_out")
+        assert timeline.outcome == "aborted"
+        assert timeline.phases[-1] == PHASE_ABORTED
+        # The frozen operator resumed; the system still works.
+        assert not system.scale_out.is_busy("counter")
+        current = system.instances_of("counter")[0]
+        assert current.alive and not current.vm.paused
+
+    def test_plan_timeouts_override_engine_defaults(self):
+        system, _gen, _col = warmed_system()
+        # A generous engine-wide default must not abort anything when the
+        # plan itself does not override it with something tighter.
+        system.reconfig.default_phase_timeouts[PHASE_TRANSFER] = 300.0
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        assert system.reconfig.operations_aborted == 0
+        assert system.reconfig.operations_completed == 1
+
+    def test_deadline_on_a_passed_phase_is_harmless(self):
+        system, _gen, _col = warmed_system()
+        # PLAN completes synchronously, so its deadline always finds the
+        # operation already past it.
+        system.reconfig.default_phase_timeouts[PHASE_PLAN] = 0.5
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        assert system.reconfig.operations_completed == 1
+        assert system.reconfig.operations_aborted == 0
+
+
+class TestEngineBookkeeping:
+    def test_counters_visible_through_both_adapters(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        assert system.scale_out.operations_completed == 1
+        assert system.reconfig.operations_completed == 1
+        assert system.scale_in.scale_in("counter")
+        system.run(until=40.0)
+        assert system.scale_in.merges_completed == 1
+        assert system.reconfig.merges_completed == 1
+
+    def test_active_operations_drain_to_empty(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        assert len(system.reconfig.active_operations()) == 1
+        system.run(until=20.0)
+        assert system.reconfig.active_operations() == []
+
+    def test_merge_blocks_scale_out_and_vice_versa(self):
+        system, _gen, _col = warmed_system()
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        assert not system.scale_in.scale_in("counter")
+        system.run(until=20.0)
+        assert system.scale_in.scale_in("counter")
+        busy_uid = system.query_manager.slots_of("counter")[0].uid
+        assert not system.scale_out.scale_out_slot(busy_uid, 2)

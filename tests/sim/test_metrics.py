@@ -8,7 +8,13 @@ import pytest
 from hypothesis import given, settings
 from hypothesis import strategies as st
 
-from repro.sim.metrics import LatencyReservoir, MetricsHub, RateSeries, TimeSeries
+from repro.sim.metrics import (
+    LatencyReservoir,
+    MetricsHub,
+    PhaseTimeline,
+    RateSeries,
+    TimeSeries,
+)
 
 
 class TestTimeSeries:
@@ -71,6 +77,71 @@ class TestRateSeries:
         times, rates = RateSeries("r").series()
         assert times.size == 0 and rates.size == 0
         assert RateSeries("r").max_rate() == 0.0
+
+    def test_samples_on_bin_boundaries_accumulate(self):
+        series = RateSeries("r", bin_width=0.5)
+        series.record(1.0, 2)
+        series.record(1.0, 3)
+        series.record(1.49, 1)
+        assert series.rate_at(1.2) == 12.0  # 6 samples / 0.5s bin
+        assert series.total() == 6.0
+
+
+class TestPhaseTimeline:
+    def build(self):
+        timeline = PhaseTimeline("recovery", "counter", [7], 1.0)
+        timeline.enter("PLAN", 1.0)
+        timeline.enter("ACQUIRE_VMS", 1.0)
+        timeline.enter("TRANSFER", 2.0)
+        timeline.enter("DONE", 5.5)
+        timeline.close(5.5, "done")
+        return timeline
+
+    def test_enter_closes_previous_span(self):
+        timeline = self.build()
+        assert timeline.phases == ["PLAN", "ACQUIRE_VMS", "TRANSFER", "DONE"]
+        assert timeline.span("PLAN").duration == 0.0
+        assert timeline.span("ACQUIRE_VMS").duration == 1.0
+        assert timeline.span("TRANSFER").duration == 3.5
+        assert timeline.outcome == "done"
+
+    def test_phase_duration_and_total(self):
+        timeline = self.build()
+        assert timeline.phase_duration("TRANSFER") == 3.5
+        assert timeline.phase_duration("MISSING") == 0.0
+        assert timeline.phase_duration("MISSING", default=math.nan) is not None
+        assert timeline.total_duration() == 4.5
+
+    def test_as_rows(self):
+        timeline = self.build()
+        rows = timeline.as_rows()
+        assert rows[0] == ("PLAN", 1.0, 1.0)
+        assert rows[-1] == ("DONE", 5.5, 5.5)
+
+    def test_add_slots_deduplicates(self):
+        timeline = PhaseTimeline("scale_out", "counter", [7], 0.0)
+        timeline.add_slots([7, 8, 9])
+        timeline.add_slots([8, 10])
+        assert timeline.slot_uids == [7, 8, 9, 10]
+
+    def test_open_span_has_no_duration(self):
+        timeline = PhaseTimeline("scale_out", "counter", [1], 0.0)
+        timeline.enter("PLAN", 0.0)
+        assert timeline.span("PLAN").duration is None
+        assert timeline.outcome is None
+
+
+class TestTimelineRegistry:
+    def test_start_and_query(self):
+        hub = MetricsHub()
+        a = hub.start_phase_timeline("scale_out", "counter", [1], 0.0)
+        b = hub.start_phase_timeline("recovery", "counter", [2], 1.0)
+        c = hub.start_phase_timeline("recovery", "mid", [3], 2.0)
+        assert hub.timelines() == [a, b, c]
+        assert hub.timelines(kind="recovery") == [b, c]
+        assert hub.timelines(kind="recovery", op_name="counter") == [b]
+        assert hub.timelines(slot_uid=3) == [c]
+        assert hub.timelines(kind="scale_in") == []
 
 
 class TestLatencyReservoir:
