@@ -15,6 +15,7 @@ import sys
 import time
 
 from repro.experiments import figures
+from repro.experiments.chaos import chaos_sweep
 
 #: Figure name → (driver, paper-scale kwargs, quick kwargs).
 FIGURES: dict[str, tuple] = {
@@ -71,6 +72,11 @@ FIGURES: dict[str, tuple] = {
         {},
         {"pool_sizes": (0, 3), "num_xways": 12, "duration": 250.0,
          "quantum": 1.0, "provisioning_delay": 60.0},
+    ),
+    "chaos": (
+        chaos_sweep,
+        {},
+        {"seeds": tuple(range(5))},
     ),
 }
 

@@ -1,0 +1,41 @@
+"""Chaos engineering for the simulated SPS.
+
+The paper's evaluation only injects clean crash-stop failures between
+reconfigurations over a lossless network.  This package supplies the
+adversarial cases:
+
+* :mod:`repro.chaos.plan` — pluggable network fault plans (message loss,
+  duplication, re-ordering, latency spikes) installed into
+  :class:`~repro.sim.network.Network`;
+* :mod:`repro.chaos.schedule` — phase-triggered crash schedules that kill
+  the source, target or backup VM exactly when a reconfiguration enters a
+  chosen phase;
+* :mod:`repro.chaos.invariants` — the correctness oracle checked after a
+  chaos run (exactly-once sink output vs a golden run, no leaked VMs,
+  trimmed buffers, contiguous phase timelines, quiesced engine);
+* :mod:`repro.chaos.runner` — seed sweeps over randomized fault
+  schedules, reporting survival and violation counts.
+"""
+
+from repro.chaos.invariants import InvariantChecker, Violation
+from repro.chaos.plan import FaultRule, NetworkFaultPlan
+from repro.chaos.runner import ChaosRunner, ChaosRunResult
+from repro.chaos.schedule import (
+    TARGET_BACKUP_VM,
+    TARGET_SOURCE_VM,
+    TARGET_TARGET_VM,
+    PhaseTriggeredFaults,
+)
+
+__all__ = [
+    "ChaosRunner",
+    "ChaosRunResult",
+    "FaultRule",
+    "InvariantChecker",
+    "NetworkFaultPlan",
+    "PhaseTriggeredFaults",
+    "TARGET_BACKUP_VM",
+    "TARGET_SOURCE_VM",
+    "TARGET_TARGET_VM",
+    "Violation",
+]

@@ -1,0 +1,258 @@
+"""End-to-end invariant checker.
+
+After a chaos run quiesces, :class:`InvariantChecker` audits the system
+against the guarantees the paper's protocol claims:
+
+* **quiesced engine** — no reconfiguration left in flight, no slot or
+  operator still marked busy, no trim lock held;
+* **coherent timelines** — every recorded :class:`PhaseTimeline` is
+  closed with an outcome and its phase spans are contiguous (no gap or
+  overlap between a span's end and the next span's start);
+* **no leaked VMs** — every running VM billed by the provider is either
+  sitting in the pool, hosting a live registered operator instance, or
+  hosting an active-replication replica.  Anything else is a VM the
+  reconfiguration machinery acquired and forgot;
+* **trimmed buffers** — upstream output buffers hold no tuple already
+  covered by the destination's latest surviving backup (Algorithm 1's
+  trim discipline).  This check assumes the run ended with a settle
+  period of at least one checkpoint interval after the last failure, so
+  every slot stored a post-failure checkpoint with no trim lock held;
+* **network accounting** — per-edge ``delivered + dropped`` never
+  exceeds ``sent + duplicated``;
+* **exactly-once sink output** — via :func:`compare_windows`, the chaos
+  run's windowed sink results equal a failure-free golden run's over all
+  windows that both runs must have finalised (no lost and no duplicated
+  contributions survive at the result level).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Iterable
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.sink import WindowedResultCollector
+    from repro.runtime.system import StreamProcessingSystem
+
+
+@dataclass
+class Violation:
+    """One invariant breach, with enough detail to debug the seed."""
+
+    name: str
+    detail: str
+
+    def __str__(self) -> str:  # pragma: no cover - debugging aid
+        return f"[{self.name}] {self.detail}"
+
+
+class InvariantChecker:
+    """Audits a quiesced system for protocol-invariant violations."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+
+    def check(self) -> list[Violation]:
+        """Run every structural invariant; returns all violations found."""
+        violations: list[Violation] = []
+        violations += self.check_engine_quiesced()
+        violations += self.check_timelines()
+        violations += self.check_no_leaked_vms()
+        violations += self.check_buffers_trimmed()
+        violations += self.check_network_accounting()
+        return violations
+
+    # ------------------------------------------------------------- checks
+
+    def check_engine_quiesced(self) -> list[Violation]:
+        """No reconfiguration state may survive the run."""
+        violations: list[Violation] = []
+        engine = self.system.reconfig
+        if engine is None:
+            return violations
+        for op in engine.active_operations():
+            violations.append(
+                Violation("engine_quiesced", f"operation still active: {op!r}")
+            )
+        if engine._busy_slots:
+            violations.append(
+                Violation(
+                    "engine_quiesced",
+                    f"busy slots never cleared: {dict(engine._busy_slots)}",
+                )
+            )
+        if engine._busy_merges:
+            violations.append(
+                Violation(
+                    "engine_quiesced",
+                    f"busy merges never cleared: {set(engine._busy_merges)}",
+                )
+            )
+        if self.system.trim_locks:
+            violations.append(
+                Violation(
+                    "engine_quiesced",
+                    f"trim locks still held: {set(self.system.trim_locks)}",
+                )
+            )
+        return violations
+
+    def check_timelines(self) -> list[Violation]:
+        """Every timeline must be closed and contiguous."""
+        violations: list[Violation] = []
+        for timeline in self.system.metrics.timelines():
+            label = f"{timeline.kind}/{timeline.op_name}"
+            if timeline.outcome is None:
+                violations.append(
+                    Violation("timelines", f"{label}: never closed")
+                )
+            rows = timeline.as_rows()
+            for i, (phase, _start, end) in enumerate(rows):
+                if end is None:
+                    if i != len(rows) - 1 or timeline.outcome is not None:
+                        violations.append(
+                            Violation(
+                                "timelines",
+                                f"{label}: open span {phase!r} at index {i}",
+                            )
+                        )
+                    continue
+                if i + 1 < len(rows) and rows[i + 1][1] != end:
+                    violations.append(
+                        Violation(
+                            "timelines",
+                            f"{label}: gap between {phase!r} (ends {end}) and "
+                            f"{rows[i + 1][0]!r} (starts {rows[i + 1][1]})",
+                        )
+                    )
+        return violations
+
+    def check_no_leaked_vms(self) -> list[Violation]:
+        """Every running billed VM must be pooled or hosting something."""
+        system = self.system
+        violations: list[Violation] = []
+        pooled = {id(vm) for vm in system.pool._available}
+        occupied = {
+            id(inst.vm) for inst in system.instances.values() if inst.alive
+        }
+        if system.replication is not None:
+            occupied |= {
+                id(replica.vm)
+                for replica in system.replication.replicas.values()
+                if replica.alive
+            }
+        for vm in system.provider.vms:
+            if not vm.alive:
+                continue
+            if id(vm) in pooled or id(vm) in occupied:
+                continue
+            violations.append(
+                Violation(
+                    "vm_leak",
+                    f"VM {vm.vm_id} is running but neither pooled nor "
+                    f"hosting a live instance (occupant: {vm.occupant!r})",
+                )
+            )
+        return violations
+
+    def check_buffers_trimmed(self) -> list[Violation]:
+        """No buffered tuple already covered by the dest's latest backup."""
+        system = self.system
+        violations: list[Violation] = []
+        for instance in system.instances.values():
+            if not instance.alive:
+                continue
+            for buf in instance.buffers.values():
+                for dest_uid in buf.destinations():
+                    ckpt = system.backup_of(dest_uid)
+                    if ckpt is None:
+                        continue
+                    stale = sum(
+                        1
+                        for tup in buf.tuples_for(dest_uid)
+                        if tup.ts <= ckpt.positions.get(tup.slot, -1)
+                    )
+                    if stale:
+                        violations.append(
+                            Violation(
+                                "buffers_trimmed",
+                                f"{instance.slot!r} holds {stale} tuple(s) "
+                                f"toward slot {dest_uid} already covered by "
+                                f"its backup (seq {ckpt.seq})",
+                            )
+                        )
+        return violations
+
+    def check_network_accounting(self) -> list[Violation]:
+        """Per-edge conservation: delivered + dropped <= sent + duplicated."""
+        violations: list[Violation] = []
+        for edge, stats in self.system.network.edge_stats.items():
+            if stats.delivered + stats.dropped > stats.sent + stats.duplicated:
+                violations.append(
+                    Violation(
+                        "network_accounting",
+                        f"edge {edge}: delivered={stats.delivered} "
+                        f"dropped={stats.dropped} exceeds sent={stats.sent} "
+                        f"+ duplicated={stats.duplicated}",
+                    )
+                )
+        return violations
+
+
+def eligible_windows(
+    duration: float, window: float, grace: float, margin: float = 5.0
+) -> list[int]:
+    """Window indices both a golden and a chaos run must have finalised.
+
+    A tumbling window ``idx`` covers ``[idx*window, (idx+1)*window)`` in
+    event time and is flushed once the grace period passes; ``margin``
+    seconds of slack absorb queueing and recovery delays near the end of
+    the run.
+    """
+    result = []
+    idx = 0
+    while (idx + 1) * window + grace + margin <= duration:
+        result.append(idx)
+        idx += 1
+    return result
+
+
+def compare_windows(
+    golden: "WindowedResultCollector",
+    chaos: "WindowedResultCollector",
+    windows: Iterable[int],
+) -> list[Violation]:
+    """Exactly-once oracle: per-window key→count equality vs the golden run.
+
+    A missing key or lower count means sink output was lost; an extra key
+    or higher count means a duplicate contribution survived the filters.
+    """
+    violations: list[Violation] = []
+    for window in windows:
+        expected: dict[Any, Any] = golden.counts_for_window(window)
+        actual: dict[Any, Any] = chaos.counts_for_window(window)
+        if expected == actual:
+            continue
+        missing = {
+            key: value
+            for key, value in expected.items()
+            if actual.get(key) != value
+        }
+        extra = {
+            key: value
+            for key, value in actual.items()
+            if key not in expected
+        }
+        detail = f"window {window}: "
+        if missing:
+            sample = dict(list(missing.items())[:3])
+            detail += (
+                f"{len(missing)} key(s) lost or mismatched "
+                f"(e.g. {sample}, got "
+                f"{ {k: actual.get(k) for k in sample} }) "
+            )
+        if extra:
+            sample = dict(list(extra.items())[:3])
+            detail += f"{len(extra)} unexpected key(s) (e.g. {sample})"
+        violations.append(Violation("sink_output", detail.strip()))
+    return violations

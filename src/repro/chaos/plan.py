@@ -1,0 +1,138 @@
+"""Network fault plans.
+
+A :class:`NetworkFaultPlan` is installed into a
+:class:`~repro.sim.network.Network` via ``install_fault_plan`` and is
+consulted once per *data* message send (control traffic — checkpoints,
+state transfer, replica snapshots — is never perturbed).  The network
+models a reliable transport (TCP-like) over a faulty physical layer, so
+each fault maps onto an observable, recoverable effect:
+
+* **drop** — the first transmission is lost and retransmitted; the
+  message arrives ``retransmit_delay`` late instead of disappearing.
+  True message loss only happens through VM death, which is what the
+  upstream-backup/replay path is designed for.
+* **reorder** — the message is held for ``reorder_hold``; the network's
+  per-edge FIFO clamp then releases it in order (head-of-line blocking),
+  so later messages queue behind it exactly like a TCP receive window.
+* **delay spike** — as reorder, with the larger ``delay_spike``
+  magnitude; models transient congestion.
+* **duplicate** — the message is delivered *twice*: once in order and a
+  second copy ``duplicate_lag`` later.  The second copy reaches the
+  application, exercising the timestamp duplicate filter
+  (:meth:`OperatorInstance.receive`).
+
+Rules are scoped by edge (source/destination VM ids) and by a time
+window, so a plan can target e.g. "the splitter→counter edge during the
+first minute".  All randomness comes from a dedicated ``random.Random``
+seeded at construction: the same plan seed yields the same perturbation
+sequence.  Each applicable rule consumes exactly four RNG draws per
+message regardless of which faults fire, keeping the stream stable when
+probabilities change.
+"""
+
+from __future__ import annotations
+
+import random
+from dataclasses import dataclass, field
+
+EdgeKey = tuple[int | None, int]
+
+
+@dataclass
+class FaultRule:
+    """One scoped source of network faults.
+
+    Probabilities are per data message; magnitudes are seconds of extra
+    delay added on top of the modelled transfer time.
+    """
+
+    drop_rate: float = 0.0
+    duplicate_rate: float = 0.0
+    reorder_rate: float = 0.0
+    delay_rate: float = 0.0
+    retransmit_delay: float = 0.05
+    reorder_hold: float = 0.02
+    delay_spike: float = 0.2
+    #: restrict to exact (src_vm_id, dst_vm_id) edges; empty = all edges.
+    edges: frozenset[EdgeKey] = field(default_factory=frozenset)
+    #: restrict by source VM id / destination VM id; empty = no restriction.
+    src_vms: frozenset[int] = field(default_factory=frozenset)
+    dst_vms: frozenset[int] = field(default_factory=frozenset)
+    #: active [start, end) simulation-time window; ``None`` = always.
+    window: tuple[float, float] | None = None
+
+    def applies(self, edge: EdgeKey, now: float) -> bool:
+        """Whether this rule is in scope for ``edge`` at time ``now``."""
+        if self.window is not None:
+            start, end = self.window
+            if not (start <= now < end):
+                return False
+        if self.edges and edge not in self.edges:
+            return False
+        src, dst = edge
+        if self.src_vms and src not in self.src_vms:
+            return False
+        if self.dst_vms and dst not in self.dst_vms:
+            return False
+        return True
+
+
+class NetworkFaultPlan:
+    """A seeded collection of :class:`FaultRule`\\ s.
+
+    ``draw(edge, now)`` returns ``(extra_delay, duplicate)``: the total
+    extra latency injected into this message and whether a duplicate
+    copy should also be delivered.
+    """
+
+    def __init__(
+        self,
+        rules: list[FaultRule],
+        seed: int = 0,
+        duplicate_lag: float = 0.005,
+    ) -> None:
+        self.rules = list(rules)
+        self.seed = seed
+        #: how far behind the in-order delivery the duplicate copy lands.
+        self.duplicate_lag = duplicate_lag
+        self._rng = random.Random(seed)
+        self.drops_injected = 0
+        self.duplicates_injected = 0
+        self.reorders_injected = 0
+        self.delay_spikes_injected = 0
+
+    def draw(self, edge: EdgeKey, now: float) -> tuple[float, bool]:
+        """Sample the faults hitting one data message on ``edge``."""
+        extra = 0.0
+        duplicate = False
+        for rule in self.rules:
+            if not rule.applies(edge, now):
+                continue
+            # Always burn four draws so the random stream is independent
+            # of which faults actually fire.
+            r_drop = self._rng.random()
+            r_dup = self._rng.random()
+            r_reorder = self._rng.random()
+            r_delay = self._rng.random()
+            if r_drop < rule.drop_rate:
+                self.drops_injected += 1
+                extra += rule.retransmit_delay
+            if r_dup < rule.duplicate_rate:
+                self.duplicates_injected += 1
+                duplicate = True
+            if r_reorder < rule.reorder_rate:
+                self.reorders_injected += 1
+                extra += rule.reorder_hold
+            if r_delay < rule.delay_rate:
+                self.delay_spikes_injected += 1
+                extra += rule.delay_spike
+        return extra, duplicate
+
+    def faults_injected(self) -> int:
+        """Total number of individual faults injected so far."""
+        return (
+            self.drops_injected
+            + self.duplicates_injected
+            + self.reorders_injected
+            + self.delay_spikes_injected
+        )

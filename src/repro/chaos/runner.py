@@ -1,0 +1,353 @@
+"""Chaos experiment runner.
+
+One :class:`ChaosRunner` owns a workload configuration (word count by
+default, LRB optionally) and runs it three ways:
+
+* **golden** — no faults at all; its sink output is the exactly-once
+  reference.  The workload RNG derives from ``config.seed``, which the
+  runner keeps *fixed* across every run of a sweep, so one golden run
+  serves all chaos seeds and any sink difference is attributable to the
+  injected faults alone.
+* **run_seed(seed)** — network faults (loss, duplication, re-ordering,
+  delay spikes) plus Poisson crash-stop failures of worker VMs, all
+  derived from the single chaos ``seed``.  A violating seed reproduces
+  from the seed alone.
+* **run_phase_kill(phase, target)** — a deterministic schedule: the
+  primary VM is killed to trigger a recovery, and a second kill fires
+  exactly when the reconfiguration enters ``phase``.
+
+After each chaos run the :class:`InvariantChecker` audits the system and
+the sink output is compared window-by-window against the golden run.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+
+import numpy as np
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    Violation,
+    compare_windows,
+    eligible_windows,
+)
+from repro.chaos.plan import FaultRule, NetworkFaultPlan
+from repro.chaos.schedule import PhaseTriggeredFaults
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.runtime.system import StreamProcessingSystem
+
+
+@dataclass
+class ChaosRunResult:
+    """Outcome of one chaos run."""
+
+    seed: int
+    violations: list[Violation] = field(default_factory=list)
+    failures: int = 0
+    stragglers: int = 0
+    faults: int = 0
+    recoveries: int = 0
+    aborts: int = 0
+    results_received: int = 0
+
+    @property
+    def survived(self) -> bool:
+        """Whether the run upheld every invariant."""
+        return not self.violations
+
+    def describe(self) -> str:
+        """One line per violation, or an OK summary."""
+        if self.survived:
+            return (
+                f"seed {self.seed}: OK "
+                f"({self.failures} failures, {self.faults} network faults, "
+                f"{self.recoveries} recoveries, {self.aborts} aborts)"
+            )
+        lines = [f"seed {self.seed}: {len(self.violations)} violation(s)"]
+        lines += [f"  {v}" for v in self.violations]
+        return "\n".join(lines)
+
+
+class ChaosRunner:
+    """Sweeps randomized fault schedules over one workload."""
+
+    def __init__(
+        self,
+        workload: str = "wordcount",
+        rate: float = 200.0,
+        duration: float = 150.0,
+        window: float = 15.0,
+        checkpoint_interval: float = 2.0,
+        settle: float = 25.0,
+        workload_seed: int = 0,
+        recovery_parallelism: int = 1,
+        drop_rate: float = 0.02,
+        duplicate_rate: float = 0.01,
+        reorder_rate: float = 0.02,
+        delay_rate: float = 0.005,
+        mtbf: float = 60.0,
+        margin: float = 10.0,
+        lrb_xways: int = 1,
+        lrb_tolerance: float = 0.0,
+    ) -> None:
+        if workload not in ("wordcount", "lrb"):
+            raise ReproError(f"unknown chaos workload: {workload!r}")
+        self.workload = workload
+        self.rate = rate
+        self.duration = duration
+        self.window = window
+        self.checkpoint_interval = checkpoint_interval
+        #: Quiet tail after the last injected fault: long enough for every
+        #: recovery to finish and for each slot to store a fresh,
+        #: un-trim-locked checkpoint (the buffers_trimmed oracle needs it).
+        self.settle = settle
+        self.workload_seed = workload_seed
+        self.recovery_parallelism = recovery_parallelism
+        self.drop_rate = drop_rate
+        self.duplicate_rate = duplicate_rate
+        self.reorder_rate = reorder_rate
+        self.delay_rate = delay_rate
+        self.mtbf = mtbf
+        self.margin = margin
+        self.lrb_xways = lrb_xways
+        self.lrb_tolerance = lrb_tolerance
+        self._golden = None
+
+    # ------------------------------------------------------------- building
+
+    def _config(self) -> SystemConfig:
+        config = SystemConfig()
+        config.seed = self.workload_seed
+        config.scaling.enabled = False
+        config.checkpoint.interval = self.checkpoint_interval
+        config.checkpoint.stagger = True
+        config.fault.recovery_parallelism = self.recovery_parallelism
+        # Chaos runs recover often; a deep pool with fast refills keeps VM
+        # acquisition from dominating every schedule.
+        config.cloud.pool_size = 4
+        config.cloud.provisioning_delay = 12.0
+        return config
+
+    def _build(self):
+        if self.workload == "lrb":
+            from repro.workloads.lrb.query import build_lrb_query
+
+            query = build_lrb_query(self.lrb_xways, self.duration)
+        else:
+            from repro.workloads.wordcount import build_word_count_query
+
+            query = build_word_count_query(
+                rate=self.rate,
+                window=self.window,
+                vocabulary_size=500,
+                words_per_sentence=6,
+                quantum=0.1,
+            )
+        system = StreamProcessingSystem(self._config())
+        system.deploy(query.graph, generators=query.generators)
+        return system, query
+
+    def _fault_plan(self, seed: int) -> NetworkFaultPlan:
+        rule = FaultRule(
+            drop_rate=self.drop_rate,
+            duplicate_rate=self.duplicate_rate,
+            reorder_rate=self.reorder_rate,
+            delay_rate=self.delay_rate,
+            # Keep injected delays well inside the windows' grace period,
+            # so delayed tuples still land in open windows.
+            retransmit_delay=0.05,
+            reorder_hold=0.02,
+            delay_spike=0.2,
+            window=(0.0, self.duration - self.settle),
+        )
+        return NetworkFaultPlan([rule], seed=seed)
+
+    # --------------------------------------------------------------- golden
+
+    def golden(self):
+        """The failure-free reference run (cached per runner)."""
+        if self._golden is None:
+            system, query = self._build()
+            system.run(until=self.duration)
+            self._golden = (system, query)
+        return self._golden
+
+    def _oracle_windows(self) -> list[int]:
+        return eligible_windows(
+            self.duration, self.window, grace=10.0, margin=self.margin
+        )
+
+    def _sink_violations(self, query) -> list[Violation]:
+        _golden_system, golden_query = self.golden()
+        if self.workload == "lrb":
+            expected = golden_query.collector.total()
+            actual = query.collector.total()
+            slack = self.lrb_tolerance * max(expected, 1.0)
+            if abs(expected - actual) > slack:
+                return [
+                    Violation(
+                        "sink_output",
+                        f"LRB totals differ: golden={expected} chaos={actual}",
+                    )
+                ]
+            return []
+        return compare_windows(
+            golden_query.collector, query.collector, self._oracle_windows()
+        )
+
+    # ----------------------------------------------------------- chaos runs
+
+    @staticmethod
+    def _fault_model_victims(system: StreamProcessingSystem):
+        """Worker VMs that may crash without leaving the fault model.
+
+        The paper's guarantee covers one failure at a time per slot: a
+        slot survives losing its primary *or* its checkpoint backup, but
+        not both at once (§3.3 acknowledges concurrent node failures may
+        lose state).  A chaos harness validates the claimed guarantee, so
+        the Poisson sampler exempts any VM that currently holds the sole
+        surviving copy of some slot's state:
+
+        * a VM storing the backup of a slot whose primary is dead (the
+          recovery in flight is reading that backup), and
+        * a VM hosting an instance that has not stored a checkpoint yet
+          (its state exists nowhere else).
+
+        Everything else — including VMs involved in an ongoing
+        reconfiguration — is fair game.
+        """
+        sole_backup_vms = {
+            id(vm)
+            for uid, vm in system.backup_locations.items()
+            if system.live_instance(uid) is None
+        }
+        victims = []
+        for inst in system.worker_instances():
+            if id(inst.vm) in sole_backup_vms:
+                continue
+            if system.backup_of(inst.uid) is None:
+                continue
+            victims.append(inst.vm)
+        return victims
+
+    def run_seed(self, seed: int) -> ChaosRunResult:
+        """One fully randomized chaos run, reproducible from ``seed``."""
+        system, query = self._build()
+        plan = self._fault_plan(seed)
+        system.network.install_fault_plan(plan)
+        rng = np.random.default_rng(seed)
+        system.injector.poisson_failures(
+            lambda: self._fault_model_victims(system),
+            mtbf=self.mtbf,
+            rng=rng,
+            until=self.duration - self.settle,
+        )
+        system.run(until=self.duration)
+        return self._audit(seed, system, query, plan)
+
+    def run_phase_kill(
+        self,
+        phase: str,
+        target: str,
+        fail_op: str | None = None,
+        fail_at: float = 45.0,
+        seed: int = 0,
+    ) -> ChaosRunResult:
+        """Deterministic mid-reconfiguration kill.
+
+        Kills the ``fail_op`` primary VM at ``fail_at`` to trigger a
+        recovery, then kills the ``target``-role VM the moment that
+        reconfiguration enters ``phase``.
+        """
+        if fail_op is None:
+            fail_op = "counter" if self.workload == "wordcount" else "toll_calc"
+        system, query = self._build()
+        schedule = PhaseTriggeredFaults(system)
+        schedule.kill_on_phase(phase, target=target, op_name=fail_op)
+        system.injector.fail_target_at(
+            lambda: system.vm_of(fail_op), fail_at
+        )
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=None)
+        if not schedule.fired:
+            result.violations.append(
+                Violation(
+                    "phase_kill",
+                    f"schedule never fired: no reconfiguration of "
+                    f"{fail_op!r} entered {phase!r}",
+                )
+            )
+        return result
+
+    def run_scale_out_kill(
+        self,
+        phase: str,
+        target: str,
+        op_name: str | None = None,
+        scale_at: float = 45.0,
+        parallelism: int = 2,
+        seed: int = 0,
+    ) -> ChaosRunResult:
+        """Deterministic mid-scale-out kill.
+
+        Starts a scale-out of ``op_name`` (still alive) at ``scale_at``
+        and kills the ``target``-role VM when that reconfiguration enters
+        ``phase``.  Unlike :meth:`run_phase_kill` the operator's primary
+        survives, so killing the *backup* VM stays inside the fault
+        model: the engine re-checkpoints from the live primary.
+        """
+        if op_name is None:
+            op_name = "counter" if self.workload == "wordcount" else "toll_calc"
+        system, query = self._build()
+        schedule = PhaseTriggeredFaults(system)
+        schedule.kill_on_phase(phase, target=target, op_name=op_name)
+
+        def start() -> None:
+            slot = system.query_manager.slots_of(op_name)[0]
+            system.scale_out.scale_out_slot(slot.uid, parallelism)
+
+        system.sim.schedule_at(scale_at, start)
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=None)
+        if not schedule.fired:
+            result.violations.append(
+                Violation(
+                    "phase_kill",
+                    f"schedule never fired: no scale-out of {op_name!r} "
+                    f"entered {phase!r}",
+                )
+            )
+        return result
+
+    def sweep(self, seeds: list[int]) -> list[ChaosRunResult]:
+        """Run every seed; the golden run is shared across the sweep."""
+        return [self.run_seed(seed) for seed in seeds]
+
+    # -------------------------------------------------------------- utility
+
+    def _audit(
+        self,
+        seed: int,
+        system: StreamProcessingSystem,
+        query,
+        plan: NetworkFaultPlan | None,
+    ) -> ChaosRunResult:
+        violations = InvariantChecker(system).check()
+        violations += self._sink_violations(query)
+        collector = query.collector
+        received = getattr(collector, "received", None)
+        if received is None:
+            received = int(collector.total())
+        return ChaosRunResult(
+            seed=seed,
+            violations=violations,
+            failures=len(system.injector.failures_injected),
+            stragglers=len(system.injector.stragglers_injected),
+            faults=plan.faults_injected() if plan is not None else 0,
+            recoveries=len(system.metrics.events_of_kind("recovery_complete")),
+            aborts=len(system.metrics.events_of_kind("recovery_aborted"))
+            + len(system.metrics.events_of_kind("scale_out_aborted")),
+            results_received=int(received),
+        )

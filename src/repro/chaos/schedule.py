@@ -1,0 +1,113 @@
+"""Phase-triggered fault schedules.
+
+Hooks :meth:`ReconfigurationEngine.on_phase_change` so a crash can be
+injected precisely when a reconfiguration enters a chosen phase — e.g.
+"kill the backup VM the moment CHECKPOINT_PARTITION begins" or "kill the
+target VM while state is in TRANSFER".  These are the windows the paper's
+protocol must survive (failures *during* a scale-out or recovery), which
+interval-based injection almost never hits.
+
+Kills are never performed synchronously inside the engine's phase
+transition: the listener schedules the failure at delay 0 with
+``PRIORITY_FAILURE`` so the engine finishes its own bookkeeping for the
+phase entry first, then observes the crash through its normal failure
+listeners on the very next event.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.sim.simulator import PRIORITY_FAILURE
+from repro.sim.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+    from repro.scaling.reconfig import Reconfiguration
+
+#: The VM hosting the instance being replaced (the "old" operator).
+TARGET_SOURCE_VM = "source"
+#: The freshly acquired VM the replacement instance deploys onto.
+TARGET_TARGET_VM = "target"
+#: The VM holding the upstream backup of the replaced slot's state.
+TARGET_BACKUP_VM = "backup"
+
+
+class _KillRule:
+    def __init__(
+        self, phase: str, target: str, op_name: str | None, once: bool
+    ) -> None:
+        self.phase = phase
+        self.target = target
+        self.op_name = op_name
+        self.once = once
+        self.exhausted = False
+
+
+class PhaseTriggeredFaults:
+    """Kills a role-resolved VM when reconfiguration enters a phase."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        self._rules: list[_KillRule] = []
+        #: (time, phase, target role, vm_id) for every kill performed.
+        self.fired: list[tuple[float, str, str, int]] = []
+        system.reconfig.on_phase_change(self._on_phase)
+
+    def kill_on_phase(
+        self,
+        phase: str,
+        target: str = TARGET_TARGET_VM,
+        op_name: str | None = None,
+        once: bool = True,
+    ) -> None:
+        """Arm a kill for the first (or every) entry into ``phase``.
+
+        ``target`` is one of :data:`TARGET_SOURCE_VM`,
+        :data:`TARGET_TARGET_VM`, :data:`TARGET_BACKUP_VM`; ``op_name``
+        optionally restricts the rule to reconfigurations of one
+        operator.
+        """
+        if target not in (TARGET_SOURCE_VM, TARGET_TARGET_VM, TARGET_BACKUP_VM):
+            raise ValueError(f"unknown kill target: {target!r}")
+        self._rules.append(_KillRule(phase, target, op_name, once))
+
+    # ------------------------------------------------------------ internals
+
+    def _on_phase(self, op: "Reconfiguration", phase: str) -> None:
+        for rule in self._rules:
+            if rule.exhausted or rule.phase != phase:
+                continue
+            if rule.op_name is not None and op.plan.op_name != rule.op_name:
+                continue
+            vm = self._resolve(op, rule.target)
+            if vm is None or not vm.alive:
+                continue
+            if rule.once:
+                rule.exhausted = True
+            self.fired.append((self.system.sim.now, phase, rule.target, vm.vm_id))
+            # Delay-0 failure event: the crash lands after the engine
+            # completes this phase entry, not inside it.
+            self.system.sim.schedule(
+                0.0,
+                self.system.injector.fail_now,
+                vm,
+                priority=PRIORITY_FAILURE,
+            )
+
+    def _resolve(
+        self, op: "Reconfiguration", target: str
+    ) -> VirtualMachine | None:
+        system = self.system
+        if target == TARGET_SOURCE_VM:
+            instance = system.instances.get(op.old_slot.uid)
+            return instance.vm if instance is not None else None
+        if target == TARGET_TARGET_VM:
+            if op.vms:
+                return op.vms[0]
+            if op.instances:
+                return op.instances[0].vm
+            return None
+        if op.backup_vm is not None:
+            return op.backup_vm
+        return system.backup_locations.get(op.old_slot.uid)

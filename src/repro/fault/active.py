@@ -174,7 +174,12 @@ class ActiveReplicationManager:
         cfg = system.config.checkpoint
         size = snapshot.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
         system.network.send(
-            primary.vm, replica.vm, size, replica.restore_from, snapshot
+            primary.vm,
+            replica.vm,
+            size,
+            replica.restore_from,
+            snapshot,
+            kind="control",
         )
 
     # ------------------------------------------------------------- metrics

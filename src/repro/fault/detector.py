@@ -49,6 +49,15 @@ class HeartbeatMonitor:
 
     def _tick(self) -> None:
         system = self.system
+        # Prune bookkeeping for slots that no longer exist (replaced by a
+        # scale out or a fresh-slot recovery): without this, stale
+        # ``_missed``/``_reported`` entries accumulate across every
+        # reconfiguration of a long run.
+        known = set(system.instances)
+        for uid in list(self._missed):
+            if uid not in known:
+                del self._missed[uid]
+        self._reported &= known
         for uid, instance in list(system.instances.items()):
             if instance.is_source or instance.is_sink:
                 continue

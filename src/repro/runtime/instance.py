@@ -118,6 +118,20 @@ class OperatorInstance:
         self._replay_expected = 0
         self._replay_done: Callable[[], None] | None = None
         self._replay_flagged_only = False
+        #: (slot, ts) pairs already counted toward the expected replays —
+        #: a network-duplicated copy must not double-count (it would end
+        #: the drain early and flip replay_mode while genuine replays are
+        #: still in flight).
+        self._replay_seen: set[tuple[int, int]] | None = None
+        #: Remaining expected replays per origin slot uid, so the engine
+        #: can release one feeder's share if that feeder dies mid-drain.
+        self._replay_by_slot: dict[int, int] | None = None
+        #: Fresh (non-replay) tuples parked while a dedup-mode replay
+        #: drain is in progress.  Processing fresh input *before* pending
+        #: replays would re-derive outputs under different out_clock
+        #: values, breaking the downstream duplicate filter's assumption
+        #: that (slot, ts) identifies one payload.
+        self._held_while_draining: list[Tuple] = []
         self._latency_counter = 0
         # Counters (weighted tuples).
         self.processed_weight = 0.0
@@ -177,6 +191,17 @@ class OperatorInstance:
                 )
                 self._note_replay_progress(tup)
                 return
+        elif (
+            self._replay_done is not None
+            and self._replay_flagged_only
+            and self.replay_mode == REPLAY_DEDUP
+        ):
+            # A restored instance is draining its replays: park fresh
+            # tuples until the drain completes so re-derivations keep
+            # their original out_clock values (exactly-once depends on
+            # the (slot, ts) <-> payload mapping being stable).
+            self._held_while_draining.append(tup)
+            return
         elif tup.ts <= self._arrival_wm.get(tup.slot, -1):
             # Duplicate of an already-accepted tuple (replayed after a
             # checkpoint covered it, or re-emitted by a recovered upstream).
@@ -192,6 +217,12 @@ class OperatorInstance:
             return
         if tup.ts > self._arrival_wm.get(tup.slot, -1):
             self._arrival_wm[tup.slot] = tup.ts
+        if tup.replay and self.replay_mode == REPLAY_DEDUP:
+            # Replays stream in ts order per origin slot, so advancing the
+            # floor as they are accepted makes a network-duplicated copy
+            # land at or below it and be dropped — without masking later
+            # replays behind fresh traffic's higher watermarks.
+            self._replay_dedup_floor[tup.slot] = tup.ts
         self._backlog_weight += tup.weight
         work = tup.weight * self.operator.cost_per_tuple
         self.vm.submit(work, self._process, tup)
@@ -512,6 +543,7 @@ class OperatorInstance:
         dest_uid: int,
         flag_replay: bool = False,
         after_positions: dict[int, int] | None = None,
+        counts: dict[int, int] | None = None,
     ) -> int:
         """replay-buffer-state(u, o): resend buffered tuples to ``dest_uid``.
 
@@ -522,6 +554,10 @@ class OperatorInstance:
         replay channel's streaming capacity), so replays stretch over time
         and contend with live traffic at the receiver — the effect behind
         the §6.2 recovery-time comparisons.
+
+        ``counts``, if given, accumulates sent tuples per origin slot
+        stamp — the receiver tracks its drain per origin, so the engine
+        can release one feeder's share if that feeder dies mid-drain.
         """
         sent = 0
         gap = self.system.config.fault.replay_message_gap
@@ -546,6 +582,8 @@ class OperatorInstance:
                     delay += gap
                 else:
                     self._send(dest_uid, tup)
+                if counts is not None:
+                    counts[tup.slot] = counts.get(tup.slot, 0) + 1
                 sent += 1
         return sent
 
@@ -562,12 +600,15 @@ class OperatorInstance:
         count: int,
         on_complete: Callable[[], None],
         flagged_only: bool = False,
+        by_slot: dict[int, int] | None = None,
     ) -> None:
         """Arrange ``on_complete`` to fire once ``count`` replayed tuples
         have been received *and processed* (the recovery-time endpoint).
 
         With ``flagged_only`` only tuples carrying the replay flag count —
         used by strategies that replay while new tuples keep flowing.
+        ``by_slot`` breaks ``count`` down per origin slot stamp, enabling
+        :meth:`release_replays_from` when a feeder dies mid-drain.
         """
         if self._replay_done is not None:
             raise RuntimeStateError(f"{self.slot!r} already awaiting replays")
@@ -577,6 +618,8 @@ class OperatorInstance:
         self._replay_expected = count
         self._replay_done = on_complete
         self._replay_flagged_only = flagged_only
+        self._replay_seen = set()
+        self._replay_by_slot = dict(by_slot) if by_slot else None
 
     def _note_replay_progress(self, tup: Tuple | None = None) -> None:
         if self._replay_done is None:
@@ -586,17 +629,71 @@ class OperatorInstance:
             and (tup is None or not tup.replay)
         ):
             return
+        if tup is not None and self._replay_seen is not None:
+            key = (tup.slot, tup.ts)
+            if key in self._replay_seen:
+                return  # duplicated delivery of an already-counted replay
+            self._replay_seen.add(key)
+        if (
+            tup is not None
+            and self._replay_by_slot is not None
+            and tup.slot in self._replay_by_slot
+        ):
+            self._replay_by_slot[tup.slot] -= 1
+            if self._replay_by_slot[tup.slot] <= 0:
+                del self._replay_by_slot[tup.slot]
         self._replay_expected -= 1
-        if self._replay_expected > 0:
-            return
+        if self._replay_expected <= 0:
+            self._complete_drain()
+
+    def release_replays_from(self, slot_uid: int) -> int:
+        """Give up on outstanding replays stamped with ``slot_uid``.
+
+        Called by the engine when the feeder that sent them died
+        mid-drain: its undelivered replays will never arrive, so waiting
+        for them would wedge the operation forever.  The arrival
+        watermark for that origin is rewound to the last *processed*
+        replay so that when the feeder itself recovers, its restored
+        buffer re-sends fill the gap instead of being dropped as
+        duplicates; parked fresh tuples from that origin are discarded
+        for the same reason (the feeder's recovery re-derives them).
+
+        Returns the number of expected replays released.
+        """
+        if self._replay_done is None or self._replay_by_slot is None:
+            return 0
+        remaining = self._replay_by_slot.pop(slot_uid, 0)
+        if remaining <= 0:
+            return 0
+        if self.replay_mode == REPLAY_DEDUP:
+            floor = self._replay_dedup_floor.get(slot_uid, -1)
+            if self._arrival_wm.get(slot_uid, -1) > floor:
+                self._arrival_wm[slot_uid] = floor
+        self._held_while_draining = [
+            t for t in self._held_while_draining if t.slot != slot_uid
+        ]
+        self._replay_expected -= remaining
+        if self._replay_expected <= 0:
+            self._complete_drain()
+        return remaining
+
+    def _complete_drain(self) -> None:
         done = self._replay_done
         self._replay_done = None
+        self._replay_seen = None
+        self._replay_by_slot = None
+        held, self._held_while_draining = self._held_while_draining, []
         # All replays are at least queued; a zero-cost marker item fires
         # after the last queued replay has been processed.
-        if self.vm.alive:
-            self.vm.submit(0.0, done)
-        else:
-            done()
+        if done is not None:
+            if self.vm.alive:
+                self.vm.submit(0.0, done)
+            else:
+                done()
+        # Tuples parked during the drain re-enter in arrival order; their
+        # work items queue behind the already-queued replays.
+        for tup in held:
+            self.receive(tup)
 
     # ------------------------------------------------------ control plane
 

@@ -183,7 +183,13 @@ class StreamProcessingSystem:
         cfg = self.config.checkpoint
         size = ckpt.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
         self.network.send(
-            instance.vm, target, size, self._store_backup, ckpt, target
+            instance.vm,
+            target,
+            size,
+            self._store_backup,
+            ckpt,
+            target,
+            kind="control",
         )
 
     def choose_backup_vm(self, instance: OperatorInstance) -> VirtualMachine | None:

@@ -177,7 +177,8 @@ class Reconfiguration:
         self.vms: list[VirtualMachine] = []
         self.new_slots: list[Slot] = []
         self.instances: list["OperatorInstance"] = []
-        self.pending_drains = 0
+        #: Replacement slot uids whose replay drain has not completed.
+        self.pending_drain_uids: set[int] = set()
         self.committed = False
         self.aborted = False
         self.finished = False
@@ -214,6 +215,24 @@ class ReconfigurationEngine:
         self.watchdog_seconds = _WATCHDOG_SECONDS
         #: Engine-wide per-phase deadlines, overridable per plan.
         self.default_phase_timeouts: dict[str, float] = {}
+        #: Observers notified at every phase entry (chaos schedules,
+        #: instrumentation).  Called as ``listener(op, phase)`` *after*
+        #: the engine's own bookkeeping for that phase entry.
+        self._phase_listeners: list[
+            Callable[[Reconfiguration, str], None]
+        ] = []
+
+    def on_phase_change(
+        self, listener: Callable[[Reconfiguration, str], None]
+    ) -> None:
+        """Register an observer for phase transitions (incl. PLAN, DONE
+        and ABORTED).  Listeners must not call back into the engine
+        synchronously; schedule follow-up work through the simulator."""
+        self._phase_listeners.append(listener)
+
+    def _notify(self, op: Reconfiguration, phase: str) -> None:
+        for listener in list(self._phase_listeners):
+            listener(op, phase)
 
     # ------------------------------------------------------------- queries
 
@@ -303,6 +322,7 @@ class ReconfigurationEngine:
         self._active.append(op)
         self._arm_deadline(op, PHASE_PLAN)
         system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        self._notify(op, PHASE_PLAN)
         self._enter_acquire_vms(op)
         return True
 
@@ -365,6 +385,7 @@ class ReconfigurationEngine:
         self._active.append(op)
         self._arm_deadline(op, PHASE_PLAN)
         system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        self._notify(op, PHASE_PLAN)
         system.sim.schedule(_MERGE_DRAIN_POLL, self._poll_merge_drain, op)
         return True
 
@@ -374,6 +395,7 @@ class ReconfigurationEngine:
         op.phase = phase
         op.timeline.enter(phase, self.system.sim.now)
         self._arm_deadline(op, phase)
+        self._notify(op, phase)
 
     def _arm_deadline(self, op: Reconfiguration, phase: str) -> None:
         timeout = op.plan.phase_timeouts.get(
@@ -404,8 +426,29 @@ class ReconfigurationEngine:
             self.system.pool.give_back(vm)
             return
         op.vms.append(vm)
+        # Watch the acquired VM: losing a replacement target mid-flight
+        # must abort (pre-commit) or release its drain (post-commit)
+        # instead of hanging until the watchdog.
+        vm.on_failure(
+            lambda _vm, op=op, vm=vm: self._target_vm_failed(op, vm)
+        )
         if len(op.vms) == op.plan.parallelism:
             self._enter_checkpoint_partition(op)
+
+    def _target_vm_failed(self, op: Reconfiguration, vm: VirtualMachine) -> None:
+        """A VM acquired for this operation crashed."""
+        if op.aborted or op.finished:
+            return
+        if not op.committed:
+            self._abort(op, f"target VM {vm.vm_id} failed")
+            return
+        # Post-commit: a replacement instance died while draining its
+        # replays.  Those replays will never complete; release its share
+        # of the drain so the operation can finish.  The instance itself
+        # is recovered through the normal failure-detection path.
+        for instance in op.instances:
+            if instance.vm is vm:
+                self._drain_done(op, instance.uid)
 
     # ------------------------------------------------ CHECKPOINT_PARTITION
 
@@ -560,7 +603,15 @@ class ReconfigurationEngine:
         for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
             size = part.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
             self.system.network.send(
-                op.backup_vm, vm, size, self._restore_one, op, part, slot, vm
+                op.backup_vm,
+                vm,
+                size,
+                self._restore_one,
+                op,
+                part,
+                slot,
+                vm,
+                kind="control",
             )
 
     # ------------------------------------------------------------- RESTORE
@@ -755,23 +806,34 @@ class ReconfigurationEngine:
                 if upstream is not None:
                     upstreams.append(upstream)
         sent: dict[int, int] = {slot.uid: 0 for slot in op.new_slots}
+        by_slot: dict[int, dict[int, int]] = {
+            slot.uid: {} for slot in op.new_slots
+        }
         for upstream in upstreams:
             upstream.pause()
             upstream.set_routing(plan.op_name, new_routing)
             upstream.repartition_buffer(plan.op_name)
         for upstream in upstreams:
+            feeder_stamps: set[int] = set()
             for slot in op.new_slots:
+                counts: dict[int, int] = {}
                 sent[slot.uid] += upstream.replay_buffer_to(
-                    slot.uid, flag_replay=True
+                    slot.uid, flag_replay=True, counts=counts
                 )
+                per = by_slot[slot.uid]
+                for stamp, n in counts.items():
+                    per[stamp] = per.get(stamp, 0) + n
+                feeder_stamps |= set(counts)
+            self._watch_drain_feeder(op, upstream, feeder_stamps)
+        op.pending_drain_uids = {instance.uid for instance in op.instances}
         self._enter(op, PHASE_REPLAY_DRAIN)
-        op.pending_drains = len(op.instances)
         for instance in op.instances:
             instance.replay_mode = REPLAY_DEDUP
             instance.expect_replays(
                 sent[instance.uid],
-                lambda op=op: self._one_drained(op),
+                lambda op=op, uid=instance.uid: self._drain_done(op, uid),
                 flagged_only=True,
+                by_slot=by_slot[instance.uid],
             )
         for upstream in upstreams:
             upstream.resume()
@@ -798,13 +860,23 @@ class ReconfigurationEngine:
         for upstream in upstreams:
             upstream.pause()
         sent = 0
+        by_slot: dict[int, int] = {}
         for upstream in upstreams:
-            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
+            counts: dict[int, int] = {}
+            sent += upstream.replay_buffer_to(
+                instance.uid, flag_replay=True, counts=counts
+            )
+            for stamp, n in counts.items():
+                by_slot[stamp] = by_slot.get(stamp, 0) + n
+            self._watch_drain_feeder(op, upstream, set(counts))
+        op.pending_drain_uids = {instance.uid}
         self._enter(op, PHASE_REPLAY_DRAIN)
-        op.pending_drains = 1
         instance.replay_mode = REPLAY_DEDUP
         instance.expect_replays(
-            sent, lambda: self._one_drained(op), flagged_only=True
+            sent,
+            lambda uid=instance.uid: self._drain_done(op, uid),
+            flagged_only=True,
+            by_slot=by_slot,
         )
         for upstream in upstreams:
             upstream.resume()
@@ -880,12 +952,22 @@ class ReconfigurationEngine:
                 if upstream is not None:
                     upstreams.append(upstream)
         sent = 0
+        by_slot: dict[int, int] = {}
         for upstream in upstreams:
-            sent += upstream.replay_buffer_to(instance.uid, flag_replay=True)
+            counts: dict[int, int] = {}
+            sent += upstream.replay_buffer_to(
+                instance.uid, flag_replay=True, counts=counts
+            )
+            for stamp, n in counts.items():
+                by_slot[stamp] = by_slot.get(stamp, 0) + n
+            self._watch_drain_feeder(op, upstream, set(counts))
+        op.pending_drain_uids = {instance.uid}
         self._enter(op, PHASE_REPLAY_DRAIN)
-        op.pending_drains = 1
         instance.expect_replays(
-            sent, lambda: self._one_drained(op), flagged_only=True
+            sent,
+            lambda uid=instance.uid: self._drain_done(op, uid),
+            flagged_only=True,
+            by_slot=by_slot,
         )
         system.record_vm_count()
 
@@ -914,9 +996,48 @@ class ReconfigurationEngine:
 
     # -------------------------------------------------------- REPLAY_DRAIN
 
-    def _one_drained(self, op: Reconfiguration) -> None:
-        op.pending_drains -= 1
-        if op.pending_drains > 0 or op.finished:
+    def _watch_drain_feeder(
+        self,
+        op: Reconfiguration,
+        upstream: "OperatorInstance",
+        stamps: set[int],
+    ) -> None:
+        """Release a feeder's drain share if the feeder dies mid-drain.
+
+        A committed operation's replay drain counts on every scheduled
+        replay arriving; a feeder VM crash silently drops its unsent
+        replays, which would leave the drain (and the busy slot) wedged
+        forever.  The feeder's own recovery re-delivers the gap from its
+        restored buffer, so the draining instance releases the share and
+        rewinds its arrival watermark (see ``release_replays_from``).
+        """
+        if not stamps:
+            return
+        upstream.vm.on_failure(
+            lambda _vm, op=op, stamps=frozenset(stamps): (
+                self._drain_feeder_failed(op, stamps)
+            )
+        )
+
+    def _drain_feeder_failed(
+        self, op: Reconfiguration, stamps: frozenset[int]
+    ) -> None:
+        if op.finished:
+            return
+        for uid in list(op.pending_drain_uids):
+            dest = self.system.instances.get(uid)
+            if dest is None or not dest.alive:
+                continue
+            for stamp in stamps:
+                dest.release_replays_from(stamp)
+
+    def _drain_done(self, op: Reconfiguration, uid: int) -> None:
+        """One replacement's replay drain completed (or was released
+        because the replacement died).  Idempotent per slot uid."""
+        if op.finished:
+            return
+        op.pending_drain_uids.discard(uid)
+        if op.pending_drain_uids:
             return
         self._finish(op)
 
@@ -941,6 +1062,8 @@ class ReconfigurationEngine:
     # ----------------------------------------------------------------- DONE
 
     def _finish(self, op: Reconfiguration) -> None:
+        if op.finished:
+            return
         system = self.system
         plan = op.plan
         op.finished = True
@@ -994,6 +1117,8 @@ class ReconfigurationEngine:
                 )
         op.timeline.enter(PHASE_DONE, system.sim.now)
         op.timeline.close(system.sim.now, "done")
+        op.phase = PHASE_DONE
+        self._notify(op, PHASE_DONE)
         if plan.on_complete is not None:
             plan.on_complete(duration)
 
@@ -1042,6 +1167,27 @@ class ReconfigurationEngine:
             old = system.instance(op.old_slot.uid)
             if old is not None and old.alive:
                 old.resume()
+            # Tear down replacement instances deployed before the abort:
+            # they were never committed into the execution graph, and
+            # leaving them registered would leak zombie instances (and
+            # pool VMs that still appear occupied).
+            for instance in op.instances:
+                if (
+                    not op.plan.preserve_slots
+                    and system.instances.get(instance.uid) is instance
+                ):
+                    system.instances.pop(instance.uid, None)
+                instance.stop(release_vm=False)
+            op.instances.clear()
+            if (
+                plan.state_source == SOURCE_BACKUP
+                and not op.plan.preserve_slots
+            ):
+                # Drop the partitions' initial backups stored during
+                # CHECKPOINT_PARTITION (Algorithm 2, line 8).
+                for slot in op.new_slots:
+                    if slot.uid != op.old_slot.uid:
+                        system.drop_backup(slot.uid)
             for vm in op.vms:
                 system.pool.give_back(vm)
             op.vms.clear()
@@ -1066,3 +1212,5 @@ class ReconfigurationEngine:
                     )
         op.timeline.enter(PHASE_ABORTED, system.sim.now)
         op.timeline.close(system.sim.now, "aborted")
+        op.phase = PHASE_ABORTED
+        self._notify(op, PHASE_ABORTED)

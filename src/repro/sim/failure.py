@@ -2,8 +2,14 @@
 
 Models the paper's failure assumption: independent, random crash-stop
 failures of machines.  Failures can be scheduled deterministically (kill
-this VM at t=60, as in the recovery experiments) or drawn from an
-exponential inter-failure distribution (as in long-running scale tests).
+this VM at t=60, as in the recovery experiments), drawn from an
+exponential inter-failure distribution (as in long-running scale tests),
+correlated across several VMs (rack/AZ loss), or degraded rather than
+fatal (stragglers: a VM keeps running at a fraction of its CPU capacity,
+which feeds the utilisation-based bottleneck detector false signals).
+
+Every injection method returns an :class:`InjectionHandle` so a chaos
+harness can tear a schedule down cleanly between seeds.
 """
 
 from __future__ import annotations
@@ -12,32 +18,117 @@ from typing import Callable
 
 import numpy as np
 
+from repro.sim.events import Event
 from repro.sim.simulator import PRIORITY_FAILURE, Simulator
 from repro.sim.vm import VirtualMachine
 
 
+class InjectionHandle:
+    """Cancellation handle for one injected failure schedule."""
+
+    def __init__(self) -> None:
+        self._events: list[Event] = []
+        self.cancelled = False
+
+    def _add(self, event: Event) -> None:
+        self._events.append(event)
+
+    @property
+    def pending(self) -> int:
+        """Number of scheduled injections that have not fired yet."""
+        return sum(1 for event in self._events if event.pending)
+
+    def cancel(self) -> None:
+        """Cancel every injection of this schedule that has not fired."""
+        self.cancelled = True
+        for event in self._events:
+            if event.pending:
+                event.cancel()
+
+
 class FailureInjector:
-    """Schedules crash-stop failures against VMs."""
+    """Schedules crash-stop failures (and degradations) against VMs."""
 
     def __init__(self, sim: Simulator) -> None:
         self.sim = sim
         self.failures_injected: list[tuple[float, int]] = []
+        #: Straggler injections as (time, vm_id, new_capacity).
+        self.stragglers_injected: list[tuple[float, int, float]] = []
 
-    def fail_vm_at(self, vm: VirtualMachine, time: float) -> None:
+    def fail_vm_at(self, vm: VirtualMachine, time: float) -> InjectionHandle:
         """Crash ``vm`` at absolute simulated ``time``."""
-        self.sim.schedule_at(time, self._fail, vm, priority=PRIORITY_FAILURE)
+        handle = InjectionHandle()
+        handle._add(
+            self.sim.schedule_at(time, self._fail, vm, priority=PRIORITY_FAILURE)
+        )
+        return handle
 
     def fail_target_at(
         self, resolve: Callable[[], VirtualMachine | None], time: float
-    ) -> None:
+    ) -> InjectionHandle:
         """Crash whatever VM ``resolve`` returns at ``time``.
 
         Late binding matters: a scale-out between scheduling and firing may
         have moved the targeted operator to a different VM.
         """
-        self.sim.schedule_at(
-            time, self._fail_resolved, resolve, priority=PRIORITY_FAILURE
+        handle = InjectionHandle()
+        handle._add(
+            self.sim.schedule_at(
+                time, self._fail_resolved, resolve, priority=PRIORITY_FAILURE
+            )
         )
+        return handle
+
+    def fail_now(self, vm: VirtualMachine) -> None:
+        """Crash ``vm`` immediately (phase-triggered chaos schedules)."""
+        self._fail(vm)
+
+    def fail_correlated_at(
+        self,
+        resolve: Callable[[], list[VirtualMachine]],
+        time: float,
+    ) -> InjectionHandle:
+        """Crash every VM ``resolve`` returns at the same instant.
+
+        Models correlated failures (rack or availability-zone loss): all
+        victims die in one simulated event, so recovery machinery sees
+        them concurrently rather than one detection window apart.
+        """
+        handle = InjectionHandle()
+        handle._add(
+            self.sim.schedule_at(
+                time, self._fail_group, resolve, priority=PRIORITY_FAILURE
+            )
+        )
+        return handle
+
+    def straggle_vm_at(
+        self,
+        resolve: Callable[[], VirtualMachine | None],
+        time: float,
+        factor: float = 0.25,
+        duration: float | None = None,
+    ) -> InjectionHandle:
+        """Slow the resolved VM to ``factor`` of its capacity at ``time``.
+
+        The VM degrades rather than dies — its utilisation rises toward
+        100 %, which is exactly the false bottleneck signal the δ=70 %
+        detector reacts to.  With ``duration`` the original capacity is
+        restored afterwards (a transient straggler).
+        """
+        handle = InjectionHandle()
+        handle._add(
+            self.sim.schedule_at(
+                time,
+                self._straggle_resolved,
+                resolve,
+                factor,
+                duration,
+                handle,
+                priority=PRIORITY_FAILURE,
+            )
+        )
+        return handle
 
     def poisson_failures(
         self,
@@ -45,19 +136,28 @@ class FailureInjector:
         mtbf: float,
         rng: np.random.Generator,
         until: float,
-    ) -> None:
+    ) -> InjectionHandle:
         """Inject failures with exponential inter-arrival times.
 
         ``mtbf`` is the mean time between failures across the whole
         deployment; victims are chosen uniformly among the alive VMs
-        returned by ``candidates`` at failure time.
+        returned by ``candidates`` at failure time.  The returned handle
+        cancels every not-yet-fired injection of the schedule.
         """
+        handle = InjectionHandle()
         t = self.sim.now + float(rng.exponential(mtbf))
         while t < until:
-            self.sim.schedule_at(
-                t, self._fail_random, candidates, rng, priority=PRIORITY_FAILURE
+            handle._add(
+                self.sim.schedule_at(
+                    t,
+                    self._fail_random,
+                    candidates,
+                    rng,
+                    priority=PRIORITY_FAILURE,
+                )
             )
             t += float(rng.exponential(mtbf))
+        return handle
 
     def _fail(self, vm: VirtualMachine) -> None:
         if vm.alive:
@@ -67,6 +167,10 @@ class FailureInjector:
     def _fail_resolved(self, resolve: Callable[[], VirtualMachine | None]) -> None:
         vm = resolve()
         if vm is not None:
+            self._fail(vm)
+
+    def _fail_group(self, resolve: Callable[[], list[VirtualMachine]]) -> None:
+        for vm in resolve():
             self._fail(vm)
 
     def _fail_random(
@@ -79,3 +183,32 @@ class FailureInjector:
             return
         victim = alive[int(rng.integers(len(alive)))]
         self._fail(victim)
+
+    def _straggle_resolved(
+        self,
+        resolve: Callable[[], VirtualMachine | None],
+        factor: float,
+        duration: float | None,
+        handle: InjectionHandle,
+    ) -> None:
+        vm = resolve()
+        if vm is None or not vm.alive:
+            return
+        original = vm.cpu_capacity
+        degraded = original * factor
+        vm.set_cpu_capacity(degraded)
+        self.stragglers_injected.append((self.sim.now, vm.vm_id, degraded))
+        if duration is not None:
+            handle._add(
+                self.sim.schedule(
+                    duration,
+                    self._recover_straggler,
+                    vm,
+                    original,
+                    priority=PRIORITY_FAILURE,
+                )
+            )
+
+    def _recover_straggler(self, vm: VirtualMachine, capacity: float) -> None:
+        if vm.alive:
+            vm.set_cpu_capacity(capacity)

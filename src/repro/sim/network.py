@@ -12,15 +12,59 @@ link contention would add noise without changing any of the evaluated
 shapes.  Per-VM egress serialisation cost is instead charged as CPU work
 by the runtime, matching the paper's observation that sources/sinks
 saturate on serialisation overhead.
+
+Chaos injection
+---------------
+A pluggable fault plan (see :mod:`repro.chaos.plan`) can perturb the
+*physical* layer underneath data messages: losing copies, duplicating
+them, re-ordering them, or spiking their latency.  The runtime's
+duplicate filter and upstream-buffer trim protocol assume per-connection
+FIFO lossless channels (the paper runs over TCP), so the Network models a
+reliable transport on top of the faulty physical layer:
+
+* a lost physical copy is retransmitted — it surfaces as added latency,
+  never as silent loss (true loss only happens through VM death, which is
+  what exercises the replay paths);
+* a re-ordered or delayed copy is held back and released in order — each
+  edge keeps a monotone release clock, so later messages never overtake
+  an earlier delayed one (head-of-line blocking, as under TCP);
+* a duplicated copy *is* delivered to the application, strictly after the
+  in-order primary — exercising the timestamp duplicate filter, which is
+  the one layer expected to absorb transport-level duplicates.
+
+Only ``kind="data"`` messages are perturbed; control messages
+(checkpoints, state transfers) model an already-reliable RPC layer.
 """
 
 from __future__ import annotations
 
-from typing import Any, Callable
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
 
 from repro.errors import SimulationError
 from repro.sim.simulator import PRIORITY_DATA, Simulator
 from repro.sim.vm import VirtualMachine
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.chaos.plan import NetworkFaultPlan
+
+#: Message kinds. Fault plans apply to the data plane only.
+KIND_DATA = "data"
+KIND_CONTROL = "control"
+
+
+@dataclass
+class EdgeStats:
+    """Per-(src, dst) message accounting for one directed edge."""
+
+    sent: int = 0
+    delivered: int = 0
+    dropped: int = 0
+    duplicated: int = 0
+
+    def drop_rate(self) -> float:
+        """Fraction of sent messages dropped (0 when nothing was sent)."""
+        return self.dropped / self.sent if self.sent else 0.0
 
 
 class Network:
@@ -44,11 +88,34 @@ class Network:
         self.messages_sent = 0
         self.messages_delivered = 0
         self.messages_dropped = 0
+        self.messages_duplicated = 0
         self.bytes_sent = 0.0
+        #: Per-edge accounting, keyed by (src vm_id | None, dst vm_id).
+        self.edge_stats: dict[tuple[int | None, int], EdgeStats] = {}
+        self.fault_plan: "NetworkFaultPlan | None" = None
+        #: Per-edge in-order release clock, active only under a fault plan.
+        self._edge_clear: dict[tuple[int | None, int], float] = {}
+
+    # -------------------------------------------------------------- chaos
+
+    def install_fault_plan(self, plan: "NetworkFaultPlan | None") -> None:
+        """Install (or clear, with ``None``) the data-plane fault plan."""
+        self.fault_plan = plan
+        self._edge_clear.clear()
+
+    # ------------------------------------------------------------ sending
 
     def transfer_time(self, size_bytes: float) -> float:
         """Delay experienced by a message of ``size_bytes``."""
         return self.latency + size_bytes / self.bandwidth
+
+    def edge(self, src: VirtualMachine | None, dst: VirtualMachine) -> EdgeStats:
+        """The accounting record for the ``src -> dst`` edge."""
+        key = (src.vm_id if src is not None else None, dst.vm_id)
+        stats = self.edge_stats.get(key)
+        if stats is None:
+            stats = self.edge_stats[key] = EdgeStats()
+        return stats
 
     def send(
         self,
@@ -57,32 +124,80 @@ class Network:
         size_bytes: float,
         on_delivered: Callable[..., Any],
         *args: Any,
+        kind: str = KIND_DATA,
     ) -> None:
         """Deliver a message to ``dst`` after the modelled delay.
 
         ``src`` may be ``None`` for messages originating outside the
         cluster (e.g. external data feeds).  If the destination is dead at
         delivery time the message is silently dropped (crash-stop model).
-        Messages from a VM that is already dead are not sent at all.
+        Messages from a VM that is already dead count as sent *and*
+        dropped, so per-edge drop rates stay within [0, 1].
         """
+        stats = self.edge(src, dst)
+        self.messages_sent += 1
+        stats.sent += 1
         if src is not None and not src.alive:
             self.messages_dropped += 1
+            stats.dropped += 1
             return
-        self.messages_sent += 1
         self.bytes_sent += size_bytes
         delay = self.transfer_time(size_bytes)
-        self.sim.schedule(
-            delay, self._deliver, dst, on_delivered, args, priority=PRIORITY_DATA
+        plan = self.fault_plan
+        if plan is None or kind != KIND_DATA:
+            self.sim.schedule(
+                delay,
+                self._deliver,
+                dst,
+                on_delivered,
+                args,
+                stats,
+                priority=PRIORITY_DATA,
+            )
+            return
+        key = (src.vm_id if src is not None else None, dst.vm_id)
+        extra, duplicate = plan.draw(key, self.sim.now)
+        # Reliable in-order release: a delayed/retransmitted message holds
+        # back everything sent after it on the same edge.
+        arrival = max(self.sim.now + delay + extra, self._edge_clear.get(key, 0.0))
+        self._edge_clear[key] = arrival
+        self.sim.schedule_at(
+            arrival,
+            self._deliver,
+            dst,
+            on_delivered,
+            args,
+            stats,
+            priority=PRIORITY_DATA,
         )
+        if duplicate:
+            # The spurious copy arrives strictly after the in-order
+            # primary; the receiver's duplicate filter must absorb it.
+            self.messages_duplicated += 1
+            stats.duplicated += 1
+            self.sim.schedule_at(
+                arrival + plan.duplicate_lag,
+                self._deliver,
+                dst,
+                on_delivered,
+                args,
+                stats,
+                priority=PRIORITY_DATA,
+            )
 
     def _deliver(
         self,
         dst: VirtualMachine,
         on_delivered: Callable[..., Any],
         args: tuple,
+        stats: EdgeStats | None = None,
     ) -> None:
         if not dst.alive:
             self.messages_dropped += 1
+            if stats is not None:
+                stats.dropped += 1
             return
         self.messages_delivered += 1
+        if stats is not None:
+            stats.delivered += 1
         on_delivered(*args)

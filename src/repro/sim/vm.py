@@ -129,6 +129,28 @@ class VirtualMachine:
             duration, self._complete_current, priority=PRIORITY_DATA
         )
 
+    def set_cpu_capacity(self, capacity: float) -> None:
+        """Change CPU speed mid-run (straggler injection / repair).
+
+        The in-flight work item is rescheduled so that the work it has
+        *not yet* performed completes at the new speed; queued items pick
+        up the new capacity when they start.
+        """
+        if capacity <= 0:
+            raise SimulationError(f"cpu_capacity must be positive: {capacity}")
+        if capacity == self.cpu_capacity:
+            return
+        if self._current_event is not None and self._current_event.pending:
+            remaining_wall = self._current_event.time - self.sim.now
+            remaining_work = remaining_wall * self.cpu_capacity
+            self._current_event.cancel()
+            self._current_event = self.sim.schedule(
+                remaining_work / capacity,
+                self._complete_current,
+                priority=PRIORITY_DATA,
+            )
+        self.cpu_capacity = capacity
+
     def _complete_current(self) -> None:
         item = self._current
         assert item is not None

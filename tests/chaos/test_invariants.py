@@ -1,0 +1,83 @@
+"""Unit tests for the invariant checker's oracles."""
+
+from repro.chaos.invariants import (
+    InvariantChecker,
+    compare_windows,
+    eligible_windows,
+)
+from tests.conftest import small_system
+
+
+class FakeCollector:
+    def __init__(self, windows):
+        self._windows = windows
+
+    def counts_for_window(self, idx):
+        return self._windows.get(idx, {})
+
+
+class TestEligibleWindows:
+    def test_only_finalized_windows(self):
+        # duration 150, window 15, grace 10, margin 10: window idx is
+        # eligible while (idx+1)*15 + 20 <= 150.
+        assert eligible_windows(150.0, 15.0, grace=10.0, margin=10.0) == list(
+            range(8)
+        )
+
+    def test_empty_when_run_too_short(self):
+        assert eligible_windows(20.0, 15.0, grace=10.0, margin=10.0) == []
+
+
+class TestCompareWindows:
+    def test_equal_output_passes(self):
+        golden = FakeCollector({0: {"a": 2, "b": 1}})
+        chaos = FakeCollector({0: {"a": 2, "b": 1}})
+        assert compare_windows(golden, chaos, [0]) == []
+
+    def test_lost_key_detected(self):
+        golden = FakeCollector({0: {"a": 2, "b": 1}})
+        chaos = FakeCollector({0: {"a": 2}})
+        violations = compare_windows(golden, chaos, [0])
+        assert len(violations) == 1
+        assert violations[0].name == "sink_output"
+        assert "b" in violations[0].detail
+
+    def test_duplicate_contribution_detected(self):
+        golden = FakeCollector({0: {"a": 2}})
+        chaos = FakeCollector({0: {"a": 3}})
+        violations = compare_windows(golden, chaos, [0])
+        assert len(violations) == 1
+
+    def test_windows_outside_oracle_ignored(self):
+        golden = FakeCollector({0: {"a": 2}, 1: {"a": 5}})
+        chaos = FakeCollector({0: {"a": 2}, 1: {"a": 99}})
+        assert compare_windows(golden, chaos, [0]) == []
+
+
+class TestInvariantCheckerOnLiveSystem:
+    def test_clean_run_has_no_violations(self):
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        gen.feed("a")
+        system.run(until=10.0)
+        assert InvariantChecker(system).check() == []
+
+    def test_recovered_run_has_no_violations(self):
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        for i in range(10):
+            gen.feed(f"k{i}")
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=30.0)
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+        assert InvariantChecker(system).check() == []
+
+    def test_leaked_vm_detected(self):
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        gen.feed("a")
+        system.run(until=5.0)
+        # Acquire a VM and "forget" it: neither pooled nor hosting.
+        leaked = []
+        system.pool.acquire(leaked.append)
+        system.run(until=30.0)
+        assert leaked
+        violations = InvariantChecker(system).check_no_leaked_vms()
+        assert any(v.name == "vm_leak" for v in violations)

@@ -1,0 +1,91 @@
+"""Mid-reconfiguration kill tests.
+
+Each test triggers a reconfiguration (a recovery or a scale-out of the
+word-count counter) and kills a role-resolved VM exactly when the engine
+enters a chosen phase.  These are the failure windows the paper's
+protocol must survive: a crash before COMMIT must abort cleanly and
+retry; a crash that lands after COMMIT must surface as a fresh failure
+and a second recovery.  Every run must end with all invariants intact —
+engine quiesced, timelines closed, no leaked VMs, trimmed buffers, and
+sink output equal to a failure-free golden run.
+"""
+
+import pytest
+
+from repro.chaos.runner import ChaosRunner
+from repro.chaos.schedule import (
+    TARGET_BACKUP_VM,
+    TARGET_SOURCE_VM,
+    TARGET_TARGET_VM,
+)
+
+#: Short enough for CI, long enough for four finalized oracle windows.
+DURATION = 90.0
+
+
+def assert_survived(result):
+    assert result.survived, result.describe()
+
+
+class TestRecoveryPhaseKills:
+    """Kill the replacement's VM as the counter's recovery progresses."""
+
+    @pytest.mark.parametrize(
+        "phase,parallelism",
+        [
+            # Parallel recovery partitions the checkpoint on the backup
+            # VM while the target VMs wait — a target kill here aborts
+            # the operation before commit.
+            ("CHECKPOINT_PARTITION", 2),
+            ("TRANSFER", 1),
+            ("RESTORE", 1),
+            ("REPLAY_DRAIN", 1),
+        ],
+    )
+    def test_target_vm_killed_in_phase(self, phase, parallelism):
+        runner = ChaosRunner(
+            duration=DURATION, recovery_parallelism=parallelism
+        )
+        result = runner.run_phase_kill(phase, target=TARGET_TARGET_VM)
+        assert_survived(result)
+        # Both kills happened (primary at t=45 plus the phase kill)...
+        assert result.failures == 2
+        # ...and the system still converged: either the interrupted
+        # attempt aborted and a retry recovered, or the post-commit kill
+        # triggered a second full recovery.
+        assert result.recoveries >= 1
+        assert result.recoveries + result.aborts == 2
+
+
+class TestScaleOutPhaseKills:
+    """Kill VMs mid-scale-out of a live operator."""
+
+    def test_backup_vm_killed_during_checkpoint_partition(self):
+        # The primary is alive, so losing the backup VM mid-partitioning
+        # stays inside the fault model: the engine aborts, the system
+        # re-checkpoints from the live primary, and state survives.
+        runner = ChaosRunner(duration=DURATION)
+        result = runner.run_scale_out_kill(
+            "CHECKPOINT_PARTITION", target=TARGET_BACKUP_VM
+        )
+        assert_survived(result)
+        assert result.failures == 1
+
+    def test_source_vm_killed_during_checkpoint_partition(self):
+        # The operator being scaled out dies mid-operation: its state
+        # must still be recovered from the surviving backup.
+        runner = ChaosRunner(duration=DURATION)
+        result = runner.run_scale_out_kill(
+            "CHECKPOINT_PARTITION", target=TARGET_SOURCE_VM
+        )
+        assert_survived(result)
+        assert result.failures == 1
+
+    @pytest.mark.parametrize(
+        "phase", ["TRANSFER", "RESTORE", "REPLAY_DRAIN"]
+    )
+    def test_target_vm_killed_in_phase(self, phase):
+        runner = ChaosRunner(duration=DURATION)
+        result = runner.run_scale_out_kill(phase, target=TARGET_TARGET_VM)
+        assert_survived(result)
+        assert result.failures == 1

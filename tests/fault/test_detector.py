@@ -1,0 +1,79 @@
+"""Tests for failure detection paths.
+
+Two detectors can observe the same crash: the modelled
+``detection_delay`` (the default path wired through
+``notify_instance_failed``) and the explicit :class:`HeartbeatMonitor`.
+Recovery dispatch must be idempotent when both fire, and the monitor's
+bookkeeping must reset once the slot is redeployed.
+"""
+
+from repro.fault.detector import HeartbeatMonitor
+from tests.conftest import small_system
+
+
+def _counter_uid(system) -> int:
+    return system.query_manager.slots_of("counter")[0].uid
+
+
+class TestHeartbeatMonitor:
+    def test_detects_after_missed_beats(self):
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        # Push the default detection path far out so only the monitor
+        # can trigger the recovery.
+        system.config.fault.detection_delay = 1000.0
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=2)
+        monitor.start()
+        gen.feed("a")
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=30.0)
+        assert monitor.detections == 1
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+
+    def test_both_paths_firing_dispatch_one_recovery(self):
+        """detection_delay and the heartbeat monitor race on the same
+        crash; the recovery coordinator must dispatch exactly once."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        system.config.fault.detection_delay = 1.0
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=2)
+        monitor.start()
+        gen.feed("a")
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=30.0)
+        assert monitor.detections == 1
+        assert len(system.metrics.events_of_kind("recovery_started")) == 1
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+
+    def test_bookkeeping_clears_after_redeploy(self):
+        """Once the slot's replacement is live, ``_reported``/``_missed``
+        reset, so a second crash of the same slot is detected again."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        system.config.fault.detection_delay = 1000.0
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=2)
+        monitor.start()
+        gen.feed("a")
+        uid = _counter_uid(system)
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=20.0)
+        assert uid not in monitor._reported
+        assert monitor._missed.get(uid, 0) == 0
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 25.0)
+        system.run(until=45.0)
+        assert monitor.detections == 2
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 2
+
+    def test_stale_entries_pruned_after_parallel_recovery(self):
+        """Parallel recovery replaces the slot with new uids; the
+        monitor's entries for the retired uid must not accumulate."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        system.config.fault.detection_delay = 1000.0
+        system.config.fault.recovery_parallelism = 2
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=2)
+        monitor.start()
+        for i in range(10):
+            gen.feed(f"k{i}")
+        old_uid = _counter_uid(system)
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 5.0)
+        system.run(until=30.0)
+        assert system.query_manager.parallelism_of("counter") == 2
+        assert old_uid not in monitor._missed
+        assert old_uid not in monitor._reported

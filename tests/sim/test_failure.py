@@ -84,3 +84,98 @@ class TestPoissonFailures:
             return injector.failures_injected
 
         assert run_once() == run_once()
+
+    def test_victim_sequence_differs_across_seeds(self):
+        def run_once(seed):
+            from repro.sim.simulator import Simulator
+
+            sim = Simulator()
+            injector = FailureInjector(sim)
+            vms = [VirtualMachine(sim, i) for i in range(10)]
+            rng = np.random.default_rng(seed)
+            injector.poisson_failures(lambda: vms, 20.0, rng, until=200.0)
+            sim.run(until=200.0)
+            return injector.failures_injected
+
+        assert run_once(1) != run_once(2)
+
+
+class TestInjectionHandles:
+    def test_cancel_prevents_pending_injections(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        handle = injector.fail_vm_at(vm, 5.0)
+        assert handle.pending == 1
+        handle.cancel()
+        sim.run()
+        assert vm.alive
+        assert handle.cancelled
+        assert handle.pending == 0
+        assert injector.failures_injected == []
+
+    def test_cancel_poisson_schedule_between_seeds(self, sim, injector):
+        vms = [VirtualMachine(sim, i) for i in range(10)]
+        rng = np.random.default_rng(3)
+        handle = injector.poisson_failures(
+            lambda: vms, mtbf=5.0, rng=rng, until=100.0
+        )
+        sim.run(until=10.0)
+        fired = len(injector.failures_injected)
+        handle.cancel()
+        sim.run(until=100.0)
+        assert len(injector.failures_injected) == fired
+
+    def test_cancel_after_firing_is_noop(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        handle = injector.fail_vm_at(vm, 1.0)
+        sim.run()
+        assert not vm.alive
+        handle.cancel()  # nothing pending; must not raise
+        assert handle.pending == 0
+
+
+class TestCorrelatedFailures:
+    def test_all_victims_die_in_one_event(self, sim, injector):
+        vms = [VirtualMachine(sim, i) for i in range(3)]
+        injector.fail_correlated_at(lambda: vms, 5.0)
+        sim.run()
+        assert all(not vm.alive for vm in vms)
+        times = [t for t, _vm_id in injector.failures_injected]
+        assert times == [5.0, 5.0, 5.0]
+
+    def test_already_dead_member_skipped(self, sim, injector):
+        vms = [VirtualMachine(sim, i) for i in range(2)]
+        vms[0].fail()
+        injector.fail_correlated_at(lambda: vms, 5.0)
+        sim.run()
+        assert len(injector.failures_injected) == 1
+
+
+class TestStragglers:
+    def test_capacity_degraded_and_restored(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        original = vm.cpu_capacity
+        injector.straggle_vm_at(lambda: vm, 5.0, factor=0.25, duration=10.0)
+        sim.run(until=6.0)
+        assert vm.cpu_capacity == pytest.approx(original * 0.25)
+        assert injector.stragglers_injected == [
+            (5.0, 1, pytest.approx(original * 0.25))
+        ]
+        sim.run(until=20.0)
+        assert vm.cpu_capacity == pytest.approx(original)
+        assert vm.alive
+
+    def test_permanent_straggler_without_duration(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        original = vm.cpu_capacity
+        injector.straggle_vm_at(lambda: vm, 5.0, factor=0.5)
+        sim.run(until=100.0)
+        assert vm.cpu_capacity == pytest.approx(original * 0.5)
+
+    def test_cancelled_straggler_never_degrades(self, sim, injector):
+        vm = VirtualMachine(sim, 1)
+        original = vm.cpu_capacity
+        handle = injector.straggle_vm_at(lambda: vm, 5.0, factor=0.25)
+        handle.cancel()
+        sim.run()
+        assert vm.cpu_capacity == pytest.approx(original)
+        assert injector.stragglers_injected == []

@@ -2,6 +2,7 @@
 
 import pytest
 
+from repro.chaos.plan import FaultRule, NetworkFaultPlan
 from repro.errors import SimulationError
 from repro.sim.network import Network
 from repro.sim.vm import VirtualMachine
@@ -55,14 +56,35 @@ class TestCrashStopSemantics:
         assert arrived == []
         assert net.messages_dropped == 1
 
-    def test_dead_source_does_not_send(self, sim, net, vms):
+    def test_dead_source_counts_sent_and_dropped(self, sim, net, vms):
+        """A dead source's message is accounted sent *and* dropped, so
+        per-edge drop rates stay within [0, 1]."""
         src, dst = vms
         src.fail()
         arrived = []
         net.send(src, dst, 1.0, arrived.append, "x")
         sim.run()
         assert arrived == []
-        assert net.messages_sent == 0
+        assert net.messages_sent == 1
+        assert net.messages_dropped == 1
+        assert net.messages_delivered == 0
+
+    def test_mid_delivery_destination_death_drops_exactly_once(
+        self, sim, net, vms
+    ):
+        """A message in flight when the destination dies is dropped once:
+        conservation sent == delivered + dropped holds on the edge."""
+        src, dst = vms
+        arrived = []
+        net.send(src, dst, 100.0, arrived.append, "x")
+        sim.schedule(0.05, dst.fail)
+        sim.run()
+        assert arrived == []
+        stats = net.edge(src, dst)
+        assert stats.sent == 1
+        assert stats.dropped == 1
+        assert stats.delivered == 0
+        assert stats.sent == stats.delivered + stats.dropped
 
     def test_external_source_allowed(self, sim, net, vms):
         _src, dst = vms
@@ -70,6 +92,134 @@ class TestCrashStopSemantics:
         net.send(None, dst, 1.0, arrived.append, "ext")
         sim.run()
         assert arrived == ["ext"]
+
+
+class TestEdgeStats:
+    def test_per_edge_accounting(self, sim, net, vms):
+        src, dst = vms
+        third = VirtualMachine(sim, 3)
+        net.send(src, dst, 10.0, lambda: None)
+        net.send(src, dst, 10.0, lambda: None)
+        net.send(src, third, 10.0, lambda: None)
+        sim.run()
+        assert net.edge(src, dst).sent == 2
+        assert net.edge(src, dst).delivered == 2
+        assert net.edge(src, third).sent == 1
+        assert net.edge(src, dst).drop_rate() == 0.0
+
+    def test_drop_rate_counts_per_edge(self, sim, net, vms):
+        src, dst = vms
+        dst.fail()
+        net.send(src, dst, 10.0, lambda: None)
+        net.send(src, dst, 10.0, lambda: None)
+        sim.run()
+        assert net.edge(src, dst).drop_rate() == 1.0
+
+
+class TestFaultPlan:
+    def test_drop_becomes_retransmit_delay_not_loss(self, sim, net, vms):
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(drop_rate=1.0, retransmit_delay=0.5)], seed=1
+        )
+        net.install_fault_plan(plan)
+        arrived = []
+        net.send(src, dst, 100.0, lambda: arrived.append(sim.now))
+        sim.run()
+        # Retransmitted, so it arrives late rather than disappearing.
+        assert arrived == [pytest.approx(0.01 + 0.1 + 0.5)]
+        assert plan.drops_injected == 1
+        assert net.messages_delivered == 1
+        assert net.messages_dropped == 0
+
+    def test_fifo_preserved_under_reordering(self, sim, net, vms):
+        """The reliable-transport clamp releases held messages in order:
+        later sends never overtake an earlier delayed one."""
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(reorder_rate=0.5, reorder_hold=0.3)], seed=7
+        )
+        net.install_fault_plan(plan)
+        arrived = []
+        for i in range(20):
+            net.send(src, dst, 64.0, arrived.append, i)
+        sim.run()
+        assert plan.reorders_injected > 0
+        assert arrived == list(range(20))
+
+    def test_duplicate_delivered_after_primary(self, sim, net, vms):
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(duplicate_rate=1.0)], seed=3, duplicate_lag=0.05
+        )
+        net.install_fault_plan(plan)
+        arrived = []
+        net.send(src, dst, 100.0, lambda: arrived.append(sim.now))
+        sim.run()
+        assert len(arrived) == 2
+        assert arrived[1] == pytest.approx(arrived[0] + 0.05)
+        assert net.messages_duplicated == 1
+        assert net.edge(src, dst).duplicated == 1
+
+    def test_control_traffic_untouched(self, sim, net, vms):
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(drop_rate=1.0, duplicate_rate=1.0)], seed=2
+        )
+        net.install_fault_plan(plan)
+        arrived = []
+        net.send(
+            src, dst, 100.0, lambda: arrived.append(sim.now), kind="control"
+        )
+        sim.run()
+        assert arrived == [pytest.approx(0.01 + 0.1)]
+        assert plan.faults_injected() == 0
+
+    def test_time_window_scoping(self, sim, net, vms):
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(drop_rate=1.0, retransmit_delay=1.0, window=(5.0, 10.0))],
+            seed=4,
+        )
+        net.install_fault_plan(plan)
+        net.send(src, dst, 1.0, lambda: None)  # before the window
+        sim.run()
+        assert plan.drops_injected == 0
+        sim.schedule_at(6.0, net.send, src, dst, 1.0, lambda: None)
+        sim.run()
+        assert plan.drops_injected == 1
+
+    def test_edge_scoping(self, sim, net, vms):
+        src, dst = vms
+        third = VirtualMachine(sim, 3)
+        plan = NetworkFaultPlan(
+            [
+                FaultRule(
+                    drop_rate=1.0,
+                    retransmit_delay=1.0,
+                    edges=frozenset({(src.vm_id, dst.vm_id)}),
+                )
+            ],
+            seed=5,
+        )
+        net.install_fault_plan(plan)
+        net.send(src, third, 1.0, lambda: None)
+        sim.run()
+        assert plan.drops_injected == 0
+        net.send(src, dst, 1.0, lambda: None)
+        sim.run()
+        assert plan.drops_injected == 1
+
+    def test_same_seed_same_fault_sequence(self):
+        rule = FaultRule(
+            drop_rate=0.3, duplicate_rate=0.2, reorder_rate=0.1, delay_rate=0.1
+        )
+        a = NetworkFaultPlan([rule], seed=42)
+        b = NetworkFaultPlan([rule], seed=42)
+        draws_a = [a.draw((1, 2), 0.0) for _ in range(200)]
+        draws_b = [b.draw((1, 2), 0.0) for _ in range(200)]
+        assert draws_a == draws_b
+        assert a.faults_injected() == b.faults_injected() > 0
 
 
 class TestOrdering:

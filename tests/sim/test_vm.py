@@ -33,6 +33,26 @@ class TestCpuExecution:
         sim.run()
         assert done == [1.0]
 
+    def test_capacity_change_rescales_in_flight_work(self, sim, vm):
+        """A straggler injection mid-item stretches only the work not
+        yet performed: 1s done at speed 1.0, the remaining 1s of work
+        runs at 0.25 and takes 4s more."""
+        done = []
+        vm.submit(2.0, lambda: done.append(sim.now))
+        sim.schedule_at(1.0, vm.set_cpu_capacity, 0.25)
+        sim.run()
+        assert done == [pytest.approx(5.0)]
+
+    def test_capacity_restore_speeds_up_in_flight_work(self, sim, vm):
+        """The symmetric repair: after 1s at quarter speed (0.25s of
+        work done), restoring full speed finishes the rest in 1.75s."""
+        vm.set_cpu_capacity(0.25)
+        done = []
+        vm.submit(2.0, lambda: done.append(sim.now))
+        sim.schedule_at(1.0, vm.set_cpu_capacity, 1.0)
+        sim.run()
+        assert done == [pytest.approx(2.75)]
+
     def test_front_submission_preempts_queue(self, sim, vm):
         done = []
         vm.submit(1.0, done.append, "running")
