@@ -43,13 +43,22 @@ from repro.runtime import (
     SourceOperator,
     StreamProcessingSystem,
 )
+
+# The runtime import above must precede these: chaos and scaling both
+# import repro.runtime internally, and obs is imported by runtime.system.
+from repro.chaos import ChaosRunner
+from repro.obs import Telemetry, Tracer
+from repro.scaling.reconfig import ReconfigurationEngine
 from repro.workloads import build_word_count_query, build_wikipedia_topk_query
 from repro.workloads.lrb import build_lrb_query
 
 __version__ = "1.0.0"
 
+#: The frozen public surface: ``from repro import <name>`` for every name
+#: here is the supported way in; everything else is internal layout.
 __all__ = [
     "Checkpoint",
+    "ChaosRunner",
     "CostModel",
     "CheckpointConfig",
     "CloudConfig",
@@ -61,6 +70,7 @@ __all__ = [
     "OperatorInstance",
     "ProcessingState",
     "QueryGraph",
+    "ReconfigurationEngine",
     "ReproError",
     "RoutingState",
     "STRATEGY_NONE",
@@ -73,6 +83,8 @@ __all__ = [
     "SourceOperator",
     "StreamProcessingSystem",
     "SystemConfig",
+    "Telemetry",
+    "Tracer",
     "Tuple",
     "WindowedJoinOperator",
     "__version__",

@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate the paper's figures.
+"""Command-line entry point: regenerate figures, or trace one run.
 
 Usage::
 
@@ -6,6 +6,11 @@ Usage::
     python -m repro fig11                # paper-scale parameters
     python -m repro fig06 --quick        # reduced parameters
     python -m repro all --quick
+    python -m repro trace wordcount --seed 7   # causal trace + critical path
+
+All console output flows through a structured :class:`EventLog` with a
+console sink, so every line the CLI prints is also a well-formed event
+record — nothing in ``repro`` calls ``print`` directly.
 """
 
 from __future__ import annotations
@@ -16,6 +21,7 @@ import time
 
 from repro.experiments import figures
 from repro.experiments.chaos import chaos_sweep
+from repro.obs import EventLog, console_sink, run_trace
 
 #: Figure name → (driver, paper-scale kwargs, quick kwargs).
 FIGURES: dict[str, tuple] = {
@@ -81,8 +87,52 @@ FIGURES: dict[str, tuple] = {
 }
 
 
+def _trace_main(argv: list[str]) -> int:
+    """``python -m repro trace <workload>``: trace one seeded recovery."""
+    parser = argparse.ArgumentParser(
+        prog="python -m repro trace",
+        description="Run one seeded recovery, dump its causal JSONL trace "
+        "and render the phase timeline + critical-path breakdown.",
+    )
+    parser.add_argument(
+        "workload",
+        nargs="?",
+        default="wordcount",
+        choices=("wordcount", "lrb"),
+        help="workload to run (default: wordcount)",
+    )
+    parser.add_argument("--seed", type=int, default=7, help="workload seed")
+    parser.add_argument(
+        "--duration", type=float, default=90.0, help="run length in sim-s"
+    )
+    parser.add_argument(
+        "--fail-at", type=float, default=40.0,
+        help="sim time of the injected primary-VM crash",
+    )
+    parser.add_argument(
+        "--out", default=None,
+        help="trace output path (default: trace-<workload>-seed<N>.jsonl)",
+    )
+    args = parser.parse_args(argv)
+    report = run_trace(
+        workload=args.workload,
+        seed=args.seed,
+        duration=args.duration,
+        fail_at=args.fail_at,
+        out=args.out,
+    )
+    log = EventLog(sink=console_sink())
+    log.emit("trace_report", text=report.render())
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
-    """Parse arguments and regenerate the requested figure(s)."""
+    """Parse arguments and run the requested subcommand."""
+    if argv is None:
+        argv = sys.argv[1:]
+    if argv and argv[0] == "trace":
+        return _trace_main(argv[1:])
+
     parser = argparse.ArgumentParser(
         prog="python -m repro",
         description="Regenerate figures from the SIGMOD'13 operator state "
@@ -90,7 +140,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig11), 'all', or 'list'",
+        help="figure id (e.g. fig11), 'all', 'list', or 'trace'",
     )
     parser.add_argument(
         "--quick",
@@ -98,10 +148,12 @@ def main(argv: list[str] | None = None) -> int:
         help="use reduced parameters (seconds instead of minutes)",
     )
     args = parser.parse_args(argv)
+    log = EventLog(sink=console_sink())
 
     if args.figure == "list":
         for name in FIGURES:
-            print(name)
+            log.emit("figure_id", text=name)
+        log.emit("figure_id", text="trace")
         return 0
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]
@@ -114,8 +166,13 @@ def main(argv: list[str] | None = None) -> int:
         kwargs = quick_kwargs if args.quick else paper_kwargs
         start = time.time()
         result = driver(**kwargs)
-        print(result.render())
-        print(f"[{name} regenerated in {time.time() - start:.1f}s]\n")
+        log.emit("figure_rendered", figure=name, text=result.render())
+        log.emit(
+            "figure_timing",
+            figure=name,
+            seconds=round(time.time() - start, 1),
+            text=f"[{name} regenerated in {time.time() - start:.1f}s]\n",
+        )
     return 0
 
 

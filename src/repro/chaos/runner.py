@@ -23,6 +23,7 @@ the sink output is compared window-by-window against the golden run.
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from pathlib import Path
 
 import numpy as np
 
@@ -51,6 +52,8 @@ class ChaosRunResult:
     recoveries: int = 0
     aborts: int = 0
     results_received: int = 0
+    #: JSONL trace dumped for this run (violating seeds only).
+    trace_path: str | None = None
 
     @property
     def survived(self) -> bool:
@@ -67,6 +70,8 @@ class ChaosRunResult:
             )
         lines = [f"seed {self.seed}: {len(self.violations)} violation(s)"]
         lines += [f"  {v}" for v in self.violations]
+        if self.trace_path is not None:
+            lines.append(f"  trace: {self.trace_path}")
         return "\n".join(lines)
 
 
@@ -91,10 +96,15 @@ class ChaosRunner:
         margin: float = 10.0,
         lrb_xways: int = 1,
         lrb_tolerance: float = 0.0,
+        trace_dir: str | None = None,
     ) -> None:
         if workload not in ("wordcount", "lrb"):
             raise ReproError(f"unknown chaos workload: {workload!r}")
         self.workload = workload
+        #: When set, any violating run dumps its full causal trace
+        #: (spans + event log) as JSONL under this directory, named by
+        #: workload and seed so the run reproduces from the seed alone.
+        self.trace_dir = trace_dir
         self.rate = rate
         self.duration = duration
         self.window = window
@@ -336,6 +346,14 @@ class ChaosRunner:
     ) -> ChaosRunResult:
         violations = InvariantChecker(system).check()
         violations += self._sink_violations(query)
+        trace_path: str | None = None
+        if violations and self.trace_dir is not None:
+            path = (
+                Path(self.trace_dir)
+                / f"chaos-{self.workload}-seed{seed}.jsonl"
+            )
+            system.telemetry.dump_jsonl(path)
+            trace_path = str(path)
         collector = query.collector
         received = getattr(collector, "received", None)
         if received is None:
@@ -350,4 +368,5 @@ class ChaosRunner:
             aborts=len(system.metrics.events_of_kind("recovery_aborted"))
             + len(system.metrics.events_of_kind("scale_out_aborted")),
             results_received=int(received),
+            trace_path=trace_path,
         )

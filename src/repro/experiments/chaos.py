@@ -6,10 +6,12 @@ fault-tolerance claims end to end.  Each seed drives one
 re-ordering and delay spikes plus Poisson crash-stop failures — and the
 run is audited by the invariant checker and compared window-by-window
 against a failure-free golden run.  A violating seed reproduces from the
-seed alone::
+seed alone, and with ``trace_dir`` set it also dumps a causally linked
+JSONL trace of the failing run::
 
     from repro.chaos import ChaosRunner
-    print(ChaosRunner().run_seed(13).describe())
+    result = ChaosRunner(trace_dir="chaos-traces").run_seed(13)
+    summary = result.describe()  # violations + trace path, if any
 """
 
 from __future__ import annotations
@@ -28,6 +30,7 @@ def chaos_sweep(
     duplicate_rate: float = 0.01,
     reorder_rate: float = 0.02,
     delay_rate: float = 0.005,
+    trace_dir: str | None = None,
 ) -> FigureResult:
     """Seeded chaos sweep; one row per seed, golden run shared."""
     runner = ChaosRunner(
@@ -39,6 +42,7 @@ def chaos_sweep(
         duplicate_rate=duplicate_rate,
         reorder_rate=reorder_rate,
         delay_rate=delay_rate,
+        trace_dir=trace_dir,
     )
     results = runner.sweep(list(seeds))
     rows = []

@@ -668,7 +668,7 @@ def ablation_vm_pool(
         system = StreamProcessingSystem(config)
         system.deploy(query.graph, generators=query.generators)
         system.run(until=duration)
-        durations = system.metrics.time_series_for("scale_out_duration").values
+        durations = system.metrics.timeseries("scale_out_duration").values
         mean_duration = sum(durations) / len(durations) if durations else None
         reservoir = system.metrics.latencies.get("latency:sink")
         p95 = reservoir.percentile(95) * 1e3 if reservoir and len(reservoir) else None

@@ -22,15 +22,15 @@ class ScaleOutRun:
 
     def input_rate_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, rates) of tuples entering the sources."""
-        return self.system.metrics.rate_series_for("input").series()
+        return self.system.metrics.rate("input").series()
 
     def processed_series(self, op_name: str) -> tuple[np.ndarray, np.ndarray]:
         """(times, rates) of tuples processed by one operator."""
-        return self.system.metrics.rate_series_for(f"processed:{op_name}").series()
+        return self.system.metrics.rate(f"processed:{op_name}").series()
 
     def vm_series(self) -> tuple[np.ndarray, np.ndarray]:
         """(times, counts) of live worker VMs."""
-        return self.system.metrics.time_series_for("vms:workers").as_arrays()
+        return self.system.metrics.timeseries("vms:workers").as_arrays()
 
     def latency_percentile(
         self, q: float, op: str = "sink", t_min: float | None = None, t_max: float | None = None
@@ -60,11 +60,11 @@ class ScaleOutRun:
 
     def peak_input_rate(self) -> float:
         """Highest observed input rate (tuples/s)."""
-        return self.system.metrics.rate_series_for("input").max_rate()
+        return self.system.metrics.rate("input").max_rate()
 
     def peak_throughput(self, op_name: str = "sink") -> float:
         """Highest observed processing rate at one operator."""
-        return self.system.metrics.rate_series_for(f"processed:{op_name}").max_rate()
+        return self.system.metrics.rate(f"processed:{op_name}").max_rate()
 
     def dropped_weight(self) -> float:
         """Total tuples dropped to queue overflow (open loop)."""

@@ -145,7 +145,7 @@ class ActiveReplicationManager:
                 "recovery_complete",
                 f"AR {replica.slot!r} {duration:.3f}s",
             )
-            system.metrics.time_series_for("recovery_time").record(
+            system.metrics.timeseries("recovery_time").record(
                 system.sim.now, duration
             )
             if on_complete is not None:

@@ -72,5 +72,12 @@ class HeartbeatMonitor:
             if missed >= self.missed_beats:
                 self._reported.add(uid)
                 self.detections += 1
+                system.telemetry.event(
+                    "heartbeat_detection",
+                    repr(instance.slot),
+                    slot=uid,
+                    missed_beats=missed,
+                    period=self.period,
+                )
                 if system.recovery is not None:
                     system.recovery.on_failure_detected(instance)

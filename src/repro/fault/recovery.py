@@ -67,6 +67,13 @@ class RecoveryCoordinator:
             if instance.vm.failed_at is not None
             else system.sim.now
         )
+        # Detection span: crash instant → this handoff, parented on the
+        # failure span and registered so the recovery's reconfiguration
+        # root span links back to it (the causal chain a trace renders
+        # as failure -> detection -> recovery -> phases).
+        system.telemetry.record_detection(
+            instance.uid, instance.op_name, failure_time
+        )
         if strategy == STRATEGY_RSM:
             self._recover_rsm(instance, failure_time)
         elif strategy == STRATEGY_UPSTREAM_BACKUP:

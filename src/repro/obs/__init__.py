@@ -1,0 +1,54 @@
+"""Causal tracing and telemetry for the simulated SPS.
+
+The observability layer the evaluation leans on:
+
+* :mod:`repro.obs.span` — :class:`Span`/:class:`Tracer`: causally
+  linked spans over simulated time, with parent links that survive VM
+  boundaries via message/operation ids;
+* :mod:`repro.obs.log` — :class:`EventLog`: structured JSONL event
+  records stamped with run metadata (seed, config fingerprint);
+* :mod:`repro.obs.critical_path` — :func:`analyze`: decomposes any
+  recovery or scale-out into detection / provision /
+  checkpoint-partition / transfer / restore / replay-drain segments and
+  names the dominant one (the paper's §6 breakdowns);
+* :mod:`repro.obs.telemetry` — :class:`Telemetry`: the facade wrapping
+  the metrics hub, event log and tracer behind one entry point shared
+  by benchmarks, experiments and the chaos harness;
+* :mod:`repro.obs.trace_cli` — the ``python -m repro trace`` driver.
+"""
+
+from repro.obs.critical_path import (
+    SEGMENT_CHECKPOINT_PARTITION,
+    SEGMENT_DETECTION,
+    SEGMENT_ORDER,
+    SEGMENT_PROVISION,
+    SEGMENT_REPLAY_DRAIN,
+    SEGMENT_RESTORE,
+    SEGMENT_TRANSFER,
+    CriticalPath,
+    analyze,
+)
+from repro.obs.log import EventLog, config_fingerprint, console_sink
+from repro.obs.span import Span, Tracer
+from repro.obs.telemetry import Telemetry
+from repro.obs.trace_cli import TraceReport, run_trace
+
+__all__ = [
+    "CriticalPath",
+    "EventLog",
+    "SEGMENT_CHECKPOINT_PARTITION",
+    "SEGMENT_DETECTION",
+    "SEGMENT_ORDER",
+    "SEGMENT_PROVISION",
+    "SEGMENT_REPLAY_DRAIN",
+    "SEGMENT_RESTORE",
+    "SEGMENT_TRANSFER",
+    "Span",
+    "TraceReport",
+    "Tracer",
+    "Telemetry",
+    "analyze",
+    "config_fingerprint",
+    "console_sink",
+    "run_trace",
+]

@@ -1,0 +1,179 @@
+"""Critical-path decomposition of reconfigurations.
+
+The paper's §6 evaluation attributes recovery time and scale-out latency
+to individual stages — how long until the failure was *detected*, how
+long VM *provisioning* took, how long the checkpoint took to
+*partition*, *transfer* and *restore*, and how long the replay *drain*
+ran.  :func:`analyze` maps a recorded
+:class:`~repro.sim.metrics.PhaseTimeline` onto those six segments and
+identifies the dominant one, which is what the figures' breakdowns (and
+any "why was this recovery slow?" question) reduce to.
+
+The segment durations partition the timeline exactly: for a closed
+timeline, ``sum(cp.segments.values()) == timeline.total_duration()``,
+because the engine's phase spans are contiguous.  Detection happens
+*before* the engine's timeline starts (failure → detector handoff), so
+it is reported separately and included only in :attr:`CriticalPath.
+total_with_detection`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any
+
+from repro.sim.metrics import PhaseTimeline
+
+SEGMENT_DETECTION = "detection"
+SEGMENT_PROVISION = "provision"
+SEGMENT_CHECKPOINT_PARTITION = "checkpoint-partition"
+SEGMENT_TRANSFER = "transfer"
+SEGMENT_RESTORE = "restore"
+SEGMENT_REPLAY_DRAIN = "replay-drain"
+#: Catch-all for phases an older/newer engine might add.
+SEGMENT_OTHER = "other"
+
+#: Report order for rendering and JSONL export.
+SEGMENT_ORDER = (
+    SEGMENT_DETECTION,
+    SEGMENT_PROVISION,
+    SEGMENT_CHECKPOINT_PARTITION,
+    SEGMENT_TRANSFER,
+    SEGMENT_RESTORE,
+    SEGMENT_REPLAY_DRAIN,
+)
+
+#: Engine phase → critical-path segment.  PLAN (admission checks, busy
+#: marking) counts toward provisioning; COMMIT (routing swap + replay
+#: kick-off) toward restore, matching the paper's restore-state stage.
+_PHASE_TO_SEGMENT = {
+    "PLAN": SEGMENT_PROVISION,
+    "ACQUIRE_VMS": SEGMENT_PROVISION,
+    "CHECKPOINT_PARTITION": SEGMENT_CHECKPOINT_PARTITION,
+    "TRANSFER": SEGMENT_TRANSFER,
+    "RESTORE": SEGMENT_RESTORE,
+    "COMMIT": SEGMENT_RESTORE,
+    "REPLAY_DRAIN": SEGMENT_REPLAY_DRAIN,
+    # Zero-length terminal markers.
+    "DONE": SEGMENT_OTHER,
+    "ABORTED": SEGMENT_OTHER,
+}
+
+
+@dataclass
+class CriticalPath:
+    """The per-segment decomposition of one reconfiguration."""
+
+    kind: str
+    op_name: str
+    slot_uids: list[int]
+    outcome: str | None
+    started_at: float
+    #: Failure → timeline start; 0.0 for scale out / scale in.
+    detection: float
+    #: Segment → seconds, insertion-ordered for rendering; sums to the
+    #: timeline's total duration.
+    segments: dict[str, float] = field(default_factory=dict)
+
+    @property
+    def total(self) -> float:
+        """Sum of in-timeline segments (== ``timeline.total_duration()``)."""
+        return sum(self.segments.values())
+
+    @property
+    def total_with_detection(self) -> float:
+        """End-to-end latency from the causing failure, when there was one."""
+        return self.detection + self.total
+
+    @property
+    def dominant(self) -> str:
+        """The segment where this operation spent the most time."""
+        candidates = dict(self.segments)
+        if self.detection > 0:
+            candidates[SEGMENT_DETECTION] = self.detection
+        if not candidates:
+            return SEGMENT_OTHER
+        return max(candidates, key=lambda seg: candidates[seg])
+
+    def as_record(self) -> dict[str, Any]:
+        """The JSONL record dumped into traces."""
+        return {
+            "kind": "critical_path",
+            "t": self.started_at,
+            "op": self.op_name,
+            "reconfig": self.kind,
+            "slots": list(self.slot_uids),
+            "outcome": self.outcome,
+            "detection": self.detection,
+            "segments": dict(self.segments),
+            "total": self.total,
+            "dominant": self.dominant,
+        }
+
+    def render(self, width: int = 32) -> str:
+        """A phase-timeline bar chart plus the dominant segment."""
+        span = max(self.total_with_detection, 1e-12)
+        lines = [
+            f"{self.kind} of {self.op_name} (slots {self.slot_uids}) — "
+            f"{self.total:.3f}s in-engine"
+            + (
+                f", {self.total_with_detection:.3f}s from failure"
+                if self.detection > 0
+                else ""
+            )
+            + (f" [{self.outcome}]" if self.outcome else " [in flight]")
+        ]
+        rows = []
+        if self.detection > 0:
+            rows.append((SEGMENT_DETECTION, self.detection))
+        rows.extend(self.segments.items())
+        label_width = max((len(name) for name, _ in rows), default=0)
+        for name, seconds in rows:
+            bar = "#" * max(1 if seconds > 0 else 0, round(seconds / span * width))
+            share = seconds / span * 100.0
+            lines.append(
+                f"  {name.ljust(label_width)} {seconds:8.3f}s "
+                f"{share:5.1f}% {bar}"
+            )
+        lines.append(f"  dominant: {self.dominant}")
+        return "\n".join(lines)
+
+
+def analyze(
+    timeline: PhaseTimeline, failure_time: float | None = None
+) -> CriticalPath:
+    """Decompose one phase timeline into critical-path segments.
+
+    ``failure_time`` (the crash instant, when the operation is a
+    recovery) yields the detection segment: crash → engine start.  Open
+    spans (an operation still in flight) contribute nothing, so the
+    invariant ``total == timeline.total_duration()`` holds exactly for
+    closed timelines.
+    """
+    segments: dict[str, float] = {
+        seg: 0.0 for seg in SEGMENT_ORDER if seg != SEGMENT_DETECTION
+    }
+    other = 0.0
+    for span in timeline.spans:
+        if span.end is None:
+            continue
+        segment = _PHASE_TO_SEGMENT.get(span.phase)
+        duration = span.end - span.start
+        if segment is None or segment == SEGMENT_OTHER:
+            other += duration
+        else:
+            segments[segment] += duration
+    if other > 0.0:
+        segments[SEGMENT_OTHER] = other
+    detection = 0.0
+    if failure_time is not None and timeline.spans:
+        detection = max(0.0, timeline.spans[0].start - failure_time)
+    return CriticalPath(
+        kind=timeline.kind,
+        op_name=timeline.op_name,
+        slot_uids=list(timeline.slot_uids),
+        outcome=timeline.outcome,
+        started_at=timeline.started_at,
+        detection=detection,
+        segments=segments,
+    )

@@ -1,0 +1,111 @@
+"""Structured event log with JSONL export.
+
+Every control-plane happening in a run — failures, detections, phase
+transitions, checkpoint arrivals, critical-path summaries — is one
+:class:`EventLog` record: a flat JSON-serialisable dict with a ``kind``
+and, for simulated events, a timestamp ``t``.  The log is stamped with
+run metadata (seed, config fingerprint) so a dumped trace reproduces and
+explains itself.
+
+An optional *sink* receives each record as it is emitted; the CLI
+installs :func:`console_sink` so library code never calls ``print``.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import hashlib
+import json
+import sys
+from pathlib import Path
+from typing import Any, Callable, Iterable, TextIO
+
+
+def config_fingerprint(config: Any) -> str:
+    """A short stable hash of a configuration dataclass.
+
+    Two runs with equal fingerprints (and equal seeds) are byte-for-byte
+    reproductions of each other; the fingerprint is stamped into every
+    dumped trace so a trace names the exact configuration it came from.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        payload = dataclasses.asdict(config)
+    else:
+        payload = config
+    canonical = json.dumps(payload, sort_keys=True, default=repr)
+    return hashlib.sha256(canonical.encode()).hexdigest()[:16]
+
+
+def console_sink(stream: TextIO | None = None) -> Callable[[dict], None]:
+    """A sink rendering each record as one human-readable line.
+
+    Records carrying a ``text`` field render as that text verbatim;
+    anything else renders as compact JSON.  The CLI is the only place
+    that constructs one of these — library code emits records, never
+    lines.
+    """
+
+    def write(record: dict) -> None:
+        out = stream if stream is not None else sys.stdout
+        text = record.get("text")
+        if text is None:
+            text = json.dumps(record, default=repr)
+        out.write(f"{text}\n")
+
+    return write
+
+
+class EventLog:
+    """Append-only structured event records for one run."""
+
+    def __init__(
+        self,
+        meta: dict[str, Any] | None = None,
+        sink: Callable[[dict], None] | None = None,
+    ) -> None:
+        #: Run metadata stamped into the JSONL header (seed, config hash).
+        self.meta: dict[str, Any] = dict(meta or {})
+        self.records: list[dict[str, Any]] = []
+        self.sink = sink
+
+    def emit(
+        self, kind: str, time: float | None = None, **fields: Any
+    ) -> dict[str, Any]:
+        """Record one structured event; forwarded to the sink if set."""
+        record: dict[str, Any] = {"kind": kind}
+        if time is not None:
+            record["t"] = time
+        record.update(fields)
+        self.records.append(record)
+        if self.sink is not None:
+            self.sink(record)
+        return record
+
+    def of_kind(self, kind: str) -> list[dict[str, Any]]:
+        """All records of one kind."""
+        return [r for r in self.records if r["kind"] == kind]
+
+    def __len__(self) -> int:
+        return len(self.records)
+
+    def dump_jsonl(
+        self,
+        path: str | Path,
+        extra_records: Iterable[dict[str, Any]] = (),
+    ) -> Path:
+        """Write the run-metadata header plus every record as JSONL.
+
+        ``extra_records`` (e.g. span records from a tracer) are merged
+        with the event records and sorted by timestamp, so the file
+        reads as one chronological account of the run.
+        """
+        path = Path(path)
+        path.parent.mkdir(parents=True, exist_ok=True)
+        merged = list(self.records) + list(extra_records)
+        merged.sort(key=lambda r: (r.get("t") is None, r.get("t", 0.0)))
+        with path.open("w", encoding="utf-8") as fh:
+            header = {"kind": "run_meta", **self.meta}
+            fh.write(json.dumps(header, default=repr) + "\n")
+            for record in merged:
+                fh.write(json.dumps(record, default=repr) + "\n")
+        return path

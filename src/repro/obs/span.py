@@ -1,0 +1,177 @@
+"""Causally linked spans over simulated time.
+
+A :class:`Span` covers one timed activity — a reconfiguration, one of
+its phases, a checkpoint shipment, a state-partition transfer — and
+carries a parent link to the span that caused it.  Causality regularly
+crosses VM boundaries (a failure on one VM causes a detection on the
+coordinator causes a restore on a third machine), so the
+:class:`Tracer` keeps a registry of *causal keys* — message and
+operation identifiers such as ``("failure", slot_uid)`` — that a later
+span on a different machine can name as its parent without ever holding
+a reference to the earlier span.
+
+Spans are plain data: they serialise to one JSONL record each (see
+:meth:`Span.to_record`) and carry no behaviour beyond closing.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Any, Hashable, Iterable
+
+
+@dataclass
+class Span:
+    """One timed, causally linked activity in a run."""
+
+    span_id: int
+    name: str
+    #: Coarse type: ``reconfig``, ``phase``, ``failure``, ``detection``,
+    #: ``checkpoint``, ``transfer`` — used by analyzers to filter.
+    kind: str
+    start: float
+    end: float | None = None
+    parent_id: int | None = None
+    #: Root span's id, shared by every span in the causal tree.
+    trace_id: int = 0
+    attrs: dict[str, Any] = field(default_factory=dict)
+
+    @property
+    def duration(self) -> float | None:
+        """Elapsed simulated seconds, or ``None`` while open."""
+        return None if self.end is None else self.end - self.start
+
+    @property
+    def open(self) -> bool:
+        return self.end is None
+
+    def close(self, time: float) -> None:
+        """Close the span at ``time`` (idempotent)."""
+        if self.end is None:
+            self.end = time
+
+    def to_record(self) -> dict[str, Any]:
+        """One JSONL record for this span."""
+        record: dict[str, Any] = {
+            "kind": "span",
+            "span": self.span_id,
+            "trace": self.trace_id,
+            "parent": self.parent_id,
+            "name": self.name,
+            "type": self.kind,
+            "t": self.start,
+            "end": self.end,
+        }
+        if self.attrs:
+            record["attrs"] = self.attrs
+        return record
+
+    def __repr__(self) -> str:  # pragma: no cover - debugging aid
+        tail = "open" if self.end is None else f"{self.duration:.3f}s"
+        return f"Span({self.span_id} {self.kind}:{self.name} @{self.start:.3f} {tail})"
+
+
+class Tracer:
+    """Produces causally linked spans and resolves cross-VM parents."""
+
+    def __init__(self) -> None:
+        self.spans: list[Span] = []
+        self._next_id = 1
+        #: Causal keys (message/operation ids) → span ids.
+        self._links: dict[Hashable, int] = {}
+        self._by_id: dict[int, Span] = {}
+
+    def start(
+        self,
+        name: str,
+        kind: str = "span",
+        time: float = 0.0,
+        parent: Span | int | None = None,
+        link_from: Hashable | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span.
+
+        ``parent`` may be a :class:`Span`, a span id, or ``None``.  When
+        ``parent`` is ``None`` and ``link_from`` names a registered
+        causal key, the span registered under that key becomes the
+        parent — this is how causality survives a VM boundary.
+        """
+        if parent is None and link_from is not None:
+            parent = self._links.get(link_from)
+        parent_span = self._resolve_span(parent)
+        span_id = self._next_id
+        self._next_id += 1
+        span = Span(
+            span_id=span_id,
+            name=name,
+            kind=kind,
+            start=time,
+            parent_id=parent_span.span_id if parent_span else None,
+            trace_id=parent_span.trace_id if parent_span else span_id,
+            attrs=dict(attrs),
+        )
+        self.spans.append(span)
+        self._by_id[span_id] = span
+        return span
+
+    def end(self, span: Span, time: float, **attrs: Any) -> Span:
+        """Close ``span`` at ``time``, merging any extra attributes."""
+        span.close(time)
+        if attrs:
+            span.attrs.update(attrs)
+        return span
+
+    # ------------------------------------------------------- causal keys
+
+    def link(self, key: Hashable, span: Span) -> None:
+        """Register ``span`` under a causal key for later parent lookup.
+
+        Keys are message/operation ids; re-registering a key overwrites
+        it (the latest failure of a slot is the one a new detection is
+        caused by).
+        """
+        self._links[key] = span.span_id
+
+    def resolve(self, key: Hashable) -> Span | None:
+        """The span registered under a causal key, if any."""
+        span_id = self._links.get(key)
+        return self._by_id.get(span_id) if span_id is not None else None
+
+    def _resolve_span(self, ref: Span | int | None) -> Span | None:
+        if ref is None:
+            return None
+        if isinstance(ref, Span):
+            return ref
+        return self._by_id.get(ref)
+
+    # ----------------------------------------------------------- queries
+
+    def get(self, span_id: int) -> Span | None:
+        """The span with this id, if it exists."""
+        return self._by_id.get(span_id)
+
+    def children_of(self, span: Span | int) -> list[Span]:
+        """Direct children of a span, in creation order."""
+        parent = self._resolve_span(span)
+        if parent is None:
+            return []
+        return [s for s in self.spans if s.parent_id == parent.span_id]
+
+    def trace(self, trace_id: int) -> list[Span]:
+        """Every span of one causal tree, in creation order."""
+        return [s for s in self.spans if s.trace_id == trace_id]
+
+    def find(
+        self, kind: str | None = None, name: str | None = None
+    ) -> list[Span]:
+        """Spans filtered by kind and/or name."""
+        result: Iterable[Span] = self.spans
+        if kind is not None:
+            result = (s for s in result if s.kind == kind)
+        if name is not None:
+            result = (s for s in result if s.name == name)
+        return list(result)
+
+    def __len__(self) -> int:
+        return len(self.spans)

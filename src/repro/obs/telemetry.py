@@ -1,0 +1,312 @@
+"""The telemetry facade: one entry point for metrics, events and traces.
+
+Benchmarks, experiments and the chaos harness all observe a run through
+a :class:`Telemetry` object.  It wraps the
+:class:`~repro.sim.metrics.MetricsHub` (numeric series and counters),
+owns the structured :class:`~repro.obs.log.EventLog` (every
+``mark_event`` is mirrored into it), and drives the
+:class:`~repro.obs.span.Tracer` by observing the system's hot seams:
+
+* the reconfiguration engine's phase transitions become a root
+  ``reconfig`` span with one child span per phase;
+* failure → detection → recovery handoffs become ``failure`` and
+  ``detection`` spans, causally linked by slot uid so the recovery's
+  root span points back at the crash that caused it;
+* checkpoint backups and state-partition transfers become spans opened
+  at send time and closed on delivery (the span object rides along the
+  simulated message — the message *is* the causal link);
+* control-plane network deliveries are logged as structured events.
+
+Terminal phases compute the operation's
+:class:`~repro.obs.critical_path.CriticalPath`, which is both logged as
+an event and kept for :meth:`critical_paths` queries.
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Any, Callable, Hashable
+
+from repro.obs.critical_path import CriticalPath, analyze
+from repro.obs.log import EventLog
+from repro.obs.span import Span, Tracer
+from repro.sim.metrics import (
+    LatencyReservoir,
+    MetricsHub,
+    PhaseTimeline,
+    RateSeries,
+    TimeSeries,
+)
+
+#: Terminal engine phases (kept in sync with repro.scaling.reconfig,
+#: which obs must not import — the dependency points the other way).
+_TERMINAL_PHASES = ("DONE", "ABORTED")
+
+
+class Telemetry:
+    """Facade over metrics, the structured event log and the tracer."""
+
+    def __init__(
+        self,
+        hub: MetricsHub | None = None,
+        clock: Callable[[], float] | None = None,
+        run_meta: dict[str, Any] | None = None,
+    ) -> None:
+        self.hub = hub if hub is not None else MetricsHub()
+        self._clock = clock if clock is not None else (lambda: 0.0)
+        self.log = EventLog(meta=run_meta)
+        self.tracer = Tracer()
+        #: Root span per in-flight reconfiguration, keyed by id(op).
+        self._op_spans: dict[int, Span] = {}
+        #: Open phase span per in-flight reconfiguration.
+        self._phase_spans: dict[int, Span] = {}
+        #: Critical paths of finished operations, in completion order.
+        self.finished_paths: list[CriticalPath] = []
+        self.hub.on_event(self._mirror_event)
+
+    def now(self) -> float:
+        """Current simulated time."""
+        return self._clock()
+
+    # --------------------------------------------------- metrics facade
+
+    def timeseries(self, name: str) -> TimeSeries:
+        """Get-or-create a time series by name."""
+        return self.hub.timeseries(name)
+
+    def rate(self, name: str, bin_width: float = 1.0) -> RateSeries:
+        """Get-or-create a rate series by name."""
+        return self.hub.rate(name, bin_width)
+
+    def latency(self, name: str) -> LatencyReservoir:
+        """Get-or-create a latency reservoir by name."""
+        return self.hub.latency(name)
+
+    def increment(self, name: str, amount: float = 1.0) -> None:
+        """Add to a named counter."""
+        self.hub.increment(name, amount)
+
+    def counter(self, name: str) -> float:
+        """Read a named counter."""
+        return self.hub.counter(name)
+
+    def event(
+        self, kind: str, detail: str = "", time: float | None = None, **fields: Any
+    ) -> None:
+        """Record one control-plane event (hub + structured log)."""
+        t = self.now() if time is None else time
+        self.hub.mark_event(t, kind, detail, **fields)
+
+    def _mirror_event(
+        self, time: float, kind: str, detail: str, fields: dict[str, Any]
+    ) -> None:
+        record: dict[str, Any] = {}
+        if detail:
+            record["detail"] = detail
+        record.update(fields)
+        self.log.emit(kind, time=time, **record)
+
+    # ------------------------------------------------------ span facade
+
+    def start_span(
+        self,
+        name: str,
+        kind: str = "span",
+        parent: Span | int | None = None,
+        link_from: Hashable | None = None,
+        time: float | None = None,
+        **attrs: Any,
+    ) -> Span:
+        """Open a span at the current simulated time (or ``time``)."""
+        return self.tracer.start(
+            name,
+            kind=kind,
+            time=self.now() if time is None else time,
+            parent=parent,
+            link_from=link_from,
+            **attrs,
+        )
+
+    def end_span(self, span: Span, time: float | None = None, **attrs: Any) -> Span:
+        """Close a span at the current simulated time (or ``time``)."""
+        return self.tracer.end(span, self.now() if time is None else time, **attrs)
+
+    # --------------------------------------------------- hot-seam hooks
+
+    def observe_engine(self, engine: Any) -> None:
+        """Trace every reconfiguration the engine drives."""
+        engine.on_phase_change(self._on_phase)
+
+    def observe_network(self, network: Any) -> None:
+        """Log control-plane deliveries (checkpoints, state transfers)."""
+        network.observer = self._on_network_message
+
+    def record_failure(self, slot_uid: int, op_name: str, vm_id: int) -> Span:
+        """Open-and-close a ``failure`` span, registered under the slot's
+        uid so the eventual detection can name it as parent."""
+        now = self.now()
+        span = self.tracer.start(
+            f"failure:{op_name}",
+            kind="failure",
+            time=now,
+            slot=slot_uid,
+            op=op_name,
+            vm=vm_id,
+        )
+        self.tracer.end(span, now)
+        self.tracer.link(("failure", slot_uid), span)
+        return span
+
+    def record_detection(
+        self, slot_uid: int, op_name: str, failure_time: float
+    ) -> Span:
+        """A failure was detected: span from the crash to the handoff,
+        parented on the failure span and registered for the recovery's
+        root span to link against."""
+        now = self.now()
+        span = self.tracer.start(
+            f"detection:{op_name}",
+            kind="detection",
+            time=failure_time,
+            link_from=("failure", slot_uid),
+            slot=slot_uid,
+            op=op_name,
+        )
+        self.tracer.end(span, now, latency=now - failure_time)
+        self.tracer.link(("detection", slot_uid), span)
+        self.event(
+            "failure_detected",
+            op_name,
+            time=now,
+            slot=slot_uid,
+            latency=now - failure_time,
+        )
+        return span
+
+    def op_span(self, op: Any) -> Span | None:
+        """The root span of an in-flight reconfiguration, if traced."""
+        return self._op_spans.get(id(op))
+
+    def phase_span(self, op: Any) -> Span | None:
+        """The open phase span of an in-flight reconfiguration.
+
+        Per-message spans created inside a phase (state transfers)
+        parent here, falling back to the root span between phases.
+        """
+        return self._phase_spans.get(id(op)) or self._op_spans.get(id(op))
+
+    def _on_phase(self, op: Any, phase: str) -> None:
+        now = self.now()
+        key = id(op)
+        plan = op.plan
+        root = self._op_spans.get(key)
+        if root is None:
+            slot_uid = plan.old_slots[0].uid
+            root = self.tracer.start(
+                f"{plan.kind}:{plan.op_name}",
+                kind="reconfig",
+                time=now,
+                link_from=("detection", slot_uid) if plan.is_recovery else None,
+                op=plan.op_name,
+                reconfig=plan.kind,
+                state_source=plan.state_source,
+                slots=[slot.uid for slot in plan.old_slots],
+                failure_time=plan.failure_time,
+            )
+            self._op_spans[key] = root
+        previous = self._phase_spans.pop(key, None)
+        if previous is not None:
+            self.tracer.end(previous, now)
+        if phase in _TERMINAL_PHASES:
+            self._op_spans.pop(key, None)
+            self.tracer.end(root, now, outcome=phase.lower())
+            path = analyze(op.timeline, failure_time=plan.failure_time)
+            self.finished_paths.append(path)
+            self.log.emit(
+                "critical_path",
+                time=now,
+                trace=root.trace_id,
+                **{
+                    k: v
+                    for k, v in path.as_record().items()
+                    if k not in ("kind", "t")
+                },
+            )
+        else:
+            self._phase_spans[key] = self.tracer.start(
+                phase, kind="phase", time=now, parent=root
+            )
+
+    def _on_network_message(
+        self,
+        src_vm: int | None,
+        dst_vm: int,
+        size_bytes: float,
+        kind: str,
+        sent_at: float,
+        delivered: bool,
+    ) -> None:
+        # Data-plane messages are far too numerous to log one-by-one
+        # (EdgeStats aggregates them); the control plane — checkpoints,
+        # state transfers, anything recovery-critical — is sparse and
+        # each delivery matters for the causal story.
+        if kind != "control":
+            return
+        self.log.emit(
+            "net.control",
+            time=self.now(),
+            src=src_vm,
+            dst=dst_vm,
+            bytes=size_bytes,
+            sent_at=sent_at,
+            delivered=delivered,
+        )
+
+    # -------------------------------------------------------- analysis
+
+    def critical_paths(
+        self, kind: str | None = None, op_name: str | None = None
+    ) -> list[CriticalPath]:
+        """Critical paths of every recorded reconfiguration.
+
+        Finished operations carry their detection segment (computed when
+        the engine closed them); timelines the engine never finished are
+        analyzed as-is so an in-flight or interrupted run still renders.
+        """
+        analyzed = {
+            (p.kind, p.op_name, tuple(p.slot_uids), p.started_at): p
+            for p in self.finished_paths
+        }
+        paths: list[CriticalPath] = []
+        for timeline in self.hub.phase_timelines:
+            key = (
+                timeline.kind,
+                timeline.op_name,
+                tuple(timeline.slot_uids),
+                timeline.started_at,
+            )
+            paths.append(analyzed.get(key) or analyze(timeline))
+        if kind is not None:
+            paths = [p for p in paths if p.kind == kind]
+        if op_name is not None:
+            paths = [p for p in paths if p.op_name == op_name]
+        return paths
+
+    def timeline_for(self, path: CriticalPath) -> PhaseTimeline | None:
+        """The phase timeline a critical path was computed from."""
+        for timeline in self.hub.phase_timelines:
+            if (
+                timeline.kind == path.kind
+                and timeline.op_name == path.op_name
+                and timeline.started_at == path.started_at
+            ):
+                return timeline
+        return None
+
+    # ------------------------------------------------------------ dump
+
+    def dump_jsonl(self, path: str | Path) -> Path:
+        """Write the full trace — run metadata, events, spans — as JSONL."""
+        return self.log.dump_jsonl(
+            path, extra_records=(span.to_record() for span in self.tracer.spans)
+        )

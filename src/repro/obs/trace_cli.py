@@ -1,0 +1,142 @@
+"""``python -m repro trace`` — run a seeded recovery and explain it.
+
+Builds a workload, kills one operator's primary VM mid-run, and renders
+what the telemetry layer saw: the phase timeline of every resulting
+reconfiguration, its critical-path breakdown (which segment dominated —
+the paper's §6 decomposition), and a JSONL trace file whose causally
+linked spans reproduce the whole story offline::
+
+    python -m repro trace wordcount --seed 7
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from pathlib import Path
+from typing import TYPE_CHECKING
+
+from repro.config import SystemConfig
+from repro.errors import ReproError
+from repro.obs.critical_path import CriticalPath
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+
+
+@dataclass
+class TraceReport:
+    """Everything the trace subcommand reports about one seeded run."""
+
+    workload: str
+    seed: int
+    path: Path
+    critical_paths: list[CriticalPath] = field(default_factory=list)
+    timelines: list[list[tuple[str, float, float | None]]] = field(
+        default_factory=list
+    )
+    span_count: int = 0
+    event_count: int = 0
+
+    def render(self) -> str:
+        """Phase timeline + critical path per operation, then the file."""
+        lines = [f"trace of {self.workload} (seed {self.seed})"]
+        if not self.critical_paths:
+            lines.append("  no reconfigurations occurred")
+        for path, rows in zip(self.critical_paths, self.timelines):
+            lines.append("")
+            lines.append(self.render_timeline(rows))
+            lines.append(path.render())
+        lines.append("")
+        lines.append(
+            f"{self.span_count} spans, {self.event_count} events "
+            f"-> {self.path}"
+        )
+        return "\n".join(lines)
+
+    @staticmethod
+    def render_timeline(rows: list[tuple[str, float, float | None]]) -> str:
+        """One line per phase span: ``PHASE  [start, end)  duration``."""
+        lines = ["phase timeline:"]
+        width = max((len(phase) for phase, _, _ in rows), default=0)
+        for phase, start, end in rows:
+            if end is None:
+                lines.append(f"  {phase.ljust(width)} [{start:9.3f}, ...)")
+            else:
+                lines.append(
+                    f"  {phase.ljust(width)} [{start:9.3f}, {end:9.3f})"
+                    f"  {end - start:7.3f}s"
+                )
+        return "\n".join(lines)
+
+
+def _build_system(
+    workload: str,
+    seed: int,
+    rate: float,
+    duration: float,
+    checkpoint_interval: float,
+) -> tuple["StreamProcessingSystem", str]:
+    from repro.runtime.system import StreamProcessingSystem
+
+    if workload == "lrb":
+        from repro.workloads.lrb.query import build_lrb_query
+
+        query = build_lrb_query(1, duration)
+        fail_op = "toll_calc"
+    elif workload == "wordcount":
+        from repro.workloads.wordcount import build_word_count_query
+
+        query = build_word_count_query(
+            rate=rate,
+            window=10.0,
+            vocabulary_size=500,
+            words_per_sentence=6,
+            quantum=0.1,
+        )
+        fail_op = "counter"
+    else:
+        raise ReproError(f"unknown trace workload: {workload!r}")
+    config = SystemConfig()
+    config.seed = seed
+    config.scaling.enabled = False
+    config.checkpoint.interval = checkpoint_interval
+    config.cloud.pool_size = 2
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    return system, fail_op
+
+
+def run_trace(
+    workload: str = "wordcount",
+    seed: int = 7,
+    rate: float = 200.0,
+    duration: float = 90.0,
+    fail_at: float = 40.0,
+    checkpoint_interval: float = 2.0,
+    out: str | Path | None = None,
+) -> TraceReport:
+    """Run one seeded recovery and dump + summarise its trace."""
+    system, fail_op = _build_system(
+        workload, seed, rate, duration, checkpoint_interval
+    )
+    system.injector.fail_target_at(lambda: system.vm_of(fail_op), fail_at)
+    system.run(until=duration)
+    telemetry = system.telemetry
+    path = Path(out) if out is not None else Path(
+        f"trace-{workload}-seed{seed}.jsonl"
+    )
+    telemetry.dump_jsonl(path)
+    paths = telemetry.critical_paths()
+    timelines = []
+    for cp in paths:
+        timeline = telemetry.timeline_for(cp)
+        timelines.append(timeline.as_rows() if timeline is not None else [])
+    return TraceReport(
+        workload=workload,
+        seed=seed,
+        path=path,
+        critical_paths=paths,
+        timelines=timelines,
+        span_count=len(telemetry.tracer),
+        event_count=len(telemetry.log),
+    )

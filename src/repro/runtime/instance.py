@@ -242,14 +242,14 @@ class OperatorInstance:
         self.state.advance(tup.slot, tup.ts)
         self.processed_weight += tup.weight
         metrics = self.system.metrics
-        metrics.rate_series_for(
+        metrics.rate(
             f"processed:{self.op_name}", self.system.config.rate_bin
         ).record(sim.now, tup.weight)
         if self.operator.measure_latency:
             every = self.system.config.latency_sample_every
             self._latency_counter += 1
             if self._latency_counter % every == 0:
-                metrics.latency_for(f"latency:{self.op_name}").record(
+                metrics.latency(f"latency:{self.op_name}").record(
                     sim.now, sim.now - tup.created_at, tup.weight * every
                 )
 
@@ -265,7 +265,7 @@ class OperatorInstance:
         if not self.is_source:
             raise RuntimeStateError(f"inject called on non-source {self.slot!r}")
         sim = self.system.sim
-        self.system.metrics.rate_series_for(
+        self.system.metrics.rate(
             "input", self.system.config.rate_bin
         ).record(sim.now, weight)
         if not self.alive or not self.vm.alive:
@@ -287,7 +287,7 @@ class OperatorInstance:
         if not self.alive:
             return
         self.processed_weight += weight
-        self.system.metrics.rate_series_for(
+        self.system.metrics.rate(
             f"processed:{self.op_name}", self.system.config.rate_bin
         ).record(self.system.sim.now, weight)
         self._emit(key, payload, weight, created_at, to=None)
@@ -758,6 +758,16 @@ class OperatorInstance:
         filter for baseline strategies that rebuild state by re-processing
         (upstream backup / source replay).
         """
+        self.system.telemetry.log.emit(
+            "restore",
+            time=self.system.sim.now,
+            slot=self.uid,
+            op=self.op_name,
+            seq=checkpoint.seq,
+            entries=len(checkpoint.state),
+            vm=self.vm.vm_id,
+            fresh_dedup=fresh_dedup,
+        )
         self.state = checkpoint.state.snapshot()
         self._replay_dedup_floor = dict(checkpoint.positions)
         self._ckpt_seq = checkpoint.seq

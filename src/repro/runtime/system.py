@@ -23,6 +23,8 @@ from repro.config import (
 from repro.core.checkpoint import BackupStore, Checkpoint
 from repro.core.query import QueryGraph
 from repro.errors import DeploymentError, RuntimeStateError
+from repro.obs.log import config_fingerprint
+from repro.obs.telemetry import Telemetry
 from repro.runtime.deployment import DeploymentManager
 from repro.runtime.instance import OperatorInstance
 from repro.runtime.query_manager import QueryManager
@@ -45,11 +47,24 @@ class StreamProcessingSystem:
         self.sim = Simulator()
         self.rng = RngRegistry(self.config.seed)
         self.metrics = MetricsHub()
+        #: The observability facade: wraps the metrics hub, mirrors
+        #: every event into a structured JSONL log stamped with the run's
+        #: seed and config fingerprint, and traces causally linked spans
+        #: across the hot seams (engine phases, checkpoints, transfers).
+        self.telemetry = Telemetry(
+            hub=self.metrics,
+            clock=lambda: self.sim.now,
+            run_meta={
+                "seed": self.config.seed,
+                "config_hash": config_fingerprint(self.config),
+            },
+        )
         self.network = Network(
             self.sim,
             latency=self.config.network.latency,
             bandwidth_bytes_per_s=self.config.network.bandwidth_bytes_per_s,
         )
+        self.telemetry.observe_network(self.network)
         self.provider = CloudProvider(
             self.sim,
             provisioning_delay=self.config.cloud.provisioning_delay,
@@ -105,6 +120,7 @@ class StreamProcessingSystem:
         from repro.scaling.scale_in import ScaleInCoordinator
 
         self.reconfig = ReconfigurationEngine(self)
+        self.telemetry.observe_engine(self.reconfig)
         self.scale_out = ScaleOutCoordinator(self)
         self.scale_in = ScaleInCoordinator(self)
         self.recovery = RecoveryCoordinator(self)
@@ -168,8 +184,8 @@ class StreamProcessingSystem:
     def record_vm_count(self) -> None:
         """Sample the VM-count time series."""
         now = self.sim.now
-        self.metrics.time_series_for("vms:workers").record(now, self.worker_vm_count())
-        self.metrics.time_series_for("vms:billed").record(
+        self.metrics.timeseries("vms:workers").record(now, self.worker_vm_count())
+        self.metrics.timeseries("vms:billed").record(
             now, self.provider.vm_count_allocated()
         )
 
@@ -182,6 +198,20 @@ class StreamProcessingSystem:
             return
         cfg = self.config.checkpoint
         size = ckpt.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+        # The span rides along the simulated message and is closed on
+        # arrival in _store_backup — the checkpoint's network hop is the
+        # causal link between the owner VM and the backup VM.
+        span = self.telemetry.start_span(
+            f"checkpoint.backup:{instance.op_name}",
+            kind="checkpoint",
+            slot=instance.uid,
+            op=instance.op_name,
+            seq=ckpt.seq,
+            bytes=size,
+            incremental=ckpt.incremental,
+            src_vm=instance.vm.vm_id,
+            dst_vm=target.vm_id,
+        )
         self.network.send(
             instance.vm,
             target,
@@ -189,6 +219,7 @@ class StreamProcessingSystem:
             self._store_backup,
             ckpt,
             target,
+            span,
             kind="control",
         )
 
@@ -206,7 +237,14 @@ class StreamProcessingSystem:
         candidates.sort(key=lambda inst: inst.uid)
         return candidates[instance.uid % len(candidates)].vm
 
-    def _store_backup(self, ckpt: Checkpoint, target: VirtualMachine) -> None:
+    def _store_backup(
+        self, ckpt: Checkpoint, target: VirtualMachine, span=None
+    ) -> None:
+        if span is not None:
+            self.telemetry.end_span(span)
+            # Registered under the slot uid: a later recovery restoring
+            # from this backup can name the shipment as a causal parent.
+            self.telemetry.tracer.link(("backup", ckpt.slot_uid), span)
         store = self.backup_stores.setdefault(target.vm_id, BackupStore())
         if ckpt.incremental:
             ckpt = self._materialize_delta(ckpt, store)
@@ -275,7 +313,12 @@ class StreamProcessingSystem:
     def notify_instance_failed(self, instance: OperatorInstance) -> None:
         """Called by an instance when its VM crashes."""
         now = self.sim.now
-        self.metrics.mark_event(now, "failure", repr(instance.slot))
+        self.telemetry.record_failure(
+            instance.uid, instance.op_name, instance.vm.vm_id
+        )
+        self.metrics.mark_event(
+            now, "failure", repr(instance.slot), slot=instance.uid
+        )
         self.record_vm_count()
         self._handle_lost_backups(instance.vm)
         if self.recovery is None or self.config.fault.strategy == STRATEGY_NONE:

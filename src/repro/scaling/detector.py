@@ -64,7 +64,7 @@ class BottleneckDetector:
                 instance.vm.busy_seconds_total(),
             )
             if report is not None:
-                self.system.metrics.time_series_for(
+                self.system.metrics.timeseries(
                     f"util:{instance.op_name}[{instance.slot.index}]"
                 ).record(now, report.utilization)
                 reports.append(report)

@@ -598,21 +598,47 @@ class ReconfigurationEngine:
             # fresh rebuilds have nothing to move.  Pass through.
             self._enter_restore(op)
             return
+        telemetry = self.system.telemetry
         cfg = self.system.config.checkpoint
         assert op.backup_vm is not None
         for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
             size = part.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+            # One transfer span per state partition, parented under the
+            # operation's TRANSFER phase span; the span object rides the
+            # simulated message and closes on arrival at the target VM.
+            span = telemetry.start_span(
+                f"state.transfer:{op.plan.op_name}",
+                kind="transfer",
+                parent=telemetry.phase_span(op),
+                part=slot.uid,
+                bytes=size,
+                src_vm=op.backup_vm.vm_id,
+                dst_vm=vm.vm_id,
+            )
             self.system.network.send(
                 op.backup_vm,
                 vm,
                 size,
-                self._restore_one,
+                self._part_arrived,
                 op,
                 part,
                 slot,
                 vm,
+                span,
                 kind="control",
             )
+
+    def _part_arrived(
+        self,
+        op: Reconfiguration,
+        part: Checkpoint,
+        slot: Slot,
+        vm: VirtualMachine,
+        span,
+    ) -> None:
+        """One state partition landed on its target VM."""
+        self.system.telemetry.end_span(span)
+        self._restore_one(op, part, slot, vm)
 
     # ------------------------------------------------------------- RESTORE
 
@@ -1103,7 +1129,7 @@ class ReconfigurationEngine:
                     "recovery_complete",
                     f"{detail} {duration:.3f}s",
                 )
-                system.metrics.time_series_for("recovery_time").record(
+                system.metrics.timeseries("recovery_time").record(
                     system.sim.now, duration
                 )
             else:
@@ -1112,7 +1138,7 @@ class ReconfigurationEngine:
                     "scale_out_complete",
                     f"{plan.op_name} {duration:.3f}s",
                 )
-                system.metrics.time_series_for("scale_out_duration").record(
+                system.metrics.timeseries("scale_out_duration").record(
                     system.sim.now, duration
                 )
         op.timeline.enter(PHASE_DONE, system.sim.now)

@@ -20,7 +20,9 @@ from __future__ import annotations
 
 import bisect
 import math
+import warnings
 from dataclasses import dataclass, field
+from typing import Any, Callable
 
 import numpy as np
 
@@ -303,8 +305,14 @@ class MetricsHub:
         self.counters: dict[str, float] = {}
         self.events: list[tuple[float, str, str]] = []
         self.phase_timelines: list[PhaseTimeline] = []
+        #: Event listeners, called as ``listener(time, kind, detail,
+        #: fields)`` on every :meth:`mark_event` (the telemetry layer
+        #: mirrors events into its structured log through this).
+        self._event_listeners: list[
+            Callable[[float, str, str, dict[str, Any]], None]
+        ] = []
 
-    def time_series_for(self, name: str) -> TimeSeries:
+    def timeseries(self, name: str) -> TimeSeries:
         """Get-or-create a time series by name."""
         series = self.time_series.get(name)
         if series is None:
@@ -312,7 +320,7 @@ class MetricsHub:
             self.time_series[name] = series
         return series
 
-    def rate_series_for(self, name: str, bin_width: float = 1.0) -> RateSeries:
+    def rate(self, name: str, bin_width: float = 1.0) -> RateSeries:
         """Get-or-create a rate series by name."""
         series = self.rate_series.get(name)
         if series is None:
@@ -320,13 +328,44 @@ class MetricsHub:
             self.rate_series[name] = series
         return series
 
-    def latency_for(self, name: str) -> LatencyReservoir:
+    def latency(self, name: str) -> LatencyReservoir:
         """Get-or-create a latency reservoir by name."""
         reservoir = self.latencies.get(name)
         if reservoir is None:
             reservoir = LatencyReservoir(name)
             self.latencies[name] = reservoir
         return reservoir
+
+    # ------------------------------------------------- deprecated aliases
+
+    def time_series_for(self, name: str) -> TimeSeries:
+        """Deprecated alias of :meth:`timeseries`."""
+        warnings.warn(
+            "MetricsHub.time_series_for() is deprecated; use hub.timeseries()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.timeseries(name)
+
+    def rate_series_for(self, name: str, bin_width: float = 1.0) -> RateSeries:
+        """Deprecated alias of :meth:`rate`."""
+        warnings.warn(
+            "MetricsHub.rate_series_for() is deprecated; use hub.rate()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.rate(name, bin_width)
+
+    def latency_for(self, name: str) -> LatencyReservoir:
+        """Deprecated alias of :meth:`latency`."""
+        warnings.warn(
+            "MetricsHub.latency_for() is deprecated; use hub.latency()",
+            DeprecationWarning,
+            stacklevel=2,
+        )
+        return self.latency(name)
+
+    # ------------------------------------------------------------ events
 
     def increment(self, name: str, amount: float = 1.0) -> None:
         """Add to a named counter."""
@@ -336,9 +375,24 @@ class MetricsHub:
         """Read a named counter (0 when absent)."""
         return self.counters.get(name, 0.0)
 
-    def mark_event(self, time: float, kind: str, detail: str = "") -> None:
-        """Record a control-plane event (scale out, failure, recovery...)."""
+    def on_event(
+        self, listener: Callable[[float, str, str, dict[str, Any]], None]
+    ) -> None:
+        """Register a listener invoked on every :meth:`mark_event`."""
+        self._event_listeners.append(listener)
+
+    def mark_event(
+        self, time: float, kind: str, detail: str = "", **fields: Any
+    ) -> None:
+        """Record a control-plane event (scale out, failure, recovery...).
+
+        ``fields`` are extra structured attributes forwarded to event
+        listeners (and thus into JSONL traces); the in-memory event list
+        keeps the compact ``(time, kind, detail)`` form.
+        """
         self.events.append((time, kind, detail))
+        for listener in self._event_listeners:
+            listener(time, kind, detail, fields)
 
     def events_of_kind(self, kind: str) -> list[tuple[float, str, str]]:
         """All recorded control-plane events of one kind."""

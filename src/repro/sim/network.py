@@ -95,6 +95,12 @@ class Network:
         self.fault_plan: "NetworkFaultPlan | None" = None
         #: Per-edge in-order release clock, active only under a fault plan.
         self._edge_clear: dict[tuple[int | None, int], float] = {}
+        #: Optional delivery observer, called as ``observer(src_vm_id,
+        #: dst_vm_id, size_bytes, kind, sent_at, delivered)`` at the
+        #: moment each message lands (or is dropped on a dead
+        #: destination).  The telemetry layer hooks this to log
+        #: control-plane deliveries.
+        self.observer: Callable[..., Any] | None = None
 
     # -------------------------------------------------------------- chaos
 
@@ -137,9 +143,13 @@ class Network:
         stats = self.edge(src, dst)
         self.messages_sent += 1
         stats.sent += 1
+        src_id = src.vm_id if src is not None else None
+        meta = (src_id, dst.vm_id, size_bytes, kind, self.sim.now)
         if src is not None and not src.alive:
             self.messages_dropped += 1
             stats.dropped += 1
+            if self.observer is not None:
+                self.observer(*meta, False)
             return
         self.bytes_sent += size_bytes
         delay = self.transfer_time(size_bytes)
@@ -152,10 +162,11 @@ class Network:
                 on_delivered,
                 args,
                 stats,
+                meta,
                 priority=PRIORITY_DATA,
             )
             return
-        key = (src.vm_id if src is not None else None, dst.vm_id)
+        key = (src_id, dst.vm_id)
         extra, duplicate = plan.draw(key, self.sim.now)
         # Reliable in-order release: a delayed/retransmitted message holds
         # back everything sent after it on the same edge.
@@ -168,6 +179,7 @@ class Network:
             on_delivered,
             args,
             stats,
+            meta,
             priority=PRIORITY_DATA,
         )
         if duplicate:
@@ -182,6 +194,7 @@ class Network:
                 on_delivered,
                 args,
                 stats,
+                meta,
                 priority=PRIORITY_DATA,
             )
 
@@ -191,13 +204,18 @@ class Network:
         on_delivered: Callable[..., Any],
         args: tuple,
         stats: EdgeStats | None = None,
+        meta: tuple | None = None,
     ) -> None:
-        if not dst.alive:
+        delivered = dst.alive
+        if not delivered:
             self.messages_dropped += 1
             if stats is not None:
                 stats.dropped += 1
-            return
-        self.messages_delivered += 1
-        if stats is not None:
-            stats.delivered += 1
-        on_delivered(*args)
+        else:
+            self.messages_delivered += 1
+            if stats is not None:
+                stats.delivered += 1
+        if self.observer is not None and meta is not None:
+            self.observer(*meta, delivered)
+        if delivered:
+            on_delivered(*args)

@@ -8,8 +8,12 @@ is marked ``chaos`` and runs in CI's dedicated chaos job
 via ``ChaosRunner().run_seed(seed)``.
 """
 
+import json
+import os
+
 import pytest
 
+from repro.chaos.invariants import Violation
 from repro.chaos.runner import ChaosRunner
 
 #: One shared runner per module: the golden run is computed once and
@@ -20,18 +24,50 @@ _RUNNER = None
 def runner() -> ChaosRunner:
     global _RUNNER
     if _RUNNER is None:
-        _RUNNER = ChaosRunner()
+        # CI sets CHAOS_TRACE_DIR so a violating seed leaves its causal
+        # JSONL trace behind as a workflow artifact.
+        _RUNNER = ChaosRunner(trace_dir=os.environ.get("CHAOS_TRACE_DIR"))
     return _RUNNER
 
 
-def test_network_faults_alone_are_absorbed():
+def test_network_faults_alone_are_absorbed(tmp_path):
     """Quick tier-1 check: with no crashes, the reliable-transport model
     plus the duplicate filter absorb every injected network fault."""
-    quick = ChaosRunner(duration=90.0, mtbf=1e9)
+    quick = ChaosRunner(
+        duration=90.0, mtbf=1e9, trace_dir=str(tmp_path / "traces")
+    )
     result = quick.run_seed(4)
     assert result.failures == 0
     assert result.faults > 0
     assert result.survived, result.describe()
+    # surviving seeds dump no trace
+    assert result.trace_path is None
+    assert not (tmp_path / "traces").exists()
+
+
+def test_violating_seed_dumps_causal_trace(tmp_path, monkeypatch):
+    """With ``trace_dir`` set, a run that breaks an invariant leaves a
+    causally linked JSONL trace behind, named by workload and seed."""
+    quick = ChaosRunner(
+        duration=90.0, mtbf=1e9, trace_dir=str(tmp_path / "traces")
+    )
+    from repro.chaos import invariants
+
+    monkeypatch.setattr(
+        invariants.InvariantChecker,
+        "check",
+        lambda self: [Violation("forced", "injected by test")],
+    )
+    result = quick.run_seed(4)
+    assert not result.survived
+    assert result.trace_path is not None
+    assert result.trace_path.endswith("chaos-wordcount-seed4.jsonl")
+    assert "trace:" in result.describe()
+    with open(result.trace_path, encoding="utf-8") as fh:
+        records = [json.loads(line) for line in fh]
+    assert records[0]["kind"] == "run_meta"
+    kinds = {r["kind"] for r in records}
+    assert "span" in kinds  # the causal trace rode along
 
 
 def test_lrb_pipeline_survives_chaos():

@@ -23,6 +23,7 @@ class TestCli:
         assert cli.main(["list"]) == 0
         out = capsys.readouterr().out
         assert "fig06" in out and "fig15" in out and "lrating" in out
+        assert "trace" in out
 
     def test_unknown_figure_errors(self):
         with pytest.raises(SystemExit):
@@ -41,3 +42,37 @@ class TestCli:
         for name, (driver, _paper, quick) in cli.FIGURES.items():
             assert callable(driver), name
             assert isinstance(quick, dict), name
+
+
+class TestTraceCommand:
+    def test_trace_subcommand_dispatches(self, monkeypatch, capsys, tmp_path):
+        calls = []
+
+        class FakeReport:
+            def render(self):
+                return "trace of wordcount (seed 9)"
+
+        def fake_run_trace(**kwargs):
+            calls.append(kwargs)
+            return FakeReport()
+
+        monkeypatch.setattr(cli, "run_trace", fake_run_trace)
+        out = str(tmp_path / "t.jsonl")
+        assert cli.main(
+            ["trace", "wordcount", "--seed", "9", "--duration", "42",
+             "--fail-at", "20", "--out", out]
+        ) == 0
+        assert calls == [
+            {
+                "workload": "wordcount",
+                "seed": 9,
+                "duration": 42.0,
+                "fail_at": 20.0,
+                "out": out,
+            }
+        ]
+        assert "trace of wordcount (seed 9)" in capsys.readouterr().out
+
+    def test_trace_rejects_unknown_workload(self):
+        with pytest.raises(SystemExit):
+            cli.main(["trace", "nope"])

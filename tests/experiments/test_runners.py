@@ -16,7 +16,7 @@ def bare_system() -> StreamProcessingSystem:
 
 
 def fill_rates(system, name, pairs):
-    series = system.metrics.rate_series_for(name, 1.0)
+    series = system.metrics.rate(name, 1.0)
     for t, count in pairs:
         series.record(t, count)
 

@@ -94,5 +94,5 @@ class TestFailureDuringLRB:
         system.run(until=150.0)
         assert len(system.metrics.events_of_kind("recovery_complete")) == 1
         # Tolls keep flowing after recovery.
-        rate = system.metrics.rate_series_for("processed:toll_calc")
+        rate = system.metrics.rate("processed:toll_calc")
         assert rate.rate_at(140.0) > 0

@@ -32,7 +32,7 @@ class TestOpenLoopScaleOut:
         assert ranking[0][0] == "lang000"  # Zipf head
 
     def test_no_drops_near_end(self, run):
-        overflow = run.system.metrics.rate_series_for("overflow:map")
+        overflow = run.system.metrics.rate("overflow:map")
         # Overflow is recorded via counters, not rate series; check the
         # consumed rate reaches the input rate instead.
         in_t, in_r = run.input_rate_series()

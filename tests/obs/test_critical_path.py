@@ -1,0 +1,132 @@
+"""Tests for the critical-path decomposition of phase timelines."""
+
+import pytest
+
+from repro.obs import (
+    SEGMENT_DETECTION,
+    SEGMENT_PROVISION,
+    SEGMENT_REPLAY_DRAIN,
+    SEGMENT_TRANSFER,
+    analyze,
+)
+from repro.sim.metrics import PhaseTimeline
+
+
+def recovery_timeline():
+    timeline = PhaseTimeline("recovery", "counter", [7], 10.0)
+    timeline.enter("PLAN", 10.0)
+    timeline.enter("ACQUIRE_VMS", 10.0)
+    timeline.enter("CHECKPOINT_PARTITION", 13.0)
+    timeline.enter("TRANSFER", 13.5)
+    timeline.enter("RESTORE", 15.5)
+    timeline.enter("COMMIT", 15.6)
+    timeline.enter("REPLAY_DRAIN", 15.7)
+    timeline.enter("DONE", 17.0)
+    timeline.close(17.0, "done")
+    return timeline
+
+
+class TestAnalyze:
+    def test_segments_sum_to_total_duration(self):
+        timeline = recovery_timeline()
+        path = analyze(timeline)
+        assert path.total == pytest.approx(timeline.total_duration())
+        assert sum(path.segments.values()) == pytest.approx(
+            timeline.total_duration()
+        )
+
+    def test_phase_to_segment_mapping(self):
+        path = analyze(recovery_timeline())
+        assert path.segments[SEGMENT_PROVISION] == pytest.approx(3.0)
+        assert path.segments["checkpoint-partition"] == pytest.approx(0.5)
+        assert path.segments[SEGMENT_TRANSFER] == pytest.approx(2.0)
+        # RESTORE + COMMIT both land in restore
+        assert path.segments["restore"] == pytest.approx(0.2)
+        assert path.segments[SEGMENT_REPLAY_DRAIN] == pytest.approx(1.3)
+
+    def test_dominant_segment(self):
+        path = analyze(recovery_timeline())
+        assert path.dominant == SEGMENT_PROVISION
+
+    def test_detection_from_failure_time(self):
+        timeline = recovery_timeline()
+        path = analyze(timeline, failure_time=8.0)
+        assert path.detection == pytest.approx(2.0)
+        assert path.total_with_detection == pytest.approx(
+            timeline.total_duration() + 2.0
+        )
+        # detection is NOT inside the in-engine sum
+        assert path.total == pytest.approx(timeline.total_duration())
+
+    def test_detection_dominates_when_largest(self):
+        timeline = recovery_timeline()
+        path = analyze(timeline, failure_time=0.0)
+        assert path.detection == pytest.approx(10.0)
+        assert path.dominant == SEGMENT_DETECTION
+
+    def test_no_failure_time_means_zero_detection(self):
+        path = analyze(recovery_timeline())
+        assert path.detection == 0.0
+        assert path.total_with_detection == path.total
+
+    def test_open_spans_are_skipped(self):
+        timeline = PhaseTimeline("recovery", "counter", [7], 0.0)
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("TRANSFER", 1.0)  # still open
+        path = analyze(timeline)
+        assert path.segments[SEGMENT_PROVISION] == pytest.approx(1.0)
+        assert path.segments[SEGMENT_TRANSFER] == 0.0
+        assert path.outcome is None
+
+    def test_aborted_timeline(self):
+        timeline = PhaseTimeline("recovery", "counter", [7], 0.0)
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("ACQUIRE_VMS", 0.0)
+        timeline.enter("ABORTED", 2.0)
+        timeline.close(2.0, "aborted")
+        path = analyze(timeline)
+        assert path.outcome == "aborted"
+        assert path.total == pytest.approx(timeline.total_duration())
+
+    def test_reopened_phase_accumulates(self):
+        timeline = PhaseTimeline("recovery", "counter", [7], 0.0)
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("TRANSFER", 1.0)
+        timeline.enter("PLAN", 2.0)  # retry loops back
+        timeline.enter("TRANSFER", 2.5)
+        timeline.enter("DONE", 4.0)
+        timeline.close(4.0, "done")
+        path = analyze(timeline)
+        assert path.segments[SEGMENT_TRANSFER] == pytest.approx(2.5)
+        assert path.total == pytest.approx(timeline.total_duration())
+
+    def test_unknown_phase_goes_to_other_bucket(self):
+        timeline = PhaseTimeline("recovery", "counter", [7], 0.0)
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("MYSTERY_PHASE", 1.0)
+        timeline.enter("DONE", 3.0)
+        timeline.close(3.0, "done")
+        path = analyze(timeline)
+        assert path.segments["other"] == pytest.approx(2.0)
+        assert path.total == pytest.approx(timeline.total_duration())
+
+
+class TestRecord:
+    def test_as_record_shape(self):
+        record = analyze(recovery_timeline(), failure_time=9.0).as_record()
+        assert record["kind"] == "critical_path"
+        assert record["reconfig"] == "recovery"
+        assert record["op"] == "counter"
+        assert record["slots"] == [7]
+        assert record["outcome"] == "done"
+        assert record["detection"] == pytest.approx(1.0)
+        assert record["total"] == pytest.approx(
+            sum(record["segments"].values())
+        )
+        assert record["dominant"] == SEGMENT_PROVISION
+
+    def test_render_mentions_every_segment(self):
+        text = analyze(recovery_timeline(), failure_time=9.0).render()
+        for name in ("detection", "provision", "transfer", "replay-drain",
+                     "dominant:"):
+            assert name in text

@@ -1,0 +1,115 @@
+"""Tests for the span/tracer primitives."""
+
+from repro.obs import Tracer
+
+
+class TestSpan:
+    def test_open_and_close(self):
+        tracer = Tracer()
+        span = tracer.start("work", time=1.0)
+        assert span.open
+        assert span.duration is None
+        tracer.end(span, 3.5, result="ok")
+        assert not span.open
+        assert span.duration == 2.5
+        assert span.attrs["result"] == "ok"
+
+    def test_close_is_idempotent(self):
+        tracer = Tracer()
+        span = tracer.start("work", time=1.0)
+        tracer.end(span, 2.0)
+        tracer.end(span, 9.0)
+        assert span.end == 2.0
+
+    def test_to_record_shape(self):
+        tracer = Tracer()
+        parent = tracer.start("outer", time=0.0)
+        child = tracer.start("inner", kind="phase", time=1.0, parent=parent)
+        tracer.end(child, 2.0)
+        record = child.to_record()
+        assert record["kind"] == "span"
+        assert record["type"] == "phase"
+        assert record["name"] == "inner"
+        assert record["parent"] == parent.span_id
+        assert record["trace"] == parent.trace_id
+        assert record["t"] == 1.0
+        assert record["end"] == 2.0
+
+
+class TestTracerCausality:
+    def test_root_span_defines_trace_id(self):
+        tracer = Tracer()
+        root = tracer.start("root", time=0.0)
+        assert root.trace_id == root.span_id
+        child = tracer.start("child", time=1.0, parent=root)
+        grandchild = tracer.start("gc", time=2.0, parent=child)
+        assert child.trace_id == root.trace_id
+        assert grandchild.trace_id == root.trace_id
+
+    def test_independent_roots_get_distinct_traces(self):
+        tracer = Tracer()
+        a = tracer.start("a", time=0.0)
+        b = tracer.start("b", time=0.0)
+        assert a.trace_id != b.trace_id
+
+    def test_link_registry_resolves_parent_across_boundaries(self):
+        """The cross-VM pattern: a failure span registered under a causal
+        key becomes the parent of a span started elsewhere, later."""
+        tracer = Tracer()
+        failure = tracer.start("failure:counter", time=5.0)
+        tracer.end(failure, 5.0)
+        tracer.link(("failure", 7), failure)
+        detection = tracer.start(
+            "detection:counter", time=5.0, link_from=("failure", 7)
+        )
+        assert detection.parent_id == failure.span_id
+        assert detection.trace_id == failure.trace_id
+
+    def test_unresolved_link_yields_root_span(self):
+        tracer = Tracer()
+        span = tracer.start("orphan", time=0.0, link_from=("missing", 1))
+        assert span.parent_id is None
+        assert span.trace_id == span.span_id
+
+    def test_relink_overwrites(self):
+        tracer = Tracer()
+        first = tracer.start("first", time=0.0)
+        second = tracer.start("second", time=1.0)
+        tracer.link("key", first)
+        tracer.link("key", second)
+        assert tracer.resolve("key") is second
+
+    def test_trace_and_children_queries(self):
+        tracer = Tracer()
+        root = tracer.start("root", time=0.0)
+        kids = [tracer.start(f"k{i}", time=1.0, parent=root) for i in range(3)]
+        other = tracer.start("other", time=0.0)
+        assert tracer.children_of(root) == kids
+        trace = tracer.trace(root.trace_id)
+        assert root in trace and all(k in trace for k in kids)
+        assert other not in trace
+        assert len(tracer) == 5
+
+    def test_explicit_parent_beats_link_from(self):
+        tracer = Tracer()
+        linked = tracer.start("linked", time=0.0)
+        tracer.link("key", linked)
+        explicit = tracer.start("explicit", time=0.0)
+        span = tracer.start(
+            "child", time=1.0, parent=explicit, link_from="key"
+        )
+        assert span.parent_id == explicit.span_id
+
+
+class TestTracerQueries:
+    def test_find_by_kind_and_name(self):
+        tracer = Tracer()
+        tracer.start("alpha", kind="phase", time=0.0)
+        tracer.start("beta", kind="phase", time=0.0)
+        tracer.start("alpha", kind="transfer", time=1.0)
+        assert len(tracer.find(name="alpha")) == 2
+        assert len(tracer.find(kind="phase")) == 2
+        assert len(tracer.find(kind="phase", name="alpha")) == 1
+
+    def test_get_unknown_returns_none(self):
+        assert Tracer().get(99) is None

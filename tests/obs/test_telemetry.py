@@ -1,0 +1,205 @@
+"""Tests for the Telemetry facade: metric delegation, event mirroring,
+engine observation, and the causally linked failure → detection →
+reconfiguration chain."""
+
+import json
+from dataclasses import dataclass, field
+
+import pytest
+
+from repro.obs import Telemetry
+from repro.sim.metrics import MetricsHub, PhaseTimeline
+
+
+@dataclass
+class FakeSlot:
+    uid: int
+
+
+@dataclass
+class FakePlan:
+    kind: str = "recovery"
+    op_name: str = "counter"
+    state_source: str = "backup"
+    old_slots: list = field(default_factory=lambda: [FakeSlot(7)])
+    failure_time: float | None = 5.0
+
+    @property
+    def is_recovery(self) -> bool:
+        return self.kind == "recovery"
+
+
+class FakeOp:
+    """Duck-types the engine's operation: a plan plus a phase timeline."""
+
+    def __init__(self, plan: FakePlan, started_at: float) -> None:
+        self.plan = plan
+        self.timeline = PhaseTimeline(
+            plan.kind, plan.op_name, [s.uid for s in plan.old_slots],
+            started_at,
+        )
+
+
+class FakeEngine:
+    def __init__(self) -> None:
+        self.listeners = []
+
+    def on_phase_change(self, listener) -> None:
+        self.listeners.append(listener)
+
+    def fire(self, op, phase: str) -> None:
+        # The real engine also advances op.timeline; tests drive the
+        # timeline explicitly where a decomposition matters.
+        for listener in self.listeners:
+            listener(op, phase)
+
+
+class Clock:
+    def __init__(self) -> None:
+        self.t = 0.0
+
+    def __call__(self) -> float:
+        return self.t
+
+
+class TestMetricsFacade:
+    def test_delegates_to_hub(self):
+        hub = MetricsHub()
+        tel = Telemetry(hub=hub)
+        assert tel.timeseries("a") is hub.timeseries("a")
+        assert tel.rate("b") is hub.rate("b")
+        assert tel.latency("c") is hub.latency("c")
+        tel.increment("n", 2.0)
+        assert tel.counter("n") == 2.0 == hub.counter("n")
+
+    def test_owns_a_hub_by_default(self):
+        tel = Telemetry()
+        tel.increment("n")
+        assert tel.hub.counter("n") == 1.0
+
+
+class TestEventMirroring:
+    def test_facade_event_reaches_hub_and_log(self):
+        tel = Telemetry()
+        tel.event("failure", "vm 3", time=1.5, slot=7)
+        assert tel.hub.events_of_kind("failure") == [(1.5, "failure", "vm 3")]
+        records = tel.log.of_kind("failure")
+        assert records == [
+            {"kind": "failure", "t": 1.5, "detail": "vm 3", "slot": 7}
+        ]
+
+    def test_direct_hub_events_are_mirrored_too(self):
+        """Call sites that talk to the hub directly still land in the
+        structured log — the listener, not the facade, does the mirroring."""
+        tel = Telemetry()
+        tel.hub.mark_event(2.0, "recovery_complete", "", duration=1.2)
+        assert tel.log.of_kind("recovery_complete") == [
+            {"kind": "recovery_complete", "t": 2.0, "duration": 1.2}
+        ]
+
+    def test_no_double_logging(self):
+        tel = Telemetry()
+        tel.event("failure", "x", time=1.0)
+        assert len(tel.log.of_kind("failure")) == 1
+
+
+class TestCausalChain:
+    def test_failure_detection_recovery_share_a_trace(self):
+        clock = Clock()
+        tel = Telemetry(clock=clock)
+        engine = FakeEngine()
+        tel.observe_engine(engine)
+
+        clock.t = 5.0
+        failure = tel.record_failure(7, "counter", vm_id=3)
+        clock.t = 6.0
+        detection = tel.record_detection(7, "counter", failure_time=5.0)
+        assert detection.parent_id == failure.span_id
+        assert detection.start == 5.0 and detection.end == 6.0
+        assert detection.attrs["latency"] == pytest.approx(1.0)
+
+        op = FakeOp(FakePlan(failure_time=5.0), started_at=6.0)
+        clock.t = 6.0
+        engine.fire(op, "PLAN")
+        root = tel.op_span(op)
+        assert root is not None
+        assert root.parent_id == detection.span_id
+        assert root.trace_id == failure.trace_id == failure.span_id
+        assert root.attrs["reconfig"] == "recovery"
+
+        clock.t = 7.0
+        engine.fire(op, "TRANSFER")
+        phase = tel.phase_span(op)
+        assert phase.name == "TRANSFER"
+        assert phase.parent_id == root.span_id
+
+        clock.t = 9.0
+        op.timeline.close(9.0, "done")
+        engine.fire(op, "DONE")
+        assert root.end == 9.0
+        assert root.attrs["outcome"] == "done"
+        assert tel.op_span(op) is None  # bookkeeping cleared
+
+    def test_scale_out_root_has_no_parent(self):
+        clock = Clock()
+        tel = Telemetry(clock=clock)
+        engine = FakeEngine()
+        tel.observe_engine(engine)
+        plan = FakePlan(kind="scale_out", failure_time=None)
+        op = FakeOp(plan, started_at=0.0)
+        engine.fire(op, "PLAN")
+        root = tel.op_span(op)
+        assert root.parent_id is None
+        assert root.trace_id == root.span_id
+
+    def test_terminal_phase_records_critical_path(self):
+        clock = Clock()
+        tel = Telemetry(clock=clock)
+        engine = FakeEngine()
+        tel.observe_engine(engine)
+        op = FakeOp(FakePlan(failure_time=5.0), started_at=6.0)
+        op.timeline.enter("PLAN", 6.0)
+        op.timeline.enter("TRANSFER", 7.0)
+        op.timeline.enter("DONE", 9.0)
+        op.timeline.close(9.0, "done")
+        clock.t = 9.0
+        engine.fire(op, "DONE")
+        assert len(tel.finished_paths) == 1
+        path = tel.finished_paths[0]
+        assert path.total == pytest.approx(op.timeline.total_duration())
+        assert path.detection == pytest.approx(1.0)
+        records = tel.log.of_kind("critical_path")
+        assert len(records) == 1
+        assert records[0]["dominant"] == "transfer"
+
+
+class TestNetworkObserver:
+    def test_control_messages_logged_data_plane_skipped(self):
+        tel = Telemetry()
+
+        class Net:
+            observer = None
+
+        net = Net()
+        tel.observe_network(net)
+        net.observer(1, 2, 100.0, "control", 3.0, True)
+        net.observer(1, 2, 100.0, "data", 3.0, True)
+        records = tel.log.of_kind("net.control")
+        assert len(records) == 1
+        assert records[0]["src"] == 1 and records[0]["delivered"] is True
+
+
+class TestDump:
+    def test_dump_jsonl_contains_meta_events_and_spans(self, tmp_path):
+        tel = Telemetry(run_meta={"seed": 7, "config_hash": "abc"})
+        tel.event("failure", "x", time=2.0)
+        span = tel.start_span("work", time=1.0)
+        tel.end_span(span, time=3.0)
+        out = tel.dump_jsonl(tmp_path / "trace.jsonl")
+        lines = [json.loads(line) for line in out.read_text().splitlines()]
+        assert lines[0] == {"kind": "run_meta", "seed": 7, "config_hash": "abc"}
+        kinds = [r["kind"] for r in lines[1:]]
+        assert "failure" in kinds and "span" in kinds
+        # time-ordered after the header
+        times = [r["t"] for r in lines[1:] if "t" in r]
+        assert times == sorted(times)

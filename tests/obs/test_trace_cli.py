@@ -1,0 +1,98 @@
+"""End-to-end tests for ``python -m repro trace`` — the acceptance
+criterion: a seeded recovery run dumps a JSONL trace whose critical-path
+breakdown sums to the phase timeline's total duration, causally linked
+back to the crash."""
+
+import json
+
+import pytest
+
+from repro.obs import run_trace
+
+DURATION = 55.0
+FAIL_AT = 25.0
+
+
+@pytest.fixture(scope="module")
+def report(tmp_path_factory):
+    out = tmp_path_factory.mktemp("trace") / "trace.jsonl"
+    return run_trace(
+        workload="wordcount",
+        seed=7,
+        duration=DURATION,
+        fail_at=FAIL_AT,
+        out=out,
+    )
+
+
+@pytest.fixture(scope="module")
+def records(report):
+    with open(report.path, encoding="utf-8") as fh:
+        return [json.loads(line) for line in fh]
+
+
+class TestTraceRun:
+    def test_recovery_happened(self, report):
+        assert report.critical_paths, "no reconfiguration was traced"
+        path = report.critical_paths[0]
+        assert path.kind == "recovery"
+        assert path.outcome == "done"
+
+    def test_header_carries_run_metadata(self, records):
+        header = records[0]
+        assert header["kind"] == "run_meta"
+        assert header["seed"] == 7
+        assert len(header["config_hash"]) == 16
+
+    def test_critical_path_sums_to_timeline_total(self, report, records):
+        """The acceptance criterion, on both the in-memory report and the
+        dumped record."""
+        cp_records = [r for r in records if r["kind"] == "critical_path"]
+        assert cp_records
+        for record in cp_records:
+            assert sum(record["segments"].values()) == pytest.approx(
+                record["total"]
+            )
+        for path, rows in zip(report.critical_paths, report.timelines):
+            total = rows[-1][2] - rows[0][1]  # last end - first start
+            assert path.total == pytest.approx(total)
+
+    def test_trace_is_causally_linked(self, records):
+        spans = {r["span"]: r for r in records if r["kind"] == "span"}
+        roots = [s for s in spans.values() if s["type"] == "reconfig"]
+        assert roots
+        root = roots[0]
+        detection = spans[root["parent"]]
+        assert detection["type"] == "detection"
+        failure = spans[detection["parent"]]
+        assert failure["type"] == "failure"
+        assert failure["trace"] == detection["trace"] == root["trace"]
+        # the failure span sits at the injected crash
+        assert failure["t"] == pytest.approx(FAIL_AT)
+        # every engine phase is a child span of the root
+        phases = [
+            s for s in spans.values()
+            if s["type"] == "phase" and s["parent"] == root["span"]
+        ]
+        assert {p["name"] for p in phases} >= {"PLAN", "REPLAY_DRAIN"}
+
+    def test_spans_and_events_counted(self, report, records):
+        assert report.span_count == sum(
+            1 for r in records if r["kind"] == "span"
+        )
+        assert report.event_count >= 1
+
+    def test_render_shows_timeline_and_breakdown(self, report):
+        text = report.render()
+        assert "phase timeline" in text
+        assert "REPLAY_DRAIN" in text
+        assert "dominant:" in text
+        assert str(report.path) in text
+
+
+class TestTraceErrors:
+    def test_unknown_workload_rejected(self):
+        from repro.errors import ReproError
+
+        with pytest.raises(ReproError):
+            run_trace(workload="nope", duration=1.0)

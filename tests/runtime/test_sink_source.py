@@ -34,7 +34,7 @@ class TestSourceOperator:
         system, gen, _col = small_system()
         gen.feed("x", weight=10)
         system.run(until=1.0)
-        assert system.metrics.rate_series_for("input").total() == 10
+        assert system.metrics.rate("input").total() == 10
 
 
 class TestSourceController:

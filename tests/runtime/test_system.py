@@ -60,7 +60,7 @@ class TestDeployment:
 
     def test_record_vm_count(self):
         system, _gen, _col = small_system()
-        series = system.metrics.time_series_for("vms:workers")
+        series = system.metrics.timeseries("vms:workers")
         assert series.last() == 2  # mid + counter
 
     def test_summary_shape(self):

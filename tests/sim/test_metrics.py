@@ -233,12 +233,74 @@ class TestLatencyReservoir:
         assert values[-1] == max(latencies)
 
 
+class TestLatencyReservoirEdgeCases:
+    def test_empty_reservoir_windowed_is_nan(self):
+        res = LatencyReservoir()
+        assert math.isnan(res.percentile(50, t_min=0.0, t_max=10.0))
+        assert math.isnan(res.mean(t_min=0.0))
+
+    def test_point_window_t_min_equals_t_max(self):
+        """Both bounds are inclusive: a point window keeps exact hits."""
+        res = LatencyReservoir()
+        res.record(1.0, 10.0)
+        res.record(2.0, 20.0)
+        res.record(3.0, 30.0)
+        assert res.percentile(50, t_min=2.0, t_max=2.0) == 20.0
+        assert math.isnan(res.percentile(50, t_min=2.5, t_max=2.5))
+
+    def test_single_sample_window(self):
+        """Any q over one sample returns that sample."""
+        res = LatencyReservoir()
+        res.record(1.0, 10.0)
+        res.record(9.0, 90.0)
+        for q in (0, 50, 100):
+            assert res.percentile(q, t_min=5.0, t_max=10.0) == 90.0
+        assert res.mean(t_min=5.0) == 90.0
+
+    def test_inverted_window_is_empty(self):
+        res = LatencyReservoir()
+        res.record(1.0, 10.0)
+        assert math.isnan(res.percentile(50, t_min=2.0, t_max=1.5))
+
+
+class TestPhaseTimelineReopened:
+    def test_as_rows_preserves_entry_order_on_reopened_phase(self):
+        """A phase entered twice (e.g. TRANSFER retried after a mid-flight
+        failure) yields two rows, in entry order, each with its own span."""
+        timeline = PhaseTimeline("recovery", "counter", [7], 0.0)
+        timeline.enter("PLAN", 0.0)
+        timeline.enter("TRANSFER", 1.0)
+        timeline.enter("PLAN", 3.0)
+        timeline.enter("TRANSFER", 4.0)
+        timeline.enter("DONE", 6.0)
+        timeline.close(6.0, "done")
+        rows = timeline.as_rows()
+        assert [r[0] for r in rows] == [
+            "PLAN", "TRANSFER", "PLAN", "TRANSFER", "DONE",
+        ]
+        starts = [r[1] for r in rows]
+        assert starts == sorted(starts)
+        assert rows[1] == ("TRANSFER", 1.0, 3.0)
+        assert rows[3] == ("TRANSFER", 4.0, 6.0)
+        # total spans first start → last end, across the reopened phases
+        assert timeline.total_duration() == 6.0
+
+
 class TestMetricsHub:
     def test_lazily_creates_metrics(self):
         hub = MetricsHub()
-        assert hub.time_series_for("a") is hub.time_series_for("a")
-        assert hub.rate_series_for("b") is hub.rate_series_for("b")
-        assert hub.latency_for("c") is hub.latency_for("c")
+        assert hub.timeseries("a") is hub.timeseries("a")
+        assert hub.rate("b") is hub.rate("b")
+        assert hub.latency("c") is hub.latency("c")
+
+    def test_deprecated_aliases_warn_and_delegate(self):
+        hub = MetricsHub()
+        with pytest.warns(DeprecationWarning, match="timeseries"):
+            assert hub.time_series_for("a") is hub.timeseries("a")
+        with pytest.warns(DeprecationWarning, match="rate"):
+            assert hub.rate_series_for("b") is hub.rate("b")
+        with pytest.warns(DeprecationWarning, match="latency"):
+            assert hub.latency_for("c") is hub.latency("c")
 
     def test_counters(self):
         hub = MetricsHub()
@@ -251,4 +313,15 @@ class TestMetricsHub:
         hub = MetricsHub()
         hub.mark_event(1.0, "failure", "vm 3")
         hub.mark_event(2.0, "recovery_complete", "")
+        assert hub.events_of_kind("failure") == [(1.0, "failure", "vm 3")]
+
+    def test_event_listeners_receive_structured_fields(self):
+        hub = MetricsHub()
+        seen = []
+        hub.on_event(lambda t, kind, detail, fields: seen.append(
+            (t, kind, detail, fields)
+        ))
+        hub.mark_event(1.0, "failure", "vm 3", slot=7)
+        assert seen == [(1.0, "failure", "vm 3", {"slot": 7})]
+        # the legacy tuple log is unchanged by extra fields
         assert hub.events_of_kind("failure") == [(1.0, "failure", "vm 3")]

@@ -1,0 +1,40 @@
+"""The frozen public API: ``repro.__all__`` is the supported surface."""
+
+import repro
+
+
+class TestPublicApi:
+    def test_all_names_actually_import(self):
+        missing = [name for name in repro.__all__ if not hasattr(repro, name)]
+        assert missing == []
+
+    def test_all_is_sorted_and_unique(self):
+        assert len(repro.__all__) == len(set(repro.__all__))
+
+    def test_core_entry_points_are_exported(self):
+        required = {
+            "StreamProcessingSystem",
+            "SystemConfig",
+            "QueryGraph",
+            "Operator",
+            "Telemetry",
+            "Tracer",
+            "ChaosRunner",
+            "ReconfigurationEngine",
+        }
+        assert required <= set(repro.__all__)
+
+    def test_star_import_matches_all(self):
+        namespace: dict = {}
+        exec("from repro import *", namespace)
+        exported = {name for name in namespace if not name.startswith("_")}
+        assert exported == set(repro.__all__) - {"__version__"}
+
+    def test_telemetry_is_reachable_from_a_system(self):
+        """The facade is not just importable — every system instance
+        carries one."""
+        from repro import StreamProcessingSystem, SystemConfig, Telemetry
+
+        system = StreamProcessingSystem(SystemConfig())
+        assert isinstance(system.telemetry, Telemetry)
+        assert system.telemetry.hub is system.metrics
