@@ -1,0 +1,114 @@
+#!/usr/bin/env python
+"""Compare a fresh bench report against the committed baseline.
+
+Usage::
+
+    python benchmarks/compare_bench.py BENCH_dataplane.json \
+        benchmarks/BENCH_baseline.json [--threshold 0.30]
+
+Exits non-zero when any gated wall-clock metric regressed by more than
+``threshold`` (relative), or when a simulated-time metric changed at all
+(sim time is deterministic — any drift is a behaviour change, not
+noise).  Wall-clock metrics only gate in the *worse* direction; getting
+faster never fails.  Stdlib only, so CI needs no extra installs.
+"""
+
+from __future__ import annotations
+
+import argparse
+import json
+import sys
+
+#: Gated wall-clock metrics: (json path, higher_is_better).
+GATED = [
+    (("results", "kernel", "events_per_sec"), True),
+    (("results", "throughput", "unbatched", "tuples_per_wall_sec"), True),
+    (("results", "throughput", "batched", "tuples_per_wall_sec"), True),
+    (("results", "throughput", "speedup"), True),
+]
+
+#: Deterministic simulated-time metrics: must match the baseline exactly.
+EXACT = [
+    ("results", "recovery", "sim_recovery_seconds"),
+    ("results", "throughput", "batched", "network_messages"),
+    ("results", "throughput", "unbatched", "network_messages"),
+]
+
+
+def lookup(report: dict, path: tuple) -> float | None:
+    node = report
+    for key in path:
+        if not isinstance(node, dict) or key not in node:
+            return None
+        node = node[key]
+    return node
+
+
+def main(argv: list[str] | None = None) -> int:
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("current", help="fresh bench JSON report")
+    parser.add_argument("baseline", help="committed baseline JSON report")
+    parser.add_argument(
+        "--threshold",
+        type=float,
+        default=0.30,
+        help="max tolerated relative wall-clock regression (default 0.30)",
+    )
+    args = parser.parse_args(argv)
+
+    with open(args.current, encoding="utf-8") as handle:
+        current = json.load(handle)
+    with open(args.baseline, encoding="utf-8") as handle:
+        baseline = json.load(handle)
+
+    if current.get("preset") != baseline.get("preset"):
+        print(
+            f"preset mismatch: current={current.get('preset')!r} "
+            f"baseline={baseline.get('preset')!r}; not comparable"
+        )
+        return 2
+
+    failures = []
+    for path, higher_is_better in GATED:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        name = ".".join(path)
+        if base is None or cur is None:
+            print(f"SKIP {name}: missing in current or baseline")
+            continue
+        if higher_is_better:
+            regression = (base - cur) / base
+        else:
+            regression = (cur - base) / base
+        status = "OK"
+        if regression > args.threshold:
+            status = "FAIL"
+            failures.append(name)
+        print(
+            f"{status} {name}: baseline={base} current={cur} "
+            f"({-regression:+.1%} vs baseline, floor -{args.threshold:.0%})"
+        )
+
+    for path in EXACT:
+        base = lookup(baseline, path)
+        cur = lookup(current, path)
+        name = ".".join(path)
+        if base is None or cur is None:
+            print(f"SKIP {name}: missing in current or baseline")
+            continue
+        if base != cur:
+            failures.append(name)
+            print(f"FAIL {name}: deterministic value drifted "
+                  f"baseline={base} current={cur}")
+        else:
+            print(f"OK {name}: {cur} (exact)")
+
+    if failures:
+        print(f"\n{len(failures)} metric(s) regressed: {', '.join(failures)}")
+        return 1
+    print("\nall gated metrics within threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

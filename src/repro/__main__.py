@@ -1,4 +1,4 @@
-"""Command-line entry point: regenerate figures, or trace one run.
+"""Command-line entry point: regenerate figures, trace or bench one run.
 
 Usage::
 
@@ -7,6 +7,7 @@ Usage::
     python -m repro fig06 --quick        # reduced parameters
     python -m repro all --quick
     python -m repro trace wordcount --seed 7   # causal trace + critical path
+    python -m repro bench --preset small       # data-plane perf harness
 
 All console output flows through a structured :class:`EventLog` with a
 console sink, so every line the CLI prints is also a well-formed event
@@ -126,12 +127,43 @@ def _trace_main(argv: list[str]) -> int:
     return 0
 
 
+def _bench_main(argv: list[str]) -> int:
+    """``python -m repro bench``: run the data-plane perf harness."""
+    from repro.experiments.bench import PRESETS, render_report, run_bench
+
+    parser = argparse.ArgumentParser(
+        prog="python -m repro bench",
+        description="Seeded data-plane benchmarks: kernel events/sec, "
+        "batched vs unbatched tuple throughput, copy-on-write checkpoint "
+        "latency, and simulated recovery time.",
+    )
+    parser.add_argument(
+        "--preset",
+        default="small",
+        choices=tuple(PRESETS),
+        help="benchmark scale (default: small)",
+    )
+    parser.add_argument(
+        "--out",
+        default="BENCH_dataplane.json",
+        help="JSON report path (default: BENCH_dataplane.json)",
+    )
+    args = parser.parse_args(argv)
+    report = run_bench(preset=args.preset, out=args.out)
+    log = EventLog(sink=console_sink())
+    log.emit("bench_report", preset=args.preset, text=render_report(report))
+    log.emit("bench_written", text=f"[report written to {args.out}]")
+    return 0
+
+
 def main(argv: list[str] | None = None) -> int:
     """Parse arguments and run the requested subcommand."""
     if argv is None:
         argv = sys.argv[1:]
     if argv and argv[0] == "trace":
         return _trace_main(argv[1:])
+    if argv and argv[0] == "bench":
+        return _bench_main(argv[1:])
 
     parser = argparse.ArgumentParser(
         prog="python -m repro",
@@ -140,7 +172,7 @@ def main(argv: list[str] | None = None) -> int:
     )
     parser.add_argument(
         "figure",
-        help="figure id (e.g. fig11), 'all', 'list', or 'trace'",
+        help="figure id (e.g. fig11), 'all', 'list', 'trace', or 'bench'",
     )
     parser.add_argument(
         "--quick",
@@ -154,6 +186,7 @@ def main(argv: list[str] | None = None) -> int:
         for name in FIGURES:
             log.emit("figure_id", text=name)
         log.emit("figure_id", text="trace")
+        log.emit("figure_id", text="bench")
         return 0
 
     names = list(FIGURES) if args.figure == "all" else [args.figure]

@@ -97,6 +97,7 @@ class ChaosRunner:
         lrb_xways: int = 1,
         lrb_tolerance: float = 0.0,
         trace_dir: str | None = None,
+        batching: bool = False,
     ) -> None:
         if workload not in ("wordcount", "lrb"):
             raise ReproError(f"unknown chaos workload: {workload!r}")
@@ -123,6 +124,8 @@ class ChaosRunner:
         self.margin = margin
         self.lrb_xways = lrb_xways
         self.lrb_tolerance = lrb_tolerance
+        #: Run the whole sweep (golden included) on the batched data plane.
+        self.batching = batching
         self._golden = None
 
     # ------------------------------------------------------------- building
@@ -138,6 +141,7 @@ class ChaosRunner:
         # acquisition from dominating every schedule.
         config.cloud.pool_size = 4
         config.cloud.provisioning_delay = 12.0
+        config.batching.enabled = self.batching
         return config
 
     def _build(self):

@@ -142,6 +142,35 @@ class NetworkConfig:
 
 
 @dataclass
+class BatchingConfig:
+    """Data-plane output batching (the SEEP engines batch on the wire).
+
+    When enabled, an operator instance coalesces output tuples per
+    destination slot into size/time-bounded batches, so the network and
+    the event queue see one event per batch instead of one per tuple.
+    Batches are force-flushed at checkpoint barriers, on pause/stop and
+    before routing updates, so reconfiguration semantics (trim, replay,
+    dedup floors) are identical to the unbatched data plane.  Replayed
+    tuples always bypass batching: replay pacing and drain accounting
+    are per-message.
+    """
+
+    enabled: bool = False
+    #: Flush a destination's batch once it holds this many tuples.
+    max_tuples: int = 32
+    #: Flush every pending batch at most this long (seconds of simulated
+    #: time) after its first tuple — bounds added latency.
+    linger: float = 0.002
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.max_tuples < 1:
+            raise ConfigurationError(f"max_tuples must be >= 1: {self.max_tuples}")
+        if self.linger < 0:
+            raise ConfigurationError(f"linger must be >= 0: {self.linger}")
+
+
+@dataclass
 class CloudConfig:
     """IaaS provider and VM pool (§5.2)."""
 
@@ -175,6 +204,7 @@ class SystemConfig:
     fault: FaultToleranceConfig = field(default_factory=FaultToleranceConfig)
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cloud: CloudConfig = field(default_factory=CloudConfig)
+    batching: BatchingConfig = field(default_factory=BatchingConfig)
     #: Master seed for all randomness in the run.
     seed: int = 0
     #: Per-instance input queue bound in tuples (weighted).  ``None``
@@ -194,6 +224,7 @@ class SystemConfig:
         self.fault.validate()
         self.network.validate()
         self.cloud.validate()
+        self.batching.validate()
         if self.queue_capacity is not None and self.queue_capacity <= 0:
             raise ConfigurationError("queue_capacity must be positive or None")
         if self.latency_sample_every < 1:

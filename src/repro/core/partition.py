@@ -92,7 +92,9 @@ def partition_processing_state(
         ProcessingState(positions=state.positions, out_clock=state.out_clock)
         for _ in groups
     ]
-    for key, value in state.items():
+    # Parts share the source's value objects; copy-on-write isolates every
+    # holder on its first mutation (see ProcessingState.share_all).
+    for key, value in state.share_all().items():
         index = position_in_groups(stable_hash(key), groups)
         parts[index].entries[key] = value
     return parts

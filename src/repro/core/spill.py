@@ -115,6 +115,11 @@ class SpillableState(ProcessingState):
         yield from self.entries.items()
         yield from self._spilled.items()
 
+    def share_all(self):
+        """Both tiers flattened; spillable snapshots are eager copies, so
+        handing out the raw values never aliases a snapshot."""
+        return dict(self.items())
+
     def __len__(self) -> int:
         return len(self.entries) + len(self._spilled)
 

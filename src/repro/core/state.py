@@ -236,6 +236,14 @@ class ProcessingState:
     the state — the τ vector returned by ``get-processing-state`` in the
     paper.  ``out_clock`` snapshots the operator's logical output clock so
     a restored operator resumes emitting from the right timestamp (§3.2).
+
+    Snapshots are **copy-on-write**: :meth:`snapshot` shares the value
+    objects between the live state and the snapshot, and the first
+    mutation-capable access to a shared container (on either side) copies
+    that one entry before handing it out.  ``_private`` tracks the keys
+    whose values are known not to be shared with any snapshot; rebinding a
+    key (plain assignment) never needs a copy because it leaves the old
+    object untouched for whoever still references it.
     """
 
     def __init__(
@@ -253,22 +261,40 @@ class ProcessingState:
         #: set a conservative superset of actual changes — exactly what
         #: incremental checkpointing needs.
         self.dirty: set[Any] | None = None
+        #: Keys whose values this state owns exclusively.  Everything else
+        #: is treated as potentially shared with a snapshot (or with the
+        #: caller's dict) and is copied before the first mutable access.
+        self._private: set[Any] = set()
 
     # Mapping-style access used by operator implementations -----------------
 
     def __contains__(self, key: Any) -> bool:
         return key in self.entries
 
+    def _own(self, key: Any, value: Any) -> Any:
+        """Return a privately owned copy of ``value`` for ``key``.
+
+        Copy-on-write seam: called before any access through which the
+        caller could mutate a container in place.
+        """
+        if key not in self._private:
+            value = self.entries[key] = _copy_value(value)
+            self._private.add(key)
+        return value
+
     def __getitem__(self, key: Any) -> Any:
         value = self.entries[key]
-        if self.dirty is not None and isinstance(value, (dict, list, set)):
-            self.dirty.add(key)
+        if isinstance(value, (dict, list, set)):
+            if self.dirty is not None:
+                self.dirty.add(key)
+            value = self._own(key, value)
         return value
 
     def __setitem__(self, key: Any, value: Any) -> None:
         if self.dirty is not None:
             self.dirty.add(key)
         self.entries[key] = value
+        self._private.add(key)
 
     def get(self, key: Any, default: Any = None) -> Any:
         """dict.get over the state entries (marks dirty on mutable reads)."""
@@ -285,12 +311,22 @@ class ProcessingState:
 
     def pop(self, key: Any, default: Any = None) -> Any:
         """dict.pop over the state entries (marks dirty)."""
-        if self.dirty is not None and key in self.entries:
+        if key not in self.entries:
+            return default
+        if self.dirty is not None:
             self.dirty.add(key)
-        return self.entries.pop(key, default)
+        value = self.entries.pop(key)
+        if key in self._private:
+            self._private.discard(key)
+        elif isinstance(value, (dict, list, set)):
+            # Still shared with a snapshot: the caller may mutate what we
+            # hand back, so give it a copy.
+            value = _copy_value(value)
+        return value
 
     def raw_get(self, key: Any, default: Any = None) -> Any:
-        """Read without dirty-marking or tier movement (checkpoint path)."""
+        """Read without dirty-marking, copy-on-write or tier movement
+        (checkpoint path — callers must not mutate the value)."""
         return self.entries.get(key, default)
 
     # Dirty tracking for incremental checkpoints ----------------------------
@@ -313,8 +349,27 @@ class ProcessingState:
         return self.entries.keys()
 
     def items(self):
-        """(key, value) pairs of the processing-state entries."""
-        return self.entries.items()
+        """(key, value) pairs of the processing-state entries.
+
+        Yields through the same copy-on-write seam as ``__getitem__``:
+        operators mutate container values while iterating (window
+        flushes, join pruning), so each mutable value is privatised — and
+        dirty-marked — as it is handed out.
+        """
+        for key in list(self.entries):
+            if key in self.entries:  # tolerate pops between yields
+                yield key, self[key]
+
+    def share_all(self) -> dict[Any, Any]:
+        """Give up exclusive ownership of every entry; return raw entries.
+
+        Checkpoint partitioning and merging distribute the value objects
+        into new states without copying; clearing ``_private`` first means
+        any later mutation of *this* state copies before writing, keeping
+        every holder isolated.
+        """
+        self._private.clear()
+        return self.entries
 
     def __len__(self) -> int:
         return len(self.entries)
@@ -322,12 +377,21 @@ class ProcessingState:
     # State-management operations -------------------------------------------
 
     def snapshot(self) -> "ProcessingState":
-        """A consistent copy, as taken under the operator's state lock."""
-        return ProcessingState(
-            entries={k: _copy_value(v) for k, v in self.entries.items()},
-            positions=self.positions,
-            out_clock=self.out_clock,
-        )
+        """A consistent copy, as taken under the operator's state lock.
+
+        Copy-on-write: the snapshot shares the value objects with the
+        live state instead of copying each one eagerly, so the cost is a
+        single dict copy regardless of value sizes.  Both sides lose
+        exclusive ownership; whichever side next reaches a shared
+        container through a mutating accessor copies that one entry
+        first.  ``take_checkpoint`` therefore costs host time
+        proportional to the post-checkpoint write set, not to the total
+        state size.
+        """
+        snap = ProcessingState(positions=self.positions, out_clock=self.out_clock)
+        snap.entries = dict(self.entries)
+        self._private.clear()
+        return snap
 
     def advance(self, slot_uid: int, ts: int) -> None:
         """Record that the tuple ``ts`` from ``slot_uid`` is now reflected."""
@@ -345,7 +409,7 @@ class ProcessingState:
             ProcessingState(positions=self.positions, out_clock=self.out_clock)
             for _ in intervals
         ]
-        for key, value in self.entries.items():
+        for key, value in self.share_all().items():
             position = stable_hash(key)
             for interval, part in zip(intervals, parts):
                 if position in interval:
@@ -368,11 +432,11 @@ class ProcessingState:
         require ``merge_value`` to combine the two values.
         """
         merged = ProcessingState(
-            entries=self.entries,
+            entries=self.share_all(),
             positions=self.positions,
             out_clock=max(self.out_clock, other.out_clock),
         )
-        for key, value in other.entries.items():
+        for key, value in other.share_all().items():
             if key in merged.entries:
                 if merge_value is None:
                     raise StateError(

@@ -132,6 +132,13 @@ class OperatorInstance:
         #: values, breaking the downstream duplicate filter's assumption
         #: that (slot, ts) identifies one payload.
         self._held_while_draining: list[Tuple] = []
+        #: Output batching (data-plane fast path): pending output tuples
+        #: per destination slot uid, flushed by size, by linger timer, and
+        #: at every control-plane barrier.  ``None`` when disabled.
+        batching = system.config.batching
+        self._batching = batching if batching.enabled else None
+        self._batch_pending: dict[int, list[Tuple]] = {}
+        self._linger_event = None
         self._latency_counter = 0
         # Counters (weighted tuples).
         self.processed_weight = 0.0
@@ -174,6 +181,36 @@ class OperatorInstance:
         """Entry point for tuples delivered by the network."""
         if not self.alive or not self.vm.alive:
             return
+        if self._admit(tup):
+            work = tup.weight * self.operator.cost_per_tuple
+            self.vm.submit(work, self._process, tup)
+        self._note_replay_progress(tup)
+
+    def receive_batch(self, batch: list[Tuple]) -> None:
+        """Entry point for a coalesced batch from one upstream instance.
+
+        Admission (duplicate filter, replay dedup, capacity) runs per
+        tuple exactly as on the unbatched path, but all accepted tuples
+        are processed under a single CPU work item — the kernel sees one
+        completion event per batch instead of one per tuple.
+        """
+        if not self.alive or not self.vm.alive:
+            return
+        accepted = [tup for tup in batch if self._admit(tup)]
+        if accepted:
+            work = sum(t.weight for t in accepted) * self.operator.cost_per_tuple
+            self.vm.submit(work, self._process_batch, accepted)
+        for tup in batch:
+            self._note_replay_progress(tup)
+
+    def _admit(self, tup: Tuple) -> bool:
+        """The admission pipeline shared by single and batched delivery.
+
+        Returns ``True`` when the tuple should be queued for processing;
+        all filters (replay dedup, duplicate watermarks, queue capacity)
+        and their side effects (counters, watermark advances, backlog
+        accounting, parking during drains) happen here.
+        """
         if tup.replay:
             if self.replay_mode == REPLAY_DROP or (
                 self.replay_mode == REPLAY_DEDUP
@@ -189,8 +226,7 @@ class OperatorInstance:
                 self.system.metrics.increment(
                     f"duplicates:{self.op_name}", tup.weight
                 )
-                self._note_replay_progress(tup)
-                return
+                return False
         elif (
             self._replay_done is not None
             and self._replay_flagged_only
@@ -201,20 +237,18 @@ class OperatorInstance:
             # their original out_clock values (exactly-once depends on
             # the (slot, ts) <-> payload mapping being stable).
             self._held_while_draining.append(tup)
-            return
+            return False
         elif tup.ts <= self._arrival_wm.get(tup.slot, -1):
             # Duplicate of an already-accepted tuple (replayed after a
             # checkpoint covered it, or re-emitted by a recovered upstream).
             self.dropped_duplicates += tup.weight
             self.system.metrics.increment(f"duplicates:{self.op_name}", tup.weight)
-            self._note_replay_progress(tup)
-            return
+            return False
         capacity = self.system.config.queue_capacity
         if capacity is not None and self._backlog_weight >= capacity:
             self.dropped_overflow += tup.weight
             self.system.metrics.increment(f"overflow:{self.op_name}", tup.weight)
-            self._note_replay_progress(tup)
-            return
+            return False
         if tup.ts > self._arrival_wm.get(tup.slot, -1):
             self._arrival_wm[tup.slot] = tup.ts
         if tup.replay and self.replay_mode == REPLAY_DEDUP:
@@ -224,14 +258,23 @@ class OperatorInstance:
             # replays behind fresh traffic's higher watermarks.
             self._replay_dedup_floor[tup.slot] = tup.ts
         self._backlog_weight += tup.weight
-        work = tup.weight * self.operator.cost_per_tuple
-        self.vm.submit(work, self._process, tup)
-        self._note_replay_progress(tup)
+        return True
 
     def _process(self, tup: Tuple) -> None:
         self._backlog_weight -= tup.weight
         if not self.alive:
             return
+        self._process_one(tup)
+
+    def _process_batch(self, batch: list[Tuple]) -> None:
+        for tup in batch:
+            self._backlog_weight -= tup.weight
+        if not self.alive:
+            return
+        for tup in batch:
+            self._process_one(tup)
+
+    def _process_one(self, tup: Tuple) -> None:
         sim = self.system.sim
         self._current_input = tup
         ctx = OperatorContext(self.state, self._emit_from_ctx, now=sim.now)
@@ -361,7 +404,12 @@ class OperatorInstance:
         dest_uid = routing.route_key(tup.key)
         if down_name in self._buffered_downs:
             self.buffers[down_name].append(dest_uid, tup)
-        self._send(dest_uid, tup)
+        if self._batching is not None and not tup.replay:
+            # Replays bypass batching: their pacing and the receiver's
+            # drain accounting are per-message.
+            self._batch_add(dest_uid, tup)
+        else:
+            self._send(dest_uid, tup)
 
     def _send(self, dest_uid: int, tup: Tuple) -> None:
         system = self.system
@@ -389,6 +437,75 @@ class OperatorInstance:
             dest.receive,
             tup,
         )
+
+    # ------------------------------------------------------------ batching
+
+    def _batch_add(self, dest_uid: int, tup: Tuple) -> None:
+        pending = self._batch_pending.setdefault(dest_uid, [])
+        pending.append(tup)
+        if len(pending) >= self._batching.max_tuples:
+            self._flush_batch(dest_uid)
+        elif self._linger_event is None:
+            # One linger timer per instance, armed by the first pending
+            # tuple; flushing every destination when it fires bounds the
+            # added latency of all batches to one linger interval.
+            self._linger_event = self.system.sim.schedule(
+                self._batching.linger, self._linger_flush
+            )
+
+    def _linger_flush(self) -> None:
+        self._linger_event = None
+        if not self.alive or not self.vm.alive:
+            self._batch_pending.clear()
+            return
+        self.flush_batches()
+
+    def flush_batches(self) -> None:
+        """Force out every pending batch.
+
+        Called at checkpoint barriers, on pause/stop and before routing
+        updates, so the batched data plane is indistinguishable from the
+        unbatched one at every reconfiguration boundary.
+        """
+        if self._linger_event is not None:
+            self._linger_event.cancel()
+            self._linger_event = None
+        for dest_uid in list(self._batch_pending):
+            self._flush_batch(dest_uid)
+
+    def _flush_batch(self, dest_uid: int) -> None:
+        batch = self._batch_pending.pop(dest_uid, None)
+        if not batch:
+            return
+        if len(batch) == 1:
+            self._send(dest_uid, batch[0])
+        else:
+            self._send_batch(dest_uid, batch)
+
+    def _discard_batches(self) -> None:
+        """Drop pending batches unsent (VM failure).  The tuples are still
+        in β, so recovery replays them exactly like any other in-flight
+        loss."""
+        self._batch_pending.clear()
+        if self._linger_event is not None:
+            self._linger_event.cancel()
+            self._linger_event = None
+
+    def _send_batch(self, dest_uid: int, batch: list[Tuple]) -> None:
+        system = self.system
+        size = system.config.network.tuple_bytes * len(batch)
+        if system.replication is not None:
+            replica = system.replication.replica_of(dest_uid)
+            if replica is not None:
+                system.network.send(
+                    self.vm, replica.vm, size, replica.receive_batch, list(batch)
+                )
+        dest = system.live_instance(dest_uid)
+        if dest is None:
+            # Destination currently dead; the batch stays buffered in β
+            # and is replayed once the destination is recovered.
+            return
+        system.network.send(self.vm, dest.vm, size, dest.receive_batch, batch)
 
     # ------------------------------------------------------------- timers
 
@@ -449,6 +566,9 @@ class OperatorInstance:
         """
         if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
             return
+        # Checkpoint barrier: pending batches carry tuples whose out_clock
+        # the snapshot will cover, so they must be on the wire first.
+        self.flush_batches()
         cfg = self.system.config.checkpoint
         incremental = cfg.incremental and self._can_increment
         if incremental and self.state.dirty is not None:
@@ -700,6 +820,7 @@ class OperatorInstance:
     def pause(self) -> None:
         """stop-operator: stop processing; inputs keep queueing."""
         if self.status is InstanceStatus.RUNNING:
+            self.flush_batches()
             self.status = InstanceStatus.PAUSED
             self.vm.pause()
 
@@ -723,15 +844,24 @@ class OperatorInstance:
         """Graceful removal after scale out replaced this instance."""
         if self.status in (InstanceStatus.STOPPED, InstanceStatus.FAILED):
             return
+        if self.vm.alive:
+            self.flush_batches()
+        else:
+            self._discard_batches()
         self.status = InstanceStatus.STOPPED
         self._stop_tasks()
         if release_vm and self.vm.alive:
             self.vm.release()
+        if not self.vm.alive:
+            # A retired VM's edges carry no further traffic; drop their
+            # in-order release clocks so long runs don't leak them.
+            self.system.network.prune_edges(self.vm.vm_id)
 
     def _on_vm_failed(self, _vm: VirtualMachine) -> None:
         if self.status in (InstanceStatus.STOPPED, InstanceStatus.FAILED):
             return
         self.status = InstanceStatus.FAILED
+        self._discard_batches()
         self._stop_tasks()
         self.system.notify_instance_failed(self)
 
@@ -786,6 +916,10 @@ class OperatorInstance:
 
     def set_routing(self, down_name: str, routing: RoutingState) -> None:
         """Install the routing mirror toward one downstream operator."""
+        if self._batch_pending:
+            # Pending batches were routed under the old state; send them
+            # before the new routing takes effect.
+            self.flush_batches()
         self.routing[down_name] = routing
 
     def repartition_buffer(self, down_name: str) -> None:

@@ -320,6 +320,9 @@ class StreamProcessingSystem:
             now, "failure", repr(instance.slot), slot=instance.uid
         )
         self.record_vm_count()
+        # The dead VM's edges will never carry another message (recovery
+        # lands on a fresh VM); drop their in-order release clocks.
+        self.network.prune_edges(instance.vm.vm_id)
         self._handle_lost_backups(instance.vm)
         if self.recovery is None or self.config.fault.strategy == STRATEGY_NONE:
             return

@@ -23,7 +23,7 @@ class Event:
     cancelled event stays in the heap but is skipped by the kernel.
     """
 
-    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled")
+    __slots__ = ("time", "priority", "seq", "callback", "args", "cancelled", "_queue")
 
     def __init__(
         self,
@@ -39,6 +39,7 @@ class Event:
         self.callback = callback
         self.args = args
         self.cancelled = False
+        self._queue: "EventQueue | None" = None
 
     def cancel(self) -> None:
         """Prevent the event from firing.
@@ -49,7 +50,11 @@ class Event:
         """
         if self.callback is None:
             raise EventError("event has already fired and cannot be cancelled")
+        if self.cancelled:
+            return
         self.cancelled = True
+        if self._queue is not None:
+            self._queue._note_cancelled()
 
     @property
     def pending(self) -> bool:
@@ -73,18 +78,33 @@ class Event:
         return f"Event(t={self.time:.6f}, prio={self.priority}, {name}, {state})"
 
 
+#: Never compact heaps smaller than this: rebuilding a tiny heap costs
+#: more than carrying a few dead entries.
+_COMPACT_MIN_HEAP = 64
+
+
 class EventQueue:
-    """A binary heap of :class:`Event` objects with lazy deletion."""
+    """A binary heap of :class:`Event` objects with lazy deletion.
+
+    Cancelled events stay in the heap and are skipped when they surface,
+    but the queue counts them as they are cancelled (``len`` is always the
+    number of *live* events) and compacts the heap once more than half of
+    it is dead — long chaos sweeps cancel many interior timers, and
+    without compaction those would accumulate without bound.
+    """
 
     def __init__(self) -> None:
         self._heap: list[Event] = []
         self._live = 0
+        #: Cancelled events still sitting in the heap.
+        self._dead = 0
 
     def __len__(self) -> int:
         return self._live
 
     def push(self, event: Event) -> None:
         """Add an event to the heap."""
+        event._queue = self
         heapq.heappush(self._heap, event)
         self._live += 1
 
@@ -101,11 +121,28 @@ class EventQueue:
         if not self._heap:
             return None
         event = heapq.heappop(self._heap)
+        event._queue = None
         self._live -= 1
         return event
+
+    def _note_cancelled(self) -> None:
+        """Called by :meth:`Event.cancel` for events still in the heap."""
+        self._live -= 1
+        self._dead += 1
+        if (
+            len(self._heap) >= _COMPACT_MIN_HEAP
+            and self._dead * 2 > len(self._heap)
+        ):
+            self._compact()
+
+    def _compact(self) -> None:
+        """Rebuild the heap from the live events only."""
+        self._heap = [e for e in self._heap if not e.cancelled]
+        heapq.heapify(self._heap)
+        self._dead = 0
 
     def _drop_cancelled(self) -> None:
         heap = self._heap
         while heap and heap[0].cancelled:
             heapq.heappop(heap)
-            self._live -= 1
+            self._dead -= 1

@@ -109,6 +109,23 @@ class Network:
         self.fault_plan = plan
         self._edge_clear.clear()
 
+    def prune_edges(self, vm_id: int) -> int:
+        """Forget in-order release state for edges touching ``vm_id``.
+
+        Called when a VM dies or retires: its edges will never carry
+        another message (a recovered operator lands on a *new* VM), so
+        keeping their release clocks would leak one entry per edge across
+        long chaos runs.  Returns the number of edges pruned.
+        """
+        stale = [
+            key
+            for key in self._edge_clear
+            if key[0] == vm_id or key[1] == vm_id
+        ]
+        for key in stale:
+            del self._edge_clear[key]
+        return len(stale)
+
     # ------------------------------------------------------------ sending
 
     def transfer_time(self, size_bytes: float) -> float:

@@ -108,6 +108,11 @@ class Simulator:
         self._running = True
         self._halted = False
         processed = 0
+        #: Whether the loop consumed everything due before ``until``.  A
+        #: halt() or max_events exit leaves earlier events pending, and
+        #: fast-forwarding the clock past them would make a later run()
+        #: move time *backwards* when it pops them.
+        drained = False
         try:
             while True:
                 if self._halted:
@@ -116,8 +121,10 @@ class Simulator:
                     break
                 next_time = self._queue.peek_time()
                 if next_time is None:
+                    drained = True
                     break
                 if until is not None and next_time > until:
+                    drained = True
                     break
                 event = self._queue.pop()
                 assert event is not None
@@ -126,7 +133,7 @@ class Simulator:
                 event._mark_fired()
                 callback(*args)
                 processed += 1
-            if until is not None and self._now < until:
+            if drained and until is not None and self._now < until:
                 self._now = until
         finally:
             self._running = False
@@ -162,9 +169,19 @@ class PeriodicTask:
         self.fire_count = 0
 
     def start(self, delay: float) -> None:
-        """Schedule the first firing after ``delay`` seconds."""
+        """Schedule the first firing after ``delay`` seconds.
+
+        A task may only be started once per lifetime: restarting a live
+        task would spawn a second concurrent timer chain (both the pending
+        event and the new one would each reschedule themselves forever).
+        """
         if self._stopped:
             raise SimulationError("periodic task already stopped")
+        if self._event is not None and self._event.pending:
+            raise SimulationError(
+                "periodic task already started (restart would double the "
+                "timer chain)"
+            )
         self._event = self._sim.schedule(
             delay, self._fire, priority=self._priority
         )

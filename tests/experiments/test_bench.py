@@ -1,0 +1,119 @@
+"""Smoke tests for the data-plane bench harness and its CI compare gate."""
+
+import json
+
+import pytest
+
+from repro.errors import ReproError
+from repro.experiments.bench import (
+    bench_checkpoint,
+    bench_kernel,
+    render_report,
+    run_bench,
+)
+
+
+class TestHarness:
+    def test_smoke_preset_report_shape(self, tmp_path):
+        out = tmp_path / "bench.json"
+        report = run_bench(preset="smoke", out=str(out))
+        assert report["preset"] == "smoke"
+        results = report["results"]
+        assert results["kernel"]["events_per_sec"] > 0
+        thr = results["throughput"]
+        assert thr["batched"]["tuples_processed"] > 0
+        assert thr["speedup"] > 0
+        assert thr["batched"]["network_messages"] < (
+            thr["unbatched"]["network_messages"]
+        )
+        assert "recovery" not in results  # smoke skips the failure run
+        on_disk = json.loads(out.read_text())
+        assert on_disk["results"]["kernel"] == results["kernel"]
+        assert "events/s" in render_report(report)
+
+    def test_unknown_preset_rejected(self):
+        with pytest.raises(ReproError):
+            run_bench(preset="nope")
+
+    def test_kernel_bench_processes_all_events(self):
+        result = bench_kernel(5_000)
+        assert result["events"] == 5_000
+
+    def test_cow_snapshot_beats_eager_copy(self):
+        result = bench_checkpoint(sizes=(5_000,), touched_keys=100)
+        row = result["5000"]
+        # The CoW snapshot is a shallow dict copy; an eager per-value
+        # deep copy of 5k list values cannot be faster.
+        assert row["cow_snapshot_ms"] < row["eager_copy_ms"]
+        assert row["touched_keys"] == 100
+
+
+class TestCompareScript:
+    def _write(self, path, speedup, messages=100):
+        path.write_text(
+            json.dumps(
+                {
+                    "preset": "small",
+                    "results": {
+                        "kernel": {"events_per_sec": 1_000_000.0},
+                        "throughput": {
+                            "speedup": speedup,
+                            "unbatched": {
+                                "tuples_per_wall_sec": 50_000.0,
+                                "network_messages": messages,
+                            },
+                            "batched": {
+                                "tuples_per_wall_sec": 50_000.0 * speedup,
+                                "network_messages": messages // 10,
+                            },
+                        },
+                        "recovery": {"sim_recovery_seconds": 2.0},
+                    },
+                }
+            )
+        )
+
+    def _main(self):
+        import importlib.util
+        from pathlib import Path
+
+        script = (
+            Path(__file__).resolve().parents[2]
+            / "benchmarks"
+            / "compare_bench.py"
+        )
+        spec = importlib.util.spec_from_file_location("compare_bench", script)
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        return module.main
+
+    def test_identical_reports_pass(self, tmp_path):
+        main = self._main()
+        self._write(tmp_path / "a.json", speedup=2.5)
+        self._write(tmp_path / "b.json", speedup=2.5)
+        assert main([str(tmp_path / "a.json"), str(tmp_path / "b.json")]) == 0
+
+    def test_large_regression_fails(self, tmp_path):
+        main = self._main()
+        self._write(tmp_path / "cur.json", speedup=1.0)
+        self._write(tmp_path / "base.json", speedup=2.5)
+        assert (
+            main([str(tmp_path / "cur.json"), str(tmp_path / "base.json")]) == 1
+        )
+
+    def test_improvement_never_fails(self, tmp_path):
+        main = self._main()
+        self._write(tmp_path / "cur.json", speedup=5.0)
+        self._write(tmp_path / "base.json", speedup=2.5)
+        # batched tup/s went up 2x; only regressions gate.
+        assert (
+            main([str(tmp_path / "cur.json"), str(tmp_path / "base.json")]) == 0
+        )
+
+    def test_deterministic_drift_fails(self, tmp_path):
+        main = self._main()
+        self._write(tmp_path / "cur.json", speedup=2.5, messages=110)
+        self._write(tmp_path / "base.json", speedup=2.5, messages=100)
+        assert (
+            main([str(tmp_path / "cur.json"), str(tmp_path / "base.json")]) == 1
+        )

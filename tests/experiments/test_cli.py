@@ -24,6 +24,7 @@ class TestCli:
         out = capsys.readouterr().out
         assert "fig06" in out and "fig15" in out and "lrating" in out
         assert "trace" in out
+        assert "bench" in out
 
     def test_unknown_figure_errors(self):
         with pytest.raises(SystemExit):
@@ -76,3 +77,40 @@ class TestTraceCommand:
     def test_trace_rejects_unknown_workload(self):
         with pytest.raises(SystemExit):
             cli.main(["trace", "nope"])
+
+
+class TestBenchCommand:
+    def test_bench_subcommand_dispatches(self, monkeypatch, capsys, tmp_path):
+        calls = []
+
+        def fake_run_bench(preset, out):
+            calls.append((preset, out))
+            return {
+                "preset": preset,
+                "results": {
+                    "kernel": {
+                        "events_per_sec": 1.0,
+                        "events": 1,
+                        "wall_seconds": 1.0,
+                    },
+                    "throughput": {
+                        "speedup": 2.0,
+                        "message_reduction": 10.0,
+                        "unbatched": {"tuples_per_wall_sec": 1.0},
+                        "batched": {"tuples_per_wall_sec": 2.0},
+                    },
+                    "checkpoint": {},
+                },
+            }
+
+        import repro.experiments.bench as bench_module
+
+        monkeypatch.setattr(bench_module, "run_bench", fake_run_bench)
+        out = str(tmp_path / "bench.json")
+        assert cli.main(["bench", "--preset", "smoke", "--out", out]) == 0
+        assert calls == [("smoke", out)]
+        assert "2.0x" in capsys.readouterr().out
+
+    def test_bench_rejects_unknown_preset(self):
+        with pytest.raises(SystemExit):
+            cli.main(["bench", "--preset", "nope"])

@@ -1,0 +1,195 @@
+"""Tests for the batched data plane (output coalescing per destination).
+
+Batching is a pure fast path: with it enabled the kernel sees one
+network message and one CPU work item per batch instead of one per
+tuple, but every observable outcome — sink output, duplicate filtering,
+checkpoint/recovery semantics — must be identical to the unbatched
+plane.  Batches are force-flushed at every control-plane barrier.
+"""
+
+import pytest
+
+from repro.config import BatchingConfig, SystemConfig
+from repro.core.tuples import Tuple
+from repro.errors import ConfigurationError
+from repro.runtime.system import StreamProcessingSystem
+from repro.workloads.wordcount import build_word_count_query
+from tests.conftest import small_system
+
+
+def batched_system(max_tuples=4, linger=0.01, **kwargs):
+    return small_system(
+        batching=BatchingConfig(enabled=True, max_tuples=max_tuples, linger=linger),
+        **kwargs,
+    )
+
+
+def feed_burst(gen, count, start=0.01, gap=0.0005):
+    for i in range(count):
+        gen.feed_at(start + i * gap, f"k{i % 5}")
+
+
+class TestConfig:
+    def test_defaults_disabled(self):
+        assert SystemConfig().batching.enabled is False
+
+    def test_invalid_max_tuples_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(max_tuples=0).validate()
+
+    def test_negative_linger_rejected(self):
+        with pytest.raises(ConfigurationError):
+            BatchingConfig(linger=-0.001).validate()
+
+
+class TestCoalescing:
+    def test_batched_run_processes_everything(self):
+        system, gen, _col = batched_system()
+        feed_burst(gen, 60)
+        system.sim.run(until=5.0)
+        counter = system.instances_of("counter")[0]
+        assert counter.processed_weight == 60
+        assert sum(counter.state.entries.values()) == 60
+
+    def test_batched_matches_unbatched_state(self):
+        def final_counts(batching):
+            kwargs = {"batching": batching} if batching else {}
+            system, gen, _col = small_system(**kwargs)
+            feed_burst(gen, 60)
+            system.sim.run(until=5.0)
+            counter = system.instances_of("counter")[0]
+            return dict(counter.state.entries)
+
+        unbatched = final_counts(None)
+        batched = final_counts(BatchingConfig(enabled=True, max_tuples=8))
+        assert unbatched == batched
+
+    def test_fewer_network_messages(self):
+        def messages(batching):
+            kwargs = {"batching": batching} if batching else {}
+            system, gen, _col = small_system(**kwargs)
+            feed_burst(gen, 200)
+            system.sim.run(until=5.0)
+            return system.network.messages_sent
+
+        unbatched = messages(None)
+        batched = messages(BatchingConfig(enabled=True, max_tuples=16))
+        assert batched < unbatched / 2
+
+    def test_linger_flushes_partial_batch(self):
+        # One tuple can never fill a max_tuples=100 batch; only the
+        # linger timer gets it onto the wire.
+        system, gen, _col = batched_system(max_tuples=100, linger=0.01)
+        gen.feed_at(0.01, "solo")
+        system.sim.run(until=2.0)
+        counter = system.instances_of("counter")[0]
+        assert counter.processed_weight == 1
+
+    def test_zero_linger_still_delivers(self):
+        system, gen, _col = batched_system(max_tuples=100, linger=0.0)
+        feed_burst(gen, 10)
+        system.sim.run(until=2.0)
+        assert system.instances_of("counter")[0].processed_weight == 10
+
+
+class TestBarrierFlush:
+    def _prime(self, system, count=5):
+        """Park tuples in mid's output batch (huge size + linger bounds)."""
+        mid = system.instances_of("mid")[0]
+        src_uid = system.instances_of("source")[0].uid
+        for i in range(count):
+            mid.receive(Tuple(i + 1, f"k{i}", None, 1, 0.0, src_uid, False))
+        system.sim.run(until=0.5)
+        assert mid._batch_pending, "tuples should be pending in the batch"
+        return mid
+
+    def test_checkpoint_flushes_pending_batch(self):
+        system, _gen, _col = batched_system(max_tuples=1000, linger=60.0)
+        mid = self._prime(system)
+        mid.take_checkpoint()
+        assert not mid._batch_pending
+        system.sim.run(until=1.0)
+        assert system.instances_of("counter")[0].processed_weight == 5
+
+    def test_pause_flushes_pending_batch(self):
+        system, _gen, _col = batched_system(max_tuples=1000, linger=60.0)
+        mid = self._prime(system)
+        mid.pause()
+        assert not mid._batch_pending
+        system.sim.run(until=1.0)
+        assert system.instances_of("counter")[0].processed_weight == 5
+
+    def test_stop_flushes_pending_batch(self):
+        system, _gen, _col = batched_system(max_tuples=1000, linger=60.0)
+        mid = self._prime(system)
+        mid.stop()
+        assert not mid._batch_pending
+        system.sim.run(until=1.0)
+        assert system.instances_of("counter")[0].processed_weight == 5
+
+    def test_routing_update_flushes_pending_batch(self):
+        system, _gen, _col = batched_system(max_tuples=1000, linger=60.0)
+        mid = self._prime(system)
+        mid.set_routing("counter", mid.routing["counter"])
+        assert not mid._batch_pending
+        system.sim.run(until=1.0)
+        assert system.instances_of("counter")[0].processed_weight == 5
+
+    def test_vm_failure_discards_pending_batch(self):
+        system, _gen, _col = batched_system(max_tuples=1000, linger=60.0)
+        mid = self._prime(system)
+        mid.vm.fail()
+        assert not mid._batch_pending
+        assert mid._linger_event is None
+
+
+class TestRecoveryEquivalence:
+    """Failures mid-batch must not change results: pending batches die
+    with the VM, and the standard checkpoint + replay + dedup machinery
+    re-derives them exactly once."""
+
+    @staticmethod
+    def _wordcount(batching, fail_at=None, seed=0):
+        query = build_word_count_query(
+            rate=250.0, window=30.0, vocabulary_size=400, quantum=0.1
+        )
+        config = SystemConfig()
+        config.seed = seed
+        config.scaling.enabled = False
+        config.batching = batching or BatchingConfig()
+        system = StreamProcessingSystem(config)
+        system.deploy(query.graph, generators=query.generators)
+        if fail_at is not None:
+            system.injector.fail_target_at(
+                lambda: system.vm_of("counter"), fail_at
+            )
+        system.run(until=100.0)
+        return system, query
+
+    @pytest.fixture(scope="class")
+    def golden(self):
+        """Unbatched, failure-free reference windows."""
+        _system, query = self._wordcount(None)
+        return {
+            w: query.collector.counts_for_window(w)
+            for w in sorted(query.collector.windows())
+        }
+
+    def test_batched_sink_output_identical(self, golden):
+        _system, query = self._wordcount(BatchingConfig(enabled=True))
+        windows = {
+            w: query.collector.counts_for_window(w)
+            for w in sorted(query.collector.windows())
+        }
+        assert windows == golden
+
+    def test_batched_recovery_identical_results(self, golden):
+        system, query = self._wordcount(
+            BatchingConfig(enabled=True), fail_at=40.0
+        )
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+        windows = {
+            w: query.collector.counts_for_window(w)
+            for w in sorted(query.collector.windows())
+        }
+        assert windows == golden

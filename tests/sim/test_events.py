@@ -75,3 +75,68 @@ class TestEventQueue:
 
     def test_pop_empty_returns_none(self):
         assert EventQueue().pop() is None
+
+    def test_double_cancel_counts_once(self):
+        queue = EventQueue()
+        event = Event(1.0, 10, 1, lambda: None, ())
+        queue.push(event)
+        queue.push(Event(2.0, 10, 2, lambda: None, ()))
+        event.cancel()
+        event.cancel()
+        assert len(queue) == 1
+
+
+class TestCompaction:
+    def test_mass_cancellation_compacts_heap(self):
+        queue = EventQueue()
+        events = [Event(float(i), 10, i, lambda: None, ()) for i in range(200)]
+        for event in events:
+            queue.push(event)
+        # Cancel past the half mark; once more than half the heap is dead
+        # the queue must rebuild it instead of carrying the corpses.
+        for event in events[99:]:
+            event.cancel()
+        assert len(queue._heap) == 99
+        assert queue._dead == 0
+        assert len(queue) == 99
+
+    def test_len_accurate_through_compaction(self):
+        queue = EventQueue()
+        events = [Event(float(i), 10, i, lambda: None, ()) for i in range(300)]
+        for event in events:
+            queue.push(event)
+        for event in events[::2]:
+            event.cancel()
+        assert len(queue) == 150
+        popped = []
+        while (event := queue.pop()) is not None:
+            popped.append(event)
+        assert len(popped) == 150
+        assert all(not e.cancelled for e in popped)
+        assert len(queue) == 0
+
+    def test_small_heaps_not_compacted(self):
+        queue = EventQueue()
+        events = [Event(float(i), 10, i, lambda: None, ()) for i in range(10)]
+        for event in events:
+            queue.push(event)
+        for event in events[:9]:
+            event.cancel()
+        # Below the compaction floor the dead stay until lazy deletion.
+        assert len(queue._heap) == 10
+        assert len(queue) == 1
+
+    def test_pop_after_interleaved_cancels(self):
+        queue = EventQueue()
+        live = []
+        for i in range(128):
+            event = Event(float(i), 10, i, lambda: None, ())
+            queue.push(event)
+            if i % 3:
+                event.cancel()
+            else:
+                live.append(event)
+        order = []
+        while (event := queue.pop()) is not None:
+            order.append(event)
+        assert order == live

@@ -222,6 +222,60 @@ class TestFaultPlan:
         assert a.faults_injected() == b.faults_injected() > 0
 
 
+class TestEdgePruning:
+    def test_prune_edges_drops_release_clocks(self, sim, net, vms):
+        src, dst = vms
+        plan = NetworkFaultPlan(
+            [FaultRule(reorder_rate=1.0, reorder_hold=0.5)], seed=9
+        )
+        net.install_fault_plan(plan)
+        net.send(src, dst, 64.0, lambda: None)
+        net.send(dst, src, 64.0, lambda: None)
+        assert len(net._edge_clear) == 2
+        pruned = net.prune_edges(dst.vm_id)
+        assert pruned == 2
+        assert net._edge_clear == {}
+
+    def test_prune_edges_keeps_unrelated_edges(self, sim, net, vms):
+        src, dst = vms
+        third = VirtualMachine(sim, 3)
+        plan = NetworkFaultPlan(
+            [FaultRule(reorder_rate=1.0, reorder_hold=0.5)], seed=9
+        )
+        net.install_fault_plan(plan)
+        net.send(src, dst, 64.0, lambda: None)
+        net.send(src, third, 64.0, lambda: None)
+        assert net.prune_edges(dst.vm_id) == 1
+        assert list(net._edge_clear) == [(src.vm_id, third.vm_id)]
+
+    def test_prune_without_fault_plan_is_noop(self, sim, net, vms):
+        src, dst = vms
+        net.send(src, dst, 64.0, lambda: None)
+        assert net.prune_edges(dst.vm_id) == 0
+
+    def test_vm_failure_prunes_release_clocks(self):
+        """The runtime prunes a crashed VM's edges automatically."""
+        from tests.conftest import small_system
+
+        system, gen, _col = small_system()
+        plan = NetworkFaultPlan(
+            [FaultRule(reorder_rate=1.0, reorder_hold=0.05)], seed=1
+        )
+        system.network.install_fault_plan(plan)
+        for i in range(20):
+            gen.feed_at(0.01 + i * 0.01, f"k{i}")
+        system.sim.run(until=1.0)
+        counter_vm = system.vm_of("counter")
+        assert any(
+            counter_vm.vm_id in key for key in system.network._edge_clear
+        )
+        system.injector.fail_target_at(lambda: counter_vm, 1.5)
+        system.sim.run(until=2.0)
+        assert not any(
+            counter_vm.vm_id in key for key in system.network._edge_clear
+        )
+
+
 class TestOrdering:
     def test_same_size_messages_arrive_in_send_order(self, sim, net, vms):
         """Constant-size messages make every link FIFO — the property the

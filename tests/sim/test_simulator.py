@@ -105,6 +105,37 @@ class TestScheduling:
             sim.run()
 
 
+class TestClockMonotonicity:
+    def test_halt_does_not_fast_forward_clock(self, sim):
+        sim.schedule(1.0, sim.halt)
+        sim.schedule(2.0, lambda: None)
+        sim.run(until=50.0)
+        assert sim.now == 1.0
+
+    def test_halt_then_resume_keeps_time_monotone(self, sim):
+        times = []
+        sim.schedule(1.0, sim.halt)
+        sim.schedule(2.0, lambda: times.append(sim.now))
+        sim.run(until=50.0)
+        # Resuming must pop the t=2 event *after* now, not before it.
+        sim.run(until=50.0)
+        assert times == [2.0]
+        assert sim.now == 50.0
+
+    def test_max_events_exit_does_not_fast_forward_clock(self, sim):
+        for t in (1.0, 2.0, 3.0):
+            sim.schedule(t, lambda: None)
+        sim.run(until=50.0, max_events=2)
+        assert sim.now == 2.0
+        sim.run(until=50.0)
+        assert sim.now == 50.0
+
+    def test_drained_run_still_fast_forwards(self, sim):
+        sim.schedule(1.0, lambda: None)
+        sim.run(until=10.0)
+        assert sim.now == 10.0
+
+
 class TestPeriodicTask:
     def test_fires_every_interval(self, sim):
         ticks = []
@@ -140,6 +171,21 @@ class TestPeriodicTask:
         task = sim.every(1.0, lambda: None)
         sim.run(until=3.5)
         assert task.fire_count == 3
+
+    def test_double_start_rejected(self, sim):
+        ticks = []
+        task = sim.every(1.0, lambda: ticks.append(sim.now))
+        with pytest.raises(SimulationError):
+            task.start(0.5)
+        # The guard kept a single timer chain: one tick per interval.
+        sim.run(until=3.5)
+        assert ticks == [1.0, 2.0, 3.0]
+
+    def test_start_after_stop_rejected(self, sim):
+        task = sim.every(1.0, lambda: None)
+        task.stop()
+        with pytest.raises(SimulationError):
+            task.start(1.0)
 
 
 class TestIterTimes:
