@@ -32,6 +32,10 @@ EXACT = [
     ("results", "recovery", "sim_recovery_seconds"),
     ("results", "throughput", "batched", "network_messages"),
     ("results", "throughput", "unbatched", "network_messages"),
+    ("results", "migration", "all_at_once", "max_pause_ms"),
+    ("results", "migration", "chunked", "max_pause_ms"),
+    ("results", "migration", "chunked", "chunks_shipped"),
+    ("results", "migration", "pause_reduction"),
 ]
 
 

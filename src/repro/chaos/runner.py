@@ -98,6 +98,7 @@ class ChaosRunner:
         lrb_tolerance: float = 0.0,
         trace_dir: str | None = None,
         batching: bool = False,
+        migration_chunks: int = 1,
     ) -> None:
         if workload not in ("wordcount", "lrb"):
             raise ReproError(f"unknown chaos workload: {workload!r}")
@@ -126,6 +127,8 @@ class ChaosRunner:
         self.lrb_tolerance = lrb_tolerance
         #: Run the whole sweep (golden included) on the batched data plane.
         self.batching = batching
+        #: Scale-outs migrate state fluidly in up to this many chunks.
+        self.migration_chunks = migration_chunks
         self._golden = None
 
     # ------------------------------------------------------------- building
@@ -142,6 +145,7 @@ class ChaosRunner:
         config.cloud.pool_size = 4
         config.cloud.provisioning_delay = 12.0
         config.batching.enabled = self.batching
+        config.migration.max_chunks = self.migration_chunks
         return config
 
     def _build(self):
@@ -331,6 +335,53 @@ class ChaosRunner:
                     "phase_kill",
                     f"schedule never fired: no scale-out of {op_name!r} "
                     f"entered {phase!r}",
+                )
+            )
+        return result
+
+    def run_chunk_kill(
+        self,
+        chunk_index: int,
+        target: str,
+        op_name: str | None = None,
+        scale_at: float = 45.0,
+        parallelism: int = 2,
+        seed: int = 0,
+        network_faults: bool = True,
+    ) -> ChaosRunResult:
+        """Kill a role VM at the commit of one fluid migration chunk.
+
+        Starts a chunked scale-out of ``op_name`` at ``scale_at`` and
+        kills the ``target``-role VM the moment chunk ``chunk_index``
+        commits — the precise window where part of the key range has
+        moved and the rest is still leaving.  ``seed`` additionally
+        derives a network fault plan (loss, duplication, re-ordering)
+        unless ``network_faults`` is off, so every seed is a distinct
+        run while the kill itself stays deterministic.
+        """
+        if op_name is None:
+            op_name = "counter" if self.workload == "wordcount" else "toll_calc"
+        system, query = self._build()
+        schedule = PhaseTriggeredFaults(system)
+        schedule.kill_on_chunk_commit(chunk_index, target=target, op_name=op_name)
+        plan = None
+        if network_faults:
+            plan = self._fault_plan(seed)
+            system.network.install_fault_plan(plan)
+
+        def start() -> None:
+            slot = system.query_manager.slots_of(op_name)[0]
+            system.scale_out.scale_out_slot(slot.uid, parallelism)
+
+        system.sim.schedule_at(scale_at, start)
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=plan)
+        if not schedule.fired:
+            result.violations.append(
+                Violation(
+                    "chunk_kill",
+                    f"schedule never fired: no fluid migration of "
+                    f"{op_name!r} committed chunk {chunk_index}",
                 )
             )
         return result

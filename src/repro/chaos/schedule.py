@@ -44,15 +44,25 @@ class _KillRule:
         self.exhausted = False
 
 
+class _ChunkKillRule:
+    def __init__(self, index: int, target: str, op_name: str | None) -> None:
+        self.index = index
+        self.target = target
+        self.op_name = op_name
+        self.exhausted = False
+
+
 class PhaseTriggeredFaults:
     """Kills a role-resolved VM when reconfiguration enters a phase."""
 
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
         self._rules: list[_KillRule] = []
+        self._chunk_rules: list[_ChunkKillRule] = []
         #: (time, phase, target role, vm_id) for every kill performed.
         self.fired: list[tuple[float, str, str, int]] = []
         system.reconfig.on_phase_change(self._on_phase)
+        system.reconfig.on_chunk_commit(self._on_chunk)
 
     def kill_on_phase(
         self,
@@ -72,6 +82,25 @@ class PhaseTriggeredFaults:
             raise ValueError(f"unknown kill target: {target!r}")
         self._rules.append(_KillRule(phase, target, op_name, once))
 
+    def kill_on_chunk_commit(
+        self,
+        index: int,
+        target: str = TARGET_TARGET_VM,
+        op_name: str | None = None,
+    ) -> None:
+        """Arm a kill for the commit of fluid chunk ``index`` (0-based).
+
+        The kill lands *mid-migration*: the chunk's routing swap has
+        committed, later chunks have not started.  ``target`` resolves
+        the same roles as :meth:`kill_on_phase` — the live source being
+        drained, the first target VM, or the backup VM holding the
+        frozen pre-migration checkpoint and the per-chunk commit
+        backups.  Fires once.
+        """
+        if target not in (TARGET_SOURCE_VM, TARGET_TARGET_VM, TARGET_BACKUP_VM):
+            raise ValueError(f"unknown kill target: {target!r}")
+        self._chunk_rules.append(_ChunkKillRule(index, target, op_name))
+
     # ------------------------------------------------------------ internals
 
     def _on_phase(self, op: "Reconfiguration", phase: str) -> None:
@@ -88,6 +117,28 @@ class PhaseTriggeredFaults:
             self.fired.append((self.system.sim.now, phase, rule.target, vm.vm_id))
             # Delay-0 failure event: the crash lands after the engine
             # completes this phase entry, not inside it.
+            self.system.sim.schedule(
+                0.0,
+                self.system.injector.fail_now,
+                vm,
+                priority=PRIORITY_FAILURE,
+            )
+
+    def _on_chunk(self, op: "Reconfiguration", index: int, total: int) -> None:
+        for rule in self._chunk_rules:
+            if rule.exhausted or rule.index != index:
+                continue
+            if rule.op_name is not None and op.plan.op_name != rule.op_name:
+                continue
+            vm = self._resolve(op, rule.target)
+            if vm is None or not vm.alive:
+                continue
+            rule.exhausted = True
+            self.fired.append(
+                (self.system.sim.now, f"chunk:{index}/{total}", rule.target, vm.vm_id)
+            )
+            # As for phase kills: the crash lands after the commit's own
+            # bookkeeping (including the drain arm) completes.
             self.system.sim.schedule(
                 0.0,
                 self.system.injector.fail_now,

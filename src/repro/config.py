@@ -171,6 +171,45 @@ class BatchingConfig:
 
 
 @dataclass
+class MigrationConfig:
+    """Fluid state migration (chunked key-range transfer).
+
+    Every state-movement path (scale-out split, scale-in merge, serial
+    and parallel recovery) runs through the StateMover layer
+    (:mod:`repro.core.migration`).  By default the migrating key range
+    moves *all at once* — one chunk, behaviourally identical to the
+    paper's Algorithm 2/3.  Raising ``max_chunks`` (optionally with a
+    ``chunk_entries`` target) cuts the range into sub-intervals that are
+    checkpointed, shipped, restored and *committed one at a time*: the
+    operator keeps serving not-yet-migrated keys while each chunk moves,
+    so the per-tuple pause drops from O(total state) to O(chunk).
+    """
+
+    #: Target processing-state entries per chunk; ``None`` sizes chunks
+    #: by dividing the range into ``max_chunks`` equal parts.
+    chunk_entries: int | None = None
+    #: Hard cap on chunks per migrating partition.  1 = all at once
+    #: (the default, and the degenerate fluid case).
+    max_chunks: int = 1
+    #: Abort the operation if one chunk has not committed after this
+    #: many seconds (``None`` = no per-chunk deadline).
+    chunk_timeout: float | None = None
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.max_chunks < 1:
+            raise ConfigurationError(f"max_chunks must be >= 1: {self.max_chunks}")
+        if self.chunk_entries is not None and self.chunk_entries < 1:
+            raise ConfigurationError(
+                f"chunk_entries must be >= 1 or None: {self.chunk_entries}"
+            )
+        if self.chunk_timeout is not None and self.chunk_timeout <= 0:
+            raise ConfigurationError(
+                f"chunk_timeout must be > 0 or None: {self.chunk_timeout}"
+            )
+
+
+@dataclass
 class CloudConfig:
     """IaaS provider and VM pool (§5.2)."""
 
@@ -205,6 +244,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cloud: CloudConfig = field(default_factory=CloudConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
+    migration: MigrationConfig = field(default_factory=MigrationConfig)
     #: Master seed for all randomness in the run.
     seed: int = 0
     #: Per-instance input queue bound in tuples (weighted).  ``None``
@@ -225,10 +265,22 @@ class SystemConfig:
         self.network.validate()
         self.cloud.validate()
         self.batching.validate()
+        self.migration.validate()
         if self.queue_capacity is not None and self.queue_capacity <= 0:
             raise ConfigurationError("queue_capacity must be positive or None")
         if self.latency_sample_every < 1:
             raise ConfigurationError("latency_sample_every must be >= 1")
+
+    @property
+    def bytes_per_entry(self) -> float:
+        """Serialised bytes per state entry — the single source of truth
+        for checkpoint sizing, the transfer-cost model and chunk sizing."""
+        return self.checkpoint.bytes_per_entry
+
+    @property
+    def bytes_per_tuple(self) -> float:
+        """Serialised bytes per buffered tuple (see ``bytes_per_entry``)."""
+        return self.checkpoint.bytes_per_tuple
 
     def with_overrides(self, **kwargs) -> "SystemConfig":
         """Return a copy with top-level fields replaced."""

@@ -51,8 +51,13 @@ class Checkpoint:
         """Number of processing-state entries in the snapshot."""
         return len(self.state)
 
-    def size_bytes(self, bytes_per_entry: float = 64.0, bytes_per_tuple: float = 64.0) -> float:
-        """Approximate serialised size for network transfer cost."""
+    def size_bytes(self, bytes_per_entry: float, bytes_per_tuple: float) -> float:
+        """Approximate serialised size for network transfer cost.
+
+        Byte-per-entry/-tuple constants come from
+        ``SystemConfig.bytes_per_entry`` / ``bytes_per_tuple`` so the
+        transfer-cost model and chunk sizing share one source of truth.
+        """
         buffered = sum(b.tuple_count() for b in self.buffers.values())
         return self.state.estimated_bytes(bytes_per_entry) + buffered * bytes_per_tuple
 

@@ -1,0 +1,272 @@
+"""Unified state movement: the StateMover layer and fluid chunking.
+
+Every path that moves operator state between VMs — the scale-out split,
+the scale-in merge, and serial/parallel recovery TRANSFER — ships its
+checkpoints through one :class:`StateMover`.  The mover owns the three
+concerns those paths used to duplicate:
+
+* **sizing** — serialised bytes come from the single source of truth
+  (``SystemConfig.bytes_per_entry`` / ``bytes_per_tuple``);
+* **tracing** — every message gets its own ``state.transfer`` span,
+  parented under the operation's open phase span, closed on arrival;
+* **accounting** — messages ride the network as ``kind="migration"``
+  traffic, counted separately from the data and control planes.
+
+On top of the single-message :meth:`StateMover.ship` primitive sit two
+composites:
+
+* :meth:`StateMover.transfer` moves a whole checkpoint, optionally cut
+  into N sequential wire chunks (``MigrationConfig``), reassembled at
+  the destination before the restore callback runs.  This is the
+  store-and-forward path used by recovery and by the all-at-once
+  scale-out/scale-in transfers: chunking changes the wire schedule and
+  the spans, never the restore semantics.
+* :meth:`StateMover.plan_fluid_chunks` cuts a migrating key range into
+  sub-intervals with roughly equal *entry* counts, for the fluid
+  scale-out loop in :mod:`repro.scaling.reconfig` where each chunk is
+  extracted, shipped, restored and committed one at a time while the
+  source keeps serving the rest.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.config import MigrationConfig
+from repro.core.checkpoint import Checkpoint
+from repro.core.partition import split_interval_groups
+from repro.core.state import KeyInterval, ProcessingState
+from repro.core.tuples import stable_hash
+from repro.sim.network import KIND_MIGRATION
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.sim.vm import VirtualMachine
+
+
+@dataclass
+class MigrationChunk:
+    """One unit of a fluid migration: a key sub-range and its state.
+
+    ``checkpoint`` holds the processing state extracted for
+    ``intervals`` (and, on the final chunk only, the source's output
+    buffers).  ``index``/``total`` identify the chunk's place in the
+    migration; the final chunk's commit retires the source partition.
+    """
+
+    index: int
+    total: int
+    intervals: list[KeyInterval]
+    checkpoint: Checkpoint
+    #: Flagged-replay tuples expected by the target's post-commit drain.
+    expected_replays: int = 0
+    #: Simulated time the chunk left the source VM.
+    shipped_at: float = 0.0
+
+    @property
+    def final(self) -> bool:
+        """Whether this is the last chunk of the migration."""
+        return self.index == self.total - 1
+
+
+class StateMover:
+    """Ships operator state between VMs for every reconfiguration path."""
+
+    def __init__(self, system: Any) -> None:
+        self.system = system
+        #: Wire messages shipped (one per chunk).
+        self.messages = 0
+        #: Logical transfers that were cut into more than one message.
+        self.chunked_transfers = 0
+
+    # ---------------------------------------------------------- planning
+
+    def chunk_count(self, entry_count: int, cfg: MigrationConfig) -> int:
+        """How many chunks a transfer of ``entry_count`` entries gets.
+
+        ``chunk_entries`` sets a target chunk size, ``max_chunks`` caps
+        the count; there is never more than one chunk per entry, and an
+        empty transfer is a single (empty) message.
+        """
+        if entry_count <= 0:
+            return 1
+        chunks = cfg.max_chunks
+        if cfg.chunk_entries is not None:
+            chunks = min(chunks, -(-entry_count // cfg.chunk_entries))
+        return max(1, min(chunks, entry_count))
+
+    def plan_fluid_chunks(
+        self,
+        intervals: list[KeyInterval],
+        state: ProcessingState,
+        cfg: MigrationConfig,
+    ) -> list[list[KeyInterval]]:
+        """Cut a migrating key range into per-chunk interval groups.
+
+        The observed key positions inside ``intervals`` guide the cut so
+        chunks carry roughly equal entry counts (mirroring the guided
+        split of Algorithm 2); the returned groups are disjoint, sorted
+        and jointly tile ``intervals``.
+        """
+        positions = [
+            p
+            for p in (stable_hash(key) for key in state.entries)
+            if any(p in interval for interval in intervals)
+        ]
+        chunks = self.chunk_count(len(positions), cfg)
+        chunks = min(chunks, sum(interval.width for interval in intervals))
+        if chunks <= 1:
+            return [list(intervals)]
+        return split_interval_groups(intervals, chunks, positions)
+
+    # ---------------------------------------------------------- shipping
+
+    def ship(
+        self,
+        op: Any,
+        src_vm: "VirtualMachine | None",
+        dst_vm: "VirtualMachine",
+        checkpoint: Checkpoint,
+        on_delivered: Callable[..., Any],
+        *args: Any,
+        chunk_index: int = 0,
+        chunk_total: int = 1,
+    ) -> None:
+        """Ship one checkpoint (or chunk) as a single migration message.
+
+        Opens a ``state.transfer`` span parented under ``op``'s open
+        phase span; the span rides the message and closes on arrival,
+        after which ``on_delivered(*args)`` runs.  If either endpoint is
+        dead at the relevant time the message is dropped and the
+        callback never runs — the caller's deadline/abort machinery is
+        the recovery path, exactly as for the pre-mover transfers.
+        """
+        telemetry = self.system.telemetry
+        cfg = self.system.config
+        size = checkpoint.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+        span = telemetry.start_span(
+            f"state.transfer:{checkpoint.op_name}",
+            kind="transfer",
+            parent=telemetry.phase_span(op),
+            part=checkpoint.slot_uid,
+            bytes=size,
+            entries=len(checkpoint.state),
+            src_vm=src_vm.vm_id if src_vm is not None else None,
+            dst_vm=dst_vm.vm_id,
+            chunk=chunk_index,
+            chunks=chunk_total,
+        )
+        self.messages += 1
+        self.system.network.send(
+            src_vm,
+            dst_vm,
+            size,
+            self._delivered,
+            span,
+            on_delivered,
+            args,
+            kind=KIND_MIGRATION,
+        )
+
+    def _delivered(
+        self, span: Any, on_delivered: Callable[..., Any], args: tuple
+    ) -> None:
+        self.system.telemetry.end_span(span)
+        on_delivered(*args)
+
+    def transfer(
+        self,
+        op: Any,
+        src_vm: "VirtualMachine | None",
+        dst_vm: "VirtualMachine",
+        checkpoint: Checkpoint,
+        on_delivered: Callable[..., Any],
+        *args: Any,
+        cfg: MigrationConfig | None = None,
+    ) -> None:
+        """Move a whole checkpoint, chunked on the wire per ``cfg``.
+
+        With one chunk (the default config) this is a single message —
+        byte-for-byte the pre-mover behaviour.  With more, the state is
+        sliced into equal-entry wire chunks sent store-and-forward (each
+        chunk departs when the previous one lands, so the pipe stays
+        bounded); ``on_delivered(checkpoint, *args)`` runs once the last
+        chunk arrives, with the original checkpoint reassembled intact.
+        """
+        if cfg is None:
+            cfg = self.system.config.migration
+        chunks = self.chunk_count(len(checkpoint.state), cfg)
+        if chunks <= 1:
+            self.ship(op, src_vm, dst_vm, checkpoint, on_delivered, checkpoint, *args)
+            return
+        slices = _slice_checkpoint(checkpoint, chunks)
+        self.chunked_transfers += 1
+        self._send_slice(op, src_vm, dst_vm, slices, 0, checkpoint, on_delivered, args)
+
+    def _send_slice(
+        self,
+        op: Any,
+        src_vm: "VirtualMachine | None",
+        dst_vm: "VirtualMachine",
+        slices: list[Checkpoint],
+        index: int,
+        checkpoint: Checkpoint,
+        on_delivered: Callable[..., Any],
+        args: tuple,
+    ) -> None:
+        if index == len(slices):
+            on_delivered(checkpoint, *args)
+            return
+        self.ship(
+            op,
+            src_vm,
+            dst_vm,
+            slices[index],
+            self._send_slice,
+            op,
+            src_vm,
+            dst_vm,
+            slices,
+            index + 1,
+            checkpoint,
+            on_delivered,
+            args,
+            chunk_index=index,
+            chunk_total=len(slices),
+        )
+
+
+def _slice_checkpoint(checkpoint: Checkpoint, chunks: int) -> list[Checkpoint]:
+    """Cut a checkpoint into ``chunks`` wire slices of ~equal entries.
+
+    Slices exist for sizing and tracing only (the reassembled original
+    is what gets restored), so entry values are shared, not copied.
+    Output buffers ride the final slice, keeping the summed wire bytes
+    equal to the unchunked transfer.
+    """
+    keys = list(checkpoint.state.entries)
+    chunks = max(1, min(chunks, len(keys))) if keys else 1
+    shared = checkpoint.state.share_all()
+    base, extra = divmod(len(keys), chunks)
+    slices: list[Checkpoint] = []
+    start = 0
+    for index in range(chunks):
+        count = base + (1 if index < extra else 0)
+        state = ProcessingState(
+            positions=checkpoint.state.positions,
+            out_clock=checkpoint.state.out_clock,
+        )
+        for key in keys[start : start + count]:
+            state.entries[key] = shared[key]
+        start += count
+        slices.append(
+            Checkpoint(
+                op_name=checkpoint.op_name,
+                slot_uid=checkpoint.slot_uid,
+                state=state,
+                buffers=checkpoint.buffers if index == chunks - 1 else {},
+                taken_at=checkpoint.taken_at,
+                seq=checkpoint.seq,
+            )
+        )
+    return slices

@@ -115,6 +115,12 @@ class SpillableState(ProcessingState):
         yield from self.entries.items()
         yield from self._spilled.items()
 
+    def adopt(self, key: Any, value: Any) -> None:
+        """Snapshots of a spillable state are eager copies (no
+        aliasing), and inserts must run the LRU/spill bookkeeping — so
+        adoption is a plain write here."""
+        self[key] = value
+
     def share_all(self):
         """Both tiers flattened; spillable snapshots are eager copies, so
         handing out the raw values never aliases a snapshot."""
@@ -175,7 +181,7 @@ class SpillableState(ProcessingState):
             flat.entries[key] = _copy(value)
         return flat
 
-    def estimated_bytes(self, bytes_per_entry: float = 64.0) -> float:
+    def estimated_bytes(self, bytes_per_entry: float) -> float:
         return len(self) * bytes_per_entry
 
 

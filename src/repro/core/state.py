@@ -197,6 +197,62 @@ class RoutingState:
         kept = [(i, t) for i, t in self._entries if t != old_target]
         return RoutingState(kept + list(replacements))
 
+    def split_off(
+        self,
+        old_target: int,
+        intervals: list[KeyInterval],
+        new_target: int,
+    ) -> "RoutingState":
+        """Move ``intervals`` (a subset of ``old_target``'s range) to
+        ``new_target``, leaving the rest with ``old_target``.
+
+        This is the per-chunk routing swap of fluid migration: after each
+        chunk commits, upstreams route the migrated sub-intervals to the
+        new slot while the old slot keeps the un-migrated remainder.
+        Every moved interval must lie entirely inside intervals currently
+        owned by ``old_target``; adjacent same-target intervals coalesce.
+        """
+        owned = self.intervals_of(old_target)
+        if not owned:
+            raise KeySpaceError(f"target {old_target} not present in routing state")
+        moved = sorted(intervals, key=lambda i: i.lo)
+        for lhs, rhs in zip(moved, moved[1:]):
+            if rhs.lo < lhs.hi:
+                raise KeySpaceError(f"split_off intervals overlap: {lhs} / {rhs}")
+        entries: list[tuple[KeyInterval, int]] = [
+            (i, t) for i, t in self._entries if t != old_target
+        ]
+        remaining = moved
+        for interval in owned:
+            cuts: list[KeyInterval] = []
+            rest: list[KeyInterval] = []
+            for piece in remaining:
+                if piece.lo >= interval.lo and piece.hi <= interval.hi:
+                    cuts.append(piece)
+                elif piece.hi <= interval.lo or piece.lo >= interval.hi:
+                    rest.append(piece)
+                else:
+                    raise KeySpaceError(
+                        f"interval {piece} straddles the boundary of {interval} "
+                        f"owned by target {old_target}"
+                    )
+            remaining = rest
+            # Keep the uncovered remainder of this owned interval with the
+            # old target, in order, interleaved with the moved pieces.
+            cursor = interval.lo
+            for piece in cuts:
+                if piece.lo > cursor:
+                    entries.append((KeyInterval(cursor, piece.lo), old_target))
+                entries.append((piece, new_target))
+                cursor = piece.hi
+            if cursor < interval.hi:
+                entries.append((KeyInterval(cursor, interval.hi), old_target))
+        if remaining:
+            raise KeySpaceError(
+                f"intervals {remaining} not owned by target {old_target}"
+            )
+        return RoutingState(_coalesce(entries))
+
     def reassign(self, old_target: int, new_target: int) -> "RoutingState":
         """Point ``old_target``'s intervals at ``new_target`` (recovery)."""
         return RoutingState(
@@ -295,6 +351,21 @@ class ProcessingState:
             self.dirty.add(key)
         self.entries[key] = value
         self._private.add(key)
+
+    def adopt(self, key: Any, value: Any) -> None:
+        """Insert a value object another holder may still reference.
+
+        Unlike ``__setitem__`` this does *not* claim private ownership:
+        an absorbed chunk's values are shared with the shipped
+        checkpoint — and, transitively, with the frozen pre-migration
+        snapshot the chunk was extracted from — so the first in-place
+        mutation here must copy first (:meth:`_own`), exactly as after
+        taking a snapshot.
+        """
+        if self.dirty is not None:
+            self.dirty.add(key)
+        self.entries[key] = value
+        self._private.discard(key)
 
     def get(self, key: Any, default: Any = None) -> Any:
         """dict.get over the state entries (marks dirty on mutable reads)."""
@@ -421,6 +492,30 @@ class ProcessingState:
                 )
         return parts
 
+    def extract(self, intervals: list[KeyInterval]) -> "ProcessingState":
+        """Remove and return the entries whose key hashes fall in
+        ``intervals`` (fluid migration: sub-interval extraction without a
+        full partition).
+
+        The extracted state carries a copy of the current τ vector and
+        output clock — at extraction time every reflected tuple for those
+        keys is covered by τ, exactly as in a partitioned checkpoint.
+        Value objects move without copying: neither side keeps exclusive
+        ownership, so whichever side mutates a value next copies it first
+        (the same copy-on-write discipline as :meth:`partition`).
+        Extracted keys are dirty-marked so a later incremental checkpoint
+        of *this* state reports them as deleted.
+        """
+        taken = ProcessingState(positions=self.positions, out_clock=self.out_clock)
+        for key in list(self.entries):
+            position = stable_hash(key)
+            if any(position in interval for interval in intervals):
+                taken.entries[key] = self.entries.pop(key)
+                self._private.discard(key)
+                if self.dirty is not None:
+                    self.dirty.add(key)
+        return taken
+
     def merge(
         self,
         other: "ProcessingState",
@@ -451,7 +546,7 @@ class ProcessingState:
                 merged.positions[slot_uid] = ts
         return merged
 
-    def estimated_bytes(self, bytes_per_entry: float = 64.0) -> float:
+    def estimated_bytes(self, bytes_per_entry: float) -> float:
         """Approximate serialised size, used for checkpoint transfer cost."""
         return len(self.entries) * bytes_per_entry
 

@@ -10,6 +10,9 @@ Seeded micro and macro benchmarks for the simulation data plane:
 * **checkpoint** — ``ProcessingState.snapshot()`` latency against state
   size for the copy-on-write snapshot path, compared with an eager
   deep copy, plus the deferred cost of re-owning a small write set;
+* **migration** — longest stop-the-world stall and post-migration sink
+  p99 while scaling a padded operator, all-at-once versus fluid chunked
+  transfer (simulated time, so exact);
 * **recovery** — simulated-time recovery latency after a mid-run crash
   (deterministic: derived entirely from the seed).
 
@@ -38,6 +41,8 @@ PRESETS: dict[str, dict[str, Any]] = {
         "state_sizes": (1_000,),
         "touched_keys": 100,
         "recovery_duration": 0.0,  # skipped
+        "migration_entries": 2_000,
+        "migration_chunks": 4,
     },
     "small": {
         "kernel_events": 300_000,
@@ -46,6 +51,8 @@ PRESETS: dict[str, dict[str, Any]] = {
         "state_sizes": (1_000, 10_000, 100_000),
         "touched_keys": 1_000,
         "recovery_duration": 90.0,
+        "migration_entries": 100_000,
+        "migration_chunks": 8,
     },
     "default": {
         "kernel_events": 1_000_000,
@@ -54,6 +61,8 @@ PRESETS: dict[str, dict[str, Any]] = {
         "state_sizes": (1_000, 10_000, 100_000, 500_000),
         "touched_keys": 1_000,
         "recovery_duration": 90.0,
+        "migration_entries": 100_000,
+        "migration_chunks": 8,
     },
 }
 
@@ -173,6 +182,70 @@ def bench_checkpoint(sizes: tuple, touched_keys: int) -> dict[str, Any]:
     return results
 
 
+def _run_migration(
+    entries: int, max_chunks: int, rate: float = 250.0, until: float = 120.0
+) -> dict[str, Any]:
+    from repro.experiments.harness import pad_counter_state
+    from repro.runtime.system import StreamProcessingSystem
+    from repro.workloads.wordcount import build_word_count_query
+
+    query = build_word_count_query(
+        rate=rate, window=10.0, vocabulary_size=400, quantum=0.1
+    )
+    config = SystemConfig()
+    config.scaling.enabled = False
+    config.migration.max_chunks = max_chunks
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    pad_counter_state(system, "counter", entries)
+
+    def trigger() -> None:
+        slots = system.query_manager.slots_of("counter")
+        ok = system.scale_out.scale_out_slot(slots[0].uid, 2)
+        if not ok:
+            raise ReproError("migration benchmark: scale out did not start")
+
+    scale_at = until / 2
+    system.sim.schedule_at(scale_at, trigger)
+    start = time.perf_counter()
+    system.run(until=until)
+    wall = time.perf_counter() - start
+    if system.reconfig.operations_completed < 1:
+        raise ReproError("migration benchmark: scale out did not complete")
+    pauses = system.metrics.timeseries("migration_pause:counter").values
+    sink = system.metrics.latencies.get("latency:sink")
+    p99 = sink.percentile(99, t_min=scale_at) if sink and len(sink) else None
+    return {
+        "max_chunks": max_chunks,
+        "chunks_shipped": max(len(pauses), 1),
+        "max_pause_ms": round(max(pauses) * 1e3, 3),
+        "sink_p99_ms": round(p99 * 1e3, 3) if p99 is not None else None,
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def bench_migration(entries: int, max_chunks: int) -> dict[str, Any]:
+    """All-at-once versus fluid chunked migration of a padded operator.
+
+    Both runs scale the same ``entries``-entry counter from one to two
+    partitions mid-run.  The all-at-once path captures the moving state
+    in one stop-the-world serialize (O(total state)); the fluid path
+    pays O(chunk) per chunk while the source keeps serving the rest.
+    ``pause_reduction`` is the headline number: how much shorter the
+    longest stall gets.  Simulated-time numbers are exact.
+    """
+    all_at_once = _run_migration(entries, max_chunks=1)
+    chunked = _run_migration(entries, max_chunks=max_chunks)
+    return {
+        "entries": entries,
+        "all_at_once": all_at_once,
+        "chunked": chunked,
+        "pause_reduction": round(
+            all_at_once["max_pause_ms"] / max(chunked["max_pause_ms"], 1e-9), 2
+        ),
+    }
+
+
 def bench_recovery(rate: float, duration: float) -> dict[str, Any]:
     """Simulated-time recovery latency (deterministic) plus the
     wall-clock cost of running the failure schedule batched."""
@@ -208,6 +281,9 @@ def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
             "checkpoint": bench_checkpoint(
                 params["state_sizes"], params["touched_keys"]
             ),
+            "migration": bench_migration(
+                params["migration_entries"], params["migration_chunks"]
+            ),
         },
     }
     if params["recovery_duration"] > 0:
@@ -242,6 +318,17 @@ def render_report(report: dict[str, Any]) -> str:
             f"  checkpoint n={size}: cow {row['cow_snapshot_ms']}ms vs eager "
             f"{row['eager_copy_ms']}ms ({row['snapshot_speedup']}x); "
             f"touch[{row['touched_keys']}] {row['cow_touch_ms']}ms"
+        )
+    migration = results.get("migration")
+    if migration:
+        one = migration["all_at_once"]
+        many = migration["chunked"]
+        lines.append(
+            f"  migration n={migration['entries']}: all-at-once pause "
+            f"{one['max_pause_ms']}ms vs {many['chunks_shipped']} chunks "
+            f"{many['max_pause_ms']}ms -> {migration['pause_reduction']}x "
+            f"shorter stalls (sink p99 {one['sink_p99_ms']}ms -> "
+            f"{many['sink_p99_ms']}ms)"
         )
     recovery = results.get("recovery")
     if recovery:

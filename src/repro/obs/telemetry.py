@@ -247,13 +247,14 @@ class Telemetry:
         delivered: bool,
     ) -> None:
         # Data-plane messages are far too numerous to log one-by-one
-        # (EdgeStats aggregates them); the control plane — checkpoints,
-        # state transfers, anything recovery-critical — is sparse and
-        # each delivery matters for the causal story.
-        if kind != "control":
+        # (EdgeStats aggregates them); the control plane — checkpoints
+        # and anything recovery-critical — and the migration plane —
+        # state-transfer chunks — are sparse and each delivery matters
+        # for the causal story.
+        if kind not in ("control", "migration"):
             return
         self.log.emit(
-            "net.control",
+            f"net.{kind}",
             time=self.now(),
             src=src_vm,
             dst=dst_vm,

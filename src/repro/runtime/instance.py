@@ -26,7 +26,7 @@ from repro.core.state import (
     RoutingState,
     _copy_value as _copy_state_value,
 )
-from repro.core.tuples import Tuple
+from repro.core.tuples import Tuple, stable_hash
 from repro.errors import RuntimeStateError
 from repro.sim.simulator import PeriodicTask
 from repro.sim.vm import VirtualMachine
@@ -123,6 +123,24 @@ class OperatorInstance:
         #: the drain early and flip replay_mode while genuine replays are
         #: still in flight).
         self._replay_seen: set[tuple[int, int]] | None = None
+        #: Exact (slot, ts) membership of the current drain's replay wave
+        #: (fluid chunk drains pass it): flagged arrivals outside the set
+        #: — stray duplicates of *earlier* waves — must not advance the
+        #: drain's completion count.
+        self._replay_ids: set[tuple[int, int]] | None = None
+        #: (slot, ts) pairs of wave replays a dead feeder never delivered.
+        #: The feeder's recovery re-derives them as *fresh* sends at or
+        #: below the arrival watermark; exactly these may pass the
+        #: duplicate filter — a scalar rewind would also re-admit fresh
+        #: tuples processed since the wave was cut.  The accompanying
+        #: snapshot of the drain's dedup context still applies: an
+        #: undelivered pair may predate the chunk floor (its effect rode
+        #: the chunk's state), so a gap fill faces the same reflection
+        #: test the flagged replay would have.
+        self._replay_gap_ids: set[tuple[int, int]] = set()
+        self._gap_intervals: list = []
+        self._gap_floor: dict[int, int] = {}
+        self._gap_wm_start: dict[int, int] = {}
         #: Remaining expected replays per origin slot uid, so the engine
         #: can release one feeder's share if that feeder dies mid-drain.
         self._replay_by_slot: dict[int, int] | None = None
@@ -132,6 +150,28 @@ class OperatorInstance:
         #: values, breaking the downstream duplicate filter's assumption
         #: that (slot, ts) identifies one payload.
         self._held_while_draining: list[Tuple] = []
+        #: Fluid migration, source side: the key intervals of the chunk
+        #: currently in flight (fresh tuples for them are parked in
+        #: ``_parked`` until the chunk commits or the migration aborts)
+        #: and the intervals already committed away (tuples for them are
+        #: dropped — the routing swap makes the upstream's post-commit
+        #: replay deliver them to the new owner instead).
+        self._parking_intervals: list = []
+        self._migrated_intervals: list = []
+        self._parked: list[Tuple] = []
+        #: Fluid migration, target side: while draining one chunk's
+        #: replays, keys inside these intervals dedup against the chunk's
+        #: restored τ floor alone; keys outside (already owned and served
+        #: live) also dedup against the watermark snapshot taken at the
+        #: drain's start.
+        self._drain_intervals: list = []
+        self._drain_wm_start: dict[int, int] = {}
+        #: Highest replay ts accepted per origin during an interval drain:
+        #: replays stream ts-ordered per origin, so a network-duplicated
+        #: copy lands at or below this and is dropped — the chunk floor
+        #: cannot serve as this guard because keys outside the drain
+        #: intervals are deliberately not judged against it.
+        self._drain_replay_wm: dict[int, int] = {}
         #: Output batching (data-plane fast path): pending output tuples
         #: per destination slot uid, flushed by size, by linger timer, and
         #: at every control-plane barrier.  ``None`` when disabled.
@@ -212,16 +252,45 @@ class OperatorInstance:
         accounting, parking during drains) happen here.
         """
         if tup.replay:
-            if self.replay_mode == REPLAY_DROP or (
-                self.replay_mode == REPLAY_DEDUP
-                # Compare against the τ vector frozen at restore time, not
-                # the live watermark: paced replays interleave with fresh
-                # traffic whose higher timestamps must not mask them.
-                and tup.ts <= self._replay_dedup_floor.get(tup.slot, -1)
-            ):
+            duplicate = self.replay_mode == REPLAY_DROP
+            if not duplicate and self.replay_mode == REPLAY_DEDUP:
+                if self._drain_intervals:
+                    # Interval-aware chunk drain (fluid migration): a key
+                    # inside the draining chunk dedups against the chunk's
+                    # τ floor, frozen when its parking began — everything
+                    # at or below it rode the chunk's state.  A key this
+                    # instance already owned dedups against the watermark
+                    # snapshot from drain start *alone*: the commit-time
+                    # trim removed everything its absorbed state reflects,
+                    # and τ may sit above a delayed straggler whose replay
+                    # is its only path here (the origin's τ advances with
+                    # other keys the source still serves).
+                    duplicate = tup.ts <= self._drain_replay_wm.get(
+                        tup.slot, -1
+                    )
+                    if not duplicate:
+                        position = stable_hash(tup.key)
+                        if any(position in iv for iv in self._drain_intervals):
+                            duplicate = tup.ts <= self._replay_dedup_floor.get(
+                                tup.slot, -1
+                            )
+                        else:
+                            duplicate = tup.ts <= self._drain_wm_start.get(
+                                tup.slot, -1
+                            )
+                else:
+                    # Compare against the τ vector frozen at restore time,
+                    # not the live watermark: paced replays interleave with
+                    # fresh traffic whose higher timestamps must not mask
+                    # them.
+                    duplicate = tup.ts <= self._replay_dedup_floor.get(
+                        tup.slot, -1
+                    )
+            if duplicate:
                 # Either a re-derivation from a recovery elsewhere in the
                 # graph (drop mode) or a replayed tuple already reflected
                 # in this instance's restored state (dedup mode).
+                self._replay_gap_ids.discard((tup.slot, tup.ts))
                 self.dropped_duplicates += tup.weight
                 self.system.metrics.increment(
                     f"duplicates:{self.op_name}", tup.weight
@@ -239,24 +308,78 @@ class OperatorInstance:
             self._held_while_draining.append(tup)
             return False
         elif tup.ts <= self._arrival_wm.get(tup.slot, -1):
-            # Duplicate of an already-accepted tuple (replayed after a
-            # checkpoint covered it, or re-emitted by a recovered upstream).
-            self.dropped_duplicates += tup.weight
-            self.system.metrics.increment(f"duplicates:{self.op_name}", tup.weight)
-            return False
+            gap_fill = False
+            if (tup.slot, tup.ts) in self._replay_gap_ids:
+                # A wave replay its dead feeder never delivered, now
+                # re-derived by the feeder's recovery.  Judge it exactly
+                # as the replay would have been: a pair at or below the
+                # chunk floor rode the chunk's state here already.
+                self._replay_gap_ids.discard((tup.slot, tup.ts))
+                if self._gap_intervals:
+                    position = stable_hash(tup.key)
+                    if any(position in iv for iv in self._gap_intervals):
+                        gap_fill = tup.ts > self._gap_floor.get(tup.slot, -1)
+                    else:
+                        gap_fill = tup.ts > self._gap_wm_start.get(
+                            tup.slot, -1
+                        )
+                else:
+                    gap_fill = True
+            if not gap_fill:
+                # Duplicate of an already-accepted tuple (replayed after
+                # a checkpoint covered it, or re-emitted by a recovered
+                # upstream).
+                self.dropped_duplicates += tup.weight
+                self.system.metrics.increment(
+                    f"duplicates:{self.op_name}", tup.weight
+                )
+                return False
         capacity = self.system.config.queue_capacity
         if capacity is not None and self._backlog_weight >= capacity:
             self.dropped_overflow += tup.weight
             self.system.metrics.increment(f"overflow:{self.op_name}", tup.weight)
             return False
+        if not tup.replay and (self._parking_intervals or self._migrated_intervals):
+            position = stable_hash(tup.key)
+            if any(position in iv for iv in self._migrated_intervals):
+                # Key already committed to its new owner: the routing swap
+                # made the upstream replay this tuple at the target, so
+                # the straggler copy here must not touch state.
+                self.system.metrics.increment(
+                    f"migrated_drop:{self.op_name}", tup.weight
+                )
+                return False
+            if any(position in iv for iv in self._parking_intervals):
+                # Key belongs to the chunk in flight: park until the chunk
+                # commits (the upstream's post-swap replay covers it at
+                # the target) or the migration aborts (re-injected here).
+                # The watermark advances now — the tuple is *accepted*, so
+                # a later network duplicate must not be parked twice.
+                if tup.ts > self._arrival_wm.get(tup.slot, -1):
+                    self._arrival_wm[tup.slot] = tup.ts
+                self._parked.append(tup)
+                return False
         if tup.ts > self._arrival_wm.get(tup.slot, -1):
             self._arrival_wm[tup.slot] = tup.ts
         if tup.replay and self.replay_mode == REPLAY_DEDUP:
             # Replays stream in ts order per origin slot, so advancing the
             # floor as they are accepted makes a network-duplicated copy
             # land at or below it and be dropped — without masking later
-            # replays behind fresh traffic's higher watermarks.
-            self._replay_dedup_floor[tup.slot] = tup.ts
+            # replays behind fresh traffic's higher watermarks.  Advance
+            # only: during an interval drain the floor starts at the
+            # chunk's τ, which may sit above replays for keys this
+            # instance already owned — assignment would regress it below
+            # state the absorbed chunk already reflects.
+            if tup.ts > self._replay_dedup_floor.get(tup.slot, -1):
+                self._replay_dedup_floor[tup.slot] = tup.ts
+            if self._drain_intervals and tup.ts > self._drain_replay_wm.get(
+                tup.slot, -1
+            ):
+                self._drain_replay_wm[tup.slot] = tup.ts
+        # An accepted delivery is (about to be) reflected: a released
+        # wave pair delivered late must not be re-admitted again when its
+        # feeder's recovery re-derives it.
+        self._replay_gap_ids.discard((tup.slot, tup.ts))
         self._backlog_weight += tup.weight
         return True
 
@@ -275,6 +398,20 @@ class OperatorInstance:
             self._process_one(tup)
 
     def _process_one(self, tup: Tuple) -> None:
+        if (self._parking_intervals or self._migrated_intervals) and not tup.replay:
+            # Queued before its chunk was extracted: the entries it would
+            # update have left this instance, so it must not process here.
+            # τ does not advance (the tuple is unprocessed); the watermark
+            # already advanced at admission, matching parked arrivals.
+            position = stable_hash(tup.key)
+            if any(position in iv for iv in self._migrated_intervals):
+                self.system.metrics.increment(
+                    f"migrated_drop:{self.op_name}", tup.weight
+                )
+                return
+            if any(position in iv for iv in self._parking_intervals):
+                self._parked.append(tup)
+                return
         sim = self.system.sim
         self._current_input = tup
         ctx = OperatorContext(self.state, self._emit_from_ctx, now=sim.now)
@@ -630,6 +767,16 @@ class OperatorInstance:
         """The next checkpoint must be full (delta base unavailable)."""
         self._can_increment = False
 
+    def next_checkpoint_seq(self) -> int:
+        """Claim the next checkpoint sequence number.
+
+        Engine-driven snapshots (per-chunk commit backups of a fluid
+        migration) share the counter with the periodic daemon, so the
+        backup store's seq monotonicity holds across both producers.
+        """
+        self._ckpt_seq += 1
+        return self._ckpt_seq
+
     def start_age_trimming(self, horizon: float, period: float = 5.0) -> None:
         """Retain only ``horizon`` seconds of buffered tuples.
 
@@ -664,6 +811,7 @@ class OperatorInstance:
         flag_replay: bool = False,
         after_positions: dict[int, int] | None = None,
         counts: dict[int, int] | None = None,
+        ids: set | None = None,
     ) -> int:
         """replay-buffer-state(u, o): resend buffered tuples to ``dest_uid``.
 
@@ -704,6 +852,8 @@ class OperatorInstance:
                     self._send(dest_uid, tup)
                 if counts is not None:
                     counts[tup.slot] = counts.get(tup.slot, 0) + 1
+                if ids is not None:
+                    ids.add((tup.slot, tup.ts))
                 sent += 1
         return sent
 
@@ -721,6 +871,8 @@ class OperatorInstance:
         on_complete: Callable[[], None],
         flagged_only: bool = False,
         by_slot: dict[int, int] | None = None,
+        drain_intervals: list | None = None,
+        expected_ids: set | None = None,
     ) -> None:
         """Arrange ``on_complete`` to fire once ``count`` replayed tuples
         have been received *and processed* (the recovery-time endpoint).
@@ -729,6 +881,10 @@ class OperatorInstance:
         used by strategies that replay while new tuples keep flowing.
         ``by_slot`` breaks ``count`` down per origin slot stamp, enabling
         :meth:`release_replays_from` when a feeder dies mid-drain.
+        ``drain_intervals`` marks a fluid-migration chunk drain: replays
+        for keys inside those intervals dedup against the chunk's τ floor
+        alone, while keys outside also dedup against a watermark snapshot
+        taken now (see :meth:`_admit`).
         """
         if self._replay_done is not None:
             raise RuntimeStateError(f"{self.slot!r} already awaiting replays")
@@ -740,6 +896,11 @@ class OperatorInstance:
         self._replay_flagged_only = flagged_only
         self._replay_seen = set()
         self._replay_by_slot = dict(by_slot) if by_slot else None
+        self._replay_ids = set(expected_ids) if expected_ids is not None else None
+        if drain_intervals:
+            self._drain_intervals = list(drain_intervals)
+            self._drain_wm_start = dict(self._arrival_wm)
+            self._drain_replay_wm = {}
 
     def _note_replay_progress(self, tup: Tuple | None = None) -> None:
         if self._replay_done is None:
@@ -749,7 +910,12 @@ class OperatorInstance:
             and (tup is None or not tup.replay)
         ):
             return
-        if tup is not None and self._replay_seen is not None:
+        if tup is not None and self._replay_ids is not None:
+            key = (tup.slot, tup.ts)
+            if key not in self._replay_ids:
+                return  # stray duplicate from an earlier replay wave
+            self._replay_ids.discard(key)
+        elif tup is not None and self._replay_seen is not None:
             key = (tup.slot, tup.ts)
             if key in self._replay_seen:
                 return  # duplicated delivery of an already-counted replay
@@ -785,7 +951,20 @@ class OperatorInstance:
         remaining = self._replay_by_slot.pop(slot_uid, 0)
         if remaining <= 0:
             return 0
-        if self.replay_mode == REPLAY_DEDUP:
+        if self._replay_ids is not None:
+            # Exact membership known: remember precisely the undelivered
+            # pairs, so the feeder's re-derivations fill the gap while
+            # every other at-or-below-watermark arrival stays a duplicate.
+            released = {k for k in self._replay_ids if k[0] == slot_uid}
+            self._replay_gap_ids |= released
+            self._replay_ids -= released
+            # The undelivered suffix of a paced wave spans both sides of
+            # the chunk floor; keep the drain's dedup context so each
+            # gap fill can be judged exactly as its replay would have.
+            self._gap_intervals = list(self._drain_intervals)
+            self._gap_floor = dict(self._replay_dedup_floor)
+            self._gap_wm_start = dict(self._drain_wm_start)
+        elif self.replay_mode == REPLAY_DEDUP:
             floor = self._replay_dedup_floor.get(slot_uid, -1)
             if self._arrival_wm.get(slot_uid, -1) > floor:
                 self._arrival_wm[slot_uid] = floor
@@ -802,6 +981,10 @@ class OperatorInstance:
         self._replay_done = None
         self._replay_seen = None
         self._replay_by_slot = None
+        self._replay_ids = None
+        self._drain_intervals = []
+        self._drain_wm_start = {}
+        self._drain_replay_wm = {}
         held, self._held_while_draining = self._held_while_draining, []
         # All replays are at least queued; a zero-cost marker item fires
         # after the last queued replay has been processed.
@@ -814,6 +997,95 @@ class OperatorInstance:
         # work items queue behind the already-queued replays.
         for tup in held:
             self.receive(tup)
+
+    # --------------------------------------------------- fluid migration
+
+    def begin_parking(self, intervals: list) -> None:
+        """Source side: a chunk covering ``intervals`` is about to be
+        extracted; fresh tuples for those keys park until its commit."""
+        self._parking_intervals = list(intervals)
+
+    def commit_parked(self) -> float:
+        """Source side: the in-flight chunk committed.
+
+        Its intervals join the migrated set (straggler tuples for them
+        are dropped from now on) and the parked tuples are discarded:
+        every one of them sits in an upstream output buffer, and the
+        post-swap replay delivers it to the chunk's new owner.  Returns
+        the parked weight discarded.
+        """
+        discarded = sum(tup.weight for tup in self._parked)
+        self._migrated_intervals.extend(self._parking_intervals)
+        self._parking_intervals = []
+        self._parked = []
+        return discarded
+
+    def abort_parking(self) -> list[Tuple]:
+        """Source side: the migration aborted with a chunk in flight.
+
+        Parking stops — committed intervals stay migrated, because their
+        routing swaps are kept — and the parked tuples are returned in
+        per-origin timestamp order for re-injection via :meth:`reinject`.
+        """
+        parked = sorted(self._parked, key=lambda tup: (tup.slot, tup.ts))
+        self._parked = []
+        self._parking_intervals = []
+        return parked
+
+    def reinject(self, tup: Tuple) -> None:
+        """Queue a previously parked tuple, bypassing admission.
+
+        The tuple was admitted (watermark-advanced) when it parked, so
+        running it through :meth:`_admit` again would drop it as a
+        duplicate of itself.
+        """
+        if not self.alive or not self.vm.alive:
+            return
+        self._backlog_weight += tup.weight
+        self.vm.submit(tup.weight * self.operator.cost_per_tuple, self._process, tup)
+
+    def reabsorb_state(self, state: ProcessingState) -> None:
+        """Source side, abort path: put an extracted-but-uncommitted
+        chunk's entries back.  The value objects may still be aliased by
+        the frozen pre-migration checkpoint, so they are adopted shared
+        (copy-on-write on the next mutation), not claimed."""
+        for key, value in state.share_all().items():
+            self.state.adopt(key, value)
+
+    def absorb_chunk(self, checkpoint: Checkpoint) -> None:
+        """Target side: merge one chunk of a fluid migration into live
+        state.
+
+        τ max-merges — this instance's positions for shared origins may
+        already be ahead of the source's.  The replay dedup floor resets
+        to the *chunk's* τ: the commit drain that follows dedups
+        in-flight-chunk keys against it, while keys from earlier chunks
+        are guarded by the drain's watermark snapshot (:meth:`_admit`).
+        The output clock is left alone; this instance emits under its own
+        slot uid, so its clock never collides with the source's.  Output
+        buffers riding the chunk (the final chunk carries the retiring
+        source's β) are adopted: the source's unacknowledged emissions
+        must stay replayable after it is gone.
+        """
+        # Adopt — don't claim — the chunk's value objects: they are still
+        # aliased by the frozen pre-migration checkpoint the chunk was
+        # extracted from (snapshot -> extract -> ship moves the objects
+        # without copying).  A plain write would mark them privately
+        # owned and the next in-place mutation here would corrupt the
+        # rollback backups cut from that frozen checkpoint.
+        for key, value in checkpoint.state.share_all().items():
+            self.state.adopt(key, value)
+        for slot_uid, pos in checkpoint.positions.items():
+            if pos > self.state.positions.get(slot_uid, -1):
+                self.state.positions[slot_uid] = pos
+        self._replay_dedup_floor = dict(checkpoint.positions)
+        for name, buf in checkpoint.buffers.items():
+            mine = self.buffers.get(name)
+            if mine is None:
+                continue
+            for dest in buf.destinations():
+                for tup in buf.tuples_for(dest):
+                    mine.append(dest, tup)
 
     # ------------------------------------------------------ control plane
 
@@ -905,6 +1177,7 @@ class OperatorInstance:
             if name in self.buffers:
                 self.buffers[name] = buf.snapshot()
         self._arrival_wm = {} if fresh_dedup else dict(checkpoint.positions)
+        self._replay_gap_ids = set()
         self._suppress_until = dict(suppress_until) if suppress_until else {}
 
     def set_suppression(self, suppress_until: dict[int, int] | None) -> None:

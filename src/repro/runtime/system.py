@@ -237,6 +237,19 @@ class StreamProcessingSystem:
         candidates.sort(key=lambda inst: inst.uid)
         return candidates[instance.uid % len(candidates)].vm
 
+    def store_backup_sync(
+        self, ckpt: Checkpoint, target: VirtualMachine
+    ) -> None:
+        """Store a backup without a network hop (control-plane commit).
+
+        Fluid chunk commits use this: the instant routing points a key
+        range at a target partition, that partition must be recoverable
+        (Algorithm 2, line 8 — the scale out itself is fault tolerant);
+        a backup still on the wire would leave a window where committed
+        chunks die with the target VM.
+        """
+        self._store_backup(ckpt, target)
+
     def _store_backup(
         self, ckpt: Checkpoint, target: VirtualMachine, span=None
     ) -> None:
@@ -245,6 +258,14 @@ class StreamProcessingSystem:
             # Registered under the slot uid: a later recovery restoring
             # from this backup can name the shipment as a causal parent.
             self.telemetry.tracer.link(("backup", ckpt.slot_uid), span)
+        current = self.backup_of(ckpt.slot_uid)
+        if current is not None and current.seq >= ckpt.seq:
+            # A newer backup already landed — e.g. a fluid chunk commit
+            # stored synchronously while this shipment was on the wire.
+            # Storing the stale one would fail, and moving the location
+            # to it would orphan the newer state.
+            self.metrics.increment("checkpoints_stale_dropped")
+            return
         store = self.backup_stores.setdefault(target.vm_id, BackupStore())
         if ckpt.incremental:
             ckpt = self._materialize_delta(ckpt, store)

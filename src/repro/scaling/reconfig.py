@@ -48,9 +48,12 @@ from __future__ import annotations
 from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
+from repro.config import MigrationConfig
 from repro.core.checkpoint import BackupStore, Checkpoint
 from repro.core.execution import Slot
+from repro.core.migration import MigrationChunk, StateMover
 from repro.core.partition import partition_checkpoint, split_interval_groups
+from repro.core.state import KeyInterval
 from repro.core.tuples import stable_hash
 from repro.runtime.instance import REPLAY_ACCEPT, REPLAY_DEDUP, REPLAY_DROP
 from repro.sim.metrics import PhaseTimeline
@@ -144,10 +147,57 @@ class ReconfigPlan:
     label: str = ""
     #: Per-phase deadlines in seconds; overrides the engine defaults.
     phase_timeouts: dict[str, float] = field(default_factory=dict)
+    #: Chunking policy for this operation's state movement; ``None``
+    #: falls back to ``SystemConfig.migration``.  With ``max_chunks > 1``
+    #: an eligible scale out runs as a *fluid* migration (per-chunk
+    #: routing swaps while the source keeps serving) and every other
+    #: transfer is chunked on the wire; the default single chunk is the
+    #: classic all-at-once behaviour.
+    migration: MigrationConfig | None = None
 
     @property
     def is_recovery(self) -> bool:
         return self.kind == KIND_RECOVERY
+
+
+class FluidMigration:
+    """Per-operation context of a fluid (chunked live) migration.
+
+    The migrating key range is cut into ``chunks`` — ``(target index,
+    interval group)`` pairs, grouped per target and committed strictly
+    in order.  ``committed_intervals`` accumulates the ranges whose
+    routing swap took effect; on abort those stay with their targets
+    (abort-to-consistent-routing) while everything else returns to the
+    source.
+    """
+
+    def __init__(
+        self,
+        old: "OperatorInstance",
+        chunks: list[tuple[int, list[KeyInterval]]],
+        cfg: MigrationConfig,
+    ) -> None:
+        self.old = old
+        self.chunks = chunks
+        self.cfg = cfg
+        self.total = len(chunks)
+        #: Index of the chunk currently being migrated (parked, extracted,
+        #: shipped, committed or drained); advances after each drain.
+        self.next_index = 0
+        #: The extracted-but-uncommitted chunk, if one is on the wire.
+        self.in_flight: MigrationChunk | None = None
+        #: Deployed target instances, keyed by target index.
+        self.targets: dict[int, "OperatorInstance"] = {}
+        #: Key ranges whose per-chunk routing swap committed.
+        self.committed_intervals: list[KeyInterval] = []
+        self.committed_chunks = 0
+        #: Longest single stop-the-world pause charged to the source.
+        self.max_pause = 0.0
+        #: Deadline event of the in-flight chunk, if armed.
+        self.deadline = None
+        #: Source τ vector frozen when the current chunk's parking began —
+        #: the exact floor its extracted state reflects for the moving keys.
+        self.chunk_floor: dict[int, int] = {}
 
 
 class Reconfiguration:
@@ -179,6 +229,12 @@ class Reconfiguration:
         self.instances: list["OperatorInstance"] = []
         #: Replacement slot uids whose replay drain has not completed.
         self.pending_drain_uids: set[int] = set()
+        #: Fluid-migration context (chunked live hand-over), if any.
+        self.fluid: FluidMigration | None = None
+        #: Outstanding timer events (phase deadlines, the watchdog, chunk
+        #: deadlines).  All cancelled when the operation reaches DONE or
+        #: ABORTED, so a late timer can never fire into a dead operation.
+        self.timers: list = []
         self.committed = False
         self.aborted = False
         self.finished = False
@@ -199,6 +255,9 @@ class ReconfigurationEngine:
 
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
+        #: Single state-movement layer: every transfer (scale-out split,
+        #: scale-in merge, recovery) ships through it.
+        self.mover = StateMover(system)
         #: Slot-replacing operations in flight, keyed by the replaced
         #: slot's uid (scale out and every recovery flavour).
         self._busy_slots: dict[int, str] = {}
@@ -221,6 +280,14 @@ class ReconfigurationEngine:
         self._phase_listeners: list[
             Callable[[Reconfiguration, str], None]
         ] = []
+        #: Observers notified after each fluid chunk commits, called as
+        #: ``listener(op, chunk_index, chunk_total)``.  A separate channel
+        #: from phase listeners: chunk commits happen *inside* a phase
+        #: (TRANSFER), and pushing pseudo-phases through ``_notify`` would
+        #: corrupt phase-span telemetry.
+        self._chunk_listeners: list[
+            Callable[[Reconfiguration, int, int], None]
+        ] = []
 
     def on_phase_change(
         self, listener: Callable[[Reconfiguration, str], None]
@@ -233,6 +300,18 @@ class ReconfigurationEngine:
     def _notify(self, op: Reconfiguration, phase: str) -> None:
         for listener in list(self._phase_listeners):
             listener(op, phase)
+
+    def on_chunk_commit(
+        self, listener: Callable[[Reconfiguration, int, int], None]
+    ) -> None:
+        """Register an observer for fluid chunk commits (chaos schedules
+        use this to land faults mid-migration).  Same contract as phase
+        listeners: schedule follow-up work through the simulator."""
+        self._chunk_listeners.append(listener)
+
+    def _notify_chunk(self, op: Reconfiguration, index: int, total: int) -> None:
+        for listener in list(self._chunk_listeners):
+            listener(op, index, total)
 
     # ------------------------------------------------------------- queries
 
@@ -321,7 +400,9 @@ class ReconfigurationEngine:
         self._mark_started(op, old)
         self._active.append(op)
         self._arm_deadline(op, PHASE_PLAN)
-        system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        op.timers.append(
+            system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        )
         self._notify(op, PHASE_PLAN)
         self._enter_acquire_vms(op)
         return True
@@ -384,7 +465,9 @@ class ReconfigurationEngine:
             upstream.pause()
         self._active.append(op)
         self._arm_deadline(op, PHASE_PLAN)
-        system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        op.timers.append(
+            system.sim.schedule(self.watchdog_seconds, self._watchdog, op)
+        )
         self._notify(op, PHASE_PLAN)
         system.sim.schedule(_MERGE_DRAIN_POLL, self._poll_merge_drain, op)
         return True
@@ -402,7 +485,11 @@ class ReconfigurationEngine:
             phase, self.default_phase_timeouts.get(phase)
         )
         if timeout is not None:
-            self.system.sim.schedule(timeout, self._phase_deadline, op, phase)
+            op.timers.append(
+                self.system.sim.schedule(
+                    timeout, self._phase_deadline, op, phase
+                )
+            )
 
     def _phase_deadline(self, op: Reconfiguration, phase: str) -> None:
         """A phase outlived its deadline: abort unless already past it."""
@@ -411,8 +498,30 @@ class ReconfigurationEngine:
         self._abort(op, f"{phase} deadline exceeded")
 
     def _watchdog(self, op: Reconfiguration) -> None:
-        if not op.committed and not op.finished:
+        if op.aborted or op.finished:
+            return
+        if op.fluid is not None:
+            # A fluid migration commits chunk by chunk, so ``committed``
+            # flips long before it is done; the watchdog still bounds the
+            # whole operation (abort keeps the committed chunks).
+            self._abort_fluid(op, "watchdog timeout")
+            return
+        if not op.committed:
             self._abort(op, "watchdog timeout")
+
+    def _cancel_timers(self, op: Reconfiguration) -> None:
+        """Disarm every outstanding deadline/watchdog timer of ``op``.
+
+        Called on DONE and ABORTED.  The handlers all guard against dead
+        operations, so a late timer firing was already a no-op — but an
+        uncancelled watchdog pins the operation (and everything it
+        references) in the event queue for up to ten minutes of
+        simulated time per reconfiguration.
+        """
+        for event in op.timers:
+            if event.pending:
+                event.cancel()
+        op.timers.clear()
 
     # --------------------------------------------------------- ACQUIRE_VMS
 
@@ -439,6 +548,12 @@ class ReconfigurationEngine:
         """A VM acquired for this operation crashed."""
         if op.aborted or op.finished:
             return
+        if op.fluid is not None:
+            # Committed chunks on the dead target recover through the
+            # normal failure-detection path (each commit stored a backup
+            # synchronously); the rest of the migration unwinds.
+            self._abort_fluid(op, f"target VM {vm.vm_id} failed")
+            return
         if not op.committed:
             self._abort(op, f"target VM {vm.vm_id} failed")
             return
@@ -458,6 +573,8 @@ class ReconfigurationEngine:
         if source == SOURCE_BACKUP:
             if op.plan.preserve_slots:
                 self._prepare_whole_checkpoint(op)
+            elif self._fluid_eligible(op):
+                self._prepare_fluid(op)
             else:
                 self._prepare_partitioning(op)
         elif source == SOURCE_MERGE:
@@ -507,6 +624,13 @@ class ReconfigurationEngine:
         cost = cfg.serialize_base_seconds + len(op.ckpt.state) * (
             cfg.serialize_seconds_per_entry
         )
+        # Same metric as the fluid path's per-chunk pause: the
+        # stop-the-world cost of capturing the moving state in one go is
+        # O(total state) here, O(chunk) there — the comparison the
+        # migration benchmark reports.
+        system.metrics.timeseries(
+            f"migration_pause:{op.plan.op_name}"
+        ).record(system.sim.now, cost)
         backup_vm.submit(cost, self._partitioned, op, backup_vm)
 
     def _partitioned(self, op: Reconfiguration, backup_vm: VirtualMachine) -> None:
@@ -593,52 +717,523 @@ class ReconfigurationEngine:
 
     def _enter_transfer(self, op: Reconfiguration) -> None:
         self._enter(op, PHASE_TRANSFER)
-        if op.plan.state_source != SOURCE_BACKUP:
-            # Merged state restores on the coordinator (no modelled copy);
-            # fresh rebuilds have nothing to move.  Pass through.
+        source = op.plan.state_source
+        cfg = op.plan.migration or self.system.config.migration
+        if source == SOURCE_MERGE:
+            # The merged snapshot moves from the left partition's VM to
+            # the pooled target through the mover like any other state
+            # movement (chunked on the wire when configured).
+            assert op.merged_ckpt is not None
+            left = op.old_instances[0]
+            left.vm.on_failure(
+                lambda _vm, op=op: self._abort(
+                    op, "partition failed during transfer"
+                )
+            )
+            self.mover.transfer(
+                op,
+                left.vm,
+                op.vms[0],
+                op.merged_ckpt,
+                self._merged_arrived,
+                op,
+                cfg=cfg,
+            )
+            return
+        if source != SOURCE_BACKUP:
+            # Fresh-state rebuilds have nothing to move.  Pass through.
             self._enter_restore(op)
             return
-        telemetry = self.system.telemetry
-        cfg = self.system.config.checkpoint
         assert op.backup_vm is not None
         for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
-            size = part.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
-            # One transfer span per state partition, parented under the
-            # operation's TRANSFER phase span; the span object rides the
-            # simulated message and closes on arrival at the target VM.
-            span = telemetry.start_span(
-                f"state.transfer:{op.plan.op_name}",
-                kind="transfer",
-                parent=telemetry.phase_span(op),
-                part=slot.uid,
-                bytes=size,
-                src_vm=op.backup_vm.vm_id,
-                dst_vm=vm.vm_id,
-            )
-            self.system.network.send(
+            self.mover.transfer(
+                op,
                 op.backup_vm,
                 vm,
-                size,
+                part,
                 self._part_arrived,
                 op,
-                part,
                 slot,
                 vm,
-                span,
-                kind="control",
+                cfg=cfg,
             )
+
+    def _merged_arrived(self, _ckpt: Checkpoint, op: Reconfiguration) -> None:
+        if op.aborted or op.finished:
+            return
+        self._enter_restore(op)
 
     def _part_arrived(
         self,
-        op: Reconfiguration,
         part: Checkpoint,
+        op: Reconfiguration,
         slot: Slot,
         vm: VirtualMachine,
-        span,
     ) -> None:
         """One state partition landed on its target VM."""
-        self.system.telemetry.end_span(span)
         self._restore_one(op, part, slot, vm)
+
+    # ----------------------------------------------------- fluid migration
+
+    def _fluid_eligible(self, op: Reconfiguration) -> bool:
+        """Whether this operation can run as a fluid live migration.
+
+        Fluid hand-over extracts chunks from the *live* source, so
+        recoveries (dead source) and slot-preserving restores keep the
+        backup-sourced path; everything else opts in through a chunking
+        config with ``max_chunks > 1``.
+        """
+        plan = op.plan
+        if plan.is_recovery or plan.preserve_slots:
+            return False
+        cfg = plan.migration or self.system.config.migration
+        if cfg.max_chunks <= 1:
+            return False
+        return self.system.live_instance(op.old_slot.uid) is not None
+
+    def _prepare_fluid(self, op: Reconfiguration) -> None:
+        """Plan a fluid migration: the key range leaves in chunks.
+
+        Instead of freezing on a backed-up checkpoint, each chunk is
+        extracted from the live source state, shipped, absorbed by its
+        target and committed with a *partial* routing swap — upstreams
+        route the moved range to the target while the source keeps
+        processing everything that has not moved yet.  The source's
+        backup stays frozen at its pre-migration checkpoint (the trim
+        lock was taken at submit): together with the buffered upstream
+        tuples it covers every uncommitted chunk if the migration aborts.
+        """
+        system = self.system
+        if op.aborted:
+            return
+        plan = op.plan
+        qm = system.query_manager
+        old = system.live_instance(op.old_slot.uid)
+        if old is None:
+            self._abort(op, "source instance lost before migration")
+            return
+        old.stop_checkpointing()
+        backup_vm = system.backup_locations.get(op.old_slot.uid)
+        if backup_vm is None or not backup_vm.alive:
+            self._abort(op, "backup VM unavailable")
+            return
+        op.backup_vm = backup_vm
+        backup_vm.on_failure(
+            lambda _vm, op=op: self._abort_fluid(op, "backup VM failed")
+        )
+        old.vm.on_failure(
+            lambda _vm, op=op: self._abort_fluid(op, "source VM failed")
+        )
+        routing = qm.routing_to(plan.op_name)
+        owned = routing.intervals_of(op.old_slot.uid)
+        guide = None
+        if len(old.state) >= 4 * plan.parallelism:
+            guide = [stable_hash(key) for key in old.state.keys()]
+        op.groups = split_interval_groups(owned, plan.parallelism, guide)
+        op.new_slots = [
+            qm.new_slot(plan.op_name, i) for i in range(plan.parallelism)
+        ]
+        op.timeline.add_slots([slot.uid for slot in op.new_slots])
+        # Pre-register the new slots so the per-chunk routing swaps
+        # validate; they own no keys until their first chunk commits.
+        qm.replace_slots(plan.op_name, [], op.new_slots)
+        cfg = plan.migration or system.config.migration
+        chunks: list[tuple[int, list[KeyInterval]]] = []
+        for index, group in enumerate(op.groups):
+            for piece in self.mover.plan_fluid_chunks(group, old.state, cfg):
+                chunks.append((index, piece))
+        op.fluid = FluidMigration(old, chunks, cfg)
+        self.mover.chunked_transfers += 1
+        self._enter(op, PHASE_TRANSFER)
+        self._next_chunk(op)
+
+    def _next_chunk(self, op: Reconfiguration) -> None:
+        if op.aborted or op.finished:
+            return
+        system = self.system
+        fluid = op.fluid
+        assert fluid is not None
+        old = fluid.old
+        if not (old.alive and old.vm.alive):
+            self._abort_fluid(op, "source instance failed mid-migration")
+            return
+        index = fluid.next_index
+        _target_index, intervals = fluid.chunks[index]
+        # The chunk's τ floor freezes *now*, before parking begins: the
+        # source stops processing the moving keys the instant they park,
+        # so the chunk's state reflects them exactly up to this vector.
+        # τ at extraction time would overstate it — keys the source keeps
+        # advance τ past parked tuples, whose post-commit replay would
+        # then be wrongly deduped at the target.
+        fluid.chunk_floor = dict(old.state.positions)
+        # Fresh tuples for the moving range park at the source from this
+        # instant; the post-commit buffer replay re-delivers them to the
+        # target, so parking never loses a tuple.
+        old.begin_parking(intervals)
+        if fluid.cfg.chunk_timeout is not None:
+            event = system.sim.schedule(
+                fluid.cfg.chunk_timeout, self._chunk_deadline, op, index
+            )
+            fluid.deadline = event
+            op.timers.append(event)
+        # Extracting and serialising the chunk is the migration's only
+        # stop-the-world pause on the source: O(chunk), not O(state).
+        ckpt_cfg = system.config.checkpoint
+        entries = sum(
+            1
+            for key in old.state.keys()
+            if any(stable_hash(key) in iv for iv in intervals)
+        )
+        pause = ckpt_cfg.serialize_base_seconds + entries * (
+            ckpt_cfg.serialize_seconds_per_entry
+        )
+        fluid.max_pause = max(fluid.max_pause, pause)
+        system.metrics.timeseries(
+            f"migration_pause:{op.plan.op_name}"
+        ).record(system.sim.now, pause)
+        old.vm.submit(pause, self._chunk_extracted, op, index, front=True)
+
+    def _chunk_extracted(self, op: Reconfiguration, index: int) -> None:
+        if op.aborted or op.finished:
+            return
+        system = self.system
+        fluid = op.fluid
+        assert fluid is not None
+        old = fluid.old
+        if not (old.alive and old.vm.alive):
+            self._abort_fluid(op, "source instance failed mid-extraction")
+            return
+        target_index, intervals = fluid.chunks[index]
+        state = old.state.extract(intervals)
+        # Stamp the parking-time τ floor (see _next_chunk), not the
+        # extraction-time vector the extract copied.
+        state.positions.clear()
+        state.positions.update(fluid.chunk_floor)
+        final = index == fluid.total - 1
+        buffers: dict = {}
+        if final:
+            # The last chunk carries the source's output buffers: after
+            # this commit the source retires, and a later downstream
+            # recovery must still find its unacknowledged emissions.
+            buffers = {
+                name: buf.snapshot() for name, buf in old.buffers.items()
+            }
+        target_slot = op.new_slots[target_index]
+        ckpt = Checkpoint(
+            op_name=op.plan.op_name,
+            slot_uid=target_slot.uid,
+            state=state,
+            buffers=buffers,
+            taken_at=system.sim.now,
+            seq=1,
+        )
+        chunk = MigrationChunk(
+            index=index,
+            total=fluid.total,
+            intervals=list(intervals),
+            checkpoint=ckpt,
+            shipped_at=system.sim.now,
+        )
+        fluid.in_flight = chunk
+        self.mover.ship(
+            op,
+            old.vm,
+            op.vms[target_index],
+            ckpt,
+            self._chunk_arrived,
+            op,
+            chunk,
+            target_index,
+            chunk_index=index,
+            chunk_total=fluid.total,
+        )
+
+    def _chunk_arrived(
+        self, op: Reconfiguration, chunk: MigrationChunk, target_index: int
+    ) -> None:
+        if op.aborted or op.finished:
+            # A chunk that lands after the abort never took effect
+            # anywhere; its state was already re-absorbed by the source
+            # (or is covered by the source's frozen backup).
+            return
+        system = self.system
+        fluid = op.fluid
+        assert fluid is not None
+        slot = op.new_slots[target_index]
+        vm = op.vms[target_index]
+        target = fluid.targets.get(target_index)
+        if target is None:
+            # First chunk for this target: deploy and restore, exactly
+            # like a partitioned restore but with a fraction of the keys.
+            target = system.deployment.deploy_replacement(slot, vm)
+            target.restore_from(chunk.checkpoint)
+            system.deployment.configure_services(target)
+            target.replay_mode = REPLAY_DEDUP
+            op.instances.append(target)
+            fluid.targets[target_index] = target
+        else:
+            target.absorb_chunk(chunk.checkpoint)
+        if chunk.final:
+            self._enter(op, PHASE_RESTORE)
+        self._commit_chunk(op, chunk, target)
+
+    def _commit_chunk(
+        self,
+        op: Reconfiguration,
+        chunk: MigrationChunk,
+        target: "OperatorInstance",
+    ) -> None:
+        """Commit one chunk: partial routing swap, replay, sync backup.
+
+        Ordering matters: routing swaps and upstream buffers repartition
+        first (new tuples for the range now reach the target), then the
+        source discards its parked tuples for the range (the post-swap
+        buffer replay re-delivers every one of them), then the target's
+        snapshot is stored as its backup *synchronously* — the moment
+        routing points at the target it must be recoverable (Algorithm 2
+        line 8: the scale out itself is fault tolerant).  The replay
+        drain is armed last because a zero-replay drain completes
+        synchronously and starts the next chunk.
+        """
+        system = self.system
+        qm = system.query_manager
+        plan = op.plan
+        fluid = op.fluid
+        assert fluid is not None
+        old = fluid.old
+        index = chunk.index
+
+        if fluid.deadline is not None and fluid.deadline.pending:
+            fluid.deadline.cancel()
+        fluid.deadline = None
+        fluid.in_flight = None
+
+        routing = qm.routing_to(plan.op_name)
+        new_routing = routing.split_off(
+            op.old_slot.uid, chunk.intervals, target.uid
+        )
+        qm.store_routing(plan.op_name, new_routing)
+        upstreams: list["OperatorInstance"] = []
+        for up_name in qm.upstream_of(plan.op_name):
+            for up_slot in qm.slots_of(up_name):
+                upstream = system.live_instance(up_slot.uid)
+                if upstream is not None:
+                    upstreams.append(upstream)
+        for upstream in upstreams:
+            upstream.pause()
+            upstream.set_routing(plan.op_name, new_routing)
+            upstream.repartition_buffer(plan.op_name)
+        discarded = old.commit_parked()
+        if discarded:
+            system.metrics.increment("migration_parked_discarded", discarded)
+        if chunk.final:
+            self._retire_source(op)
+            target.replay_all_buffers()
+        sent = 0
+        by_slot: dict[int, int] = {}
+        replay_ids: set[tuple[int, int]] = set()
+        for upstream in upstreams:
+            counts: dict[int, int] = {}
+            sent += upstream.replay_buffer_to(
+                target.uid, flag_replay=True, counts=counts, ids=replay_ids
+            )
+            for stamp, n in counts.items():
+                by_slot[stamp] = by_slot.get(stamp, 0) + n
+            self._watch_drain_feeder(op, upstream, set(counts))
+        for upstream in upstreams:
+            upstream.resume()
+        op.committed = True
+        fluid.committed_chunks += 1
+        fluid.committed_intervals.extend(chunk.intervals)
+
+        frozen = system.backup_of(op.old_slot.uid)
+        if frozen is not None and op.backup_vm is not None and op.backup_vm.alive:
+            # The committed ranges must be recoverable the moment routing
+            # points at the target — but a snapshot of the *live* target
+            # is not a sound backup mid-migration.  Its τ mixes two
+            # delivery edges: the target's own processed frontier and the
+            # absorbed chunk floors (source edge), max-merged.  Under
+            # network delays the edges skew, so that merged vector
+            # over-claims one edge or the other — a recovery would trim
+            # and dedup away tuples only the in-flight commit replay ever
+            # carried.  The frozen pre-migration checkpoint restricted to
+            # the committed ranges is consistent by construction: its τ
+            # is the source's single-edge prefix, everything since the
+            # freeze is still buffered upstream (these positions make the
+            # commit-time trim a no-op), and a restore replays all of it
+            # exactly once.
+            rollback = frozen.state.snapshot()
+            rollback = rollback.extract(fluid.committed_intervals)
+            backup = Checkpoint(
+                op_name=plan.op_name,
+                slot_uid=target.uid,
+                state=rollback,
+                buffers={
+                    name: buf.snapshot()
+                    for name, buf in target.buffers.items()
+                },
+                taken_at=system.sim.now,
+                seq=target.next_checkpoint_seq(),
+            )
+            system.store_backup_sync(backup, op.backup_vm)
+
+        if chunk.final:
+            self._enter(op, PHASE_COMMIT)
+            self._enter(op, PHASE_REPLAY_DRAIN)
+            system.record_vm_count()
+            system.metrics.mark_event(
+                system.sim.now,
+                "scale_out",
+                f"{plan.op_name} pi={plan.parallelism} fluid "
+                f"chunks={fluid.total}",
+            )
+        system.metrics.mark_event(
+            system.sim.now,
+            "chunk_committed",
+            f"{plan.op_name} chunk {index + 1}/{fluid.total} -> "
+            f"slot {target.uid}",
+        )
+        self._notify_chunk(op, index, fluid.total)
+        op.pending_drain_uids = {target.uid}
+        # Between drains the target sits in REPLAY_DROP (a stray network
+        # duplicate of an earlier wave must not be admitted); each commit
+        # re-arms dedup mode for its own wave.
+        target.replay_mode = REPLAY_DEDUP
+        target.expect_replays(
+            sent,
+            lambda op=op, chunk=chunk, target=target: self._chunk_drained(
+                op, chunk, target
+            ),
+            flagged_only=True,
+            by_slot=by_slot,
+            drain_intervals=chunk.intervals,
+            expected_ids=replay_ids,
+        )
+
+    def _retire_source(self, op: Reconfiguration) -> None:
+        """Final chunk committed: the emptied source partition retires."""
+        system = self.system
+        qm = system.query_manager
+        assert op.fluid is not None
+        old = op.fluid.old
+        system.trim_locks.discard(op.old_slot.uid)
+        qm.replace_slots(op.plan.op_name, [op.old_slot], [])
+        system.instances.pop(op.old_slot.uid, None)
+        if old.alive:
+            system.retire_backup_store(old.vm)
+            old.stop(release_vm=True)
+        system.drop_backup(op.old_slot.uid)
+        if system.detector is not None:
+            system.detector.tracker.forget(op.old_slot.uid)
+            system.detector.policy.forget_slot(op.old_slot.uid)
+
+    def _chunk_drained(
+        self,
+        op: Reconfiguration,
+        chunk: MigrationChunk,
+        target: "OperatorInstance",
+    ) -> None:
+        """The target re-processed every replay of one committed chunk."""
+        if op.finished:
+            return
+        op.pending_drain_uids.discard(target.uid)
+        fluid = op.fluid
+        assert fluid is not None
+        if op.aborted:
+            # The migration died while this (already committed) chunk
+            # drained; the kept target returns to the healthy default.
+            target.replay_mode = REPLAY_DROP
+            return
+        if chunk.final:
+            self._finish(op)
+            return
+        # Drop any late stragglers of this wave until the next commit
+        # re-arms dedup mode for its own replay set.
+        target.replay_mode = REPLAY_DROP
+        fluid.next_index = chunk.index + 1
+        self._next_chunk(op)
+
+    def _chunk_deadline(self, op: Reconfiguration, index: int) -> None:
+        """A chunk outlived ``chunk_timeout`` before committing."""
+        if op.aborted or op.finished:
+            return
+        fluid = op.fluid
+        if fluid is None or fluid.committed_chunks > index:
+            return
+        self._abort_fluid(op, f"chunk {index} deadline exceeded")
+
+    def _abort_fluid(self, op: Reconfiguration, why: str) -> None:
+        """Abort a fluid migration to a *consistent* routing state.
+
+        Chunks whose routing swap committed stay committed — their
+        targets are live partitions already serving traffic, each with a
+        backup from its commit.  Everything else unwinds: the in-flight
+        chunk's state returns to the live source (or stays covered by
+        the source's frozen backup if the source died), parked tuples
+        re-enter the source's queue, and chunk-less targets are torn
+        down with their slots unregistered.
+        """
+        if op.aborted or op.finished:
+            return
+        system = self.system
+        qm = system.query_manager
+        plan = op.plan
+        fluid = op.fluid
+        assert fluid is not None
+        op.aborted = True
+        if op in self._active:
+            self._active.remove(op)
+        self.operations_aborted += 1
+        self._busy_slots.pop(op.old_slot.uid, None)
+        self._cancel_timers(op)
+        old = fluid.old
+        chunk = fluid.in_flight
+        if old.alive and old.vm.alive:
+            if chunk is not None:
+                # The uncommitted chunk never took effect anywhere (the
+                # arrival callback checks ``op.aborted``): its extracted
+                # state goes straight back into the live source.
+                old.reabsorb_state(chunk.checkpoint.state)
+            for tup in old.abort_parking():
+                old.reinject(tup)
+            old.start_checkpointing()
+        else:
+            old.abort_parking()
+        # The source's frozen backup still holds every migrated key;
+        # strip the committed ranges so a later restore of the source
+        # cannot resurrect state that now lives on the kept targets.
+        stale = system.backup_of(op.old_slot.uid)
+        if stale is not None and fluid.committed_intervals:
+            stale.state.extract(fluid.committed_intervals)
+        system.trim_locks.discard(op.old_slot.uid)
+        keep_vms: set[int] = set()
+        for target_index, slot in enumerate(op.new_slots):
+            target = fluid.targets.get(target_index)
+            if target is not None:
+                # At least one chunk committed (deploy and first commit
+                # are atomic): this is a live partition now.  It keeps
+                # its VM and backup; a drain in flight completes on its
+                # own (see the aborted branch of ``_chunk_drained``).
+                keep_vms.add(op.vms[target_index].vm_id)
+                if target.uid not in op.pending_drain_uids:
+                    target.replay_mode = REPLAY_DROP
+            else:
+                qm.replace_slots(plan.op_name, [slot], [])
+                system.drop_backup(slot.uid)
+        for vm in op.vms:
+            if vm.vm_id not in keep_vms:
+                system.pool.give_back(vm)
+        op.vms = [vm for vm in op.vms if vm.vm_id in keep_vms]
+        system.metrics.mark_event(
+            system.sim.now,
+            "scale_out_aborted",
+            f"{plan.op_name}: {why} "
+            f"(kept {fluid.committed_chunks}/{fluid.total} chunks)",
+        )
+        op.timeline.enter(PHASE_ABORTED, system.sim.now)
+        op.timeline.close(system.sim.now, "aborted")
+        op.phase = PHASE_ABORTED
+        self._notify(op, PHASE_ABORTED)
 
     # ------------------------------------------------------------- RESTORE
 
@@ -1093,6 +1688,7 @@ class ReconfigurationEngine:
         system = self.system
         plan = op.plan
         op.finished = True
+        self._cancel_timers(op)
         if op in self._active:
             self._active.remove(op)
         origin = (
@@ -1161,11 +1757,19 @@ class ReconfigurationEngine:
                 self._abort(op, "backup VM retired")
 
     def _abort(self, op: Reconfiguration, why: str) -> None:
-        if op.committed or op.aborted or op.finished:
+        if op.aborted or op.finished:
+            return
+        if op.fluid is not None:
+            # Fluid migrations commit chunk by chunk; their abort keeps
+            # the committed chunks instead of unwinding everything.
+            self._abort_fluid(op, why)
+            return
+        if op.committed:
             return
         system = self.system
         plan = op.plan
         op.aborted = True
+        self._cancel_timers(op)
         if op in self._active:
             self._active.remove(op)
         if plan.state_source == SOURCE_MERGE:

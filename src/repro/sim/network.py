@@ -51,6 +51,10 @@ if TYPE_CHECKING:  # pragma: no cover - typing only
 #: Message kinds. Fault plans apply to the data plane only.
 KIND_DATA = "data"
 KIND_CONTROL = "control"
+#: State-migration chunks (fluid scale out / recovery transfers).  Like
+#: control traffic they ride the reliable RPC layer, but they are counted
+#: separately so the chunk-transfer overhead of a migration is visible.
+KIND_MIGRATION = "migration"
 
 
 @dataclass
@@ -90,6 +94,9 @@ class Network:
         self.messages_dropped = 0
         self.messages_duplicated = 0
         self.bytes_sent = 0.0
+        #: Chunk accounting for fluid state migration (kind="migration").
+        self.migration_messages = 0
+        self.migration_bytes = 0.0
         #: Per-edge accounting, keyed by (src vm_id | None, dst vm_id).
         self.edge_stats: dict[tuple[int | None, int], EdgeStats] = {}
         self.fault_plan: "NetworkFaultPlan | None" = None
@@ -160,6 +167,9 @@ class Network:
         stats = self.edge(src, dst)
         self.messages_sent += 1
         stats.sent += 1
+        if kind == KIND_MIGRATION:
+            self.migration_messages += 1
+            self.migration_bytes += size_bytes
         src_id = src.vm_id if src is not None else None
         meta = (src_id, dst.vm_id, size_bytes, kind, self.sim.now)
         if src is not None and not src.alive:

@@ -1,0 +1,201 @@
+"""Unit tests for the StateMover layer (planning, wire slicing) and the
+state primitives fluid migration leans on (extract, shared adoption).
+
+The copy-on-write lineage matters here: a chunk's value objects travel
+snapshot → extract → ship → absorb *without copying*, so the frozen
+pre-migration checkpoint, the in-flight chunk and the absorbing target
+all alias the same containers.  Adoption must therefore never claim
+private ownership — the regression tests at the bottom pin that down.
+"""
+
+from repro.config import MigrationConfig
+from repro.core.checkpoint import Checkpoint
+from repro.core.migration import StateMover, _slice_checkpoint
+from repro.core.state import KeyInterval, ProcessingState
+from repro.core.tuples import KEY_SPACE, stable_hash
+
+
+def mover() -> StateMover:
+    return StateMover(system=None)  # planning paths never touch the system
+
+
+def state_with(n: int) -> ProcessingState:
+    state = ProcessingState(positions={1: 100}, out_clock=7)
+    for i in range(n):
+        state[f"key-{i}"] = {0: i}
+    return state
+
+
+class TestChunkCount:
+    def test_empty_transfer_is_one_message(self):
+        assert mover().chunk_count(0, MigrationConfig(max_chunks=8)) == 1
+
+    def test_default_config_is_all_at_once(self):
+        assert mover().chunk_count(100_000, MigrationConfig()) == 1
+
+    def test_never_more_chunks_than_entries(self):
+        assert mover().chunk_count(3, MigrationConfig(max_chunks=8)) == 3
+
+    def test_chunk_entries_targets_a_size(self):
+        cfg = MigrationConfig(chunk_entries=10, max_chunks=100)
+        assert mover().chunk_count(95, cfg) == 10  # ceil(95/10)
+
+    def test_max_chunks_caps_chunk_entries(self):
+        cfg = MigrationConfig(chunk_entries=10, max_chunks=4)
+        assert mover().chunk_count(95, cfg) == 4
+
+
+class TestPlanFluidChunks:
+    def test_all_at_once_returns_the_range_unchanged(self):
+        intervals = [KeyInterval.full()]
+        groups = mover().plan_fluid_chunks(
+            intervals, state_with(50), MigrationConfig()
+        )
+        assert groups == [intervals]
+
+    def test_groups_tile_the_range_and_partition_the_entries(self):
+        state = state_with(200)
+        groups = mover().plan_fluid_chunks(
+            [KeyInterval.full()], state, MigrationConfig(max_chunks=6)
+        )
+        assert 1 < len(groups) <= 6
+        # Disjoint, sorted, full coverage.
+        flat = [iv for group in groups for iv in group]
+        flat.sort(key=lambda iv: iv.lo)
+        assert flat[0].lo == 0 and flat[-1].hi == KEY_SPACE
+        for lhs, rhs in zip(flat, flat[1:]):
+            assert lhs.hi == rhs.lo
+        # Every entry falls in exactly one group; the guided split keeps
+        # the per-chunk entry counts roughly balanced.
+        counts = []
+        for group in groups:
+            keys = [
+                k
+                for k in state.entries
+                if any(stable_hash(k) in iv for iv in group)
+            ]
+            counts.append(len(keys))
+        assert sum(counts) == len(state)
+        assert min(counts) >= 1
+
+    def test_sub_range_migration_only_cuts_the_owned_intervals(self):
+        left, right = KeyInterval.full().split(2)
+        state = state_with(100)
+        groups = mover().plan_fluid_chunks(
+            [left], state, MigrationConfig(max_chunks=4)
+        )
+        for group in groups:
+            for iv in group:
+                assert iv.lo >= left.lo and iv.hi <= left.hi
+
+
+class TestSliceCheckpoint:
+    def make_checkpoint(self, n: int) -> Checkpoint:
+        return Checkpoint(
+            op_name="counter",
+            slot_uid=3,
+            state=state_with(n),
+            buffers={"down": object()},
+            taken_at=1.0,
+            seq=5,
+        )
+
+    def test_slices_partition_the_entries(self):
+        ckpt = self.make_checkpoint(10)
+        slices = _slice_checkpoint(ckpt, 3)
+        assert [len(s.state) for s in slices] == [4, 3, 3]
+        seen = set()
+        for s in slices:
+            assert not (seen & set(s.state.entries))
+            seen |= set(s.state.entries)
+        assert seen == set(ckpt.state.entries)
+
+    def test_values_are_shared_not_copied(self):
+        ckpt = self.make_checkpoint(6)
+        slices = _slice_checkpoint(ckpt, 2)
+        for s in slices:
+            for key, value in s.state.entries.items():
+                assert value is ckpt.state.entries[key]
+
+    def test_buffers_ride_the_final_slice_only(self):
+        ckpt = self.make_checkpoint(6)
+        slices = _slice_checkpoint(ckpt, 3)
+        assert [s.buffers for s in slices[:-1]] == [{}, {}]
+        assert slices[-1].buffers is ckpt.buffers
+
+    def test_positions_and_clock_ride_every_slice(self):
+        ckpt = self.make_checkpoint(4)
+        for s in _slice_checkpoint(ckpt, 2):
+            assert s.state.positions == {1: 100}
+            assert s.state.out_clock == 7
+            assert (s.op_name, s.slot_uid, s.seq) == ("counter", 3, 5)
+
+    def test_more_chunks_than_entries_clamps(self):
+        ckpt = self.make_checkpoint(2)
+        assert len(_slice_checkpoint(ckpt, 10)) == 2
+
+
+class TestExtract:
+    def test_extract_moves_exactly_the_in_range_entries(self):
+        state = state_with(60)
+        left, right = KeyInterval.full().split(2)
+        taken = state.extract([left])
+        for key in taken.entries:
+            assert stable_hash(key) in left
+        for key in state.entries:
+            assert stable_hash(key) in right
+        assert len(taken) + len(state) == 60
+        assert taken.positions == {1: 100} and taken.out_clock == 7
+
+    def test_extracted_keys_are_dirty_marked_as_deletions(self):
+        state = state_with(40)
+        state.enable_dirty_tracking()
+        state.consume_dirty()
+        taken = state.extract([KeyInterval.full()])
+        assert state.consume_dirty() == set(taken.entries)
+
+
+class TestSharedAdoption:
+    """Regression: an absorbed chunk's values alias the frozen
+    pre-migration checkpoint, so the target must copy on first mutation
+    — a plain write would claim ownership and corrupt the rollback
+    backups cut from that frozen state."""
+
+    def test_adopted_value_mutation_does_not_reach_the_frozen_snapshot(self):
+        live = ProcessingState()
+        live["w1"] = {3: 1}
+        frozen = live.snapshot()  # pre-migration checkpoint (CoW)
+        chunk = live.extract([KeyInterval.full()])  # ship the chunk
+
+        target = ProcessingState()
+        for key, value in chunk.share_all().items():
+            target.adopt(key, value)
+        target["w1"][3] = 99  # in-place mutation at the target
+
+        assert frozen.entries["w1"] == {3: 1}
+        assert target.entries["w1"] == {3: 99}
+
+    def test_reabsorbed_value_mutation_does_not_reach_the_frozen_snapshot(self):
+        live = ProcessingState()
+        live["w1"] = {3: 1}
+        frozen = live.snapshot()
+        chunk = live.extract([KeyInterval.full()])
+
+        # Abort path: the source adopts the chunk back, then keeps
+        # processing — its mutations must not leak into the backup.
+        for key, value in chunk.share_all().items():
+            live.adopt(key, value)
+        live["w1"][3] = 42
+
+        assert frozen.entries["w1"] == {3: 1}
+        assert live.entries["w1"] == {3: 42}
+
+    def test_plain_write_claims_ownership_but_adopt_does_not(self):
+        state = ProcessingState()
+        owned = {0: 1}
+        state["mine"] = owned
+        assert state["mine"] is owned  # private: no copy on access
+        shared = {0: 2}
+        state.adopt("theirs", shared)
+        assert state["theirs"] is not shared  # shared: copied on access
+        assert state["theirs"] == {0: 2}

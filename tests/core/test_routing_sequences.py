@@ -79,3 +79,98 @@ def test_every_key_routes_to_exactly_one_target(ops, key):
         if interval.contains_key(key)
     ]
     assert owners == [target]
+
+
+# --------------------------------------------------------------------------
+# Partial swaps (fluid migration): split_off moves sub-intervals one chunk
+# at a time, so routing passes through many intermediate states.  Every one
+# of them must tile the key space, stay coalesced, and route each position
+# to exactly the side of the migration that currently owns it.
+
+
+def _assert_coalesced(routing: RoutingState) -> None:
+    entries = list(routing)
+    for (lhs, lt), (rhs, rt) in zip(entries, entries[1:]):
+        assert not (lt == rt and lhs.hi == rhs.lo), (
+            f"adjacent same-target entries not coalesced: {lhs}->{lt}, {rhs}->{rt}"
+        )
+
+
+@given(
+    st.integers(min_value=2, max_value=12).flatmap(
+        lambda k: st.permutations(list(range(k)))
+    )
+)
+@settings(max_examples=60, deadline=None)
+def test_chunked_split_off_commits_in_any_order(order):
+    """Committing the chunks of a fluid migration in *any* order keeps
+    routing consistent at every intermediate step and converges to the
+    same fully-migrated state."""
+    chunks = KeyInterval.full().split(len(order))
+    routing = RoutingState.single(0)
+    committed: list[KeyInterval] = []
+    for index in order:
+        routing = routing.split_off(0, [chunks[index]], 1)
+        committed.append(chunks[index])
+        _assert_coalesced(routing)
+        assert sum(i.width for i, _t in routing) == KEY_SPACE
+        for piece in chunks:
+            probes = (piece.lo, piece.lo + piece.width // 2, piece.hi - 1)
+            want = 1 if piece in committed else 0
+            assert all(routing.route_position(p) == want for p in probes)
+    # Old target fully evacuated; the survivor coalesces to one interval.
+    assert routing.intervals_of(0) == []
+    assert routing.intervals_of(1) == [KeyInterval.full()]
+    assert len(routing) == 1
+
+
+@given(
+    st.integers(min_value=2, max_value=10),
+    st.lists(st.integers(min_value=0, max_value=10_000), min_size=1, max_size=20),
+)
+@settings(max_examples=60, deadline=None)
+def test_interleaved_partial_swaps_route_every_position_once(parts, picks):
+    """Repeated partial swaps between rotating targets: the key space
+    stays fully covered, disjoint, and coalesced after every swap."""
+    chunks = KeyInterval.full().split(parts)
+    routing = RoutingState.single(0)
+    next_uid = 1
+    for pick in picks:
+        piece = chunks[pick % len(chunks)]
+        owner = routing.route_position(piece.lo)
+        # The chunk may already be coalesced into a wider interval; move
+        # it only if it still lies inside one interval of its owner.
+        if not any(
+            piece.lo >= i.lo and piece.hi <= i.hi
+            for i in routing.intervals_of(owner)
+        ):
+            continue
+        routing = routing.split_off(owner, [piece], next_uid)
+        _assert_coalesced(routing)
+        assert sum(i.width for i, _t in routing) == KEY_SPACE
+        probes = (piece.lo, piece.hi - 1)
+        assert all(routing.route_position(p) == next_uid for p in probes)
+        next_uid += 1
+
+
+def test_split_off_rejects_overlapping_pieces():
+    routing = RoutingState.single(0)
+    a, b = KeyInterval(0, 100), KeyInterval(50, 150)
+    try:
+        routing.split_off(0, [a, b], 1)
+    except Exception as exc:
+        assert "overlap" in str(exc)
+    else:  # pragma: no cover - defends the assertion
+        raise AssertionError("overlapping split_off pieces were accepted")
+
+
+def test_split_off_rejects_straddling_piece():
+    left, right = KeyInterval.full().split(2)
+    routing = RoutingState([(left, 0), (right, 1)])
+    straddler = KeyInterval(left.hi - 10, left.hi + 10)
+    try:
+        routing.split_off(0, [straddler], 2)
+    except Exception as exc:
+        assert "straddles" in str(exc) or "not owned" in str(exc)
+    else:  # pragma: no cover - defends the assertion
+        raise AssertionError("straddling split_off piece was accepted")

@@ -27,9 +27,15 @@ class TestHarness:
             thr["unbatched"]["network_messages"]
         )
         assert "recovery" not in results  # smoke skips the failure run
+        migration = results["migration"]
+        assert migration["chunked"]["chunks_shipped"] > 1
+        assert migration["all_at_once"]["chunks_shipped"] == 1
+        # Chunking strictly shortens the longest stop-the-world stall.
+        assert migration["pause_reduction"] > 1.0
         on_disk = json.loads(out.read_text())
         assert on_disk["results"]["kernel"] == results["kernel"]
         assert "events/s" in render_report(report)
+        assert "migration" in render_report(report)
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ReproError):

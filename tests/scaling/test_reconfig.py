@@ -182,6 +182,53 @@ class TestPhaseDeadlines:
         assert system.reconfig.operations_aborted == 0
         assert system.reconfig.operations_completed == 1
 
+    def test_timers_disarmed_on_abort_and_late_fire_is_a_noop(self):
+        """ABORTED cancels every outstanding deadline/watchdog timer, and
+        even a timer that somehow fires late must not touch the dead
+        operation (no double abort, no phase change)."""
+        system, _gen, _col = warmed_system()
+        system.reconfig.default_phase_timeouts[PHASE_TRANSFER] = 1e-6
+        captured = []
+        system.reconfig.on_phase_change(
+            lambda op, phase: captured.append(op) if not captured else None
+        )
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        [op] = captured[:1]
+        assert op.aborted
+        # Every timer was cancelled and dropped when the op aborted.
+        assert op.timers == []
+        # A late deadline or watchdog event against the dead operation is
+        # a no-op: no second abort, no phase transition, no exception.
+        aborted_before = system.reconfig.operations_aborted
+        system.reconfig._phase_deadline(op, PHASE_TRANSFER)
+        system.reconfig._watchdog(op)
+        system.run(until=25.0)
+        assert system.reconfig.operations_aborted == aborted_before
+        assert op.phase == PHASE_ABORTED
+
+    def test_timers_disarmed_on_done(self):
+        """DONE also cancels the watchdog and any armed phase deadlines —
+        a completed operation must not linger in the event queue."""
+        system, _gen, _col = warmed_system()
+        captured = []
+        system.reconfig.on_phase_change(
+            lambda op, phase: captured.append(op) if not captured else None
+        )
+        uid = system.query_manager.slots_of("counter")[0].uid
+        assert system.scale_out.scale_out_slot(uid, 2)
+        system.run(until=20.0)
+        [op] = captured[:1]
+        assert op.finished and not op.aborted
+        assert op.timers == []
+        completed_before = system.reconfig.operations_completed
+        aborted_before = system.reconfig.operations_aborted
+        system.reconfig._watchdog(op)
+        assert system.reconfig.operations_completed == completed_before
+        assert system.reconfig.operations_aborted == aborted_before
+        assert op.phase == PHASE_DONE
+
     def test_deadline_on_a_passed_phase_is_harmless(self):
         system, _gen, _col = warmed_system()
         # PLAN completes synchronously, so its deadline always finds the
