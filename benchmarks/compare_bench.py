@@ -36,6 +36,14 @@ EXACT = [
     ("results", "migration", "chunked", "max_pause_ms"),
     ("results", "migration", "chunked", "chunks_shipped"),
     ("results", "migration", "pause_reduction"),
+    # State-backend sweep: resident-set bounds are entry counts derived
+    # purely from simulated execution, so any drift is a tiering bug.
+    ("results", "backends", "memory", "peak_resident_entries"),
+    ("results", "backends", "spill", "peak_resident_entries"),
+    ("results", "backends", "external", "peak_resident_entries"),
+    ("results", "backends", "spill", "migration_max_pause_ms"),
+    ("results", "backends", "spill", "state_io_seconds"),
+    ("results", "backends", "external", "external_write_io_seconds"),
 ]
 
 

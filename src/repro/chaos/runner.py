@@ -99,6 +99,8 @@ class ChaosRunner:
         trace_dir: str | None = None,
         batching: bool = False,
         migration_chunks: int = 1,
+        state_backend: str | None = None,
+        max_hot_entries: int = 100_000,
     ) -> None:
         if workload not in ("wordcount", "lrb"):
             raise ReproError(f"unknown chaos workload: {workload!r}")
@@ -129,6 +131,10 @@ class ChaosRunner:
         self.batching = batching
         #: Scale-outs migrate state fluidly in up to this many chunks.
         self.migration_chunks = migration_chunks
+        #: State backend kind for the whole sweep (golden included):
+        #: None/"memory", "spill" or "external" — see StateBackendConfig.
+        self.state_backend = state_backend
+        self.max_hot_entries = max_hot_entries
         self._golden = None
 
     # ------------------------------------------------------------- building
@@ -146,6 +152,9 @@ class ChaosRunner:
         config.cloud.provisioning_delay = 12.0
         config.batching.enabled = self.batching
         config.migration.max_chunks = self.migration_chunks
+        if self.state_backend is not None:
+            config.state_backend.kind = self.state_backend
+            config.state_backend.max_hot_entries = self.max_hot_entries
         return config
 
     def _build(self):
@@ -382,6 +391,49 @@ class ChaosRunner:
                     "chunk_kill",
                     f"schedule never fired: no fluid migration of "
                     f"{op_name!r} committed chunk {chunk_index}",
+                )
+            )
+        return result
+
+    def run_last_resort_kill(
+        self,
+        fail_op: str | None = None,
+        fail_at: float = 45.0,
+        seed: int = 0,
+        network_faults: bool = False,
+    ) -> ChaosRunResult:
+        """Kill an operator's primary VM *and* its backup VM back-to-back.
+
+        With both the primary and every backup copy gone, a memory-backend
+        run is unrecoverable by design (§3.3 scopes the guarantee to one
+        failure at a time).  With the external state backend the last
+        flushed cut survives in the external store, so the recovery falls
+        back to the restore-of-last-resort path; the run is audited like
+        any other chaos run and must additionally have taken that path
+        (a ``recovery_external`` event).
+        """
+        if fail_op is None:
+            fail_op = "counter" if self.workload == "wordcount" else "toll_calc"
+        system, query = self._build()
+        plan = None
+        if network_faults:
+            plan = self._fault_plan(seed)
+            system.network.install_fault_plan(plan)
+        slot_uid = system.query_manager.slots_of(fail_op)[0].uid
+        system.injector.fail_target_at(lambda: system.vm_of(fail_op), fail_at)
+        # The backup VM dies right behind the primary — before detection
+        # (1 s) lets the recovery read the backup store.
+        system.injector.fail_target_at(
+            lambda: system.backup_locations.get(slot_uid), fail_at + 0.05
+        )
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=plan)
+        if not system.metrics.events_of_kind("recovery_external"):
+            result.violations.append(
+                Violation(
+                    "last_resort",
+                    f"no external-tier restore happened for {fail_op!r} "
+                    "(source and backup VMs were both killed)",
                 )
             )
         return result

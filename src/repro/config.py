@@ -26,6 +26,16 @@ _STRATEGIES = (
     STRATEGY_NONE,
 )
 
+#: State backend kinds accepted by :class:`StateBackendConfig`.
+STATE_BACKEND_MEMORY = "memory"
+STATE_BACKEND_SPILL = "spill"
+STATE_BACKEND_EXTERNAL = "external"
+_STATE_BACKENDS = (
+    STATE_BACKEND_MEMORY,
+    STATE_BACKEND_SPILL,
+    STATE_BACKEND_EXTERNAL,
+)
+
 
 @dataclass
 class CheckpointConfig:
@@ -210,6 +220,52 @@ class MigrationConfig:
 
 
 @dataclass
+class StateBackendConfig:
+    """Tiered operator-state backend selection (§3.3 spill / persist).
+
+    Every stateful operator instance keeps its processing state behind a
+    :mod:`repro.core.backend` StateBackend.  ``memory`` is today's
+    copy-on-write in-memory dict and the bit-compatible default.
+    ``spill`` bounds the hot (memory) tier to ``max_hot_entries`` and
+    moves cold entries to a simulated disk tier, charging every
+    spill/fault as VM I/O time.  ``external`` additionally writes every
+    update through to a run-wide :class:`ExternalStateStore` that
+    survives all VM deaths, enabling recovery of last resort when the
+    source *and* every backup are gone.
+    """
+
+    #: "memory", "spill" or "external".
+    kind: str = STATE_BACKEND_MEMORY
+    #: Hot-tier bound for the spill/external backends.
+    max_hot_entries: int = 100_000
+    #: Simulated disk seconds per entry spilled or faulted back in.
+    io_seconds_per_entry: float = 5e-6
+    #: External-store seconds per entry written through (persist).
+    write_seconds_per_entry: float = 2e-5
+    #: External-store seconds per entry read back (restore of last resort).
+    read_seconds_per_entry: float = 2e-5
+    #: Restrict the backend to these operator names (None = all stateful
+    #: operators; sources and sinks always stay in memory).
+    operators: tuple[str, ...] | None = None
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.kind not in _STATE_BACKENDS:
+            raise ConfigurationError(
+                f"unknown state backend {self.kind!r}; "
+                f"expected one of {_STATE_BACKENDS}"
+            )
+        if self.max_hot_entries < 1:
+            raise ConfigurationError(
+                f"max_hot_entries must be >= 1: {self.max_hot_entries}"
+            )
+        if self.io_seconds_per_entry < 0:
+            raise ConfigurationError("io_seconds_per_entry must be >= 0")
+        if self.write_seconds_per_entry < 0 or self.read_seconds_per_entry < 0:
+            raise ConfigurationError("external store costs must be >= 0")
+
+
+@dataclass
 class CloudConfig:
     """IaaS provider and VM pool (§5.2)."""
 
@@ -245,6 +301,7 @@ class SystemConfig:
     cloud: CloudConfig = field(default_factory=CloudConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
     migration: MigrationConfig = field(default_factory=MigrationConfig)
+    state_backend: StateBackendConfig = field(default_factory=StateBackendConfig)
     #: Master seed for all randomness in the run.
     seed: int = 0
     #: Per-instance input queue bound in tuples (weighted).  ``None``
@@ -266,6 +323,7 @@ class SystemConfig:
         self.cloud.validate()
         self.batching.validate()
         self.migration.validate()
+        self.state_backend.validate()
         if self.queue_capacity is not None and self.queue_capacity <= 0:
             raise ConfigurationError("queue_capacity must be positive or None")
         if self.latency_sample_every < 1:

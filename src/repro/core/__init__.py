@@ -1,7 +1,19 @@
 """Core data model and state management primitives of the paper."""
 
 from repro.core.analysis import CostModel, OperatorEstimate, critical_path, to_dot, to_networkx
-from repro.core.checkpoint import BackupStore, Checkpoint, materialize_increment
+from repro.core.backend import (
+    ExternalBackend,
+    MemoryBackend,
+    SpillBackend,
+    StateBackend,
+    backend_for,
+)
+from repro.core.checkpoint import (
+    BackupStore,
+    Checkpoint,
+    from_external_store,
+    materialize_increment,
+)
 from repro.core.execution import ExecutionGraph, Slot
 from repro.core.join import (
     SIDE_LEFT,
@@ -41,9 +53,10 @@ from repro.core.window import (
 
 __all__ = [
     "BackupStore",
-    "CostModel",
     "Checkpoint",
+    "CostModel",
     "ExecutionGraph",
+    "ExternalBackend",
     "ExternalStateStore",
     "FilterOperator",
     "FlatMapOperator",
@@ -53,6 +66,7 @@ __all__ = [
     "KeyedReducer",
     "LambdaOperator",
     "MapOperator",
+    "MemoryBackend",
     "Operator",
     "OperatorContext",
     "OperatorEstimate",
@@ -65,13 +79,17 @@ __all__ = [
     "SideTagger",
     "SlidingWindowAccumulator",
     "Slot",
+    "SpillBackend",
     "SpillableState",
+    "StateBackend",
     "TopKOperator",
     "Tuple",
     "WindowAccumulator",
     "WindowedJoinOperator",
     "WindowedKeyedCounter",
+    "backend_for",
     "critical_path",
+    "from_external_store",
     "linear_query",
     "materialize_increment",
     "merge_checkpoints",
@@ -82,9 +100,9 @@ __all__ = [
     "stable_hash",
     "tag_left",
     "tag_right",
-    "total_weight",
     "to_dot",
     "to_networkx",
+    "total_weight",
     "window_index",
     "window_start",
 ]

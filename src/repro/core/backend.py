@@ -1,0 +1,239 @@
+"""Pluggable tiered state backends (§3.3 spill / persist, unified).
+
+Every stateful operator instance keeps its processing state θ behind a
+:class:`StateBackend`.  The backend decides *where entries live* — pure
+memory, a bounded hot tier with a disk spill tier, or a write-through
+external store — while the state-management primitives (checkpoint,
+partition, extract, merge, restore) keep operating on the same
+:class:`ProcessingState` protocol.  Three implementations:
+
+* :class:`MemoryBackend` — today's copy-on-write in-memory dict.  The
+  default, and deliberately a pass-through: it returns exactly what the
+  operator's ``initial_state()`` built and restores exactly the way the
+  runtime always did, so default behaviour is bit-identical.
+* :class:`SpillBackend` — wraps operator state in a
+  :class:`SpillableState`: the hot tier is bounded by
+  ``max_hot_entries``, cold entries spill to a simulated disk tier, and
+  every spill/fault/cold read is charged to the hosting VM through the
+  ``io_cost`` callback.
+* :class:`ExternalBackend` — a SpillBackend that additionally flushes
+  every checkpoint cut (entries + τ vector + output clock) through to a
+  run-wide :class:`ExternalStateStore`.  The external tier survives all
+  VM deaths, so it serves as a recovery source of last resort when the
+  failed operator's backup VM died too (see
+  ``scaling/reconfig.py``); because each flush is a consistent
+  checkpoint cut, a last-resort restore replays and dedups exactly like
+  a restore from backup.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING, Any, Callable
+
+from repro.config import (
+    STATE_BACKEND_EXTERNAL,
+    STATE_BACKEND_MEMORY,
+    STATE_BACKEND_SPILL,
+    StateBackendConfig,
+)
+from repro.core.spill import ExternalStateStore, SpillableState
+from repro.core.state import ProcessingState
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.checkpoint import Checkpoint
+    from repro.core.operator import Operator
+
+
+class StateBackend:
+    """Where an operator's state entries live, and what access costs.
+
+    The runtime talks to state through this seam at exactly three
+    points: building the initial state, re-materialising state from a
+    restored checkpoint, and the post-checkpoint hook (used by the
+    external tier to flush the cut).  Everything else — reads, writes,
+    snapshots, chunk extraction — goes through the
+    :class:`ProcessingState` protocol of the state the backend built.
+    """
+
+    kind = STATE_BACKEND_MEMORY
+
+    def initial_state(self, operator: "Operator") -> ProcessingState:
+        """Build the state a fresh instance of ``operator`` starts with."""
+        raise NotImplementedError
+
+    def restore(self, checkpoint_state: ProcessingState) -> ProcessingState:
+        """Re-materialise backend-managed state from a checkpoint's state."""
+        raise NotImplementedError
+
+    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
+        """Hook invoked after every checkpoint cut (default: nothing)."""
+
+    def tier_stats(self, state: ProcessingState) -> dict[str, int]:
+        """Per-tier entry counts and I/O counters for telemetry."""
+        if isinstance(state, SpillableState):
+            return {
+                "hot_entries": state.hot_entries,
+                "cold_entries": state.spilled_entries,
+                "peak_hot_entries": state.peak_hot_entries,
+                "spills": state.spill_count,
+                "faults": state.fault_count,
+                "cold_reads": state.cold_read_count,
+            }
+        return {
+            "hot_entries": len(state),
+            "cold_entries": 0,
+            "peak_hot_entries": len(state),
+            "spills": 0,
+            "faults": 0,
+            "cold_reads": 0,
+        }
+
+
+class MemoryBackend(StateBackend):
+    """The in-memory default: a pass-through around today's behaviour."""
+
+    kind = STATE_BACKEND_MEMORY
+
+    def initial_state(self, operator: "Operator") -> ProcessingState:
+        return operator.initial_state()
+
+    def restore(self, checkpoint_state: ProcessingState) -> ProcessingState:
+        # Snapshot isolates the live state from the stored checkpoint —
+        # identical to the pre-backend restore path.
+        return checkpoint_state.snapshot()
+
+
+class SpillBackend(StateBackend):
+    """Bounded hot tier + disk spill tier, I/O charged to the VM."""
+
+    kind = STATE_BACKEND_SPILL
+
+    def __init__(
+        self,
+        config: StateBackendConfig,
+        io_cost: Callable[[float], None] | None = None,
+    ) -> None:
+        self.config = config
+        self.io_cost = io_cost
+
+    def initial_state(self, operator: "Operator") -> ProcessingState:
+        base = operator.initial_state()
+        return self._wrap(base)
+
+    def restore(self, checkpoint_state: ProcessingState) -> ProcessingState:
+        # Isolate from the stored checkpoint first (plain, flat), then
+        # re-adopt entry by entry so the LRU/spill bookkeeping runs and
+        # the restore pays its disk writes for everything beyond the hot
+        # bound — the hot tier never exceeds ``max_hot_entries``.
+        return self._wrap(checkpoint_state.snapshot())
+
+    def _wrap(self, flat: ProcessingState) -> SpillableState:
+        state = SpillableState(
+            positions=flat.positions,
+            out_clock=flat.out_clock,
+            max_hot_entries=self.config.max_hot_entries,
+            io_seconds_per_entry=self.config.io_seconds_per_entry,
+            io_cost=self.io_cost,
+        )
+        for key, value in flat.entries.items():
+            state[key] = value
+        return state
+
+
+class ExternalBackend(SpillBackend):
+    """Spill tiering plus write-through persist of every checkpoint cut.
+
+    Each checkpoint flush persists the cut's entries (incremental cuts
+    persist the delta and delete the cut's deleted keys), then records
+    the cut's τ vector and output clock as the slot's restore metadata.
+    The flush cost is charged to the VM like spill I/O.
+    """
+
+    kind = STATE_BACKEND_EXTERNAL
+
+    def __init__(
+        self,
+        config: StateBackendConfig,
+        store: ExternalStateStore,
+        op_name: str,
+        slot_uid: int,
+        io_cost: Callable[[float], None] | None = None,
+    ) -> None:
+        super().__init__(config, io_cost)
+        self.store = store
+        self.op_name = op_name
+        self.slot_uid = slot_uid
+        #: Keys this slot has persisted and not yet deleted, so a full
+        #: flush can reconcile deletions without scanning the store.
+        self._persisted: set[Any] = set()
+
+    def restore(self, checkpoint_state: ProcessingState) -> ProcessingState:
+        state = super().restore(checkpoint_state)
+        # Entries restored from a checkpoint are already in the external
+        # tier (the dead instance flushed them under the same slot uid).
+        self._persisted = set(state.keys())
+        return state
+
+    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
+        store = self.store
+        writes = 0
+        if checkpoint.incremental:
+            for key, value in checkpoint.state.entries.items():
+                store.persist(self.op_name, key, value, slot_uid=self.slot_uid)
+                self._persisted.add(key)
+                writes += 1
+            for key in checkpoint.deleted_keys:
+                if store.delete(self.op_name, key, slot_uid=self.slot_uid):
+                    writes += 1
+                self._persisted.discard(key)
+        else:
+            current = set(checkpoint.state.entries)
+            for key, value in checkpoint.state.entries.items():
+                store.persist(self.op_name, key, value, slot_uid=self.slot_uid)
+                writes += 1
+            for key in self._persisted - current:
+                if store.delete(self.op_name, key, slot_uid=self.slot_uid):
+                    writes += 1
+            self._persisted = current
+        store.save_meta(
+            self.op_name,
+            self.slot_uid,
+            checkpoint.positions,
+            checkpoint.out_clock,
+            seq=checkpoint.seq,
+        )
+        writes += 1
+        if self.io_cost is not None and writes:
+            self.io_cost(writes * store.write_seconds_per_entry)
+
+
+def backend_for(
+    config: StateBackendConfig,
+    *,
+    op_name: str,
+    slot_uid: int,
+    is_source: bool = False,
+    is_sink: bool = False,
+    io_cost: Callable[[float], None] | None = None,
+    external_store: ExternalStateStore | None = None,
+) -> StateBackend:
+    """Select the backend one instance's state lives behind.
+
+    Sources and sinks always stay in memory (their state is positions
+    and buffers, not keyed entries), as do operators excluded by
+    ``config.operators``.
+    """
+    tiered = config.kind in (STATE_BACKEND_SPILL, STATE_BACKEND_EXTERNAL)
+    applies = (
+        tiered
+        and not is_source
+        and not is_sink
+        and (config.operators is None or op_name in config.operators)
+    )
+    if not applies:
+        return MemoryBackend()
+    if config.kind == STATE_BACKEND_SPILL:
+        return SpillBackend(config, io_cost)
+    if external_store is None:
+        raise ValueError("external state backend requires an ExternalStateStore")
+    return ExternalBackend(config, external_store, op_name, slot_uid, io_cost=io_cost)

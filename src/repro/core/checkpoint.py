@@ -10,9 +10,13 @@ backup store and later partitioned (scale out) or restored (recovery).
 from __future__ import annotations
 
 from dataclasses import dataclass, field
+from typing import TYPE_CHECKING
 
-from repro.core.state import OutputBuffer, ProcessingState
+from repro.core.state import KeyInterval, OutputBuffer, ProcessingState, stable_hash
 from repro.errors import CheckpointError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.core.spill import ExternalStateStore
 
 
 @dataclass
@@ -95,6 +99,48 @@ def materialize_increment(base: Checkpoint, delta: Checkpoint) -> Checkpoint:
         buffers=delta.buffers,
         taken_at=delta.taken_at,
         seq=delta.seq,
+    )
+
+
+def from_external_store(
+    store: "ExternalStateStore",
+    op_name: str,
+    slot_uid: int,
+    intervals: list[KeyInterval] | None = None,
+    taken_at: float = 0.0,
+) -> Checkpoint | None:
+    """Synthesise a restorable checkpoint from the external state tier.
+
+    The recovery source of last resort: when the failed slot's backup VM
+    died too, its last flushed cut still lives in the external store.
+    The cut's τ vector, output clock and seq come from the flush
+    metadata, so the synthesised checkpoint replays and dedups exactly
+    like one retrieved from a backup store.  ``intervals`` restricts the
+    restored entries to the slot's own key range (other partitions of
+    the operator persist into the same namespace).  Output buffers are
+    not persisted externally — the restored instance starts with empty
+    β, which is safe under the paper's single-failure-at-a-time scope.
+
+    Returns ``None`` when the slot never flushed a cut.
+    """
+    meta = store.load_meta(op_name, slot_uid)
+    if meta is None:
+        return None
+    positions, out_clock, seq = meta
+    entries = store.restore_all(op_name)
+    if intervals is not None:
+        entries = {
+            key: value
+            for key, value in entries.items()
+            if any(stable_hash(key) in interval for interval in intervals)
+        }
+    state = ProcessingState(entries, positions=positions, out_clock=out_clock)
+    return Checkpoint(
+        op_name=op_name,
+        slot_uid=slot_uid,
+        state=state,
+        taken_at=taken_at,
+        seq=seq,
     )
 
 

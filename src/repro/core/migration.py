@@ -108,9 +108,12 @@ class StateMover:
         split of Algorithm 2); the returned groups are disjoint, sorted
         and jointly tile ``intervals``.
         """
+        # state.keys() covers every tier (a spilled operator's cold
+        # entries migrate too); iterating ``entries`` directly would plan
+        # chunks from the hot tier alone.
         positions = [
             p
-            for p in (stable_hash(key) for key in state.entries)
+            for p in (stable_hash(key) for key in state.keys())
             if any(p in interval for interval in intervals)
         ]
         chunks = self.chunk_count(len(positions), cfg)

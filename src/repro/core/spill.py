@@ -24,7 +24,7 @@ from __future__ import annotations
 from collections import OrderedDict
 from typing import Any, Callable
 
-from repro.core.state import ProcessingState
+from repro.core.state import KeyInterval, ProcessingState, stable_hash
 from repro.errors import StateError
 
 #: Default simulated disk cost per entry moved (seconds of I/O).
@@ -58,6 +58,12 @@ class SpillableState(ProcessingState):
         self._spilled: dict[Any, Any] = {}
         self.spill_count = 0
         self.fault_count = 0
+        #: Cold-tier entries read for checkpoints/extraction *without*
+        #: faulting them into the hot tier (charged, but not faults).
+        self.cold_read_count = 0
+        #: High-water mark of the hot (memory) tier — the "peak resident
+        #: entries" a real engine would need RAM for.
+        self.peak_hot_entries = len(self.entries)
 
     # ------------------------------------------------------------- access
 
@@ -103,6 +109,8 @@ class SpillableState(ProcessingState):
         self._spilled.pop(key, None)
         self.entries[key] = value
         self.entries.move_to_end(key)
+        if len(self.entries) > self.peak_hot_entries:
+            self.peak_hot_entries = len(self.entries)
         if len(self.entries) > self.max_hot_entries:
             self.spill(len(self.entries) - self.max_hot_entries)
 
@@ -156,6 +164,8 @@ class SpillableState(ProcessingState):
     def _fault_in(self, key: Any) -> Any:
         value = self._spilled.pop(key)
         self.entries[key] = value
+        if len(self.entries) > self.peak_hot_entries:
+            self.peak_hot_entries = len(self.entries)
         self.fault_count += 1
         self._charge(1)
         if len(self.entries) > self.max_hot_entries:
@@ -175,11 +185,54 @@ class SpillableState(ProcessingState):
         return self._spilled.get(key, default)
 
     def snapshot(self) -> ProcessingState:
-        """Checkpoints cover both tiers (flattened to a plain state)."""
+        """Checkpoints cover both tiers (flattened to a plain state).
+
+        Cold entries are read straight from the disk tier — they are
+        *not* faulted into the hot tier, so the peak resident (hot)
+        entry count stays bounded by ``max_hot_entries`` no matter how
+        large the cold tier is — but the disk reads are real: they are
+        charged through ``io_cost`` and reported in ``cold_read_count``.
+        """
         flat = ProcessingState(positions=self.positions, out_clock=self.out_clock)
         for key, value in self.items():
             flat.entries[key] = _copy(value)
+        cold = len(self._spilled)
+        if cold:
+            self.cold_read_count += cold
+            self._charge(cold)
         return flat
+
+    def extract(self, intervals: list[KeyInterval]) -> ProcessingState:
+        """Remove and return the entries hashing into ``intervals``.
+
+        Unlike the in-memory base class, the cold tier is scanned too —
+        a chunk extraction during fluid migration moves matching cold
+        entries straight from disk into the (plain, chunk-sized) result
+        state without faulting them through the hot tier, so migrating a
+        spilled operator never balloons its memory footprint.  Only the
+        chunk's own cold entries are charged as disk reads; unrelated
+        cold keys are untouched.
+        """
+        taken = ProcessingState(positions=self.positions, out_clock=self.out_clock)
+        for key in list(self.entries):
+            position = stable_hash(key)
+            if any(position in interval for interval in intervals):
+                taken.entries[key] = self.entries.pop(key)
+                self._private.discard(key)
+                if self.dirty is not None:
+                    self.dirty.add(key)
+        cold_moved = 0
+        for key in list(self._spilled):
+            position = stable_hash(key)
+            if any(position in interval for interval in intervals):
+                taken.entries[key] = self._spilled.pop(key)
+                cold_moved += 1
+                if self.dirty is not None:
+                    self.dirty.add(key)
+        if cold_moved:
+            self.cold_read_count += cold_moved
+            self._charge(cold_moved)
+        return taken
 
     def estimated_bytes(self, bytes_per_entry: float) -> float:
         return len(self) * bytes_per_entry
@@ -207,32 +260,94 @@ class ExternalStateStore:
         self,
         write_seconds_per_entry: float = 2e-5,
         write_cost: Callable[[float], None] | None = None,
+        read_seconds_per_entry: float = 2e-5,
+        read_cost: Callable[[float], None] | None = None,
     ) -> None:
         self._data: dict[tuple[str, Any], Any] = {}
+        #: Last writer (slot uid) per entry, so a stale flush from a slot
+        #: that no longer owns a key cannot delete the new owner's write.
+        self._writer: dict[tuple[str, Any], int | None] = {}
+        #: Consistent-cut metadata per (op_name, slot_uid): the τ vector,
+        #: output clock and checkpoint seq of the cut whose entries were
+        #: last flushed — what makes a restore-of-last-resort replayable
+        #: with exactly-once dedup, like any other checkpoint.
+        self._meta: dict[tuple[str, int], tuple[dict[int, int], int, int]] = {}
         self.write_seconds_per_entry = write_seconds_per_entry
+        self.read_seconds_per_entry = read_seconds_per_entry
         self._write_cost = write_cost
+        self._read_cost = read_cost
         self.writes = 0
         self.reads = 0
 
-    def persist(self, op_name: str, key: Any, value: Any) -> None:
+    def persist(
+        self, op_name: str, key: Any, value: Any, slot_uid: int | None = None
+    ) -> None:
         """Write-through one entry to external storage."""
         self._data[(op_name, key)] = _copy(value)
+        self._writer[(op_name, key)] = slot_uid
         self.writes += 1
         if self._write_cost is not None:
             self._write_cost(self.write_seconds_per_entry)
 
+    def delete(
+        self, op_name: str, key: Any, slot_uid: int | None = None
+    ) -> bool:
+        """Remove one entry; a ``slot_uid`` only deletes its own writes."""
+        full_key = (op_name, key)
+        if full_key not in self._data:
+            return False
+        if slot_uid is not None and self._writer.get(full_key) != slot_uid:
+            return False
+        del self._data[full_key]
+        self._writer.pop(full_key, None)
+        self.writes += 1
+        if self._write_cost is not None:
+            self._write_cost(self.write_seconds_per_entry)
+        return True
+
+    def save_meta(
+        self,
+        op_name: str,
+        slot_uid: int,
+        positions: dict[int, int],
+        out_clock: int,
+        seq: int = 0,
+    ) -> None:
+        """Record the τ vector / clock / seq of a flushed checkpoint."""
+        self._meta[(op_name, slot_uid)] = (dict(positions), out_clock, seq)
+        self.writes += 1
+        if self._write_cost is not None:
+            self._write_cost(self.write_seconds_per_entry)
+
+    def load_meta(
+        self, op_name: str, slot_uid: int
+    ) -> tuple[dict[int, int], int, int] | None:
+        """The (positions, out_clock, seq) of a slot's last flush, if any."""
+        meta = self._meta.get((op_name, slot_uid))
+        if meta is None:
+            return None
+        self.reads += 1
+        positions, out_clock, seq = meta
+        return dict(positions), out_clock, seq
+
     def lookup(self, op_name: str, key: Any, default: Any = None) -> Any:
         """Read one persisted entry."""
         self.reads += 1
+        if self._read_cost is not None:
+            self._read_cost(self.read_seconds_per_entry)
         return self._data.get((op_name, key), default)
 
     def restore_all(self, op_name: str) -> dict[Any, Any]:
         """Recovery of last resort: every persisted entry of an operator."""
-        return {
+        restored = {
             key: _copy(value)
             for (name, key), value in self._data.items()
             if name == op_name
         }
+        self.reads += len(restored)
+        if self._read_cost is not None and restored:
+            self._read_cost(len(restored) * self.read_seconds_per_entry)
+        return restored
 
     def __len__(self) -> int:
         return len(self._data)

@@ -43,6 +43,9 @@ PRESETS: dict[str, dict[str, Any]] = {
         "recovery_duration": 0.0,  # skipped
         "migration_entries": 2_000,
         "migration_chunks": 4,
+        "backend_entries": 1_000,
+        "backend_hot_entries": 100,
+        "backend_chunks": 4,
     },
     "small": {
         "kernel_events": 300_000,
@@ -53,6 +56,9 @@ PRESETS: dict[str, dict[str, Any]] = {
         "recovery_duration": 90.0,
         "migration_entries": 100_000,
         "migration_chunks": 8,
+        "backend_entries": 20_000,
+        "backend_hot_entries": 2_000,
+        "backend_chunks": 8,
     },
     "default": {
         "kernel_events": 1_000_000,
@@ -63,6 +69,9 @@ PRESETS: dict[str, dict[str, Any]] = {
         "recovery_duration": 90.0,
         "migration_entries": 100_000,
         "migration_chunks": 8,
+        "backend_entries": 50_000,
+        "backend_hot_entries": 5_000,
+        "backend_chunks": 8,
     },
 }
 
@@ -246,6 +255,141 @@ def bench_migration(entries: int, max_chunks: int) -> dict[str, Any]:
     }
 
 
+def _backend_system(
+    kind: str, max_hot: int, rate: float, max_chunks: int | None = None
+):
+    from repro.runtime.system import StreamProcessingSystem
+    from repro.workloads.wordcount import build_word_count_query
+
+    query = build_word_count_query(
+        rate=rate, window=10.0, vocabulary_size=400, quantum=0.1
+    )
+    config = SystemConfig()
+    config.scaling.enabled = False
+    if max_chunks is not None:
+        config.migration.max_chunks = max_chunks
+    config.state_backend.kind = kind
+    config.state_backend.max_hot_entries = max_hot
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    return system
+
+
+def _tier_counters(system, op_name: str) -> dict[str, int]:
+    """Sum the per-slot spill/fault/cold-read counters for ``op_name``."""
+    totals = {"spills": 0, "faults": 0, "cold_reads": 0}
+    for counter in totals:
+        prefix = f"state_{counter}:{op_name}:"
+        totals[counter] = int(
+            sum(
+                value
+                for name, value in system.metrics.counters.items()
+                if name.startswith(prefix)
+            )
+        )
+    return totals
+
+
+def _run_backend_profile(
+    kind: str,
+    entries: int,
+    max_hot: int,
+    max_chunks: int,
+    rate: float = 250.0,
+    until: float = 120.0,
+) -> dict[str, Any]:
+    from repro.experiments.harness import pad_counter_state
+
+    system = _backend_system(kind, max_hot, rate, max_chunks=max_chunks)
+    pad_counter_state(system, "counter", entries)
+
+    def trigger() -> None:
+        slots = system.query_manager.slots_of("counter")
+        ok = system.scale_out.scale_out_slot(slots[0].uid, 2)
+        if not ok:
+            raise ReproError("backend benchmark: scale out did not start")
+
+    scale_at = until / 2
+    system.sim.schedule_at(scale_at, trigger)
+    start = time.perf_counter()
+    system.run(until=until)
+    wall = time.perf_counter() - start
+    if system.reconfig.operations_completed < 1:
+        raise ReproError("backend benchmark: scale out did not complete")
+    pauses = system.metrics.timeseries("migration_pause:counter").values
+    peaks = system.metrics.timeseries("state_peak_hot:counter").values
+    sink = system.metrics.latencies.get("latency:sink")
+    p99 = sink.percentile(99, t_min=scale_at) if sink and len(sink) else None
+    profile: dict[str, Any] = {
+        "entries": entries,
+        "max_hot_entries": max_hot,
+        "peak_resident_entries": int(max(peaks)) if peaks else 0,
+        "chunks_shipped": max(len(pauses), 1),
+        "migration_max_pause_ms": round(max(pauses) * 1e3, 3),
+        "state_io_seconds": round(
+            system.metrics.counter("state_io:counter"), 6
+        ),
+        "external_write_io_seconds": round(
+            system.metrics.counter("external_write_io"), 6
+        ),
+        "sink_p99_ms": round(p99 * 1e3, 3) if p99 is not None else None,
+        "wall_seconds": round(wall, 3),
+    }
+    profile.update(_tier_counters(system, "counter"))
+    return profile
+
+
+def _run_backend_recovery(
+    kind: str,
+    entries: int,
+    max_hot: int,
+    rate: float = 250.0,
+    duration: float = 90.0,
+) -> dict[str, Any]:
+    from repro.experiments.harness import pad_counter_state
+
+    system = _backend_system(kind, max_hot, rate)
+    pad_counter_state(system, "counter", entries)
+    fail_at = duration / 2
+    system.injector.fail_target_at(lambda: system.vm_of("counter"), fail_at)
+    system.run(until=duration)
+    failures = system.metrics.events_of_kind("failure")
+    recoveries = system.metrics.events_of_kind("recovery_complete")
+    if not failures or not recoveries:
+        raise ReproError("backend recovery benchmark saw no failure/recovery")
+    return {
+        "failed_at": round(failures[0][0], 3),
+        "recovered_at": round(recoveries[0][0], 3),
+        "sim_recovery_seconds": round(recoveries[0][0] - failures[0][0], 3),
+    }
+
+
+def bench_backends(
+    entries: int, max_hot: int, max_chunks: int, recovery_duration: float
+) -> dict[str, Any]:
+    """State-backend sweep: memory vs spill vs external tiering.
+
+    Each backend scales a padded ``entries``-entry counter (10x the
+    spill hot bound) from one to two partitions mid-run via fluid
+    chunked migration, then separately recovers it from a mid-run VM
+    crash.  ``peak_resident_entries`` is the headline number: the
+    memory backend keeps all O(total) entries resident, while the
+    tiered backends bound the hot tier at O(max_hot_entries + chunk) —
+    checkpoints and chunked migration stream the cold tier without
+    faulting it in.  All numbers except ``wall_seconds`` are simulated
+    time or entry counts, hence exact and seeded.
+    """
+    out: dict[str, Any] = {}
+    for kind in ("memory", "spill", "external"):
+        profile = _run_backend_profile(kind, entries, max_hot, max_chunks)
+        if recovery_duration > 0:
+            profile["recovery"] = _run_backend_recovery(
+                kind, entries, max_hot, duration=recovery_duration
+            )
+        out[kind] = profile
+    return out
+
+
 def bench_recovery(rate: float, duration: float) -> dict[str, Any]:
     """Simulated-time recovery latency (deterministic) plus the
     wall-clock cost of running the failure schedule batched."""
@@ -283,6 +427,12 @@ def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
             ),
             "migration": bench_migration(
                 params["migration_entries"], params["migration_chunks"]
+            ),
+            "backends": bench_backends(
+                params["backend_entries"],
+                params["backend_hot_entries"],
+                params["backend_chunks"],
+                params["recovery_duration"],
             ),
         },
     }
@@ -330,6 +480,23 @@ def render_report(report: dict[str, Any]) -> str:
             f"shorter stalls (sink p99 {one['sink_p99_ms']}ms -> "
             f"{many['sink_p99_ms']}ms)"
         )
+    backends = results.get("backends")
+    if backends:
+        for kind, row in backends.items():
+            recovery = row.get("recovery")
+            tail = (
+                f", recovery {recovery['sim_recovery_seconds']}s"
+                if recovery
+                else ""
+            )
+            lines.append(
+                f"  backend {kind}: peak resident "
+                f"{row['peak_resident_entries']}/{row['entries']} entries "
+                f"(hot bound {row['max_hot_entries']}), "
+                f"{row['chunks_shipped']} chunks max pause "
+                f"{row['migration_max_pause_ms']}ms, state io "
+                f"{row['state_io_seconds']}s{tail}"
+            )
     recovery = results.get("recovery")
     if recovery:
         lines.append(

@@ -106,6 +106,28 @@ class Telemetry:
         record.update(fields)
         self.log.emit(kind, time=time, **record)
 
+    def state_tiers(
+        self, op_name: str, slot_uid: int, stats: dict[str, int]
+    ) -> None:
+        """Publish one instance's tiered-state stats (per checkpoint cut).
+
+        Per-operator time series track hot/cold entry counts and the
+        hot-tier high-water mark over time; the spill/fault/cold-read
+        counters land as monotone counters so dashboards (and the bench
+        sweep) can read totals without replaying the series.
+        """
+        t = self.now()
+        self.timeseries(f"state_hot:{op_name}").record(t, stats["hot_entries"])
+        self.timeseries(f"state_cold:{op_name}").record(t, stats["cold_entries"])
+        self.timeseries(f"state_peak_hot:{op_name}").record(
+            t, stats["peak_hot_entries"]
+        )
+        for counter in ("spills", "faults", "cold_reads"):
+            name = f"state_{counter}:{op_name}:{slot_uid}"
+            previous = self.counter(name)
+            if stats[counter] > previous:
+                self.increment(name, stats[counter] - previous)
+
     # ------------------------------------------------------ span facade
 
     def start_span(

@@ -18,6 +18,7 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.core.backend import backend_for
 from repro.core.checkpoint import Checkpoint
 from repro.core.operator import Operator, OperatorContext
 from repro.core.state import (
@@ -79,7 +80,19 @@ class OperatorInstance:
         #: nothing until promoted.
         self.is_replica = False
         self.status = InstanceStatus.RUNNING
-        self.state: ProcessingState = operator.initial_state()
+        #: Where this instance's state entries live (memory / spill /
+        #: external tiers) — see :mod:`repro.core.backend`.  The default
+        #: memory backend is a pass-through around ``initial_state()``.
+        self.backend = backend_for(
+            system.config.state_backend,
+            op_name=operator.name,
+            slot_uid=slot.uid,
+            is_source=is_source,
+            is_sink=is_sink,
+            io_cost=self._charge_state_io,
+            external_store=system.external_store,
+        )
+        self.state: ProcessingState = self.backend.initial_state(operator)
         self.buffers: dict[str, OutputBuffer] = {
             name: OutputBuffer() for name in downstream_names
         }
@@ -761,6 +774,10 @@ class OperatorInstance:
                 self.state.enable_dirty_tracking()
                 self.state.consume_dirty()
                 self._can_increment = True
+        # Tiered backends piggyback on the cut: the external tier
+        # flushes it (a consistent, replayable cut) to durable storage.
+        self.backend.on_checkpoint(checkpoint)
+        self.record_tier_metrics()
         self.system.backup_checkpoint(self, checkpoint)
 
     def force_full_checkpoint(self) -> None:
@@ -1170,7 +1187,7 @@ class OperatorInstance:
             vm=self.vm.vm_id,
             fresh_dedup=fresh_dedup,
         )
-        self.state = checkpoint.state.snapshot()
+        self.state = self.backend.restore(checkpoint.state)
         self._replay_dedup_floor = dict(checkpoint.positions)
         self._ckpt_seq = checkpoint.seq
         for name, buf in checkpoint.buffers.items():
@@ -1205,6 +1222,31 @@ class OperatorInstance:
         buf.repartition(lambda tup: routing.route_key(tup.key))
 
     # -------------------------------------------------------------- metrics
+
+    def _charge_state_io(self, seconds: float) -> None:
+        """Charge tiered-state disk/external I/O as CPU-busy VM time.
+
+        Spills, fault-ins, cold checkpoint reads and external flushes all
+        route through here; the time lands on the hosting VM's work queue
+        (occupying the CPU like any serialisation work) and is summed in
+        the per-operator ``state_io`` time series.  A dead or released VM
+        absorbs nothing — the state object may be charged while being
+        drained post-failure, and those reads are free by then.
+        """
+        if seconds <= 0:
+            return
+        self.system.metrics.increment(f"state_io:{self.op_name}", seconds)
+        self.system.telemetry.latency(f"state_io_latency:{self.op_name}").record(
+            self.system.sim.now, seconds
+        )
+        if self.vm.alive:
+            self.vm.submit(seconds, lambda: None)
+
+    def record_tier_metrics(self) -> None:
+        """Publish per-tier entry counts and I/O counters (telemetry)."""
+        self.system.telemetry.state_tiers(
+            self.op_name, self.uid, self.backend.tier_stats(self.state)
+        )
 
     def backlog(self) -> float:
         """Weighted tuples received but not yet processed."""

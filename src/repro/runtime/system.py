@@ -22,6 +22,7 @@ from repro.config import (
 )
 from repro.core.checkpoint import BackupStore, Checkpoint
 from repro.core.query import QueryGraph
+from repro.core.spill import ExternalStateStore
 from repro.errors import DeploymentError, RuntimeStateError
 from repro.obs.log import config_fingerprint
 from repro.obs.telemetry import Telemetry
@@ -77,6 +78,17 @@ class StreamProcessingSystem:
             handout_delay=self.config.cloud.pool_handout_delay,
         )
         self.injector = FailureInjector(self.sim)
+        #: Run-wide external state store (§3.3 persist): written through
+        #: by external-backend operators at every checkpoint cut.  Unlike
+        #: the per-VM backup stores it survives every VM failure, so it
+        #: is the recovery source of last resort.
+        backend_cfg = self.config.state_backend
+        self.external_store = ExternalStateStore(
+            write_seconds_per_entry=backend_cfg.write_seconds_per_entry,
+            write_cost=lambda s: self.metrics.increment("external_write_io", s),
+            read_seconds_per_entry=backend_cfg.read_seconds_per_entry,
+            read_cost=lambda s: self.metrics.increment("external_read_io", s),
+        )
         self.query_manager = QueryManager()
         self.deployment = DeploymentManager(self)
         self.instances: dict[int, OperatorInstance] = {}

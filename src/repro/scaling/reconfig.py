@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import MigrationConfig
-from repro.core.checkpoint import BackupStore, Checkpoint
+from repro.core.checkpoint import BackupStore, Checkpoint, from_external_store
 from repro.core.execution import Slot
 from repro.core.migration import MigrationChunk, StateMover
 from repro.core.partition import partition_checkpoint, split_interval_groups
@@ -213,6 +213,9 @@ class Reconfiguration:
         # Backup-sourced state.
         self.ckpt: Checkpoint | None = None
         self.backup_vm: VirtualMachine | None = None
+        #: The checkpoint was synthesised from the external state tier
+        #: (recovery of last resort: source and backup VMs both died).
+        self.external_restore = False
         self.groups: list | None = None
         self.parts: list[Checkpoint] = []
         self.suppress: dict[int, int] | None = None
@@ -359,8 +362,22 @@ class ReconfigurationEngine:
         ):
             return False  # the operator is being merged right now
         ckpt: Checkpoint | None = None
+        external_restore = False
         if plan.state_source == SOURCE_BACKUP:
             ckpt = system.backup_of(slot_uid)
+            if ckpt is None and plan.preserve_slots:
+                # Recovery of last resort: the backup died with its VM,
+                # but an external-backend operator's last flushed cut
+                # survives in the external store.  Restore precedence is
+                # backup → external tier.
+                ckpt = self._external_checkpoint(plan.op_name, slot_uid)
+                external_restore = ckpt is not None
+                if external_restore:
+                    system.metrics.mark_event(
+                        system.sim.now,
+                        "recovery_external",
+                        f"{old.slot!r}: restoring from external tier",
+                    )
             if ckpt is None:
                 kind = "unrecoverable" if plan.preserve_slots else "scale_out_aborted"
                 system.metrics.mark_event(
@@ -382,6 +399,7 @@ class ReconfigurationEngine:
             system.sim.now,
         )
         op.ckpt = ckpt
+        op.external_restore = external_restore
         op.timeline.enter(PHASE_PLAN, system.sim.now)
         self._busy_slots[slot_uid] = plan.op_name
         if plan.state_source == SOURCE_BACKUP:
@@ -390,7 +408,7 @@ class ReconfigurationEngine:
             # buffered tuples even if the (still running) old instance
             # keeps checkpointing meanwhile.
             system.trim_locks.add(slot_uid)
-            if plan.preserve_slots:
+            if plan.preserve_slots and not external_restore:
                 op.backup_vm = system.backup_locations.get(slot_uid)
                 if op.backup_vm is not None:
                     op.backup_vm.on_failure(
@@ -426,6 +444,25 @@ class ReconfigurationEngine:
                 "scale_out_started",
                 f"{old.slot!r} -> pi={plan.parallelism} ({plan.reason})",
             )
+
+    def _external_checkpoint(
+        self, op_name: str, slot_uid: int
+    ) -> Checkpoint | None:
+        """Synthesise a restore checkpoint from the external state tier.
+
+        Only entries hashing into the slot's own routing intervals are
+        restored — other partitions of the operator persist into the
+        same per-operator namespace.
+        """
+        system = self.system
+        store = system.external_store
+        if len(store) == 0:
+            return None
+        routing = system.query_manager.routing_to(op_name)
+        intervals = routing.intervals_of(slot_uid)
+        return from_external_store(
+            store, op_name, slot_uid, intervals, taken_at=system.sim.now
+        )
 
     def _submit_merge(self, plan: ReconfigPlan) -> bool:
         system = self.system
@@ -586,7 +623,9 @@ class ReconfigurationEngine:
     def _prepare_whole_checkpoint(self, op: Reconfiguration) -> None:
         """Serial recovery: the backed-up checkpoint passes through whole,
         and the replacement keeps the failed slot's uid."""
-        if op.backup_vm is None or not op.backup_vm.alive:
+        if not op.external_restore and (
+            op.backup_vm is None or not op.backup_vm.alive
+        ):
             self._abort(op, "backup VM lost before restore")
             return
         assert op.ckpt is not None
@@ -744,7 +783,10 @@ class ReconfigurationEngine:
             # Fresh-state rebuilds have nothing to move.  Pass through.
             self._enter_restore(op)
             return
-        assert op.backup_vm is not None
+        # External-tier restores have no live source endpoint: the store
+        # is reliable storage, so the mover ships with src_vm=None (the
+        # transfer still pays network latency/bandwidth to the target).
+        assert op.backup_vm is not None or op.external_restore
         for part, slot, vm in zip(op.parts, op.new_slots, op.vms):
             self.mover.transfer(
                 op,

@@ -1,0 +1,310 @@
+"""Tests for the pluggable tiered state backends (§3.3 unified)."""
+
+import pytest
+
+from repro.config import StateBackendConfig, SystemConfig
+from repro.core.backend import (
+    ExternalBackend,
+    MemoryBackend,
+    SpillBackend,
+    backend_for,
+)
+from repro.core.checkpoint import Checkpoint, from_external_store
+from repro.core.operators import KeyedCounter
+from repro.core.spill import ExternalStateStore, SpillableState
+from repro.core.state import KeyInterval, ProcessingState, stable_hash
+
+
+def _checkpoint(entries, seq=1, slot_uid=7, **kwargs):
+    return Checkpoint(
+        op_name="counter",
+        slot_uid=slot_uid,
+        state=ProcessingState(dict(entries), positions={1: 5}, out_clock=3),
+        seq=seq,
+        **kwargs,
+    )
+
+
+class TestBackendSelection:
+    def test_default_is_memory(self):
+        backend = backend_for(StateBackendConfig(), op_name="op", slot_uid=1)
+        assert isinstance(backend, MemoryBackend)
+
+    def test_spill_kind_selects_spill(self):
+        config = StateBackendConfig(kind="spill", max_hot_entries=4)
+        backend = backend_for(config, op_name="op", slot_uid=1)
+        assert isinstance(backend, SpillBackend)
+        assert not isinstance(backend, ExternalBackend)
+
+    def test_external_kind_selects_external(self):
+        config = StateBackendConfig(kind="external")
+        backend = backend_for(
+            config, op_name="op", slot_uid=1, external_store=ExternalStateStore()
+        )
+        assert isinstance(backend, ExternalBackend)
+
+    def test_external_without_store_rejected(self):
+        with pytest.raises(ValueError):
+            backend_for(
+                StateBackendConfig(kind="external"), op_name="op", slot_uid=1
+            )
+
+    def test_sources_and_sinks_stay_in_memory(self):
+        config = StateBackendConfig(kind="spill")
+        for role in ("is_source", "is_sink"):
+            backend = backend_for(
+                config, op_name="op", slot_uid=1, **{role: True}
+            )
+            assert isinstance(backend, MemoryBackend)
+
+    def test_operator_filter(self):
+        config = StateBackendConfig(kind="spill", operators=("counter",))
+        assert isinstance(
+            backend_for(config, op_name="counter", slot_uid=1), SpillBackend
+        )
+        assert isinstance(
+            backend_for(config, op_name="join", slot_uid=1), MemoryBackend
+        )
+
+    def test_config_validation(self):
+        with pytest.raises(Exception):
+            StateBackendConfig(kind="bogus").validate()
+        with pytest.raises(Exception):
+            StateBackendConfig(max_hot_entries=0).validate()
+        config = SystemConfig()
+        config.validate()  # default state_backend validates cleanly
+
+
+class TestMemoryBackend:
+    def test_initial_state_is_operator_state(self):
+        backend = MemoryBackend()
+        state = backend.initial_state(KeyedCounter("counter"))
+        assert isinstance(state, ProcessingState)
+        assert not isinstance(state, SpillableState)
+
+    def test_restore_isolates_from_checkpoint(self):
+        backend = MemoryBackend()
+        ckpt_state = ProcessingState({"a": {"x": 1}}, positions={1: 5})
+        restored = backend.restore(ckpt_state)
+        restored["a"]["x"] = 2
+        assert ckpt_state.entries["a"] == {"x": 1}
+        assert restored.positions == {1: 5}
+
+    def test_tier_stats_flat(self):
+        backend = MemoryBackend()
+        stats = backend.tier_stats(ProcessingState({"a": 1, "b": 2}))
+        assert stats["hot_entries"] == 2
+        assert stats["cold_entries"] == 0
+
+
+class TestSpillBackend:
+    def test_initial_state_is_bounded(self):
+        config = StateBackendConfig(kind="spill", max_hot_entries=4)
+        backend = SpillBackend(config)
+        state = backend.initial_state(KeyedCounter("counter"))
+        assert isinstance(state, SpillableState)
+        assert state.max_hot_entries == 4
+
+    def test_restore_respects_hot_bound_and_charges_io(self):
+        charged = []
+        config = StateBackendConfig(
+            kind="spill", max_hot_entries=10, io_seconds_per_entry=1e-3
+        )
+        backend = SpillBackend(config, io_cost=charged.append)
+        flat = ProcessingState(
+            {f"k{i}": i for i in range(50)}, positions={1: 9}, out_clock=4
+        )
+        state = backend.restore(flat)
+        assert len(state) == 50
+        assert state.hot_entries <= 10
+        assert state.spilled_entries == 40
+        assert state.positions == {1: 9} and state.out_clock == 4
+        # 40 entries spilled past the bound, each a charged disk write.
+        assert sum(charged) == pytest.approx(40 * 1e-3)
+
+    def test_tier_stats_spillable(self):
+        config = StateBackendConfig(kind="spill", max_hot_entries=2)
+        backend = SpillBackend(config)
+        state = backend.restore(ProcessingState({f"k{i}": i for i in range(5)}))
+        stats = backend.tier_stats(state)
+        assert stats["hot_entries"] == 2
+        assert stats["cold_entries"] == 3
+        assert stats["peak_hot_entries"] <= 3
+
+
+class TestSpillableStateIO:
+    def test_snapshot_charges_cold_reads(self):
+        charged = []
+        state = SpillableState(
+            max_hot_entries=2, io_seconds_per_entry=1e-3, io_cost=charged.append
+        )
+        for i in range(5):
+            state[f"k{i}"] = i
+        charged.clear()
+        snap = state.snapshot()
+        assert len(snap) == 5
+        assert state.cold_read_count == 3
+        assert sum(charged) == pytest.approx(3 * 1e-3)
+        # The cold tier was streamed, not faulted into memory.
+        assert state.fault_count == 0
+        assert state.hot_entries == 2
+
+    def test_extract_never_faults_unrelated_cold_keys(self):
+        state = SpillableState(max_hot_entries=2)
+        keys = [f"k{i}" for i in range(20)]
+        for key in keys:
+            state[key] = key
+        halves = KeyInterval.full().split(2)
+        matching = [k for k in keys if stable_hash(k) in halves[0]]
+        cold_before = set(state._spilled)
+        taken = state.extract([halves[0]])
+        assert set(taken.entries) == set(matching)
+        assert state.fault_count == 0
+        assert state.hot_entries <= 2
+        # Unrelated cold keys stayed exactly where they were.
+        expected_left = {k for k in cold_before if stable_hash(k) not in halves[0]}
+        assert expected_left <= set(state._spilled)
+        assert len(state) == 20 - len(matching)
+
+    def test_extract_charges_only_matching_cold_entries(self):
+        charged = []
+        state = SpillableState(
+            max_hot_entries=1, io_seconds_per_entry=1e-3, io_cost=charged.append
+        )
+        for i in range(10):
+            state[f"k{i}"] = i
+        charged.clear()
+        halves = KeyInterval.full().split(2)
+        cold_matching = sum(
+            1 for k in state._spilled if stable_hash(k) in halves[0]
+        )
+        state.extract([halves[0]])
+        assert state.cold_read_count == cold_matching
+        assert sum(charged) == pytest.approx(cold_matching * 1e-3)
+
+
+class TestExternalStoreAccounting:
+    def test_restore_all_charges_reads(self):
+        charged = []
+        store = ExternalStateStore(
+            read_seconds_per_entry=1e-4, read_cost=charged.append
+        )
+        store.persist("op", "a", 1)
+        store.persist("op", "b", 2)
+        store.persist("other", "c", 3)
+        assert store.reads == 0
+        restored = store.restore_all("op")
+        assert restored == {"a": 1, "b": 2}
+        assert store.reads == 2
+        assert sum(charged) == pytest.approx(2 * 1e-4)
+
+    def test_lookup_charges_read(self):
+        charged = []
+        store = ExternalStateStore(
+            read_seconds_per_entry=1e-4, read_cost=charged.append
+        )
+        store.persist("op", "a", 1)
+        store.lookup("op", "a")
+        assert store.reads == 1
+        assert charged == [pytest.approx(1e-4)]
+
+    def test_delete_respects_writer_ownership(self):
+        store = ExternalStateStore()
+        store.persist("op", "k", 1, slot_uid=7)
+        assert not store.delete("op", "k", slot_uid=9)  # not the owner
+        assert store.delete("op", "k", slot_uid=7)
+        assert store.lookup("op", "k") is None
+
+
+class TestExternalBackend:
+    def _backend(self, store=None, slot_uid=7):
+        store = store if store is not None else ExternalStateStore()
+        config = StateBackendConfig(kind="external", max_hot_entries=100)
+        return (
+            ExternalBackend(config, store, "counter", slot_uid),
+            store,
+        )
+
+    def test_full_flush_persists_cut_and_meta(self):
+        backend, store = self._backend()
+        backend.on_checkpoint(_checkpoint({"a": 1, "b": 2}, seq=3))
+        assert store.lookup("counter", "a") == 1
+        assert store.lookup("counter", "b") == 2
+        positions, out_clock, seq = store.load_meta("counter", 7)
+        assert positions == {1: 5} and out_clock == 3 and seq == 3
+
+    def test_full_flush_reconciles_deletions(self):
+        backend, store = self._backend()
+        backend.on_checkpoint(_checkpoint({"a": 1, "b": 2}, seq=1))
+        backend.on_checkpoint(_checkpoint({"a": 1}, seq=2))
+        assert store.lookup("counter", "b") is None
+        assert store.lookup("counter", "a") == 1
+
+    def test_incremental_flush_applies_delta(self):
+        backend, store = self._backend()
+        backend.on_checkpoint(_checkpoint({"a": 1, "b": 2}, seq=1))
+        backend.on_checkpoint(
+            _checkpoint(
+                {"a": 9},
+                seq=2,
+                incremental=True,
+                base_seq=1,
+                deleted_keys=frozenset({"b"}),
+            )
+        )
+        assert store.lookup("counter", "a") == 9
+        assert store.lookup("counter", "b") is None
+        assert store.load_meta("counter", 7)[2] == 2
+
+    def test_flush_charges_write_io(self):
+        charged = []
+        backend, store = self._backend()
+        backend.io_cost = charged.append
+        backend.on_checkpoint(_checkpoint({"a": 1, "b": 2}, seq=1))
+        # 2 entry writes + 1 meta write.
+        assert sum(charged) == pytest.approx(3 * store.write_seconds_per_entry)
+
+    def test_stale_slot_cannot_delete_new_owners_key(self):
+        store = ExternalStateStore()
+        old, _ = self._backend(store, slot_uid=7)
+        new, _ = self._backend(store, slot_uid=8)
+        old.on_checkpoint(_checkpoint({"a": 1}, seq=1, slot_uid=7))
+        # Key migrated: the new owner flushes it, then the old slot's
+        # flush no longer covers it — but must not delete it either.
+        new.on_checkpoint(_checkpoint({"a": 5}, seq=1, slot_uid=8))
+        old.on_checkpoint(_checkpoint({}, seq=2, slot_uid=7))
+        assert store.lookup("counter", "a") == 5
+
+
+class TestFromExternalStore:
+    def test_none_without_meta(self):
+        store = ExternalStateStore()
+        store.persist("counter", "a", 1)
+        assert from_external_store(store, "counter", 7) is None
+
+    def test_synthesises_replayable_checkpoint(self):
+        backend_store = ExternalStateStore()
+        backend, store = (
+            ExternalBackend(
+                StateBackendConfig(kind="external"), backend_store, "counter", 7
+            ),
+            backend_store,
+        )
+        backend.on_checkpoint(_checkpoint({"a": 1, "b": 2}, seq=4))
+        ckpt = from_external_store(store, "counter", 7, taken_at=12.0)
+        assert ckpt.seq == 4
+        assert ckpt.positions == {1: 5} and ckpt.out_clock == 3
+        assert ckpt.state.entries == {"a": 1, "b": 2}
+        assert ckpt.taken_at == 12.0
+        assert ckpt.buffers == {}
+
+    def test_interval_filter_restricts_to_slot_range(self):
+        store = ExternalStateStore()
+        keys = [f"k{i}" for i in range(16)]
+        for key in keys:
+            store.persist("counter", key, 1)
+        store.save_meta("counter", 7, {1: 5}, 3, seq=2)
+        halves = KeyInterval.full().split(2)
+        ckpt = from_external_store(store, "counter", 7, intervals=[halves[0]])
+        expected = {k for k in keys if stable_hash(k) in halves[0]}
+        assert set(ckpt.state.entries) == expected

@@ -32,10 +32,26 @@ class TestHarness:
         assert migration["all_at_once"]["chunks_shipped"] == 1
         # Chunking strictly shortens the longest stop-the-world stall.
         assert migration["pause_reduction"] > 1.0
+        backends = results["backends"]
+        assert set(backends) == {"memory", "spill", "external"}
+        hot_bound = report["params"]["backend_hot_entries"]
+        # The memory backend keeps everything resident; the tiered
+        # backends bound the hot tier at O(max_hot_entries).
+        assert backends["memory"]["peak_resident_entries"] >= (
+            report["params"]["backend_entries"]
+        )
+        for kind in ("spill", "external"):
+            assert backends[kind]["peak_resident_entries"] <= hot_bound + 1
+            assert backends[kind]["spills"] > 0
+            assert backends[kind]["state_io_seconds"] > 0
+            assert "recovery" not in backends[kind]  # smoke skips it
+        assert backends["external"]["external_write_io_seconds"] > 0
+        assert backends["memory"]["external_write_io_seconds"] == 0
         on_disk = json.loads(out.read_text())
         assert on_disk["results"]["kernel"] == results["kernel"]
         assert "events/s" in render_report(report)
         assert "migration" in render_report(report)
+        assert "backend spill" in render_report(report)
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ReproError):

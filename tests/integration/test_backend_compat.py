@@ -1,0 +1,135 @@
+"""Backend compatibility: the memory default is bit-identical, tiered
+backends are content-identical.
+
+The `StateBackend` seam must not change what a default run computes:
+sink output and checkpointed state bytes on the word-count and
+Wikipedia top-k workloads stay exactly what they were before the seam
+existed (`MemoryBackend` is a pass-through).  The spill and external
+backends change *where entries live* and what the I/O costs, but not
+the answers: the same windows hold the same counts.
+"""
+
+import json
+
+from repro.config import SystemConfig
+from repro.core.backend import ExternalBackend, MemoryBackend, SpillBackend
+from repro.core.spill import SpillableState
+from repro.core.state import ProcessingState
+from repro.runtime.system import StreamProcessingSystem
+from repro.workloads.wordcount import build_word_count_query
+
+
+def _checkpoint_bytes(system, op_name: str) -> str:
+    """Canonical serialisation of every slot's checkpointable state."""
+    slots = []
+    for instance in system.instances_of(op_name):
+        snap = instance.state.snapshot()
+        slots.append(
+            {
+                "entries": sorted(
+                    (repr(k), repr(v)) for k, v in snap.entries.items()
+                ),
+                "positions": sorted(snap.positions.items()),
+                "out_clock": snap.out_clock,
+            }
+        )
+    return json.dumps(slots, sort_keys=True)
+
+
+def _run_wordcount(backend_kind=None, max_hot=50, until=40.0):
+    query = build_word_count_query(
+        rate=300.0, window=5.0, vocabulary_size=200, quantum=0.1
+    )
+    config = SystemConfig()
+    config.scaling.enabled = False
+    if backend_kind is not None:
+        config.state_backend.kind = backend_kind
+        config.state_backend.max_hot_entries = max_hot
+    system = StreamProcessingSystem(config)
+    system.deploy(query.graph, generators=query.generators)
+    system.run(until=until)
+    return system, query
+
+
+class TestMemoryDefaultBitCompatible:
+    def test_default_wordcount_uses_plain_memory_state(self):
+        system, _query = _run_wordcount(until=5.0)
+        for instance in system.instances.values():
+            assert isinstance(instance.backend, MemoryBackend)
+            assert not isinstance(instance.state, SpillableState)
+
+    def _run_wikipedia(self, backend_kind=None):
+        from repro.workloads.wikipedia import build_wikipedia_topk_query
+
+        bundle, parallelism = build_wikipedia_topk_query(
+            rate=2_000.0, sources=2, emit_interval=5.0
+        )
+        config = SystemConfig()
+        config.scaling.enabled = False
+        if backend_kind is not None:
+            config.state_backend.kind = backend_kind
+        system = StreamProcessingSystem(config)
+        system.deploy(
+            bundle.graph, generators=bundle.generators, parallelism=parallelism
+        )
+        system.run(until=20.0)
+        return system, bundle
+
+    def test_default_wikipedia_uses_plain_memory_state(self):
+        system, bundle = self._run_wikipedia()
+        for instance in system.instances.values():
+            assert isinstance(instance.backend, MemoryBackend)
+            assert not isinstance(instance.state, SpillableState)
+        assert bundle.collector.ranking()
+
+    def test_explicit_memory_wikipedia_matches_default_exactly(self):
+        base_sys, base_bundle = self._run_wikipedia()
+        mem_sys, mem_bundle = self._run_wikipedia(backend_kind="memory")
+        assert base_bundle.collector.ranking() == mem_bundle.collector.ranking()
+        assert _checkpoint_bytes(base_sys, "reduce") == _checkpoint_bytes(
+            mem_sys, "reduce"
+        )
+        assert base_sys.metrics.events == mem_sys.metrics.events
+
+    def test_explicit_memory_kind_matches_default_exactly(self):
+        """Golden run: sink output, event stream and checkpoint bytes of
+        a default run equal those of an explicit kind="memory" run."""
+        base_sys, base_query = _run_wordcount()
+        mem_sys, mem_query = _run_wordcount(backend_kind="memory")
+        assert dict(base_query.collector.results) == dict(
+            mem_query.collector.results
+        )
+        assert _checkpoint_bytes(base_sys, "counter") == _checkpoint_bytes(
+            mem_sys, "counter"
+        )
+        assert base_sys.metrics.events == mem_sys.metrics.events
+        assert base_sys.network.messages_sent == mem_sys.network.messages_sent
+
+
+class TestTieredBackendsContentEquivalent:
+    def test_spill_and_external_compute_the_same_windows(self):
+        base_sys, base_query = _run_wordcount()
+        for kind, backend_cls in (
+            ("spill", SpillBackend),
+            ("external", ExternalBackend),
+        ):
+            tiered_sys, tiered_query = _run_wordcount(backend_kind=kind)
+            counter = tiered_sys.instances_of("counter")[0]
+            assert isinstance(counter.backend, backend_cls)
+            assert isinstance(counter.state, SpillableState)
+            assert counter.state.spilled_entries > 0  # tiering engaged
+            for window in sorted(base_query.collector.windows()):
+                assert base_query.collector.counts_for_window(
+                    window
+                ) == tiered_query.collector.counts_for_window(
+                    window
+                ), f"{kind}: window {window} differs"
+
+    def test_tiered_checkpoints_flatten_to_identical_state(self):
+        """A spilled slot's checkpoint covers both tiers and flattens to
+        a plain, partitionable state holding the same entries."""
+        system, _query = _run_wordcount(backend_kind="spill")
+        counter = system.instances_of("counter")[0]
+        snap = counter.state.snapshot()
+        assert type(snap) is ProcessingState
+        assert dict(snap.entries) == dict(counter.state.items())
