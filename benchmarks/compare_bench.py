@@ -44,6 +44,15 @@ EXACT = [
     ("results", "backends", "spill", "migration_max_pause_ms"),
     ("results", "backends", "spill", "state_io_seconds"),
     ("results", "backends", "external", "external_write_io_seconds"),
+    # Phi-detector sweep: detection latency and false-positive counts
+    # come from deterministic simulated runs under seeded heartbeat
+    # loss, so any drift is a detector behaviour change.
+    ("results", "detection", "phi_2", "detection_latency_s"),
+    ("results", "detection", "phi_2", "false_positives"),
+    ("results", "detection", "phi_4", "detection_latency_s"),
+    ("results", "detection", "phi_4", "false_positives"),
+    ("results", "detection", "phi_8", "detection_latency_s"),
+    ("results", "detection", "phi_8", "false_positives"),
 ]
 
 

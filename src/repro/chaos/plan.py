@@ -2,10 +2,9 @@
 
 A :class:`NetworkFaultPlan` is installed into a
 :class:`~repro.sim.network.Network` via ``install_fault_plan`` and is
-consulted once per *data* message send (control traffic — checkpoints,
-state transfer, replica snapshots — is never perturbed).  The network
-models a reliable transport (TCP-like) over a faulty physical layer, so
-each fault maps onto an observable, recoverable effect:
+consulted once per message send.  The network models a reliable
+transport (TCP-like) over a faulty physical layer, so each per-message
+fault maps onto an observable, recoverable effect:
 
 * **drop** — the first transmission is lost and retransmitted; the
   message arrives ``retransmit_delay`` late instead of disappearing.
@@ -21,13 +20,32 @@ each fault maps onto an observable, recoverable effect:
   application, exercising the timestamp duplicate filter
   (:meth:`OperatorInstance.receive`).
 
+Traffic classes
+---------------
+Each :class:`FaultRule` names the message kinds it may perturb through
+``kinds``.  The default is ``{"data"}`` — data-plane tuples only, with
+control traffic (checkpoints, state transfer, replica snapshots)
+modelling an already-reliable RPC layer, exactly the pre-partition
+behaviour.  A rule can opt into ``"heartbeat"`` (and, for completeness,
+``"control"``/``"migration"``) to perturb the failure detector's input.
+
+:class:`PartitionRule` is stronger: it severs *all* links between two
+VM sets for a time window, regardless of traffic class.  Because the
+transport is reliable, data/control/migration messages crossing a
+partition are *held* and released (in per-edge FIFO order) when the
+partition heals — TCP retransmitting into a black hole until
+connectivity returns.  Heartbeats are timeliness signals, not state:
+a heartbeat crossing a partition is **dropped outright** (a late
+heartbeat is a missed heartbeat), which is what drives the phi
+detector's false suspicions.
+
 Rules are scoped by edge (source/destination VM ids) and by a time
 window, so a plan can target e.g. "the splitter→counter edge during the
 first minute".  All randomness comes from a dedicated ``random.Random``
 seeded at construction: the same plan seed yields the same perturbation
 sequence.  Each applicable rule consumes exactly four RNG draws per
 message regardless of which faults fire, keeping the stream stable when
-probabilities change.
+probabilities change; partition checks consume no randomness at all.
 """
 
 from __future__ import annotations
@@ -37,13 +55,25 @@ from dataclasses import dataclass, field
 
 EdgeKey = tuple[int | None, int]
 
+#: Message kinds a rule may perturb (mirrors repro.sim.network constants;
+#: duplicated here to keep the chaos layer import-light).
+TRAFFIC_DATA = "data"
+TRAFFIC_CONTROL = "control"
+TRAFFIC_MIGRATION = "migration"
+TRAFFIC_HEARTBEAT = "heartbeat"
+
 
 @dataclass
 class FaultRule:
-    """One scoped source of network faults.
+    """One scoped source of per-message network faults.
 
-    Probabilities are per data message; magnitudes are seconds of extra
-    delay added on top of the modelled transfer time.
+    Probabilities are per message of a matching traffic class;
+    magnitudes are seconds of extra delay added on top of the modelled
+    transfer time.  ``kinds`` declares exactly which traffic classes the
+    rule can perturb — data tuples by default; heartbeats only when a
+    plan opts in; control/state-transfer messages keep their ordering
+    and reliability guarantees even when perturbed (delay/duplication
+    only — the transport never silently loses them).
     """
 
     drop_rate: float = 0.0
@@ -60,9 +90,13 @@ class FaultRule:
     dst_vms: frozenset[int] = field(default_factory=frozenset)
     #: active [start, end) simulation-time window; ``None`` = always.
     window: tuple[float, float] | None = None
+    #: traffic classes this rule may perturb.
+    kinds: frozenset[str] = frozenset({TRAFFIC_DATA})
 
-    def applies(self, edge: EdgeKey, now: float) -> bool:
-        """Whether this rule is in scope for ``edge`` at time ``now``."""
+    def applies(self, edge: EdgeKey, now: float, kind: str = TRAFFIC_DATA) -> bool:
+        """Whether this rule is in scope for ``edge``/``kind`` at ``now``."""
+        if kind not in self.kinds:
+            return False
         if self.window is not None:
             start, end = self.window
             if not (start <= now < end):
@@ -77,12 +111,46 @@ class FaultRule:
         return True
 
 
-class NetworkFaultPlan:
-    """A seeded collection of :class:`FaultRule`\\ s.
+@dataclass
+class PartitionRule:
+    """Sever all links between two VM sets for a time window.
 
-    ``draw(edge, now)`` returns ``(extra_delay, duplicate)``: the total
-    extra latency injected into this message and whether a duplicate
-    copy should also be delivered.
+    Applies to *every* traffic class crossing the cut, in both
+    directions.  Messages from a VM in neither set are unaffected.
+    """
+
+    a_vms: frozenset[int]
+    b_vms: frozenset[int]
+    #: active [start, end) simulation-time window; the partition heals
+    #: at ``end``.
+    window: tuple[float, float]
+
+    def severs(self, edge: EdgeKey, now: float) -> bool:
+        """Whether ``edge`` crosses the cut while the partition holds."""
+        start, end = self.window
+        if not (start <= now < end):
+            return False
+        src, dst = edge
+        if src is None:
+            return False  # external feeds originate outside the cluster
+        return (src in self.a_vms and dst in self.b_vms) or (
+            src in self.b_vms and dst in self.a_vms
+        )
+
+    @property
+    def heals_at(self) -> float:
+        return self.window[1]
+
+
+class NetworkFaultPlan:
+    """A seeded collection of :class:`FaultRule`\\ s and partitions.
+
+    ``draw(edge, now, kind)`` returns ``(extra_delay, duplicate)``: the
+    total extra latency injected into this message and whether a
+    duplicate copy should also be delivered.  ``partition_verdict``
+    answers, without consuming randomness, whether a message is severed
+    by a partition — and if so whether it is held until heal (reliable
+    classes) or dropped (heartbeats).
     """
 
     def __init__(
@@ -90,8 +158,10 @@ class NetworkFaultPlan:
         rules: list[FaultRule],
         seed: int = 0,
         duplicate_lag: float = 0.005,
+        partitions: list[PartitionRule] | None = None,
     ) -> None:
         self.rules = list(rules)
+        self.partitions = list(partitions or [])
         self.seed = seed
         #: how far behind the in-order delivery the duplicate copy lands.
         self.duplicate_lag = duplicate_lag
@@ -100,13 +170,62 @@ class NetworkFaultPlan:
         self.duplicates_injected = 0
         self.reorders_injected = 0
         self.delay_spikes_injected = 0
+        #: heartbeats swallowed by an active partition.
+        self.partition_drops = 0
+        #: reliable-class messages held back until a partition healed.
+        self.partition_holds = 0
 
-    def draw(self, edge: EdgeKey, now: float) -> tuple[float, bool]:
-        """Sample the faults hitting one data message on ``edge``."""
+    def perturbs_kind(self, kind: str) -> bool:
+        """Whether any per-message rule can touch this traffic class.
+
+        Partitions are checked separately (``partition_verdict``): a
+        message already held by a partition takes the perturbed path
+        regardless of rule coverage.
+        """
+        return any(kind in rule.kinds for rule in self.rules)
+
+    def partition_verdict(
+        self, edge: EdgeKey, now: float, kind: str
+    ) -> float | None:
+        """Partition effect on one message, or 0.0 when unaffected.
+
+        Returns ``None`` when the message must be dropped (a heartbeat
+        crossing an active cut), otherwise the extra delay that holds a
+        reliable-class message until the last severing partition heals.
+        Consumes no randomness.
+        """
+        release = now
+        for partition in self.partitions:
+            if partition.severs(edge, now):
+                if kind == TRAFFIC_HEARTBEAT:
+                    self.partition_drops += 1
+                    return None
+                release = max(release, partition.heals_at)
+        if release > now:
+            self.partition_holds += 1
+        return release - now
+
+    def draw(
+        self, edge: EdgeKey, now: float, kind: str = TRAFFIC_DATA
+    ) -> tuple[float, bool]:
+        """Sample the per-message faults hitting one message on ``edge``."""
+        extra, duplicate, _lost = self.draw_full(edge, now, kind)
+        return extra, duplicate
+
+    def draw_full(
+        self, edge: EdgeKey, now: float, kind: str = TRAFFIC_DATA
+    ) -> tuple[float, bool, bool]:
+        """Sample faults for one message: ``(extra_delay, duplicate, lost)``.
+
+        ``lost`` can only be true for heartbeats: they are fire-and-forget
+        timeliness signals, so a drop fault loses them outright instead of
+        surfacing as retransmit latency the way reliable classes do.
+        """
         extra = 0.0
         duplicate = False
+        lost = False
         for rule in self.rules:
-            if not rule.applies(edge, now):
+            if not rule.applies(edge, now, kind):
                 continue
             # Always burn four draws so the random stream is independent
             # of which faults actually fire.
@@ -116,7 +235,10 @@ class NetworkFaultPlan:
             r_delay = self._rng.random()
             if r_drop < rule.drop_rate:
                 self.drops_injected += 1
-                extra += rule.retransmit_delay
+                if kind == TRAFFIC_HEARTBEAT:
+                    lost = True
+                else:
+                    extra += rule.retransmit_delay
             if r_dup < rule.duplicate_rate:
                 self.duplicates_injected += 1
                 duplicate = True
@@ -126,7 +248,7 @@ class NetworkFaultPlan:
             if r_delay < rule.delay_rate:
                 self.delay_spikes_injected += 1
                 extra += rule.delay_spike
-        return extra, duplicate
+        return extra, duplicate, lost
 
     def faults_injected(self) -> int:
         """Total number of individual faults injected so far."""
@@ -135,4 +257,6 @@ class NetworkFaultPlan:
             + self.duplicates_injected
             + self.reorders_injected
             + self.delay_spikes_injected
+            + self.partition_drops
+            + self.partition_holds
         )

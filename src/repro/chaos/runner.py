@@ -33,8 +33,8 @@ from repro.chaos.invariants import (
     compare_windows,
     eligible_windows,
 )
-from repro.chaos.plan import FaultRule, NetworkFaultPlan
-from repro.chaos.schedule import PhaseTriggeredFaults
+from repro.chaos.plan import FaultRule, NetworkFaultPlan, PartitionRule
+from repro.chaos.schedule import GrayFailureSchedule, PhaseTriggeredFaults
 from repro.config import SystemConfig
 from repro.errors import ReproError
 from repro.runtime.system import StreamProcessingSystem
@@ -52,6 +52,10 @@ class ChaosRunResult:
     recoveries: int = 0
     aborts: int = 0
     results_received: int = 0
+    #: Phi-detector detections that condemned a live instance.
+    false_suspicions: int = 0
+    #: Superseded primaries that self-terminated on a fence notice.
+    zombies_fenced: int = 0
     #: JSONL trace dumped for this run (violating seeds only).
     trace_path: str | None = None
 
@@ -63,10 +67,16 @@ class ChaosRunResult:
     def describe(self) -> str:
         """One line per violation, or an OK summary."""
         if self.survived:
+            extra = ""
+            if self.false_suspicions or self.zombies_fenced:
+                extra = (
+                    f", {self.false_suspicions} false suspicions, "
+                    f"{self.zombies_fenced} zombies fenced"
+                )
             return (
                 f"seed {self.seed}: OK "
                 f"({self.failures} failures, {self.faults} network faults, "
-                f"{self.recoveries} recoveries, {self.aborts} aborts)"
+                f"{self.recoveries} recoveries, {self.aborts} aborts{extra})"
             )
         lines = [f"seed {self.seed}: {len(self.violations)} violation(s)"]
         lines += [f"  {v}" for v in self.violations]
@@ -101,6 +111,7 @@ class ChaosRunner:
         migration_chunks: int = 1,
         state_backend: str | None = None,
         max_hot_entries: int = 100_000,
+        detector: str = "omniscient",
     ) -> None:
         if workload not in ("wordcount", "lrb"):
             raise ReproError(f"unknown chaos workload: {workload!r}")
@@ -135,17 +146,24 @@ class ChaosRunner:
         #: None/"memory", "spill" or "external" — see StateBackendConfig.
         self.state_backend = state_backend
         self.max_hot_entries = max_hot_entries
+        #: Failure detector for the chaos runs: "omniscient" (instant,
+        #: infallible) or "phi" (message heartbeats, can be fooled by
+        #: partitions/mutes into false suspicions).  The golden run always
+        #: uses the omniscient detector — it sees no faults, and keeping
+        #: it heartbeat-free keeps the reference stream canonical.
+        self.detector = detector
         self._golden = None
 
     # ------------------------------------------------------------- building
 
-    def _config(self) -> SystemConfig:
+    def _config(self, detector: str | None = None) -> SystemConfig:
         config = SystemConfig()
         config.seed = self.workload_seed
         config.scaling.enabled = False
         config.checkpoint.interval = self.checkpoint_interval
         config.checkpoint.stagger = True
         config.fault.recovery_parallelism = self.recovery_parallelism
+        config.fault.detector = detector if detector is not None else self.detector
         # Chaos runs recover often; a deep pool with fast refills keeps VM
         # acquisition from dominating every schedule.
         config.cloud.pool_size = 4
@@ -157,7 +175,7 @@ class ChaosRunner:
             config.state_backend.max_hot_entries = self.max_hot_entries
         return config
 
-    def _build(self):
+    def _build(self, detector: str | None = None):
         if self.workload == "lrb":
             from repro.workloads.lrb.query import build_lrb_query
 
@@ -172,7 +190,7 @@ class ChaosRunner:
                 words_per_sentence=6,
                 quantum=0.1,
             )
-        system = StreamProcessingSystem(self._config())
+        system = StreamProcessingSystem(self._config(detector))
         system.deploy(query.graph, generators=query.generators)
         return system, query
 
@@ -194,9 +212,14 @@ class ChaosRunner:
     # --------------------------------------------------------------- golden
 
     def golden(self):
-        """The failure-free reference run (cached per runner)."""
+        """The failure-free reference run (cached per runner).
+
+        Always runs with the omniscient detector: the reference sees no
+        faults, so a detector choice could only perturb it, never inform
+        it.
+        """
         if self._golden is None:
-            system, query = self._build()
+            system, query = self._build(detector="omniscient")
             system.run(until=self.duration)
             self._golden = (system, query)
         return self._golden
@@ -442,6 +465,95 @@ class ChaosRunner:
         """Run every seed; the golden run is shared across the sweep."""
         return [self.run_seed(seed) for seed in seeds]
 
+    # ------------------------------------------------------- partition chaos
+
+    def run_partition_seed(self, seed: int) -> ChaosRunResult:
+        """One seeded partition-and-gray-failure run under the phi detector.
+
+        Reproducible from ``seed`` alone, the schedule mixes the three
+        ways a healthy instance can look dead:
+
+        * one or two **network partitions**, each severing a worker VM
+          from the monitor (sink) VM for a few seconds — its heartbeats
+          are dropped while its data/control traffic is held, so the phi
+          detector manufactures a false suspicion and the recovery
+          installs a successor while the condemned primary keeps
+          running (a zombie, later fenced);
+        * optionally a **heartbeat mute** ("alive but not heartbeating"):
+          the instance processes normally but its emitter goes silent;
+        * optionally a **10 %-CPU straggler**, which must *not* trip the
+          detector (heartbeats keep flowing).
+
+        Every window closes before the settle period so held traffic is
+        released, fences resolve, and the audit sees a quiesced system.
+        Runs under ``detector="phi"`` regardless of the runner default.
+        """
+        import random as _random
+
+        rng = _random.Random(seed)
+        system, query = self._build(detector="phi")
+        workers = sorted(
+            {
+                inst.vm.vm_id
+                for inst in system.worker_instances()
+            }
+        )
+        sink_vms = frozenset(
+            inst.vm.vm_id
+            for inst in system.instances.values()
+            if inst.is_sink
+        )
+        worker_ops = sorted(
+            {
+                inst.op_name
+                for inst in system.worker_instances()
+            }
+        )
+        chaos_end = self.duration - self.settle
+        partitions = []
+        for _ in range(rng.randint(1, 2)):
+            victim = rng.choice(workers)
+            start = rng.uniform(10.0, max(chaos_end - 8.0, 11.0))
+            length = rng.uniform(3.0, 6.0)
+            partitions.append(
+                PartitionRule(
+                    frozenset({victim}),
+                    sink_vms,
+                    (start, min(start + length, chaos_end)),
+                )
+            )
+        plan = NetworkFaultPlan([], seed=seed, partitions=partitions)
+        system.network.install_fault_plan(plan)
+        gray = GrayFailureSchedule(system)
+        if rng.random() < 0.5:
+            gray.mute_heartbeats_at(
+                rng.choice(worker_ops),
+                time=rng.uniform(10.0, chaos_end - 10.0),
+                duration=rng.uniform(2.5, 4.0),
+            )
+        if rng.random() < 0.5:
+            gray.straggle_at(
+                rng.choice(worker_ops),
+                time=rng.uniform(10.0, chaos_end - 10.0),
+                factor=0.1,
+                duration=rng.uniform(3.0, 6.0),
+            )
+        # A sprinkle of real crashes so genuine and false detections
+        # coexist (concurrent zombies next to actual recoveries).
+        np_rng = np.random.default_rng(seed)
+        system.injector.poisson_failures(
+            lambda: self._fault_model_victims(system),
+            mtbf=self.mtbf * 2,
+            rng=np_rng,
+            until=chaos_end,
+        )
+        system.run(until=self.duration)
+        return self._audit(seed, system, query, plan)
+
+    def partition_sweep(self, seeds: list[int]) -> list[ChaosRunResult]:
+        """Run every partition seed; the golden run is shared."""
+        return [self.run_partition_seed(seed) for seed in seeds]
+
     # -------------------------------------------------------------- utility
 
     def _audit(
@@ -465,6 +577,7 @@ class ChaosRunner:
         received = getattr(collector, "received", None)
         if received is None:
             received = int(collector.total())
+        detector = system.phi_detector
         return ChaosRunResult(
             seed=seed,
             violations=violations,
@@ -475,5 +588,9 @@ class ChaosRunner:
             aborts=len(system.metrics.events_of_kind("recovery_aborted"))
             + len(system.metrics.events_of_kind("scale_out_aborted")),
             results_received=int(received),
+            false_suspicions=(
+                detector.false_detections if detector is not None else 0
+            ),
+            zombies_fenced=int(system.counter("zombies_fenced")),
             trace_path=trace_path,
         )

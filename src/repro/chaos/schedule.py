@@ -162,3 +162,63 @@ class PhaseTriggeredFaults:
         if op.backup_vm is not None:
             return op.backup_vm
         return system.backup_locations.get(op.old_slot.uid)
+
+
+class GrayFailureSchedule:
+    """Timed gray failures: the process is up but looks dead (or slow).
+
+    Two modes, both sub-crash:
+
+    * :meth:`mute_heartbeats_at` — the instance keeps processing but its
+      heartbeats stop reaching the monitor for a window ("alive but not
+      heartbeating": a wedged emitter thread, an asymmetric link).  The
+      phi detector accrues suspicion exactly as for a crash, so a long
+      enough mute manufactures a false detection and a zombie primary.
+    * :meth:`straggle_at` — the VM keeps its heartbeats but runs at a
+      fraction of its CPU capacity for a window (the classic 10 %-CPU
+      gray node).  Detection must *not* fire: heartbeat emission is a
+      timer, not a data-plane product, so phi stays low while throughput
+      collapses — the scenario that separates liveness from health.
+    """
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        #: (time, mode, detail) for every gray failure armed.
+        self.armed: list[tuple[float, str, str]] = []
+
+    def mute_heartbeats_at(
+        self, op_name: str, time: float, duration: float
+    ) -> None:
+        """Silence ``op_name``'s first slot's heartbeats for ``duration``.
+
+        Requires the phi detector (``fault.detector="phi"``); resolved
+        lazily at fire time so the slot's then-current uid is muted.
+        """
+        self.armed.append((time, "mute", f"{op_name} for {duration}s"))
+        self.system.sim.schedule_at(time, self._mute, op_name, duration)
+
+    def straggle_at(
+        self,
+        op_name: str,
+        time: float,
+        factor: float = 0.1,
+        duration: float | None = None,
+    ) -> None:
+        """Degrade ``op_name``'s VM to ``factor`` CPU at ``time``."""
+        self.armed.append((time, "straggle", f"{op_name} at {factor:g}x"))
+        self.system.injector.straggle_vm_at(
+            lambda: self.system.vm_of(op_name),
+            time,
+            factor=factor,
+            duration=duration,
+        )
+
+    def _mute(self, op_name: str, duration: float) -> None:
+        system = self.system
+        detector = system.phi_detector
+        if detector is None:
+            return
+        slots = system.query_manager.slots_of(op_name)
+        if not slots:
+            return
+        detector.mute(slots[0].uid, duration)

@@ -26,6 +26,11 @@ _STRATEGIES = (
     STRATEGY_NONE,
 )
 
+#: Failure detector kinds accepted by :class:`FaultToleranceConfig`.
+DETECTOR_OMNISCIENT = "omniscient"
+DETECTOR_PHI = "phi"
+_DETECTORS = (DETECTOR_OMNISCIENT, DETECTOR_PHI)
+
 #: State backend kinds accepted by :class:`StateBackendConfig`.
 STATE_BACKEND_MEMORY = "memory"
 STATE_BACKEND_SPILL = "spill"
@@ -122,6 +127,48 @@ class FaultToleranceConfig:
     #: input contend with the replay at the recovering operator (UB),
     #: while a stopped source avoids that contention (SR).
     replay_message_gap: float = 5.0e-5
+    #: Failure detector: "omniscient" models detection latency directly
+    #: (crash -> notification after ``detection_delay``), exactly the
+    #: paper's fail-stop assumption.  "phi" replaces it with a
+    #: message-based phi-accrual detector: every instance sends real
+    #: heartbeats through the simulated network (subject to delay, loss
+    #: and partitions), so detection can be late or *wrong* — which is
+    #: what epoch fencing exists to survive.
+    detector: str = DETECTOR_OMNISCIENT
+    #: Heartbeat send period per instance (phi detector only).
+    heartbeat_interval: float = 0.5
+    #: Wire size of one heartbeat message.
+    heartbeat_bytes: float = 32.0
+    #: Sliding window of inter-arrival samples per slot.
+    phi_window: int = 100
+    #: Phi level at which a slot becomes SUSPECT (gauge + event only).
+    phi_suspect: float = 1.0
+    #: Phi level at which a suspicion is CONFIRMED (stronger telemetry;
+    #: still no action — the lifecycle is suspect -> confirm -> dead).
+    phi_confirm: float = 4.0
+    #: Phi level at which the slot is declared DEAD and recovery runs.
+    phi_dead: float = 8.0
+    #: How often the detector re-evaluates phi for every tracked slot.
+    phi_check_interval: float = 0.25
+    #: Floor on the arrival-interval standard deviation, so a perfectly
+    #: regular simulated heartbeat stream cannot drive phi to infinity
+    #: on sub-millisecond jitter.
+    phi_min_stddev: float = 0.05
+    #: Base delay before re-attempting a recovery that could not start
+    #: (attempt n waits base * multiplier^(n-1), capped and jittered).
+    retry_base: float = 1.0
+    #: Exponential growth factor between consecutive retry delays.
+    retry_multiplier: float = 2.0
+    #: Upper bound on a single retry delay.
+    retry_cap: float = 10.0
+    #: Jitter fraction: each delay is scaled by a seeded uniform draw
+    #: from [1 - jitter, 1 + jitter].  0 keeps retries deterministic.
+    retry_jitter: float = 0.0
+    #: Give up after this many retries (None = retry forever).
+    max_retries: int | None = None
+    #: Give up once this many seconds have passed since the failure
+    #: (None = no deadline).
+    retry_deadline: float | None = None
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid or inconsistent values."""
@@ -134,6 +181,39 @@ class FaultToleranceConfig:
             raise ConfigurationError("detection_delay must be >= 0")
         if self.recovery_parallelism < 1:
             raise ConfigurationError("recovery_parallelism must be >= 1")
+        if self.detector not in _DETECTORS:
+            raise ConfigurationError(
+                f"unknown failure detector {self.detector!r}; "
+                f"expected one of {_DETECTORS}"
+            )
+        if self.heartbeat_interval <= 0:
+            raise ConfigurationError("heartbeat_interval must be > 0")
+        if self.heartbeat_bytes < 0:
+            raise ConfigurationError("heartbeat_bytes must be >= 0")
+        if self.phi_window < 2:
+            raise ConfigurationError("phi_window must be >= 2")
+        if not 0 < self.phi_suspect <= self.phi_confirm <= self.phi_dead:
+            raise ConfigurationError(
+                "phi thresholds must satisfy "
+                "0 < phi_suspect <= phi_confirm <= phi_dead: "
+                f"{self.phi_suspect}, {self.phi_confirm}, {self.phi_dead}"
+            )
+        if self.phi_check_interval <= 0:
+            raise ConfigurationError("phi_check_interval must be > 0")
+        if self.phi_min_stddev <= 0:
+            raise ConfigurationError("phi_min_stddev must be > 0")
+        if self.retry_base <= 0:
+            raise ConfigurationError("retry_base must be > 0")
+        if self.retry_multiplier < 1:
+            raise ConfigurationError("retry_multiplier must be >= 1")
+        if self.retry_cap < self.retry_base:
+            raise ConfigurationError("retry_cap must be >= retry_base")
+        if not 0 <= self.retry_jitter < 1:
+            raise ConfigurationError(f"retry_jitter must be in [0, 1): {self.retry_jitter}")
+        if self.max_retries is not None and self.max_retries < 0:
+            raise ConfigurationError("max_retries must be >= 0 or None")
+        if self.retry_deadline is not None and self.retry_deadline <= 0:
+            raise ConfigurationError("retry_deadline must be > 0 or None")
 
 
 @dataclass

@@ -158,11 +158,15 @@ class ExternalBackend(SpillBackend):
         op_name: str,
         slot_uid: int,
         io_cost: Callable[[float], None] | None = None,
+        epoch: int = 0,
     ) -> None:
         super().__init__(config, io_cost)
         self.store = store
         self.op_name = op_name
         self.slot_uid = slot_uid
+        #: Fencing epoch stamped on every write-through flush, so the
+        #: store can reject flushes from a superseded (zombie) instance.
+        self.epoch = epoch
         #: Keys this slot has persisted and not yet deleted, so a full
         #: flush can reconcile deletions without scanning the store.
         self._persisted: set[Any] = set()
@@ -179,20 +183,36 @@ class ExternalBackend(SpillBackend):
         writes = 0
         if checkpoint.incremental:
             for key, value in checkpoint.state.entries.items():
-                store.persist(self.op_name, key, value, slot_uid=self.slot_uid)
+                store.persist(
+                    self.op_name,
+                    key,
+                    value,
+                    slot_uid=self.slot_uid,
+                    epoch=self.epoch,
+                )
                 self._persisted.add(key)
                 writes += 1
             for key in checkpoint.deleted_keys:
-                if store.delete(self.op_name, key, slot_uid=self.slot_uid):
+                if store.delete(
+                    self.op_name, key, slot_uid=self.slot_uid, epoch=self.epoch
+                ):
                     writes += 1
                 self._persisted.discard(key)
         else:
             current = set(checkpoint.state.entries)
             for key, value in checkpoint.state.entries.items():
-                store.persist(self.op_name, key, value, slot_uid=self.slot_uid)
+                store.persist(
+                    self.op_name,
+                    key,
+                    value,
+                    slot_uid=self.slot_uid,
+                    epoch=self.epoch,
+                )
                 writes += 1
             for key in self._persisted - current:
-                if store.delete(self.op_name, key, slot_uid=self.slot_uid):
+                if store.delete(
+                    self.op_name, key, slot_uid=self.slot_uid, epoch=self.epoch
+                ):
                     writes += 1
             self._persisted = current
         store.save_meta(
@@ -201,6 +221,7 @@ class ExternalBackend(SpillBackend):
             checkpoint.positions,
             checkpoint.out_clock,
             seq=checkpoint.seq,
+            epoch=self.epoch,
         )
         writes += 1
         if self.io_cost is not None and writes:
@@ -216,6 +237,7 @@ def backend_for(
     is_sink: bool = False,
     io_cost: Callable[[float], None] | None = None,
     external_store: ExternalStateStore | None = None,
+    epoch: int = 0,
 ) -> StateBackend:
     """Select the backend one instance's state lives behind.
 
@@ -236,4 +258,6 @@ def backend_for(
         return SpillBackend(config, io_cost)
     if external_store is None:
         raise ValueError("external state backend requires an ExternalStateStore")
-    return ExternalBackend(config, external_store, op_name, slot_uid, io_cost=io_cost)
+    return ExternalBackend(
+        config, external_store, op_name, slot_uid, io_cost=io_cost, epoch=epoch
+    )

@@ -267,6 +267,12 @@ class ExternalStateStore:
         #: Last writer (slot uid) per entry, so a stale flush from a slot
         #: that no longer owns a key cannot delete the new owner's write.
         self._writer: dict[tuple[str, Any], int | None] = {}
+        #: Fencing floor per (op_name, slot_uid): writes stamped with an
+        #: epoch below the floor are rejected.  Raised by
+        #: :meth:`fence` when a recovery replaces a slot's instance, so
+        #: a zombie predecessor's write-through flushes — possibly still
+        #: in flight — can never clobber the successor's state.
+        self._epoch_floor: dict[tuple[str, int], int] = {}
         #: Consistent-cut metadata per (op_name, slot_uid): the τ vector,
         #: output clock and checkpoint seq of the cut whose entries were
         #: last flushed — what makes a restore-of-last-resort replayable
@@ -278,11 +284,37 @@ class ExternalStateStore:
         self._read_cost = read_cost
         self.writes = 0
         self.reads = 0
+        #: Writes rejected because their epoch stamp was below the floor.
+        self.fenced_writes = 0
+
+    def fence(self, op_name: str, slot_uid: int, min_epoch: int) -> None:
+        """Raise the write floor for one slot: only writes stamped with
+        ``min_epoch`` or later are accepted from now on."""
+        key = (op_name, slot_uid)
+        if min_epoch > self._epoch_floor.get(key, 0):
+            self._epoch_floor[key] = min_epoch
+
+    def _fenced(
+        self, op_name: str, slot_uid: int | None, epoch: int | None
+    ) -> bool:
+        if epoch is None or slot_uid is None:
+            return False  # unstamped writer (engine-internal, tests)
+        if epoch < self._epoch_floor.get((op_name, slot_uid), 0):
+            self.fenced_writes += 1
+            return True
+        return False
 
     def persist(
-        self, op_name: str, key: Any, value: Any, slot_uid: int | None = None
+        self,
+        op_name: str,
+        key: Any,
+        value: Any,
+        slot_uid: int | None = None,
+        epoch: int | None = None,
     ) -> None:
         """Write-through one entry to external storage."""
+        if self._fenced(op_name, slot_uid, epoch):
+            return
         self._data[(op_name, key)] = _copy(value)
         self._writer[(op_name, key)] = slot_uid
         self.writes += 1
@@ -290,9 +322,15 @@ class ExternalStateStore:
             self._write_cost(self.write_seconds_per_entry)
 
     def delete(
-        self, op_name: str, key: Any, slot_uid: int | None = None
+        self,
+        op_name: str,
+        key: Any,
+        slot_uid: int | None = None,
+        epoch: int | None = None,
     ) -> bool:
         """Remove one entry; a ``slot_uid`` only deletes its own writes."""
+        if self._fenced(op_name, slot_uid, epoch):
+            return False
         full_key = (op_name, key)
         if full_key not in self._data:
             return False
@@ -312,8 +350,11 @@ class ExternalStateStore:
         positions: dict[int, int],
         out_clock: int,
         seq: int = 0,
+        epoch: int | None = None,
     ) -> None:
         """Record the τ vector / clock / seq of a flushed checkpoint."""
+        if self._fenced(op_name, slot_uid, epoch):
+            return
         self._meta[(op_name, slot_uid)] = (dict(positions), out_clock, seq)
         self.writes += 1
         if self._write_cost is not None:

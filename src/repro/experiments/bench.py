@@ -46,6 +46,10 @@ PRESETS: dict[str, dict[str, Any]] = {
         "backend_entries": 1_000,
         "backend_hot_entries": 100,
         "backend_chunks": 4,
+        "detection_rate": 200.0,
+        "detection_duration": 12.0,
+        "phi_thresholds": (2.0, 8.0),
+        "heartbeat_drop": 0.25,
     },
     "small": {
         "kernel_events": 300_000,
@@ -59,6 +63,10 @@ PRESETS: dict[str, dict[str, Any]] = {
         "backend_entries": 20_000,
         "backend_hot_entries": 2_000,
         "backend_chunks": 8,
+        "detection_rate": 400.0,
+        "detection_duration": 30.0,
+        "phi_thresholds": (2.0, 4.0, 8.0),
+        "heartbeat_drop": 0.25,
     },
     "default": {
         "kernel_events": 1_000_000,
@@ -72,6 +80,10 @@ PRESETS: dict[str, dict[str, Any]] = {
         "backend_entries": 50_000,
         "backend_hot_entries": 5_000,
         "backend_chunks": 8,
+        "detection_rate": 400.0,
+        "detection_duration": 30.0,
+        "phi_thresholds": (1.0, 2.0, 4.0, 8.0, 12.0),
+        "heartbeat_drop": 0.25,
     },
 }
 
@@ -409,6 +421,86 @@ def bench_recovery(rate: float, duration: float) -> dict[str, Any]:
     }
 
 
+def bench_detection(
+    rate: float,
+    duration: float,
+    thresholds: tuple,
+    heartbeat_drop: float,
+) -> dict[str, Any]:
+    """Phi-threshold sweep: detection latency versus false positives.
+
+    For each ``phi_dead`` threshold two deterministic word-count runs
+    are measured (simulated time, exact):
+
+    * **crash** — the counter VM dies mid-run; the row reports how long
+      the phi detector took to declare it dead and whether the recovery
+      completed;
+    * **lossy** — nobody dies, but a fault rule drops a fraction of
+      heartbeats for the whole run; every detection in this run is a
+      false positive.
+
+    Together the rows trace the detector's latency/false-positive
+    tradeoff curve: low thresholds detect fast but get fooled by loss,
+    high thresholds tolerate loss but detect late.
+    """
+    from repro.chaos.plan import TRAFFIC_HEARTBEAT, FaultRule, NetworkFaultPlan
+    from repro.runtime.system import StreamProcessingSystem
+    from repro.workloads.wordcount import build_word_count_query
+
+    def _system(phi_dead: float):
+        query = build_word_count_query(
+            rate=rate, window=10.0, vocabulary_size=400, quantum=0.1
+        )
+        config = SystemConfig()
+        config.scaling.enabled = False
+        config.fault.detector = "phi"
+        config.fault.phi_dead = phi_dead
+        config.fault.phi_confirm = min(phi_dead, max(phi_dead / 2.0, 1.0))
+        config.fault.phi_suspect = min(1.0, phi_dead / 2.0)
+        # Widen the stddev floor to ~0.7x the heartbeat period.  The
+        # simulated heartbeat stream is near-perfectly regular, so the
+        # default floor makes one lost heartbeat >= 10 sigma of silence:
+        # phi saturates and every threshold fires identically.  A floor
+        # comparable to the period models real arrival jitter and lets
+        # the sweep trace the latency/false-positive tradeoff.
+        config.fault.phi_min_stddev = 0.7 * config.fault.heartbeat_interval
+        system = StreamProcessingSystem(config)
+        system.deploy(query.graph, generators=query.generators)
+        return system
+
+    out: dict[str, Any] = {}
+    fail_at = duration / 2
+    for phi_dead in thresholds:
+        crash = _system(phi_dead)
+        crash.injector.fail_target_at(lambda: crash.vm_of("counter"), fail_at)
+        crash.run(until=duration)
+        detections = crash.metrics.events_of_kind("phi_detection")
+        recoveries = crash.metrics.events_of_kind("recovery_complete")
+        latency = round(detections[0][0] - fail_at, 3) if detections else None
+
+        lossy = _system(phi_dead)
+        plan = NetworkFaultPlan(
+            [
+                FaultRule(
+                    drop_rate=heartbeat_drop,
+                    kinds=frozenset({TRAFFIC_HEARTBEAT}),
+                )
+            ],
+            seed=0,
+        )
+        lossy.network.install_fault_plan(plan)
+        lossy.run(until=duration)
+        assert lossy.phi_detector is not None
+        out[f"phi_{phi_dead:g}"] = {
+            "phi_dead": phi_dead,
+            "detection_latency_s": latency,
+            "recovered": bool(recoveries),
+            "false_positives": lossy.phi_detector.false_detections,
+            "heartbeats_lost": plan.drops_injected,
+        }
+    return out
+
+
 def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
     """Run every benchmark in ``preset`` and write the JSON report."""
     if preset not in PRESETS:
@@ -440,6 +532,12 @@ def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
         report["results"]["recovery"] = bench_recovery(
             rate=250.0, duration=params["recovery_duration"]
         )
+    report["results"]["detection"] = bench_detection(
+        rate=params["detection_rate"],
+        duration=params["detection_duration"],
+        thresholds=params["phi_thresholds"],
+        heartbeat_drop=params["heartbeat_drop"],
+    )
     if out is not None:
         with open(out, "w", encoding="utf-8") as handle:
             json.dump(report, handle, indent=2, sort_keys=True)
@@ -504,4 +602,15 @@ def render_report(report: dict[str, Any]) -> str:
             f"(failed {recovery['failed_at']}s, recovered "
             f"{recovery['recovered_at']}s)"
         )
+    detection = results.get("detection")
+    if detection:
+        for key, row in detection.items():
+            latency = row["detection_latency_s"]
+            shown = f"{latency}s" if latency is not None else "none"
+            lines.append(
+                f"  detection phi_dead={row['phi_dead']:g}: latency {shown} "
+                f"(recovered={row['recovered']}), "
+                f"{row['false_positives']} false positives under "
+                f"{row['heartbeats_lost']} lost heartbeats"
+            )
     return "\n".join(lines)

@@ -1,0 +1,95 @@
+"""Phi-accrual failure estimation (Hayashibara et al., SRDS 2004).
+
+A crisp heartbeat timeout answers "is the peer dead?" with a boolean
+that is wrong exactly when the network is misbehaving.  The phi-accrual
+detector instead maintains a sliding window of observed heartbeat
+inter-arrival times and reports a *suspicion level*::
+
+    phi(t_now) = -log10( P_later(t_now - t_last) )
+
+where ``P_later(dt)`` is the probability — under a normal fit of the
+window — that a heartbeat arrives more than ``dt`` after the previous
+one.  Phi grows continuously with silence: phi = 1 means roughly a 10 %
+chance the peer is still fine, phi = 8 a 1e-8 chance.  Callers pick
+thresholds per consequence (suspect / confirm / dead) instead of one
+timeout, and the window adapts to whatever delays the (simulated)
+network actually exhibits.
+
+Pure math, no simulator dependencies — the detector in
+:mod:`repro.fault.detector` owns transport and lifecycle.
+"""
+
+from __future__ import annotations
+
+import math
+from collections import deque
+
+#: Phi is clamped here: beyond ~1e-40 tail probabilities the normal fit
+#: has no meaning and callers only compare against single-digit
+#: thresholds anyway.
+PHI_MAX = 40.0
+
+
+class PhiEstimator:
+    """Sliding-window inter-arrival statistics for one heartbeat stream."""
+
+    def __init__(
+        self,
+        window: int = 100,
+        min_stddev: float = 0.05,
+        bootstrap_interval: float | None = None,
+    ) -> None:
+        if window < 2:
+            raise ValueError(f"window must be >= 2: {window}")
+        if min_stddev <= 0:
+            raise ValueError(f"min_stddev must be > 0: {min_stddev}")
+        self._intervals: deque[float] = deque(maxlen=window)
+        self.min_stddev = min_stddev
+        self.last_arrival: float | None = None
+        if bootstrap_interval is not None:
+            # Seed the window with the configured send period so phi is
+            # meaningful from the very first silence — a peer that never
+            # manages a single heartbeat must still become suspect.
+            self._intervals.append(bootstrap_interval)
+
+    # ------------------------------------------------------------ recording
+
+    def heartbeat(self, now: float) -> None:
+        """Record a heartbeat arrival at simulated time ``now``."""
+        if self.last_arrival is not None:
+            interval = now - self.last_arrival
+            if interval >= 0:
+                self._intervals.append(interval)
+        self.last_arrival = now
+
+    # ----------------------------------------------------------- statistics
+
+    @property
+    def sample_count(self) -> int:
+        return len(self._intervals)
+
+    def mean(self) -> float:
+        return sum(self._intervals) / len(self._intervals)
+
+    def stddev(self) -> float:
+        mu = self.mean()
+        var = sum((x - mu) ** 2 for x in self._intervals) / len(self._intervals)
+        return max(math.sqrt(var), self.min_stddev)
+
+    # ------------------------------------------------------------------ phi
+
+    def phi(self, now: float) -> float:
+        """Suspicion level accrued by the silence ``now - last_arrival``."""
+        if self.last_arrival is None or not self._intervals:
+            return 0.0
+        elapsed = now - self.last_arrival
+        if elapsed <= 0:
+            return 0.0
+        mu = self.mean()
+        sigma = self.stddev()
+        # P(interval > elapsed) under N(mu, sigma^2), via the
+        # complementary error function (stable far into the tail).
+        p_later = 0.5 * math.erfc((elapsed - mu) / (sigma * math.sqrt(2.0)))
+        if p_later <= 0.0:
+            return PHI_MAX
+        return min(-math.log10(p_later), PHI_MAX)

@@ -42,6 +42,10 @@ class RecoveryCoordinator:
         #: Completed recoveries as (completion_time, duration) pairs.
         self.recovery_durations: list[tuple[float, float]] = []
         self._handled: set[int] = set()
+        #: Retry attempts so far, per failed instance identity.
+        self._attempts: dict[int, int] = {}
+        #: Recoveries abandoned after exhausting the retry budget.
+        self.giveups = 0
 
     def on_failure_detected(self, instance: "OperatorInstance") -> None:
         """Handle one detected failure (idempotent per instance)."""
@@ -104,8 +108,57 @@ class RecoveryCoordinator:
             )
         if not started:
             # Backup unavailable right now (e.g. backup VM also failed and
-            # a re-checkpoint is in flight): retry shortly.
-            system.sim.schedule(1.0, self._retry, instance, failure_time)
+            # a re-checkpoint is in flight): retry with backoff.
+            self.schedule_retry(instance, failure_time)
+
+    def schedule_retry(
+        self, instance: "OperatorInstance", failure_time: float
+    ) -> None:
+        """Schedule the next recovery attempt under capped exponential
+        backoff with seeded jitter.
+
+        Attempt *n* waits ``min(retry_base * retry_multiplier^(n-1),
+        retry_cap)`` seconds, scaled by a uniform ±``retry_jitter``
+        factor drawn from the run's seeded RNG (no draw when jitter is
+        0, keeping default runs on their historical schedules).  The
+        attempt is abandoned — with a ``recovery_giveup`` event — once
+        ``max_retries`` attempts were made or ``retry_deadline`` seconds
+        passed since the failure; both are off by default.
+        """
+        system = self.system
+        cfg = system.config.fault
+        key = id(instance)
+        attempt = self._attempts.get(key, 0) + 1
+        self._attempts[key] = attempt
+        now = system.sim.now
+        if (cfg.max_retries is not None and attempt > cfg.max_retries) or (
+            cfg.retry_deadline is not None
+            and now - failure_time > cfg.retry_deadline
+        ):
+            self.giveups += 1
+            system.telemetry.event(
+                "recovery_giveup",
+                repr(instance.slot),
+                slot=instance.uid,
+                attempts=attempt - 1,
+                elapsed=now - failure_time,
+            )
+            return
+        delay = min(
+            cfg.retry_base * cfg.retry_multiplier ** (attempt - 1),
+            cfg.retry_cap,
+        )
+        if cfg.retry_jitter > 0:
+            rng = system.rng.stream("recovery-backoff")
+            delay *= 1.0 + cfg.retry_jitter * (2.0 * rng.random() - 1.0)
+        system.telemetry.event(
+            "recovery_retry",
+            repr(instance.slot),
+            slot=instance.uid,
+            attempt=attempt,
+            delay=delay,
+        )
+        system.sim.schedule(delay, self._retry, instance, failure_time)
 
     def _retry(self, instance: "OperatorInstance", failure_time: float) -> None:
         current = self.system.instances.get(instance.uid)

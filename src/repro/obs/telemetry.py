@@ -128,6 +128,22 @@ class Telemetry:
             if stats[counter] > previous:
                 self.increment(name, stats[counter] - previous)
 
+    def suspicion(
+        self, op_name: str, slot_uid: int, phi: float, state: str
+    ) -> None:
+        """Publish one slot's phi suspicion level (phi detector gauge).
+
+        The per-slot time series records phi at every detector check, so
+        a trace shows suspicion accruing through a partition and falling
+        back when heartbeats resume; the per-operator gauge keeps the
+        worst slot visible without one series per replacement uid.
+        """
+        t = self.now()
+        self.timeseries(f"phi:{op_name}:{slot_uid}").record(t, phi)
+        self.timeseries(f"suspicion_state:{op_name}:{slot_uid}").record(
+            t, {"alive": 0, "suspect": 1, "confirmed": 2, "dead": 3}.get(state, 0)
+        )
+
     # ------------------------------------------------------ span facade
 
     def start_span(

@@ -135,6 +135,10 @@ class DeploymentManager:
         system = self.system
         fault = system.config.fault
         instance.start_timers()
+        if system.phi_detector is not None:
+            # Every instance — initial or replacement — starts its
+            # heartbeat stream here (no-op for sources/sinks/replicas).
+            system.phi_detector.watch(instance)
         if instance.is_source or instance.is_sink:
             if fault.strategy == STRATEGY_SOURCE_REPLAY and instance.is_source:
                 instance.start_age_trimming(fault.buffer_horizon)

@@ -79,6 +79,12 @@ class OperatorInstance:
         #: Active-replication replicas process and keep state but emit
         #: nothing until promoted.
         self.is_replica = False
+        #: Fencing epoch this instance emits under, frozen at build time.
+        #: A recovery install bumps the slot's epoch *before* building
+        #: the replacement, so a zombie predecessor keeps the old value
+        #: and every receiver can tell its traffic apart (0 for every
+        #: instance of a never-fenced slot — the default-path no-op).
+        self.epoch = system.epoch_of(slot.uid)
         self.status = InstanceStatus.RUNNING
         #: Where this instance's state entries live (memory / spill /
         #: external tiers) — see :mod:`repro.core.backend`.  The default
@@ -91,6 +97,7 @@ class OperatorInstance:
             is_sink=is_sink,
             io_cost=self._charge_state_io,
             external_store=system.external_store,
+            epoch=self.epoch,
         )
         self.state: ProcessingState = self.backend.initial_state(operator)
         self.buffers: dict[str, OutputBuffer] = {
@@ -199,6 +206,21 @@ class OperatorInstance:
         self.dropped_duplicates = 0.0
         self.dropped_overflow = 0.0
         self.suppressed_weight = 0.0
+        #: Stale-epoch deliveries rejected at this instance's doorstep.
+        self.fenced_drops = 0.0
+        #: Committed-prefix tuples accepted late under a stale epoch
+        #: (held behind a partition while their sender was fenced).
+        self.fenced_accepts = 0.0
+        #: Highest sender epoch seen per origin slot (normal path).
+        self._epoch_seen: dict[int, int] = {}
+        #: Arrival watermark frozen per (origin slot, fenced epoch) at
+        #: the first delivery after that epoch's timeline was cut: the
+        #: boundary between what the condemned timeline already
+        #: delivered here and its committed-but-undelivered prefix.
+        self._fence_cuts: dict[tuple[int, int], int] = {}
+        #: Dedup watermark for late committed-prefix deliveries (held
+        #: messages release in per-edge FIFO order, so ts-ordered).
+        self._fenced_wm: dict[int, int] = {}
         vm.occupant = self
         vm.on_failure(self._on_vm_failed)
 
@@ -238,6 +260,116 @@ class OperatorInstance:
             work = tup.weight * self.operator.cost_per_tuple
             self.vm.submit(work, self._process, tup)
         self._note_replay_progress(tup)
+
+    def receive_stamped(self, tup: Tuple, epoch: int) -> None:
+        """Receive one tuple stamped with its *sender's* fencing epoch.
+
+        ``tup.slot`` names the sending slot, so the stamp is compared
+        against that slot's current epoch.  A zombie predecessor
+        (falsely declared dead, replaced, epoch bumped) emits under a
+        superseded epoch; its *uncommitted* suffix — everything above
+        the fence floor, which the successor re-derives under the same
+        (slot, ts) stamps — is rejected here.  Its committed prefix (at
+        or below the floor, i.e. covered by the checkpoint the successor
+        restored from) is the sole copy of those tuples: it is accepted
+        even under the stale epoch, deduplicated against what the
+        condemned timeline already delivered before it was cut off.
+        """
+        if epoch < self.system.epoch_of(tup.slot):
+            self._receive_fenced(tup, epoch)
+            return
+        self._note_epoch(tup.slot, epoch)
+        self.receive(tup)
+
+    def receive_batch_stamped(self, batch: list[Tuple], epoch: int) -> None:
+        """Batched variant of :meth:`receive_stamped` (one sender, so one
+        stamp covers the whole batch)."""
+        if batch and epoch < self.system.epoch_of(batch[0].slot):
+            for tup in batch:
+                self._receive_fenced(tup, epoch)
+            return
+        if batch:
+            self._note_epoch(batch[0].slot, epoch)
+        self.receive_batch(batch)
+
+    def _note_epoch(self, slot: int, epoch: int) -> None:
+        """Record the first delivery from a newer timeline of ``slot``.
+
+        The arrival watermark at that instant bounds everything the
+        superseded timelines delivered here, so it is frozen as their
+        fence cut: a later stale-epoch delivery at or below the cut is a
+        duplicate of something already processed, one above it (and
+        within the fence floor) is a committed tuple this instance has
+        not seen.
+        """
+        seen = self._epoch_seen.get(slot, 0)
+        if epoch > seen:
+            wm = self._arrival_wm.get(slot, -1)
+            for old in range(seen, epoch):
+                self._fence_cuts.setdefault((slot, old), wm)
+            self._epoch_seen[slot] = epoch
+            if self.is_sink and wm >= 0:
+                # Timer-driven upstreams re-derive the condemned
+                # uncommitted suffix on their own flush schedule, so the
+                # successor may map the same out-clock range to a
+                # *different* ts→content assignment than what the zombie
+                # already delivered (e.g. two windows interleaved per key
+                # in one late tick).  Ts-based dedup is therefore unsound
+                # across the timeline switch at a sink: roll the arrival
+                # watermark back to the committed floor so the successor's
+                # re-derivation is re-admitted, and rely on the collector
+                # being content-idempotent (last-write-wins per result
+                # key) to absorb the overlap.  Stateful mid-pipeline
+                # receivers must NOT roll back — their state already
+                # reflects the delivered suffix, and their own emissions
+                # stay ts-deterministic, so re-admission would double
+                # count.  The frozen fence cut above still bounds the
+                # *stale*-epoch dedup path, which is unaffected.
+                floor = min(
+                    self.system.fence_floor(slot, old)
+                    for old in range(seen, epoch)
+                )
+                if floor < wm:
+                    self._arrival_wm[slot] = floor
+
+    def _receive_fenced(self, tup: Tuple, epoch: int) -> None:
+        """Judge one stale-epoch delivery: committed prefix or condemned.
+
+        Replayed tuples never qualify — a fenced feeder's replay duty
+        passes to its successor, whose re-derivations fill any gap.
+        """
+        slot = tup.slot
+        cut = self._fence_cuts.get((slot, epoch))
+        if cut is None:
+            # No newer-epoch delivery has advanced the watermark yet, so
+            # the current value still bounds the condemned timeline's
+            # deliveries here; freeze it now.
+            cut = self._arrival_wm.get(slot, -1)
+            self._fence_cuts[(slot, epoch)] = cut
+        floor = self.system.fence_floor(slot, epoch)
+        if tup.replay or tup.ts > floor:
+            self._reject_fenced(tup.weight)
+            return
+        if tup.ts <= cut or tup.ts <= self._fenced_wm.get(slot, -1):
+            # Already delivered by the condemned timeline before it was
+            # cut off, or a network-duplicated copy of an accepted late
+            # delivery (held messages release in FIFO order per edge).
+            self.dropped_duplicates += tup.weight
+            self.system.metrics.increment(
+                f"duplicates:{self.op_name}", tup.weight
+            )
+            return
+        if not self.alive or not self.vm.alive:
+            return
+        self._fenced_wm[slot] = tup.ts
+        self.fenced_accepts += tup.weight
+        self.system.metrics.increment(f"fenced_accepts:{self.op_name}", tup.weight)
+        work = tup.weight * self.operator.cost_per_tuple
+        self.vm.submit(work, self._process, tup)
+
+    def _reject_fenced(self, weight: float) -> None:
+        self.fenced_drops += weight
+        self.system.metrics.increment(f"fenced_drops:{self.op_name}", weight)
 
     def receive_batch(self, batch: list[Tuple]) -> None:
         """Entry point for a coalesced batch from one upstream instance.
@@ -572,8 +704,9 @@ class OperatorInstance:
                     self.vm,
                     replica.vm,
                     system.config.network.tuple_bytes,
-                    replica.receive,
+                    replica.receive_stamped,
                     tup,
+                    self.epoch,
                 )
         dest = system.live_instance(dest_uid)
         if dest is None:
@@ -584,8 +717,9 @@ class OperatorInstance:
             self.vm,
             dest.vm,
             system.config.network.tuple_bytes,
-            dest.receive,
+            dest.receive_stamped,
             tup,
+            self.epoch,
         )
 
     # ------------------------------------------------------------ batching
@@ -648,14 +782,21 @@ class OperatorInstance:
             replica = system.replication.replica_of(dest_uid)
             if replica is not None:
                 system.network.send(
-                    self.vm, replica.vm, size, replica.receive_batch, list(batch)
+                    self.vm,
+                    replica.vm,
+                    size,
+                    replica.receive_batch_stamped,
+                    list(batch),
+                    self.epoch,
                 )
         dest = system.live_instance(dest_uid)
         if dest is None:
             # Destination currently dead; the batch stays buffered in β
             # and is replayed once the destination is recovered.
             return
-        system.network.send(self.vm, dest.vm, size, dest.receive_batch, batch)
+        system.network.send(
+            self.vm, dest.vm, size, dest.receive_batch_stamped, batch, self.epoch
+        )
 
     # ------------------------------------------------------------- timers
 
@@ -1145,6 +1286,33 @@ class OperatorInstance:
             # A retired VM's edges carry no further traffic; drop their
             # in-order release clocks so long runs don't leak them.
             self.system.network.prune_edges(self.vm.vm_id)
+
+    def on_fence_notice(self, current_epoch: int) -> None:
+        """A fence notice arrived: this instance's slot was re-epoched.
+
+        A falsely-declared-dead primary keeps running — its VM never
+        failed — until this notice reaches it (from the successor's VM
+        at install time, or from the detector answering one of its
+        stale-epoch heartbeats).  Everything it emitted since the fence
+        was rejected by epoch checks, so it can simply terminate: its
+        successor owns the slot's timeline.  Releasing the VM keeps the
+        cluster accounting honest (no leaked zombie VMs).
+        """
+        if current_epoch <= self.epoch or not self.alive:
+            return
+        self.system.telemetry.event(
+            "zombie_fenced",
+            repr(self.slot),
+            slot=self.uid,
+            epoch=self.epoch,
+            current_epoch=current_epoch,
+        )
+        self.system.metrics.increment("zombies_fenced")
+        # This VM may hold *other* slots' backups (it is upstream of
+        # them); re-home those before the VM goes away, exactly as a
+        # graceful retirement would.
+        self.system.retire_backup_store(self.vm)
+        self.stop(release_vm=True)
 
     def _on_vm_failed(self, _vm: VirtualMachine) -> None:
         if self.status in (InstanceStatus.STOPPED, InstanceStatus.FAILED):

@@ -16,6 +16,7 @@ from __future__ import annotations
 from typing import Any
 
 from repro.config import (
+    DETECTOR_PHI,
     STRATEGY_ACTIVE_REPLICATION,
     STRATEGY_NONE,
     SystemConfig,
@@ -100,8 +101,21 @@ class StreamProcessingSystem:
         #: Slots whose upstream buffers must not be trimmed right now
         #: (a scale-out/recovery is pinned to one of their checkpoints).
         self.trim_locks: set[int] = set()
+        #: Fencing epoch per slot uid (absent = 0).  Bumped by
+        #: :meth:`fence_slot` whenever a recovery installs a replacement
+        #: for an instance believed dead; every data/control emission is
+        #: stamped with its sender's epoch, and receivers reject stamps
+        #: below the slot's current epoch — a falsely-declared-dead
+        #: zombie can therefore never clobber its successor's output.
+        self.slot_epochs: dict[int, int] = {}
+        #: Committed-prefix floor per fenced (slot, epoch): the restored
+        #: checkpoint's output clock at the moment that epoch's timeline
+        #: was condemned (see :meth:`fence_floor`).
+        self.fence_floors: dict[tuple[int, int], int] = {}
         # Control-plane components, created at deploy time.
         self.detector = None
+        #: Message-based phi failure detector (``fault.detector="phi"``).
+        self.phi_detector = None
         #: The phase-driven engine every topology change runs through.
         self.reconfig = None
         self.scale_out = None
@@ -144,6 +158,11 @@ class StreamProcessingSystem:
         if self.config.scaling.enabled:
             self.detector = BottleneckDetector(self)
             self.detector.start()
+        if self.config.fault.detector == DETECTOR_PHI:
+            from repro.fault.detector import PhiFailureDetector
+
+            self.phi_detector = PhiFailureDetector(self)
+            self.phi_detector.start()
 
     def run(self, until: float) -> None:
         """Advance simulated time to ``until``."""
@@ -180,6 +199,84 @@ class StreamProcessingSystem:
             )
         instance = self.instances[slots[partition].uid]
         return instance.vm
+
+    # ------------------------------------------------------------- fencing
+
+    def epoch_of(self, slot_uid: int) -> int:
+        """The current fencing epoch of a slot (0 until first fenced)."""
+        return self.slot_epochs.get(slot_uid, 0)
+
+    def fence_floor(self, slot_uid: int, epoch: int) -> int:
+        """The committed-prefix floor recorded when ``epoch`` was fenced.
+
+        Output timestamps at or below the floor were covered by the
+        checkpoint the successor restored from: the successor's clock
+        starts *above* them and never re-derives them, so a stale-epoch
+        delivery inside the floor is the sole copy of a committed tuple
+        (accepted late, deduplicated), while anything above the floor is
+        the condemned timeline the successor re-emits (rejected).
+        """
+        return self.fence_floors.get((slot_uid, epoch), 0)
+
+    def fence_slot(self, slot_uid: int, floor: int = 0) -> int:
+        """Bump a slot's epoch ahead of installing a replacement.
+
+        Called by the reconfiguration engine at recovery-install sites
+        only — graceful retirements (scale out of a live operator,
+        merges, fluid hand-offs) must *not* fence, because their
+        suppression semantics assume the old instance's in-flight
+        emissions still deliver.  The external store's write floor moves
+        with the epoch, so a zombie's write-through flushes are rejected
+        even if they are already on the (simulated) wire.
+
+        ``floor`` is the restored checkpoint's output clock: the fenced
+        timeline's emissions at or below it are committed (the
+        checkpoint acknowledged them and upstream buffers were trimmed,
+        so nothing will ever re-derive them) and receivers keep
+        accepting them even under the stale epoch; rebuild-based
+        recoveries pass 0 because they re-emit everything from a zeroed
+        clock under a fresh slot uid.
+        """
+        old_epoch = self.epoch_of(slot_uid)
+        epoch = old_epoch + 1
+        self.slot_epochs[slot_uid] = epoch
+        self.fence_floors[(slot_uid, old_epoch)] = floor
+        old = self.instances.get(slot_uid)
+        if old is not None:
+            self.external_store.fence(old.op_name, slot_uid, epoch)
+        self.telemetry.event(
+            "slot_fenced",
+            old.op_name if old is not None else "",
+            slot=slot_uid,
+            epoch=epoch,
+        )
+        return epoch
+
+    def notify_fenced(
+        self, zombie: OperatorInstance, via_vm: VirtualMachine | None = None
+    ) -> None:
+        """Tell a superseded instance its slot was re-epoched.
+
+        The notice rides the network as a control message from
+        ``via_vm`` (the successor's VM, or the detector's monitor VM),
+        so a zombie on the far side of a partition learns of its
+        replacement only once the partition heals — until then the
+        epoch stamps on its output keep it harmless.
+        """
+        if not zombie.alive or not zombie.vm.alive:
+            return
+        epoch = self.epoch_of(zombie.uid)
+        if zombie.epoch >= epoch:
+            return
+        src = via_vm if via_vm is not None and via_vm.alive else None
+        self.network.send(
+            src,
+            zombie.vm,
+            self.config.fault.heartbeat_bytes,
+            zombie.on_fence_notice,
+            epoch,
+            kind="control",
+        )
 
     def worker_instances(self) -> list[OperatorInstance]:
         """All live non-source/sink instances."""
@@ -232,6 +329,7 @@ class StreamProcessingSystem:
             ckpt,
             target,
             span,
+            instance.epoch,
             kind="control",
         )
 
@@ -263,13 +361,25 @@ class StreamProcessingSystem:
         self._store_backup(ckpt, target)
 
     def _store_backup(
-        self, ckpt: Checkpoint, target: VirtualMachine, span=None
+        self,
+        ckpt: Checkpoint,
+        target: VirtualMachine,
+        span=None,
+        epoch: int | None = None,
     ) -> None:
         if span is not None:
             self.telemetry.end_span(span)
             # Registered under the slot uid: a later recovery restoring
             # from this backup can name the shipment as a causal parent.
             self.telemetry.tracer.link(("backup", ckpt.slot_uid), span)
+        if epoch is not None and epoch < self.epoch_of(ckpt.slot_uid):
+            # A zombie's checkpoint caught mid-flight by a fence: its seq
+            # may exceed the successor's (both continued from one base),
+            # so the epoch check must come before the staleness check —
+            # accepting it would overwrite the successor's backup with
+            # state from a condemned timeline.
+            self.metrics.increment("checkpoints_fenced_dropped")
+            return
         current = self.backup_of(ckpt.slot_uid)
         if current is not None and current.seq >= ckpt.seq:
             # A newer backup already landed — e.g. a fluid chunk commit
@@ -359,6 +469,10 @@ class StreamProcessingSystem:
         self._handle_lost_backups(instance.vm)
         if self.recovery is None or self.config.fault.strategy == STRATEGY_NONE:
             return
+        if self.phi_detector is not None:
+            # Message-based detection: the crash is observed only through
+            # missing heartbeats — no omniscient constant-delay oracle.
+            return
         self.sim.schedule(
             self.config.fault.detection_delay,
             self.recovery.on_failure_detected,
@@ -385,13 +499,80 @@ class StreamProcessingSystem:
     def retire_backup_store(self, vm: VirtualMachine) -> None:
         """A VM is leaving service gracefully (its operator was replaced).
 
-        Backups it held must move: owners re-checkpoint immediately, and
-        in-flight scale-outs that were partitioning state on this VM abort
-        (and retry through the normal policy/recovery paths).
+        Backups it held must move: live owners re-checkpoint immediately,
+        and in-flight scale-outs that were partitioning state on this VM
+        abort (and retry through the normal policy/recovery paths).
+        Unlike a crash, the retiring VM's bytes are still intact — so a
+        backup whose owner is *dead* is relocated to a surviving VM
+        instead of discarded.  That backup is the slot's sole recovery
+        source (a dead owner cannot re-checkpoint), and the retirement
+        may well be the side effect of a concurrent false-positive
+        recovery fencing a healthy zombie: dropping it would leave the
+        genuinely failed slot permanently unrecoverable.
         """
         if self.reconfig is not None:
             self.reconfig.abort_operations_on_backup_vm(vm)
-        self._handle_lost_backups(vm)
+        store = self.backup_stores.pop(vm.vm_id, None)
+        if store is None:
+            return
+        for owner_uid in store.owners():
+            located = self.backup_locations.get(owner_uid)
+            if located is not None and located.vm_id == vm.vm_id:
+                del self.backup_locations[owner_uid]
+            owner = self.live_instance(owner_uid)
+            if owner is not None:
+                # Re-establish a backup as soon as possible.
+                self.sim.schedule(
+                    0.05, owner.take_checkpoint, priority=PRIORITY_CONTROL
+                )
+            else:
+                self._relocate_backup(vm, store.retrieve(owner_uid))
+
+    def _relocate_backup(self, source: VirtualMachine, ckpt: Checkpoint) -> None:
+        """Ship a dead owner's backup off a retiring VM before it goes.
+
+        The target follows the normal backup placement for the owner's
+        slot when possible, else any surviving worker VM.  The shipment
+        is a real network transfer stamped with the slot's current
+        epoch, so a fence racing the relocation drops it like any other
+        stale checkpoint.
+        """
+        owner = self.instances.get(ckpt.slot_uid)
+        target = self.choose_backup_vm(owner) if owner is not None else None
+        if target is None or not target.alive or target.vm_id == source.vm_id:
+            hosts = {
+                inst.vm.vm_id: inst.vm
+                for inst in self.instances.values()
+                if inst.alive
+                and inst.vm.alive
+                and inst.vm.vm_id != source.vm_id
+            }
+            target = hosts[min(hosts)] if hosts else None
+        if target is None:
+            self.metrics.increment("backups_stranded_on_retirement")
+            return
+        cfg = self.config.checkpoint
+        size = ckpt.size_bytes(cfg.bytes_per_entry, cfg.bytes_per_tuple)
+        self.metrics.increment("backups_relocated")
+        self.telemetry.event(
+            "backup_relocated",
+            f"slot {ckpt.slot_uid} seq {ckpt.seq}: "
+            f"vm {source.vm_id} -> vm {target.vm_id}",
+            slot=ckpt.slot_uid,
+            src_vm=source.vm_id,
+            dst_vm=target.vm_id,
+        )
+        self.network.send(
+            source,
+            target,
+            size,
+            self._store_backup,
+            ckpt,
+            target,
+            None,
+            self.epoch_of(ckpt.slot_uid),
+            kind="control",
+        )
 
     # -------------------------------------------------------------- results
 

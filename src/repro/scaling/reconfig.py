@@ -1302,6 +1302,7 @@ class ReconfigurationEngine:
         system = self.system
         if op.phase == PHASE_TRANSFER:
             self._enter(op, PHASE_RESTORE)
+        zombie = None
         if op.plan.preserve_slots:
             # A checkpoint that was in flight at crash time may have
             # landed after recovery started; restore the freshest one.
@@ -1309,10 +1310,33 @@ class ReconfigurationEngine:
             if fresh is not None:
                 part = fresh
             system.trim_locks.discard(op.old_slot.uid)
+            if op.plan.is_recovery:
+                # Epoch-fence the slot *before* building the replacement:
+                # the successor is born under the bumped epoch, and the
+                # predecessor — which may be a falsely-declared-dead
+                # zombie, still running — keeps the old one.  Everything
+                # the zombie emits from here on is rejected by epoch
+                # checks at receivers, the backup path and the external
+                # store, so two instances sharing one slot uid can never
+                # fork its timeline.
+                zombie = system.instances.get(op.old_slot.uid)
+                # The restored checkpoint's output clock is the fence
+                # floor: emissions at or below it are committed (the
+                # checkpoint acknowledged them, upstream buffers were
+                # trimmed) and the successor — whose clock resumes from
+                # it — never re-derives them, so receivers keep
+                # accepting them even under the superseded epoch.
+                system.fence_slot(op.old_slot.uid, floor=part.out_clock)
         instance = system.deployment.deploy_replacement(slot, vm)
         instance.restore_from(part)
         system.deployment.configure_services(instance)
         op.instances.append(instance)
+        if zombie is not None and zombie.alive and zombie.vm.alive:
+            # Tell the live predecessor it was superseded.  The notice is
+            # a control message from the successor's VM, so a zombie cut
+            # off by a partition keeps running — harmlessly — until the
+            # partition heals and the notice gets through.
+            system.notify_fenced(zombie, via_vm=vm)
         if len(op.instances) == op.plan.parallelism:
             self._enter_commit(op)
 
@@ -1354,9 +1378,19 @@ class ReconfigurationEngine:
             failed.uid, new_slot.uid
         )
         qm.store_routing(plan.op_name, new_routing)
+        zombie = failed if failed.alive and failed.vm.alive else None
+        if plan.is_recovery:
+            # The replacement takes a fresh uid, but the *old* uid's
+            # epoch is still fenced: downstream duplicate filters keep
+            # per-origin watermarks for it, and a falsely-declared-dead
+            # zombie emitting under the old uid would advance them past
+            # tuples the rebuild is about to re-derive.
+            system.fence_slot(failed.uid)
         system.instances.pop(failed.uid, None)
         instance = system.deployment.deploy_replacement(new_slot, vm)
         system.deployment.configure_services(instance)
+        if zombie is not None:
+            system.notify_fenced(zombie, via_vm=vm)
         for up_name in qm.upstream_of(plan.op_name):
             for slot in qm.slots_of(up_name):
                 upstream = system.live_instance(slot.uid)
@@ -1448,8 +1482,25 @@ class ReconfigurationEngine:
         # the VM is only released now that restore-state has completed).
         old = system.instances.pop(op.old_slot.uid, None)
         if old is not None and old.alive:
+            # A live predecessor is retired gracefully — this covers both
+            # plain scale out and parallel recovery of a falsely-suspected
+            # primary.  No fence: its frozen positions became the
+            # suppression bound, which assumes its in-flight emissions
+            # still deliver.
             system.retire_backup_store(old.vm)
             old.stop(release_vm=True)
+        elif plan.is_recovery:
+            # The predecessor was believed dead.  Fence its (retired) uid
+            # so anything still stamped with it — a zombie that revives
+            # behind a partition, or its in-flight checkpoint shipments —
+            # is rejected rather than replayed into the new partitions'
+            # timelines.  The partitioned checkpoint's output clock is
+            # the committed-prefix floor — the partitions replay inputs
+            # from its positions and re-derive only what lies above it.
+            system.fence_slot(
+                op.old_slot.uid,
+                floor=op.ckpt.out_clock if op.ckpt is not None else 0,
+            )
         system.drop_backup(op.old_slot.uid)
         if system.detector is not None:
             system.detector.tracker.forget(op.old_slot.uid)
@@ -1872,16 +1923,15 @@ class ReconfigurationEngine:
                 system.sim.now, kind, f"{plan.op_name}: {why}"
             )
             if plan.is_recovery and system.recovery is not None:
-                # The operator is still dead; retry once conditions allow.
+                # The operator is still dead; retry under the recovery
+                # coordinator's capped exponential backoff (repeatedly
+                # aborted recoveries — e.g. a backup VM dying every
+                # attempt — wait longer each round instead of hammering
+                # a fixed 1 s schedule).
                 failed = system.instances.get(op.old_slot.uid)
                 if failed is not None and not failed.alive:
                     assert plan.failure_time is not None
-                    system.sim.schedule(
-                        1.0,
-                        system.recovery.retry_recovery,
-                        failed,
-                        plan.failure_time,
-                    )
+                    system.recovery.schedule_retry(failed, plan.failure_time)
         op.timeline.enter(PHASE_ABORTED, system.sim.now)
         op.timeline.close(system.sim.now, "aborted")
         op.phase = PHASE_ABORTED

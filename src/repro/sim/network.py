@@ -32,8 +32,15 @@ reliable transport on top of the faulty physical layer:
   in-order primary — exercising the timestamp duplicate filter, which is
   the one layer expected to absorb transport-level duplicates.
 
-Only ``kind="data"`` messages are perturbed; control messages
-(checkpoints, state transfers) model an already-reliable RPC layer.
+Which messages a plan may perturb is declared per rule through its
+traffic classes (see :mod:`repro.chaos.plan`): by default only
+``kind="data"`` messages are perturbed, with control messages
+(checkpoints, state transfers) modelling an already-reliable RPC layer.
+Heartbeats (``kind="heartbeat"``) are fire-and-forget timeliness
+signals — a plan that opts in can *lose* them, and an active partition
+always does.  Partitions sever every traffic class between two VM sets:
+reliable classes are held back (per-edge FIFO) until the partition
+heals, heartbeats crossing the cut are dropped outright.
 """
 
 from __future__ import annotations
@@ -48,13 +55,18 @@ from repro.sim.vm import VirtualMachine
 if TYPE_CHECKING:  # pragma: no cover - typing only
     from repro.chaos.plan import NetworkFaultPlan
 
-#: Message kinds. Fault plans apply to the data plane only.
+#: Message kinds. Fault rules default to the data plane; partitions
+#: sever every kind.
 KIND_DATA = "data"
 KIND_CONTROL = "control"
 #: State-migration chunks (fluid scale out / recovery transfers).  Like
 #: control traffic they ride the reliable RPC layer, but they are counted
 #: separately so the chunk-transfer overhead of a migration is visible.
 KIND_MIGRATION = "migration"
+#: Failure-detector heartbeats (phi detector).  Unlike every other kind
+#: they are fire-and-forget: a perturbing fault plan or an active
+#: partition can genuinely lose them.
+KIND_HEARTBEAT = "heartbeat"
 
 
 @dataclass
@@ -181,7 +193,20 @@ class Network:
         self.bytes_sent += size_bytes
         delay = self.transfer_time(size_bytes)
         plan = self.fault_plan
-        if plan is None or kind != KIND_DATA:
+        key = (src_id, dst.vm_id)
+        hold = 0.0
+        if plan is not None:
+            verdict = plan.partition_verdict(key, self.sim.now, kind)
+            if verdict is None:
+                # A heartbeat crossing an active partition: timeliness
+                # signals are not retransmitted, they are simply gone.
+                self.messages_dropped += 1
+                stats.dropped += 1
+                if self.observer is not None:
+                    self.observer(*meta, False)
+                return
+            hold = verdict
+        if plan is None or (hold == 0.0 and not plan.perturbs_kind(kind)):
             self.sim.schedule(
                 delay,
                 self._deliver,
@@ -193,11 +218,47 @@ class Network:
                 priority=PRIORITY_DATA,
             )
             return
-        key = (src_id, dst.vm_id)
-        extra, duplicate = plan.draw(key, self.sim.now)
-        # Reliable in-order release: a delayed/retransmitted message holds
-        # back everything sent after it on the same edge.
-        arrival = max(self.sim.now + delay + extra, self._edge_clear.get(key, 0.0))
+        extra, duplicate, lost = plan.draw_full(key, self.sim.now, kind)
+        if lost:
+            self.messages_dropped += 1
+            stats.dropped += 1
+            if self.observer is not None:
+                self.observer(*meta, False)
+            return
+        if kind == KIND_HEARTBEAT:
+            # Heartbeats are unordered datagrams: they neither respect nor
+            # advance the per-edge FIFO release clock shared by the
+            # reliable classes (a late heartbeat must never delay data).
+            arrival = self.sim.now + delay + extra
+            self.sim.schedule_at(
+                arrival,
+                self._deliver,
+                dst,
+                on_delivered,
+                args,
+                stats,
+                meta,
+                priority=PRIORITY_DATA,
+            )
+            if duplicate:
+                self.messages_duplicated += 1
+                stats.duplicated += 1
+                self.sim.schedule_at(
+                    arrival + plan.duplicate_lag,
+                    self._deliver,
+                    dst,
+                    on_delivered,
+                    args,
+                    stats,
+                    meta,
+                    priority=PRIORITY_DATA,
+                )
+            return
+        # Reliable in-order release: a delayed/retransmitted/held message
+        # holds back everything sent after it on the same edge.
+        arrival = max(
+            self.sim.now + delay + hold + extra, self._edge_clear.get(key, 0.0)
+        )
         self._edge_clear[key] = arrival
         self.sim.schedule_at(
             arrival,

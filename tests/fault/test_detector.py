@@ -61,6 +61,46 @@ class TestHeartbeatMonitor:
         assert monitor.detections == 2
         assert len(system.metrics.events_of_kind("recovery_complete")) == 2
 
+    def test_stop_clears_accrued_misses_and_restart_detects(self):
+        """Regression: ``stop()`` must forget ``_missed`` so a restarted
+        monitor starts from a clean slate instead of instantly crossing
+        its threshold on counts accrued in a previous life."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        system.config.fault.detection_delay = 1000.0
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=50)
+        monitor.start()
+        gen.feed("a")
+        uid = _counter_uid(system)
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 2.0)
+        system.run(until=6.0)
+        assert monitor._missed.get(uid, 0) > 0  # accrued, unreported
+        monitor.stop()
+        assert monitor._missed == {}
+        assert monitor._reported == set()
+        monitor.missed_beats = 2
+        monitor.start()
+        system.run(until=15.0)
+        assert monitor.detections == 1
+        assert len(system.metrics.events_of_kind("recovery_complete")) == 1
+
+    def test_stop_clears_reported_slots(self):
+        """With recovery disabled a reported slot stays reported; a
+        stop/start pair must still reset that memory."""
+        system, gen, _col = small_system(
+            strategy="none", checkpoint_interval=1.0
+        )
+        system.config.fault.detection_delay = 1000.0
+        monitor = HeartbeatMonitor(system, period=0.5, missed_beats=2)
+        monitor.start()
+        gen.feed("a")
+        uid = _counter_uid(system)
+        system.injector.fail_target_at(lambda: system.vm_of("counter"), 2.0)
+        system.run(until=6.0)
+        assert uid in monitor._reported
+        monitor.stop()
+        assert monitor._reported == set()
+        assert monitor._missed == {}
+
     def test_stale_entries_pruned_after_parallel_recovery(self):
         """Parallel recovery replaces the slot with new uids; the
         monitor's entries for the retired uid must not accumulate."""

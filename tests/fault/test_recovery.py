@@ -150,3 +150,96 @@ class TestHeartbeatMonitor:
         monitor.start()
         system.run(until=10.0)
         assert monitor.detections == 0
+
+
+class TestRetryBackoff:
+    """Config-driven capped exponential backoff for recovery retries."""
+
+    def _capture(self, system, kind):
+        rows = []
+        system.metrics.on_event(
+            lambda t, k, d, fields: rows.append((t, dict(fields)))
+            if k == kind
+            else None
+        )
+        return rows
+
+    def test_delays_grow_exponentially_and_cap(self):
+        system, _gen, _col = small_system()
+        cfg = system.config.fault
+        cfg.retry_base, cfg.retry_multiplier = 1.0, 3.0
+        cfg.retry_cap, cfg.retry_jitter = 5.0, 0.0
+        uid = system.query_manager.slots_of("counter")[0].uid
+        instance = system.instances[uid]
+        retries = self._capture(system, "recovery_retry")
+        for _ in range(4):
+            system.recovery.schedule_retry(instance, failure_time=0.0)
+        delays = [fields["delay"] for _t, fields in retries]
+        assert delays == [1.0, 3.0, 5.0, 5.0]  # base, x3, capped, capped
+        attempts = [fields["attempt"] for _t, fields in retries]
+        assert attempts == [1, 2, 3, 4]
+
+    def test_jitter_scales_delay_within_band_deterministically(self):
+        def delays_for(jitter):
+            system, _gen, _col = small_system()
+            cfg = system.config.fault
+            cfg.retry_base, cfg.retry_multiplier = 2.0, 1.0
+            cfg.retry_cap, cfg.retry_jitter = 2.0, jitter
+            uid = system.query_manager.slots_of("counter")[0].uid
+            instance = system.instances[uid]
+            retries = self._capture(system, "recovery_retry")
+            for _ in range(5):
+                system.recovery.schedule_retry(instance, failure_time=0.0)
+            return [fields["delay"] for _t, fields in retries]
+
+        jittered = delays_for(0.5)
+        assert all(1.0 <= d <= 3.0 for d in jittered)
+        assert len(set(jittered)) > 1  # actually perturbed
+        assert jittered == delays_for(0.5)  # seeded: reproducible
+        assert delays_for(0.0) == [2.0] * 5  # zero jitter consumes no RNG
+
+    def test_gives_up_after_max_retries(self):
+        system, _gen, _col = small_system()
+        cfg = system.config.fault
+        cfg.retry_jitter = 0.0
+        cfg.max_retries = 2
+        uid = system.query_manager.slots_of("counter")[0].uid
+        instance = system.instances[uid]
+        giveups = self._capture(system, "recovery_giveup")
+        for _ in range(4):
+            system.recovery.schedule_retry(instance, failure_time=0.0)
+        assert system.recovery.giveups == 2
+        assert len(system.metrics.events_of_kind("recovery_retry")) == 2
+        assert giveups and giveups[0][1]["attempts"] == 2
+
+    def test_gives_up_past_deadline(self):
+        system, _gen, _col = small_system()
+        cfg = system.config.fault
+        cfg.retry_jitter = 0.0
+        cfg.retry_deadline = 4.0
+        uid = system.query_manager.slots_of("counter")[0].uid
+        instance = system.instances[uid]
+        system.run(until=10.0)  # now - failure_time exceeds the deadline
+        system.recovery.schedule_retry(instance, failure_time=0.0)
+        assert system.recovery.giveups == 1
+        assert len(system.metrics.events_of_kind("recovery_giveup")) == 1
+
+    def test_backup_outage_retries_until_recovery_completes(self):
+        """End to end: kill the worker *and* its backup VM together, so
+        the first recovery attempt finds no backup and must retry."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        system.config.fault.retry_jitter = 0.0
+        feed_many(gen, ["a", "b"])
+        uid = system.query_manager.slots_of("counter")[0].uid
+
+        def kill_both():
+            backup_vm = system.backup_locations.get(uid)
+            system.injector.fail_now(system.vm_of("counter"))
+            if backup_vm is not None and backup_vm.alive:
+                system.injector.fail_now(backup_vm)
+
+        system.sim.schedule_at(5.0, kill_both)
+        system.run(until=40.0)
+        assert len(system.metrics.events_of_kind("recovery_complete")) >= 1
+        counter = system.instances_of("counter")[0]
+        assert counter.state["a"] == 1

@@ -1,0 +1,191 @@
+"""Epoch-fencing tests.
+
+A recovery that installs a replacement for an instance believed dead
+bumps the slot's epoch (:meth:`StreamProcessingSystem.fence_slot`).
+If the belief was wrong — asynchrony, loss, a partition — the old
+primary is a *zombie*: still running, still emitting.  These tests pin
+the three fencing guarantees:
+
+* receivers reject the zombie's condemned suffix (stamps below the
+  slot's epoch with timestamps above the committed-prefix floor) but
+  keep accepting its committed prefix exactly once;
+* the external store and the backup path reject the zombie's flushes;
+* a fence notice makes the zombie self-terminate.
+"""
+
+import dataclasses
+
+from repro.core.tuples import Tuple
+from tests.conftest import small_system
+
+
+def _counter_uid(system) -> int:
+    return system.query_manager.slots_of("counter")[0].uid
+
+
+def _sink(system):
+    return system.instances[system.query_manager.slots_of("sink")[0].uid]
+
+
+class TestReceiverFencing:
+    def test_stale_epoch_delivery_rejected(self):
+        system, gen, _col = small_system()
+        gen.feed("a")
+        system.run(until=1.0)
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        system.fence_slot(uid)  # floor 0: the whole timeline is condemned
+        before = sink.processed_weight
+        sink.receive_stamped(Tuple(ts=7, key="a", slot=uid), epoch=0)
+        system.run(until=2.0)
+        assert sink.fenced_drops == 1
+        assert sink.processed_weight == before
+        assert system.counter("fenced_drops:sink") == 1
+
+    def test_current_epoch_delivery_accepted(self):
+        system, gen, _col = small_system()
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        epoch = system.fence_slot(uid)
+        before = sink.processed_weight
+        sink.receive_stamped(Tuple(ts=7, key="a", slot=uid), epoch=epoch)
+        system.run(until=1.0)
+        assert sink.fenced_drops == 0
+        assert sink.processed_weight == before + 1
+
+    def test_committed_prefix_accepted_late_exactly_once(self):
+        """A zombie emission at or below the fence floor is the sole copy
+        of a checkpoint-committed tuple: accepted late, then deduplicated
+        on re-delivery; above the floor it is condemned."""
+        system, gen, _col = small_system()
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        system.fence_slot(uid, floor=5)
+        sink.receive_stamped(Tuple(ts=4, key="a", slot=uid), epoch=0)
+        system.run(until=1.0)
+        assert sink.fenced_accepts == 1
+        assert sink.fenced_drops == 0
+        dup_before = sink.dropped_duplicates
+        sink.receive_stamped(Tuple(ts=4, key="a", slot=uid), epoch=0)
+        assert sink.dropped_duplicates == dup_before + 1
+        assert sink.fenced_accepts == 1
+        sink.receive_stamped(Tuple(ts=6, key="a", slot=uid), epoch=0)
+        assert sink.fenced_drops == 1
+
+    def test_fence_cut_bounds_already_delivered_prefix(self):
+        """What the condemned timeline delivered *before* the fence is
+        bounded by the arrival watermark: a partition-held duplicate of
+        it must not be accepted a second time via the floor path."""
+        system, gen, _col = small_system()
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        sink.receive_stamped(Tuple(ts=3, key="a", slot=uid), epoch=0)
+        system.run(until=1.0)
+        system.fence_slot(uid, floor=5)
+        dup_before = sink.dropped_duplicates
+        sink.receive_stamped(Tuple(ts=3, key="a", slot=uid), epoch=0)
+        assert sink.dropped_duplicates == dup_before + 1
+        assert sink.fenced_accepts == 0
+        # ...while the never-delivered part of the prefix still lands
+        sink.receive_stamped(Tuple(ts=4, key="a", slot=uid), epoch=0)
+        assert sink.fenced_accepts == 1
+
+    def test_stale_replay_always_rejected(self):
+        """Replayed tuples under a stale epoch are rejected even inside
+        the floor: the fenced feeder's replay duty passed to its
+        successor, which re-derives them under the new epoch."""
+        system, gen, _col = small_system()
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        system.fence_slot(uid, floor=5)
+        sink.receive_stamped(
+            Tuple(ts=3, key="a", slot=uid, replay=True), epoch=0
+        )
+        assert sink.fenced_drops == 1
+        assert sink.fenced_accepts == 0
+
+    def test_stale_batch_rejected(self):
+        system, gen, _col = small_system()
+        sink = _sink(system)
+        uid = _counter_uid(system)
+        system.fence_slot(uid)
+        batch = [Tuple(ts=t, key="a", slot=uid) for t in (6, 7, 8)]
+        sink.receive_batch_stamped(batch, epoch=0)
+        assert sink.fenced_drops == 3
+
+
+class TestStoreFencing:
+    def test_stale_external_flush_rejected(self):
+        system, _gen, _col = small_system()
+        store = system.external_store
+        uid = _counter_uid(system)
+        store.persist("counter", "a", 1, slot_uid=uid, epoch=0)
+        assert store.lookup("counter", "a") == 1
+        system.fence_slot(uid)
+        store.persist("counter", "a", 99, slot_uid=uid, epoch=0)
+        assert store.lookup("counter", "a") == 1  # zombie write rejected
+        assert store.fenced_writes == 1
+        assert not store.delete("counter", "a", slot_uid=uid, epoch=0)
+        store.persist("counter", "a", 2, slot_uid=uid, epoch=1)
+        assert store.lookup("counter", "a") == 2  # successor writes land
+
+    def test_stale_checkpoint_backup_rejected(self):
+        """A zombie's checkpoint shipment caught mid-flight by the fence
+        must not overwrite the successor's backup, even when its seq is
+        ahead (both timelines continued from one base)."""
+        system, gen, _col = small_system(checkpoint_interval=1.0)
+        gen.feed("a")
+        system.run(until=3.5)  # a few checkpoints land
+        uid = _counter_uid(system)
+        backup = system.backup_of(uid)
+        assert backup is not None
+        system.fence_slot(uid)
+        zombie_ckpt = dataclasses.replace(backup, seq=backup.seq + 10)
+        target = system.backup_locations[uid]
+        system._store_backup(zombie_ckpt, target, None, epoch=0)
+        assert system.backup_of(uid).seq == backup.seq
+        assert system.counter("checkpoints_fenced_dropped") == 1
+
+
+class TestFenceNotice:
+    def test_zombie_self_terminates_on_fence_notice(self):
+        system, _gen, _col = small_system()
+        uid = _counter_uid(system)
+        zombie = system.instances[uid]
+        epoch = system.fence_slot(uid)
+        assert zombie.alive
+        zombie.on_fence_notice(epoch)
+        assert not zombie.alive
+        assert not zombie.vm.alive or zombie.vm.released
+        assert system.counter("zombies_fenced") == 1
+        assert len(system.metrics.events_of_kind("zombie_fenced")) == 1
+
+    def test_stale_notice_ignored(self):
+        """A notice for an epoch the instance already holds (or has
+        surpassed) must not kill it."""
+        system, _gen, _col = small_system()
+        uid = _counter_uid(system)
+        instance = system.instances[uid]
+        instance.on_fence_notice(0)
+        assert instance.alive
+        assert system.counter("zombies_fenced") == 0
+
+    def test_notify_fenced_travels_over_the_network(self):
+        system, _gen, _col = small_system()
+        uid = _counter_uid(system)
+        zombie = system.instances[uid]
+        system.fence_slot(uid)
+        system.notify_fenced(zombie)
+        assert zombie.alive  # notice is a message, not a hypercall
+        system.run(until=1.0)
+        assert not zombie.alive
+        assert system.counter("zombies_fenced") == 1
+
+    def test_notice_is_idempotent(self):
+        system, _gen, _col = small_system()
+        uid = _counter_uid(system)
+        zombie = system.instances[uid]
+        epoch = system.fence_slot(uid)
+        zombie.on_fence_notice(epoch)
+        zombie.on_fence_notice(epoch)
+        assert system.counter("zombies_fenced") == 1

@@ -306,3 +306,99 @@ class TestValidation:
     def test_zero_bandwidth_rejected(self, sim):
         with pytest.raises(SimulationError):
             Network(sim, bandwidth_bytes_per_s=0.0)
+
+
+class TestPartitions:
+    """Partition semantics per traffic class: heartbeats crossing an
+    active cut are dropped outright; reliable classes are held back and
+    released in per-edge FIFO order when the partition heals."""
+
+    def _partitioned(self):
+        from repro.chaos.plan import PartitionRule
+        from repro.sim.network import (
+            KIND_CONTROL,
+            KIND_HEARTBEAT,
+            KIND_MIGRATION,
+        )
+
+        plan = NetworkFaultPlan(
+            [],
+            seed=0,
+            partitions=[
+                PartitionRule(frozenset({1}), frozenset({2}), (0.0, 5.0))
+            ],
+        )
+        return plan, KIND_CONTROL, KIND_HEARTBEAT, KIND_MIGRATION
+
+    def test_heartbeats_dropped_reliable_classes_held(self, sim, net, vms):
+        src, dst = vms
+        plan, control, heartbeat, migration = self._partitioned()
+        net.install_fault_plan(plan)
+        log = []
+        net.send(src, dst, 1.0, lambda: log.append(("hb", sim.now)),
+                 kind=heartbeat)
+        net.send(src, dst, 1.0, lambda: log.append(("data", sim.now)))
+        net.send(src, dst, 1.0, lambda: log.append(("ctl", sim.now)),
+                 kind=control)
+        net.send(src, dst, 1.0, lambda: log.append(("mig", sim.now)),
+                 kind=migration)
+        sim.run()
+        kinds = [k for k, _t in log]
+        assert "hb" not in kinds  # a late heartbeat is a missed heartbeat
+        assert kinds == ["data", "ctl", "mig"]  # send order preserved
+        assert all(t >= 5.0 for _k, t in log)  # released at heal, not before
+        assert plan.partition_drops == 1
+        assert plan.partition_holds == 3
+
+    def test_fifo_across_the_heal(self, sim, net, vms):
+        """A message sent after the partition heals must not overtake one
+        still held from inside the window."""
+        src, dst = vms
+        plan, _control, _heartbeat, _migration = self._partitioned()
+        net.install_fault_plan(plan)
+        log = []
+        net.send(src, dst, 1.0, lambda: log.append("held"))
+        sim.schedule_at(
+            5.5, lambda: net.send(src, dst, 1.0, lambda: log.append("fresh"))
+        )
+        sim.run()
+        assert log == ["held", "fresh"]
+
+    def test_uninvolved_edges_unaffected(self, sim, net, vms):
+        src, _dst = vms
+        outsider = VirtualMachine(sim, 7)
+        plan, _control, heartbeat, _migration = self._partitioned()
+        net.install_fault_plan(plan)
+        log = []
+        net.send(src, outsider, 1.0, lambda: log.append(sim.now),
+                 kind=heartbeat)
+        sim.run()
+        assert log and log[0] < 1.0
+        assert plan.partition_drops == 0
+
+    def test_heartbeats_after_heal_flow_again(self, sim, net, vms):
+        src, dst = vms
+        plan, _control, heartbeat, _migration = self._partitioned()
+        net.install_fault_plan(plan)
+        log = []
+        sim.schedule_at(
+            6.0,
+            lambda: net.send(
+                src, dst, 1.0, lambda: log.append(sim.now), kind=heartbeat
+            ),
+        )
+        sim.run()
+        assert len(log) == 1
+
+    def test_partition_verdict_consumes_no_randomness(self, sim, net, vms):
+        """Partition checks must not advance the fault-plan RNG: two
+        plans differing only in partition traffic draw identical fault
+        sequences for everything else."""
+        src, dst = vms
+        plan, _control, heartbeat, _migration = self._partitioned()
+        state_before = plan._rng.getstate()
+        for _ in range(5):
+            net.install_fault_plan(plan)
+            net.send(src, dst, 1.0, lambda: None, kind=heartbeat)
+        sim.run()
+        assert plan._rng.getstate() == state_before
