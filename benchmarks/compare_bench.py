@@ -53,6 +53,23 @@ EXACT = [
     ("results", "detection", "phi_4", "false_positives"),
     ("results", "detection", "phi_8", "detection_latency_s"),
     ("results", "detection", "phi_8", "false_positives"),
+    # Checkpoint-mode sweep: sink/data-path p99, per-cut delta bytes and
+    # epoch counts are simulated-time numbers from seeded runs — any
+    # drift is a barrier-protocol or incremental-cut behaviour change.
+    ("results", "checkpoint_sweep", "no_checkpoint", "sink_p99_ms"),
+    ("results", "checkpoint_sweep", "no_checkpoint", "counter_p99_ms"),
+    ("results", "checkpoint_sweep", "phase", "sink_p99_ms"),
+    ("results", "checkpoint_sweep", "phase", "counter_p99_ms"),
+    ("results", "checkpoint_sweep", "phase_frequent", "sink_p99_ms"),
+    ("results", "checkpoint_sweep", "phase_frequent", "counter_p99_ms"),
+    ("results", "checkpoint_sweep", "barrier", "sink_p99_ms"),
+    ("results", "checkpoint_sweep", "barrier", "counter_p99_ms"),
+    ("results", "checkpoint_sweep", "barrier", "delta_bytes_per_cut"),
+    ("results", "checkpoint_sweep", "barrier", "epochs_completed"),
+    ("results", "checkpoint_sweep", "barrier_frequent", "sink_p99_ms"),
+    ("results", "checkpoint_sweep", "barrier_frequent", "counter_p99_ms"),
+    ("results", "checkpoint_sweep", "barrier_frequent", "delta_bytes_per_cut"),
+    ("results", "checkpoint_sweep", "barrier_frequent", "epochs_completed"),
 ]
 
 

@@ -12,6 +12,8 @@ See README.md for a quickstart and DESIGN.md for the system inventory.
 """
 
 from repro.config import (
+    CHECKPOINT_MODE_BARRIER,
+    CHECKPOINT_MODE_PHASE,
     CheckpointConfig,
     CloudConfig,
     FaultToleranceConfig,
@@ -25,7 +27,9 @@ from repro.config import (
 )
 from repro.core import (
     Checkpoint,
+    Checkpointer,
     CostModel,
+    EpochCut,
     KeyInterval,
     Operator,
     OperatorContext,
@@ -57,11 +61,15 @@ __version__ = "1.0.0"
 #: The frozen public surface: ``from repro import <name>`` for every name
 #: here is the supported way in; everything else is internal layout.
 __all__ = [
+    "CHECKPOINT_MODE_BARRIER",
+    "CHECKPOINT_MODE_PHASE",
     "Checkpoint",
+    "Checkpointer",
     "ChaosRunner",
     "CostModel",
     "CheckpointConfig",
     "CloudConfig",
+    "EpochCut",
     "FaultToleranceConfig",
     "KeyInterval",
     "NetworkConfig",

@@ -111,6 +111,14 @@ def _trace_main(argv: list[str]) -> int:
         help="sim time of the injected primary-VM crash",
     )
     parser.add_argument(
+        "--checkpoint-mode", default=None, choices=("phase", "barrier"),
+        help="checkpoint coordination mode (default: config default, phase)",
+    )
+    parser.add_argument(
+        "--checkpoint-interval", type=float, default=2.0,
+        help="checkpoint interval in sim-s (default: 2.0)",
+    )
+    parser.add_argument(
         "--out", default=None,
         help="trace output path (default: trace-<workload>-seed<N>.jsonl)",
     )
@@ -120,6 +128,8 @@ def _trace_main(argv: list[str]) -> int:
         seed=args.seed,
         duration=args.duration,
         fail_at=args.fail_at,
+        checkpoint_interval=args.checkpoint_interval,
+        checkpoint_mode=args.checkpoint_mode,
         out=args.out,
     )
     log = EventLog(sink=console_sink())

@@ -95,6 +95,7 @@ class ChaosRunner:
         duration: float = 150.0,
         window: float = 15.0,
         checkpoint_interval: float = 2.0,
+        checkpoint_mode: str = "phase",
         settle: float = 25.0,
         workload_seed: int = 0,
         recovery_parallelism: int = 1,
@@ -124,6 +125,10 @@ class ChaosRunner:
         self.duration = duration
         self.window = window
         self.checkpoint_interval = checkpoint_interval
+        #: Checkpoint coordination for the whole sweep (golden included):
+        #: "phase" (per-instance daemons) or "barrier" (epoch-aligned
+        #: cuts with incremental deltas) — see CheckpointConfig.mode.
+        self.checkpoint_mode = checkpoint_mode
         #: Quiet tail after the last injected fault: long enough for every
         #: recovery to finish and for each slot to store a fresh,
         #: un-trim-locked checkpoint (the buffers_trimmed oracle needs it).
@@ -161,6 +166,7 @@ class ChaosRunner:
         config.seed = self.workload_seed
         config.scaling.enabled = False
         config.checkpoint.interval = self.checkpoint_interval
+        config.checkpoint.mode = self.checkpoint_mode
         config.checkpoint.stagger = True
         config.fault.recovery_parallelism = self.recovery_parallelism
         config.fault.detector = detector if detector is not None else self.detector
@@ -460,6 +466,68 @@ class ChaosRunner:
                 )
             )
         return result
+
+    def run_epoch_kill(
+        self, seed: int, network_faults: bool = True
+    ) -> ChaosRunResult:
+        """Kill a worker VM mid-epoch under barrier checkpointing.
+
+        Requires ``checkpoint_mode="barrier"``.  The kill lands a few
+        (seeded) milliseconds after a barrier injection boundary — while
+        barriers are in flight, inputs are aligning, or the epoch cut is
+        being serialised — so the in-flight epoch is lost and recovery
+        must fall back to the last *complete* epoch's cuts.  ``seed``
+        additionally derives a network fault plan (loss, duplication,
+        re-ordering) unless ``network_faults`` is off.  The audit is the
+        standard exactly-once one: the sink output must match the golden
+        run window for window.
+        """
+        import random as _random
+
+        if self.checkpoint_mode != "barrier":
+            raise ReproError(
+                "run_epoch_kill requires checkpoint_mode='barrier'"
+            )
+        system, query = self._build()
+        plan = None
+        if network_faults:
+            plan = self._fault_plan(seed)
+            system.network.install_fault_plan(plan)
+        rng = _random.Random(seed)
+        # Pick a barrier boundary well inside the chaos window, then a
+        # small offset landing inside the barrier propagation / cut
+        # serialisation that follows it.
+        last_k = int((self.duration - self.settle) / self.checkpoint_interval)
+        k = rng.randint(2, max(2, last_k - 1))
+        fail_at = k * self.checkpoint_interval + rng.uniform(0.002, 0.035)
+
+        def victim():
+            victims = self._fault_model_victims(system)
+            return rng.choice(victims) if victims else None
+
+        system.injector.fail_target_at(victim, fail_at)
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=plan)
+        if not system.metrics.events_of_kind("recovery_complete"):
+            result.violations.append(
+                Violation(
+                    "epoch_kill",
+                    f"no recovery completed after the mid-epoch kill at "
+                    f"{fail_at:.3f}s",
+                )
+            )
+        if system.checkpointer.last_complete_epoch == 0:
+            result.violations.append(
+                Violation(
+                    "epoch_kill",
+                    "barrier protocol never completed an epoch",
+                )
+            )
+        return result
+
+    def epoch_kill_sweep(self, seeds: list[int]) -> list[ChaosRunResult]:
+        """Run every mid-epoch-kill seed; the golden run is shared."""
+        return [self.run_epoch_kill(seed) for seed in seeds]
 
     def sweep(self, seeds: list[int]) -> list[ChaosRunResult]:
         """Run every seed; the golden run is shared across the sweep."""

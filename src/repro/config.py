@@ -41,6 +41,11 @@ _STATE_BACKENDS = (
     STATE_BACKEND_EXTERNAL,
 )
 
+#: Checkpoint coordination modes accepted by :class:`CheckpointConfig`.
+CHECKPOINT_MODE_PHASE = "phase"
+CHECKPOINT_MODE_BARRIER = "barrier"
+_CHECKPOINT_MODES = (CHECKPOINT_MODE_PHASE, CHECKPOINT_MODE_BARRIER)
+
 
 @dataclass
 class CheckpointConfig:
@@ -63,6 +68,15 @@ class CheckpointConfig:
     #: delta.  Cuts serialisation and transfer cost for large, sparsely
     #: updated state.
     incremental: bool = False
+    #: Checkpoint coordination: "phase" is the per-instance periodic
+    #: daemon (pause-free CoW copy, synchronous with the engine's
+    #: checkpoint phases — today's behaviour and the bit-identical
+    #: default).  "barrier" switches to epoch-aligned asynchronous
+    #: barrier snapshots (Carbone et al.): sources inject numbered
+    #: barriers every ``interval`` seconds, multi-input operators align
+    #: them by parking the faster input, each operator cuts per epoch and
+    #: ships only the delta since its previous cut through the StateMover.
+    mode: str = CHECKPOINT_MODE_PHASE
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid or inconsistent values."""
@@ -70,6 +84,11 @@ class CheckpointConfig:
             raise ConfigurationError(f"checkpoint interval must be > 0: {self.interval}")
         if self.serialize_seconds_per_entry < 0 or self.serialize_base_seconds < 0:
             raise ConfigurationError("checkpoint serialisation costs must be >= 0")
+        if self.mode not in _CHECKPOINT_MODES:
+            raise ConfigurationError(
+                f"unknown checkpoint mode {self.mode!r}; "
+                f"expected one of {_CHECKPOINT_MODES}"
+            )
 
 
 @dataclass

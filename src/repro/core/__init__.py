@@ -11,6 +11,10 @@ from repro.core.backend import (
 from repro.core.checkpoint import (
     BackupStore,
     Checkpoint,
+    Checkpointer,
+    EpochCut,
+    RestorePlan,
+    as_checkpoint,
     from_external_store,
     materialize_increment,
 )
@@ -54,7 +58,9 @@ from repro.core.window import (
 __all__ = [
     "BackupStore",
     "Checkpoint",
+    "Checkpointer",
     "CostModel",
+    "EpochCut",
     "ExecutionGraph",
     "ExternalBackend",
     "ExternalStateStore",
@@ -73,6 +79,7 @@ __all__ = [
     "OutputBuffer",
     "ProcessingState",
     "QueryGraph",
+    "RestorePlan",
     "RoutingState",
     "SIDE_LEFT",
     "SIDE_RIGHT",
@@ -87,6 +94,7 @@ __all__ = [
     "WindowAccumulator",
     "WindowedJoinOperator",
     "WindowedKeyedCounter",
+    "as_checkpoint",
     "backend_for",
     "critical_path",
     "from_external_store",

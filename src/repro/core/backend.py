@@ -40,7 +40,7 @@ from repro.core.spill import ExternalStateStore, SpillableState
 from repro.core.state import ProcessingState
 
 if TYPE_CHECKING:  # pragma: no cover - typing only
-    from repro.core.checkpoint import Checkpoint
+    from repro.core.checkpoint import EpochCut
     from repro.core.operator import Operator
 
 
@@ -65,8 +65,13 @@ class StateBackend:
         """Re-materialise backend-managed state from a checkpoint's state."""
         raise NotImplementedError
 
-    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
-        """Hook invoked after every checkpoint cut (default: nothing)."""
+    def on_checkpoint(self, cut: "EpochCut") -> None:
+        """Hook invoked after every checkpoint cut (default: nothing).
+
+        Every backend receives the same :class:`EpochCut` descriptor —
+        the checkpoint payload plus epoch/τ/out_clock/fence-floor context
+        — so implementations never take positions/clock/seq positionally
+        (the signature drift the EpochCut redesign removed)."""
 
     def tier_stats(self, state: ProcessingState) -> dict[str, int]:
         """Per-tier entry counts and I/O counters for telemetry."""
@@ -178,11 +183,14 @@ class ExternalBackend(SpillBackend):
         self._persisted = set(state.keys())
         return state
 
-    def on_checkpoint(self, checkpoint: "Checkpoint") -> None:
+    def on_checkpoint(self, cut: "EpochCut") -> None:
         store = self.store
         writes = 0
-        if checkpoint.incremental:
-            for key, value in checkpoint.state.entries.items():
+        # The EpochCut delegates the payload's entries/deletes/τ/clock;
+        # the *fencing* epoch stamped on store writes stays this
+        # backend's own (bumped by fence notices, not per snapshot).
+        if cut.incremental:
+            for key, value in cut.state.entries.items():
                 store.persist(
                     self.op_name,
                     key,
@@ -192,15 +200,15 @@ class ExternalBackend(SpillBackend):
                 )
                 self._persisted.add(key)
                 writes += 1
-            for key in checkpoint.deleted_keys:
+            for key in cut.deleted_keys:
                 if store.delete(
                     self.op_name, key, slot_uid=self.slot_uid, epoch=self.epoch
                 ):
                     writes += 1
                 self._persisted.discard(key)
         else:
-            current = set(checkpoint.state.entries)
-            for key, value in checkpoint.state.entries.items():
+            current = set(cut.state.entries)
+            for key, value in cut.state.entries.items():
                 store.persist(
                     self.op_name,
                     key,
@@ -218,9 +226,9 @@ class ExternalBackend(SpillBackend):
         store.save_meta(
             self.op_name,
             self.slot_uid,
-            checkpoint.positions,
-            checkpoint.out_clock,
-            seq=checkpoint.seq,
+            cut.positions,
+            cut.out_clock,
+            seq=cut.seq,
             epoch=self.epoch,
         )
         writes += 1

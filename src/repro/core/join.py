@@ -17,6 +17,15 @@ module implements that repartition join:
 Because the state is ordinary keyed entries, everything else in the
 system — checkpointing, backup, partitioning, recovery, scale in — works
 on joins unchanged.
+
+The join is also the system's canonical *multi-input* operator: under
+``checkpoint_mode = "barrier"`` (DESIGN.md §14) a join instance is where
+epoch-barrier alignment actually happens — the first input to deliver
+its barrier is blocked (fresh tuples park raw, pre-admission) while the
+slower side keeps flowing, and the epoch's cut is taken only once every
+live upstream slot's barrier has arrived, so no post-barrier tuple can
+leak into the cut.  ``tests/runtime/test_barrier_alignment.py`` pins
+that behaviour.
 """
 
 from __future__ import annotations

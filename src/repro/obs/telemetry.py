@@ -128,6 +128,42 @@ class Telemetry:
             if stats[counter] > previous:
                 self.increment(name, stats[counter] - previous)
 
+    def epoch_cut(
+        self,
+        op_name: str,
+        slot_uid: int,
+        epoch: int,
+        size_bytes: float,
+        incremental: bool,
+    ) -> None:
+        """Publish one checkpoint cut's shipped size (delta vs full).
+
+        Monotone counters split full-snapshot bytes from delta bytes, so
+        dashboards (and the bench sweep) can show backup traffic scaling
+        with write-rate rather than state size once incremental cuts
+        kick in.  Per-operator counters ride alongside the totals.
+        """
+        name = "checkpoint.delta_bytes" if incremental else "checkpoint.full_bytes"
+        self.increment(name, size_bytes)
+        self.increment(f"{name}:{op_name}", size_bytes)
+        self.increment(
+            "checkpoint.cuts.delta" if incremental else "checkpoint.cuts.full"
+        )
+
+    def alignment_stall(
+        self, op_name: str, slot_uid: int, epoch: int, stall_seconds: float
+    ) -> None:
+        """Publish a multi-input operator's barrier-alignment stall.
+
+        The time between the first and the last input barrier of one
+        epoch — the window during which the faster inputs' tuples were
+        parked.  Accumulated in ``epoch.alignment_stall_ms`` and kept as
+        a per-operator time series for traces.
+        """
+        ms = stall_seconds * 1e3
+        self.increment("epoch.alignment_stall_ms", ms)
+        self.timeseries(f"epoch_stall:{op_name}").record(self.now(), ms)
+
     def suspicion(
         self, op_name: str, slot_uid: int, phi: float, state: str
     ) -> None:

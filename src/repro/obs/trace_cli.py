@@ -36,6 +36,7 @@ class TraceReport:
     )
     span_count: int = 0
     event_count: int = 0
+    counters: dict[str, float] = field(default_factory=dict)
 
     def render(self) -> str:
         """Phase timeline + critical path per operation, then the file."""
@@ -46,6 +47,12 @@ class TraceReport:
             lines.append("")
             lines.append(self.render_timeline(rows))
             lines.append(path.render())
+        if self.counters:
+            lines.append("")
+            lines.append("checkpoint counters:")
+            width = max(len(name) for name in self.counters)
+            for name, value in self.counters.items():
+                lines.append(f"  {name.ljust(width)}  {value:,.1f}")
         lines.append("")
         lines.append(
             f"{self.span_count} spans, {self.event_count} events "
@@ -69,12 +76,21 @@ class TraceReport:
         return "\n".join(lines)
 
 
+#: Counters surfaced in the trace summary (epoch-aligned checkpointing).
+_CHECKPOINT_COUNTERS = (
+    "checkpoint.full_bytes",
+    "checkpoint.delta_bytes",
+    "epoch.alignment_stall_ms",
+)
+
+
 def _build_system(
     workload: str,
     seed: int,
     rate: float,
     duration: float,
     checkpoint_interval: float,
+    checkpoint_mode: str | None = None,
 ) -> tuple["StreamProcessingSystem", str]:
     from repro.runtime.system import StreamProcessingSystem
 
@@ -100,6 +116,8 @@ def _build_system(
     config.seed = seed
     config.scaling.enabled = False
     config.checkpoint.interval = checkpoint_interval
+    if checkpoint_mode is not None:
+        config.checkpoint.mode = checkpoint_mode
     config.cloud.pool_size = 2
     system = StreamProcessingSystem(config)
     system.deploy(query.graph, generators=query.generators)
@@ -113,11 +131,12 @@ def run_trace(
     duration: float = 90.0,
     fail_at: float = 40.0,
     checkpoint_interval: float = 2.0,
+    checkpoint_mode: str | None = None,
     out: str | Path | None = None,
 ) -> TraceReport:
     """Run one seeded recovery and dump + summarise its trace."""
     system, fail_op = _build_system(
-        workload, seed, rate, duration, checkpoint_interval
+        workload, seed, rate, duration, checkpoint_interval, checkpoint_mode
     )
     system.injector.fail_target_at(lambda: system.vm_of(fail_op), fail_at)
     system.run(until=duration)
@@ -139,4 +158,7 @@ def run_trace(
         timelines=timelines,
         span_count=len(telemetry.tracer),
         event_count=len(telemetry.log),
+        counters={
+            name: telemetry.counter(name) for name in _CHECKPOINT_COUNTERS
+        },
     )

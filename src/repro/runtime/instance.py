@@ -18,8 +18,9 @@ from __future__ import annotations
 import enum
 from typing import TYPE_CHECKING, Any, Callable
 
+from repro.config import CHECKPOINT_MODE_BARRIER
 from repro.core.backend import backend_for
-from repro.core.checkpoint import Checkpoint
+from repro.core.checkpoint import Checkpoint, EpochCut
 from repro.core.operator import Operator, OperatorContext
 from repro.core.state import (
     OutputBuffer,
@@ -54,6 +55,27 @@ REPLAY_DEDUP = "dedup"
 #: strategies (fresh state) and of intermediate operators re-deriving a
 #: failed operator's input during source replay.
 REPLAY_ACCEPT = "accept"
+
+
+class _BarrierAlignment:
+    """Per-epoch barrier-alignment state at one operator instance.
+
+    Created when the first input barrier of an epoch arrives.  ``awaited``
+    holds the upstream slot uids whose barrier is still outstanding;
+    ``blocked`` the ones whose barrier already arrived — data from a
+    blocked input is *parked* (kept raw, pre-admission) so it cannot leak
+    into this epoch's cut ahead of the slower inputs, and is re-delivered
+    in arrival order once the cut is taken (or the epoch aborts).
+    """
+
+    __slots__ = ("awaited", "blocked", "parked", "started_at")
+
+    def __init__(self, awaited: set[int], started_at: float) -> None:
+        self.awaited = awaited
+        self.blocked: set[int] = set()
+        #: ("t", tuple) and ("b", batch) items in arrival order.
+        self.parked: list[tuple[str, Any]] = []
+        self.started_at = started_at
 
 
 class OperatorInstance:
@@ -221,6 +243,10 @@ class OperatorInstance:
         #: Dedup watermark for late committed-prefix deliveries (held
         #: messages release in per-edge FIFO order, so ts-ordered).
         self._fenced_wm: dict[int, int] = {}
+        #: Barrier-mode (``checkpoint_mode=barrier``) epoch alignment,
+        #: keyed by snapshot epoch; empty whenever no epoch is in flight
+        #: here, which keeps the hot path a single falsy check.
+        self._barrier_state: dict[int, _BarrierAlignment] = {}
         vm.occupant = self
         vm.on_failure(self._on_vm_failed)
 
@@ -255,6 +281,8 @@ class OperatorInstance:
     def receive(self, tup: Tuple) -> None:
         """Entry point for tuples delivered by the network."""
         if not self.alive or not self.vm.alive:
+            return
+        if self._barrier_state and self._barrier_park(tup):
             return
         if self._admit(tup):
             work = tup.weight * self.operator.cost_per_tuple
@@ -381,6 +409,11 @@ class OperatorInstance:
         """
         if not self.alive or not self.vm.alive:
             return
+        if self._barrier_state and batch and not batch[0].replay:
+            for state in self._barrier_state.values():
+                if batch[0].slot in state.blocked:
+                    state.parked.append(("b", batch))
+                    return
         accepted = [tup for tup in batch if self._admit(tup)]
         if accepted:
             work = sum(t.weight for t in accepted) * self.operator.cost_per_tuple
@@ -831,6 +864,11 @@ class OperatorInstance:
         if self.is_source or self.is_sink:
             return  # sources and sinks are assumed reliable (§2.2)
         cfg = self.system.config.checkpoint
+        if cfg.mode == CHECKPOINT_MODE_BARRIER:
+            # Barrier mode has no per-instance daemon: cuts are driven by
+            # the source-injected epoch barriers (system.deploy arms the
+            # Checkpointer's injection timer).
+            return
         if self._ckpt_task is not None:
             return
         start_after = cfg.interval
@@ -874,6 +912,17 @@ class OperatorInstance:
     def _finish_checkpoint(self, incremental: bool = False) -> None:
         if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
             return
+        checkpoint = self._build_checkpoint(incremental)
+        cut = EpochCut(checkpoint, epoch=0, fence_epoch=self.epoch)
+        # Tiered backends piggyback on the cut: the external tier
+        # flushes it (a consistent, replayable cut) to durable storage.
+        self.backend.on_checkpoint(cut)
+        self.record_tier_metrics()
+        self.system.checkpointer.cut(self, cut)
+
+    def _build_checkpoint(self, incremental: bool) -> Checkpoint:
+        """Materialise the cut itself — full CoW snapshot or dirty-key
+        delta — shared by the phase daemon and barrier-epoch cuts."""
         self._ckpt_seq += 1
         buffers = {name: buf.snapshot() for name, buf in self.buffers.items()}
         if incremental and self._can_increment:
@@ -887,7 +936,7 @@ class OperatorInstance:
                     deleted.add(key)
                 else:
                     delta_entries[key] = _copy_state_value(value)
-            checkpoint = Checkpoint(
+            return Checkpoint(
                 op_name=self.op_name,
                 slot_uid=self.uid,
                 state=ProcessingState(
@@ -902,24 +951,20 @@ class OperatorInstance:
                 base_seq=self._ckpt_seq - 1,
                 deleted_keys=frozenset(deleted),
             )
-        else:
-            checkpoint = Checkpoint(
-                op_name=self.op_name,
-                slot_uid=self.uid,
-                state=self.state.snapshot(),
-                buffers=buffers,
-                taken_at=self.system.sim.now,
-                seq=self._ckpt_seq,
-            )
-            if self.system.config.checkpoint.incremental:
-                self.state.enable_dirty_tracking()
-                self.state.consume_dirty()
-                self._can_increment = True
-        # Tiered backends piggyback on the cut: the external tier
-        # flushes it (a consistent, replayable cut) to durable storage.
-        self.backend.on_checkpoint(checkpoint)
-        self.record_tier_metrics()
-        self.system.backup_checkpoint(self, checkpoint)
+        checkpoint = Checkpoint(
+            op_name=self.op_name,
+            slot_uid=self.uid,
+            state=self.state.snapshot(),
+            buffers=buffers,
+            taken_at=self.system.sim.now,
+            seq=self._ckpt_seq,
+        )
+        cfg = self.system.config.checkpoint
+        if cfg.incremental or cfg.mode == CHECKPOINT_MODE_BARRIER:
+            self.state.enable_dirty_tracking()
+            self.state.consume_dirty()
+            self._can_increment = True
+        return checkpoint
 
     def force_full_checkpoint(self) -> None:
         """The next checkpoint must be full (delta base unavailable)."""
@@ -934,6 +979,156 @@ class OperatorInstance:
         """
         self._ckpt_seq += 1
         return self._ckpt_seq
+
+    # ------------------------------------------------- barrier snapshots
+
+    def inject_barrier(self, epoch: int) -> None:
+        """Source side: stamp epoch ``epoch`` into the output stream.
+
+        Everything this source emitted before the call belongs to epoch
+        ``epoch``; the barrier is forwarded to every live downstream
+        instance as a control message that rides the same wires as data.
+        """
+        if not self.is_source or not self.alive or not self.vm.alive:
+            return
+        self.flush_batches()
+        self._forward_barrier(epoch)
+
+    def receive_barrier(self, epoch: int, origin_slot: int) -> None:
+        """One upstream slot's epoch barrier arrived (barrier mode).
+
+        Sinks absorb barriers (they hold no checkpointable state); a
+        worker blocks the originating input — its post-barrier tuples
+        park raw, pre-admission — until every live upstream slot has
+        delivered its barrier, then cuts its state for the epoch with
+        zero stop-the-world (the CoW snapshot runs as a front-of-queue
+        work item, and queued pre-barrier tuples are above the cut's τ,
+        covered by upstream replay + dedup exactly like today's cuts).
+        """
+        if not self.alive or not self.vm.alive or self.is_source or self.is_sink:
+            return
+        checkpointer = self.system.checkpointer
+        if not checkpointer.epoch_inflight(epoch):
+            return  # aborted/completed epoch; a late barrier must not park
+        state = self._barrier_state.get(epoch)
+        if state is None:
+            state = _BarrierAlignment(
+                self._upstream_slot_uids(), self.system.sim.now
+            )
+            self._barrier_state[epoch] = state
+        if origin_slot in state.blocked:
+            return  # duplicated barrier delivery
+        state.blocked.add(origin_slot)
+        state.awaited.discard(origin_slot)
+        if state.awaited:
+            return
+        if len(state.blocked) > 1:
+            self.system.telemetry.alignment_stall(
+                self.op_name,
+                self.uid,
+                epoch,
+                self.system.sim.now - state.started_at,
+            )
+        self._cut_epoch(epoch)
+
+    def _upstream_slot_uids(self) -> set[int]:
+        """Live upstream slots whose barriers this instance must align."""
+        qm = self.system.query_manager
+        uids: set[int] = set()
+        for up_name in qm.upstream_of(self.op_name):
+            for slot in qm.slots_of(up_name):
+                if self.system.live_instance(slot.uid) is not None:
+                    uids.add(slot.uid)
+        return uids
+
+    def _barrier_park(self, tup: Tuple) -> bool:
+        """Park a fresh tuple whose sender is blocked under any epoch.
+
+        Parking continues until the epoch's cut is finished (not merely
+        aligned): releasing early would let fresh tuples overtake parked
+        ones from the same edge, and the overtaker's watermark advance
+        would make the parked tuples look like duplicates.  Replays are
+        recovery traffic, not epoch-ordered — they never park.
+        """
+        if tup.replay:
+            return False
+        for state in self._barrier_state.values():
+            if tup.slot in state.blocked:
+                state.parked.append(("t", tup))
+                return True
+        return False
+
+    def _cut_epoch(self, epoch: int) -> None:
+        """All input barriers aligned: serialise this epoch's cut."""
+        if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
+            self._release_epoch(epoch)
+            return
+        self.flush_batches()
+        cfg = self.system.config.checkpoint
+        incremental = self._can_increment
+        if incremental and self.state.dirty is not None:
+            entry_count = len(self.state.dirty)
+        else:
+            entry_count = len(self.state)
+        work = cfg.serialize_base_seconds + entry_count * (
+            cfg.serialize_seconds_per_entry
+        )
+        self.vm.submit(work, self._finish_epoch_cut, epoch, incremental, front=True)
+
+    def _finish_epoch_cut(self, epoch: int, incremental: bool) -> None:
+        if self.status is not InstanceStatus.RUNNING or not self.vm.alive:
+            self._release_epoch(epoch)
+            return
+        if epoch not in self._barrier_state:
+            return  # epoch aborted while the serialisation was queued
+        checkpoint = self._build_checkpoint(incremental)
+        cut = EpochCut(checkpoint, epoch=epoch, fence_epoch=self.epoch)
+        self.backend.on_checkpoint(cut)
+        self.record_tier_metrics()
+        self.system.checkpointer.cut(self, cut)
+        self._forward_barrier(epoch)
+        self._release_epoch(epoch)
+
+    def _forward_barrier(self, epoch: int) -> None:
+        """Send the epoch barrier to every live downstream instance."""
+        system = self.system
+        qm = system.query_manager
+        size = system.config.network.tuple_bytes
+        for down_name in qm.downstream_of(self.op_name):
+            for slot in qm.slots_of(down_name):
+                dest = system.live_instance(slot.uid)
+                if dest is None:
+                    continue
+                system.network.send(
+                    self.vm,
+                    dest.vm,
+                    size,
+                    dest.receive_barrier,
+                    epoch,
+                    self.uid,
+                    kind="control",
+                )
+
+    def _release_epoch(self, epoch: int) -> None:
+        """Drop one epoch's alignment state and re-deliver its parked
+        input in arrival order (re-entry re-checks parking, so a tuple
+        re-parks under a later in-flight epoch if its sender is blocked
+        there too)."""
+        state = self._barrier_state.pop(epoch, None)
+        if state is None:
+            return
+        for kind, item in state.parked:
+            if kind == "b":
+                self.receive_batch(item)
+            else:
+                self.receive(item)
+
+    def abort_barrier_alignment(self, epoch: int | None = None) -> None:
+        """The Checkpointer aborted in-flight epochs (a slot died or an
+        epoch went stale): unwind alignment and release parked tuples."""
+        epochs = [epoch] if epoch is not None else sorted(self._barrier_state)
+        for e in epochs:
+            self._release_epoch(e)
 
     def start_age_trimming(self, horizon: float, period: float = 5.0) -> None:
         """Retain only ``horizon`` seconds of buffered tuples.
@@ -1278,6 +1473,9 @@ class OperatorInstance:
             self.flush_batches()
         else:
             self._discard_batches()
+        # Parked barrier-mode tuples sit in upstream buffers too; the
+        # successor (if any) receives them via replay, not from here.
+        self._barrier_state.clear()
         self.status = InstanceStatus.STOPPED
         self._stop_tasks()
         if release_vm and self.vm.alive:
@@ -1319,6 +1517,7 @@ class OperatorInstance:
             return
         self.status = InstanceStatus.FAILED
         self._discard_batches()
+        self._barrier_state.clear()
         self._stop_tasks()
         self.system.notify_instance_failed(self)
 

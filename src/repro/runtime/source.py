@@ -6,6 +6,15 @@ operators cannot fail).  Actual data comes from a
 source's instances; generators drive
 :meth:`repro.runtime.instance.OperatorInstance.inject`, so source-side
 serialisation cost and saturation are modelled like any other CPU work.
+
+Under ``checkpoint_mode = "barrier"`` sources are additionally the
+injection points of the epoch barrier protocol (DESIGN.md §14): the
+system-level :class:`~repro.core.checkpoint.Checkpointer` calls
+:meth:`~repro.runtime.instance.OperatorInstance.inject_barrier` on every
+live source instance each checkpoint interval, which flushes pending
+batches and stamps the numbered barrier into the output stream ahead of
+all later emissions.  Sources hold no checkpointable state (§2.2: they
+cannot fail), so they forward barriers without ever cutting or aligning.
 """
 
 from __future__ import annotations

@@ -16,12 +16,20 @@ from __future__ import annotations
 from typing import Any
 
 from repro.config import (
+    CHECKPOINT_MODE_BARRIER,
     DETECTOR_PHI,
     STRATEGY_ACTIVE_REPLICATION,
     STRATEGY_NONE,
+    STRATEGY_RSM,
     SystemConfig,
 )
-from repro.core.checkpoint import BackupStore, Checkpoint
+from repro.core.checkpoint import (
+    BackupStore,
+    Checkpoint,
+    Checkpointer,
+    EpochCut,
+    as_checkpoint,
+)
 from repro.core.query import QueryGraph
 from repro.core.spill import ExternalStateStore
 from repro.errors import DeploymentError, RuntimeStateError
@@ -123,6 +131,11 @@ class StreamProcessingSystem:
         self.recovery = None
         #: Active-replication manager (set when the strategy is active).
         self.replication = None
+        #: The single checkpoint-coordination seam: every cut (phase or
+        #: barrier epoch) and every recovery's backup selection routes
+        #: through it.
+        self.checkpointer = Checkpointer(self)
+        self._barrier_task = None
         self._deployed = False
 
     # ------------------------------------------------------------ lifecycle
@@ -163,6 +176,20 @@ class StreamProcessingSystem:
 
             self.phi_detector = PhiFailureDetector(self)
             self.phi_detector.start()
+        ckpt_cfg = self.config.checkpoint
+        if (
+            ckpt_cfg.mode == CHECKPOINT_MODE_BARRIER
+            and self.config.fault.strategy == STRATEGY_RSM
+        ):
+            # Barrier mode replaces the per-instance checkpoint daemons
+            # with one epoch driver: every ``interval`` seconds the
+            # Checkpointer opens an epoch and the sources stamp it into
+            # their streams.
+            self._barrier_task = self.sim.every(
+                ckpt_cfg.interval,
+                self.checkpointer.start_epoch,
+                start_after=ckpt_cfg.interval,
+            )
 
     def run(self, until: float) -> None:
         """Advance simulated time to ``until``."""
@@ -348,7 +375,7 @@ class StreamProcessingSystem:
         return candidates[instance.uid % len(candidates)].vm
 
     def store_backup_sync(
-        self, ckpt: Checkpoint, target: VirtualMachine
+        self, ckpt: "Checkpoint | EpochCut", target: VirtualMachine
     ) -> None:
         """Store a backup without a network hop (control-plane commit).
 
@@ -356,9 +383,10 @@ class StreamProcessingSystem:
         range at a target partition, that partition must be recoverable
         (Algorithm 2, line 8 — the scale out itself is fault tolerant);
         a backup still on the wire would leave a window where committed
-        chunks die with the target VM.
+        chunks die with the target VM.  Accepts the raw payload or an
+        :class:`EpochCut` descriptor.
         """
-        self._store_backup(ckpt, target)
+        self._store_backup(as_checkpoint(ckpt), target)
 
     def _store_backup(
         self,
@@ -467,6 +495,10 @@ class StreamProcessingSystem:
         # lands on a fresh VM); drop their in-order release clocks.
         self.network.prune_edges(instance.vm.vm_id)
         self._handle_lost_backups(instance.vm)
+        # Barrier mode: the dead slot can never report its cut, so every
+        # in-flight epoch aborts and parked tuples release (no-op in
+        # phase mode, which keeps no epochs in flight).
+        self.checkpointer.on_instance_failed(instance)
         if self.recovery is None or self.config.fault.strategy == STRATEGY_NONE:
             return
         if self.phi_detector is not None:

@@ -49,7 +49,7 @@ from dataclasses import dataclass, field
 from typing import TYPE_CHECKING, Callable
 
 from repro.config import MigrationConfig
-from repro.core.checkpoint import BackupStore, Checkpoint, from_external_store
+from repro.core.checkpoint import BackupStore, Checkpoint, EpochCut
 from repro.core.execution import Slot
 from repro.core.migration import MigrationChunk, StateMover
 from repro.core.partition import partition_checkpoint, split_interval_groups
@@ -364,20 +364,21 @@ class ReconfigurationEngine:
         ckpt: Checkpoint | None = None
         external_restore = False
         if plan.state_source == SOURCE_BACKUP:
-            ckpt = system.backup_of(slot_uid)
-            if ckpt is None and plan.preserve_slots:
-                # Recovery of last resort: the backup died with its VM,
-                # but an external-backend operator's last flushed cut
-                # survives in the external store.  Restore precedence is
-                # backup → external tier.
-                ckpt = self._external_checkpoint(plan.op_name, slot_uid)
-                external_restore = ckpt is not None
-                if external_restore:
-                    system.metrics.mark_event(
-                        system.sim.now,
-                        "recovery_external",
-                        f"{old.slot!r}: restoring from external tier",
-                    )
+            # The Checkpointer owns backup selection: live backup store
+            # first, then — recoveries only — the external tier of last
+            # resort (the backup died with its VM, but an external-backend
+            # operator's last flushed cut survives in the external store).
+            restore = system.checkpointer.restore_plan(
+                slot_uid, allow_external=plan.preserve_slots
+            )
+            ckpt = restore.checkpoint
+            external_restore = restore.external
+            if external_restore:
+                system.metrics.mark_event(
+                    system.sim.now,
+                    "recovery_external",
+                    f"{old.slot!r}: restoring from external tier",
+                )
             if ckpt is None:
                 kind = "unrecoverable" if plan.preserve_slots else "scale_out_aborted"
                 system.metrics.mark_event(
@@ -444,25 +445,6 @@ class ReconfigurationEngine:
                 "scale_out_started",
                 f"{old.slot!r} -> pi={plan.parallelism} ({plan.reason})",
             )
-
-    def _external_checkpoint(
-        self, op_name: str, slot_uid: int
-    ) -> Checkpoint | None:
-        """Synthesise a restore checkpoint from the external state tier.
-
-        Only entries hashing into the slot's own routing intervals are
-        restored — other partitions of the operator persist into the
-        same per-operator namespace.
-        """
-        system = self.system
-        store = system.external_store
-        if len(store) == 0:
-            return None
-        routing = system.query_manager.routing_to(op_name)
-        intervals = routing.intervals_of(slot_uid)
-        return from_external_store(
-            store, op_name, slot_uid, intervals, taken_at=system.sim.now
-        )
 
     def _submit_merge(self, plan: ReconfigPlan) -> bool:
         system = self.system
@@ -1106,16 +1088,19 @@ class ReconfigurationEngine:
             # exactly once.
             rollback = frozen.state.snapshot()
             rollback = rollback.extract(fluid.committed_intervals)
-            backup = Checkpoint(
-                op_name=plan.op_name,
-                slot_uid=target.uid,
-                state=rollback,
-                buffers={
-                    name: buf.snapshot()
-                    for name, buf in target.buffers.items()
-                },
-                taken_at=system.sim.now,
-                seq=target.next_checkpoint_seq(),
+            backup = EpochCut(
+                Checkpoint(
+                    op_name=plan.op_name,
+                    slot_uid=target.uid,
+                    state=rollback,
+                    buffers={
+                        name: buf.snapshot()
+                        for name, buf in target.buffers.items()
+                    },
+                    taken_at=system.sim.now,
+                    seq=target.next_checkpoint_seq(),
+                ),
+                fence_epoch=target.epoch,
             )
             system.store_backup_sync(backup, op.backup_vm)
 

@@ -1,0 +1,72 @@
+"""Mid-epoch kill sweeps under barrier checkpointing.
+
+Barrier mode replaces the per-instance checkpoint daemons with
+source-injected epoch barriers and incremental cuts, so a crash has a
+new worst case: the in-flight epoch's cuts are partially shipped when a
+worker dies.  Recovery must ignore the incomplete epoch and fall back
+to the last *complete* epoch's base + deltas, replaying the difference.
+The 20-seed matrix lands a kill a few milliseconds after a barrier
+injection — during propagation, alignment, or cut serialisation — under
+seeded network faults, and asserts the invariant set and golden-run
+equivalence hold, the same acceptance gate as every other sweep.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.runner import ChaosRunner
+
+#: One shared runner per module: the golden run (also barrier-mode) is
+#: computed once and reused by every seed.
+_RUNNER = None
+
+
+def runner() -> ChaosRunner:
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = ChaosRunner(
+            checkpoint_mode="barrier",
+            trace_dir=os.environ.get("CHAOS_TRACE_DIR"),
+        )
+    return _RUNNER
+
+
+def test_mid_epoch_kill_falls_back_to_last_complete_epoch(tmp_path):
+    """Quick tier-1 check: a worker killed mid-epoch (no network faults)
+    recovers from the last complete epoch and stays exactly-once."""
+    quick = ChaosRunner(
+        checkpoint_mode="barrier", duration=90.0,
+        trace_dir=str(tmp_path / "traces"),
+    )
+    result = quick.run_epoch_kill(2, network_faults=False)
+    assert result.failures == 1
+    assert result.recoveries >= 1
+    assert result.survived, result.describe()
+
+
+def test_epoch_kill_requires_barrier_mode():
+    from repro.errors import ReproError
+
+    with pytest.raises(ReproError):
+        ChaosRunner().run_epoch_kill(0)
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(20))
+def test_epoch_kill_seed_upholds_all_invariants(seed):
+    result = runner().run_epoch_kill(seed)
+    assert result.survived, result.describe()
+
+
+@pytest.mark.chaos
+def test_epoch_kill_violations_reproducible_from_seed_alone():
+    a = ChaosRunner(checkpoint_mode="barrier").run_epoch_kill(3)
+    b = ChaosRunner(checkpoint_mode="barrier").run_epoch_kill(3)
+    assert (a.failures, a.faults, a.recoveries, a.aborts) == (
+        b.failures,
+        b.faults,
+        b.recoveries,
+        b.aborts,
+    )
+    assert [str(v) for v in a.violations] == [str(v) for v in b.violations]

@@ -69,6 +69,8 @@ class TestTraceCommand:
                 "seed": 9,
                 "duration": 42.0,
                 "fail_at": 20.0,
+                "checkpoint_mode": None,
+                "checkpoint_interval": 2.0,
                 "out": out,
             }
         ]

@@ -21,6 +21,11 @@ class TestPublicApi:
             "Tracer",
             "ChaosRunner",
             "ReconfigurationEngine",
+            # The redesigned checkpoint seam (DESIGN.md §14).
+            "Checkpointer",
+            "EpochCut",
+            "CHECKPOINT_MODE_PHASE",
+            "CHECKPOINT_MODE_BARRIER",
         }
         assert required <= set(repro.__all__)
 
