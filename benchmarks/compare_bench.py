@@ -70,6 +70,28 @@ EXACT = [
     ("results", "checkpoint_sweep", "barrier_frequent", "counter_p99_ms"),
     ("results", "checkpoint_sweep", "barrier_frequent", "delta_bytes_per_cut"),
     ("results", "checkpoint_sweep", "barrier_frequent", "epochs_completed"),
+    # Zipf-skew sweep: interval-only splitting vs hot-key carve-out at
+    # each skew exponent.  Throughput, tail latency, hot-slot saturation
+    # and the operation counts are all simulated-time numbers from
+    # seeded runs — any drift is a scaling-policy or carve-out
+    # behaviour change.  The interval_only cells double as the
+    # bit-identical guard for the default (hot-key-disabled) config.
+    ("results", "skew_sweep", "zipf_1", "interval_only", "tuples_processed"),
+    ("results", "skew_sweep", "zipf_1", "interval_only", "reduce_p99_ms"),
+    ("results", "skew_sweep", "zipf_1", "interval_only", "hot_slot_final_util"),
+    ("results", "skew_sweep", "zipf_1", "interval_only", "splits_completed"),
+    ("results", "skew_sweep", "zipf_1", "hot_key_aware", "tuples_processed"),
+    ("results", "skew_sweep", "zipf_1", "hot_key_aware", "reduce_p99_ms"),
+    ("results", "skew_sweep", "zipf_1", "hot_key_aware", "carve_outs"),
+    ("results", "skew_sweep", "zipf_1.5", "interval_only", "tuples_processed"),
+    ("results", "skew_sweep", "zipf_1.5", "interval_only", "reduce_p99_ms"),
+    ("results", "skew_sweep", "zipf_1.5", "interval_only", "hot_slot_final_util"),
+    ("results", "skew_sweep", "zipf_1.5", "interval_only", "plateaued"),
+    ("results", "skew_sweep", "zipf_1.5", "interval_only", "splits_completed"),
+    ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "tuples_processed"),
+    ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "reduce_p99_ms"),
+    ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "hot_slot_final_util"),
+    ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "carve_outs"),
 ]
 
 

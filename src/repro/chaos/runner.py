@@ -424,6 +424,71 @@ class ChaosRunner:
             )
         return result
 
+    def run_carveout_kill(
+        self,
+        target: str,
+        op_name: str | None = None,
+        carve_at: float = 45.0,
+        seed: int = 0,
+        network_faults: bool = True,
+    ) -> ChaosRunResult:
+        """Kill a role VM at the commit of a hot-key carve-out chunk.
+
+        At ``carve_at`` picks the operator's heaviest key straight from
+        its live state (deterministic: max count, ties broken by key) and
+        carves its singleton interval out into a dedicated slot — the
+        partial fluid migration behind hot-key elasticity.  The
+        ``target``-role VM is killed the moment the carve's chunk
+        commits: the hot key's routing has swapped to the new slot, the
+        source has just shed the moved range from its frozen backup, and
+        parked tuples are still replaying.  ``seed`` additionally derives
+        a network fault plan unless ``network_faults`` is off.
+        """
+        from repro.core.state import KeyInterval
+        from repro.core.tuples import stable_hash
+
+        if op_name is None:
+            op_name = "counter" if self.workload == "wordcount" else "toll_calc"
+        system, query = self._build()
+        schedule = PhaseTriggeredFaults(system)
+        schedule.kill_on_chunk_commit(0, target=target, op_name=op_name)
+        plan = None
+        if network_faults:
+            plan = self._fault_plan(seed)
+            system.network.install_fault_plan(plan)
+
+        def start() -> None:
+            slot = system.query_manager.slots_of(op_name)[0]
+            instance = system.live_instance(slot.uid)
+            if instance is None or not instance.state:
+                return
+            def weight(value) -> float:
+                if isinstance(value, dict):
+                    return float(sum(value.values()))
+                return float(value) if isinstance(value, (int, float)) else 0.0
+
+            hot = max(
+                instance.state.items(),
+                key=lambda kv: (weight(kv[1]), str(kv[0])),
+            )
+            pos = stable_hash(hot[0])
+            system.scale_out.carve_out_slot(
+                slot.uid, [KeyInterval(pos, pos + 1)], reason="chaos carve"
+            )
+
+        system.sim.schedule_at(carve_at, start)
+        system.run(until=self.duration)
+        result = self._audit(seed, system, query, plan=plan)
+        if not schedule.fired:
+            result.violations.append(
+                Violation(
+                    "carveout_kill",
+                    f"schedule never fired: no carve-out of {op_name!r} "
+                    "committed a chunk",
+                )
+            )
+        return result
+
     def run_last_resort_kill(
         self,
         fail_op: str | None = None,

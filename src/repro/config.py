@@ -112,6 +112,34 @@ class ScalingConfig:
     max_concurrent_operations: int | None = 4
     #: Partitions added per scale out of one slot (slot splits in two).
     split_factor: int = 2
+    #: Scaling policy: "threshold" is the paper's reactive k-consecutive
+    #: rule; "predictive" additionally fits a rate-of-change line over
+    #: the recent utilisation window and provisions when the *projected*
+    #: utilisation crosses δ — ahead of the ramp instead of after k
+    #: breaches.
+    policy: str = "threshold"
+    #: Utilisation samples kept per slot for the predictive fit.
+    predict_window: int = 6
+    #: Seconds ahead the predictive policy projects utilisation.
+    predict_horizon: float = 10.0
+    #: Minimum samples before a predictive (slope-based) decision fires.
+    predict_min_samples: int = 3
+    #: Hot-key detection: sample per-key rates at worker operators and
+    #: carve a dominating key out of its interval into a dedicated
+    #: singleton slot (fine-grained elasticity for Zipf-skewed loads).
+    hot_key_enabled: bool = False
+    #: Heavy-hitter sketch capacity (Space-Saving counters per slot).
+    hot_key_sketch_size: int = 32
+    #: A slot is carve-eligible when its top key carries at least this
+    #: share of the slot's processed weight over a report window.
+    hot_key_share: float = 0.5
+    #: Consecutive hot+skewed reports before a carve-out triggers.
+    hot_key_min_reports: int = 2
+    #: A carved singleton re-absorbs (scale-in merge with its interval
+    #: neighbour) once its utilisation stays below this for
+    #: ``hot_key_cool_reports`` consecutive rounds.
+    hot_key_cool_util: float = 0.25
+    hot_key_cool_reports: int = 3
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid or inconsistent values."""
@@ -123,6 +151,24 @@ class ScalingConfig:
             raise ConfigurationError("consecutive_reports must be >= 1")
         if self.split_factor < 2:
             raise ConfigurationError("split_factor must be >= 2")
+        if self.policy not in ("threshold", "predictive"):
+            raise ConfigurationError(f"unknown scaling policy: {self.policy!r}")
+        if self.predict_window < 2:
+            raise ConfigurationError("predict_window must be >= 2")
+        if self.predict_horizon <= 0:
+            raise ConfigurationError("predict_horizon must be > 0")
+        if self.predict_min_samples < 2:
+            raise ConfigurationError("predict_min_samples must be >= 2")
+        if self.hot_key_sketch_size < 1:
+            raise ConfigurationError("hot_key_sketch_size must be >= 1")
+        if not 0 < self.hot_key_share <= 1:
+            raise ConfigurationError(
+                f"hot_key_share must be in (0, 1]: {self.hot_key_share}"
+            )
+        if self.hot_key_min_reports < 1:
+            raise ConfigurationError("hot_key_min_reports must be >= 1")
+        if self.hot_key_cool_reports < 1:
+            raise ConfigurationError("hot_key_cool_reports must be >= 1")
 
 
 @dataclass

@@ -30,9 +30,13 @@ def split_interval_groups(
     per part; groups are disjoint and jointly tile ``owned``.
 
     ``guide_positions`` optionally carries observed key positions so the
-    split can balance load instead of width (single-interval case only,
-    matching the paper's "the key distribution can be used to guide the
-    split").
+    split can balance load instead of width (the paper's "the key
+    distribution can be used to guide the split").  The guide is honoured
+    whether the partition owns one interval or several: multi-interval
+    owners (common after scale-in merges) map their positions into the
+    concatenated key space, cut at entry quantiles there, and map the
+    cuts back — falling back to the width split only when the guide has
+    fewer usable positions than parts.
     """
     if parts < 1:
         raise PartitionError(f"cannot split into {parts} parts")
@@ -51,14 +55,22 @@ def split_interval_groups(
         raise PartitionError(
             f"owned width {total_width} cannot produce {parts} parts"
         )
+    boundaries = None
+    if guide_positions is not None:
+        boundaries = _guided_boundaries(ordered, total_width, parts, guide_positions)
+    if boundaries is None:
+        # Even width split of the concatenated space.
+        boundaries = [
+            (total_width * (part + 1)) // parts for part in range(parts)
+        ]
     groups: list[list[KeyInterval]] = [[] for _ in range(parts)]
-    # Walk the concatenated space, cutting at multiples of total/parts.
+    # Walk the concatenated space, cutting at the chosen boundaries.
     part_index = 0
     consumed = 0
     for interval in ordered:
         cursor = interval.lo
         while cursor < interval.hi:
-            boundary = (total_width * (part_index + 1)) // parts
+            boundary = boundaries[part_index]
             take = min(interval.hi - cursor, boundary - consumed)
             if take > 0:
                 groups[part_index].append(KeyInterval(cursor, cursor + take))
@@ -69,6 +81,49 @@ def split_interval_groups(
     if any(not group for group in groups):
         raise PartitionError("split produced an empty part")
     return groups
+
+
+def _guided_boundaries(
+    ordered: list[KeyInterval],
+    total_width: int,
+    parts: int,
+    guide_positions: Iterable[int],
+) -> list[int] | None:
+    """Quantile cut points in concatenated-space coordinates, or None.
+
+    Mirrors :meth:`KeyInterval.split_by_positions` for a partition that
+    owns several intervals: each guide position inside an owned interval
+    maps to ``offset_of(interval) + (position - interval.lo)``; cuts land
+    at entry-count quantiles of the mapped positions.  Returns None (the
+    caller falls back to the width split) when fewer positions than
+    ``parts`` fall inside the owned range or the quantile cuts collapse.
+    """
+    offsets: list[int] = []
+    offset = 0
+    for interval in ordered:
+        offsets.append(offset)
+        offset += interval.width
+    inside: list[int] = []
+    for position in guide_positions:
+        for interval, base in zip(ordered, offsets):
+            if position in interval:
+                inside.append(base + (position - interval.lo))
+                break
+    if len(inside) < parts:
+        return None
+    inside.sort()
+    boundaries: list[int] = []
+    previous = 0
+    for part in range(1, parts):
+        cut = inside[(len(inside) * part) // parts]
+        # Guard against duplicate cut points collapsing a part.
+        cut = max(cut, previous + 1)
+        if cut >= total_width:
+            return None
+        boundaries.append(cut)
+        previous = cut
+    boundaries.append(total_width)
+    return boundaries
 
 
 def position_in_groups(position: int, groups: list[list[KeyInterval]]) -> int:

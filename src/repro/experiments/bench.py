@@ -14,7 +14,12 @@ Seeded micro and macro benchmarks for the simulation data plane:
   p99 while scaling a padded operator, all-at-once versus fluid chunked
   transfer (simulated time, so exact);
 * **recovery** — simulated-time recovery latency after a mid-run crash
-  (deterministic: derived entirely from the seed).
+  (deterministic: derived entirely from the seed);
+* **skew_sweep** — Zipf-exponent sweep of the Wikipedia top-k query,
+  interval-only splitting versus hot-key-aware carve-out: throughput,
+  data-path p99 and the hot slot's final utilisation show where
+  interval splitting plateaus on a single dominating key (simulated
+  time, so exact).
 
 Wall-clock numbers vary across machines; simulated-time numbers are
 exact.  Results are written as JSON (default ``BENCH_dataplane.json``)
@@ -54,6 +59,13 @@ PRESETS: dict[str, dict[str, Any]] = {
         "sweep_rate": 200.0,
         "sweep_duration": 10.0,
         "sweep_interval": 2.0,
+        "skew_exponents": (1.5,),
+        "skew_rate": 97_000.0,
+        "skew_duration": 60.0,
+        "skew_languages": 8,
+        "skew_sources": 2,
+        "skew_map_parallelism": 2,
+        "skew_max_vms": 6,
     },
     "small": {
         "kernel_events": 300_000,
@@ -75,6 +87,13 @@ PRESETS: dict[str, dict[str, Any]] = {
         "sweep_rate": 250.0,
         "sweep_duration": 60.0,
         "sweep_interval": 5.0,
+        "skew_exponents": (1.0, 1.5),
+        "skew_rate": 97_000.0,
+        "skew_duration": 240.0,
+        "skew_languages": 8,
+        "skew_sources": 2,
+        "skew_map_parallelism": 2,
+        "skew_max_vms": 6,
     },
     "default": {
         "kernel_events": 1_000_000,
@@ -96,6 +115,13 @@ PRESETS: dict[str, dict[str, Any]] = {
         "sweep_rate": 500.0,
         "sweep_duration": 120.0,
         "sweep_interval": 5.0,
+        "skew_exponents": (1.0, 1.25, 1.5),
+        "skew_rate": 97_000.0,
+        "skew_duration": 300.0,
+        "skew_languages": 8,
+        "skew_sources": 2,
+        "skew_map_parallelism": 2,
+        "skew_max_vms": 6,
     },
 }
 
@@ -617,6 +643,149 @@ def bench_detection(
     return out
 
 
+def _run_skew(
+    exponent: float,
+    hot_key_aware: bool,
+    rate: float,
+    duration: float,
+    languages: int,
+    sources: int,
+    map_parallelism: int,
+    max_vms: int,
+) -> dict[str, Any]:
+    from repro.runtime.system import StreamProcessingSystem
+    from repro.workloads.wikipedia import build_wikipedia_topk_query
+
+    # One stripe per language: each language is exactly one key, so a
+    # steep Zipf exponent concentrates most of the reduce load on one
+    # hashed position — the regime interval splitting cannot relieve.
+    bundle, parallelism = build_wikipedia_topk_query(
+        rate=rate,
+        sources=sources,
+        languages=languages,
+        stripes=1,
+        k=5,
+        emit_interval=5.0,
+        quantum=0.5,
+        zipf_exponent=exponent,
+    )
+    parallelism[bundle.map_name] = map_parallelism
+    config = SystemConfig()
+    config.scaling.enabled = True
+    config.scaling.max_vms = max_vms
+    config.migration.max_chunks = 4
+    config.scaling.hot_key_enabled = hot_key_aware
+    # The sweep measures scaling *policy*, not provisioning latency:
+    # keep enough warm VMs pooled that every permitted operation starts
+    # within a handout delay instead of a 90 s provisioning round-trip.
+    config.cloud.pool_size = max_vms
+    system = StreamProcessingSystem(config)
+    system.deploy(
+        bundle.graph, parallelism=parallelism, generators=bundle.generators
+    )
+    start = time.perf_counter()
+    system.run(until=duration)
+    wall = time.perf_counter() - start
+
+    reduce_name = bundle.reduce_name
+    processed = system.metrics.rate(
+        f"processed:{reduce_name}", system.config.rate_bin
+    ).total()
+    reduce_lat = system.metrics.latencies.get(f"latency:{reduce_name}")
+    reduce_p99 = (
+        reduce_lat.percentile(99, t_min=duration / 2)
+        if reduce_lat and len(reduce_lat)
+        else None
+    )
+    sink_lat = system.metrics.latencies.get("latency:sink")
+    sink_p99 = (
+        sink_lat.percentile(99, t_min=duration / 2)
+        if sink_lat and len(sink_lat)
+        else None
+    )
+    # The hot slot's utilisation in the final report window: stale
+    # series from retired slots are filtered out by sample time.
+    window = 2.0 * system.config.scaling.report_interval
+    hot_util = 0.0
+    for name, series in system.metrics.time_series.items():
+        if not name.startswith(f"util:{reduce_name}[") or not len(series):
+            continue
+        if series.times[-1] >= duration - window:
+            hot_util = max(hot_util, series.values[-1])
+    telemetry = system.telemetry
+    # Above the scaling threshold the slot can't be relieved by further
+    # splitting; at ~1.0 it is saturated outright and falling behind.
+    plateaued = hot_util >= config.scaling.threshold
+    saturated = hot_util >= 0.995
+    return {
+        "exponent": exponent,
+        "mode": "hot_key_aware" if hot_key_aware else "interval_only",
+        "tuples_processed": round(processed, 1),
+        "reduce_p99_ms": round(reduce_p99 * 1e3, 3)
+        if reduce_p99 is not None
+        else None,
+        "sink_p99_ms": round(sink_p99 * 1e3, 3)
+        if sink_p99 is not None
+        else None,
+        "hot_slot_final_util": round(hot_util, 4),
+        "plateaued": plateaued,
+        "saturated": saturated,
+        "reduce_parallelism": system.query_manager.parallelism_of(reduce_name),
+        "worker_vms": system.worker_vm_count(),
+        "splits_completed": system.reconfig.operations_completed,
+        "carve_outs": int(telemetry.counter("scaling.hot_key_carveouts")),
+        "reabsorbs": int(telemetry.counter("scaling.hot_key_reabsorbs")),
+        "splits_skipped_narrow": int(
+            telemetry.counter("scaling.split_skipped_narrow")
+        ),
+        "wall_seconds": round(wall, 3),
+    }
+
+
+def bench_skew_sweep(
+    exponents: tuple,
+    rate: float,
+    duration: float,
+    languages: int,
+    sources: int,
+    map_parallelism: int,
+    max_vms: int,
+) -> dict[str, Any]:
+    """Zipf exponent x {interval-only, hot-key-aware} scaling sweep.
+
+    Every cell runs the same seeded Wikipedia top-k query under a
+    capped VM budget.  At low exponents load spreads over many keys and
+    both modes behave identically (hot-key detection never fires: no
+    key reaches the carve-out share).  At high exponents one language
+    dominates: interval-only splitting halves the hot slot's range
+    round after round without shedding the dominating key, exhausts the
+    budget and *plateaus* — the hot slot's utilisation stays above the
+    scaling threshold, the backlog grows and the data-path p99 climbs —
+    while the hot-key-aware run carves the dominating key out into a
+    dedicated slot and sustains throughput and p99.  All numbers except
+    ``wall_seconds`` are simulated-time, hence exact and seeded.
+    """
+    out: dict[str, Any] = {}
+    for exponent in exponents:
+        cell: dict[str, Any] = {}
+        for label, aware in (
+            ("interval_only", False),
+            ("hot_key_aware", True),
+        ):
+            cell[label] = _run_skew(
+                exponent,
+                aware,
+                rate,
+                duration,
+                languages,
+                sources,
+                map_parallelism,
+                max_vms,
+            )
+        out[f"zipf_{exponent:g}"] = cell
+    return out
+
+
 def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
     """Run every benchmark in ``preset`` and write the JSON report."""
     if preset not in PRESETS:
@@ -647,6 +816,15 @@ def run_bench(preset: str = "small", out: str | None = None) -> dict[str, Any]:
                 params["sweep_rate"],
                 params["sweep_duration"],
                 params["sweep_interval"],
+            ),
+            "skew_sweep": bench_skew_sweep(
+                params["skew_exponents"],
+                params["skew_rate"],
+                params["skew_duration"],
+                params["skew_languages"],
+                params["skew_sources"],
+                params["skew_map_parallelism"],
+                params["skew_max_vms"],
             ),
         },
     }
@@ -739,6 +917,24 @@ def render_report(report: dict[str, Any]) -> str:
                 f"(full/cut {row['full_bytes_per_cut']:,.0f}B), "
                 f"{row['epochs_completed']} epochs"
             )
+    skew = results.get("skew_sweep")
+    if skew:
+        for cell_name, cell in skew.items():
+            for mode in ("interval_only", "hot_key_aware"):
+                row = cell.get(mode)
+                if not row:
+                    continue
+                lines.append(
+                    f"  skew {cell_name} {mode}: "
+                    f"{row['tuples_processed']:,.0f} tuples, reduce p99 "
+                    f"{row['reduce_p99_ms']}ms, hot slot util "
+                    f"{row['hot_slot_final_util']} "
+                    f"(plateaued={row['plateaued']}, "
+                    f"saturated={row['saturated']}), "
+                    f"{row['splits_completed']} ops, "
+                    f"{row['carve_outs']} carve-outs on "
+                    f"{row['worker_vms']} worker VMs"
+                )
     recovery = results.get("recovery")
     if recovery:
         lines.append(

@@ -222,6 +222,11 @@ class OperatorInstance:
         self._batch_pending: dict[int, list[Tuple]] = {}
         self._linger_event = None
         self._latency_counter = 0
+        #: Optional heavy-hitter sketch the hot-key detector attaches;
+        #: fed from the admission path in ``_process_one``.  None (the
+        #: default) keeps the data plane byte-identical to a system
+        #: without hot-key detection.
+        self.key_sketch = None
         # Counters (weighted tuples).
         self.processed_weight = 0.0
         self.emitted_weight = 0.0
@@ -599,6 +604,8 @@ class OperatorInstance:
             self._current_input = None
         self.state.advance(tup.slot, tup.ts)
         self.processed_weight += tup.weight
+        if self.key_sketch is not None:
+            self.key_sketch.offer(tup.key, tup.weight)
         metrics = self.system.metrics
         metrics.rate(
             f"processed:{self.op_name}", self.system.config.rate_bin
@@ -1211,11 +1218,39 @@ class OperatorInstance:
         return sent
 
     def replay_all_buffers(self, flag_replay: bool = False) -> int:
-        """Resend every buffered tuple (restored operator → downstreams)."""
+        """Resend every buffered tuple (restored operator → downstreams).
+
+        Each tuple is re-routed by the *current* routing state, not the
+        bucket it was checkpointed under: a routing swap committed after
+        the checkpoint was taken (a fluid chunk commit or a hot-key
+        carve-out) moved keys to a new owner.  The stale edge's instance
+        would drop the tuple as migrated — while the new owner, if it
+        released a dead feeder's mid-drain replays, is waiting for
+        exactly these (slot, ts) pairs as gap fills.
+        """
         sent = 0
-        for buf in self.buffers.values():
+        gap = self.system.config.fault.replay_message_gap
+        # One replay channel per destination (see replay_buffer_to).
+        delays: dict[int, float] = {}
+        for down_name, buf in self.buffers.items():
+            routing = self.routing.get(down_name)
             for dest_uid in buf.destinations():
-                sent += self.replay_buffer_to(dest_uid, flag_replay)
+                for tup in buf.tuples_for(dest_uid):
+                    target = dest_uid
+                    if routing is not None:
+                        owner = routing.route_key(tup.key)
+                        if owner is not None:
+                            target = owner
+                    if flag_replay:
+                        if not tup.replay:
+                            tup = tup.copy()
+                            tup.replay = True
+                        delay = delays.get(target, 0.0)
+                        self.system.sim.schedule(delay, self._send, target, tup)
+                        delays[target] = delay + gap
+                    else:
+                        self._send(target, tup)
+                    sent += 1
         return sent
 
     def expect_replays(

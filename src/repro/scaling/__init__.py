@@ -4,7 +4,13 @@ scale out, scale in, and recovery — runs through (Algorithm 3)."""
 
 from repro.scaling.coordinator import ScaleOutCoordinator
 from repro.scaling.detector import BottleneckDetector
-from repro.scaling.policy import ScaleOutDecision, ThresholdScalingPolicy
+from repro.scaling.hotkey import HotKeyManager
+from repro.scaling.policy import (
+    PredictiveScalingPolicy,
+    ScaleOutDecision,
+    ThresholdScalingPolicy,
+    make_policy,
+)
 from repro.scaling.reconfig import (
     KIND_RECOVERY,
     KIND_SCALE_IN,
@@ -14,15 +20,23 @@ from repro.scaling.reconfig import (
     Reconfiguration,
     ReconfigurationEngine,
 )
-from repro.scaling.reports import UtilizationReport, UtilizationTracker
+from repro.scaling.reports import (
+    HotKeyReport,
+    SpaceSavingSketch,
+    UtilizationReport,
+    UtilizationTracker,
+)
 from repro.scaling.scale_in import ScaleInCoordinator, ScaleInPolicy
 
 __all__ = [
     "BottleneckDetector",
+    "HotKeyManager",
+    "HotKeyReport",
     "KIND_RECOVERY",
     "KIND_SCALE_IN",
     "KIND_SCALE_OUT",
     "PHASE_ORDER",
+    "PredictiveScalingPolicy",
     "ReconfigPlan",
     "Reconfiguration",
     "ReconfigurationEngine",
@@ -30,7 +44,9 @@ __all__ = [
     "ScaleInPolicy",
     "ScaleOutCoordinator",
     "ScaleOutDecision",
+    "SpaceSavingSketch",
     "ThresholdScalingPolicy",
     "UtilizationReport",
     "UtilizationTracker",
+    "make_policy",
 ]

@@ -92,6 +92,16 @@ class ScaleOutCoordinator:
         old = system.instance(slot_uid)
         if old is None:
             return False
+        if parallelism > 1:
+            # A slot cannot split into more parts than it owns key-space
+            # width — a carved-out singleton slot (width 1) recovers or
+            # "splits" serially instead of crashing the partitioner.
+            routing = system.query_manager.routing_to(old.op_name)
+            owned_width = sum(
+                iv.width for iv in routing.intervals_of(slot_uid)
+            )
+            if 0 < owned_width < parallelism:
+                parallelism = owned_width
         is_recovery = failure_time is not None or not (old.alive and old.vm.alive)
         plan = ReconfigPlan(
             kind=KIND_RECOVERY if is_recovery else KIND_SCALE_OUT,
@@ -101,6 +111,44 @@ class ScaleOutCoordinator:
             state_source=SOURCE_BACKUP,
             reason=reason,
             failure_time=failure_time,
+            on_complete=on_complete,
+        )
+        return self._engine.submit(plan)
+
+    def carve_out_slot(
+        self,
+        slot_uid: int,
+        intervals: list,
+        reason: str = "hot-key",
+        on_complete: Callable[[float], None] | None = None,
+    ) -> bool:
+        """Carve ``intervals`` out of a live slot into a dedicated slot.
+
+        Fine-grained elasticity for skew that interval splitting cannot
+        relieve: instead of replacing the slot with π halves, exactly
+        the given sub-intervals (typically one hot key's singleton
+        ``[pos, pos+1)``) migrate to one new partition while the source
+        keeps serving the rest of its range.  Runs as a partial fluid
+        migration with the same exactly-once guarantees as a scale out;
+        the carved slot re-absorbs into a neighbour later via a normal
+        scale-in merge.  Returns whether the operation was started.
+        """
+        system = self.system
+        if not intervals:
+            raise ScaleOutError("carve-out needs at least one interval")
+        old = system.instance(slot_uid)
+        if old is None:
+            return False
+        if not (old.alive and old.vm.alive):
+            return False
+        plan = ReconfigPlan(
+            kind=KIND_SCALE_OUT,
+            op_name=old.op_name,
+            old_slots=[old.slot],
+            parallelism=1,
+            state_source=SOURCE_BACKUP,
+            reason=reason,
+            move_intervals=list(intervals),
             on_complete=on_complete,
         )
         return self._engine.submit(plan)

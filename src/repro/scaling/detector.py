@@ -10,7 +10,8 @@ from __future__ import annotations
 
 from typing import TYPE_CHECKING
 
-from repro.scaling.policy import ScaleOutDecision, ThresholdScalingPolicy
+from repro.scaling.hotkey import HotKeyManager
+from repro.scaling.policy import REASON_PREDICTED, ScaleOutDecision, make_policy
 from repro.scaling.reports import UtilizationReport, UtilizationTracker
 from repro.sim.simulator import PeriodicTask
 
@@ -23,8 +24,13 @@ class BottleneckDetector:
 
     def __init__(self, system: "StreamProcessingSystem") -> None:
         self.system = system
-        self.policy = ThresholdScalingPolicy(system.config.scaling)
+        self.policy = make_policy(system.config.scaling)
         self.tracker = UtilizationTracker()
+        self.hot_keys = (
+            HotKeyManager(system)
+            if system.config.scaling.hot_key_enabled
+            else None
+        )
         self._task: PeriodicTask | None = None
         self.reports_collected = 0
         self.decisions_made = 0
@@ -45,6 +51,11 @@ class BottleneckDetector:
     def _tick(self) -> None:
         reports = self.collect_reports()
         self.reports_collected += len(reports)
+        if self.hot_keys is not None:
+            # Carve-outs get first claim on a hot slot: a started carve
+            # arms the policy cooldown for its source, so the threshold
+            # rule does not waste the round on a futile interval split.
+            self.hot_keys.observe(reports)
         decisions = self.policy.observe(
             reports, self.system.sim.now, self._vm_budget_left()
         )
@@ -70,6 +81,13 @@ class BottleneckDetector:
                 reports.append(report)
         return reports
 
+    def forget_slot(self, slot_uid: int) -> None:
+        """Drop every per-slot tracking structure for a retired slot."""
+        self.tracker.forget(slot_uid)
+        self.policy.forget_slot(slot_uid)
+        if self.hot_keys is not None:
+            self.hot_keys.forget_slot(slot_uid)
+
     def _vm_budget_left(self) -> int | None:
         max_vms = self.system.config.scaling.max_vms
         if max_vms is None:
@@ -77,13 +95,27 @@ class BottleneckDetector:
         return max(0, max_vms - self.system.worker_vm_count())
 
     def _apply(self, decision: ScaleOutDecision) -> None:
-        coordinator = self.system.scale_out
+        system = self.system
+        coordinator = system.scale_out
         if coordinator is None:
+            return
+        split_factor = system.config.scaling.split_factor
+        routing = system.query_manager.routing_to(decision.op_name)
+        owned_width = sum(
+            iv.width for iv in routing.intervals_of(decision.slot_uid)
+        )
+        if owned_width < split_factor:
+            # A slot narrower than the split factor (e.g. a carved-out
+            # hot-key singleton) cannot be relieved by splitting at all;
+            # trying would just crash the partitioner.
+            system.telemetry.increment("scaling.split_skipped_narrow")
             return
         started = coordinator.scale_out_slot(
             decision.slot_uid,
-            parallelism=self.system.config.scaling.split_factor,
+            parallelism=split_factor,
             reason=decision.reason,
         )
         if started:
             self.decisions_made += 1
+            if decision.reason == REASON_PREDICTED:
+                system.telemetry.increment("scaling.predicted_breaches")

@@ -1,0 +1,216 @@
+"""Hot-key detection and fine-grained carve-out management.
+
+Interval-based splitting (§4.3) assumes load spreads across the key
+range: halving a partition's interval roughly halves its load.  Under
+Zipf-skewed traffic that assumption breaks — once a single key carries
+most of a partition's weight, every further split just moves the hot key
+into a narrower slot that is exactly as overloaded, and the scaling
+policy burns the VM budget without relieving the bottleneck.
+
+The :class:`HotKeyManager` closes that gap.  It attaches a Space-Saving
+heavy-hitter sketch to every worker's admission path, and when a slot is
+both *hot* (utilisation at or above the scaling threshold) and *skewed*
+(its top key carries at least ``hot_key_share`` of the processed weight)
+for ``hot_key_min_reports`` consecutive report rounds, it carves the hot
+key's singleton interval ``[pos, pos+1)`` out into a dedicated slot via
+:meth:`ScaleOutCoordinator.carve_out_slot` — a partial fluid migration
+that preserves exactly-once delivery.  When a carved slot later cools
+below ``hot_key_cool_util`` for ``hot_key_cool_reports`` rounds, the
+manager re-absorbs it into an adjacent partition with a targeted
+scale-in merge.
+
+Everything here is off by default (``ScalingConfig.hot_key_enabled``);
+with it disabled no sketch is ever attached and the data plane is
+byte-identical to a build without this module.
+"""
+
+from __future__ import annotations
+
+from typing import TYPE_CHECKING
+
+from repro.core.state import KeyInterval
+from repro.core.tuples import stable_hash
+from repro.scaling.reports import HotKeyReport, SpaceSavingSketch, UtilizationReport
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from repro.runtime.system import StreamProcessingSystem
+
+
+class HotKeyManager:
+    """Per-round hot-key carve-out / cool-down controller."""
+
+    def __init__(self, system: "StreamProcessingSystem") -> None:
+        self.system = system
+        self.config = system.config.scaling
+        #: slot_uid -> consecutive rounds hot *and* skewed.
+        self._hot_rounds: dict[int, int] = {}
+        #: carved slot_uid -> consecutive rounds below the cool threshold.
+        self._cool_rounds: dict[int, int] = {}
+        #: ops whose operator cannot merge state: cool-down is disabled.
+        self._unmergeable_ops: set[str] = set()
+        self.carve_outs_started = 0
+        self.reabsorbs_started = 0
+
+    # ----------------------------------------------------------- sketches
+
+    def attach_sketches(self) -> None:
+        """Give every live worker instance an admission-path sketch."""
+        for instance in self.system.worker_instances():
+            if instance.key_sketch is None:
+                instance.key_sketch = SpaceSavingSketch(
+                    self.config.hot_key_sketch_size
+                )
+
+    def hot_key_reports(
+        self, reports: list[UtilizationReport]
+    ) -> list[HotKeyReport]:
+        """Drain each reported slot's sketch into a heavy-hitter summary."""
+        out: list[HotKeyReport] = []
+        for report in reports:
+            instance = self.system.live_instance(report.slot_uid)
+            if instance is None or instance.key_sketch is None:
+                continue
+            sketch = instance.key_sketch
+            top = sketch.top(1)
+            if top and sketch.total > 0:
+                key, weight = top[0]
+                share = min(1.0, weight / sketch.total)
+            else:
+                key, share = None, 0.0
+            out.append(
+                HotKeyReport(
+                    report.time,
+                    report.op_name,
+                    report.slot_uid,
+                    key,
+                    share,
+                    sketch.total,
+                )
+            )
+            sketch.reset()
+        return out
+
+    # -------------------------------------------------------------- round
+
+    def observe(self, reports: list[UtilizationReport]) -> None:
+        """One detector round: sample sketches, carve and re-absorb.
+
+        Runs *before* the interval-splitting policy sees the reports so
+        a carve-out claims the slot first; a started carve also arms the
+        policy's cooldown for the source slot, suppressing the futile
+        interval split the same round.
+        """
+        self.attach_sketches()
+        hot_reports = {r.slot_uid: r for r in self.hot_key_reports(reports)}
+        cfg = self.config
+        for report in reports:
+            hot = hot_reports.get(report.slot_uid)
+            width = self._owned_width(report.op_name, report.slot_uid)
+            if width == 1:
+                self._observe_carved(report)
+                continue
+            self._cool_rounds.pop(report.slot_uid, None)
+            skewed = (
+                hot is not None
+                and hot.key is not None
+                and hot.share >= cfg.hot_key_share
+            )
+            if report.above(cfg.threshold) and skewed and width > 1:
+                count = self._hot_rounds.get(report.slot_uid, 0) + 1
+                self._hot_rounds[report.slot_uid] = count
+                if count >= cfg.hot_key_min_reports:
+                    assert hot is not None
+                    if self._carve(report, hot):
+                        self._hot_rounds[report.slot_uid] = 0
+            else:
+                self._hot_rounds[report.slot_uid] = 0
+
+    def _observe_carved(self, report: UtilizationReport) -> None:
+        """Cool-down bookkeeping for a singleton (carved) slot."""
+        cfg = self.config
+        self._hot_rounds.pop(report.slot_uid, None)
+        if report.op_name in self._unmergeable_ops:
+            return
+        if report.utilization < cfg.hot_key_cool_util:
+            count = self._cool_rounds.get(report.slot_uid, 0) + 1
+            self._cool_rounds[report.slot_uid] = count
+            if count >= cfg.hot_key_cool_reports:
+                if self._reabsorb(report):
+                    self._cool_rounds[report.slot_uid] = 0
+        else:
+            self._cool_rounds[report.slot_uid] = 0
+
+    # ------------------------------------------------------------- actions
+
+    def _carve(self, report: UtilizationReport, hot: HotKeyReport) -> bool:
+        system = self.system
+        coordinator = system.scale_out
+        engine = system.reconfig
+        if coordinator is None or engine is None:
+            return False
+        if engine.is_replacing(report.op_name) or engine.is_merging(
+            report.op_name
+        ):
+            return False
+        budget = self._vm_budget_left()
+        if budget is not None and budget < 1:
+            return False
+        position = stable_hash(hot.key)
+        if not self._owns_position(report.op_name, report.slot_uid, position):
+            return False
+        started = coordinator.carve_out_slot(
+            report.slot_uid,
+            [KeyInterval(position, position + 1)],
+            reason=f"hot-key share={hot.share:.2f}",
+        )
+        if started:
+            self.carve_outs_started += 1
+            detector = system.detector
+            if detector is not None:
+                # The source slot is being relieved; suppress the
+                # threshold policy's own split of it for a cooldown.
+                detector.policy.note_scale_out(report.slot_uid, system.sim.now)
+        return started
+
+    def _reabsorb(self, report: UtilizationReport) -> bool:
+        system = self.system
+        scale_in = system.scale_in
+        if scale_in is None:
+            return False
+        operator = system.query_manager.query.operator(report.op_name)  # type: ignore[union-attr]
+        from repro.core.operator import Operator
+
+        if (
+            operator.stateful
+            and type(operator).merge_values is Operator.merge_values
+        ):
+            self._unmergeable_ops.add(report.op_name)
+            return False
+        started = scale_in.merge_slot(report.slot_uid)
+        if started:
+            self.reabsorbs_started += 1
+            system.telemetry.increment("scaling.hot_key_reabsorbs")
+        return started
+
+    # ------------------------------------------------------------- helpers
+
+    def _owned_width(self, op_name: str, slot_uid: int) -> int:
+        routing = self.system.query_manager.routing_to(op_name)
+        return sum(iv.width for iv in routing.intervals_of(slot_uid))
+
+    def _owns_position(self, op_name: str, slot_uid: int, position: int) -> bool:
+        routing = self.system.query_manager.routing_to(op_name)
+        return any(
+            position in iv for iv in routing.intervals_of(slot_uid)
+        )
+
+    def _vm_budget_left(self) -> int | None:
+        max_vms = self.system.config.scaling.max_vms
+        if max_vms is None:
+            return None
+        return max(0, max_vms - self.system.worker_vm_count())
+
+    def forget_slot(self, slot_uid: int) -> None:
+        """Drop tracking for a retired slot."""
+        self._hot_rounds.pop(slot_uid, None)
+        self._cool_rounds.pop(slot_uid, None)

@@ -1,4 +1,4 @@
-"""Scale-out policy (§5.1).
+"""Scale-out policies (§5.1).
 
 The paper's policy: when ``k`` consecutive utilisation reports from an
 operator are above threshold ``δ``, ask the scale-out coordinator to
@@ -10,14 +10,26 @@ growth (splitting only the hottest partition per round adds one VM per
 round — linear growth — and falls behind; see the Fig. 6/7 benches).
 Each partition gets its own cooldown, and freshly created partitions
 implicitly cool down while they accumulate ``k`` reports.
+
+:class:`PredictiveScalingPolicy` extends the reactive rule with a
+rate-derivative controller: it fits a least-squares line through the
+slot's recent utilisation samples and scales when the *projected*
+utilisation (``predict_horizon`` seconds ahead) crosses δ — so a steep
+ramp provisions before saturation instead of k report periods after.
 """
 
 from __future__ import annotations
 
+from collections import deque
 from dataclasses import dataclass
 
 from repro.config import ScalingConfig
 from repro.scaling.reports import UtilizationReport
+
+#: Decision reason for a reactive (k-consecutive-breaches) split.
+REASON_BOTTLENECK = "bottleneck"
+#: Decision reason for a predicted (slope-projected) split.
+REASON_PREDICTED = "predicted"
 
 
 @dataclass(frozen=True)
@@ -27,7 +39,7 @@ class ScaleOutDecision:
     op_name: str
     slot_uid: int
     utilization: float
-    reason: str = "bottleneck"
+    reason: str = REASON_BOTTLENECK
 
 
 class ThresholdScalingPolicy:
@@ -48,12 +60,16 @@ class ThresholdScalingPolicy:
         """
         hot: list[UtilizationReport] = []
         for report in reports:
+            if self._cooldown_until.get(report.slot_uid, 0.0) > now:
+                # Reports inside the cooldown never accumulate: after the
+                # cooldown expires the slot must breach the threshold k
+                # *fresh* consecutive times before it splits again.
+                self._consecutive[report.slot_uid] = 0
+                continue
             if report.above(self.config.threshold):
                 count = self._consecutive.get(report.slot_uid, 0) + 1
                 self._consecutive[report.slot_uid] = count
                 if count < self.config.consecutive_reports:
-                    continue
-                if self._cooldown_until.get(report.slot_uid, 0.0) > now:
                     continue
                 hot.append(report)
             else:
@@ -82,3 +98,102 @@ class ThresholdScalingPolicy:
         """Record an externally triggered split of a slot."""
         self._cooldown_until[slot_uid] = now + self.config.cooldown
         self._consecutive[slot_uid] = 0
+
+
+class PredictiveScalingPolicy(ThresholdScalingPolicy):
+    """Rate-derivative controller: provision ahead of the ramp.
+
+    Keeps the reactive k-consecutive rule as a floor, and additionally
+    fires when a least-squares fit over the last ``predict_window``
+    utilisation samples projects the slot past δ within
+    ``predict_horizon`` seconds.  A predicted decision requires a
+    positive slope and at least ``predict_min_samples`` samples, so a
+    flat-but-warm slot never splits early.  Cooldown and the VM budget
+    apply to both kinds of decision identically.
+    """
+
+    def __init__(self, config: ScalingConfig) -> None:
+        super().__init__(config)
+        self._history: dict[int, deque] = {}
+        #: Predicted (slope-projected) decisions issued, cumulative.
+        self.predicted_breaches = 0
+
+    def observe(
+        self, reports: list[UtilizationReport], now: float, vm_budget_left: int | None
+    ) -> list[ScaleOutDecision]:
+        reactive = super().observe(reports, now, vm_budget_left)
+        if vm_budget_left is not None:
+            vm_budget_left -= (self.config.split_factor - 1) * len(reactive)
+        decided = {d.slot_uid for d in reactive}
+        candidates: list[tuple[float, UtilizationReport]] = []
+        for report in reports:
+            history = self._history.setdefault(
+                report.slot_uid, deque(maxlen=self.config.predict_window)
+            )
+            history.append((report.time, report.utilization))
+            if report.slot_uid in decided:
+                continue
+            if self._cooldown_until.get(report.slot_uid, 0.0) > now:
+                continue
+            if report.above(self.config.threshold):
+                continue  # already breaching: the reactive rule owns it
+            projected = self._project(history)
+            if projected is not None and projected >= self.config.threshold:
+                candidates.append((projected, report))
+
+        decisions = list(reactive)
+        extra_vms_each = self.config.split_factor - 1
+        for projected, report in sorted(
+            candidates, key=lambda pr: (-pr[0], pr[1].slot_uid)
+        ):
+            if vm_budget_left is not None and vm_budget_left < extra_vms_each:
+                break
+            if vm_budget_left is not None:
+                vm_budget_left -= extra_vms_each
+            decisions.append(
+                ScaleOutDecision(
+                    report.op_name,
+                    report.slot_uid,
+                    report.utilization,
+                    reason=REASON_PREDICTED,
+                )
+            )
+            self.predicted_breaches += 1
+            self._cooldown_until[report.slot_uid] = now + self.config.cooldown
+            self._consecutive[report.slot_uid] = 0
+        return decisions
+
+    def _project(self, history: deque) -> float | None:
+        """Least-squares projection ``predict_horizon`` seconds ahead.
+
+        Returns None with too few samples or a non-positive slope — the
+        controller only ever provisions *ahead* of growth, never on
+        decline or noise around a flat line.
+        """
+        if len(history) < self.config.predict_min_samples:
+            return None
+        times = [t for t, _u in history]
+        utils = [u for _t, u in history]
+        n = len(history)
+        t_mean = sum(times) / n
+        u_mean = sum(utils) / n
+        var = sum((t - t_mean) ** 2 for t in times)
+        if var <= 0:
+            return None
+        slope = (
+            sum((t - t_mean) * (u - u_mean) for t, u in zip(times, utils)) / var
+        )
+        if slope <= 0:
+            return None
+        return min(1.0, utils[-1] + slope * self.config.predict_horizon)
+
+    def forget_slot(self, slot_uid: int) -> None:
+        super().forget_slot(slot_uid)
+        self._history.pop(slot_uid, None)
+
+
+def make_policy(config: ScalingConfig) -> ThresholdScalingPolicy:
+    """Build the configured scaling policy (``ScalingConfig.policy``)."""
+    if config.policy == "predictive":
+        return PredictiveScalingPolicy(config)
+    return ThresholdScalingPolicy(config)

@@ -154,6 +154,13 @@ class ReconfigPlan:
     #: transfer is chunked on the wire; the default single chunk is the
     #: classic all-at-once behaviour.
     migration: MigrationConfig | None = None
+    #: Carve-out mode: move exactly these sub-intervals of the old
+    #: slot's range into one dedicated new slot, leaving the source
+    #: alive with the remainder (hot-key carve-out).  Runs as a
+    #: *partial* fluid migration — per-chunk routing swaps with
+    #: exactly-once replay, but the source is never retired and keeps
+    #: its buffers.  Requires a live source and ``parallelism == 1``.
+    move_intervals: list[KeyInterval] | None = None
 
     @property
     def is_recovery(self) -> bool:
@@ -176,10 +183,14 @@ class FluidMigration:
         old: "OperatorInstance",
         chunks: list[tuple[int, list[KeyInterval]]],
         cfg: MigrationConfig,
+        partial: bool = False,
     ) -> None:
         self.old = old
         self.chunks = chunks
         self.cfg = cfg
+        #: Partial (carve-out) migration: only ``chunks`` leave; the
+        #: source keeps the rest of its range and stays alive.
+        self.partial = partial
         self.total = len(chunks)
         #: Index of the chunk currently being migrated (parked, extracted,
         #: shipped, committed or drained); advances after each drain.
@@ -592,6 +603,14 @@ class ReconfigurationEngine:
         if source == SOURCE_BACKUP:
             if op.plan.preserve_slots:
                 self._prepare_whole_checkpoint(op)
+            elif op.plan.move_intervals is not None:
+                # A carve-out only makes sense live: the source keeps
+                # serving the rest of its range, so there is no
+                # checkpoint-partitioning fallback.
+                if self._fluid_eligible(op):
+                    self._prepare_fluid(op)
+                else:
+                    self._abort(op, "carve-out source not live")
             elif self._fluid_eligible(op):
                 self._prepare_fluid(op)
             else:
@@ -811,7 +830,9 @@ class ReconfigurationEngine:
         if plan.is_recovery or plan.preserve_slots:
             return False
         cfg = plan.migration or self.system.config.migration
-        if cfg.max_chunks <= 1:
+        # Carve-outs are inherently fluid (the source must keep serving
+        # the rest of its range) and may legitimately be a single chunk.
+        if cfg.max_chunks <= 1 and plan.move_intervals is None:
             return False
         return self.system.live_instance(op.old_slot.uid) is not None
 
@@ -850,10 +871,27 @@ class ReconfigurationEngine:
         )
         routing = qm.routing_to(plan.op_name)
         owned = routing.intervals_of(op.old_slot.uid)
-        guide = None
-        if len(old.state) >= 4 * plan.parallelism:
-            guide = [stable_hash(key) for key in old.state.keys()]
-        op.groups = split_interval_groups(owned, plan.parallelism, guide)
+        if plan.move_intervals is not None:
+            # Carve-out: the moved range is dictated by the plan, not
+            # derived by splitting.  Every moved interval must still be
+            # owned by the source — routing may have shifted between the
+            # detector's decision and now.
+            moved = sorted(plan.move_intervals, key=lambda iv: iv.lo)
+            contained = all(
+                any(iv.lo >= o.lo and iv.hi <= o.hi for o in owned)
+                for iv in moved
+            )
+            moved_width = sum(iv.width for iv in moved)
+            owned_width = sum(o.width for o in owned)
+            if not contained or moved_width >= owned_width:
+                self._abort(op, "carve-out intervals no longer owned")
+                return
+            op.groups = [moved]
+        else:
+            guide = None
+            if len(old.state) >= 4 * plan.parallelism:
+                guide = [stable_hash(key) for key in old.state.keys()]
+            op.groups = split_interval_groups(owned, plan.parallelism, guide)
         op.new_slots = [
             qm.new_slot(plan.op_name, i) for i in range(plan.parallelism)
         ]
@@ -866,7 +904,9 @@ class ReconfigurationEngine:
         for index, group in enumerate(op.groups):
             for piece in self.mover.plan_fluid_chunks(group, old.state, cfg):
                 chunks.append((index, piece))
-        op.fluid = FluidMigration(old, chunks, cfg)
+        op.fluid = FluidMigration(
+            old, chunks, cfg, partial=plan.move_intervals is not None
+        )
         self.mover.chunked_transfers += 1
         self._enter(op, PHASE_TRANSFER)
         self._next_chunk(op)
@@ -935,10 +975,12 @@ class ReconfigurationEngine:
         state.positions.update(fluid.chunk_floor)
         final = index == fluid.total - 1
         buffers: dict = {}
-        if final:
+        if final and not fluid.partial:
             # The last chunk carries the source's output buffers: after
             # this commit the source retires, and a later downstream
-            # recovery must still find its unacknowledged emissions.
+            # recovery must still find its unacknowledged emissions.  A
+            # partial (carve-out) migration never retires the source, so
+            # its buffers stay where they are.
             buffers = {
                 name: buf.snapshot() for name, buf in old.buffers.items()
             }
@@ -1050,7 +1092,7 @@ class ReconfigurationEngine:
         discarded = old.commit_parked()
         if discarded:
             system.metrics.increment("migration_parked_discarded", discarded)
-        if chunk.final:
+        if chunk.final and not fluid.partial:
             self._retire_source(op)
             target.replay_all_buffers()
         sent = 0
@@ -1105,15 +1147,27 @@ class ReconfigurationEngine:
             system.store_backup_sync(backup, op.backup_vm)
 
         if chunk.final:
+            if fluid.partial:
+                # The rollback backup above captured the moved keys'
+                # pre-migration state; only now may the source's frozen
+                # backup shed them and resume checkpointing.
+                self._release_carve_source(op)
             self._enter(op, PHASE_COMMIT)
             self._enter(op, PHASE_REPLAY_DRAIN)
             system.record_vm_count()
-            system.metrics.mark_event(
-                system.sim.now,
-                "scale_out",
-                f"{plan.op_name} pi={plan.parallelism} fluid "
-                f"chunks={fluid.total}",
-            )
+            if fluid.partial:
+                system.metrics.mark_event(
+                    system.sim.now,
+                    "hot_key_carveout",
+                    f"{plan.op_name} {chunk.intervals} -> slot {target.uid}",
+                )
+            else:
+                system.metrics.mark_event(
+                    system.sim.now,
+                    "scale_out",
+                    f"{plan.op_name} pi={plan.parallelism} fluid "
+                    f"chunks={fluid.total}",
+                )
         system.metrics.mark_event(
             system.sim.now,
             "chunk_committed",
@@ -1151,8 +1205,29 @@ class ReconfigurationEngine:
             old.stop(release_vm=True)
         system.drop_backup(op.old_slot.uid)
         if system.detector is not None:
-            system.detector.tracker.forget(op.old_slot.uid)
-            system.detector.policy.forget_slot(op.old_slot.uid)
+            system.detector.forget_slot(op.old_slot.uid)
+
+    def _release_carve_source(self, op: Reconfiguration) -> None:
+        """Final carve-out chunk committed: the source stays, slimmer.
+
+        The inverse of :meth:`_retire_source` for partial migrations —
+        the source keeps its slot, buffers and VM.  Its frozen backup
+        sheds the moved ranges (their authoritative copy is now the
+        carved slot's synchronous backup; a later source restore must
+        not resurrect them, or a state-iterating operator would double
+        count), the trim lock lifts and checkpointing resumes so the
+        replay window starts shrinking again.
+        """
+        system = self.system
+        assert op.fluid is not None
+        old = op.fluid.old
+        system.trim_locks.discard(op.old_slot.uid)
+        stale = system.backup_of(op.old_slot.uid)
+        if stale is not None:
+            stale.state.extract(op.fluid.committed_intervals)
+        if old.alive and old.vm.alive:
+            old.start_checkpointing()
+        system.telemetry.increment("scaling.hot_key_carveouts")
 
     def _chunk_drained(
         self,
@@ -1383,8 +1458,7 @@ class ReconfigurationEngine:
                     upstream.set_routing(plan.op_name, new_routing)
                     upstream.repartition_buffer(plan.op_name)
         if system.detector is not None:
-            system.detector.tracker.forget(failed.uid)
-            system.detector.policy.forget_slot(failed.uid)
+            system.detector.forget_slot(failed.uid)
         op.instances = [instance]
         if plan.state_source == SOURCE_SOURCE_REPLAY:
             self._mark_replay_path(op, instance)
@@ -1488,8 +1562,7 @@ class ReconfigurationEngine:
             )
         system.drop_backup(op.old_slot.uid)
         if system.detector is not None:
-            system.detector.tracker.forget(op.old_slot.uid)
-            system.detector.policy.forget_slot(op.old_slot.uid)
+            system.detector.forget_slot(op.old_slot.uid)
 
         # Replay the restored output buffers to downstream operators
         # (Algorithm 3, line 7); receivers drop what they already saw.
@@ -1617,8 +1690,7 @@ class ReconfigurationEngine:
             old.stop(release_vm=True)
             system.drop_backup(old.uid)
             if system.detector is not None:
-                system.detector.tracker.forget(old.uid)
-                system.detector.policy.forget_slot(old.uid)
+                system.detector.forget_slot(old.uid)
 
         for upstream in op.upstreams:
             if not upstream.alive:

@@ -1,8 +1,15 @@
-"""CPU utilisation reports (§5.1).
+"""CPU utilisation reports (§5.1) and per-key rate statistics.
 
 Every ``r`` seconds each VM hosting an operator reports the fraction of
 the report window its CPU spent executing the operator (user + system
 time).  Reports feed the bottleneck detector.
+
+Hot-key detection adds a second, finer-grained signal: a per-slot
+Space-Saving heavy-hitter sketch sampled from the operator's admission
+path.  Interval-based splitting cannot relieve a slot whose load is one
+dominating key, so the detector combines both signals — "the slot is
+hot *and* one key carries most of its weight" — to trigger a key-level
+carve-out instead of another futile interval split.
 """
 
 from __future__ import annotations
@@ -22,7 +29,12 @@ class UtilizationReport:
     utilization: float
 
     def above(self, threshold: float) -> bool:
-        """Whether this report exceeds the given threshold."""
+        """Whether this report is at or above the given threshold.
+
+        Boundary semantics are inclusive (``>=``), matching the scaling
+        policy: a report sitting exactly at ``ScalingConfig.threshold``
+        counts as a breach.
+        """
         return self.utilization >= threshold
 
 
@@ -58,3 +70,69 @@ class UtilizationTracker:
         """Drop tracking for a retired slot."""
         self._last_busy.pop(slot_uid, None)
         self._last_time.pop(slot_uid, None)
+
+
+class SpaceSavingSketch:
+    """Space-Saving top-k heavy-hitter sketch (Metwally et al.).
+
+    Tracks at most ``capacity`` keys with approximate weights.  When a
+    new key arrives at a full sketch it evicts the minimum counter and
+    inherits its count (the classic over-estimate), which preserves the
+    guarantee that any key with true weight above ``total / capacity``
+    is present.  ``offer`` is O(capacity) in this simple implementation
+    — capacities are small (tens) and offers are sampled per processed
+    tuple, which is fine for the simulator's data plane.
+    """
+
+    def __init__(self, capacity: int) -> None:
+        if capacity < 1:
+            raise ValueError(f"sketch capacity must be >= 1: {capacity}")
+        self.capacity = capacity
+        self._counts: dict = {}
+        #: Total weight offered since the last reset (exact).
+        self.total = 0.0
+
+    def offer(self, key, weight: float = 1.0) -> None:
+        """Record ``weight`` units of load for ``key``."""
+        self.total += weight
+        counts = self._counts
+        if key in counts:
+            counts[key] += weight
+            return
+        if len(counts) < self.capacity:
+            counts[key] = weight
+            return
+        victim = min(counts, key=counts.__getitem__)
+        floor = counts.pop(victim)
+        counts[key] = floor + weight
+
+    def top(self, n: int = 1) -> list[tuple]:
+        """The ``n`` heaviest keys as ``(key, estimated_weight)`` pairs,
+        heaviest first; ties break on the key's repr for determinism."""
+        ranked = sorted(
+            self._counts.items(), key=lambda kv: (-kv[1], repr(kv[0]))
+        )
+        return ranked[:n]
+
+    def reset(self) -> None:
+        """Clear counters for the next report window."""
+        self._counts.clear()
+        self.total = 0.0
+
+    def __len__(self) -> int:
+        return len(self._counts)
+
+
+@dataclass(frozen=True)
+class HotKeyReport:
+    """Per-slot heavy-hitter summary over one report window."""
+
+    time: float
+    op_name: str
+    slot_uid: int
+    #: The slot's heaviest key this window (None when nothing arrived).
+    key: object
+    #: Estimated share of the slot's processed weight carried by ``key``.
+    share: float
+    #: Total weight the slot processed this window.
+    total_weight: float

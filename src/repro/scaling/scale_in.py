@@ -79,6 +79,32 @@ class ScaleInCoordinator:
                 return left, right
         return None
 
+    def neighbor_of(
+        self, slot_uid: int
+    ) -> tuple["OperatorInstance", "OperatorInstance"] | None:
+        """Find a live partition adjacent to ``slot_uid``'s intervals.
+
+        Returns the pair ordered by key range (left, right), where one
+        side is ``slot_uid``.  Used by hot-key cool-down to re-absorb a
+        carved-out slot into whichever neighbour borders it.
+        """
+        system = self.system
+        instance = system.live_instance(slot_uid)
+        if instance is None:
+            return None
+        routing = system.query_manager.routing_to(instance.op_name)
+        entries = list(routing)
+        for (left_iv, left_uid), (right_iv, right_uid) in zip(entries, entries[1:]):
+            if left_uid == right_uid or left_iv.hi != right_iv.lo:
+                continue
+            if slot_uid not in (left_uid, right_uid):
+                continue
+            left = system.live_instance(left_uid)
+            right = system.live_instance(right_uid)
+            if left is not None and right is not None:
+                return left, right
+        return None
+
     # -------------------------------------------------------------- merging
 
     def scale_in(
@@ -116,6 +142,51 @@ class ScaleInCoordinator:
             parallelism=1,
             state_source=SOURCE_MERGE,
             reason="under-utilised",
+            on_complete=on_complete,
+        )
+        return self._engine.submit(plan)
+
+    def merge_slot(
+        self,
+        slot_uid: int,
+        on_complete: Callable[[float], None] | None = None,
+    ) -> bool:
+        """Merge ``slot_uid`` with an adjacent live partition.
+
+        The targeted form of :meth:`scale_in`, used to re-absorb a
+        cooled-down hot-key carve-out into its neighbour.  Returns
+        whether a merge was started.
+        """
+        system = self.system
+        instance = system.live_instance(slot_uid)
+        if instance is None:
+            return False
+        op_name = instance.op_name
+        if self._engine.is_merging(op_name):
+            return False
+        if self._engine.is_replacing(op_name):
+            return False
+        if system.query_manager.parallelism_of(op_name) < 2:
+            return False
+        from repro.core.operator import Operator
+
+        operator = system.query_manager.query.operator(op_name)  # type: ignore[union-attr]
+        if operator.stateful and type(operator).merge_values is Operator.merge_values:
+            raise ScaleOutError(
+                f"operator {op_name} does not define merge_values; "
+                "scale in needs it to combine overlapping entries"
+            )
+        pair = self.neighbor_of(slot_uid)
+        if pair is None:
+            return False
+        left, right = pair
+        plan = ReconfigPlan(
+            kind=KIND_SCALE_IN,
+            op_name=op_name,
+            old_slots=[left.slot, right.slot],
+            parallelism=1,
+            state_source=SOURCE_MERGE,
+            reason="hot-key cooled",
             on_complete=on_complete,
         )
         return self._engine.submit(plan)

@@ -131,11 +131,16 @@ def build_wikipedia_topk_query(
     k: int = 10,
     emit_interval: float = 30.0,
     quantum: float = 1.0,
+    zipf_exponent: float = 1.0,
 ) -> tuple[WikipediaTopKQuery, dict[str, int]]:
     """Assemble the §6.1 open-loop query.
 
     Returns the query bundle and the initial parallelism map (the paper
     deploys 18 source instances and one instance of everything else).
+    ``zipf_exponent`` steepens the language popularity distribution —
+    at the default 1.0 load spreads classically Zipf; higher values
+    concentrate most of the traffic on the top language, the regime the
+    hot-key skew bench sweeps.
     """
     profile = constant_rate(rate) if isinstance(rate, (int, float)) else rate
     graph = QueryGraph()
@@ -151,7 +156,11 @@ def build_wikipedia_topk_query(
     graph.chain("sources", "map", "reduce", "sink")
     graph.validate()
     generator = VisitTraceGenerator(
-        profile, languages=languages, stripes=stripes, quantum=quantum
+        profile,
+        languages=languages,
+        stripes=stripes,
+        zipf_exponent=zipf_exponent,
+        quantum=quantum,
     )
     bundle = WikipediaTopKQuery(graph, {"sources": generator}, collector)
     return bundle, {"sources": sources}

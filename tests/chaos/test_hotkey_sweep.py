@@ -1,0 +1,75 @@
+"""Randomized chaos sweeps over mid-carve-out VM kills.
+
+A hot-key carve-out is a *partial* fluid migration: one singleton
+interval leaves a live slot for a dedicated target while the source
+keeps the remainder and its buffers.  The commit is the riskiest
+instant — the hot key's routing has just swapped, the source's frozen
+backup has shed the moved range, and parked tuples are replaying to
+the target.  Each sweep seed starts a carve-out of the operator's
+heaviest key and kills one role VM (cycling source / target / backup)
+exactly at the carve chunk's commit, on top of a seeded network fault
+plan.  The acceptance gate is the same as for every other sweep: zero
+invariant violations and golden-run sink equivalence.
+"""
+
+import os
+
+import pytest
+
+from repro.chaos.runner import ChaosRunner
+from repro.chaos.schedule import (
+    TARGET_BACKUP_VM,
+    TARGET_SOURCE_VM,
+    TARGET_TARGET_VM,
+)
+
+#: Role killed for a given seed: seeds cycle source / target / backup so
+#: a 20-seed sweep covers every role under many fault schedules.
+_ROLES = [TARGET_SOURCE_VM, TARGET_TARGET_VM, TARGET_BACKUP_VM]
+
+#: One shared runner per module: the golden run is computed once and
+#: reused by every seed.
+_RUNNER = None
+
+
+def runner() -> ChaosRunner:
+    global _RUNNER
+    if _RUNNER is None:
+        _RUNNER = ChaosRunner(
+            migration_chunks=2, trace_dir=os.environ.get("CHAOS_TRACE_DIR")
+        )
+    return _RUNNER
+
+
+def test_carveout_target_kill_is_absorbed():
+    """Quick tier-1 check: killing the freshly carved slot's VM right at
+    the carve commit (hot key routed to the dying target, source already
+    slimmed) recovers without losing or duplicating a single tuple."""
+    result = runner().run_carveout_kill(TARGET_TARGET_VM, seed=3)
+    assert result.failures >= 1
+    assert result.survived, result.describe()
+
+
+@pytest.mark.chaos
+@pytest.mark.parametrize("seed", range(20))
+def test_mid_carveout_kill_seed_upholds_all_invariants(seed):
+    role = _ROLES[seed % len(_ROLES)]
+    result = runner().run_carveout_kill(role, seed=seed)
+    assert result.survived, result.describe()
+
+
+@pytest.mark.chaos
+def test_carveout_violations_reproducible_from_seed_alone():
+    a = ChaosRunner(migration_chunks=2).run_carveout_kill(
+        TARGET_SOURCE_VM, seed=5
+    )
+    b = ChaosRunner(migration_chunks=2).run_carveout_kill(
+        TARGET_SOURCE_VM, seed=5
+    )
+    assert (a.failures, a.faults, a.recoveries, a.aborts) == (
+        b.failures,
+        b.faults,
+        b.recoveries,
+        b.aborts,
+    )
+    assert [str(v) for v in a.violations] == [str(v) for v in b.violations]

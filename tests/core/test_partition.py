@@ -64,6 +64,106 @@ class TestSplitIntervalGroups:
         for (l0, h0), (l1, _h1) in zip(spans, spans[1:]):
             assert h0 <= l1
 
+    def test_guided_split_honoured_for_multiple_intervals(self):
+        # Regression: multi-interval owners (left over from scale-in
+        # merges) used to silently drop guide_positions and fall back to
+        # the width split, so a skewed slot kept splitting at dead-even
+        # boundaries.  All observed keys live in the second interval, so
+        # the guided cut must land inside it — the first group takes all
+        # of [0, 100) plus the second interval's light prefix.
+        owned = [KeyInterval(0, 100), KeyInterval(200, 300)]
+        positions = list(range(250, 300))
+        groups = split_interval_groups(owned, 2, positions)
+        first_width = sum(i.width for i in groups[0])
+        assert first_width > 100  # strictly more than the width split's 100
+        # The cut sits at the guide's median, not the width midpoint.
+        assert groups[1][0].lo >= 250
+
+    def test_guided_split_falls_back_when_guide_too_sparse(self):
+        owned = [KeyInterval(0, 100), KeyInterval(200, 300)]
+        # One usable position for two parts: fall back to the width split.
+        groups = split_interval_groups(owned, 2, [250])
+        widths = [sum(i.width for i in g) for g in groups]
+        assert widths == [100, 100]
+
+    def test_guided_split_ignores_positions_outside_owned(self):
+        owned = [KeyInterval(0, 100), KeyInterval(200, 300)]
+        # Positions in the gap [100, 200) are not owned; only the two
+        # usable ones remain, enough for 2 parts.
+        groups = split_interval_groups(owned, 2, [150, 160, 170, 20, 80])
+        total = sum(i.width for g in groups for i in g)
+        assert total == 200
+        assert all(group for group in groups)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=2,
+            max_size=5,
+            unique=True,
+        ),
+        st.integers(min_value=2, max_value=4),
+        st.lists(st.integers(min_value=0, max_value=10_000), max_size=40),
+    )
+    @settings(max_examples=60, deadline=None)
+    def test_guided_multi_interval_split_upholds_tiling(
+        self, starts, parts, positions
+    ):
+        """Whatever the guide, a multi-interval split still tiles owned:
+        ``parts`` non-empty disjoint groups of unchanged total width."""
+        owned = [KeyInterval(s * 1000, s * 1000 + 500) for s in sorted(starts)]
+        groups = split_interval_groups(owned, parts, positions)
+        assert len(groups) == parts
+        assert all(group for group in groups)
+        total = sum(i.width for g in groups for i in g)
+        assert total == sum(i.width for i in owned)
+        spans = sorted((i.lo, i.hi) for g in groups for i in g)
+        for (l0, h0), (l1, _h1) in zip(spans, spans[1:]):
+            assert h0 <= l1
+        # Every emitted interval is inside some originally owned interval.
+        for _g in groups:
+            for i in _g:
+                assert any(i.lo >= o.lo and i.hi <= o.hi for o in owned)
+
+    @given(
+        st.lists(
+            st.integers(min_value=0, max_value=9),
+            min_size=2,
+            max_size=4,
+            unique=True,
+        ),
+        st.integers(min_value=2, max_value=3),
+        st.data(),
+    )
+    @settings(max_examples=40, deadline=None)
+    def test_guided_multi_interval_split_balances_entries(
+        self, starts, parts, data
+    ):
+        """With a dense in-range guide, every group receives at least one
+        guide position — the load-balance property the guide exists for."""
+        owned = [KeyInterval(s * 1000, s * 1000 + 500) for s in sorted(starts)]
+        positions = [
+            data.draw(
+                st.integers(min_value=iv.lo, max_value=iv.hi - 1),
+                label=f"pos{j}",
+            )
+            for iv in owned
+            for j in range(6)
+        ]
+        groups = split_interval_groups(owned, parts, positions)
+        counts = [
+            sum(
+                1
+                for p in positions
+                if any(p in i for i in group)
+            )
+            for group in groups
+        ]
+        # Quantile cuts: no group is starved of observed keys unless the
+        # guide itself collapsed (duplicate cut positions).
+        if len(set(positions)) >= parts:
+            assert all(count >= 1 for count in counts)
+
     def test_position_in_groups(self):
         groups = split_interval_groups([KeyInterval(0, 100)], 2)
         assert position_in_groups(10, groups) == 0

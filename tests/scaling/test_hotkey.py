@@ -1,0 +1,151 @@
+"""Tests for hot-key detection and fine-grained carve-out elasticity.
+
+Interval splitting cannot relieve a slot whose load is one dominating
+key; the HotKeyManager carves that key's singleton interval out into a
+dedicated slot (a partial fluid migration) and re-absorbs it once it
+cools.  These tests drive the whole loop end to end on the tiny
+source → counter → sink pipeline with a manually flooded hot key.
+"""
+
+from repro.config import SystemConfig
+from repro.core.tuples import stable_hash
+from repro.runtime.system import StreamProcessingSystem
+from repro.scaling.policy import ScaleOutDecision
+from tests.conftest import ManualGenerator, small_system, tiny_query
+
+
+def hot_system(**scaling_overrides):
+    """A tiny pipeline with hot-key elasticity switched on."""
+    config = SystemConfig()
+    config.scaling.enabled = True
+    config.scaling.hot_key_enabled = True
+    config.checkpoint.interval = 1.0
+    config.checkpoint.stagger = False
+    for key, value in scaling_overrides.items():
+        setattr(config.scaling, key, value)
+    graph, collector = tiny_query(with_middle=False)
+    system = StreamProcessingSystem(config)
+    generator = ManualGenerator()
+    system.deploy(graph, generators={"source": generator})
+    return system, generator, collector
+
+
+def flood(system, gen, hot_weight=900, light_weight=30, until=None):
+    """Feed a dominating hot key plus background light keys every 100 ms."""
+
+    def tick():
+        if until is not None and system.sim.now >= until:
+            return
+        gen.feed("hot", weight=hot_weight)
+        for i in range(3):
+            gen.feed(f"light{int(system.sim.now * 10 + i) % 17}", weight=light_weight)
+
+    system.sim.every(0.1, tick)
+
+
+def counter_slots(system):
+    return system.query_manager.slots_of("counter")
+
+
+def owned_width(system, slot_uid):
+    routing = system.query_manager.routing_to("counter")
+    return sum(iv.width for iv in routing.intervals_of(slot_uid))
+
+
+def total_count(system, key):
+    total = 0
+    for slot in counter_slots(system):
+        instance = system.live_instance(slot.uid)
+        if instance is not None:
+            total += instance.state.get(key, 0)
+    return total
+
+
+class TestHotKeyDisabled:
+    def test_default_config_attaches_no_sketches(self):
+        system, gen, _col = small_system(scaling=True)
+        gen.feed("a", weight=100)
+        system.run(until=15.0)
+        assert system.detector.hot_keys is None
+        for instance in system.worker_instances():
+            assert instance.key_sketch is None
+        assert system.counter("scaling.hot_key_carveouts") == 0
+
+
+class TestHotKeyCarveOut:
+    def test_hot_key_carved_into_singleton_slot(self):
+        system, gen, _col = hot_system()
+        flood(system, gen)
+        system.run(until=60.0)
+        assert system.counter("scaling.hot_key_carveouts") >= 1
+        assert system.detector.hot_keys.carve_outs_started >= 1
+        assert system.metrics.events_of_kind("hot_key_carveout")
+        # The hot key now lives alone in a width-1 slot.
+        position = stable_hash("hot")
+        routing = system.query_manager.routing_to("counter")
+        owner = routing.route_position(position)
+        assert owned_width(system, owner) == 1
+
+    def test_carve_preserves_counts_exactly(self):
+        system, gen, _col = hot_system()
+        injected = {"n": 0}
+
+        def tick():
+            gen.feed("hot", weight=900)
+            injected["n"] += 900
+
+        system.sim.every(0.1, tick)
+        system.run(until=60.0)
+        assert system.counter("scaling.hot_key_carveouts") >= 1
+        # Quiesce: stop injecting, let in-flight tuples drain.
+        system.run(until=65.0)
+        assert total_count(system, "hot") == injected["n"]
+
+    def test_no_carve_without_vm_budget(self):
+        system, gen, _col = hot_system()
+        system.config.scaling.max_vms = system.worker_vm_count()
+        flood(system, gen)
+        system.run(until=60.0)
+        assert system.counter("scaling.hot_key_carveouts") == 0
+
+    def test_no_carve_below_share_threshold(self):
+        # Even load across many keys: hot but never skewed.
+        system, gen, _col = hot_system()
+
+        def tick():
+            for i in range(12):
+                gen.feed(f"k{int(system.sim.now * 10 + i) % 97}", weight=90)
+
+        system.sim.every(0.1, tick)
+        system.run(until=60.0)
+        assert system.counter("scaling.hot_key_carveouts") == 0
+
+    def test_narrow_slot_split_skipped(self):
+        system, gen, _col = hot_system()
+        flood(system, gen)
+        system.run(until=60.0)
+        position = stable_hash("hot")
+        routing = system.query_manager.routing_to("counter")
+        owner = routing.route_position(position)
+        assert owned_width(system, owner) == 1
+        # The threshold policy must never try to split a singleton: the
+        # detector skips it and counts the skip.
+        before = system.counter("scaling.split_skipped_narrow")
+        system.detector._apply(ScaleOutDecision("counter", owner, 0.99))
+        assert system.counter("scaling.split_skipped_narrow") == before + 1
+
+
+class TestHotKeyReabsorb:
+    def test_cooled_singleton_reabsorbed(self):
+        system, gen, _col = hot_system(
+            hot_key_cool_reports=2, cooldown=5.0
+        )
+        flood(system, gen, until=60.0)
+        system.run(until=200.0)
+        assert system.counter("scaling.hot_key_carveouts") >= 1
+        assert system.counter("scaling.hot_key_reabsorbs") >= 1
+        # The hot key's position is back inside a wide slot.
+        position = stable_hash("hot")
+        routing = system.query_manager.routing_to("counter")
+        owner = routing.route_position(position)
+        assert owned_width(system, owner) > 1

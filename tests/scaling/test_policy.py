@@ -1,7 +1,13 @@
-"""Tests for the threshold scaling policy (§5.1)."""
+"""Tests for the threshold and predictive scaling policies (§5.1)."""
 
 from repro.config import ScalingConfig
-from repro.scaling.policy import ThresholdScalingPolicy
+from repro.scaling.policy import (
+    REASON_BOTTLENECK,
+    REASON_PREDICTED,
+    PredictiveScalingPolicy,
+    ThresholdScalingPolicy,
+    make_policy as build_policy,
+)
 from repro.scaling.reports import UtilizationReport
 
 
@@ -9,9 +15,24 @@ def report(slot_uid, utilization, op_name="op", time=0.0):
     return UtilizationReport(time, op_name, slot_uid, slot_uid, 5.0, utilization)
 
 
-def make_policy(k=2, threshold=0.7, cooldown=15.0):
+def make_policy(k=2, threshold=0.7, cooldown=15.0, **kwargs):
     return ThresholdScalingPolicy(
-        ScalingConfig(consecutive_reports=k, threshold=threshold, cooldown=cooldown)
+        ScalingConfig(
+            consecutive_reports=k, threshold=threshold, cooldown=cooldown, **kwargs
+        )
+    )
+
+
+def make_predictive(k=2, threshold=0.7, cooldown=15.0, **kwargs):
+    kwargs.setdefault("predict_min_samples", 3)
+    return PredictiveScalingPolicy(
+        ScalingConfig(
+            consecutive_reports=k,
+            threshold=threshold,
+            cooldown=cooldown,
+            policy="predictive",
+            **kwargs,
+        )
     )
 
 
@@ -76,8 +97,143 @@ class TestThresholdPolicy:
         assert policy.observe([report(1, 0.9)], 5.0, None) == []
         assert policy.observe([report(1, 0.9)], 11.0, None)
 
+    def test_reports_inside_cooldown_do_not_accumulate(self):
+        # Regression: breaches observed during the cooldown used to keep
+        # accumulating the consecutive counter, so the slot re-split the
+        # instant the cooldown expired instead of requiring k *fresh*
+        # consecutive breaches.
+        policy = make_policy(k=2, cooldown=20.0)
+        policy.observe([report(1, 0.9)], 0.0, None)
+        assert policy.observe([report(1, 0.9)], 5.0, None)  # splits, cools
+        # Hot all through the cooldown window.
+        assert policy.observe([report(1, 0.95)], 10.0, None) == []
+        assert policy.observe([report(1, 0.95)], 15.0, None) == []
+        assert policy.observe([report(1, 0.95)], 20.0, None) == []
+        # Cooldown over at t=25: first post-cooldown breach must NOT
+        # split (count restarts at 1), the second must.
+        assert policy.observe([report(1, 0.95)], 26.0, None) == []
+        assert policy.observe([report(1, 0.95)], 31.0, None)
+
+    def test_note_scale_out_resets_consecutive_count(self):
+        policy = make_policy(k=2, cooldown=10.0)
+        policy.observe([report(1, 0.9)], 0.0, None)
+        policy.note_scale_out(1, now=2.0)
+        # After the cooldown the pre-carve breach must not count.
+        assert policy.observe([report(1, 0.9)], 13.0, None) == []
+        assert policy.observe([report(1, 0.9)], 18.0, None)
+
+    def test_budget_consumed_in_hotness_order(self):
+        # With budget for one split of split_factor 3 (2 extra VMs
+        # each), only the hottest slot splits and the budget check uses
+        # the per-split cost, not a flat 1.
+        policy = make_policy(k=1, split_factor=3)
+        decisions = policy.observe(
+            [report(1, 0.8), report(2, 0.95), report(3, 0.9)],
+            0.0,
+            vm_budget_left=3,
+        )
+        assert [d.slot_uid for d in decisions] == [2]
+
+    def test_budget_exhaustion_leaves_count_intact_for_skipped(self):
+        # A slot skipped for budget was never decided: it keeps its
+        # accumulated count and fires as soon as budget frees up.
+        policy = make_policy(k=1)
+        first = policy.observe(
+            [report(1, 0.8), report(2, 0.9)], 0.0, vm_budget_left=1
+        )
+        assert [d.slot_uid for d in first] == [2]
+        second = policy.observe([report(1, 0.85)], 5.0, vm_budget_left=1)
+        assert [d.slot_uid for d in second] == [1]
+
+    def test_forget_slot_after_retirement_unknown_uid_is_noop(self):
+        policy = make_policy(k=1)
+        policy.forget_slot(404)  # never observed: must not raise
+        assert policy.observe([report(404, 0.9)], 0.0, None)
+
+
+class TestPredictivePolicy:
+    def ramp(self, policy, slot=1, utils=(0.30, 0.45, 0.60), start=0.0):
+        decisions = []
+        for i, u in enumerate(utils):
+            t = start + 5.0 * i
+            decisions = policy.observe([report(slot, u, time=t)], t, None)
+        return decisions
+
+    def test_steep_ramp_fires_before_threshold(self):
+        policy = make_predictive(predict_horizon=10.0)
+        decisions = self.ramp(policy)  # slope 0.03/s -> 0.9 projected
+        assert len(decisions) == 1
+        assert decisions[0].reason == REASON_PREDICTED
+        assert policy.predicted_breaches == 1
+
+    def test_flat_warm_slot_never_fires(self):
+        policy = make_predictive()
+        decisions = self.ramp(policy, utils=(0.6, 0.6, 0.6, 0.6))
+        assert decisions == []
+
+    def test_declining_slot_never_fires(self):
+        policy = make_predictive()
+        decisions = self.ramp(policy, utils=(0.65, 0.55, 0.45))
+        assert decisions == []
+
+    def test_too_few_samples_never_fires(self):
+        policy = make_predictive(predict_min_samples=4)
+        decisions = self.ramp(policy, utils=(0.3, 0.5, 0.69))
+        assert decisions == []
+
+    def test_breaching_slot_owned_by_reactive_rule(self):
+        # At/above δ the reactive k-consecutive rule decides; the
+        # projection must not double-fire for the same slot.
+        policy = make_predictive(k=2)
+        assert policy.observe([report(1, 0.75, time=0.0)], 0.0, None) == []
+        decisions = policy.observe([report(1, 0.80, time=5.0)], 5.0, None)
+        assert len(decisions) == 1
+        assert decisions[0].reason == REASON_BOTTLENECK
+        assert policy.predicted_breaches == 0
+
+    def test_predicted_decision_arms_cooldown(self):
+        policy = make_predictive(cooldown=30.0)
+        assert self.ramp(policy)
+        # Still ramping right after: cooldown suppresses a second fire.
+        assert policy.observe([report(1, 0.65, time=15.0)], 15.0, None) == []
+
+    def test_budget_shared_with_reactive_decisions(self):
+        policy = make_predictive(k=1)
+        for t, u in ((0.0, 0.3), (5.0, 0.45)):
+            policy.observe([report(1, u, time=t)], t, None)
+        # Slot 2 breaches reactively; slot 1 projects past δ.  One VM of
+        # budget: the reactive decision wins it.
+        decisions = policy.observe(
+            [report(1, 0.6, time=10.0), report(2, 0.9, time=10.0)],
+            10.0,
+            vm_budget_left=1,
+        )
+        assert [d.slot_uid for d in decisions] == [2]
+        assert decisions[0].reason == REASON_BOTTLENECK
+
+    def test_forget_slot_drops_history(self):
+        policy = make_predictive()
+        for t, u in ((0.0, 0.3), (5.0, 0.45)):
+            policy.observe([report(1, u, time=t)], t, None)
+        policy.forget_slot(1)
+        # One fresh sample after forgetting: not enough for a projection.
+        assert policy.observe([report(1, 0.6, time=10.0)], 10.0, None) == []
+
+    def test_make_policy_factory(self):
+        from repro.config import ScalingConfig
+
+        assert type(build_policy(ScalingConfig())) is ThresholdScalingPolicy
+        assert (
+            type(build_policy(ScalingConfig(policy="predictive")))
+            is PredictiveScalingPolicy
+        )
+
 
 class TestUtilizationReport:
     def test_above(self):
         assert report(1, 0.71).above(0.70)
         assert not report(1, 0.69).above(0.70)
+
+    def test_above_is_inclusive_at_the_boundary(self):
+        # δ-boundary semantics: exactly-at-threshold counts as a breach.
+        assert report(1, 0.70).above(0.70)

@@ -1,6 +1,8 @@
-"""Tests for utilisation report tracking."""
+"""Tests for utilisation report tracking and the heavy-hitter sketch."""
 
-from repro.scaling.reports import UtilizationTracker
+import pytest
+
+from repro.scaling.reports import SpaceSavingSketch, UtilizationTracker
 
 
 class TestUtilizationTracker:
@@ -41,3 +43,77 @@ class TestUtilizationTracker:
         b = tracker.sample(5.0, "op", 2, 2, 4.0)
         assert a.utilization == 0.2
         assert b.utilization == 0.8
+
+    def test_negative_window_skipped(self):
+        # Time never goes backwards in the simulator, but a report round
+        # racing a slot hand-over can resample at an earlier tracker
+        # timestamp; the sample must be dropped, not divide negatively.
+        tracker = UtilizationTracker()
+        tracker.sample(5.0, "op", 1, 1, 2.0)
+        assert tracker.sample(4.0, "op", 1, 1, 3.0) is None
+
+    def test_busy_total_regression_clamped_to_zero(self):
+        # A replacement VM restarts busy-time accounting at zero; the
+        # first delta after hand-over clamps at 0 instead of going
+        # negative.
+        tracker = UtilizationTracker()
+        tracker.sample(0.0, "op", 1, 1, 10.0)
+        report = tracker.sample(5.0, "op", 1, 2, 1.0)
+        assert report.utilization == 0.0
+
+
+class TestSpaceSavingSketch:
+    def test_capacity_must_be_positive(self):
+        with pytest.raises(ValueError):
+            SpaceSavingSketch(0)
+
+    def test_exact_below_capacity(self):
+        sketch = SpaceSavingSketch(4)
+        for key, weight in (("a", 5.0), ("b", 3.0), ("a", 2.0), ("c", 1.0)):
+            sketch.offer(key, weight)
+        assert sketch.top(3) == [("a", 7.0), ("b", 3.0), ("c", 1.0)]
+        assert sketch.total == 11.0
+        assert len(sketch) == 3
+
+    def test_eviction_inherits_minimum_count(self):
+        sketch = SpaceSavingSketch(2)
+        sketch.offer("a", 10.0)
+        sketch.offer("b", 1.0)
+        sketch.offer("c", 1.0)  # evicts b, inherits its count
+        assert len(sketch) == 2
+        top = dict(sketch.top(2))
+        assert top["c"] == 2.0  # over-estimate: floor(b) + weight(c)
+        assert "b" not in top
+
+    def test_heavy_hitter_survives_churn(self):
+        # Any key with true weight > total/capacity is guaranteed present
+        # no matter how many light keys churn through the sketch.
+        sketch = SpaceSavingSketch(8)
+        for i in range(200):
+            sketch.offer(f"light{i}", 1.0)
+            if i % 2 == 0:
+                sketch.offer("heavy", 3.0)
+        top_keys = [key for key, _w in sketch.top(8)]
+        assert "heavy" in top_keys
+        # Estimated weight never under-counts the true weight.
+        assert dict(sketch.top(8))["heavy"] >= 300.0
+
+    def test_top_ties_break_deterministically(self):
+        sketch = SpaceSavingSketch(4)
+        sketch.offer("b", 2.0)
+        sketch.offer("a", 2.0)
+        assert sketch.top(2) == [("a", 2.0), ("b", 2.0)]
+
+    def test_reset_clears_counts_and_total(self):
+        sketch = SpaceSavingSketch(4)
+        sketch.offer("a", 5.0)
+        sketch.reset()
+        assert sketch.top(1) == []
+        assert sketch.total == 0.0
+        assert len(sketch) == 0
+
+    def test_total_is_exact_despite_evictions(self):
+        sketch = SpaceSavingSketch(2)
+        for i in range(10):
+            sketch.offer(f"k{i}", 2.0)
+        assert sketch.total == 20.0
