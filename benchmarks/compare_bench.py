@@ -25,6 +25,17 @@ GATED = [
     (("results", "throughput", "unbatched", "tuples_per_wall_sec"), True),
     (("results", "throughput", "batched", "tuples_per_wall_sec"), True),
     (("results", "throughput", "speedup"), True),
+    # Columnar block plane: operator-level tuples/wall-sec both ways and
+    # the headline speedup (acceptance floor is 3x; the gate only guards
+    # against regression relative to the committed baseline).
+    (("results", "dataplane", "rows", "tuples_per_wall_sec"), True),
+    (("results", "dataplane", "columnar", "tuples_per_wall_sec"), True),
+    (("results", "dataplane", "columnar_speedup"), True),
+    (("results", "dataplane", "pipeline", "rows", "tuples_per_wall_sec"), True),
+    (
+        ("results", "dataplane", "pipeline", "columnar", "tuples_per_wall_sec"),
+        True,
+    ),
 ]
 
 #: Deterministic simulated-time metrics: must match the baseline exactly.
@@ -92,6 +103,20 @@ EXACT = [
     ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "reduce_p99_ms"),
     ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "hot_slot_final_util"),
     ("results", "skew_sweep", "zipf_1.5", "hot_key_aware", "carve_outs"),
+    # Columnar block plane: the block path must be a pure fast path —
+    # same simulated behaviour, same message counts — and the
+    # backpressure ceiling is a deterministic function of the credit
+    # protocol (bounded with flow on, monotonic queue growth with it
+    # off).  Any drift is a data-plane behaviour change.
+    ("results", "dataplane", "pipeline", "rows", "tuples_processed"),
+    ("results", "dataplane", "pipeline", "columnar", "tuples_processed"),
+    ("results", "dataplane", "pipeline", "rows", "network_messages"),
+    ("results", "dataplane", "pipeline", "columnar", "network_messages"),
+    ("results", "dataplane", "backpressure", "on", "bounded"),
+    ("results", "dataplane", "backpressure", "on", "peak_queue_depth"),
+    ("results", "dataplane", "backpressure", "on", "shed_weight"),
+    ("results", "dataplane", "backpressure", "off", "monotonic_growth"),
+    ("results", "dataplane", "backpressure", "off", "peak_queue_depth"),
 ]
 
 

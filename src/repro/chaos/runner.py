@@ -109,6 +109,8 @@ class ChaosRunner:
         lrb_tolerance: float = 0.0,
         trace_dir: str | None = None,
         batching: bool = False,
+        columnar: bool = False,
+        flow: bool = False,
         migration_chunks: int = 1,
         state_backend: str | None = None,
         max_hot_entries: int = 100_000,
@@ -144,7 +146,16 @@ class ChaosRunner:
         self.lrb_xways = lrb_xways
         self.lrb_tolerance = lrb_tolerance
         #: Run the whole sweep (golden included) on the batched data plane.
-        self.batching = batching
+        #: Columnar blocks and credit flow control both ride batching, so
+        #: either flag implies it.
+        self.batching = batching or columnar or flow
+        #: Ship batches as columnar TupleBlocks (vectorized kernels).
+        self.columnar = columnar
+        #: Credit-based backpressure, closed-loop: source shedding is
+        #: disabled so the golden-equivalence oracle sees every tuple —
+        #: backpressure defers output in pending batches instead of
+        #: dropping input.
+        self.flow = flow
         #: Scale-outs migrate state fluidly in up to this many chunks.
         self.migration_chunks = migration_chunks
         #: State backend kind for the whole sweep (golden included):
@@ -175,6 +186,10 @@ class ChaosRunner:
         config.cloud.pool_size = 4
         config.cloud.provisioning_delay = 12.0
         config.batching.enabled = self.batching
+        config.batching.columnar = self.columnar
+        if self.flow:
+            config.flow.enabled = True
+            config.flow.shed_at_source = False
         config.migration.max_chunks = self.migration_chunks
         if self.state_backend is not None:
             config.state_backend.kind = self.state_backend

@@ -316,6 +316,14 @@ class BatchingConfig:
     #: Flush every pending batch at most this long (seconds of simulated
     #: time) after its first tuple — bounds added latency.
     linger: float = 0.002
+    #: Ship batches as struct-of-arrays :class:`TupleBlock` records and
+    #: process them through vectorized operator kernels (grouped
+    #: bulk-apply for keyed aggregation, fused per-block passes for
+    #: stateless chains).  Operators without a block kernel fall back to
+    #: row-at-a-time processing of the same block.  Semantics are
+    #: identical to the list-of-Tuple batched plane: same messages, same
+    #: admission filters, same state transitions.
+    columnar: bool = False
 
     def validate(self) -> None:
         """Raise ConfigurationError on invalid or inconsistent values."""
@@ -323,6 +331,58 @@ class BatchingConfig:
             raise ConfigurationError(f"max_tuples must be >= 1: {self.max_tuples}")
         if self.linger < 0:
             raise ConfigurationError(f"linger must be >= 0: {self.linger}")
+
+
+@dataclass
+class FlowControlConfig:
+    """Credit-based backpressure on the batched data plane.
+
+    Receivers grant credits (in tuple-weight units) per upstream edge;
+    a sender whose credit account for a destination has run dry holds
+    its pending batch instead of shipping it, and a source whose output
+    is blocked sheds new input (open-loop).  Grants are deferred while
+    the receiver's queue depth sits at or above ``queue_ceiling``, so a
+    slow sink throttles the whole upstream chain instead of growing
+    unbounded queues.  Control-plane flushes (checkpoint barriers,
+    pause/stop, routing updates) always pierce backpressure — they debit
+    the account below zero rather than stall reconfiguration.
+    """
+
+    enabled: bool = False
+    #: Initial sender credit per downstream edge, in tuple-weight units.
+    initial_credits: float = 512.0
+    #: Defer credit grants while the receiver's queued weight (input
+    #: backlog plus blocked pending output) is at or above this.
+    queue_ceiling: float = 256.0
+    #: Accumulate at least this much processed weight before granting,
+    #: so credits travel in a few messages rather than one per tuple.
+    grant_quantum: float = 64.0
+    #: Wire size of one credit-grant message.
+    credit_bytes: float = 16.0
+    #: Shed new source input while the source's output is blocked
+    #: (open-loop sources drop on backpressure, counted per operator as
+    #: ``backpressure_shed:{op}``).  Disable to make backpressure purely
+    #: deferring — nothing is lost, sources simply hold tuples in their
+    #: pending batches until credits return (closed-loop semantics, used
+    #: by the chaos sweeps where the golden run must see every tuple).
+    shed_at_source: bool = True
+
+    def validate(self) -> None:
+        """Raise ConfigurationError on invalid or inconsistent values."""
+        if self.initial_credits <= 0:
+            raise ConfigurationError(
+                f"initial_credits must be > 0: {self.initial_credits}"
+            )
+        if self.queue_ceiling <= 0:
+            raise ConfigurationError(
+                f"queue_ceiling must be > 0: {self.queue_ceiling}"
+            )
+        if self.grant_quantum <= 0:
+            raise ConfigurationError(
+                f"grant_quantum must be > 0: {self.grant_quantum}"
+            )
+        if self.credit_bytes < 0:
+            raise ConfigurationError(f"credit_bytes must be >= 0: {self.credit_bytes}")
 
 
 @dataclass
@@ -445,6 +505,7 @@ class SystemConfig:
     network: NetworkConfig = field(default_factory=NetworkConfig)
     cloud: CloudConfig = field(default_factory=CloudConfig)
     batching: BatchingConfig = field(default_factory=BatchingConfig)
+    flow: FlowControlConfig = field(default_factory=FlowControlConfig)
     migration: MigrationConfig = field(default_factory=MigrationConfig)
     state_backend: StateBackendConfig = field(default_factory=StateBackendConfig)
     #: Master seed for all randomness in the run.
@@ -467,8 +528,14 @@ class SystemConfig:
         self.network.validate()
         self.cloud.validate()
         self.batching.validate()
+        self.flow.validate()
         self.migration.validate()
         self.state_backend.validate()
+        if self.flow.enabled and not self.batching.enabled:
+            raise ConfigurationError(
+                "flow control requires batching.enabled (credits meter "
+                "batch admission; the unbatched plane has no sender queue)"
+            )
         if self.queue_capacity is not None and self.queue_capacity <= 0:
             raise ConfigurationError("queue_capacity must be positive or None")
         if self.latency_sample_every < 1:

@@ -254,6 +254,16 @@ class Checkpointer:
     are state movement, accounted as migration traffic), and a failure
     mid-epoch aborts every in-flight epoch so recovery falls back to the
     last *complete* epoch.
+
+    Batched and columnar delivery need no special handling here: an
+    instance force-flushes its pending output batches whenever its epoch
+    stamp advances, so a batch — and therefore a columnar
+    :class:`~repro.core.tuples.TupleBlock`, which is just a flushed
+    batch in columnar form — never spans an epoch boundary on the wire.
+    Receivers fence whole messages on the stamped epoch, and an active
+    barrier alignment decomposes arriving blocks to rows (per-row
+    parking is what alignment means), so the epoch protocol only ever
+    sees per-epoch-homogeneous traffic.
     """
 
     def __init__(self, system: Any) -> None:

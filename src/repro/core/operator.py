@@ -117,6 +117,20 @@ class Operator:
         """Process one input tuple.  Must be overridden."""
         raise NotImplementedError
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        """Process a whole :class:`TupleBlock` in one vectorized pass.
+
+        Return ``True`` when the block was consumed; return ``False`` to
+        opt out, and the runtime falls back to row-at-a-time
+        :meth:`on_tuple` over the same rows (the default for operators
+        without a block kernel — joins, the LRB model).  Kernel
+        implementations must pass ``created_at`` explicitly on every
+        ``ctx.emit`` (there is no per-row "current input" to inherit
+        lineage from) and must produce exactly the state transitions and
+        emissions of the per-row path, in row order per key.
+        """
+        return False
+
     def on_timer(self, ctx: OperatorContext) -> None:
         """Periodic hook for windowed operators; default does nothing."""
 

@@ -10,10 +10,25 @@ top-k) and give library users ready-made pieces; the LRB operators live in
 
 from __future__ import annotations
 
+import math
 from typing import Any, Callable
 
 from repro.core.operator import Operator, OperatorContext
 from repro.core.window import WindowAccumulator
+
+
+def _group_weights(block) -> dict[Any, int]:
+    """Sum row weights per key, preserving first-seen key order."""
+    grouped: dict[Any, int] = {}
+    get = grouped.get
+    for key, weight in zip(block.keys, block.weight):
+        grouped[key] = get(key, 0) + weight
+    return grouped
+
+
+def _add_count(current, weight):
+    """``bulk_apply`` callback: running integer count per key."""
+    return weight if current is None else current + weight
 
 
 class MapOperator(Operator):
@@ -28,6 +43,16 @@ class MapOperator(Operator):
         key, payload = self._fn(tup.key, tup.payload)
         ctx.emit(key, payload, weight=tup.weight)
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        fn = self._fn
+        emit = ctx.emit
+        for key, payload, weight, created_at in zip(
+            block.keys, block.payloads, block.weight, block.created_at
+        ):
+            out_key, out_payload = fn(key, payload)
+            emit(out_key, out_payload, weight=weight, created_at=created_at)
+        return True
+
 
 class FilterOperator(Operator):
     """Pass through tuples for which ``predicate(key, payload)`` holds."""
@@ -40,6 +65,16 @@ class FilterOperator(Operator):
     def on_tuple(self, tup, ctx: OperatorContext) -> None:
         if self._predicate(tup.key, tup.payload):
             ctx.emit(tup.key, tup.payload, weight=tup.weight)
+
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        predicate = self._predicate
+        emit = ctx.emit
+        for key, payload, weight, created_at in zip(
+            block.keys, block.payloads, block.weight, block.created_at
+        ):
+            if predicate(key, payload):
+                emit(key, payload, weight=weight, created_at=created_at)
+        return True
 
 
 class FlatMapOperator(Operator):
@@ -63,6 +98,16 @@ class FlatMapOperator(Operator):
         for key, payload in self._fn(tup.key, tup.payload):
             ctx.emit(key, payload, weight=tup.weight)
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        fn = self._fn
+        emit = ctx.emit
+        for key, payload, weight, created_at in zip(
+            block.keys, block.payloads, block.weight, block.created_at
+        ):
+            for out_key, out_payload in fn(key, payload):
+                emit(out_key, out_payload, weight=weight, created_at=created_at)
+        return True
+
 
 class KeyedCounter(Operator):
     """Maintain a running count per key; emits nothing.
@@ -78,6 +123,12 @@ class KeyedCounter(Operator):
     def on_tuple(self, tup, ctx: OperatorContext) -> None:
         assert ctx.state is not None
         ctx.state[tup.key] = ctx.state.get(tup.key, 0) + tup.weight
+
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        state = ctx.state
+        assert state is not None
+        state.bulk_apply(_group_weights(block), _add_count)
+        return True
 
     def merge_values(self, left: int, right: int) -> int:
         return left + right
@@ -104,6 +155,29 @@ class KeyedReducer(Operator):
         if acc is None:
             acc = self._zero()
         ctx.state[tup.key] = self._reduce(acc, tup.payload, tup.weight)
+
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        state = ctx.state
+        assert state is not None
+        reduce_fn = self._reduce
+        zero = self._zero
+        # Group rows per key in row order: the fold per key is identical
+        # to the per-row path, with one state read/write per distinct key.
+        grouped: dict[Any, list[int]] = {}
+        for i, key in enumerate(block.keys):
+            grouped.setdefault(key, []).append(i)
+        payloads = block.payloads
+        weights = block.weight
+
+        def fold(acc, rows):
+            if acc is None:
+                acc = zero()
+            for i in rows:
+                acc = reduce_fn(acc, payloads[i], weights[i])
+            return acc
+
+        state.bulk_apply(grouped, fold)
+        return True
 
 
 class WindowedKeyedCounter(Operator):
@@ -136,6 +210,45 @@ class WindowedKeyedCounter(Operator):
         assert ctx.state is not None
         buckets = ctx.state.setdefault(tup.key, {})
         self._acc.accumulate(buckets, tup.created_at, None, tup.weight)
+
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        state = ctx.state
+        assert state is not None
+        width = self.window
+        floor = math.floor
+        created = block.created_at
+        if not len(created):
+            return True
+        # Event times cluster: a block's rows almost always share one
+        # tumbling window, in which case grouping per (key, window) buys
+        # nothing (block rows are mostly distinct keys) and the fused
+        # single-pass bucket add applies the whole column directly.
+        index = int(floor(created[0] / width))
+        lo = index * width
+        hi = lo + width
+        if lo <= min(created) and max(created) < hi:
+            state.bulk_bucket_add(index, block.keys, block.weight)
+            return True
+        # Window-boundary block: group (key, window) weight sums first —
+        # the accumulator add is plain weight addition, so bulk-merging
+        # the sums produces the same buckets as the per-row path with
+        # one state access per key.  The current window's span is
+        # cached; the index (same floor expression as ``window_index``)
+        # is only recomputed when a row's event time leaves it.
+        grouped: dict[Any, dict[int, int]] = {}
+        get = grouped.get
+        for key, weight, created_at in zip(block.keys, block.weight, created):
+            if not lo <= created_at < hi:
+                index = int(floor(created_at / width))
+                lo = index * width
+                hi = lo + width
+            buckets = get(key)
+            if buckets is None:
+                grouped[key] = {index: weight}
+            else:
+                buckets[index] = buckets.get(index, 0) + weight
+        state.bulk_merge_buckets(grouped)
+        return True
 
     def on_timer(self, ctx: OperatorContext) -> None:
         assert ctx.state is not None
@@ -184,6 +297,12 @@ class TopKOperator(Operator):
         assert ctx.state is not None
         ctx.state[tup.key] = ctx.state.get(tup.key, 0) + tup.weight
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        state = ctx.state
+        assert state is not None
+        state.bulk_apply(_group_weights(block), _add_count)
+        return True
+
     def on_timer(self, ctx: OperatorContext) -> None:
         assert ctx.state is not None
         ranked = sorted(ctx.state.items(), key=lambda kv: (-kv[1], str(kv[0])))
@@ -193,6 +312,55 @@ class TopKOperator(Operator):
 
     def merge_values(self, left: int, right: int) -> int:
         return left + right
+
+
+class FusedStatelessChain(Operator):
+    """Fuse a chain of stateless row transforms into one operator.
+
+    ``stages`` are callables ``fn(key, payload)`` returning ``None`` to
+    drop the row, a ``(key, payload)`` pair to continue with one row, or
+    a list of pairs to fan out.  Deploying a fused chain collapses what
+    would be N operators (N network hops, N admissions) into a single
+    per-row — or, on the columnar plane, single per-block — pass.
+    """
+
+    def __init__(self, name: str, stages: list[Callable[[Any, Any], Any]], **kwargs):
+        if not stages:
+            raise ValueError("FusedStatelessChain needs at least one stage")
+        kwargs.setdefault("stateful", False)
+        super().__init__(name, **kwargs)
+        self._stages = list(stages)
+
+    def _apply(self, key: Any, payload: Any) -> list[tuple[Any, Any]]:
+        rows = [(key, payload)]
+        for stage in self._stages:
+            next_rows = []
+            for row_key, row_payload in rows:
+                out = stage(row_key, row_payload)
+                if out is None:
+                    continue
+                if isinstance(out, list):
+                    next_rows.extend(out)
+                else:
+                    next_rows.append(out)
+            rows = next_rows
+            if not rows:
+                break
+        return rows
+
+    def on_tuple(self, tup, ctx: OperatorContext) -> None:
+        for key, payload in self._apply(tup.key, tup.payload):
+            ctx.emit(key, payload, weight=tup.weight)
+
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        apply = self._apply
+        emit = ctx.emit
+        for key, payload, weight, created_at in zip(
+            block.keys, block.payloads, block.weight, block.created_at
+        ):
+            for out_key, out_payload in apply(key, payload):
+                emit(out_key, out_payload, weight=weight, created_at=created_at)
+        return True
 
 
 def merge_topk(partials: list[tuple], k: int) -> list[tuple[Any, int]]:

@@ -114,6 +114,45 @@ class SpillableState(ProcessingState):
         if len(self.entries) > self.max_hot_entries:
             self.spill(len(self.entries) - self.max_hot_entries)
 
+    def bulk_apply(self, grouped, apply) -> None:
+        """Grouped bulk-apply, one tiered access per key.
+
+        Tier movement (LRU touch, fault-in, spill thresholds) must run
+        for every key, so unlike the base class nothing is hoisted —
+        each key goes through the instrumented accessors.
+        """
+        for key, addition in grouped.items():
+            if key in self:
+                value = self[key]
+                new = apply(value, addition)
+                if new is not value:
+                    self[key] = new
+            else:
+                self[key] = apply(None, addition)
+
+    def bulk_merge_buckets(self, grouped) -> None:
+        """Bucket-dict bulk merge, one tiered access per key (see
+        :meth:`bulk_apply` for why nothing is hoisted here)."""
+        for key, additions in grouped.items():
+            if key in self:
+                buckets = self[key]
+                get = buckets.get
+                for index, weight in additions.items():
+                    buckets[index] = get(index, 0) + weight
+                self[key] = buckets
+            else:
+                self[key] = additions
+
+    def bulk_bucket_add(self, index, keys, weights) -> None:
+        """Single-window bucket adds, one tiered access per row."""
+        for key, weight in zip(keys, weights):
+            if key in self:
+                buckets = self[key]
+                buckets[index] = buckets.get(index, 0) + weight
+                self[key] = buckets
+            else:
+                self[key] = {index: weight}
+
     def keys(self):
         """All keys, hot tier first."""
         return list(self.entries.keys()) + list(self._spilled.keys())

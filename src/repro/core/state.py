@@ -380,6 +380,94 @@ class ProcessingState:
         self[key] = default
         return default
 
+    def bulk_apply(
+        self, grouped: dict[Any, Any], apply: Callable[[Any, Any], Any]
+    ) -> None:
+        """Grouped bulk-apply for vectorized kernels.
+
+        ``apply(current, addition)`` is called once per key with the
+        privately-owned current value (``None`` when the key is absent)
+        and must return the new value — returning ``addition`` itself to
+        install a fresh value is fine, but the state owns it afterwards.
+        Semantically identical to a ``setdefault``/merge per key; the
+        dirty-marking and copy-on-write bookkeeping that dominate the
+        per-key accessors are hoisted to one set operation per block.
+        """
+        entries = self.entries
+        private = self._private
+        if self.dirty is not None:
+            self.dirty.update(grouped)
+        copy = _copy_value
+        for key, addition in grouped.items():
+            value = entries.get(key)
+            if value is None and key not in entries:
+                entries[key] = apply(None, addition)
+            else:
+                if key not in private:
+                    value = entries[key] = copy(value)
+                new = apply(value, addition)
+                if new is not value:
+                    entries[key] = new
+        private.update(grouped)
+
+    def bulk_merge_buckets(self, grouped: dict[Any, dict[Any, int]]) -> None:
+        """:meth:`bulk_apply` specialised to bucket-dict values.
+
+        ``grouped`` maps key -> ``{bucket: weight}`` additions; each
+        key's buckets merge by addition into the stored bucket dict (an
+        absent key installs its additions dict outright, which the state
+        then owns).  Equivalent to ``bulk_apply`` with a merge callback,
+        with the per-key callback dispatch inlined away — this is the
+        innermost loop of the windowed-counter kernel.
+        """
+        entries = self.entries
+        private = self._private
+        if self.dirty is not None:
+            self.dirty.update(grouped)
+        eget = entries.get
+        for key, additions in grouped.items():
+            buckets = eget(key)
+            if buckets is None:
+                # Bucket values are always dicts, so None means absent.
+                entries[key] = additions
+                continue
+            if key not in private:
+                buckets = entries[key] = dict(buckets)
+            bget = buckets.get
+            for index, weight in additions.items():
+                buckets[index] = bget(index, 0) + weight
+        private.update(grouped)
+
+    def bulk_bucket_add(
+        self, index: Any, keys: list[Any], weights: Any
+    ) -> None:
+        """Add ``weights[i]`` to bucket ``index`` of ``keys[i]``'s dict.
+
+        The windowed-counter kernel's fast path: when every row of a
+        block falls in one tumbling window, grouping per key buys
+        nothing (block rows are mostly distinct keys), so this fuses
+        grouping and application into a single pass — one ``entries``
+        probe per row, with dirty-marking and ownership hoisted to set
+        operations over the raw key column.  Copy-on-write still holds:
+        a shared bucket dict is copied on its first touch (and marked
+        private immediately, so a repeated key copies once).
+        """
+        entries = self.entries
+        private = self._private
+        if self.dirty is not None:
+            self.dirty.update(keys)
+        eget = entries.get
+        for key, weight in zip(keys, weights):
+            buckets = eget(key)
+            if buckets is None:
+                entries[key] = {index: weight}
+            else:
+                if key not in private:
+                    buckets = entries[key] = dict(buckets)
+                    private.add(key)
+                buckets[index] = buckets.get(index, 0) + weight
+        private.update(keys)
+
     def pop(self, key: Any, default: Any = None) -> Any:
         """dict.pop over the state entries (marks dirty)."""
         if key not in self.entries:

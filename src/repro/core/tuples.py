@@ -19,10 +19,16 @@ from __future__ import annotations
 
 import struct
 import zlib
+from array import array
 from typing import Any, Iterable
 
 #: Size of the partitioning key space: keys hash into ``[0, KEY_SPACE)``.
 KEY_SPACE = 1 << 32
+
+#: Bound on the stable_hash memo table; the cache resets when full so a
+#: pathological key stream cannot grow it without limit.
+_HASH_CACHE_MAX = 1 << 16
+_hash_cache: dict[Any, int] = {}
 
 
 def stable_hash(key: Any) -> int:
@@ -30,7 +36,21 @@ def stable_hash(key: Any) -> int:
 
     Unlike :func:`hash`, the result is stable across processes and Python
     versions, which keeps state partitioning decisions reproducible.
+    String/bytes results are memoised (bounded) — workload key spaces
+    are small compared to the tuple volume hashed through routing and
+    block slicing.  Numeric keys are excluded because cross-type
+    equality (``True == 1 == 1.0``) would alias distinct canonical
+    encodings in the cache.
     """
+    if type(key) is str or type(key) is bytes:
+        cached = _hash_cache.get(key)
+        if cached is not None:
+            return cached
+        position = zlib.crc32(_canonical_bytes(key)) % KEY_SPACE
+        if len(_hash_cache) >= _HASH_CACHE_MAX:
+            _hash_cache.clear()
+        _hash_cache[key] = position
+        return position
     return zlib.crc32(_canonical_bytes(key)) % KEY_SPACE
 
 
@@ -141,3 +161,116 @@ class Tuple:
 def total_weight(tuples: Iterable[Tuple]) -> int:
     """Sum of weights — the number of logical tuples represented."""
     return sum(t.weight for t in tuples)
+
+
+class TupleBlock:
+    """A struct-of-arrays batch of tuples from one origin slot.
+
+    The columnar data plane ships one :class:`TupleBlock` per network
+    message instead of a list of :class:`Tuple` objects.  Fixed-width
+    columns (``ts``, ``key_pos``, ``weight``, ``created_at``) live in
+    :mod:`array` arrays; ``keys`` and ``payloads`` stay Python lists
+    because they hold arbitrary objects.  ``slot`` and ``replay`` are
+    scalars: the output batcher coalesces per destination, so every row
+    shares the emitting slot, and replayed tuples never batch.
+
+    Rows are in emission order, which per origin slot means strictly
+    ascending ``ts`` — the property receivers exploit for prefix-scan
+    duplicate filtering and single-advance watermarks.
+    """
+
+    __slots__ = ("slot", "replay", "ts", "key_pos", "weight",
+                 "created_at", "keys", "payloads", "_total_weight")
+
+    def __init__(self, slot: int, replay: bool = False) -> None:
+        self.slot = slot
+        self.replay = replay
+        self.ts = array("q")
+        self.key_pos = array("Q")
+        self.weight = array("q")
+        self.created_at = array("d")
+        self.keys: list[Any] = []
+        self.payloads: list[Any] = []
+        self._total_weight = 0
+
+    @classmethod
+    def from_tuples(cls, tuples: list[Tuple]) -> "TupleBlock":
+        """Build a block from a non-empty same-slot list of tuples."""
+        first = tuples[0]
+        block = cls(first.slot, first.replay)
+        append = block.append
+        for tup in tuples:
+            append(tup.ts, tup.key, tup.payload, tup.weight,
+                   tup.created_at, stable_hash(tup.key))
+        return block
+
+    def append(self, ts: int, key: Any, payload: Any, weight: int,
+               created_at: float, key_pos: int) -> None:
+        """Append one row (``key_pos`` is the precomputed stable hash)."""
+        self.ts.append(ts)
+        self.key_pos.append(key_pos)
+        self.weight.append(weight)
+        self.created_at.append(created_at)
+        self.keys.append(key)
+        self.payloads.append(payload)
+        self._total_weight += weight
+
+    def __len__(self) -> int:
+        return len(self.ts)
+
+    def total_weight(self) -> int:
+        """Sum of row weights — the number of logical tuples held."""
+        return self._total_weight
+
+    def to_tuples(self) -> list[Tuple]:
+        """Materialise per-row :class:`Tuple` objects (fallback path)."""
+        slot = self.slot
+        replay = self.replay
+        return [
+            Tuple(ts, key, payload, weight, created_at, slot, replay)
+            for ts, key, payload, weight, created_at in zip(
+                self.ts, self.keys, self.payloads,
+                self.weight, self.created_at,
+            )
+        ]
+
+    def row(self, i: int) -> Tuple:
+        """Materialise row ``i`` as a :class:`Tuple`."""
+        return Tuple(
+            self.ts[i], self.keys[i], self.payloads[i], self.weight[i],
+            self.created_at[i], self.slot, self.replay,
+        )
+
+    def suffix(self, start: int) -> "TupleBlock":
+        """Rows from ``start`` onward as a new block (prefix dedup)."""
+        out = TupleBlock(self.slot, self.replay)
+        out.ts = self.ts[start:]
+        out.key_pos = self.key_pos[start:]
+        out.weight = self.weight[start:]
+        out.created_at = self.created_at[start:]
+        out.keys = self.keys[start:]
+        out.payloads = self.payloads[start:]
+        out._total_weight = sum(out.weight)
+        return out
+
+    def split_by_intervals(self, intervals) -> tuple["TupleBlock", "TupleBlock"]:
+        """Split into (inside, outside) blocks by key-interval membership.
+
+        ``intervals`` is an iterable of :class:`KeyInterval`-like objects
+        supporting ``position in interval``.  Row order — and therefore
+        the ascending-``ts`` invariant — is preserved in both halves, so
+        every ``(slot, ts)`` identity survives routing carve-outs and
+        fluid-migration slicing.
+        """
+        inside = TupleBlock(self.slot, self.replay)
+        outside = TupleBlock(self.slot, self.replay)
+        spans = list(intervals)
+        for i, pos in enumerate(self.key_pos):
+            target = outside
+            for span in spans:
+                if pos in span:
+                    target = inside
+                    break
+            target.append(self.ts[i], self.keys[i], self.payloads[i],
+                          self.weight[i], self.created_at[i], pos)
+        return inside, outside

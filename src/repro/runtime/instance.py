@@ -28,8 +28,9 @@ from repro.core.state import (
     RoutingState,
     _copy_value as _copy_state_value,
 )
-from repro.core.tuples import Tuple, stable_hash
+from repro.core.tuples import Tuple, TupleBlock, stable_hash
 from repro.errors import RuntimeStateError
+from repro.sim.network import KIND_CREDIT
 from repro.sim.simulator import PeriodicTask
 from repro.sim.vm import VirtualMachine
 
@@ -222,6 +223,22 @@ class OperatorInstance:
         self._batch_pending: dict[int, list[Tuple]] = {}
         self._linger_event = None
         self._latency_counter = 0
+        #: Credit-based flow control (requires batching).  ``None`` keeps
+        #: every hot-path check a single identity comparison.
+        flow = system.config.flow
+        self._flow = flow if (flow.enabled and batching.enabled) else None
+        #: Sender side: remaining credit per downstream slot uid, lazily
+        #: seeded with ``initial_credits`` on first flush toward a dest.
+        self._credits: dict[int, float] = {}
+        #: Destinations whose pending batch is held for lack of credit.
+        self._blocked_dests: set[int] = set()
+        #: Open backpressure tracer span per blocked destination.
+        self._bp_spans: dict[int, Any] = {}
+        #: Receiver side: processed/disposed weight per origin slot uid
+        #: not yet granted back as credit.
+        self._fc_ungranted: dict[int, float] = {}
+        #: Whether the grant policy is currently deferring (gauge edge).
+        self._fc_deferring = False
         #: Optional heavy-hitter sketch the hot-key detector attaches;
         #: fed from the admission path in ``_process_one``.  None (the
         #: default) keeps the data plane byte-identical to a system
@@ -293,6 +310,8 @@ class OperatorInstance:
             work = tup.weight * self.operator.cost_per_tuple
             self.vm.submit(work, self._process, tup)
         self._note_replay_progress(tup)
+        if self._flow is not None:
+            self._fc_maybe_grant()
 
     def receive_stamped(self, tup: Tuple, epoch: int) -> None:
         """Receive one tuple stamped with its *sender's* fencing epoch.
@@ -324,6 +343,20 @@ class OperatorInstance:
         if batch:
             self._note_epoch(batch[0].slot, epoch)
         self.receive_batch(batch)
+
+    def receive_block_stamped(self, block: TupleBlock, epoch: int) -> None:
+        """Columnar variant of :meth:`receive_batch_stamped`.
+
+        A stale-epoch block decomposes to rows for the fencing judgement
+        (committed-prefix acceptance is inherently per tuple).
+        """
+        if len(block) and epoch < self.system.epoch_of(block.slot):
+            for tup in block.to_tuples():
+                self._receive_fenced(tup, epoch)
+            return
+        if len(block):
+            self._note_epoch(block.slot, epoch)
+        self.receive_block(block)
 
     def _note_epoch(self, slot: int, epoch: int) -> None:
         """Record the first delivery from a newer timeline of ``slot``.
@@ -419,12 +452,99 @@ class OperatorInstance:
                 if batch[0].slot in state.blocked:
                     state.parked.append(("b", batch))
                     return
-        accepted = [tup for tup in batch if self._admit(tup)]
+        admit = self._admit
+        accepted = [tup for tup in batch if admit(tup)]
         if accepted:
             work = sum(t.weight for t in accepted) * self.operator.cost_per_tuple
             self.vm.submit(work, self._process_batch, accepted)
-        for tup in batch:
-            self._note_replay_progress(tup)
+        if self._replay_done is not None:
+            for tup in batch:
+                self._note_replay_progress(tup)
+        if self._flow is not None:
+            self._fc_maybe_grant()
+
+    def receive_block(self, block: TupleBlock) -> None:
+        """Columnar entry point: admit a whole block in one pass.
+
+        The fast path exploits the block invariants (one origin slot,
+        rows in strictly ascending ``ts``): the duplicate filter becomes
+        a prefix scan, migration carve-outs become key-interval slices
+        over the precomputed ``key_pos`` column, and the watermark
+        advances once.  Anything with per-tuple semantics — barrier
+        alignment, replay drains, gap fills, a bounded queue — decomposes
+        the block and takes the row path, which is bit-identical.
+        """
+        if not self.alive or not self.vm.alive:
+            return
+        if (
+            self._barrier_state
+            or block.replay
+            or self.replay_mode != REPLAY_DROP
+            or self._replay_done is not None
+            or self._replay_gap_ids
+            or self.system.config.queue_capacity is not None
+        ):
+            self.receive_batch(block.to_tuples())
+            return
+        slot = block.slot
+        n = len(block)
+        # Duplicate filter first (mirroring :meth:`_admit` order): rows
+        # at or below the arrival watermark form a contiguous prefix.
+        wm = self._arrival_wm.get(slot, -1)
+        ts_col = block.ts
+        if n and ts_col[n - 1] <= wm:
+            start = n
+        else:
+            start = 0
+            while start < n and ts_col[start] <= wm:
+                start += 1
+        if start:
+            dropped = sum(block.weight[i] for i in range(start))
+            self.dropped_duplicates += dropped
+            self.system.metrics.increment(f"duplicates:{self.op_name}", dropped)
+            self._fc_note(slot, dropped)
+            block = block.suffix(start)
+            n = len(block)
+        if not n:
+            if self._flow is not None:
+                self._fc_maybe_grant()
+            return
+        last_ts = -1
+        if self._parking_intervals or self._migrated_intervals:
+            if self._migrated_intervals:
+                migrated, block = block.split_by_intervals(
+                    self._migrated_intervals
+                )
+                if len(migrated):
+                    # Straggler rows for committed-away keys: dropped, and
+                    # the watermark must NOT advance past them alone.
+                    weight = migrated.total_weight()
+                    self.system.metrics.increment(
+                        f"migrated_drop:{self.op_name}", weight
+                    )
+                    self._fc_note(slot, weight)
+            if self._parking_intervals and len(block):
+                parked, block = block.split_by_intervals(
+                    self._parking_intervals
+                )
+                if len(parked):
+                    # Parked rows are *accepted* (watermark advances) but
+                    # wait out the in-flight chunk in `_parked`.
+                    last_ts = parked.ts[-1]
+                    self._parked.extend(parked.to_tuples())
+        n = len(block)
+        if n and block.ts[-1] > last_ts:
+            last_ts = block.ts[-1]
+        if last_ts > wm:
+            self._arrival_wm[slot] = last_ts
+        if n:
+            weight = block.total_weight()
+            self._backlog_weight += weight
+            self.vm.submit(
+                weight * self.operator.cost_per_tuple, self._process_block, block
+            )
+        if self._flow is not None:
+            self._fc_maybe_grant()
 
     def _admit(self, tup: Tuple) -> bool:
         """The admission pipeline shared by single and batched delivery.
@@ -434,6 +554,9 @@ class OperatorInstance:
         and their side effects (counters, watermark advances, backlog
         accounting, parking during drains) happen here.
         """
+        slot = tup.slot
+        ts = tup.ts
+        arrival_wm = self._arrival_wm
         if tup.replay:
             duplicate = self.replay_mode == REPLAY_DROP
             if not duplicate and self.replay_mode == REPLAY_DEDUP:
@@ -448,32 +571,29 @@ class OperatorInstance:
                     # and τ may sit above a delayed straggler whose replay
                     # is its only path here (the origin's τ advances with
                     # other keys the source still serves).
-                    duplicate = tup.ts <= self._drain_replay_wm.get(
-                        tup.slot, -1
-                    )
+                    duplicate = ts <= self._drain_replay_wm.get(slot, -1)
                     if not duplicate:
                         position = stable_hash(tup.key)
                         if any(position in iv for iv in self._drain_intervals):
-                            duplicate = tup.ts <= self._replay_dedup_floor.get(
-                                tup.slot, -1
+                            duplicate = ts <= self._replay_dedup_floor.get(
+                                slot, -1
                             )
                         else:
-                            duplicate = tup.ts <= self._drain_wm_start.get(
-                                tup.slot, -1
+                            duplicate = ts <= self._drain_wm_start.get(
+                                slot, -1
                             )
                 else:
                     # Compare against the τ vector frozen at restore time,
                     # not the live watermark: paced replays interleave with
                     # fresh traffic whose higher timestamps must not mask
                     # them.
-                    duplicate = tup.ts <= self._replay_dedup_floor.get(
-                        tup.slot, -1
-                    )
+                    duplicate = ts <= self._replay_dedup_floor.get(slot, -1)
             if duplicate:
                 # Either a re-derivation from a recovery elsewhere in the
                 # graph (drop mode) or a replayed tuple already reflected
                 # in this instance's restored state (dedup mode).
-                self._replay_gap_ids.discard((tup.slot, tup.ts))
+                if self._replay_gap_ids:
+                    self._replay_gap_ids.discard((slot, ts))
                 self.dropped_duplicates += tup.weight
                 self.system.metrics.increment(
                     f"duplicates:{self.op_name}", tup.weight
@@ -490,22 +610,20 @@ class OperatorInstance:
             # the (slot, ts) <-> payload mapping being stable).
             self._held_while_draining.append(tup)
             return False
-        elif tup.ts <= self._arrival_wm.get(tup.slot, -1):
+        elif ts <= arrival_wm.get(slot, -1):
             gap_fill = False
-            if (tup.slot, tup.ts) in self._replay_gap_ids:
+            if self._replay_gap_ids and (slot, ts) in self._replay_gap_ids:
                 # A wave replay its dead feeder never delivered, now
                 # re-derived by the feeder's recovery.  Judge it exactly
                 # as the replay would have been: a pair at or below the
                 # chunk floor rode the chunk's state here already.
-                self._replay_gap_ids.discard((tup.slot, tup.ts))
+                self._replay_gap_ids.discard((slot, ts))
                 if self._gap_intervals:
                     position = stable_hash(tup.key)
                     if any(position in iv for iv in self._gap_intervals):
-                        gap_fill = tup.ts > self._gap_floor.get(tup.slot, -1)
+                        gap_fill = ts > self._gap_floor.get(slot, -1)
                     else:
-                        gap_fill = tup.ts > self._gap_wm_start.get(
-                            tup.slot, -1
-                        )
+                        gap_fill = ts > self._gap_wm_start.get(slot, -1)
                 else:
                     gap_fill = True
             if not gap_fill:
@@ -516,11 +634,14 @@ class OperatorInstance:
                 self.system.metrics.increment(
                     f"duplicates:{self.op_name}", tup.weight
                 )
+                self._fc_note(slot, tup.weight)
                 return False
         capacity = self.system.config.queue_capacity
         if capacity is not None and self._backlog_weight >= capacity:
             self.dropped_overflow += tup.weight
             self.system.metrics.increment(f"overflow:{self.op_name}", tup.weight)
+            if not tup.replay:
+                self._fc_note(slot, tup.weight)
             return False
         if not tup.replay and (self._parking_intervals or self._migrated_intervals):
             position = stable_hash(tup.key)
@@ -531,6 +652,7 @@ class OperatorInstance:
                 self.system.metrics.increment(
                     f"migrated_drop:{self.op_name}", tup.weight
                 )
+                self._fc_note(slot, tup.weight)
                 return False
             if any(position in iv for iv in self._parking_intervals):
                 # Key belongs to the chunk in flight: park until the chunk
@@ -538,12 +660,12 @@ class OperatorInstance:
                 # the target) or the migration aborts (re-injected here).
                 # The watermark advances now — the tuple is *accepted*, so
                 # a later network duplicate must not be parked twice.
-                if tup.ts > self._arrival_wm.get(tup.slot, -1):
-                    self._arrival_wm[tup.slot] = tup.ts
+                if ts > arrival_wm.get(slot, -1):
+                    arrival_wm[slot] = ts
                 self._parked.append(tup)
                 return False
-        if tup.ts > self._arrival_wm.get(tup.slot, -1):
-            self._arrival_wm[tup.slot] = tup.ts
+        if ts > arrival_wm.get(slot, -1):
+            arrival_wm[slot] = ts
         if tup.replay and self.replay_mode == REPLAY_DEDUP:
             # Replays stream in ts order per origin slot, so advancing the
             # floor as they are accepted makes a network-duplicated copy
@@ -553,16 +675,15 @@ class OperatorInstance:
             # chunk's τ, which may sit above replays for keys this
             # instance already owned — assignment would regress it below
             # state the absorbed chunk already reflects.
-            if tup.ts > self._replay_dedup_floor.get(tup.slot, -1):
-                self._replay_dedup_floor[tup.slot] = tup.ts
-            if self._drain_intervals and tup.ts > self._drain_replay_wm.get(
-                tup.slot, -1
-            ):
-                self._drain_replay_wm[tup.slot] = tup.ts
+            if ts > self._replay_dedup_floor.get(slot, -1):
+                self._replay_dedup_floor[slot] = ts
+            if self._drain_intervals and ts > self._drain_replay_wm.get(slot, -1):
+                self._drain_replay_wm[slot] = ts
         # An accepted delivery is (about to be) reflected: a released
         # wave pair delivered late must not be re-admitted again when its
         # feeder's recovery re-derives it.
-        self._replay_gap_ids.discard((tup.slot, tup.ts))
+        if self._replay_gap_ids:
+            self._replay_gap_ids.discard((slot, ts))
         self._backlog_weight += tup.weight
         return True
 
@@ -571,6 +692,8 @@ class OperatorInstance:
         if not self.alive:
             return
         self._process_one(tup)
+        if self._flow is not None:
+            self._fc_maybe_grant()
 
     def _process_batch(self, batch: list[Tuple]) -> None:
         for tup in batch:
@@ -579,6 +702,95 @@ class OperatorInstance:
             return
         for tup in batch:
             self._process_one(tup)
+        if self._flow is not None:
+            self._fc_maybe_grant()
+
+    def _process_block(self, block: TupleBlock) -> None:
+        """Run one admitted block through the operator.
+
+        Operators with a vectorized kernel consume the whole block in one
+        :meth:`~repro.core.operator.Operator.process_block` call; the
+        rest (and any block arriving while emission suppression is
+        active, which needs a per-row trigger) fall back to row-at-a-time
+        ``on_tuple`` over the same rows.  τ advances once, to the last
+        row — identical to per-row max-advance.
+        """
+        self._backlog_weight -= block.total_weight()
+        if not self.alive:
+            return
+        slot = block.slot
+        if self._parking_intervals or self._migrated_intervals:
+            # Queued before a chunk was extracted: re-slice, exactly as
+            # :meth:`_process_one` re-checks per row.
+            if self._migrated_intervals:
+                migrated, block = block.split_by_intervals(
+                    self._migrated_intervals
+                )
+                if len(migrated):
+                    weight = migrated.total_weight()
+                    self.system.metrics.increment(
+                        f"migrated_drop:{self.op_name}", weight
+                    )
+                    self._fc_note(slot, weight)
+            if self._parking_intervals and len(block):
+                parked, block = block.split_by_intervals(
+                    self._parking_intervals
+                )
+                if len(parked):
+                    self._parked.extend(parked.to_tuples())
+            if not len(block):
+                if self._flow is not None:
+                    self._fc_maybe_grant()
+                return
+        sim = self.system.sim
+        operator = self.operator
+        fallback = True
+        if not self._suppress_until:
+            # Kernels have no per-row trigger, so the emit path can skip
+            # the trigger/suppression/replay bookkeeping entirely — and
+            # for the common single-downstream shape, fuse straight into
+            # the output batcher with the routing lookups hoisted.
+            emit_cb = self._block_emit() or self._emit_from_ctx
+            ctx = OperatorContext(self.state, emit_cb, now=sim.now)
+            fallback = not operator.process_block(block, ctx)
+        if fallback:
+            ctx = OperatorContext(self.state, self._emit_from_ctx, now=sim.now)
+            try:
+                for tup in block.to_tuples():
+                    self._current_input = tup
+                    operator.on_tuple(tup, ctx)
+            finally:
+                self._current_input = None
+        self.state.advance(slot, block.ts[-1])
+        weight = block.total_weight()
+        self.processed_weight += weight
+        if self.key_sketch is not None:
+            offer = self.key_sketch.offer
+            for key, w in zip(block.keys, block.weight):
+                offer(key, w)
+        metrics = self.system.metrics
+        metrics.rate(
+            f"processed:{self.op_name}", self.system.config.rate_bin
+        ).record(sim.now, weight)
+        if operator.measure_latency:
+            every = self.system.config.latency_sample_every
+            n = len(block)
+            now = sim.now
+            lat = metrics.latency(f"latency:{self.op_name}")
+            created = block.created_at
+            weights = block.weight
+            if every == 1:
+                for i in range(n):
+                    lat.record(now, now - created[i], weights[i])
+            else:
+                # Same decimation stride the per-row counter would take.
+                first = (every - self._latency_counter % every) - 1
+                for i in range(first, n, every):
+                    lat.record(now, now - created[i], weights[i] * every)
+            self._latency_counter += n
+        if self._flow is not None:
+            self._fc_note(slot, weight)
+            self._fc_maybe_grant()
 
     def _process_one(self, tup: Tuple) -> None:
         if (self._parking_intervals or self._migrated_intervals) and not tup.replay:
@@ -591,6 +803,7 @@ class OperatorInstance:
                 self.system.metrics.increment(
                     f"migrated_drop:{self.op_name}", tup.weight
                 )
+                self._fc_note(tup.slot, tup.weight)
                 return
             if any(position in iv for iv in self._parking_intervals):
                 self._parked.append(tup)
@@ -617,6 +830,8 @@ class OperatorInstance:
                 metrics.latency(f"latency:{self.op_name}").record(
                     sim.now, sim.now - tup.created_at, tup.weight * every
                 )
+        if self._flow is not None and not tup.replay:
+            self._fc_note(tup.slot, tup.weight)
 
     # --------------------------------------------------------------- source
 
@@ -635,6 +850,15 @@ class OperatorInstance:
         ).record(sim.now, weight)
         if not self.alive or not self.vm.alive:
             self.system.metrics.increment("lost:source_down", weight)
+            return
+        flow = self._flow
+        if flow is not None and flow.shed_at_source and self._blocked_dests:
+            # Open-loop backpressure endpoint: the source's output is
+            # blocked on downstream credit, so new input is shed here
+            # instead of growing an unbounded pending batch.
+            self.system.metrics.increment(
+                f"backpressure_shed:{self.op_name}", weight
+            )
             return
         capacity = self.system.config.queue_capacity
         if capacity is not None and self._backlog_weight >= capacity:
@@ -691,6 +915,80 @@ class OperatorInstance:
             return
         self._emit(key, payload, weight, created_at, to, replay)
 
+    def _block_emit(self) -> Callable[..., None] | None:
+        """A fused emit callback for one kernel invocation, or ``None``.
+
+        Valid only while a vectorized kernel runs: there is no current
+        input, so no suppression window, no replay propagation, and no
+        per-row trigger lineage — ``created_at`` comes from the kernel.
+        For the dominant one-downstream, batching-on shape this collapses
+        the ``_emit_from_ctx → _emit → _dispatch → _batch_add`` chain
+        into one closure with the routing table, β buffer and pending
+        batches pre-bound.  Emitted tuples, timestamps, buffering and
+        flush triggers are identical to the generic path.
+        """
+        if (
+            self.is_sink
+            or self.is_replica
+            or len(self.buffers) != 1
+            or self._batching is None
+        ):
+            return None
+        (down_name,) = self.buffers
+        routing = self.routing.get(down_name)
+        if routing is None:
+            return None
+        state = self.state
+        route = routing.route_position
+        buffer_append = (
+            self.buffers[down_name].append
+            if down_name in self._buffered_downs
+            else None
+        )
+        pending = self._batch_pending
+        batching = self._batching
+        max_tuples = batching.max_tuples
+        slot_uid = self.slot.uid
+        sim = self.system.sim
+        now = sim.now
+
+        def emit(
+            key: Any,
+            payload: Any,
+            weight: int,
+            created_at: float | None,
+            to: str | None,
+        ) -> None:
+            if to is not None and to != down_name:
+                raise RuntimeStateError(
+                    f"{self.op_name} emitted to unknown downstream {to!r}"
+                )
+            state.out_clock += 1
+            tup = Tuple(
+                state.out_clock,
+                key,
+                payload,
+                weight,
+                now if created_at is None else created_at,
+                slot_uid,
+            )
+            self.emitted_weight += weight
+            dest_uid = route(stable_hash(key))
+            if buffer_append is not None:
+                buffer_append(dest_uid, tup)
+            batch = pending.get(dest_uid)
+            if batch is None:
+                batch = pending[dest_uid] = []
+            batch.append(tup)
+            if len(batch) >= max_tuples:
+                self._flush_batch(dest_uid, force=False)
+            elif self._linger_event is None:
+                self._linger_event = sim.schedule(
+                    batching.linger, self._linger_flush
+                )
+
+        return emit
+
     def _emit(
         self,
         key: Any,
@@ -723,7 +1021,7 @@ class OperatorInstance:
             raise RuntimeStateError(
                 f"{self.slot!r} has no routing state toward {down_name}"
             )
-        dest_uid = routing.route_key(tup.key)
+        dest_uid = routing.route_position(stable_hash(tup.key))
         if down_name in self._buffered_downs:
             self.buffers[down_name].append(dest_uid, tup)
         if self._batching is not None and not tup.replay:
@@ -760,6 +1058,7 @@ class OperatorInstance:
             dest.receive_stamped,
             tup,
             self.epoch,
+            fifo=self._flow is not None,
         )
 
     # ------------------------------------------------------------ batching
@@ -768,7 +1067,7 @@ class OperatorInstance:
         pending = self._batch_pending.setdefault(dest_uid, [])
         pending.append(tup)
         if len(pending) >= self._batching.max_tuples:
-            self._flush_batch(dest_uid)
+            self._flush_batch(dest_uid, force=False)
         elif self._linger_event is None:
             # One linger timer per instance, armed by the first pending
             # tuple; flushing every destination when it fires bounds the
@@ -782,27 +1081,70 @@ class OperatorInstance:
         if not self.alive or not self.vm.alive:
             self._batch_pending.clear()
             return
-        self.flush_batches()
+        self.flush_batches(force=False)
 
-    def flush_batches(self) -> None:
-        """Force out every pending batch.
+    def flush_batches(self, force: bool = True) -> None:
+        """Flush every pending batch.
 
-        Called at checkpoint barriers, on pause/stop and before routing
-        updates, so the batched data plane is indistinguishable from the
-        unbatched one at every reconfiguration boundary.
+        Forced flushes are the control plane's barrier: checkpoint cuts,
+        pause/stop and routing updates must see the wire drained, so they
+        pierce backpressure (debiting the credit account below zero if
+        need be) rather than stall reconfiguration behind a slow
+        receiver.  The linger timer flushes unforced, leaving
+        credit-starved batches pending until grants return.
         """
         if self._linger_event is not None:
             self._linger_event.cancel()
             self._linger_event = None
         for dest_uid in list(self._batch_pending):
-            self._flush_batch(dest_uid)
+            self._flush_batch(dest_uid, force)
 
-    def _flush_batch(self, dest_uid: int) -> None:
-        batch = self._batch_pending.pop(dest_uid, None)
+    def _flush_batch(self, dest_uid: int, force: bool = True) -> None:
+        batch = self._batch_pending.get(dest_uid)
         if not batch:
+            self._batch_pending.pop(dest_uid, None)
             return
+        flow = self._flow
+        if flow is not None:
+            credits = self._credits.get(dest_uid)
+            if credits is None:
+                credits = self._credits[dest_uid] = flow.initial_credits
+            if self.system.live_instance(dest_uid) is not None:
+                weight = sum(t.weight for t in batch)
+                if not force and credits < weight:
+                    # Credit covers only part of the batch: ship the
+                    # longest prefix it does cover (FIFO order is
+                    # load-bearing — rows must stay ts-ordered per
+                    # origin) and hold the rest.  A held batch keeps
+                    # growing, so flushing whole-batch-or-nothing would
+                    # let it outgrow every future grant and wedge.
+                    cut = 0
+                    prefix = 0.0
+                    for tup in batch:
+                        if prefix + tup.weight > credits:
+                            break
+                        prefix += tup.weight
+                        cut += 1
+                    self._note_blocked(dest_uid)
+                    if not cut:
+                        return
+                    self._batch_pending[dest_uid] = batch[cut:]
+                    self._credits[dest_uid] = credits - prefix
+                    self._ship(dest_uid, batch[:cut])
+                    return
+                self._credits[dest_uid] = credits - weight
+            # A dead destination is never debited: the batch is dropped
+            # on the wire (tuples stay in β for replay), and debiting
+            # would leak credit the successor's grants can never repay.
+            self._clear_blocked(dest_uid)
+        del self._batch_pending[dest_uid]
+        self._ship(dest_uid, batch)
+
+    def _ship(self, dest_uid: int, batch: list[Tuple]) -> None:
         if len(batch) == 1:
             self._send(dest_uid, batch[0])
+        elif self._batching.columnar:
+            self._send_block(dest_uid, TupleBlock.from_tuples(batch))
         else:
             self._send_batch(dest_uid, batch)
 
@@ -814,6 +1156,8 @@ class OperatorInstance:
         if self._linger_event is not None:
             self._linger_event.cancel()
             self._linger_event = None
+        for dest_uid in list(self._blocked_dests):
+            self._clear_blocked(dest_uid)
 
     def _send_batch(self, dest_uid: int, batch: list[Tuple]) -> None:
         system = self.system
@@ -835,8 +1179,183 @@ class OperatorInstance:
             # and is replayed once the destination is recovered.
             return
         system.network.send(
-            self.vm, dest.vm, size, dest.receive_batch_stamped, batch, self.epoch
+            self.vm,
+            dest.vm,
+            size,
+            dest.receive_batch_stamped,
+            batch,
+            self.epoch,
+            fifo=self._flow is not None,
         )
+
+    def _send_block(self, dest_uid: int, block: TupleBlock) -> None:
+        """Ship one columnar block as a single network message.
+
+        The block object is shared read-only with an active-replication
+        replica (receivers slice into *new* blocks, never mutate), so the
+        tee costs no copy.
+        """
+        system = self.system
+        size = system.config.network.tuple_bytes * len(block)
+        if system.replication is not None:
+            replica = system.replication.replica_of(dest_uid)
+            if replica is not None:
+                system.network.send(
+                    self.vm,
+                    replica.vm,
+                    size,
+                    replica.receive_block_stamped,
+                    block,
+                    self.epoch,
+                )
+        dest = system.live_instance(dest_uid)
+        if dest is None:
+            # Destination currently dead; the rows stay buffered in β
+            # and are replayed once the destination is recovered.
+            return
+        system.network.send(
+            self.vm,
+            dest.vm,
+            size,
+            dest.receive_block_stamped,
+            block,
+            self.epoch,
+            fifo=self._flow is not None,
+        )
+
+    # ------------------------------------------------------- flow control
+
+    @property
+    def queue_depth(self) -> float:
+        """Weighted input backlog plus output blocked on credit.
+
+        The quantity the grant policy throttles on; exposed for benches
+        and tests so they need not reach into private accounting.
+        """
+        return self._fc_queue_depth()
+
+    def _fc_note(self, origin_uid: int, weight: float) -> None:
+        """Receiver side: ``weight`` from ``origin_uid`` was processed or
+        finally disposed of (duplicate, overflow, migrated, discarded
+        park) and is grantable again.  Every admitted non-replay tuple
+        must eventually be noted exactly once, or the sender's account
+        drifts down and wedges."""
+        if self._flow is None or weight <= 0:
+            return
+        self._fc_ungranted[origin_uid] = (
+            self._fc_ungranted.get(origin_uid, 0.0) + weight
+        )
+
+    def _fc_queue_depth(self) -> float:
+        """Weighted depth the grant policy throttles on: the input
+        backlog plus any pending output blocked on downstream credit —
+        counting the blocked output is what propagates backpressure
+        upstream hop by hop."""
+        depth = self._backlog_weight
+        if self._blocked_dests:
+            pending = self._batch_pending
+            for dest_uid in self._blocked_dests:
+                batch = pending.get(dest_uid)
+                if batch:
+                    depth += sum(t.weight for t in batch)
+        return depth
+
+    def _fc_maybe_grant(self) -> None:
+        """Grant accumulated credit back to upstream senders.
+
+        Grants are deferred entirely while the local queue depth sits at
+        or above ``queue_ceiling`` — that deferral *is* the backpressure
+        signal.  Below the ceiling, balances of at least
+        ``grant_quantum`` are granted; once the backlog fully drains,
+        every positive balance flushes so sub-quantum remainders cannot
+        wedge an idle pipeline.
+        """
+        flow = self._flow
+        if flow is None or not self._fc_ungranted:
+            return
+        if self._fc_queue_depth() >= flow.queue_ceiling:
+            if not self._fc_deferring:
+                self._fc_deferring = True
+                self.system.telemetry.timeseries(
+                    f"queue_depth:{self.op_name}"
+                ).record(self.system.sim.now, self._fc_queue_depth())
+                self.system.metrics.increment("backpressure.deferrals")
+            return
+        self._fc_deferring = False
+        drain = self._backlog_weight <= 0
+        system = self.system
+        quantum = flow.grant_quantum
+        size = flow.credit_bytes
+        for origin_uid in list(self._fc_ungranted):
+            amount = self._fc_ungranted[origin_uid]
+            if amount < quantum and not drain:
+                continue
+            del self._fc_ungranted[origin_uid]
+            sender = system.live_instance(origin_uid)
+            if sender is None:
+                continue
+            system.network.send(
+                self.vm,
+                sender.vm,
+                size,
+                sender.receive_credits,
+                self.uid,
+                amount,
+                kind=KIND_CREDIT,
+            )
+
+    def receive_credits(self, dest_uid: int, amount: float) -> None:
+        """Sender side: a downstream instance granted credit back."""
+        if self._flow is None or not self.alive or not self.vm.alive:
+            return
+        self._credits[dest_uid] = (
+            self._credits.get(dest_uid, self._flow.initial_credits) + amount
+        )
+        if dest_uid in self._blocked_dests:
+            self._flush_batch(dest_uid, force=False)
+
+    def release_credits_for(self, failed_uid: int) -> None:
+        """A downstream instance died: forget its credit account.
+
+        Credits held by the dead receiver can never be granted back, so
+        the account resets (the successor's edge lazily re-seeds at
+        ``initial_credits``), the ungranted balance owed *to* it is
+        dropped (its successor never debited us), and any batch held for
+        it is force-flushed — the flush sees a dead destination, skips
+        the debit, and leaves the tuples in β for replay.
+        """
+        if self._flow is None:
+            return
+        self._credits.pop(failed_uid, None)
+        self._fc_ungranted.pop(failed_uid, None)
+        if failed_uid in self._blocked_dests:
+            self._flush_batch(failed_uid, force=True)
+
+    def _note_blocked(self, dest_uid: int) -> None:
+        if dest_uid in self._blocked_dests:
+            return
+        self._blocked_dests.add(dest_uid)
+        telemetry = self.system.telemetry
+        self._bp_spans[dest_uid] = telemetry.start_span(
+            f"backpressure:{self.op_name}",
+            kind="backpressure",
+            src=self.uid,
+            dest=dest_uid,
+        )
+        telemetry.increment("backpressure.blocks")
+        telemetry.timeseries(f"credits:{self.op_name}").record(
+            self.system.sim.now, self._credits.get(dest_uid, 0.0)
+        )
+
+    def _clear_blocked(self, dest_uid: int) -> None:
+        if dest_uid not in self._blocked_dests:
+            return
+        self._blocked_dests.discard(dest_uid)
+        span = self._bp_spans.pop(dest_uid, None)
+        if span is not None:
+            self.system.telemetry.end_span(
+                span, credits=self._credits.get(dest_uid, 0.0)
+            )
 
     # ------------------------------------------------------------- timers
 
@@ -1403,6 +1922,12 @@ class OperatorInstance:
         the parked weight discarded.
         """
         discarded = sum(tup.weight for tup in self._parked)
+        if self._flow is not None and self._parked:
+            # Parked rows were admitted (and debited upstream); their
+            # discard is their final disposal here.
+            for tup in self._parked:
+                self._fc_note(tup.slot, tup.weight)
+            self._fc_maybe_grant()
         self._migrated_intervals.extend(self._parking_intervals)
         self._parking_intervals = []
         self._parked = []

@@ -36,6 +36,15 @@ class SinkOperator(Operator):
         if self._collector is not None:
             self._collector(tup, ctx.now)
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        collector = self._collector
+        if collector is not None:
+            now = ctx.now
+            row = block.row
+            for i in range(len(block)):
+                collector(row(i), now)
+        return True
+
 
 class WindowedResultCollector:
     """Collects ``(key, (window_index, value))`` results idempotently.

@@ -494,6 +494,13 @@ class StreamProcessingSystem:
         # The dead VM's edges will never carry another message (recovery
         # lands on a fresh VM); drop their in-order release clocks.
         self.network.prune_edges(instance.vm.vm_id)
+        if self.config.flow.enabled:
+            # Credits held by the dead receiver can never be granted
+            # back: every live sender forgets that edge's account so it
+            # cannot wedge against a grant that will never arrive.
+            for other in self.instances.values():
+                if other is not instance and other.alive:
+                    other.release_credits_for(instance.uid)
         self._handle_lost_backups(instance.vm)
         # Barrier mode: the dead slot can never report its cut, so every
         # in-flight epoch aborts and parked tuples release (no-op in

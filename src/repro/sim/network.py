@@ -67,6 +67,11 @@ KIND_MIGRATION = "migration"
 #: they are fire-and-forget: a perturbing fault plan or an active
 #: partition can genuinely lose them.
 KIND_HEARTBEAT = "heartbeat"
+#: Credit grants for the flow-controlled data plane.  They ride the
+#: reliable layer (retransmitted, released in order) like control
+#: traffic, but are counted as their own kind so fault rules targeting
+#: the data plane leave throttling signals alone.
+KIND_CREDIT = "credit"
 
 
 @dataclass
@@ -167,6 +172,7 @@ class Network:
         on_delivered: Callable[..., Any],
         *args: Any,
         kind: str = KIND_DATA,
+        fifo: bool = False,
     ) -> None:
         """Deliver a message to ``dst`` after the modelled delay.
 
@@ -175,6 +181,14 @@ class Network:
         delivery time the message is silently dropped (crash-stop model).
         Messages from a VM that is already dead count as sent *and*
         dropped, so per-edge drop rates stay within [0, 1].
+
+        ``fifo`` opts into the per-edge in-order release clock even
+        without a fault plan: the bandwidth term lets a later, smaller
+        message overtake an earlier, bigger one on the same edge, and
+        the flow-controlled data plane can ship twice back to back (a
+        credit-covered prefix followed by the released remainder) —
+        an overtake there would duplicate-drop the earlier rows at the
+        receiver.  Plain sends keep the historical timing.
         """
         stats = self.edge(src, dst)
         self.messages_sent += 1
@@ -207,6 +221,22 @@ class Network:
                 return
             hold = verdict
         if plan is None or (hold == 0.0 and not plan.perturbs_kind(kind)):
+            if fifo:
+                arrival = max(
+                    self.sim.now + delay, self._edge_clear.get(key, 0.0)
+                )
+                self._edge_clear[key] = arrival
+                self.sim.schedule_at(
+                    arrival,
+                    self._deliver,
+                    dst,
+                    on_delivered,
+                    args,
+                    stats,
+                    meta,
+                    priority=PRIORITY_DATA,
+                )
+                return
             self.sim.schedule(
                 delay,
                 self._deliver,

@@ -37,6 +37,16 @@ class WordSplitter(Operator):
         for word, occurrences in Counter(tup.payload).items():
             ctx.emit(word, None, weight=occurrences * tup.weight)
 
+    def process_block(self, block, ctx: OperatorContext) -> bool:
+        emit = ctx.emit
+        for payload, weight, created_at in zip(
+            block.payloads, block.weight, block.created_at
+        ):
+            for word, occurrences in Counter(payload).items():
+                emit(word, None, weight=occurrences * weight,
+                     created_at=created_at)
+        return True
+
 
 @dataclass
 class WordCountQuery:

@@ -1,0 +1,122 @@
+"""Property tests for the columnar :class:`TupleBlock` record.
+
+The block is the unit the columnar data plane ships and slices: rows in
+emission order (strictly ascending ``ts`` per origin slot), fixed-width
+columns in ``array`` storage, keys/payloads as object lists.  Every
+slicing operation the runtime performs — prefix dedup (``suffix``),
+routing carve-outs and fluid-migration splits (``split_by_intervals``) —
+must preserve each row's ``(slot, ts)`` identity and the ascending-``ts``
+order the receivers rely on.
+"""
+
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.core.state import KeyInterval
+from repro.core.tuples import KEY_SPACE, Tuple, TupleBlock, stable_hash
+
+# Rows as (key, payload, weight, created_at); ts is assigned strictly
+# ascending, as the output batcher does.
+rows_strategy = st.lists(
+    st.tuples(
+        st.text(max_size=8),
+        st.one_of(st.none(), st.integers(-100, 100)),
+        st.integers(min_value=1, max_value=5),
+        st.floats(min_value=0.0, max_value=1e6, allow_nan=False),
+    ),
+    min_size=1,
+    max_size=40,
+)
+
+
+def make_tuples(rows, slot=7, replay=False):
+    return [
+        Tuple(ts + 1, key, payload, weight, created_at, slot, replay)
+        for ts, (key, payload, weight, created_at) in enumerate(rows)
+    ]
+
+
+def ids(block: TupleBlock) -> list[tuple[int, int]]:
+    return [(block.slot, ts) for ts in block.ts]
+
+
+class TestRoundtrip:
+    @given(rows_strategy)
+    @settings(max_examples=100, deadline=None)
+    def test_from_tuples_to_tuples_identity(self, rows):
+        tuples = make_tuples(rows)
+        back = TupleBlock.from_tuples(tuples).to_tuples()
+        assert back == tuples
+        assert [t.created_at for t in back] == [t.created_at for t in tuples]
+        assert [t.replay for t in back] == [t.replay for t in tuples]
+
+    @given(rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_key_pos_matches_stable_hash(self, rows):
+        block = TupleBlock.from_tuples(make_tuples(rows))
+        assert list(block.key_pos) == [stable_hash(k) for k in block.keys]
+
+    @given(rows_strategy)
+    @settings(max_examples=50, deadline=None)
+    def test_total_weight_and_rows(self, rows):
+        tuples = make_tuples(rows)
+        block = TupleBlock.from_tuples(tuples)
+        assert block.total_weight() == sum(t.weight for t in tuples)
+        assert [block.row(i) for i in range(len(block))] == tuples
+
+    def test_replay_flag_is_block_scalar(self):
+        tuples = make_tuples([("a", None, 1, 0.0)], replay=True)
+        block = TupleBlock.from_tuples(tuples)
+        assert block.replay is True
+        assert all(t.replay for t in block.to_tuples())
+
+
+class TestSuffix:
+    @given(rows_strategy, st.integers(min_value=0, max_value=40))
+    @settings(max_examples=100, deadline=None)
+    def test_suffix_preserves_identities(self, rows, start):
+        block = TupleBlock.from_tuples(make_tuples(rows))
+        start = min(start, len(block))
+        tail = block.suffix(start)
+        assert ids(tail) == ids(block)[start:]
+        assert tail.to_tuples() == block.to_tuples()[start:]
+        assert tail.total_weight() == sum(tail.weight)
+        assert tail.slot == block.slot and tail.replay == block.replay
+
+
+class TestSplitByIntervals:
+    @given(
+        rows_strategy,
+        st.lists(
+            st.tuples(
+                st.integers(min_value=0, max_value=KEY_SPACE - 1),
+                st.integers(min_value=1, max_value=KEY_SPACE),
+            ),
+            max_size=3,
+        ),
+    )
+    @settings(max_examples=100, deadline=None)
+    def test_split_partitions_every_identity(self, rows, raw_intervals):
+        block = TupleBlock.from_tuples(make_tuples(rows))
+        intervals = [
+            KeyInterval(lo, hi) for lo, hi in raw_intervals if lo < hi
+        ]
+        inside, outside = block.split_by_intervals(intervals)
+        # Every (slot, ts) id lands in exactly one half.
+        assert sorted(ids(inside) + ids(outside)) == sorted(ids(block))
+        # Membership is decided by the key position.
+        for half, want in ((inside, True), (outside, False)):
+            for pos in half.key_pos:
+                assert any(pos in span for span in intervals) is want
+        # Ascending-ts order survives in both halves.
+        for half in (inside, outside):
+            assert list(half.ts) == sorted(half.ts)
+            assert half.total_weight() == sum(half.weight)
+
+    @given(rows_strategy)
+    @settings(max_examples=25, deadline=None)
+    def test_full_interval_takes_everything(self, rows):
+        block = TupleBlock.from_tuples(make_tuples(rows))
+        inside, outside = block.split_by_intervals([KeyInterval.full()])
+        assert len(outside) == 0
+        assert inside.to_tuples() == block.to_tuples()

@@ -47,11 +47,34 @@ class TestHarness:
             assert "recovery" not in backends[kind]  # smoke skips it
         assert backends["external"]["external_write_io_seconds"] > 0
         assert backends["memory"]["external_write_io_seconds"] == 0
+        dataplane = results["dataplane"]
+        # The operator-level race drains every prebuilt tuple both ways.
+        n_tuples = report["params"]["operator_tuples"]
+        assert dataplane["rows"]["tuples"] == n_tuples
+        assert dataplane["columnar"]["tuples"] == n_tuples
+        assert dataplane["columnar_speedup"] > 0
+        pipeline = dataplane["pipeline"]
+        # Pure fast path: identical simulated behaviour either way.
+        assert pipeline["columnar"]["tuples_processed"] == (
+            pipeline["rows"]["tuples_processed"]
+        )
+        assert pipeline["columnar"]["network_messages"] == (
+            pipeline["rows"]["network_messages"]
+        )
+        backpressure = dataplane["backpressure"]
+        assert backpressure["on"]["bounded"]
+        assert backpressure["on"]["peak_queue_depth"] <= (
+            backpressure["on"]["depth_bound"]
+        )
+        assert backpressure["off"]["peak_queue_depth"] > (
+            backpressure["on"]["peak_queue_depth"]
+        )
         on_disk = json.loads(out.read_text())
         assert on_disk["results"]["kernel"] == results["kernel"]
         assert "events/s" in render_report(report)
         assert "migration" in render_report(report)
         assert "backend spill" in render_report(report)
+        assert "dataplane" in render_report(report)
 
     def test_unknown_preset_rejected(self):
         with pytest.raises(ReproError):
